@@ -1,0 +1,24 @@
+//! Microbenchmark of `computeIndex` (Algorithm 2), the inner loop of both
+//! protocols: cost as a function of the node degree.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkcore::compute_index;
+
+fn bench_compute_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_index");
+    for degree in [4usize, 16, 64, 256, 1024, 4096] {
+        // Estimates spanning the interesting range, with some infinities.
+        let ests: Vec<u32> = (0..degree)
+            .map(|i| if i % 7 == 0 { u32::MAX } else { (i % 32) as u32 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &ests, |b, ests| {
+            b.iter(|| compute_index(black_box(ests.iter().copied()), black_box(degree as u32)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_index);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks of the epidemic aggregation substrate: cost of gossip rounds
+//! and of full max-aggregation convergence at several overlay sizes.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkcore_gossip::{GossipNetwork, MaxAggregate};
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_max_convergence");
+    for n in [64usize, 512, 4_096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = GossipNetwork::new(
+                    (0..n).map(|i| MaxAggregate::new(i as f64)),
+                    black_box(42),
+                );
+                net.run_until_converged(0.0, 10 * n).expect("converges")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gossip_single_round");
+    for n in [512usize, 4_096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net =
+                GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), 7);
+            b.iter(|| {
+                net.round();
+                black_box(net.spread())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip);
+criterion_main!(benches);

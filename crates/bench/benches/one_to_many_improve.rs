@@ -1,0 +1,36 @@
+//! Benchmarks of the one-to-many internal emulation (Algorithm 4): the
+//! worklist implementation versus the paper's literal sweep loop, and the
+//! end-to-end effect of emulation mode on a full host-simulation run.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkcore::one_to_many::{AssignmentPolicy, EmulationMode};
+use dkcore_graph::generators::planted_partition;
+use dkcore_sim::{HostSim, HostSimConfig};
+
+fn bench_emulation_modes(c: &mut Criterion) {
+    // Community graph + block assignment = heavy intra-host cascades,
+    // exactly what improveEstimate exists for.
+    let g = planted_partition(4_000, 40, 0.25, 0.0005, 3);
+    let mut group = c.benchmark_group("one_to_many_full_run");
+    group.sample_size(10);
+    for (name, emulation) in [
+        ("worklist", EmulationMode::Worklist),
+        ("sweep", EmulationMode::Sweep),
+        ("per_round", EmulationMode::PerRound),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let mut config = HostSimConfig::synchronous(8);
+                config.assignment = AssignmentPolicy::Block;
+                config.protocol.emulation = emulation;
+                HostSim::new(black_box(g), config).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulation_modes);
+criterion_main!(benches);

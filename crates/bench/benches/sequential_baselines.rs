@@ -1,0 +1,33 @@
+//! Benchmarks of the sequential baselines: the Batagelj–Zaveršnik O(m)
+//! algorithm versus naive peeling, across graph families.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkcore::seq::{batagelj_zaversnik, naive_peeling};
+use dkcore_graph::generators::{barabasi_albert, gnp};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let random = gnp(n, 8.0 / n as f64, 42);
+        let scale_free = barabasi_albert(n, 4, 42);
+        group.bench_with_input(BenchmarkId::new("bz/gnp", n), &random, |b, g| {
+            b.iter(|| batagelj_zaversnik(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/gnp", n), &random, |b, g| {
+            b.iter(|| naive_peeling(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("bz/ba", n), &scale_free, |b, g| {
+            b.iter(|| batagelj_zaversnik(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/ba", n), &scale_free, |b, g| {
+            b.iter(|| naive_peeling(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

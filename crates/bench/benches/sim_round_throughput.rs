@@ -1,0 +1,39 @@
+//! Benchmarks of the simulation engines: full one-to-one runs under both
+//! execution models, and the distributed protocol versus the sequential
+//! baseline (the "price of distribution" in pure compute terms).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_graph::generators::{barabasi_albert, gnp};
+use dkcore_sim::{NodeSim, NodeSimConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_sim_full_run");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let g = gnp(n, 8.0 / n as f64, 7);
+        group.bench_with_input(BenchmarkId::new("synchronous", n), &g, |b, g| {
+            b.iter(|| NodeSim::new(black_box(g), NodeSimConfig::synchronous()).run())
+        });
+        group.bench_with_input(BenchmarkId::new("random_order", n), &g, |b, g| {
+            b.iter(|| NodeSim::new(black_box(g), NodeSimConfig::random_order(3)).run())
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_bz", n), &g, |b, g| {
+            b.iter(|| batagelj_zaversnik(black_box(g)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("node_sim_scale_free");
+    group.sample_size(10);
+    let g = barabasi_albert(5_000, 4, 11);
+    group.bench_function("random_order/ba5000", |b| {
+        b.iter(|| NodeSim::new(black_box(&g), NodeSimConfig::random_order(5)).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

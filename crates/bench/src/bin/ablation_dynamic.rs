@@ -1,0 +1,117 @@
+//! Ablation of coreness maintenance under churn (experiment E10, an
+//! extension beyond the paper): after each edge mutation, compare
+//!
+//! * **incremental repair** (`DynamicCore`): sequential candidate-region
+//!   traversal — working-set size;
+//! * **warm-started protocol**: the distributed protocol re-run from safe
+//!   per-node estimates — rounds and messages to re-converge;
+//! * **cold-started protocol**: the paper's from-scratch run.
+//!
+//! The live-system scenario of the paper's §1 (a P2P overlay inspecting
+//! itself) implies churn; this measures how much cheaper staying
+//! converged is than recomputing.
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin ablation_dynamic`
+
+use dkcore::dynamic::{warm_start_estimates, DynamicCore};
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_graph::NodeId;
+use dkcore_metrics::{Summary, Table};
+use dkcore_sim::{NodeSim, NodeSimConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.scale.is_none() {
+        args.scale = Some(10_000);
+    }
+    if args.datasets.is_empty() {
+        args.datasets = ["astroph-like", "gnutella-like", "amazon-like", "wikitalk-like"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let mutations = 30u32;
+    let mut table = Table::new([
+        "name", "repair nodes(avg)", "warm msgs(avg)", "warm rounds(avg)",
+        "cold msgs(avg)", "cold rounds(avg)", "msg saving",
+    ]);
+
+    for spec in args.selected_datasets() {
+        eprintln!("[ablation_dynamic] {} ...", spec.name);
+        let g = args.build(&spec);
+        let n = g.node_count() as u32;
+        let mut dc = DynamicCore::new(&g);
+        let mut rng = StdRng::seed_from_u64(args.seed);
+
+        let mut repair = Summary::new();
+        let mut warm_msgs = Summary::new();
+        let mut warm_rounds = Summary::new();
+        let mut cold_msgs = Summary::new();
+        let mut cold_rounds = Summary::new();
+
+        let mut done = 0;
+        while done < mutations {
+            let a = NodeId(rng.random_range(0..n));
+            let b = NodeId(rng.random_range(0..n));
+            if a == b {
+                continue;
+            }
+            let old_core = dc.values().to_vec();
+            let inserted = if dc.has_edge(a, b) {
+                let stats = dc.remove_edge(a, b).expect("edge present");
+                repair.record(stats.candidates as f64);
+                None
+            } else {
+                let stats = dc.insert_edge(a, b).expect("edge absent");
+                repair.record(stats.candidates as f64);
+                Some((a, b))
+            };
+            done += 1;
+
+            let new_graph = dc.to_graph();
+            let est = warm_start_estimates(&old_core, &new_graph, inserted);
+            let mut warm =
+                NodeSim::with_estimates(&new_graph, NodeSimConfig::random_order(done as u64), &est);
+            let warm_result = warm.run();
+            assert_eq!(
+                warm_result.final_estimates,
+                batagelj_zaversnik(&new_graph),
+                "{}: warm start diverged",
+                spec.name
+            );
+            warm_msgs.record(warm_result.total_messages as f64);
+            warm_rounds.record(warm_result.rounds_executed as f64);
+
+            let cold =
+                NodeSim::new(&new_graph, NodeSimConfig::random_order(done as u64)).run();
+            cold_msgs.record(cold.total_messages as f64);
+            cold_rounds.record(cold.rounds_executed as f64);
+        }
+
+        table.row([
+            spec.name.to_string(),
+            f2(repair.mean()),
+            f2(warm_msgs.mean()),
+            f2(warm_rounds.mean()),
+            f2(cold_msgs.mean()),
+            f2(cold_rounds.mean()),
+            format!("{:.1}x", cold_msgs.mean() / warm_msgs.mean().max(1.0)),
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== dynamic maintenance ablation ({mutations} random mutations per dataset) ==");
+        print!("{table}");
+        println!();
+        println!(
+            "incremental repair touches a tiny candidate region; the warm-started \
+             distributed protocol re-converges with a fraction of a cold start's \
+             messages (the initial confirmation broadcast dominates its cost)."
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation of the §3.1.2 send optimization (experiment E5): message
+//! counts with and without suppressing updates that cannot change the
+//! recipient's estimate.
+//!
+//! Paper claim: "this optimization has shown to be able to reduce the
+//! number of exchanged messages by approximately 50%".
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin ablation_optimization`
+
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_metrics::Table;
+use dkcore_sim::experiment::run_node_experiment;
+use dkcore_sim::NodeSimConfig;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.scale.is_none() {
+        args.scale = Some(20_000);
+    }
+    let mut table = Table::new([
+        "name", "m_avg(opt)", "m_avg(plain)", "saved", "t_avg(opt)", "t_avg(plain)",
+    ]);
+    let mut total_with = 0.0;
+    let mut total_without = 0.0;
+
+    for spec in args.selected_datasets() {
+        eprintln!("[ablation_optimization] {} ...", spec.name);
+        let g = args.build(&spec);
+
+        let mut with_opt = NodeSimConfig::random_order(0);
+        with_opt.protocol.send_optimization = true;
+        let mut without_opt = NodeSimConfig::random_order(0);
+        without_opt.protocol.send_optimization = false;
+
+        let a = run_node_experiment(&g, with_opt, args.reps.min(5), args.seed);
+        let b = run_node_experiment(&g, without_opt, args.reps.min(5), args.seed);
+        let saved = 1.0 - a.total_messages.mean() / b.total_messages.mean();
+        total_with += a.total_messages.mean();
+        total_without += b.total_messages.mean();
+
+        table.row([
+            spec.name.to_string(),
+            f2(a.avg_messages.mean()),
+            f2(b.avg_messages.mean()),
+            format!("{:.1}%", saved * 100.0),
+            f2(a.execution_time.mean()),
+            f2(b.execution_time.mean()),
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== §3.1.2 send-optimization ablation ==");
+        print!("{table}");
+        println!();
+        println!(
+            "overall message reduction: {:.1}% (paper: \"approximately 50%\")",
+            (1.0 - total_with / total_without) * 100.0
+        );
+    }
+}

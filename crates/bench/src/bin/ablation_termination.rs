@@ -1,0 +1,87 @@
+//! Ablation of the §3.3 termination-detection strategies (experiment E8):
+//! how many extra rounds each detector costs beyond true convergence, and
+//! what an early fixed-round stop gives up in accuracy.
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin ablation_termination`
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::termination::{CentralizedDetector, FixedRoundsDetector, GossipDetector};
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_metrics::Table;
+use dkcore_sim::{NodeSim, NodeSimConfig};
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    if args.scale.is_none() {
+        args.scale = Some(10_000);
+    }
+    let mut table = Table::new([
+        "name", "detector", "rounds", "extra", "wrong nodes", "avg err",
+    ]);
+
+    for spec in args.selected_datasets() {
+        eprintln!("[ablation_termination] {} ...", spec.name);
+        let g = args.build(&spec);
+        let truth = batagelj_zaversnik(&g);
+        let n = g.node_count();
+
+        // Baseline: exact centralized detection.
+        let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(args.seed));
+        let mut centralized = CentralizedDetector::new();
+        let exact = sim.run_with(&mut centralized, &mut []);
+        let exact_rounds = exact.rounds_executed;
+        let report = |name: &str,
+                      result: &dkcore_sim::RunResult,
+                      table: &mut Table| {
+            let wrong = result
+                .final_estimates
+                .iter()
+                .zip(truth.iter())
+                .filter(|(e, t)| e != t)
+                .count();
+            let err: u64 = result
+                .final_estimates
+                .iter()
+                .zip(truth.iter())
+                .map(|(e, t)| (e - t) as u64)
+                .sum();
+            table.row([
+                spec.name.to_string(),
+                name.to_string(),
+                result.rounds_executed.to_string(),
+                format!("{:+}", result.rounds_executed as i64 - exact_rounds as i64),
+                wrong.to_string(),
+                f2(err as f64 / n as f64),
+            ]);
+        };
+        report("centralized", &exact, &mut table);
+
+        // Decentralized gossip detection (pays patience + spread rounds).
+        let patience = GossipDetector::recommended_patience(n);
+        let mut gossip = GossipDetector::new(n, patience, args.seed);
+        let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(args.seed));
+        let gossip_result = sim.run_with(&mut gossip, &mut []);
+        report("gossip", &gossip_result, &mut table);
+
+        // Fixed-round budgets: cheap but approximate.
+        for budget in [10u32, 20, 30] {
+            let mut fixed = FixedRoundsDetector::new(budget);
+            let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(args.seed));
+            let result = sim.run_with(&mut fixed, &mut []);
+            report(&format!("fixed-{budget}"), &result, &mut table);
+        }
+    }
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== §3.3 termination-detection ablation ==");
+        print!("{table}");
+        println!();
+        println!(
+            "centralized is exact; gossip adds its patience window (O(log H) + slack) \
+             of silent rounds; fixed budgets trade rounds for residual error, which \
+             the paper notes is already tiny after a few tens of rounds."
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates the paper's **Figure 4**: evolution of the estimation error
+//! over rounds — average error over all nodes (left plot) and maximum
+//! error over all nodes (right plot), aggregated across repetitions.
+//!
+//! Output is gnuplot-ready TSV series per dataset, plus a summary table
+//! answering the paper's headline observation ("in all our experimental
+//! data sets, the maximum error is at most equal to 1 by cycle 22").
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin figure4`
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::termination::CentralizedDetector;
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_metrics::{Series, Table};
+use dkcore_sim::experiment::repetition_seed;
+use dkcore_sim::{ErrorEvolutionObserver, NodeSim, NodeSimConfig};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut summary = Table::new([
+        "name", "rounds(avg)", "avg_err@5", "avg_err@10", "max_err<=1 by",
+    ]);
+
+    for spec in args.selected_datasets() {
+        eprintln!("[figure4] building {} ...", spec.name);
+        let g = args.build(&spec);
+        let truth = batagelj_zaversnik(&g);
+
+        let mut avg_runs: Vec<Series> = Vec::new();
+        let mut max_runs: Vec<Series> = Vec::new();
+        let mut rounds_sum = 0u64;
+        for rep in 0..args.reps {
+            let seed = repetition_seed(args.seed, rep);
+            let mut obs = ErrorEvolutionObserver::new(truth.clone());
+            let mut det = CentralizedDetector::new();
+            let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(seed));
+            let result = sim.run_with(&mut det, &mut [&mut obs]);
+            rounds_sum += result.rounds_executed as u64;
+            avg_runs.push(obs.avg_series(format!("{}-rep{rep}", spec.name)));
+            max_runs.push(obs.max_series(format!("{}-rep{rep}", spec.name)));
+        }
+        // Converged runs have error 0 from then on: pad with 0.
+        let avg = Series::mean_across(format!("{} avg error", spec.name), &avg_runs, 0.0);
+        let max = Series::max_across(format!("{} max error", spec.name), &max_runs, 0.0);
+
+        println!("{}", avg.to_tsv());
+        println!("{}", max.to_tsv());
+
+        let err_at = |s: &Series, round: f64| {
+            s.points()
+                .iter()
+                .find(|&&(x, _)| x >= round)
+                .map_or(0.0, |&(_, y)| y)
+        };
+        summary.row([
+            spec.name.to_string(),
+            f2(rounds_sum as f64 / args.reps as f64),
+            f2(err_at(&avg, 5.0)),
+            f2(err_at(&avg, 10.0)),
+            max.first_x_below(1.0).map_or("never".into(), |x| format!("{x:.0}")),
+        ]);
+    }
+
+    println!("== Figure 4 summary ==");
+    print!("{summary}");
+    println!();
+    println!(
+        "paper: error drops by orders of magnitude within the first rounds; the \
+         maximum error is <= 1 by cycle 22 on every dataset (web-BerkStan's deep \
+         1-core pages keep its avg error nonzero the longest)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates the paper's **Figure 5**: one-to-many communication
+//! overhead (estimates sent per node) as a function of the number of
+//! hosts, with a broadcast medium (left plot) and with point-to-point
+//! transport (right plot).
+//!
+//! Expected shape (paper §5.2): with broadcast the overhead stays tiny
+//! (< 3 estimates per node) at every host count; with point-to-point it
+//! grows with the host count and approaches one-to-one message levels.
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin figure5`
+
+use dkcore::one_to_many::DisseminationPolicy;
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_metrics::{Series, Table};
+use dkcore_sim::experiment::run_host_experiment;
+use dkcore_sim::HostSimConfig;
+
+fn main() {
+    let mut args = HarnessArgs::from_env();
+    // Figure 5 plots a subset of the datasets; default to the paper's five
+    // (minus road/wiki, as in the original figure) unless overridden.
+    if args.datasets.is_empty() {
+        args.datasets = ["astroph-like", "gnutella-like", "slashdot-like", "amazon-like",
+            "berkstan-like"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    // Smaller default scale: figure 5 sweeps 9 host counts x 2 policies.
+    if args.scale.is_none() {
+        args.scale = Some(20_000);
+    }
+    let host_counts = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
+
+    let mut table = Table::new(["name", "policy", "hosts", "overhead/node", "rounds(avg)"]);
+
+    for spec in args.selected_datasets() {
+        eprintln!("[figure5] building {} ...", spec.name);
+        let g = args.build(&spec);
+        let n = g.node_count() as f64;
+        for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+            let mut series = Series::new(format!("{} {policy:?}", spec.name));
+            for &hosts in &host_counts {
+                let mut template = HostSimConfig::random_order(hosts, 0);
+                template.protocol.policy = policy;
+                let outcome = run_host_experiment(&g, template, args.reps.min(5), args.seed);
+                assert!(outcome.all_converged, "{} did not converge", spec.name);
+                let overhead = outcome.estimates_sent.mean() / n;
+                series.push(hosts as f64, overhead);
+                table.row([
+                    spec.name.to_string(),
+                    format!("{policy:?}"),
+                    hosts.to_string(),
+                    f2(overhead),
+                    f2(outcome.execution_time.mean()),
+                ]);
+                eprintln!(
+                    "[figure5] {} {policy:?} hosts={hosts}: overhead {:.2}",
+                    spec.name, overhead
+                );
+            }
+            println!("{}", series.to_tsv());
+        }
+    }
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== Figure 5 (overhead per node vs hosts) ==");
+        print!("{table}");
+        println!();
+        println!(
+            "paper: broadcast overhead stays below ~3 estimates/node at all host \
+             counts; point-to-point overhead grows with hosts toward one-to-one \
+             levels (m_avg of Table 1)."
+        );
+    }
+}

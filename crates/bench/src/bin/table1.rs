@@ -1,0 +1,83 @@
+//! Regenerates the paper's **Table 1**: per-dataset graph statistics and
+//! one-to-one protocol performance (execution time and messages per node)
+//! over repeated random-order runs.
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin table1 [-- --reps 50]`
+
+use dkcore::CoreDecomposition;
+use dkcore_bench::{f2, HarnessArgs};
+use dkcore_graph::metrics::approx_diameter;
+use dkcore_metrics::Table;
+use dkcore_sim::experiment::run_node_experiment;
+use dkcore_sim::NodeSimConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = Table::new([
+        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg",
+        "t_avg", "t_min", "t_max", "m_avg", "m_max",
+    ]);
+    let mut reference = Table::new([
+        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg",
+        "t_avg", "t_min", "t_max", "m_avg", "m_max",
+    ]);
+
+    for spec in args.selected_datasets() {
+        eprintln!("[table1] building {} ...", spec.name);
+        let g = args.build(&spec);
+        let decomp = CoreDecomposition::compute(&g);
+        eprintln!(
+            "[table1] running {} x{} reps on {} nodes ...",
+            spec.name,
+            args.reps,
+            g.node_count()
+        );
+        let outcome =
+            run_node_experiment(&g, NodeSimConfig::random_order(0), args.reps, args.seed);
+        assert!(outcome.all_converged, "{} failed to converge", spec.name);
+
+        table.row([
+            spec.name.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            approx_diameter(&g, 4).to_string(),
+            g.max_degree().to_string(),
+            decomp.max_coreness().to_string(),
+            f2(decomp.avg_coreness()),
+            f2(outcome.execution_time.mean()),
+            f2(outcome.execution_time.min()),
+            f2(outcome.execution_time.max()),
+            f2(outcome.avg_messages.mean()),
+            f2(outcome.max_messages.mean()),
+        ]);
+        let p = spec.paper;
+        reference.row([
+            p_name(&spec),
+            p.nodes.to_string(),
+            p.edges.to_string(),
+            p.diameter.to_string(),
+            p.max_degree.to_string(),
+            p.max_coreness.to_string(),
+            f2(p.avg_coreness),
+            f2(p.t_avg),
+            p.t_min.to_string(),
+            p.t_max.to_string(),
+            f2(p.m_avg),
+            f2(p.m_max),
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== Table 1 (measured, analogs at harness scale) ==");
+        print!("{table}");
+        println!();
+        println!("== Table 1 (paper, original SNAP graphs) ==");
+        print!("{reference}");
+    }
+}
+
+fn p_name(spec: &dkcore_data::DatasetSpec) -> String {
+    spec.snap_name.to_string()
+}

@@ -1,0 +1,97 @@
+//! Checks the paper's §4 theory empirically (experiment E6 of DESIGN.md):
+//!
+//! * the Figure 3 worst-case family completes in exactly `N − 1` rounds
+//!   (counting, as the paper does, the final no-effect round) while its
+//!   diameter stays 3;
+//! * a linear chain needs `⌈N/2⌉` rounds;
+//! * Theorem 4 (`T ≤ 1 + Σ (d(u) − k(u))`), Corollary 1
+//!   (`T ≤ N − K + 1`) and Corollary 2 (`messages ≤ Σ d² − 2M`) hold on
+//!   random graphs.
+//!
+//! Run: `cargo run -p dkcore-bench --release --bin theory_bounds`
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_bench::HarnessArgs;
+use dkcore_graph::generators::{gnp, path, worst_case};
+use dkcore_graph::metrics::{exact_diameter, min_degree_count};
+use dkcore_metrics::Table;
+use dkcore_sim::{NodeSim, NodeSimConfig};
+
+fn no_opt_sync() -> NodeSimConfig {
+    // §4 analyses assume "no further optimizations are applied".
+    let mut config = NodeSimConfig::synchronous();
+    config.protocol.send_optimization = false;
+    config
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+
+    println!("== Worst-case family (Figure 3): rounds = N - 1, diameter = 3 ==");
+    let mut t = Table::new(["N", "rounds", "N-1", "diameter"]);
+    for n in [5usize, 8, 12, 16, 24, 32, 48, 64] {
+        let g = worst_case(n);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        assert_eq!(result.rounds_executed as usize, n - 1, "worst case N={n}");
+        t.row([
+            n.to_string(),
+            result.rounds_executed.to_string(),
+            (n - 1).to_string(),
+            exact_diameter(&g).to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!();
+
+    println!("== Linear chain: send-rounds = ceil(N/2) ==");
+    let mut t = Table::new(["N", "send-rounds", "ceil(N/2)"]);
+    for n in [4usize, 7, 10, 25, 50, 101] {
+        let g = path(n);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        assert_eq!(result.execution_time as usize, n.div_ceil(2), "chain N={n}");
+        t.row([
+            n.to_string(),
+            result.execution_time.to_string(),
+            n.div_ceil(2).to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!();
+
+    println!("== Theorem 4 / Corollary 1 / Corollary 2 on random graphs ==");
+    let mut t = Table::new([
+        "seed", "N", "M", "T", "thm4_bound", "cor1_bound", "updates", "cor2_bound",
+    ]);
+    for seed in 0..args.reps.min(10) as u64 {
+        let g = gnp(300, 0.02, args.seed ^ seed);
+        let truth = batagelj_zaversnik(&g);
+        let initial_error: u64 =
+            g.nodes().map(|u| (g.degree(u) - truth[u.index()]) as u64).sum();
+        let k = min_degree_count(&g);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        let t_exec = result.execution_time as u64;
+        let thm4 = 1 + initial_error;
+        let cor1 = (g.node_count() - k + 1) as u64;
+        let d2: u64 = g.nodes().map(|u| (g.degree(u) as u64).pow(2)).sum();
+        let cor2 = d2 - 2 * g.edge_count() as u64;
+        let updates = result.total_messages - 2 * g.edge_count() as u64;
+        assert!(t_exec <= thm4, "Theorem 4 violated");
+        assert!(t_exec <= cor1, "Corollary 1 violated");
+        assert!(updates <= cor2, "Corollary 2 violated");
+        t.row([
+            seed.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            t_exec.to_string(),
+            thm4.to_string(),
+            cor1.to_string(),
+            updates.to_string(),
+            cor2.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!();
+    println!("all §4 bounds hold (assertions passed); note how loose the worst-case \
+              bounds are on random graphs, matching the paper's observation that \
+              \"the bound is far from being tight\" on real graphs.");
+}

@@ -1,0 +1,179 @@
+//! Shared plumbing for the benchmark binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary maps to one experiment of `DESIGN.md` §4:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | Table 1 — dataset statistics + one-to-one rounds/messages |
+//! | `table2` | Table 2 — per-core stragglers on the web graph analog |
+//! | `figure4` | Figure 4 — average & maximum error vs. round |
+//! | `figure5` | Figure 5 — one-to-many overhead vs. host count |
+//! | `theory_bounds` | §4 bounds: worst case, chain, Theorems 4/5, Cor. 1/2 |
+//! | `ablation_optimization` | §3.1.2 message-suppression optimization |
+//! | `ablation_termination` | §3.3 termination detector comparison |
+//! | `ablation_assignment` | §3.2.2 assignment-policy comparison |
+//!
+//! All binaries accept `--scale <nodes>` (override analog size), `--reps
+//! <n>` (repetitions), `--seed <s>`, and `--datasets a,b,c` (filter by
+//! analog or SNAP name); run with `--release` for sensible wall-clock
+//! times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dkcore_data::DatasetSpec;
+use dkcore_graph::Graph;
+
+/// Common command-line options for the bench binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Override for the analog node count (`--scale`); `None` keeps each
+    /// dataset's default.
+    pub scale: Option<usize>,
+    /// Number of repetitions (`--reps`); the paper used 50.
+    pub reps: u32,
+    /// Base RNG seed (`--seed`).
+    pub seed: u64,
+    /// Dataset filter (`--datasets`, comma-separated names); empty = all.
+    pub datasets: Vec<String>,
+    /// Emit CSV instead of aligned text (`--csv`).
+    pub csv: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: None, reps: 10, seed: 42, datasets: Vec::new(), csv: false }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style arguments (skipping the binary name).
+    ///
+    /// Unknown flags cause a panic with a usage message — these are
+    /// internal experiment drivers, not user-facing CLIs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dkcore_bench::HarnessArgs;
+    ///
+    /// let args = HarnessArgs::parse(
+    ///     ["--scale", "5000", "--reps", "3", "--datasets", "astroph-like"]
+    ///         .iter()
+    ///         .map(|s| s.to_string()),
+    /// );
+    /// assert_eq!(args.scale, Some(5000));
+    /// assert_eq!(args.reps, 3);
+    /// assert_eq!(args.datasets, vec!["astroph-like".to_string()]);
+    /// ```
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = Some(value("--scale").parse().expect("--scale: number")),
+                "--reps" => out.reps = value("--reps").parse().expect("--reps: number"),
+                "--seed" => out.seed = value("--seed").parse().expect("--seed: number"),
+                "--datasets" => {
+                    out.datasets =
+                        value("--datasets").split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--csv" => out.csv = true,
+                other => panic!(
+                    "unknown flag {other}; known: --scale N --reps N --seed N --datasets a,b --csv"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The catalog filtered by `--datasets` (all nine when unfiltered).
+    pub fn selected_datasets(&self) -> Vec<DatasetSpec> {
+        dkcore_data::catalog()
+            .into_iter()
+            .filter(|s| {
+                self.datasets.is_empty()
+                    || self.datasets.iter().any(|d| {
+                        s.name.eq_ignore_ascii_case(d) || s.snap_name.eq_ignore_ascii_case(d)
+                    })
+            })
+            .collect()
+    }
+
+    /// Builds one dataset at the requested scale.
+    pub fn build(&self, spec: &DatasetSpec) -> Graph {
+        match self.scale {
+            Some(n) => spec.build_scaled(n, self.seed),
+            None => spec.build_default(self.seed),
+        }
+    }
+}
+
+/// Formats a float with two decimals (the paper's table style).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage like the paper's Table 2 (`14.12%`, empty for 0).
+pub fn pct(frac: f64) -> String {
+    if frac <= 0.0 {
+        String::new()
+    } else {
+        format!("{:.2}%", frac * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let args = HarnessArgs::parse(std::iter::empty());
+        assert_eq!(args, HarnessArgs::default());
+        assert_eq!(args.selected_datasets().len(), 9);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let args = HarnessArgs::parse(
+            ["--scale", "1000", "--reps", "2", "--seed", "7", "--csv",
+             "--datasets", "CA-AstroPh,roadnet-like"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.scale, Some(1000));
+        assert_eq!(args.reps, 2);
+        assert_eq!(args.seed, 7);
+        assert!(args.csv);
+        assert_eq!(args.selected_datasets().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = HarnessArgs::parse(["--bogus".to_string()].into_iter());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(19.546), "19.55");
+        assert_eq!(pct(0.1412), "14.12%");
+        assert_eq!(pct(0.0), "");
+    }
+
+    #[test]
+    fn build_respects_scale() {
+        let args = HarnessArgs::parse(["--scale", "1500"].iter().map(|s| s.to_string()));
+        let spec = dkcore_data::by_name("gnutella-like").unwrap();
+        assert_eq!(args.build(&spec).node_count(), 1500);
+    }
+}

@@ -1,0 +1,472 @@
+//! Command implementations for the `dkcore` command-line tool.
+//!
+//! Four subcommands, mirroring what a downstream user does with the
+//! library:
+//!
+//! ```text
+//! dkcore stats     <input>                         graph statistics (Table-1 style)
+//! dkcore decompose <input> [--algorithm A]         coreness of every node
+//! dkcore simulate  <input> [--hosts H] [...]       run the distributed protocols
+//! dkcore generate  <analog> --nodes N [...]        emit a synthetic dataset
+//! ```
+//!
+//! `<input>` is either a path to a SNAP-style edge list or `analog:NAME`
+//! (optionally `analog:NAME:NODES`) for one of the built-in dataset
+//! analogs. All commands are deterministic given `--seed`.
+//!
+//! The heavy lifting lives in library functions that write to any
+//! `io::Write`, so the test suite drives them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::io::Write;
+
+use dkcore::one_to_many::DisseminationPolicy;
+use dkcore::seq::{batagelj_zaversnik, naive_peeling};
+use dkcore::CoreDecomposition;
+use dkcore_graph::{io as graph_io, metrics, Graph};
+use dkcore_metrics::Table;
+use dkcore_pregel::{KCoreProgram, Pregel};
+use dkcore_sim::{HostSim, HostSimConfig, NodeSim, NodeSimConfig};
+
+/// Error produced by CLI parsing or execution.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl CliError {
+    fn new(msg: impl Into<String>) -> Self {
+        CliError(msg.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<dkcore_graph::GraphError> for CliError {
+    fn from(e: dkcore_graph::GraphError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text shown by `dkcore help` and on argument errors.
+pub const USAGE: &str = "\
+dkcore — distributed k-core decomposition toolkit
+
+USAGE:
+  dkcore stats     <input> [--seed S]
+  dkcore decompose <input> [--algorithm bz|naive|protocol|pregel] [--shells] [--seed S]
+  dkcore simulate  <input> [--hosts H] [--policy broadcast|p2p] [--mode sync|random]
+                            [--reps R] [--seed S]
+  dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
+  dkcore list-analogs
+  dkcore help
+
+INPUT:
+  a SNAP-style edge-list file, or  analog:NAME[:NODES]  for a built-in
+  synthetic dataset (see `dkcore list-analogs`).
+";
+
+/// Resolves an `<input>` argument into a graph.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown analogs or unreadable files.
+pub fn load_input(input: &str, seed: u64) -> Result<Graph, CliError> {
+    if let Some(rest) = input.strip_prefix("analog:") {
+        let mut parts = rest.splitn(2, ':');
+        let name = parts.next().expect("non-empty split");
+        let spec = dkcore_data::by_name(name)
+            .ok_or_else(|| CliError::new(format!("unknown analog {name:?}; try `dkcore list-analogs`")))?;
+        let graph = match parts.next() {
+            Some(nodes) => {
+                let n: usize = nodes
+                    .parse()
+                    .map_err(|_| CliError::new(format!("invalid node count {nodes:?}")))?;
+                spec.build_scaled(n, seed)
+            }
+            None => spec.build_default(seed),
+        };
+        Ok(graph)
+    } else {
+        let (g, _) = graph_io::read_edge_list_file(input)?;
+        Ok(g)
+    }
+}
+
+/// `dkcore stats`: Table-1-style statistics for one graph.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on input or output failures.
+pub fn cmd_stats<W: Write>(input: &str, seed: u64, out: &mut W) -> Result<(), CliError> {
+    let g = load_input(input, seed)?;
+    let decomp = CoreDecomposition::compute(&g);
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["nodes |V|", &g.node_count().to_string()]);
+    t.row(["edges |E|", &g.edge_count().to_string()]);
+    t.row(["max degree", &g.max_degree().to_string()]);
+    t.row(["avg degree", &format!("{:.2}", g.avg_degree())]);
+    t.row(["diameter (approx)", &metrics::approx_diameter(&g, 4).to_string()]);
+    t.row(["components", &metrics::connected_components(&g).0.to_string()]);
+    t.row(["max coreness", &decomp.max_coreness().to_string()]);
+    t.row(["avg coreness", &format!("{:.2}", decomp.avg_coreness())]);
+    write!(out, "{t}")?;
+    Ok(())
+}
+
+/// `dkcore decompose`: coreness of every node via the chosen algorithm.
+///
+/// With `shells = true` prints the shell-size histogram instead of the
+/// per-node list.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown algorithms and I/O failures.
+pub fn cmd_decompose<W: Write>(
+    input: &str,
+    algorithm: &str,
+    shells: bool,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let g = load_input(input, seed)?;
+    let coreness: Vec<u32> = match algorithm {
+        "bz" => batagelj_zaversnik(&g),
+        "naive" => naive_peeling(&g),
+        "protocol" => {
+            NodeSim::new(&g, NodeSimConfig::random_order(seed)).run().final_estimates
+        }
+        "pregel" => Pregel::new(4)
+            .run(&g, &KCoreProgram::default())
+            .states
+            .iter()
+            .map(|s| s.core)
+            .collect(),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown algorithm {other:?}; expected bz|naive|protocol|pregel"
+            )))
+        }
+    };
+    if shells {
+        let d = CoreDecomposition::from_coreness(coreness);
+        let mut t = Table::new(["k-shell", "nodes"]);
+        for (k, &size) in d.shell_sizes().iter().enumerate() {
+            if size > 0 {
+                t.row([k.to_string(), size.to_string()]);
+            }
+        }
+        write!(out, "{t}")?;
+    } else {
+        writeln!(out, "# node\tcoreness")?;
+        for (u, k) in coreness.iter().enumerate() {
+            writeln!(out, "{u}\t{k}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `dkcore simulate`: run the distributed protocol and report rounds and
+/// message statistics.
+///
+/// `hosts == 0` selects the one-to-one protocol; otherwise the one-to-many
+/// protocol over that many hosts.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for invalid options and I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_simulate<W: Write>(
+    input: &str,
+    hosts: usize,
+    policy: &str,
+    mode: &str,
+    reps: u32,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let g = load_input(input, seed)?;
+    let truth = batagelj_zaversnik(&g);
+    let mut t = Table::new(["rep", "rounds", "exec-time", "messages", "correct"]);
+    for rep in 0..reps.max(1) {
+        let rep_seed = dkcore_sim::experiment::repetition_seed(seed, rep);
+        let (rounds, exec, messages, estimates) = if hosts == 0 {
+            let config = match mode {
+                "sync" => NodeSimConfig::synchronous(),
+                "random" => NodeSimConfig::random_order(rep_seed),
+                other => return Err(CliError::new(format!("unknown mode {other:?}"))),
+            };
+            let r = NodeSim::new(&g, config).run();
+            (r.rounds_executed, r.execution_time, r.total_messages, r.final_estimates)
+        } else {
+            let mut config = match mode {
+                "sync" => HostSimConfig::synchronous(hosts),
+                "random" => HostSimConfig::random_order(hosts, rep_seed),
+                other => return Err(CliError::new(format!("unknown mode {other:?}"))),
+            };
+            config.protocol.policy = match policy {
+                "broadcast" => DisseminationPolicy::Broadcast,
+                "p2p" => DisseminationPolicy::PointToPoint,
+                other => return Err(CliError::new(format!("unknown policy {other:?}"))),
+            };
+            let r = HostSim::new(&g, config).run();
+            (r.rounds_executed, r.execution_time, r.total_messages, r.final_estimates)
+        };
+        let correct = estimates == truth;
+        t.row([
+            rep.to_string(),
+            rounds.to_string(),
+            exec.to_string(),
+            messages.to_string(),
+            correct.to_string(),
+        ]);
+    }
+    write!(out, "{t}")?;
+    Ok(())
+}
+
+/// `dkcore generate`: build a dataset analog and write it as an edge list.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown analogs and I/O failures.
+pub fn cmd_generate<W: Write>(
+    analog: &str,
+    nodes: usize,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let spec = dkcore_data::by_name(analog)
+        .ok_or_else(|| CliError::new(format!("unknown analog {analog:?}")))?;
+    let g = spec.build_scaled(nodes, seed);
+    graph_io::write_edge_list(&g, out)?;
+    Ok(())
+}
+
+/// `dkcore list-analogs`: the catalog with the paper's reference stats.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on output failures.
+pub fn cmd_list_analogs<W: Write>(out: &mut W) -> Result<(), CliError> {
+    let mut t = Table::new(["analog", "stands in for", "paper |V|", "paper k_max", "default"]);
+    for spec in dkcore_data::catalog() {
+        t.row([
+            spec.name.to_string(),
+            spec.snap_name.to_string(),
+            spec.paper.nodes.to_string(),
+            spec.paper.max_coreness.to_string(),
+            spec.default_nodes.to_string(),
+        ]);
+    }
+    write!(out, "{t}")?;
+    Ok(())
+}
+
+/// Parses and dispatches a full argument vector (without the binary
+/// name); the entry point used by the `dkcore` binary.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any failure.
+pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut algorithm = "bz".to_string();
+    let mut shells = false;
+    let mut hosts = 0usize;
+    let mut policy = "p2p".to_string();
+    let mut mode = "random".to_string();
+    let mut reps = 1u32;
+    let mut seed = 42u64;
+    let mut nodes = 0usize;
+    let mut out_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::new(format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--algorithm" => algorithm = value("--algorithm")?,
+            "--shells" => shells = true,
+            "--hosts" => {
+                hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|_| CliError::new("--hosts: expected a number"))?
+            }
+            "--policy" => policy = value("--policy")?,
+            "--mode" => mode = value("--mode")?,
+            "--reps" => {
+                reps = value("--reps")?
+                    .parse()
+                    .map_err(|_| CliError::new("--reps: expected a number"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::new("--seed: expected a number"))?
+            }
+            "--nodes" => {
+                nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| CliError::new("--nodes: expected a number"))?
+            }
+            "--out" => out_path = Some(value("--out")?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::new(format!("unknown flag {flag}")))
+            }
+            plain => positional.push(plain),
+        }
+    }
+
+    let Some((&command, rest)) = positional.split_first() else {
+        return Err(CliError::new(USAGE));
+    };
+    let input = rest.first().copied();
+    let need_input = || input.ok_or_else(|| CliError::new(USAGE));
+
+    // Route output to --out when given.
+    let mut file_out: Box<dyn Write> = match &out_path {
+        Some(p) => Box::new(std::fs::File::create(p)?),
+        None => Box::new(Vec::new()), // placeholder, unused
+    };
+    let use_file = out_path.is_some();
+    let mut sink: &mut dyn Write = if use_file { &mut file_out } else { out };
+
+    match command {
+        "stats" => cmd_stats(need_input()?, seed, &mut sink),
+        "decompose" => cmd_decompose(need_input()?, &algorithm, shells, seed, &mut sink),
+        "simulate" => cmd_simulate(need_input()?, hosts, &policy, &mode, reps, seed, &mut sink),
+        "generate" => {
+            if nodes == 0 {
+                return Err(CliError::new("generate requires --nodes N"));
+            }
+            cmd_generate(need_input()?, nodes, seed, &mut sink)
+        }
+        "list-analogs" => cmd_list_analogs(&mut sink),
+        "help" | "--help" | "-h" => {
+            write!(sink, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::new(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn stats_on_analog() {
+        let text = run(&["stats", "analog:gnutella-like:500"]).unwrap();
+        assert!(text.contains("nodes |V|"));
+        assert!(text.contains("500"));
+        assert!(text.contains("max coreness"));
+    }
+
+    #[test]
+    fn decompose_algorithms_agree() {
+        let input = "analog:amazon-like:400";
+        let bz = run(&["decompose", input, "--algorithm", "bz"]).unwrap();
+        let naive = run(&["decompose", input, "--algorithm", "naive"]).unwrap();
+        let protocol = run(&["decompose", input, "--algorithm", "protocol"]).unwrap();
+        let pregel = run(&["decompose", input, "--algorithm", "pregel"]).unwrap();
+        assert_eq!(bz, naive);
+        assert_eq!(bz, protocol);
+        assert_eq!(bz, pregel);
+        assert!(bz.starts_with("# node\tcoreness\n"));
+    }
+
+    #[test]
+    fn decompose_shells_histogram() {
+        let text = run(&["decompose", "analog:condmat-like:400", "--shells"]).unwrap();
+        assert!(text.contains("k-shell"));
+    }
+
+    #[test]
+    fn simulate_one_to_one_and_hosts() {
+        let text = run(&["simulate", "analog:gnutella-like:300", "--reps", "2"]).unwrap();
+        assert!(text.matches("true").count() == 2, "both reps correct: {text}");
+        let text = run(&[
+            "simulate", "analog:gnutella-like:300", "--hosts", "4",
+            "--policy", "broadcast", "--mode", "sync",
+        ])
+        .unwrap();
+        assert!(text.contains("true"));
+    }
+
+    #[test]
+    fn generate_roundtrips_through_stats() {
+        let dir = std::env::temp_dir().join("dkcore_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.txt");
+        let path_str = path.to_str().unwrap();
+        run(&["generate", "roadnet-like", "--nodes", "400", "--out", path_str]).unwrap();
+        let text = run(&["stats", path_str]).unwrap();
+        assert!(text.contains("edges |E|"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn list_analogs_shows_all_nine() {
+        let text = run(&["list-analogs"]).unwrap();
+        for spec in dkcore_data::catalog() {
+            assert!(text.contains(spec.name), "{} missing", spec.name);
+        }
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus-cmd"]).unwrap_err().to_string().contains("unknown command"));
+        assert!(run(&["stats"]).is_err());
+        assert!(run(&["stats", "analog:nope:100"]).unwrap_err().to_string().contains("unknown analog"));
+        assert!(run(&["decompose", "analog:gnutella-like:100", "--algorithm", "magic"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown algorithm"));
+        assert!(run(&["generate", "roadnet-like"]).unwrap_err().to_string().contains("--nodes"));
+        assert!(run(&["stats", "/no/such/file.txt"]).is_err());
+        assert!(run(&["simulate", "analog:gnutella-like:100", "--mode", "warp"]).is_err());
+        assert!(run(&["stats", "analog:gnutella-like:100", "--seed"]).is_err());
+        assert!(run(&["stats", "analog:gnutella-like:100", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn seed_changes_analog_output_deterministically() {
+        let a1 = run(&["decompose", "analog:gnutella-like:300", "--seed", "1"]).unwrap();
+        let a2 = run(&["decompose", "analog:gnutella-like:300", "--seed", "1"]).unwrap();
+        let b = run(&["decompose", "analog:gnutella-like:300", "--seed", "2"]).unwrap();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+}

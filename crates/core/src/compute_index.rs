@@ -1,0 +1,145 @@
+/// The paper's Algorithm 2: `computeIndex(est, u, k)`.
+///
+/// Returns the largest value `i ≤ k` such that at least `i` of the given
+/// neighbor estimates are `≥ i` — the best coreness upper bound node `u`
+/// can justify from its current knowledge, per the locality theorem
+/// (Theorem 1): *"the coreness of node u is the largest value k such that u
+/// has at least k neighbors that belong to a k-core or a larger core"*.
+///
+/// `k` is the node's current estimate (`core` in Algorithm 1, `est[u]` in
+/// Algorithm 4); values above `k` are clamped since the result can never
+/// exceed it. Estimates still at the `+∞` initialization are passed as
+/// [`crate::INFINITY_EST`] and clamp the same way.
+///
+/// Runs in `O(degree + k)` time and `O(k)` space, exactly like the paper's
+/// counting implementation.
+///
+/// # Example
+///
+/// ```
+/// use dkcore::compute_index;
+///
+/// // A node with current estimate 3 whose neighbors report 2, 2, 3:
+/// // two neighbors have estimate >= 2, so the node can justify 2.
+/// assert_eq!(compute_index([2, 2, 3], 3), 2);
+///
+/// // Three neighbors at >= 3 justify 3.
+/// assert_eq!(compute_index([3, 4, 5], 3), 3);
+/// ```
+pub fn compute_index<I>(neighbor_estimates: I, k: u32) -> u32
+where
+    I: IntoIterator<Item = u32>,
+{
+    if k == 0 {
+        // Isolated node: coreness 0, nothing to count.
+        return 0;
+    }
+    let k = k as usize;
+    // count[i], 1 <= i <= k: number of neighbors with min(k, est) == i.
+    let mut count = vec![0u32; k + 1];
+    let mut any = false;
+    for est in neighbor_estimates {
+        let j = (est as usize).min(k);
+        // est == 0 can only be reported by an isolated node, which has no
+        // neighbors and therefore never sends; guard anyway.
+        count[j] += u32::from(j > 0);
+        any = any || j > 0;
+    }
+    if !any {
+        return 0;
+    }
+    // Suffix-sum: count[i] becomes the number of neighbors with est >= i.
+    for i in (2..=k).rev() {
+        count[i - 1] += count[i];
+    }
+    // Largest i with count[i] >= i.
+    let mut i = k;
+    while i > 1 && count[i] < i as u32 {
+        i -= 1;
+    }
+    i as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INFINITY_EST;
+
+    #[test]
+    fn isolated_node_returns_zero() {
+        assert_eq!(compute_index([], 0), 0);
+        assert_eq!(compute_index([5, 5], 0), 0);
+    }
+
+    #[test]
+    fn no_neighbors_with_positive_cap_returns_zero() {
+        // Degenerate: cap > 0 but no estimates at all.
+        assert_eq!(compute_index([], 3), 0);
+    }
+
+    #[test]
+    fn single_neighbor_gives_one() {
+        assert_eq!(compute_index([1], 1), 1);
+        assert_eq!(compute_index([INFINITY_EST], 1), 1);
+        assert_eq!(compute_index([7], 1), 1);
+    }
+
+    #[test]
+    fn infinity_estimates_clamp_to_cap() {
+        // All-infinite estimates behave like "degree" initialization.
+        assert_eq!(compute_index([INFINITY_EST; 4], 4), 4);
+        assert_eq!(compute_index([INFINITY_EST; 4], 3), 3);
+    }
+
+    #[test]
+    fn paper_figure2_node2_update() {
+        // Node 2 of Figure 2 (degree 3, estimate 3) hears 1 from node 1 and
+        // 3 from nodes 3 and 4: two neighbors at >= 2 justify exactly 2.
+        assert_eq!(compute_index([1, 3, 3], 3), 2);
+    }
+
+    #[test]
+    fn threshold_exactness() {
+        // i neighbors at exactly i.
+        for i in 1..10u32 {
+            let ests: Vec<u32> = vec![i; i as usize];
+            assert_eq!(compute_index(ests.clone(), i), i);
+            // One fewer neighbor: falls to i - 1 (down to 0 when the last
+            // supporting neighbor disappears).
+            let short = &ests[1..];
+            assert_eq!(compute_index(short.iter().copied(), i), i - 1);
+        }
+    }
+
+    #[test]
+    fn cap_clamps_result() {
+        // Plenty of support for 5, but cap is 2.
+        assert_eq!(compute_index([5, 5, 5, 5, 5], 2), 2);
+    }
+
+    #[test]
+    fn mixed_estimates() {
+        // Classic: est = [1, 2, 2, 3], k = 4.
+        // >=1: 4, >=2: 3, >=3: 1, >=4: 0 -> answer 2.
+        assert_eq!(compute_index([1, 2, 2, 3], 4), 2);
+    }
+
+    #[test]
+    fn zero_estimates_are_ignored() {
+        assert_eq!(compute_index([0, 0, 0], 3), 0);
+        assert_eq!(compute_index([0, 2, 2], 3), 2);
+    }
+
+    #[test]
+    fn monotone_in_estimates() {
+        // Raising any single estimate can never lower the result.
+        let base = [1u32, 2, 3, 2];
+        let k = 4;
+        let r0 = compute_index(base, k);
+        for i in 0..base.len() {
+            let mut hi = base;
+            hi[i] += 2;
+            assert!(compute_index(hi, k) >= r0);
+        }
+    }
+}

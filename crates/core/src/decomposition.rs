@@ -1,0 +1,251 @@
+use dkcore_graph::{Graph, NodeId};
+
+use crate::seq::batagelj_zaversnik;
+
+/// The result of a k-core decomposition: the coreness of every node.
+///
+/// Produced either by the sequential baseline ([`CoreDecomposition::compute`])
+/// or from the converged estimates of a distributed run
+/// ([`CoreDecomposition::from_coreness`]). Provides the derived quantities
+/// the paper's evaluation reports: maximum and average coreness (the
+/// `k_max` and `k_avg` columns of Table 1), shell sizes (the `#` column of
+/// Table 2), and k-core subgraph extraction.
+///
+/// # Example
+///
+/// ```
+/// use dkcore::CoreDecomposition;
+/// use dkcore_graph::{generators, NodeId};
+///
+/// let g = generators::complete(4);
+/// let d = CoreDecomposition::compute(&g);
+/// assert_eq!(d.max_coreness(), 3);
+/// assert_eq!(d.avg_coreness(), 3.0);
+/// assert_eq!(d.shell_sizes(), vec![0, 0, 0, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    coreness: Vec<u32>,
+}
+
+impl CoreDecomposition {
+    /// Computes the decomposition of `g` with the Batagelj–Zaveršnik
+    /// sequential algorithm (the paper's reference \[3\]).
+    pub fn compute(g: &Graph) -> Self {
+        CoreDecomposition { coreness: batagelj_zaversnik(g) }
+    }
+
+    /// Wraps an externally computed coreness vector (e.g. the converged
+    /// estimates of a distributed run), indexed by [`NodeId::index`].
+    pub fn from_coreness(coreness: Vec<u32>) -> Self {
+        CoreDecomposition { coreness }
+    }
+
+    /// Coreness of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn coreness(&self, u: NodeId) -> u32 {
+        self.coreness[u.index()]
+    }
+
+    /// All coreness values, indexed by [`NodeId::index`].
+    pub fn values(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// Consumes the decomposition, returning the coreness vector.
+    pub fn into_values(self) -> Vec<u32> {
+        self.coreness
+    }
+
+    /// Number of nodes covered by the decomposition.
+    pub fn len(&self) -> usize {
+        self.coreness.len()
+    }
+
+    /// Whether the decomposition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.coreness.is_empty()
+    }
+
+    /// Largest coreness in the graph (`k_max` of Table 1); 0 for an empty
+    /// graph. Equals the graph's degeneracy.
+    pub fn max_coreness(&self) -> u32 {
+        self.coreness.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean coreness over all nodes (`k_avg` of Table 1); 0.0 for an empty
+    /// graph.
+    pub fn avg_coreness(&self) -> f64 {
+        if self.coreness.is_empty() {
+            0.0
+        } else {
+            self.coreness.iter().map(|&c| c as f64).sum::<f64>() / self.coreness.len() as f64
+        }
+    }
+
+    /// Shell sizes: `sizes[k]` is the number of nodes with coreness exactly
+    /// `k` (the k-shell of the paper's Definition 2). The vector has length
+    /// `max_coreness + 1`.
+    pub fn shell_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.max_coreness() as usize + 1];
+        for &c in &self.coreness {
+            sizes[c as usize] += 1;
+        }
+        if self.coreness.is_empty() {
+            sizes.clear();
+        }
+        sizes
+    }
+
+    /// Node ids of the k-shell: nodes with coreness exactly `k`.
+    pub fn shell(&self, k: u32) -> Vec<NodeId> {
+        self.coreness
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == k)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Membership mask of the k-core: `mask[u]` is `true` iff node `u`
+    /// belongs to the k-core (coreness ≥ k). Cores are concentric: the
+    /// (k+1)-core mask implies the k-core mask.
+    pub fn k_core_mask(&self, k: u32) -> Vec<bool> {
+        self.coreness.iter().map(|&c| c >= k).collect()
+    }
+
+    /// Extracts the k-core of `g` as an induced subgraph, together with the
+    /// mapping from new ids to original ids.
+    ///
+    /// By Definition 1, every node of the returned subgraph has degree
+    /// ≥ `k` within it (checked by the test suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition does not cover exactly the nodes of `g`.
+    pub fn k_core(&self, g: &Graph, k: u32) -> (Graph, Vec<NodeId>) {
+        assert_eq!(
+            g.node_count(),
+            self.coreness.len(),
+            "decomposition does not match graph"
+        );
+        g.induced_subgraph(&self.k_core_mask(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{complete, gnp, path, star};
+
+    #[test]
+    fn compute_matches_manual_values() {
+        let d = CoreDecomposition::compute(&path(4));
+        assert_eq!(d.values(), &[1, 1, 1, 1]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn from_coreness_roundtrip() {
+        let d = CoreDecomposition::from_coreness(vec![1, 2, 3]);
+        assert_eq!(d.coreness(NodeId(2)), 3);
+        assert_eq!(d.into_values(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_decomposition() {
+        let d = CoreDecomposition::from_coreness(Vec::new());
+        assert!(d.is_empty());
+        assert_eq!(d.max_coreness(), 0);
+        assert_eq!(d.avg_coreness(), 0.0);
+        assert!(d.shell_sizes().is_empty());
+    }
+
+    #[test]
+    fn shells_partition_nodes() {
+        let g = gnp(100, 0.06, 2);
+        let d = CoreDecomposition::compute(&g);
+        let total: usize = d.shell_sizes().iter().sum();
+        assert_eq!(total, g.node_count());
+        for k in 0..=d.max_coreness() {
+            let shell = d.shell(k);
+            assert_eq!(shell.len(), d.shell_sizes()[k as usize]);
+            for u in shell {
+                assert_eq!(d.coreness(u), k);
+            }
+        }
+    }
+
+    #[test]
+    fn cores_are_concentric() {
+        // Paper Figure 1: "by definition cores are concentric ... nodes
+        // belonging to the 3-core belong to the 2-core and 1-core as well."
+        let g = gnp(80, 0.1, 7);
+        let d = CoreDecomposition::compute(&g);
+        for k in 1..=d.max_coreness() {
+            let inner = d.k_core_mask(k);
+            let outer = d.k_core_mask(k - 1);
+            for u in 0..inner.len() {
+                assert!(!inner[u] || outer[u], "k-core not nested at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_subgraph_has_min_degree_k() {
+        // Definition 1: within the k-core every node has degree >= k.
+        let g = gnp(120, 0.07, 11);
+        let d = CoreDecomposition::compute(&g);
+        for k in 1..=d.max_coreness() {
+            let (sub, _) = d.k_core(&g, k);
+            for u in sub.nodes() {
+                assert!(sub.degree(u) >= k, "degree {} < k {}", sub.degree(u), k);
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_is_maximal() {
+        // No node outside the k-core could be added: it must have < k
+        // neighbors inside. (Follows from coreness < k, checked directly.)
+        let g = gnp(100, 0.08, 13);
+        let d = CoreDecomposition::compute(&g);
+        for k in 1..=d.max_coreness() {
+            let mask = d.k_core_mask(k);
+            for u in g.nodes() {
+                if !mask[u.index()] {
+                    let inside = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|v| mask[v.index()])
+                        .count();
+                    assert!(inside < k as usize,
+                        "node {u} outside the {k}-core has {inside} neighbors inside");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_style_statistics() {
+        let d = CoreDecomposition::compute(&complete(10));
+        assert_eq!(d.max_coreness(), 9);
+        assert_eq!(d.avg_coreness(), 9.0);
+        let d = CoreDecomposition::compute(&star(11));
+        assert_eq!(d.max_coreness(), 1);
+        assert!((d.avg_coreness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decomposition does not match graph")]
+    fn k_core_size_mismatch_panics() {
+        let d = CoreDecomposition::from_coreness(vec![1, 1]);
+        let g = complete(3);
+        let _ = d.k_core(&g, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Distributed k-core decomposition — a faithful Rust implementation of
+//! *"Distributed k-Core Decomposition"* (Alberto Montresor, Francesco De
+//! Pellegrini, Daniele Miorandi; PODC 2011, arXiv:1103.5320).
+//!
+//! A **k-core** of an undirected graph is the maximal subgraph in which
+//! every node has degree at least `k`; a node's **coreness** is the largest
+//! `k` such that it belongs to the k-core. The paper contributes
+//! distributed algorithms computing the coreness of every node in two
+//! deployment scenarios, both available here:
+//!
+//! * [`one_to_one`] — *one host, one node* (§3.1, Algorithms 1–2): every
+//!   node keeps a coreness estimate, initialized to its degree, and
+//!   repeatedly lowers it by applying the locality theorem to its
+//!   neighbors' estimates, broadcasting changes once per round. Includes
+//!   the §3.1.2 message-suppression optimization.
+//! * [`one_to_many`] — *one host, many nodes* (§3.2, Algorithms 3–5): a
+//!   host responsible for a set of nodes runs the same logic on their
+//!   behalf, cascading estimate changes *internally* until quiescence
+//!   before disseminating them, either on a broadcast medium or with
+//!   per-destination point-to-point messages.
+//! * [`seq`] — sequential baselines: the Batagelj–Zaveršnik `O(m)`
+//!   algorithm (the paper's reference \[3\]) used as ground truth, and a
+//!   naive peeling algorithm for cross-validation.
+//! * [`termination`] — the three termination-detection strategies of §3.3:
+//!   centralized, decentralized epidemic aggregation, and fixed-round.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dkcore::CoreDecomposition;
+//! use dkcore_graph::{Graph, NodeId};
+//!
+//! // A 4-cycle with two pendant nodes: the cycle is the 2-core, the
+//! // pendants have coreness 1.
+//! let g = Graph::from_edges(6, [
+//!     (0, 1),                  // pendant
+//!     (1, 2), (1, 3),
+//!     (2, 3), (2, 4),
+//!     (3, 4),
+//!     (4, 5),                  // pendant
+//! ])?;
+//! let decomp = CoreDecomposition::compute(&g);
+//! assert_eq!(decomp.coreness(NodeId(0)), 1);
+//! assert_eq!(decomp.coreness(NodeId(2)), 2);
+//! assert_eq!(decomp.max_coreness(), 2);
+//! # Ok::<(), dkcore_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute_index;
+mod decomposition;
+
+pub mod dynamic;
+pub mod one_to_many;
+pub mod one_to_one;
+pub mod seq;
+pub mod termination;
+
+pub use compute_index::compute_index;
+pub use decomposition::CoreDecomposition;
+
+/// Estimate value representing the paper's `+∞` initialization: "in the
+/// absence of more precise information, all entries are initialized to +∞".
+pub const INFINITY_EST: u32 = u32::MAX;

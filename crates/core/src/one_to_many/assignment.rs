@@ -1,0 +1,270 @@
+//! Node → host assignment (§3.2.2 of the paper).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dkcore_graph::{Graph, NodeId};
+
+/// Identifier of a host in the distributed system (`H` in the paper's §2).
+///
+/// Hosts are dense integers `0..|H|`, mirroring [`NodeId`] for nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Returns the identifier as a `usize`, for indexing per-host arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostId({})", self.0)
+    }
+}
+
+/// Strategy for distributing nodes over hosts.
+///
+/// The paper (§3.2.2) notes that "it is difficult to identify efficient
+/// heuristics to perform the assignment in the general case" and adopts
+/// `u mod |H|`; the alternatives here exist for the ablation experiment E9
+/// (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum AssignmentPolicy {
+    /// The paper's policy: node `u` goes to host `u mod |H|`.
+    #[default]
+    Modulo,
+    /// Contiguous blocks of `⌈N/|H|⌉` consecutive node ids per host.
+    Block,
+    /// Uniformly random balanced assignment (round-robin over a shuffled
+    /// node order).
+    Random {
+        /// RNG seed for the shuffle.
+        seed: u64,
+    },
+    /// Locality-preserving: nodes in BFS discovery order, cut into
+    /// contiguous blocks — neighbors tend to land on the same host, which
+    /// maximizes the benefit of internal emulation.
+    BfsBlocks,
+}
+
+/// An immutable node → host map together with its inverse.
+///
+/// # Example
+///
+/// ```
+/// use dkcore::one_to_many::{Assignment, AssignmentPolicy, HostId};
+/// use dkcore_graph::{generators::path, NodeId};
+///
+/// let a = Assignment::new(&path(5), 2, &AssignmentPolicy::Modulo);
+/// assert_eq!(a.host_count(), 2);
+/// assert_eq!(a.host_of(NodeId(4)), HostId(0));
+/// assert_eq!(a.nodes_of(HostId(1)), &[NodeId(1), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    host_of: Vec<HostId>,
+    nodes_of: Vec<Vec<NodeId>>,
+}
+
+impl Assignment {
+    /// Assigns the nodes of `g` to `host_count` hosts under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_count == 0`.
+    pub fn new(g: &Graph, host_count: usize, policy: &AssignmentPolicy) -> Self {
+        assert!(host_count > 0, "need at least one host");
+        let n = g.node_count();
+        let mut host_of = vec![HostId(0); n];
+        match policy {
+            AssignmentPolicy::Modulo => {
+                for u in 0..n {
+                    host_of[u] = HostId((u % host_count) as u32);
+                }
+            }
+            AssignmentPolicy::Block => {
+                let chunk = n.div_ceil(host_count).max(1);
+                for u in 0..n {
+                    host_of[u] = HostId((u / chunk) as u32);
+                }
+            }
+            AssignmentPolicy::Random { seed } => {
+                use rand::prelude::*;
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                order.shuffle(&mut rng);
+                for (rank, &u) in order.iter().enumerate() {
+                    host_of[u] = HostId((rank % host_count) as u32);
+                }
+            }
+            AssignmentPolicy::BfsBlocks => {
+                let chunk = n.div_ceil(host_count).max(1);
+                let mut rank = 0usize;
+                let mut seen = vec![false; n];
+                let mut queue = VecDeque::new();
+                for start in 0..n {
+                    if seen[start] {
+                        continue;
+                    }
+                    seen[start] = true;
+                    queue.push_back(NodeId(start as u32));
+                    while let Some(u) = queue.pop_front() {
+                        host_of[u.index()] = HostId((rank / chunk) as u32);
+                        rank += 1;
+                        for &v in g.neighbors(u) {
+                            if !seen[v.index()] {
+                                seen[v.index()] = true;
+                                queue.push_back(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut nodes_of = vec![Vec::new(); host_count];
+        for u in 0..n {
+            nodes_of[host_of[u].index()].push(NodeId(u as u32));
+        }
+        Assignment { host_of, nodes_of }
+    }
+
+    /// Number of hosts `|H|`.
+    pub fn host_count(&self) -> usize {
+        self.nodes_of.len()
+    }
+
+    /// Number of nodes assigned in total.
+    pub fn node_count(&self) -> usize {
+        self.host_of.len()
+    }
+
+    /// The host responsible for node `u` (`h(u)` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn host_of(&self, u: NodeId) -> HostId {
+        self.host_of[u.index()]
+    }
+
+    /// The nodes a host is responsible for (`V(x)` in the paper), sorted
+    /// by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn nodes_of(&self, h: HostId) -> &[NodeId] {
+        &self.nodes_of[h.index()]
+    }
+
+    /// Iterator over all host identifiers.
+    pub fn hosts(&self) -> impl ExactSizeIterator<Item = HostId> + use<> {
+        (0..self.nodes_of.len() as u32).map(HostId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{gnp, grid, path};
+
+    fn check_partition(a: &Assignment, n: usize) {
+        // Every node appears on exactly one host.
+        let mut seen = vec![false; n];
+        for h in a.hosts() {
+            for &u in a.nodes_of(h) {
+                assert!(!seen[u.index()], "node {u} assigned twice");
+                seen[u.index()] = true;
+                assert_eq!(a.host_of(u), h);
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "some node unassigned");
+    }
+
+    #[test]
+    fn modulo_matches_paper_formula() {
+        let g = path(10);
+        let a = Assignment::new(&g, 3, &AssignmentPolicy::Modulo);
+        for u in 0..10u32 {
+            assert_eq!(a.host_of(NodeId(u)), HostId(u % 3));
+        }
+        check_partition(&a, 10);
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let g = path(10);
+        let a = Assignment::new(&g, 3, &AssignmentPolicy::Block);
+        assert_eq!(a.nodes_of(HostId(0)), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(a.nodes_of(HostId(2)), &[NodeId(8), NodeId(9)]);
+        check_partition(&a, 10);
+    }
+
+    #[test]
+    fn random_is_balanced_and_deterministic() {
+        let g = gnp(100, 0.05, 1);
+        let a = Assignment::new(&g, 7, &AssignmentPolicy::Random { seed: 5 });
+        let b = Assignment::new(&g, 7, &AssignmentPolicy::Random { seed: 5 });
+        assert_eq!(a, b);
+        check_partition(&a, 100);
+        for h in a.hosts() {
+            let size = a.nodes_of(h).len();
+            assert!((14..=15).contains(&size), "unbalanced host size {size}");
+        }
+    }
+
+    #[test]
+    fn bfs_blocks_cover_all_nodes_even_disconnected() {
+        let g = dkcore_graph::Graph::from_edges(7, [(0, 1), (1, 2), (4, 5)]).unwrap();
+        let a = Assignment::new(&g, 3, &AssignmentPolicy::BfsBlocks);
+        check_partition(&a, 7);
+    }
+
+    #[test]
+    fn bfs_blocks_preserve_locality_on_grids() {
+        // On a grid, BFS blocks should cut far fewer edges than modulo.
+        let g = grid(12, 12);
+        let cut = |a: &Assignment| {
+            g.edges()
+                .filter(|&(u, v)| a.host_of(u) != a.host_of(v))
+                .count()
+        };
+        let bfs = Assignment::new(&g, 4, &AssignmentPolicy::BfsBlocks);
+        let modulo = Assignment::new(&g, 4, &AssignmentPolicy::Modulo);
+        assert!(cut(&bfs) < cut(&modulo) / 2,
+            "bfs cut {} should be far below modulo cut {}", cut(&bfs), cut(&modulo));
+    }
+
+    #[test]
+    fn single_host_owns_everything() {
+        let g = path(5);
+        let a = Assignment::new(&g, 1, &AssignmentPolicy::Modulo);
+        assert_eq!(a.nodes_of(HostId(0)).len(), 5);
+        check_partition(&a, 5);
+    }
+
+    #[test]
+    fn more_hosts_than_nodes_leaves_empty_hosts() {
+        let g = path(3);
+        let a = Assignment::new(&g, 5, &AssignmentPolicy::Modulo);
+        check_partition(&a, 3);
+        assert!(a.nodes_of(HostId(4)).is_empty());
+        assert_eq!(a.host_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_panics() {
+        let _ = Assignment::new(&path(3), 0, &AssignmentPolicy::Modulo);
+    }
+}

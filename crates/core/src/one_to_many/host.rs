@@ -1,0 +1,775 @@
+//! Per-host state machine of Algorithms 3–5.
+
+use std::collections::VecDeque;
+
+use dkcore_graph::{Graph, NodeId};
+
+use super::{Assignment, DisseminationPolicy, HostId};
+use crate::{compute_index, INFINITY_EST};
+
+/// How the internal emulation of Algorithm 4 (`improveEstimate`) is
+/// executed. All modes converge to the same estimates; they differ in how
+/// much work happens per message and how many rounds the system needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmulationMode {
+    /// Worklist-driven cascade to fixpoint: only nodes whose inputs changed
+    /// are recomputed. Semantically identical to [`Sweep`](Self::Sweep)
+    /// with better complexity; the default.
+    #[default]
+    Worklist,
+    /// The paper's literal Algorithm 4: repeated full sweeps over `V(x)`
+    /// until no estimate changes.
+    Sweep,
+    /// Ablation: **no** intra-round cascade. Each receive triggers a single
+    /// recomputation pass, and internal consequences propagate one step per
+    /// round (as if local nodes messaged each other through the round
+    /// loop). Quantifies the value of internal emulation (experiment E8/E9
+    /// companion; see `DESIGN.md`).
+    PerRound,
+}
+
+/// Configuration for the one-to-many host protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OneToManyConfig {
+    /// Dissemination policy used by flushes (§3.2.1).
+    pub policy: DisseminationPolicy,
+    /// Internal-emulation strategy (Algorithm 4).
+    pub emulation: EmulationMode,
+}
+
+/// Addressee of an outgoing host message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Every host hears the message (broadcast medium, Algorithm 3).
+    AllHosts,
+    /// A single host (point-to-point, Algorithm 5).
+    Host(HostId),
+}
+
+/// An outgoing estimate-update message `⟨S⟩`: a set of `(node, estimate)`
+/// pairs addressed to [`Destination`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Where the message is headed.
+    pub dest: Destination,
+    /// The changed estimates being announced.
+    pub pairs: Vec<(NodeId, u32)>,
+}
+
+/// Per-host state machine of Algorithm 3 (with Algorithm 4's
+/// `improveEstimate` and Algorithm 5's point-to-point variant).
+///
+/// The host stores estimates for `V(x) ∪ neighborV(x)` in a single array
+/// (the paper: "we store all their estimates in `est[]` instead of having a
+/// separate array `core[]`"), keeps a `changed` flag per local node, and
+/// exposes the same receive/flush lifecycle as the one-to-one
+/// [`NodeProtocol`](crate::one_to_one::NodeProtocol).
+///
+/// # Example
+///
+/// ```
+/// use dkcore::one_to_many::{Assignment, AssignmentPolicy, HostId, HostProtocol,
+///     OneToManyConfig};
+/// use dkcore_graph::{generators::complete, NodeId};
+///
+/// let g = complete(4);
+/// let a = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+/// let mut host = HostProtocol::new(&g, &a, HostId(0), OneToManyConfig::default());
+/// // Estimates start at the local degrees (3 in K4).
+/// assert_eq!(host.estimate_of(NodeId(0)), Some(3));
+/// let initial = host.initial_flush();
+/// assert!(!initial.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostProtocol {
+    host: HostId,
+    config: OneToManyConfig,
+    /// `V(x)`, sorted by node id. Slot `i` of `est`/`changed` is `locals[i]`.
+    locals: Vec<NodeId>,
+    /// External neighbors (`neighborV(x) \ V(x)`), sorted. Slot
+    /// `locals.len() + j` of `est` is `ext[j]`.
+    ext: Vec<NodeId>,
+    /// Estimates for `V(x) ∪ neighborV(x)`.
+    est: Vec<u32>,
+    /// Changed-since-last-flush flags, parallel to `locals`.
+    changed: Vec<bool>,
+    /// Adjacency of local nodes in slot space.
+    adj: Vec<Box<[u32]>>,
+    /// Reverse adjacency: for each slot, the local indices adjacent to it.
+    rev: Vec<Box<[u32]>>,
+    /// Neighbor hosts (`neighborH(x)`), sorted.
+    neighbor_hosts: Vec<HostId>,
+    /// For each neighbor host (parallel to `neighbor_hosts`): sorted local
+    /// indices having at least one neighbor owned by that host.
+    border: Vec<Box<[u32]>>,
+    /// Slots whose estimate dropped since the last emulation pass
+    /// (only used by [`EmulationMode::PerRound`]).
+    dirty: Vec<u32>,
+    /// Total `(node, estimate)` pairs sent — the paper's Figure 5
+    /// "overhead (estimates sent)" numerator.
+    estimates_sent: u64,
+    /// Total `⟨S⟩` messages sent.
+    messages_sent: u64,
+}
+
+impl HostProtocol {
+    /// Builds the state for `host` from the graph and assignment, running
+    /// the initialization of Algorithm 3 (`est[u] ← d(u)` for locals, `+∞`
+    /// for external neighbors, then `improveEstimate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range for `assignment`.
+    pub fn new(
+        g: &Graph,
+        assignment: &Assignment,
+        host: HostId,
+        config: OneToManyConfig,
+    ) -> Self {
+        let locals: Vec<NodeId> = assignment.nodes_of(host).to_vec();
+        debug_assert!(locals.windows(2).all(|w| w[0] < w[1]));
+
+        // Collect external neighbors and neighbor hosts.
+        let mut ext: Vec<NodeId> = Vec::new();
+        let mut neighbor_hosts: Vec<HostId> = Vec::new();
+        for &u in &locals {
+            for &v in g.neighbors(u) {
+                let h = assignment.host_of(v);
+                if h != host {
+                    ext.push(v);
+                    neighbor_hosts.push(h);
+                }
+            }
+        }
+        ext.sort_unstable();
+        ext.dedup();
+        neighbor_hosts.sort_unstable();
+        neighbor_hosts.dedup();
+
+        let slot_of = |v: NodeId| -> u32 {
+            match locals.binary_search(&v) {
+                Ok(i) => i as u32,
+                Err(_) => {
+                    let j = ext.binary_search(&v).expect("neighbor must be local or ext");
+                    (locals.len() + j) as u32
+                }
+            }
+        };
+
+        // Adjacency in slot space + reverse adjacency.
+        let slot_count = locals.len() + ext.len();
+        let mut adj: Vec<Box<[u32]>> = Vec::with_capacity(locals.len());
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); slot_count];
+        for (i, &u) in locals.iter().enumerate() {
+            let slots: Vec<u32> = g.neighbors(u).iter().map(|&v| slot_of(v)).collect();
+            for &s in &slots {
+                rev[s as usize].push(i as u32);
+            }
+            adj.push(slots.into_boxed_slice());
+        }
+
+        // Border lists per neighbor host.
+        let mut border: Vec<Vec<u32>> = vec![Vec::new(); neighbor_hosts.len()];
+        for (i, &u) in locals.iter().enumerate() {
+            let mut hosts_of_u: Vec<HostId> = g
+                .neighbors(u)
+                .iter()
+                .map(|&v| assignment.host_of(v))
+                .filter(|&h| h != host)
+                .collect();
+            hosts_of_u.sort_unstable();
+            hosts_of_u.dedup();
+            for h in hosts_of_u {
+                let j = neighbor_hosts.binary_search(&h).expect("known neighbor host");
+                border[j].push(i as u32);
+            }
+        }
+
+        // Estimates: locals start at their degree, externals at +∞.
+        let mut est = vec![INFINITY_EST; slot_count];
+        for (i, &u) in locals.iter().enumerate() {
+            est[i] = g.degree(u);
+        }
+
+        let mut this = HostProtocol {
+            host,
+            config,
+            changed: vec![false; locals.len()],
+            locals,
+            ext,
+            est,
+            adj,
+            rev: rev.into_iter().map(Vec::into_boxed_slice).collect(),
+            neighbor_hosts,
+            border: border.into_iter().map(Vec::into_boxed_slice).collect(),
+            dirty: Vec::new(),
+            estimates_sent: 0,
+            messages_sent: 0,
+        };
+        // Algorithm 3 initialization ends with improveEstimate(est): local
+        // degrees already constrain each other before anything is sent.
+        let all: Vec<u32> = (0..this.locals.len() as u32).collect();
+        this.emulate(&all);
+        this
+    }
+
+    /// Builds the protocol state of every host in the assignment.
+    pub fn for_assignment(
+        g: &Graph,
+        assignment: &Assignment,
+        config: OneToManyConfig,
+    ) -> Vec<HostProtocol> {
+        assignment
+            .hosts()
+            .map(|h| HostProtocol::new(g, assignment, h, config))
+            .collect()
+    }
+
+    /// This host's identifier.
+    pub fn id(&self) -> HostId {
+        self.host
+    }
+
+    /// The nodes this host is responsible for (`V(x)`), sorted.
+    pub fn local_nodes(&self) -> &[NodeId] {
+        &self.locals
+    }
+
+    /// The hosts owning at least one neighbor of a local node
+    /// (`neighborH(x)`), sorted.
+    pub fn neighbor_hosts(&self) -> &[HostId] {
+        &self.neighbor_hosts
+    }
+
+    /// The current estimate this host holds for `v`, local or external;
+    /// `None` if `v` is unknown here.
+    pub fn estimate_of(&self, v: NodeId) -> Option<u32> {
+        self.slot(v).map(|s| self.est[s as usize])
+    }
+
+    /// Iterator over `(node, current estimate)` for the local nodes.
+    pub fn local_estimates(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.locals.iter().enumerate().map(|(i, &u)| (u, self.est[i]))
+    }
+
+    /// Whether any local estimate changed since the last flush.
+    pub fn has_pending_changes(&self) -> bool {
+        self.changed.iter().any(|&c| c)
+    }
+
+    /// Total `(node, estimate)` pairs sent so far — the numerator of the
+    /// paper's Figure 5 overhead metric ("the average number of times a
+    /// node generates a new estimate that has to be sent to another host").
+    pub fn estimates_sent(&self) -> u64 {
+        self.estimates_sent
+    }
+
+    /// Total `⟨S⟩` messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    fn slot(&self, v: NodeId) -> Option<u32> {
+        match self.locals.binary_search(&v) {
+            Ok(i) => Some(i as u32),
+            Err(_) => self
+                .ext
+                .binary_search(&v)
+                .ok()
+                .map(|j| (self.locals.len() + j) as u32),
+        }
+    }
+
+    /// Recomputes local node `i`'s estimate; returns `true` if it dropped.
+    fn recompute(&mut self, i: u32) -> bool {
+        let cur = self.est[i as usize];
+        let t = compute_index(
+            self.adj[i as usize].iter().map(|&s| self.est[s as usize]),
+            cur,
+        );
+        if t < cur {
+            self.est[i as usize] = t;
+            self.changed[i as usize] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Algorithm 4, in the configured [`EmulationMode`], seeded by the
+    /// slots whose estimates just dropped.
+    fn emulate(&mut self, dropped_slots: &[u32]) {
+        match self.config.emulation {
+            EmulationMode::Worklist => {
+                let mut queue: VecDeque<u32> = VecDeque::new();
+                let mut queued = vec![false; self.locals.len()];
+                for &s in dropped_slots {
+                    for idx in 0..self.rev[s as usize].len() {
+                        let l = self.rev[s as usize][idx];
+                        if !queued[l as usize] {
+                            queued[l as usize] = true;
+                            queue.push_back(l);
+                        }
+                    }
+                }
+                while let Some(l) = queue.pop_front() {
+                    queued[l as usize] = false;
+                    if self.recompute(l) {
+                        for idx in 0..self.rev[l as usize].len() {
+                            let nb = self.rev[l as usize][idx];
+                            if !queued[nb as usize] {
+                                queued[nb as usize] = true;
+                                queue.push_back(nb);
+                            }
+                        }
+                    }
+                }
+            }
+            EmulationMode::Sweep => {
+                // The paper's literal loop: full passes until quiescence.
+                let mut again = true;
+                while again {
+                    again = false;
+                    for l in 0..self.locals.len() as u32 {
+                        if self.recompute(l) {
+                            again = true;
+                        }
+                    }
+                }
+            }
+            EmulationMode::PerRound => {
+                // One propagation step only: recompute the locals adjacent
+                // to the dropped slots, once. Remember newly dropped local
+                // slots so the *next* round can continue the cascade.
+                let mut affected: Vec<u32> = Vec::new();
+                for &s in dropped_slots {
+                    affected.extend_from_slice(&self.rev[s as usize]);
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for l in affected {
+                    if self.recompute(l) {
+                        self.dirty.push(l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The initialization message of Algorithm 3:
+    /// `S ← {(u, est[u]) : u ∈ V(x)}; send ⟨S⟩ to neighborH(x)`.
+    ///
+    /// In point-to-point mode the set is filtered per destination to the
+    /// border nodes that destination cares about, per Algorithm 5.
+    pub fn initial_flush(&mut self) -> Vec<Outgoing> {
+        let out = match self.config.policy {
+            DisseminationPolicy::Broadcast => {
+                if self.locals.is_empty() || self.neighbor_hosts.is_empty() {
+                    Vec::new()
+                } else {
+                    let pairs: Vec<(NodeId, u32)> = self
+                        .locals
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &u)| (u, self.est[i]))
+                        .collect();
+                    self.estimates_sent += pairs.len() as u64;
+                    self.messages_sent += 1;
+                    vec![Outgoing { dest: Destination::AllHosts, pairs }]
+                }
+            }
+            DisseminationPolicy::PointToPoint => {
+                let mut out = Vec::new();
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    let pairs: Vec<(NodeId, u32)> = self.border[j]
+                        .iter()
+                        .map(|&i| (self.locals[i as usize], self.est[i as usize]))
+                        .collect();
+                    if !pairs.is_empty() {
+                        self.estimates_sent += pairs.len() as u64;
+                        self.messages_sent += 1;
+                        out.push(Outgoing { dest: Destination::Host(y), pairs });
+                    }
+                }
+                out
+            }
+        };
+        // Everything below the initial values has just been announced;
+        // clear the flags set by the constructor's improveEstimate...
+        //
+        // ...except in PerRound mode, where the constructor's single pass
+        // may still have pending internal propagation: keep those flags so
+        // the cascade continues through subsequent rounds.
+        if self.config.emulation != EmulationMode::PerRound {
+            self.changed.iter_mut().for_each(|c| *c = false);
+        }
+        out
+    }
+
+    /// Handles an incoming `⟨S⟩` message: `foreach (v, k) ∈ S: if k <
+    /// est[v] then est[v] ← k`, followed by `improveEstimate(est)`.
+    ///
+    /// Pairs about nodes this host does not know (possible on a broadcast
+    /// medium) are ignored.
+    pub fn receive(&mut self, pairs: &[(NodeId, u32)]) {
+        let mut dropped: Vec<u32> = Vec::new();
+        for &(v, k) in pairs {
+            if let Some(s) = self.slot(v) {
+                if k < self.est[s as usize] {
+                    self.est[s as usize] = k;
+                    // A local estimate lowered from outside must be
+                    // re-announced too.
+                    if (s as usize) < self.locals.len() {
+                        self.changed[s as usize] = true;
+                    }
+                    dropped.push(s);
+                }
+            }
+        }
+        if !dropped.is_empty() {
+            self.emulate(&dropped);
+        }
+    }
+
+    /// The periodic block of Algorithms 3/5: collect the changed local
+    /// estimates, clear the flags, and produce the outgoing messages for
+    /// the configured policy. Returns an empty vector when quiescent.
+    pub fn round_flush(&mut self) -> Vec<Outgoing> {
+        let changed_locals: Vec<u32> = (0..self.locals.len() as u32)
+            .filter(|&i| self.changed[i as usize])
+            .collect();
+        if changed_locals.is_empty() {
+            return Vec::new();
+        }
+        for &i in &changed_locals {
+            self.changed[i as usize] = false;
+        }
+        let out = match self.config.policy {
+            DisseminationPolicy::Broadcast => {
+                let pairs: Vec<(NodeId, u32)> = changed_locals
+                    .iter()
+                    .map(|&i| (self.locals[i as usize], self.est[i as usize]))
+                    .collect();
+                self.estimates_sent += pairs.len() as u64;
+                self.messages_sent += 1;
+                vec![Outgoing { dest: Destination::AllHosts, pairs }]
+            }
+            DisseminationPolicy::PointToPoint => {
+                let mut out = Vec::new();
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    // Intersect sorted border[j] with changed_locals.
+                    let pairs: Vec<(NodeId, u32)> = intersect_sorted(
+                        &self.border[j],
+                        &changed_locals,
+                    )
+                    .map(|i| (self.locals[i as usize], self.est[i as usize]))
+                    .collect();
+                    if !pairs.is_empty() {
+                        self.estimates_sent += pairs.len() as u64;
+                        self.messages_sent += 1;
+                        out.push(Outgoing { dest: Destination::Host(y), pairs });
+                    }
+                }
+                out
+            }
+        };
+        // PerRound ablation: propagate the just-flushed changes one more
+        // internal step, setting up the next round.
+        if self.config.emulation == EmulationMode::PerRound {
+            let dropped = std::mem::take(&mut self.dirty);
+            // The flushed locals themselves are the sources.
+            let mut sources = changed_locals;
+            sources.extend(dropped);
+            sources.sort_unstable();
+            sources.dedup();
+            self.emulate(&sources);
+        }
+        out
+    }
+}
+
+/// Iterator over values present in both sorted `u32` slices.
+fn intersect_sorted<'a>(a: &'a [u32], b: &'a [u32]) -> impl Iterator<Item = u32> + 'a {
+    let mut i = 0;
+    let mut j = 0;
+    std::iter::from_fn(move || {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = a[i];
+                    i += 1;
+                    j += 1;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_to_many::AssignmentPolicy;
+    use crate::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+    use dkcore_graph::Graph;
+
+    /// Synchronous driver for host protocols, used only by these tests;
+    /// the real engine lives in `dkcore-sim`.
+    fn run_hosts(g: &Graph, hosts: usize, config: OneToManyConfig) -> (Vec<u32>, u32, u64) {
+        run_hosts_with(g, hosts, config, &AssignmentPolicy::Modulo)
+    }
+
+    fn run_hosts_with(
+        g: &Graph,
+        hosts: usize,
+        config: OneToManyConfig,
+        policy: &AssignmentPolicy,
+    ) -> (Vec<u32>, u32, u64) {
+        let assignment = Assignment::new(g, hosts, policy);
+        let mut protos = HostProtocol::for_assignment(g, &assignment, config);
+        let mut inboxes: Vec<Vec<Vec<(NodeId, u32)>>> = vec![Vec::new(); hosts];
+        let deliver = |msgs: Vec<Outgoing>,
+                           from: usize,
+                           inboxes: &mut Vec<Vec<Vec<(NodeId, u32)>>>| {
+            for m in msgs {
+                match m.dest {
+                    Destination::AllHosts => {
+                        for h in 0..hosts {
+                            if h != from {
+                                inboxes[h].push(m.pairs.clone());
+                            }
+                        }
+                    }
+                    Destination::Host(y) => inboxes[y.index()].push(m.pairs.clone()),
+                }
+            }
+        };
+        let mut rounds = 0u32;
+        let mut any = false;
+        for h in 0..hosts {
+            let msgs = protos[h].initial_flush();
+            any = any || !msgs.is_empty();
+            deliver(msgs, h, &mut inboxes);
+        }
+        if any {
+            rounds += 1;
+        }
+        loop {
+            for h in 0..hosts {
+                let batches = std::mem::take(&mut inboxes[h]);
+                for pairs in batches {
+                    protos[h].receive(&pairs);
+                }
+            }
+            let mut active = false;
+            for h in 0..hosts {
+                let msgs = protos[h].round_flush();
+                active = active || !msgs.is_empty();
+                deliver(msgs, h, &mut inboxes);
+            }
+            if !active {
+                break;
+            }
+            rounds += 1;
+        }
+        let mut cores = vec![0u32; g.node_count()];
+        let mut estimates = 0u64;
+        for p in &protos {
+            for (u, e) in p.local_estimates() {
+                cores[u.index()] = e;
+            }
+            estimates += p.estimates_sent();
+        }
+        (cores, rounds, estimates)
+    }
+
+    #[test]
+    fn construction_slots_and_borders() {
+        // Path 0-1-2-3-4-5, 2 hosts mod 2: host 0 owns {0,2,4}.
+        let g = path(6);
+        let a = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+        let h0 = HostProtocol::new(&g, &a, HostId(0), OneToManyConfig::default());
+        assert_eq!(h0.local_nodes(), &[NodeId(0), NodeId(2), NodeId(4)]);
+        assert_eq!(h0.neighbor_hosts(), &[HostId(1)]);
+        // Ext neighbors of {0,2,4} are {1,3,5}.
+        assert_eq!(h0.estimate_of(NodeId(1)), Some(INFINITY_EST));
+        assert_eq!(h0.estimate_of(NodeId(3)), Some(INFINITY_EST));
+        assert_eq!(h0.estimate_of(NodeId(42)), None);
+    }
+
+    #[test]
+    fn initialization_runs_improve_estimate() {
+        // Host owning an entire triangle + pendant: internal emulation at
+        // init should already settle the pendant effect.
+        // Graph: triangle 0-2-4 plus pendant 6 on 0 — all on host 0 (mod 2).
+        let g = Graph::from_edges(8, [(0, 2), (2, 4), (4, 0), (0, 6)]).unwrap();
+        let a = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+        let h0 = HostProtocol::new(&g, &a, HostId(0), OneToManyConfig::default());
+        // Node 0 has degree 3 but compute_index over (2:2, 4:2, 6:1) gives 2
+        // immediately at init.
+        assert_eq!(h0.estimate_of(NodeId(0)), Some(2));
+        assert_eq!(h0.estimate_of(NodeId(6)), Some(1));
+    }
+
+    #[test]
+    fn single_host_computes_everything_locally() {
+        let g = gnp(60, 0.08, 4);
+        let (cores, rounds, estimates) = run_hosts(&g, 1, OneToManyConfig::default());
+        assert_eq!(cores, batagelj_zaversnik(&g));
+        // One host, no neighbors: initialization already settles all and
+        // nothing is ever sent.
+        assert_eq!(rounds, 0);
+        assert_eq!(estimates, 0);
+    }
+
+    #[test]
+    fn converges_to_bz_broadcast() {
+        for hosts in [2, 3, 7] {
+            for seed in 0..4 {
+                let g = gnp(50, 0.1, seed);
+                let cfg = OneToManyConfig {
+                    policy: DisseminationPolicy::Broadcast,
+                    emulation: EmulationMode::Worklist,
+                };
+                let (cores, _, _) = run_hosts(&g, hosts, cfg);
+                assert_eq!(cores, batagelj_zaversnik(&g), "hosts {hosts} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_bz_point_to_point() {
+        for hosts in [2, 5, 16] {
+            for seed in 0..4 {
+                let g = gnp(50, 0.1, seed + 10);
+                let cfg = OneToManyConfig {
+                    policy: DisseminationPolicy::PointToPoint,
+                    emulation: EmulationMode::Worklist,
+                };
+                let (cores, _, _) = run_hosts(&g, hosts, cfg);
+                assert_eq!(cores, batagelj_zaversnik(&g), "hosts {hosts} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_emulation_modes_agree() {
+        let g = gnp(40, 0.12, 21);
+        let truth = batagelj_zaversnik(&g);
+        for emulation in [EmulationMode::Worklist, EmulationMode::Sweep, EmulationMode::PerRound] {
+            for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+                let cfg = OneToManyConfig { policy, emulation };
+                let (cores, _, _) = run_hosts(&g, 4, cfg);
+                assert_eq!(cores, truth, "{emulation:?}/{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_round_needs_more_rounds_than_worklist() {
+        // The internal-emulation ablation: without intra-round cascades a
+        // long path assigned to few hosts converges much more slowly.
+        let g = path(40);
+        let worklist = OneToManyConfig {
+            policy: DisseminationPolicy::PointToPoint,
+            emulation: EmulationMode::Worklist,
+        };
+        let per_round = OneToManyConfig {
+            policy: DisseminationPolicy::PointToPoint,
+            emulation: EmulationMode::PerRound,
+        };
+        // Block assignment gives each host a contiguous half of the path,
+        // so internal emulation has real intra-host work to shortcut.
+        let (_, r_fast, _) = run_hosts_with(&g, 2, worklist, &AssignmentPolicy::Block);
+        let (_, r_slow, _) = run_hosts_with(&g, 2, per_round, &AssignmentPolicy::Block);
+        assert!(r_slow > r_fast, "per-round {r_slow} vs worklist {r_fast}");
+    }
+
+    #[test]
+    fn one_host_per_node_equals_one_to_one_semantics() {
+        // H == N: the one-to-many protocol degenerates to one-to-one
+        // (paper §1: the one-to-one scenario is the special case).
+        let g = gnp(30, 0.15, 2);
+        let (cores, _, _) = run_hosts(&g, 30, OneToManyConfig::default());
+        assert_eq!(cores, batagelj_zaversnik(&g));
+    }
+
+    #[test]
+    fn broadcast_overhead_is_low() {
+        // §5.2: with a broadcast medium "the average number of estimates
+        // sent per node is extremely low, always smaller than 3". Our
+        // accounting includes the initial announcements (1 per node), so
+        // allow a small margin above 3 in this unit check; the figure5
+        // bench reports the per-dataset values.
+        let g = gnp(100, 0.08, 6);
+        let cfg = OneToManyConfig {
+            policy: DisseminationPolicy::Broadcast,
+            emulation: EmulationMode::Worklist,
+        };
+        let (_, _, estimates) = run_hosts(&g, 8, cfg);
+        let per_node = estimates as f64 / g.node_count() as f64;
+        assert!(per_node < 3.5, "broadcast overhead per node = {per_node}");
+    }
+
+    #[test]
+    fn p2p_overhead_grows_with_hosts() {
+        let g = gnp(100, 0.08, 6);
+        let cfg = OneToManyConfig {
+            policy: DisseminationPolicy::PointToPoint,
+            emulation: EmulationMode::Worklist,
+        };
+        let (_, _, est_few) = run_hosts(&g, 2, cfg);
+        let (_, _, est_many) = run_hosts(&g, 64, cfg);
+        assert!(est_many > est_few,
+            "p2p estimates should grow with host count: {est_few} -> {est_many}");
+    }
+
+    #[test]
+    fn worst_case_and_stars_converge() {
+        for (name, g) in [
+            ("worst_case", worst_case(15)),
+            ("star", star(20)),
+            ("complete", complete(10)),
+        ] {
+            let (cores, _, _) = run_hosts(&g, 4, OneToManyConfig::default());
+            assert_eq!(cores, batagelj_zaversnik(&g), "{name}");
+        }
+    }
+
+    #[test]
+    fn receive_ignores_unknown_nodes_and_stale_values() {
+        let g = path(6);
+        let a = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+        let mut h0 = HostProtocol::new(&g, &a, HostId(0), OneToManyConfig::default());
+        let before: Vec<u32> = h0.local_estimates().map(|(_, e)| e).collect();
+        // Node 5 is ext (neighbor of 4); node 3 is ext; but a node from a
+        // disconnected region would be unknown — simulate with large id.
+        h0.receive(&[(NodeId(3), 10)]); // stale: 10 > current everything
+        let after: Vec<u32> = h0.local_estimates().map(|(_, e)| e).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [2u32, 3, 4, 7, 10];
+        let got: Vec<u32> = intersect_sorted(&a, &b).collect();
+        assert_eq!(got, vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &b).count(), 0);
+        assert_eq!(intersect_sorted(&a, &a).count(), a.len());
+    }
+
+    #[test]
+    fn empty_host_is_silent() {
+        let g = path(3);
+        let a = Assignment::new(&g, 5, &AssignmentPolicy::Modulo);
+        let mut h4 = HostProtocol::new(&g, &a, HostId(4), OneToManyConfig::default());
+        assert!(h4.initial_flush().is_empty());
+        assert!(h4.round_flush().is_empty());
+        assert!(!h4.has_pending_changes());
+    }
+}

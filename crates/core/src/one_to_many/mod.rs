@@ -1,0 +1,58 @@
+//! The *one host, multiple nodes* protocol (§3.2 of the paper,
+//! Algorithms 3–5).
+//!
+//! A host `x` is responsible for a set of nodes `V(x)` (the
+//! [`Assignment`]); it stores estimates for `V(x) ∪ neighborV(x)` and runs
+//! the one-to-one logic on behalf of its nodes. The crucial optimization is
+//! *internal emulation* (Algorithm 4, `improveEstimate`): whenever new
+//! estimates arrive, the host cascades their consequences among its own
+//! nodes until quiescence **before** sending anything, so intra-host
+//! propagation costs zero messages.
+//!
+//! Two dissemination policies exist (§3.2.1), selected per flush via
+//! [`DisseminationPolicy`]:
+//!
+//! * **Broadcast** (Algorithm 3): one message per round carrying every
+//!   changed estimate, heard by all hosts;
+//! * **Point-to-point** (Algorithm 5): one message per neighbor host `y`
+//!   carrying only the estimates of nodes that have a neighbor in `V(y)`.
+//!
+//! Note: Algorithm 5 as printed selects *all* border nodes every round; we
+//! additionally require `changed[u]`, exactly as Algorithm 3 does —
+//! without that condition the protocol would re-send unchanged estimates
+//! forever and never quiesce. (The reset of `changed` at the end of the
+//! printed Algorithm 5 makes the intent clear.)
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore::one_to_many::{Assignment, AssignmentPolicy, HostId, HostProtocol,
+//!     OneToManyConfig};
+//! use dkcore_graph::{generators::path, NodeId};
+//!
+//! let g = path(6);
+//! // Two hosts, nodes assigned mod 2 (§3.2.2's policy).
+//! let assignment = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+//! assert_eq!(assignment.host_of(NodeId(3)), HostId(1));
+//!
+//! let host0 = HostProtocol::new(&g, &assignment, HostId(0), OneToManyConfig::default());
+//! assert_eq!(host0.local_nodes(), &[NodeId(0), NodeId(2), NodeId(4)]);
+//! ```
+
+mod assignment;
+mod host;
+
+pub use assignment::{Assignment, AssignmentPolicy, HostId};
+pub use host::{Destination, EmulationMode, HostProtocol, OneToManyConfig, Outgoing};
+
+/// Dissemination policy for estimate updates (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DisseminationPolicy {
+    /// Algorithm 3: one message per round with all changed estimates,
+    /// delivered to every host (a broadcast medium is available).
+    Broadcast,
+    /// Algorithm 5: per-destination messages containing only the changed
+    /// estimates of nodes bordering that destination host.
+    #[default]
+    PointToPoint,
+}

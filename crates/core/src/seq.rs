@@ -1,0 +1,327 @@
+//! Sequential k-core decomposition baselines.
+//!
+//! The paper's reference \[3\] — Batagelj & Zaveršnik, *"An O(m) algorithm
+//! for cores decomposition of networks"* — is the standard centralized
+//! algorithm and serves as ground truth for every distributed run in this
+//! workspace. A naive peeling implementation cross-validates it.
+
+use dkcore_graph::{Graph, NodeId};
+
+/// The Batagelj–Zaveršnik `O(m)` core-decomposition algorithm.
+///
+/// Processes nodes in non-decreasing order of their *current* degree using
+/// a bucket queue; when a node is removed its residual degree is its
+/// coreness, and its remaining neighbors' degrees drop by one.
+///
+/// Returns the coreness of every node, indexed by [`NodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use dkcore::seq::batagelj_zaversnik;
+/// use dkcore_graph::generators::complete;
+///
+/// // Every node of K5 has coreness 4.
+/// assert_eq!(batagelj_zaversnik(&complete(5)), vec![4; 5]);
+/// ```
+pub fn batagelj_zaversnik(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = g.degrees();
+    let md = *deg.iter().max().expect("non-empty") as usize;
+
+    // bin[d] = index in `vert` where the block of degree-d nodes begins.
+    let mut bin = vec![0usize; md + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for d in 0..=md {
+        bin[d + 1] += bin[d];
+    }
+    // vert: nodes sorted by degree; pos: inverse permutation.
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut next = bin.clone();
+        for u in 0..n {
+            let d = deg[u] as usize;
+            vert[next[d]] = u as u32;
+            pos[u] = next[d];
+            next[d] += 1;
+        }
+    }
+
+    for i in 0..n {
+        let v = vert[i] as usize;
+        // v is removed now; deg[v] is final coreness.
+        for j in 0..g.degree(NodeId(v as u32)) as usize {
+            let u = g.neighbors(NodeId(v as u32))[j].index();
+            if deg[u] > deg[v] {
+                // Move u to the front of its degree block, then shrink it.
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    deg
+}
+
+/// Naive peeling algorithm: for `k = 0, 1, 2, …` repeatedly remove every
+/// node whose residual degree is `≤ k`, assigning it coreness `k`.
+///
+/// `O(N + M)` amortized with the cascade queue, but with larger constants
+/// than [`batagelj_zaversnik`]; kept as an independently-written
+/// cross-check (the two must agree on every graph).
+///
+/// # Example
+///
+/// ```
+/// use dkcore::seq::naive_peeling;
+/// use dkcore_graph::generators::star;
+///
+/// // A star: hub and leaves all have coreness 1.
+/// assert_eq!(naive_peeling(&star(5)), vec![1; 5]);
+/// ```
+pub fn naive_peeling(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    let mut deg: Vec<u32> = g.degrees();
+    let mut coreness = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut remaining = n;
+    let mut k = 0u32;
+    let mut queue: Vec<u32> = Vec::new();
+    while remaining > 0 {
+        // Collect everything currently peelable at level k.
+        for u in 0..n {
+            if !removed[u] && deg[u] <= k {
+                queue.push(u as u32);
+            }
+        }
+        if queue.is_empty() {
+            k += 1;
+            continue;
+        }
+        while let Some(u) = queue.pop() {
+            let u = u as usize;
+            if removed[u] {
+                continue;
+            }
+            removed[u] = true;
+            remaining -= 1;
+            coreness[u] = k;
+            for &v in g.neighbors(NodeId(u as u32)) {
+                let v = v.index();
+                if !removed[v] {
+                    deg[v] -= 1;
+                    if deg[v] <= k {
+                        queue.push(v as u32);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    coreness
+}
+
+/// A degeneracy ordering: nodes in the order the Batagelj–Zaveršnik
+/// algorithm removes them (non-decreasing coreness). Useful for greedy
+/// coloring and as a smallest-last ordering.
+///
+/// # Example
+///
+/// ```
+/// use dkcore::seq::degeneracy_ordering;
+/// use dkcore_graph::{generators::star, NodeId};
+///
+/// let order = degeneracy_ordering(&star(4));
+/// assert_eq!(order.len(), 4);
+/// // The hub is removed last (or among the last, all coreness 1).
+/// assert_eq!(order.last(), Some(&NodeId(0)));
+/// ```
+pub fn degeneracy_ordering(g: &Graph) -> Vec<NodeId> {
+    // Re-run BZ, recording removal order.
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = g.degrees();
+    let md = *deg.iter().max().expect("non-empty") as usize;
+    let mut bin = vec![0usize; md + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for d in 0..=md {
+        bin[d + 1] += bin[d];
+    }
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut next = bin.clone();
+        for u in 0..n {
+            let d = deg[u] as usize;
+            vert[next[d]] = u as u32;
+            pos[u] = next[d];
+            next[d] += 1;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = vert[i] as usize;
+        order.push(NodeId(v as u32));
+        for j in 0..g.degree(NodeId(v as u32)) as usize {
+            let u = g.neighbors(NodeId(v as u32))[j].index();
+            if deg[u] > deg[v] {
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{
+        barabasi_albert, complete, cycle, gnp, grid, path, star, worst_case,
+    };
+    use dkcore_graph::Graph;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(batagelj_zaversnik(&g).is_empty());
+        assert!(naive_peeling(&g).is_empty());
+        assert!(degeneracy_ordering(&g).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_have_coreness_zero() {
+        let g = Graph::from_edges(3, []).unwrap();
+        assert_eq!(batagelj_zaversnik(&g), vec![0, 0, 0]);
+        assert_eq!(naive_peeling(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(batagelj_zaversnik(&path(5)), vec![1; 5]);
+        assert_eq!(batagelj_zaversnik(&cycle(5)), vec![2; 5]);
+    }
+
+    #[test]
+    fn complete_graph() {
+        assert_eq!(batagelj_zaversnik(&complete(7)), vec![6; 7]);
+    }
+
+    #[test]
+    fn star_graph() {
+        assert_eq!(batagelj_zaversnik(&star(8)), vec![1; 8]);
+    }
+
+    #[test]
+    fn grid_interior_is_2core() {
+        let core = batagelj_zaversnik(&grid(5, 5));
+        assert!(core.iter().all(|&c| c == 2), "pure grids are uniformly 2-degenerate");
+    }
+
+    #[test]
+    fn paper_figure1_style_decomposition() {
+        // Build a graph with known 3-core: K4 (nodes 0-3), attach a 2-core
+        // ring (4,5) bridging into it, and pendant 6.
+        let g = Graph::from_edges(7, [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
+            (4, 0), (4, 5), (5, 1),                         // 2-ish appendage
+            (6, 0),                                         // pendant
+        ]).unwrap();
+        let core = batagelj_zaversnik(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 2);
+        assert_eq!(core[5], 2);
+        assert_eq!(core[6], 1);
+    }
+
+    #[test]
+    fn worst_case_family_is_all_twos() {
+        // §4.2: in the Figure 3 family every node ends with estimate 2.
+        for n in [5, 8, 12, 19] {
+            let core = batagelj_zaversnik(&worst_case(n));
+            assert!(core.iter().all(|&c| c == 2), "N = {n}: {core:?}");
+        }
+    }
+
+    #[test]
+    fn bz_and_naive_agree_on_random_graphs() {
+        for seed in 0..10 {
+            let g = gnp(120, 0.04, seed);
+            assert_eq!(batagelj_zaversnik(&g), naive_peeling(&g), "seed {seed}");
+        }
+        for seed in 0..5 {
+            let g = barabasi_albert(200, 3, seed);
+            assert_eq!(batagelj_zaversnik(&g), naive_peeling(&g), "ba seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coreness_is_at_most_degree(){
+        let g = gnp(100, 0.05, 3);
+        let core = batagelj_zaversnik(&g);
+        for u in g.nodes() {
+            assert!(core[u.index()] <= g.degree(u));
+        }
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_valid() {
+        // In a degeneracy ordering, each node has at most `degeneracy`
+        // neighbors appearing later in the order.
+        let g = gnp(80, 0.08, 5);
+        let core = batagelj_zaversnik(&g);
+        let degeneracy = *core.iter().max().unwrap();
+        let order = degeneracy_ordering(&g);
+        assert_eq!(order.len(), g.node_count());
+        let mut rank = vec![0usize; g.node_count()];
+        for (i, &u) in order.iter().enumerate() {
+            rank[u.index()] = i;
+        }
+        for &u in &order {
+            let later = g
+                .neighbors(u)
+                .iter()
+                .filter(|v| rank[v.index()] > rank[u.index()])
+                .count();
+            assert!(later as u32 <= degeneracy,
+                "node {u} has {later} later neighbors > degeneracy {degeneracy}");
+        }
+    }
+
+    #[test]
+    fn removal_order_has_nondecreasing_coreness() {
+        let g = gnp(60, 0.1, 9);
+        let core = batagelj_zaversnik(&g);
+        let order = degeneracy_ordering(&g);
+        for w in order.windows(2) {
+            assert!(core[w[0].index()] <= core[w[1].index()]);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Termination detection for the distributed protocols (§3.3 of the paper).
+//!
+//! The estimate-propagation protocol quiesces on its own, but hosts need to
+//! *detect* that quiescence to start using the computed coreness. The paper
+//! lists three alternatives, all implemented here behind the
+//! [`TerminationDetector`] trait:
+//!
+//! * [`CentralizedDetector`] — "each host may inform a centralized server
+//!   whenever no new estimate is generated during a round; when all hosts
+//!   are in this state ... the protocol can be terminated". Exact, but
+//!   needs a master.
+//! * [`GossipDetector`] — decentralized: hosts run epidemic max-aggregation
+//!   (the `dkcore-gossip` substrate) of the last round in which *any* host
+//!   generated an estimate; "when this value has not been updated for a
+//!   while, hosts may detect the termination".
+//! * [`FixedRoundsDetector`] — stop after a predefined number of rounds;
+//!   §5 shows the estimate error is already tiny after a few tens of
+//!   rounds, so this gives a good approximate decomposition.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore::termination::{CentralizedDetector, TerminationDetector};
+//!
+//! let mut det = CentralizedDetector::new();
+//! assert!(!det.observe_round(1, &[true, false]));  // a host is active
+//! assert!(det.observe_round(2, &[false, false]));  // all quiescent: stop
+//! ```
+
+use dkcore_gossip::{Aggregate, GossipNetwork, MaxAggregate};
+
+/// Round-by-round termination decision logic.
+///
+/// After every protocol round the engine reports which hosts were *active*
+/// (generated at least one new estimate / sent at least one message); the
+/// detector answers whether the computation should stop.
+pub trait TerminationDetector {
+    /// Observes the activity vector of round `round` (one flag per host).
+    /// Returns `true` when the protocol should terminate.
+    fn observe_round(&mut self, round: u32, active: &[bool]) -> bool;
+
+    /// Human-readable detector name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Master/slave detection: terminate as soon as a round passes in which no
+/// host generated a new estimate. Exact — fires on the first truly
+/// quiescent round — but requires a central server collecting one bit per
+/// host per round (the paper: "particularly suited for the one-to-many
+/// scenario, where it corresponds to a master-slaves approach").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralizedDetector {
+    fired: bool,
+}
+
+impl CentralizedDetector {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TerminationDetector for CentralizedDetector {
+    fn observe_round(&mut self, _round: u32, active: &[bool]) -> bool {
+        if active.iter().all(|&a| !a) {
+            self.fired = true;
+        }
+        self.fired
+    }
+
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+}
+
+/// Fixed-round budget: stop unconditionally after `budget` rounds. The
+/// approximate-decomposition option of §3.3/§5.1 ("if an approximate k-core
+/// decomposition could be sufficient, running the protocol for a fixed
+/// number of rounds is an option").
+#[derive(Debug, Clone, Copy)]
+pub struct FixedRoundsDetector {
+    budget: u32,
+}
+
+impl FixedRoundsDetector {
+    /// Stops after `budget` rounds.
+    pub fn new(budget: u32) -> Self {
+        FixedRoundsDetector { budget }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+}
+
+impl TerminationDetector for FixedRoundsDetector {
+    fn observe_round(&mut self, round: u32, _active: &[bool]) -> bool {
+        round >= self.budget
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-rounds"
+    }
+}
+
+/// Decentralized detection by epidemic max-aggregation (paper §3.3,
+/// building on Jelasity et al. \[6\]).
+///
+/// Each host holds a [`MaxAggregate`] of "the last round in which any host
+/// generated a new estimate". One gossip exchange round is piggybacked on
+/// every protocol round; a host considers the computation finished when its
+/// aggregate has not increased for [`patience`](GossipDetector::patience)
+/// rounds, and the detector reports termination when **every** host
+/// believes so.
+///
+/// `patience` must exceed the `O(log |H|)` dissemination latency of the
+/// gossip substrate, or hosts may give up while an update is still in
+/// flight; [`GossipDetector::recommended_patience`] provides a safe
+/// default.
+#[derive(Debug)]
+pub struct GossipDetector {
+    net: GossipNetwork<MaxAggregate>,
+    patience: u32,
+}
+
+impl GossipDetector {
+    /// Creates the detector for `host_count` hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    pub fn new(host_count: usize, patience: u32, seed: u64) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        GossipDetector {
+            net: GossipNetwork::new(
+                (0..host_count).map(|_| MaxAggregate::new(0.0)),
+                seed,
+            ),
+            patience,
+        }
+    }
+
+    /// A patience value safely above the gossip convergence latency:
+    /// `2·⌈log₂ |H|⌉ + 4` rounds.
+    pub fn recommended_patience(host_count: usize) -> u32 {
+        2 * (host_count.max(2) as f64).log2().ceil() as u32 + 4
+    }
+
+    /// The configured patience (rounds of silence before giving up).
+    pub fn patience(&self) -> u32 {
+        self.patience
+    }
+}
+
+impl TerminationDetector for GossipDetector {
+    fn observe_round(&mut self, round: u32, active: &[bool]) -> bool {
+        debug_assert_eq!(active.len(), self.net.len());
+        // Active hosts raise their local "last active round" knowledge...
+        for (h, &is_active) in active.iter().enumerate() {
+            if is_active {
+                self.net.agent_mut(h).raise(round as f64);
+            }
+        }
+        // ...and one epidemic exchange round runs alongside the protocol.
+        self.net.round();
+        // Every host must believe the system has been silent for
+        // `patience` rounds.
+        self.net
+            .agents()
+            .iter()
+            .all(|a| round as f64 - a.value() >= self.patience as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "gossip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a detector over a synthetic activity trace; returns the round
+    /// at which it fired (1-based), or None.
+    fn fire_round(det: &mut dyn TerminationDetector, trace: &[Vec<bool>]) -> Option<u32> {
+        for (i, active) in trace.iter().enumerate() {
+            if det.observe_round(i as u32 + 1, active) {
+                return Some(i as u32 + 1);
+            }
+        }
+        None
+    }
+
+    /// Activity trace: `hosts` hosts all active until round `busy`, then
+    /// silent for `silent` rounds.
+    fn trace(hosts: usize, busy: u32, silent: u32) -> Vec<Vec<bool>> {
+        let mut t = Vec::new();
+        for _ in 0..busy {
+            t.push(vec![true; hosts]);
+        }
+        for _ in 0..silent {
+            t.push(vec![false; hosts]);
+        }
+        t
+    }
+
+    #[test]
+    fn centralized_fires_on_first_quiet_round() {
+        let mut det = CentralizedDetector::new();
+        assert_eq!(fire_round(&mut det, &trace(4, 7, 5)), Some(8));
+        assert_eq!(det.name(), "centralized");
+    }
+
+    #[test]
+    fn centralized_latches() {
+        let mut det = CentralizedDetector::new();
+        det.observe_round(1, &[false, false]);
+        // Even if activity resumes, the decision stands (single-shot).
+        assert!(det.observe_round(2, &[true, true]));
+    }
+
+    #[test]
+    fn centralized_never_fires_while_active() {
+        let mut det = CentralizedDetector::new();
+        assert_eq!(fire_round(&mut det, &trace(4, 10, 0)), None);
+    }
+
+    #[test]
+    fn fixed_rounds_fires_exactly_at_budget() {
+        let mut det = FixedRoundsDetector::new(5);
+        assert_eq!(det.budget(), 5);
+        assert_eq!(fire_round(&mut det, &trace(3, 100, 0)), Some(5));
+        assert_eq!(det.name(), "fixed-rounds");
+    }
+
+    #[test]
+    fn gossip_fires_after_patience_plus_spread() {
+        let hosts = 32;
+        let patience = GossipDetector::recommended_patience(hosts);
+        let mut det = GossipDetector::new(hosts, patience, 7);
+        let fired = fire_round(&mut det, &trace(hosts, 10, 100)).expect("fires");
+        // Cannot fire before the silence has lasted `patience` rounds.
+        assert!(fired >= 10 + patience, "fired at {fired}, patience {patience}");
+        // Should fire within a small constant of patience after silence.
+        assert!(fired <= 10 + 2 * patience + 8, "fired too late: {fired}");
+        assert_eq!(det.name(), "gossip");
+    }
+
+    #[test]
+    fn gossip_does_not_fire_during_steady_activity() {
+        let hosts = 16;
+        let mut det = GossipDetector::new(hosts, 6, 3);
+        assert_eq!(fire_round(&mut det, &trace(hosts, 50, 0)), None);
+    }
+
+    #[test]
+    fn gossip_single_host() {
+        let mut det = GossipDetector::new(1, 3, 0);
+        let fired = fire_round(&mut det, &trace(1, 2, 20)).expect("fires");
+        assert!(fired >= 5);
+    }
+
+    #[test]
+    fn gossip_handles_straggler_activity() {
+        // One host briefly active again late (before the patience window
+        // from the earlier activity has elapsed): detection must be pushed
+        // out past the straggler's round plus patience.
+        let hosts = 8;
+        let patience = GossipDetector::recommended_patience(hosts); // 10
+        let mut det = GossipDetector::new(hosts, patience, 9);
+        let mut t = trace(hosts, 5, 5); // active 1..=5, silent 6..=10
+        // At round 11, host 3 is active once more.
+        let mut late = vec![false; hosts];
+        late[3] = true;
+        t.push(late);
+        t.extend(trace(hosts, 0, 60));
+        let fired = fire_round(&mut det, &t).expect("fires");
+        assert!(fired >= 11 + patience, "straggler must reset the clock (fired {fired})");
+    }
+
+    #[test]
+    fn recommended_patience_grows_with_hosts() {
+        assert!(GossipDetector::recommended_patience(512)
+            > GossipDetector::recommended_patience(4));
+        assert!(GossipDetector::recommended_patience(1) >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_panics() {
+        let _ = GossipDetector::new(4, 0, 0);
+    }
+}

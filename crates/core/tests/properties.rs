@@ -1,0 +1,190 @@
+//! Property-based tests for the k-core algorithms and the paper's
+//! structural theorems.
+
+use dkcore::seq::{batagelj_zaversnik, degeneracy_ordering, naive_peeling};
+use dkcore::{compute_index, CoreDecomposition, INFINITY_EST};
+use dkcore_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..50).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..150);
+        edges.prop_map(move |es| Graph::from_edges(n, es).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    /// The two sequential baselines agree on every graph.
+    #[test]
+    fn bz_equals_naive(g in arb_graph()) {
+        prop_assert_eq!(batagelj_zaversnik(&g), naive_peeling(&g));
+    }
+
+    /// Coreness is bounded by degree.
+    #[test]
+    fn coreness_at_most_degree(g in arb_graph()) {
+        let core = batagelj_zaversnik(&g);
+        for u in g.nodes() {
+            prop_assert!(core[u.index()] <= g.degree(u));
+        }
+    }
+
+    /// Theorem 1 (locality): `k(u)` is the largest `i` such that `u` has at
+    /// least `i` neighbors with coreness ≥ `i` — i.e. `computeIndex` over
+    /// the true coreness values, capped by the degree, is a fixpoint.
+    #[test]
+    fn locality_theorem(g in arb_graph()) {
+        let core = batagelj_zaversnik(&g);
+        for u in g.nodes() {
+            let neighbor_core = g.neighbors(u).iter().map(|v| core[v.index()]);
+            let i = compute_index(neighbor_core, g.degree(u));
+            prop_assert_eq!(i, core[u.index()], "locality violated at node {}", u);
+        }
+    }
+
+    /// Definition 1: within the k-core every node has internal degree ≥ k,
+    /// and the k-core is maximal (no outside node has k neighbors inside).
+    #[test]
+    fn k_core_definition(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        for k in 1..=d.max_coreness() {
+            let mask = d.k_core_mask(k);
+            let (sub, _) = d.k_core(&g, k);
+            for u in sub.nodes() {
+                prop_assert!(sub.degree(u) >= k);
+            }
+            for u in g.nodes() {
+                if !mask[u.index()] {
+                    let inside = g.neighbors(u).iter().filter(|v| mask[v.index()]).count();
+                    prop_assert!((inside as u32) < k);
+                }
+            }
+        }
+    }
+
+    /// Shell sizes sum to N and shells partition nodes by coreness.
+    #[test]
+    fn shells_partition(g in arb_graph()) {
+        let d = CoreDecomposition::compute(&g);
+        prop_assert_eq!(d.shell_sizes().iter().sum::<usize>(), g.node_count());
+        let mut seen = vec![false; g.node_count()];
+        for k in 0..=d.max_coreness() {
+            for u in d.shell(k) {
+                prop_assert!(!seen[u.index()]);
+                seen[u.index()] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// A degeneracy ordering never gives a node more than `degeneracy`
+    /// later neighbors.
+    #[test]
+    fn degeneracy_ordering_property(g in arb_graph()) {
+        let core = batagelj_zaversnik(&g);
+        let degeneracy = core.iter().copied().max().unwrap_or(0);
+        let order = degeneracy_ordering(&g);
+        let mut rank = vec![0usize; g.node_count()];
+        for (i, &u) in order.iter().enumerate() {
+            rank[u.index()] = i;
+        }
+        for u in g.nodes() {
+            let later = g.neighbors(u).iter().filter(|v| rank[v.index()] > rank[u.index()]).count();
+            prop_assert!(later as u32 <= degeneracy);
+        }
+    }
+
+    /// `compute_index` returns a value that is actually supported (at least
+    /// `i` estimates ≥ `i`) and maximal (unless clamped by the cap).
+    #[test]
+    fn compute_index_is_supported_maximum(
+        ests in proptest::collection::vec(0u32..20, 0..30),
+        cap in 0u32..25,
+    ) {
+        let i = compute_index(ests.iter().copied(), cap);
+        prop_assert!(i <= cap);
+        if i > 0 {
+            let support = ests.iter().filter(|&&e| e >= i).count() as u32;
+            prop_assert!(support >= i, "result {i} lacks support {support}");
+        }
+        if i < cap {
+            // Not clamped: i+1 must NOT be supported.
+            let support = ests.iter().filter(|&&e| e >= i + 1).count() as u32;
+            prop_assert!(support < i + 1, "result {i} not maximal");
+        }
+    }
+
+    /// `compute_index` treats `INFINITY_EST` like an arbitrarily large
+    /// estimate.
+    #[test]
+    fn compute_index_infinity_equivalence(
+        ests in proptest::collection::vec(0u32..20, 0..20),
+        cap in 1u32..25,
+    ) {
+        let with_inf: Vec<u32> = ests.iter().copied().chain([INFINITY_EST]).collect();
+        let with_big: Vec<u32> = ests.iter().copied().chain([1_000_000]).collect();
+        prop_assert_eq!(
+            compute_index(with_inf, cap),
+            compute_index(with_big, cap)
+        );
+    }
+
+    /// Removing an edge can lower coreness by at most 1 per endpoint and
+    /// never raises it anywhere (monotonicity of the decomposition).
+    #[test]
+    fn edge_removal_monotonicity(g in arb_graph()) {
+        let core = batagelj_zaversnik(&g);
+        if let Some((u, v)) = g.edges().next() {
+            let remaining: Vec<(u32, u32)> = g
+                .edges()
+                .filter(|&e| e != (u, v))
+                .map(|(a, b)| (a.0, b.0))
+                .collect();
+            let g2 = Graph::from_edges(g.node_count(), remaining).unwrap();
+            let core2 = batagelj_zaversnik(&g2);
+            for w in g.nodes() {
+                prop_assert!(core2[w.index()] <= core[w.index()],
+                    "removing an edge raised coreness at {}", w);
+            }
+            prop_assert!(core[u.index()] - core2[u.index()] <= 1);
+            prop_assert!(core[v.index()] - core2[v.index()] <= 1);
+        }
+    }
+}
+
+/// Non-proptest spot check: the locality fixpoint also holds on the
+/// paper's worst-case family at several sizes.
+#[test]
+fn locality_on_worst_case_family() {
+    for n in [5, 9, 12, 25, 40] {
+        let g = dkcore_graph::generators::worst_case(n);
+        let core = batagelj_zaversnik(&g);
+        for u in g.nodes() {
+            let i = compute_index(
+                g.neighbors(u).iter().map(|v| core[v.index()]),
+                g.degree(u),
+            );
+            assert_eq!(i, core[u.index()], "N={n}, node {u}");
+        }
+    }
+}
+
+/// Coreness of NodeId(0) in a clique chain is the clique size - 1.
+#[test]
+fn clique_chain_coreness() {
+    // Two K4s joined by a single bridge edge: all clique nodes coreness 3,
+    // regardless of the bridge.
+    let mut edges = Vec::new();
+    for a in 0..4u32 {
+        for b in (a + 1)..4 {
+            edges.push((a, b));
+            edges.push((a + 4, b + 4));
+        }
+    }
+    edges.push((3, 4)); // bridge
+    let g = Graph::from_edges(8, edges).unwrap();
+    let core = batagelj_zaversnik(&g);
+    assert_eq!(core, vec![3; 8]);
+    let d = CoreDecomposition::from_coreness(core);
+    assert_eq!(d.coreness(NodeId(0)), 3);
+}

@@ -1,0 +1,385 @@
+//! The nine Table 1 dataset analogs.
+
+use dkcore_graph::{generators, Graph};
+
+use crate::builders::{collaboration, sparse_grid, with_dense_core, with_hub_clique};
+
+/// The statistics the paper reports for the original SNAP dataset
+/// (Table 1), kept for paper-vs-measured comparisons in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    /// `|V|` — node count.
+    pub nodes: usize,
+    /// `|E|` — edge count (undirected).
+    pub edges: usize,
+    /// Reported diameter.
+    pub diameter: u32,
+    /// Maximum degree `d_max`.
+    pub max_degree: u32,
+    /// Maximum coreness `k_max`.
+    pub max_coreness: u32,
+    /// Average coreness `k_avg`.
+    pub avg_coreness: f64,
+    /// Average execution time `t_avg` (rounds, 50 repetitions).
+    pub t_avg: f64,
+    /// Minimum execution time `t_min`.
+    pub t_min: u32,
+    /// Maximum execution time `t_max`.
+    pub t_max: u32,
+    /// Average messages per node `m_avg`.
+    pub m_avg: f64,
+    /// Maximum messages per node `m_max`.
+    pub m_max: f64,
+}
+
+/// Which generator family an analog uses (drives `build`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Collaboration cliques (CA-AstroPh, CA-CondMat): papers as % of
+    /// authors, team size lo..=hi, plus one large collaboration (a clique
+    /// among the most prolific authors) fixing `k_max`.
+    Collaboration { paper_factor_pct: u32, team_lo: usize, team_hi: usize, clique: usize },
+    /// Sparse uniform random graph (p2p-Gnutella31): avg degree ×100.
+    SparseRandom { avg_degree_x100: u32 },
+    /// Preferential attachment + hub clique (Slashdot, wiki-Talk):
+    /// attachment m, clique size.
+    SocialHubs { m: usize, clique: usize },
+    /// Planted partition (Amazon co-purchase): community size, p_in ×1000,
+    /// p_out ×100000.
+    Communities { community: usize, p_in_x1000: u32, p_out_x100000: u32 },
+    /// R-MAT web graph + diffuse dense core + pendant chains
+    /// (web-BerkStan): core size, core density ×100.
+    Web {
+        edges_per_node_x100: u32,
+        core: usize,
+        core_density_pct: u32,
+        chains_pct: u32,
+        chain_len: usize,
+    },
+    /// Degraded grid plus dead-end roads (roadNet-TX): keep fraction
+    /// ×100, pendant chains per thousand nodes, chain length.
+    Road { keep_pct: u32, chains_per_thousand: u32, chain_len: usize },
+}
+
+/// One entry of the dataset catalog: a paper dataset, its reported
+/// statistics, and the synthetic analog generator.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_data::by_name;
+///
+/// let spec = by_name("roadnet-like").unwrap();
+/// let g = spec.build_scaled(10_000, 1);
+/// // Road networks are sparse and low-core.
+/// assert!(g.avg_degree() < 3.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Name of the analog (e.g. `"astroph-like"`).
+    pub name: &'static str,
+    /// The SNAP dataset it stands in for (e.g. `"CA-AstroPh"`).
+    pub snap_name: &'static str,
+    /// The statistics the paper reports for the original.
+    pub paper: PaperStats,
+    /// Node count used by `build_default` (scaled down from the original
+    /// where the original is large; see `DESIGN.md` §3).
+    pub default_nodes: usize,
+    family: Family,
+}
+
+impl DatasetSpec {
+    /// Builds the analog at its default scale.
+    pub fn build_default(&self, seed: u64) -> Graph {
+        self.build_scaled(self.default_nodes, seed)
+    }
+
+    /// Builds the analog with approximately `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn build_scaled(&self, nodes: usize, seed: u64) -> Graph {
+        assert!(nodes > 0, "need at least one node");
+        match self.family {
+            Family::Collaboration { paper_factor_pct, team_lo, team_hi, clique } => {
+                let papers = nodes * paper_factor_pct as usize / 100;
+                let base = collaboration(nodes, papers, team_lo..=team_hi, seed);
+                // One "large collaboration" paper (ATLAS-style author list)
+                // among the most prolific authors pins k_max, as such
+                // papers do in the real CA-* graphs.
+                with_hub_clique(&base, clique.min(nodes), seed ^ 0xC0AB)
+            }
+            Family::SparseRandom { avg_degree_x100 } => {
+                let m = nodes * avg_degree_x100 as usize / 200;
+                generators::gnm(nodes, m, seed)
+            }
+            Family::SocialHubs { m, clique } => {
+                let base = generators::barabasi_albert(nodes, m, seed);
+                with_hub_clique(&base, clique.min(nodes), seed ^ 0xC11C)
+            }
+            Family::Communities { community, p_in_x1000, p_out_x100000 } => {
+                let communities = (nodes / community).max(1);
+                generators::planted_partition(
+                    nodes,
+                    communities,
+                    p_in_x1000 as f64 / 1000.0,
+                    p_out_x100000 as f64 / 100_000.0,
+                    seed,
+                )
+            }
+            Family::Web { edges_per_node_x100, core, core_density_pct, chains_pct, chain_len } => {
+                let chains = (nodes * chains_pct as usize / 100 / chain_len.max(1)).max(1);
+                let core_nodes = nodes.saturating_sub(chains * chain_len).max(16);
+                let scale = (core_nodes as f64).log2().ceil() as u32;
+                let edges = core_nodes * edges_per_node_x100 as usize / 100;
+                let web = generators::rmat(scale, edges, (0.57, 0.19, 0.19), seed);
+                // rmat produces 2^scale nodes; keep the overshoot as-is
+                // (isolated nodes model unlinked pages). The dense core is
+                // diffuse (ER among hubs), which both pins k_max near the
+                // paper's 201 and reproduces Table 2's slow-settling
+                // mid-core stragglers.
+                let with_core = with_dense_core(
+                    &web,
+                    core.min(core_nodes),
+                    core_density_pct as f64 / 100.0,
+                    seed ^ 0xBEEF,
+                );
+                generators::with_pendant_chains(&with_core, chains, chain_len, seed ^ 0xCAFE)
+            }
+            Family::Road { keep_pct, chains_per_thousand, chain_len } => {
+                let chains = nodes * chains_per_thousand as usize / 1000 / chain_len.max(1);
+                let grid_nodes = nodes.saturating_sub(chains * chain_len).max(4);
+                let side = (grid_nodes as f64).sqrt().round() as usize;
+                let base = sparse_grid(side.max(1), side.max(1), keep_pct as f64 / 100.0, seed);
+                // Dead-end roads: long degree-2 filaments hanging off the
+                // mesh, the structures behind roadNet-TX's ~100-round
+                // 1-core convergence in the paper.
+                generators::with_pendant_chains(&base, chains.max(1), chain_len, seed ^ 0x70AD)
+            }
+        }
+    }
+}
+
+/// The nine dataset analogs, in the paper's Table 1 order.
+pub fn catalog() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "astroph-like",
+            snap_name: "CA-AstroPh",
+            paper: PaperStats {
+                nodes: 18_772, edges: 198_110, diameter: 14, max_degree: 504,
+                max_coreness: 56, avg_coreness: 12.62,
+                t_avg: 19.55, t_min: 18, t_max: 21, m_avg: 47.21, m_max: 807.05,
+            },
+            default_nodes: 18_772,
+            family: Family::Collaboration {
+                paper_factor_pct: 40, team_lo: 2, team_hi: 12, clique: 57,
+            },
+        },
+        DatasetSpec {
+            name: "condmat-like",
+            snap_name: "CA-CondMat",
+            paper: PaperStats {
+                nodes: 23_133, edges: 93_497, diameter: 15, max_degree: 280,
+                max_coreness: 25, avg_coreness: 4.90,
+                t_avg: 15.65, t_min: 14, t_max: 17, m_avg: 13.97, m_max: 410.25,
+            },
+            default_nodes: 23_133,
+            family: Family::Collaboration {
+                paper_factor_pct: 45, team_lo: 2, team_hi: 7, clique: 26,
+            },
+        },
+        DatasetSpec {
+            name: "gnutella-like",
+            snap_name: "p2p-Gnutella31",
+            paper: PaperStats {
+                nodes: 62_590, edges: 147_895, diameter: 11, max_degree: 95,
+                max_coreness: 6, avg_coreness: 2.52,
+                t_avg: 27.45, t_min: 25, t_max: 30, m_avg: 9.30, m_max: 131.25,
+            },
+            default_nodes: 62_590,
+            family: Family::SparseRandom { avg_degree_x100: 473 },
+        },
+        DatasetSpec {
+            name: "slashdot-sign-like",
+            snap_name: "soc-sign-Slashdot090221",
+            paper: PaperStats {
+                nodes: 82_145, edges: 500_485, diameter: 11, max_degree: 2_553,
+                max_coreness: 54, avg_coreness: 6.22,
+                t_avg: 25.10, t_min: 24, t_max: 26, m_avg: 29.32, m_max: 3_192.40,
+            },
+            default_nodes: 40_000,
+            family: Family::SocialHubs { m: 6, clique: 55 },
+        },
+        DatasetSpec {
+            name: "slashdot-like",
+            snap_name: "soc-Slashdot0902",
+            paper: PaperStats {
+                nodes: 82_173, edges: 582_537, diameter: 12, max_degree: 2_548,
+                max_coreness: 56, avg_coreness: 7.22,
+                t_avg: 21.15, t_min: 20, t_max: 22, m_avg: 31.35, m_max: 3_319.95,
+            },
+            default_nodes: 40_000,
+            family: Family::SocialHubs { m: 7, clique: 57 },
+        },
+        DatasetSpec {
+            name: "amazon-like",
+            snap_name: "Amazon0601",
+            paper: PaperStats {
+                nodes: 403_399, edges: 2_443_412, diameter: 21, max_degree: 2_752,
+                max_coreness: 10, avg_coreness: 7.22,
+                t_avg: 55.65, t_min: 53, t_max: 59, m_avg: 24.91, m_max: 2_900.30,
+            },
+            default_nodes: 50_000,
+            family: Family::Communities { community: 13, p_in_x1000: 780, p_out_x100000: 2 },
+        },
+        DatasetSpec {
+            name: "berkstan-like",
+            snap_name: "web-BerkStan",
+            paper: PaperStats {
+                nodes: 685_235, edges: 6_649_474, diameter: 669, max_degree: 84_230,
+                max_coreness: 201, avg_coreness: 11.11,
+                t_avg: 306.15, t_min: 294, t_max: 322, m_avg: 29.04, m_max: 86_293.20,
+            },
+            default_nodes: 60_000,
+            family: Family::Web {
+                edges_per_node_x100: 970,
+                core: 280,
+                core_density_pct: 78,
+                chains_pct: 20,
+                chain_len: 250,
+            },
+        },
+        DatasetSpec {
+            name: "roadnet-like",
+            snap_name: "roadNet-TX",
+            paper: PaperStats {
+                nodes: 1_379_922, edges: 1_921_664, diameter: 1_049, max_degree: 12,
+                max_coreness: 3, avg_coreness: 1.79,
+                t_avg: 98.60, t_min: 94, t_max: 103, m_avg: 4.45, m_max: 19.30,
+            },
+            default_nodes: 65_536,
+            family: Family::Road { keep_pct: 65, chains_per_thousand: 150, chain_len: 150 },
+        },
+        DatasetSpec {
+            name: "wikitalk-like",
+            snap_name: "wiki-Talk",
+            paper: PaperStats {
+                nodes: 2_394_390, edges: 4_659_569, diameter: 9, max_degree: 100_029,
+                max_coreness: 131, avg_coreness: 1.96,
+                t_avg: 31.60, t_min: 30, t_max: 33, m_avg: 5.89, m_max: 103_895.35,
+            },
+            default_nodes: 80_000,
+            family: Family::SocialHubs { m: 2, clique: 132 },
+        },
+    ]
+}
+
+/// Looks a dataset analog up by its `name` or by the original `snap_name`
+/// (case-insensitive).
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    catalog().into_iter().find(|s| {
+        s.name.eq_ignore_ascii_case(name) || s.snap_name.eq_ignore_ascii_case(name)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_nine_table1_rows() {
+        let c = catalog();
+        assert_eq!(c.len(), 9);
+        let names: Vec<&str> = c.iter().map(|s| s.snap_name).collect();
+        assert_eq!(names, vec![
+            "CA-AstroPh", "CA-CondMat", "p2p-Gnutella31",
+            "soc-sign-Slashdot090221", "soc-Slashdot0902", "Amazon0601",
+            "web-BerkStan", "roadNet-TX", "wiki-Talk",
+        ]);
+    }
+
+    #[test]
+    fn lookup_by_either_name() {
+        assert!(by_name("astroph-like").is_some());
+        assert!(by_name("CA-AstroPh").is_some());
+        assert!(by_name("ca-astroph").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_analogs_build_at_small_scale() {
+        for spec in catalog() {
+            let g = spec.build_scaled(2_000, 42);
+            assert!(g.node_count() >= 1_000, "{}: {}", spec.name, g.node_count());
+            assert!(g.edge_count() > 500, "{}: too few edges", spec.name);
+        }
+    }
+
+    #[test]
+    fn analogs_are_deterministic() {
+        for spec in catalog() {
+            assert_eq!(
+                spec.build_scaled(1_500, 7),
+                spec.build_scaled(1_500, 7),
+                "{} not deterministic",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn coreness_profiles_match_paper_classes() {
+        // Spot checks at reduced scale: the *class* of each analog's
+        // coreness profile must match the paper's (deep cores for
+        // collaboration/social, shallow for road/p2p).
+        let check = |name: &str, nodes: usize, min_kmax: u32, max_kmax: u32| {
+            let spec = by_name(name).unwrap();
+            let g = spec.build_scaled(nodes, 3);
+            let kmax = *dkcore::seq::batagelj_zaversnik(&g).iter().max().unwrap();
+            assert!(
+                (min_kmax..=max_kmax).contains(&kmax),
+                "{name}: kmax {kmax} outside [{min_kmax}, {max_kmax}]"
+            );
+        };
+        check("astroph-like", 6_000, 10, 120);
+        check("gnutella-like", 6_000, 2, 8);
+        check("slashdot-sign-like", 6_000, 50, 70);
+        check("wikitalk-like", 6_000, 125, 140);
+        check("roadnet-like", 6_400, 1, 3);
+        check("amazon-like", 6_500, 5, 14);
+    }
+
+    #[test]
+    fn road_analog_has_large_diameter() {
+        let g = by_name("roadnet-like").unwrap().build_scaled(4_900, 5);
+        let d = dkcore_graph::metrics::approx_diameter(&g, 3);
+        assert!(d > 40, "road diameter should be large, got {d}");
+    }
+
+    #[test]
+    fn web_analog_has_pendant_depth() {
+        let g = by_name("berkstan-like").unwrap().build_scaled(8_000, 5);
+        let d = dkcore_graph::metrics::approx_diameter(&g, 3);
+        assert!(d > 100, "web analog needs deep chains, got {d}");
+    }
+
+    #[test]
+    fn paper_stats_are_recorded_faithfully() {
+        // A couple of Table 1 entries transcribed correctly.
+        let astro = by_name("CA-AstroPh").unwrap();
+        assert_eq!(astro.paper.nodes, 18_772);
+        assert_eq!(astro.paper.max_coreness, 56);
+        assert_eq!(astro.paper.t_min, 18);
+        let road = by_name("roadNet-TX").unwrap();
+        assert_eq!(road.paper.diameter, 1_049);
+        assert!((road.paper.m_avg - 4.45).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_scale_panics() {
+        let _ = by_name("astroph-like").unwrap().build_scaled(0, 1);
+    }
+}

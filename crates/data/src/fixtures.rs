@@ -1,0 +1,96 @@
+//! Small worked-example graphs from the paper's text.
+
+use dkcore_graph::{Graph, GraphBuilder, NodeId};
+
+/// The 6-node example of the paper's §3.1.1 / Figure 2.
+///
+/// A chain `1—2—3—4—5—6` where the middle nodes {2,3,4,5} additionally
+/// form a 2-core (edges 2–4 and 3–5 give them degree 3 each). Nodes are
+/// zero-based here: paper node *i* is `NodeId(i − 1)`.
+///
+/// The algorithm converges on it in three message rounds with final
+/// coreness `[1, 2, 2, 2, 2, 1]`, as narrated in the paper.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_data::fixtures::figure2_graph;
+/// use dkcore::seq::batagelj_zaversnik;
+///
+/// let g = figure2_graph();
+/// assert_eq!(batagelj_zaversnik(&g), vec![1, 2, 2, 2, 2, 1]);
+/// ```
+pub fn figure2_graph() -> Graph {
+    Graph::from_edges(6, [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), // the chain
+        (1, 3), (2, 4),                         // middle 2-core
+    ])
+    .expect("static fixture is valid")
+}
+
+/// A graph with the three-level core structure drawn in the paper's
+/// Figure 1: a 3-core (K4), a surrounding 2-shell, and pendant 1-shell
+/// nodes.
+///
+/// Returns the graph together with the expected coreness of every node.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_data::fixtures::figure1_style_graph;
+/// use dkcore::seq::batagelj_zaversnik;
+///
+/// let (g, expected) = figure1_style_graph();
+/// assert_eq!(batagelj_zaversnik(&g), expected);
+/// ```
+pub fn figure1_style_graph() -> (Graph, Vec<u32>) {
+    let mut b = GraphBuilder::new(12).expect("static fixture");
+    // 3-core: K4 on nodes 0..4.
+    for u in 0..4u32 {
+        for v in (u + 1)..4 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    // 2-shell: a ring 4-5-6-7 anchored twice into the core.
+    b.add_edge(NodeId(4), NodeId(5));
+    b.add_edge(NodeId(5), NodeId(6));
+    b.add_edge(NodeId(6), NodeId(7));
+    b.add_edge(NodeId(7), NodeId(4));
+    b.add_edge(NodeId(4), NodeId(0));
+    b.add_edge(NodeId(6), NodeId(1));
+    // 1-shell: pendants.
+    b.add_edge(NodeId(8), NodeId(0));
+    b.add_edge(NodeId(9), NodeId(5));
+    b.add_edge(NodeId(10), NodeId(9));
+    b.add_edge(NodeId(11), NodeId(2));
+    let expected = vec![3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1];
+    (b.build(), expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.degrees(), vec![1, 3, 3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn figure2_coreness_matches_narration() {
+        assert_eq!(batagelj_zaversnik(&figure2_graph()), vec![1, 2, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn figure1_style_coreness() {
+        let (g, expected) = figure1_style_graph();
+        assert_eq!(batagelj_zaversnik(&g), expected);
+        // Cores are concentric: 3-core ⊂ 2-core ⊂ 1-core.
+        let d = dkcore::CoreDecomposition::compute(&g);
+        assert_eq!(d.shell_sizes(), vec![0, 4, 4, 4]);
+    }
+}

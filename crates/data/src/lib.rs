@@ -1,0 +1,32 @@
+//! Dataset catalog: synthetic analogs of the nine SNAP graphs evaluated in
+//! the paper's Table 1, plus the worked-example fixtures from the text.
+//!
+//! The original experiments ran on graphs from the Stanford Large Network
+//! Dataset collection (SNAP). Those files are not bundled here, so the
+//! catalog pairs every paper dataset with a *generator analog* that
+//! matches its structural class (degree skew, community structure,
+//! diameter regime, coreness profile); `DESIGN.md` §3 documents each
+//! substitution. The SNAP originals can still be used directly via
+//! [`dkcore_graph::io::read_edge_list_file`] — the harness accepts any
+//! graph.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_data::{catalog, by_name};
+//!
+//! assert_eq!(catalog().len(), 9);
+//! let spec = by_name("gnutella-like").expect("in catalog");
+//! let g = spec.build_scaled(2_000, 7);
+//! assert_eq!(g.node_count(), 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builders;
+mod catalog;
+pub mod fixtures;
+
+pub use builders::{collaboration, sparse_grid, with_dense_core, with_hub_clique};
+pub use catalog::{by_name, catalog, DatasetSpec, PaperStats};

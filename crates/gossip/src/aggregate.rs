@@ -1,0 +1,157 @@
+//! Aggregate functions exchangeable by push–pull gossip.
+
+/// A value that two gossiping agents can merge symmetrically.
+///
+/// The contract follows Jelasity et al. (TOCS 2005): an exchange between
+/// agents holding `a` and `b` leaves **both** with `merge(a, b)`, which must
+/// be commutative and idempotent-in-the-limit so the network converges to a
+/// fixed point encoding the global aggregate.
+pub trait Aggregate: Clone {
+    /// Combines `self` with a peer's state; both sides of an exchange call
+    /// this with the other's pre-exchange state.
+    fn merge(&mut self, other: &Self);
+
+    /// Current scalar estimate held by this agent.
+    fn value(&self) -> f64;
+}
+
+/// Epidemic maximum: both agents keep the larger value.
+///
+/// Converges to the exact global maximum; used by the decentralized
+/// termination detector to agree on "the last round in which any of the
+/// hosts has generated a new estimate" (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxAggregate(f64);
+
+impl MaxAggregate {
+    /// Creates an agent state with local value `v`.
+    pub fn new(v: f64) -> Self {
+        MaxAggregate(v)
+    }
+
+    /// Raises the local value to at least `v` (e.g. when the host becomes
+    /// active again in a later round).
+    pub fn raise(&mut self, v: f64) {
+        if v > self.0 {
+            self.0 = v;
+        }
+    }
+}
+
+impl Aggregate for MaxAggregate {
+    fn merge(&mut self, other: &Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+
+    fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Push–pull averaging: each exchange replaces both values with their mean.
+///
+/// The global average is invariant under exchanges and the variance decays
+/// exponentially (by ≈ `1/(2√e)` per round), giving `O(log N)` convergence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvgAggregate(f64);
+
+impl AvgAggregate {
+    /// Creates an agent state with local value `v`.
+    pub fn new(v: f64) -> Self {
+        AvgAggregate(v)
+    }
+}
+
+impl Aggregate for AvgAggregate {
+    fn merge(&mut self, other: &Self) {
+        self.0 = (self.0 + other.0) / 2.0;
+    }
+
+    fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Network size estimation: exactly one agent starts at 1.0, all others at
+/// 0.0; the running average converges to `1/N`, so
+/// [`estimated_size`](CountAggregate::estimated_size) converges to `N`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountAggregate(AvgAggregate);
+
+impl CountAggregate {
+    /// Creates the agent state; pass `leader = true` for exactly one agent.
+    pub fn new(leader: bool) -> Self {
+        CountAggregate(AvgAggregate::new(if leader { 1.0 } else { 0.0 }))
+    }
+
+    /// Current network-size estimate (`1 / average`); `f64::INFINITY`
+    /// before any mass has reached this agent.
+    pub fn estimated_size(&self) -> f64 {
+        if self.0.value() <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.0.value()
+        }
+    }
+}
+
+impl Aggregate for CountAggregate {
+    fn merge(&mut self, other: &Self) {
+        self.0.merge(&other.0);
+    }
+
+    fn value(&self) -> f64 {
+        self.0.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_merge_keeps_larger() {
+        let mut a = MaxAggregate::new(3.0);
+        let b = MaxAggregate::new(7.0);
+        a.merge(&b);
+        assert_eq!(a.value(), 7.0);
+        let mut c = MaxAggregate::new(9.0);
+        c.merge(&b);
+        assert_eq!(c.value(), 9.0);
+    }
+
+    #[test]
+    fn max_raise_is_monotone() {
+        let mut a = MaxAggregate::new(5.0);
+        a.raise(2.0);
+        assert_eq!(a.value(), 5.0);
+        a.raise(8.0);
+        assert_eq!(a.value(), 8.0);
+    }
+
+    #[test]
+    fn avg_merge_is_mean_and_mass_preserving() {
+        let mut a = AvgAggregate::new(10.0);
+        let mut b = AvgAggregate::new(4.0);
+        let before = a.value() + b.value();
+        let a0 = a;
+        a.merge(&b);
+        b.merge(&a0);
+        assert_eq!(a.value(), 7.0);
+        assert_eq!(b.value(), 7.0);
+        assert_eq!(a.value() + b.value(), before);
+    }
+
+    #[test]
+    fn count_estimates_inverse_average() {
+        let leader = CountAggregate::new(true);
+        let other = CountAggregate::new(false);
+        assert_eq!(leader.estimated_size(), 1.0);
+        assert_eq!(other.estimated_size(), f64::INFINITY);
+        let mut merged = other;
+        merged.merge(&leader);
+        assert_eq!(merged.estimated_size(), 2.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Epidemic (push–pull gossip) aggregation substrate.
+//!
+//! The paper's §3.3 proposes decentralized termination detection for the
+//! distributed k-core protocol via "epidemic protocols for aggregation
+//! \[Jelasity, Montresor, Babaoglu — ACM TOCS 2005\]", which "enable the
+//! decentralized computation of global properties in `O(log |H|)` rounds".
+//! This crate implements that substrate: anti-entropy push–pull gossip over
+//! a set of agents, with the three aggregate functions the termination
+//! detector and the paper's motivating scenarios need:
+//!
+//! * [`MaxAggregate`] — epidemic maximum (used to agree on the last round
+//!   in which any host produced a new estimate);
+//! * [`AvgAggregate`] — push–pull averaging (each exchange replaces both
+//!   values with their mean — the core primitive of Jelasity et al.);
+//! * [`CountAggregate`] — network size estimation: one agent starts at 1,
+//!   the rest at 0, and the average converges to `1/N`.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_gossip::{Aggregate, GossipNetwork, MaxAggregate};
+//!
+//! // 64 agents each know a local value; gossip the maximum.
+//! let mut net = GossipNetwork::new(
+//!     (0..64).map(|i| MaxAggregate::new(i as f64)),
+//!     42,
+//! );
+//! let rounds = net.run_until_converged(1e-9, 100).expect("converges");
+//! // O(log N) rounds: every agent now knows the global max.
+//! assert!(rounds < 20);
+//! assert!(net.agents().iter().all(|a| a.value() == 63.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod network;
+
+pub use aggregate::{Aggregate, AvgAggregate, CountAggregate, MaxAggregate};
+pub use network::{GossipError, GossipNetwork};

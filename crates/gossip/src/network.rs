@@ -1,0 +1,259 @@
+//! Round-based push–pull gossip execution over a set of agents.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::Aggregate;
+
+/// Error returned when gossip fails to converge within a round budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipError {
+    rounds: usize,
+}
+
+impl GossipError {
+    /// The number of rounds that were executed before giving up.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl fmt::Display for GossipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gossip did not converge within {} rounds", self.rounds)
+    }
+}
+
+impl Error for GossipError {}
+
+/// A fully-connected gossip overlay executing synchronous push–pull rounds.
+///
+/// In each round every agent contacts one uniformly random peer and the two
+/// merge states symmetrically (push–pull). This is the cycle-based model of
+/// Jelasity et al. and matches the round structure of the k-core protocols,
+/// letting the termination detector piggyback one gossip round per protocol
+/// round.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_gossip::{AvgAggregate, Aggregate, GossipNetwork};
+///
+/// let mut net = GossipNetwork::new(
+///     [1.0, 3.0, 5.0, 7.0].into_iter().map(AvgAggregate::new),
+///     7,
+/// );
+/// net.run_until_converged(1e-6, 200)?;
+/// for agent in net.agents() {
+///     assert!((agent.value() - 4.0).abs() < 1e-3);
+/// }
+/// # Ok::<(), dkcore_gossip::GossipError>(())
+/// ```
+#[derive(Debug)]
+pub struct GossipNetwork<A: Aggregate> {
+    agents: Vec<A>,
+    rng: StdRng,
+    rounds_run: usize,
+}
+
+impl<A: Aggregate> GossipNetwork<A> {
+    /// Creates a network from per-agent initial states and an RNG seed.
+    pub fn new<I: IntoIterator<Item = A>>(agents: I, seed: u64) -> Self {
+        GossipNetwork {
+            agents: agents.into_iter().collect(),
+            rng: StdRng::seed_from_u64(seed),
+            rounds_run: 0,
+        }
+    }
+
+    /// Number of agents in the overlay.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Whether the overlay has no agents.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Read access to all agent states.
+    pub fn agents(&self) -> &[A] {
+        &self.agents
+    }
+
+    /// Mutable access to one agent's state (e.g. to
+    /// [`raise`](crate::MaxAggregate::raise) a max value when new local
+    /// information appears).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn agent_mut(&mut self, i: usize) -> &mut A {
+        &mut self.agents[i]
+    }
+
+    /// Total number of gossip rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Executes one synchronous push–pull round: every agent (in random
+    /// order) exchanges state with one uniformly random peer.
+    pub fn round(&mut self) {
+        let n = self.agents.len();
+        if n < 2 {
+            self.rounds_run += 1;
+            return;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut self.rng);
+        for i in order {
+            let mut j = self.rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            // Symmetric push-pull on pre-exchange states.
+            let a_before = self.agents[i].clone();
+            let b_before = self.agents[j].clone();
+            self.agents[i].merge(&b_before);
+            self.agents[j].merge(&a_before);
+        }
+        self.rounds_run += 1;
+    }
+
+    /// Spread (max − min) of the current agent values.
+    pub fn spread(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for a in &self.agents {
+            min = min.min(a.value());
+            max = max.max(a.value());
+        }
+        if self.agents.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Runs rounds until all agent values agree within `epsilon`, or fails
+    /// after `max_rounds`.
+    ///
+    /// Returns the number of rounds executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipError`] if the spread is still above `epsilon` after
+    /// `max_rounds` rounds.
+    pub fn run_until_converged(
+        &mut self,
+        epsilon: f64,
+        max_rounds: usize,
+    ) -> Result<usize, GossipError> {
+        for r in 0..max_rounds {
+            if self.spread() <= epsilon {
+                return Ok(r);
+            }
+            self.round();
+        }
+        if self.spread() <= epsilon {
+            Ok(max_rounds)
+        } else {
+            Err(GossipError { rounds: max_rounds })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AvgAggregate, CountAggregate, MaxAggregate};
+
+    #[test]
+    fn max_converges_logarithmically() {
+        let n = 256;
+        let mut net = GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), 1);
+        let rounds = net.run_until_converged(0.0, 64).unwrap();
+        assert!(rounds <= 2 * (n as f64).log2().ceil() as usize,
+            "max gossip took {rounds} rounds for n={n}");
+        assert!(net.agents().iter().all(|a| a.value() == (n - 1) as f64));
+    }
+
+    #[test]
+    fn avg_preserves_global_mean() {
+        let values = [2.0, 4.0, 6.0, 8.0, 10.0, 0.0, 12.0, 14.0];
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mut net = GossipNetwork::new(values.into_iter().map(AvgAggregate::new), 3);
+        net.run_until_converged(1e-9, 500).unwrap();
+        for a in net.agents() {
+            assert!((a.value() - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn count_estimates_network_size() {
+        let n = 128;
+        let mut net =
+            GossipNetwork::new((0..n).map(|i| CountAggregate::new(i == 0)), 9);
+        net.run_until_converged(1e-12, 300).unwrap();
+        for a in net.agents() {
+            assert!((a.estimated_size() - n as f64).abs() < 0.5,
+                "size estimate {}", a.estimated_size());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut net =
+                GossipNetwork::new((0..32).map(|i| AvgAggregate::new(i as f64)), 11);
+            net.round();
+            net.round();
+            net.agents().iter().map(|a| a.value()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn single_and_empty_networks_are_trivially_converged() {
+        let mut single = GossipNetwork::new([MaxAggregate::new(5.0)], 0);
+        assert_eq!(single.run_until_converged(0.0, 10).unwrap(), 0);
+        assert_eq!(single.len(), 1);
+        let mut empty = GossipNetwork::<MaxAggregate>::new([], 0);
+        assert_eq!(empty.run_until_converged(0.0, 10).unwrap(), 0);
+        assert!(empty.is_empty());
+        empty.round(); // must not panic
+    }
+
+    #[test]
+    fn raise_propagates_new_max() {
+        let mut net = GossipNetwork::new((0..16).map(|_| MaxAggregate::new(0.0)), 2);
+        net.run_until_converged(0.0, 50).unwrap();
+        net.agent_mut(3).raise(42.0);
+        net.run_until_converged(0.0, 50).unwrap();
+        assert!(net.agents().iter().all(|a| a.value() == 42.0));
+    }
+
+    #[test]
+    fn convergence_failure_is_reported() {
+        // Two agents that can never agree within 0 rounds of budget.
+        let mut net = GossipNetwork::new(
+            [AvgAggregate::new(0.0), AvgAggregate::new(1.0)],
+            4,
+        );
+        let err = net.run_until_converged(1e-12, 0).unwrap_err();
+        assert_eq!(err.rounds(), 0);
+        assert!(err.to_string().contains("did not converge"));
+    }
+
+    #[test]
+    fn rounds_run_accumulates() {
+        let mut net = GossipNetwork::new((0..8).map(|i| MaxAggregate::new(i as f64)), 5);
+        net.round();
+        net.round();
+        assert_eq!(net.rounds_run(), 2);
+    }
+}

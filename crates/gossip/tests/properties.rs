@@ -1,0 +1,71 @@
+//! Property-based tests for the gossip aggregation substrate.
+
+use dkcore_gossip::{Aggregate, AvgAggregate, CountAggregate, GossipNetwork, MaxAggregate};
+use proptest::prelude::*;
+
+proptest! {
+    /// Max gossip converges to the exact maximum for arbitrary values and
+    /// sizes, within a generous O(log N) round budget.
+    #[test]
+    fn max_converges_to_true_maximum(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let expected = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut net = GossipNetwork::new(values.into_iter().map(MaxAggregate::new), seed);
+        let budget = 20 * (net.len().max(2) as f64).log2().ceil() as usize + 20;
+        net.run_until_converged(0.0, budget).expect("max gossip converges");
+        for a in net.agents() {
+            prop_assert_eq!(a.value(), expected);
+        }
+    }
+
+    /// Averaging gossip preserves the global mean at every round (mass
+    /// conservation) and shrinks the spread monotonically in expectation.
+    #[test]
+    fn avg_preserves_mass_every_round(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        seed in any::<u64>(),
+    ) {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mut net = GossipNetwork::new(values.into_iter().map(AvgAggregate::new), seed);
+        for _ in 0..30 {
+            net.round();
+            let now: f64 =
+                net.agents().iter().map(|a| a.value()).sum::<f64>() / net.len() as f64;
+            prop_assert!((now - mean).abs() < 1e-6, "mass not conserved: {now} vs {mean}");
+        }
+    }
+
+    /// Count aggregation estimates the network size within 5 % once
+    /// converged tightly.
+    #[test]
+    fn count_estimates_size(n in 2usize..150, seed in any::<u64>()) {
+        let mut net =
+            GossipNetwork::new((0..n).map(|i| CountAggregate::new(i == 0)), seed);
+        net.run_until_converged(1e-12, 50 * n).expect("count gossip converges");
+        for a in net.agents() {
+            let est = a.estimated_size();
+            let relative_error = (est - n as f64).abs() / n as f64;
+            prop_assert!(relative_error < 0.05,
+                "size estimate {est} too far from {n}");
+        }
+    }
+
+    /// The merge operations are commutative: merging a into b and b into a
+    /// yields the same value.
+    #[test]
+    fn merges_are_commutative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let (mut ma, mb) = (MaxAggregate::new(a), MaxAggregate::new(b));
+        let (ma0, mut mb2) = (MaxAggregate::new(a), MaxAggregate::new(b));
+        ma.merge(&mb);
+        mb2.merge(&ma0);
+        prop_assert_eq!(ma.value(), mb2.value());
+
+        let (mut aa, ab) = (AvgAggregate::new(a), AvgAggregate::new(b));
+        let (aa0, mut ab2) = (AvgAggregate::new(a), AvgAggregate::new(b));
+        aa.merge(&ab);
+        ab2.merge(&aa0);
+        prop_assert_eq!(aa.value(), ab2.value());
+    }
+}

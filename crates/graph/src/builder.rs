@@ -1,0 +1,204 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Edges may be added in any order; self-loops are silently dropped and
+/// duplicate edges are merged at [`build`](GraphBuilder::build) time, so the
+/// resulting graph is always simple. The builder is the right entry point
+/// for generators and parsers; for literal edge lists prefer
+/// [`Graph::from_edges`].
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3)?;
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), dkcore_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    /// Directed arc list; both directions are pushed per undirected edge.
+    arcs: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with exactly `node_count` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyNodes`] if `node_count` exceeds the
+    /// `u32` identifier space.
+    pub fn new(node_count: usize) -> Result<GraphBuilder, GraphError> {
+        if node_count > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes { node_count });
+        }
+        Ok(GraphBuilder { node_count, arcs: Vec::new() })
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Self-loops (`u == v`) are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range; use
+    /// [`add_edge_checked`](GraphBuilder::add_edge_checked) for fallible
+    /// insertion of untrusted input.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge_checked(u.0, v.0)
+            .expect("edge endpoint out of range");
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`, validating both endpoints.
+    ///
+    /// Self-loops (`u == v`) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is
+    /// `>= node_count`.
+    pub fn add_edge_checked(&mut self, u: u32, v: u32) -> Result<&mut Self, GraphError> {
+        let n = self.node_count;
+        if (u as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+        }
+        if (v as usize) >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+        }
+        if u != v {
+            self.arcs.push((u, v));
+            self.arcs.push((v, u));
+        }
+        Ok(self)
+    }
+
+    /// Number of undirected edges added so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Finalizes the CSR representation: counting sort of arcs by source,
+    /// then per-node sort and deduplication of targets.
+    pub fn build(self) -> Graph {
+        let n = self.node_count;
+        // Counting sort by source node.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in &self.arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut slots = counts.clone();
+        let mut targets = vec![NodeId(0); self.arcs.len()];
+        for &(u, v) in &self.arcs {
+            targets[slots[u as usize]] = NodeId(v);
+            slots[u as usize] += 1;
+        }
+        // Per-node sort + dedup, compacting in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for u in 0..n {
+            let (start, end) = (counts[u], counts[u + 1]);
+            let mut list: Vec<NodeId> = targets[start..end].to_vec();
+            list.sort_unstable();
+            list.dedup();
+            offsets[u] = write;
+            for v in list {
+                targets[write] = v;
+                write += 1;
+            }
+        }
+        offsets[n] = write;
+        targets.truncate(write);
+        Graph::from_csr(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = GraphBuilder::new(5).unwrap();
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(3), NodeId(2));
+        b.add_edge(NodeId(4), NodeId(0));
+        assert_eq!(b.pending_edges(), 3);
+        assert_eq!(b.node_count(), 5);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn duplicate_edges_merged_on_build() {
+        let mut b = GraphBuilder::new(2).unwrap();
+        for _ in 0..10 {
+            b.add_edge(NodeId(0), NodeId(1));
+        }
+        assert_eq!(b.pending_edges(), 10);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2).unwrap();
+        b.add_edge(NodeId(1), NodeId(1));
+        assert_eq!(b.pending_edges(), 0);
+        assert_eq!(b.build().edge_count(), 0);
+    }
+
+    #[test]
+    fn checked_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2).unwrap();
+        assert!(b.add_edge_checked(0, 2).is_err());
+        assert!(b.add_edge_checked(7, 0).is_err());
+        assert!(b.add_edge_checked(0, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn unchecked_panics_out_of_range() {
+        let mut b = GraphBuilder::new(1).unwrap();
+        b.add_edge(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn zero_node_builder() {
+        let g = GraphBuilder::new(0).unwrap().build();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn too_many_nodes_rejected() {
+        assert!(matches!(
+            GraphBuilder::new(u32::MAX as usize + 1),
+            Err(GraphError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        let mut b = GraphBuilder::new(4).unwrap();
+        b.add_edge(NodeId(0), NodeId(3));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(0), NodeId(2));
+        let g = b.build();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error produced while constructing or parsing a graph.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{Graph, GraphError};
+///
+/// // Node 9 is out of range for a 3-node graph.
+/// let err = Graph::from_edges(3, [(0, 9)]).unwrap_err();
+/// assert!(matches!(err, GraphError::NodeOutOfRange { node: 9, node_count: 3 }));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint does not fit in `0..node_count`.
+    NodeOutOfRange {
+        /// The offending node identifier.
+        node: u32,
+        /// The number of nodes declared for the graph.
+        node_count: usize,
+    },
+    /// The declared node count exceeds the `u32` identifier space.
+    TooManyNodes {
+        /// The declared node count.
+        node_count: usize,
+    },
+    /// An underlying I/O operation failed while reading or writing a graph.
+    Io(io::Error),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of what went wrong on that line.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::TooManyNodes { node_count } => {
+                write!(f, "node count {node_count} exceeds u32 identifier space")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 4, node_count: 2 };
+        assert_eq!(e.to_string(), "node 4 out of range for graph with 2 nodes");
+        let e = GraphError::Parse { line: 3, message: "expected two fields".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: expected two fields");
+        let e = GraphError::TooManyNodes { node_count: usize::MAX };
+        assert!(e.to_string().contains("exceeds u32"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

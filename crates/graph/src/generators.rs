@@ -1,0 +1,685 @@
+//! Seeded synthetic graph generators.
+//!
+//! Two families live here:
+//!
+//! * **Workload generators** standing in for the SNAP datasets of the
+//!   paper's Table 1 — [`gnp`], [`gnm`], [`barabasi_albert`],
+//!   [`watts_strogatz`], [`rmat`], [`planted_partition`], [`grid`],
+//!   [`with_pendant_chains`];
+//! * **Theory fixtures** from §4 of the paper — [`worst_case`] (the
+//!   Figure 3 family whose synchronous execution time is exactly `N − 1`
+//!   rounds), [`path`] (the `⌈N/2⌉`-round linear chain), [`cycle`],
+//!   [`complete`], [`star`], [`random_tree`].
+//!
+//! All generators take an explicit `seed` where randomness is involved, so
+//! every experiment in the workspace is reproducible.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+fn builder(n: usize) -> GraphBuilder {
+    GraphBuilder::new(n).expect("generator node count exceeds u32")
+}
+
+/// Erdős–Rényi `G(n, p)` random graph: every pair is an edge independently
+/// with probability `p`.
+///
+/// Uses geometric edge skipping, so generation is `O(n + m)` rather than
+/// `O(n²)` for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::gnp;
+///
+/// let g = gnp(100, 0.05, 42);
+/// assert_eq!(g.node_count(), 100);
+/// // Expected edge count is C(100,2) * 0.05 ≈ 247; allow generous slack.
+/// assert!(g.edge_count() > 120 && g.edge_count() < 400);
+/// ```
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut b = builder(n);
+    if n == 0 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Batagelj–Brandes skip sampling over the strictly-lower-triangular
+    // pair enumeration.
+    let log_1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.random_range(0.0..1.0);
+        w += 1 + ((1.0 - r).ln() / log_1p) as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            b.add_edge(NodeId(w as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)` random graph: exactly `m` distinct edges chosen
+/// uniformly among all pairs.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of distinct pairs `n(n-1)/2`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::gnm;
+///
+/// let g = gnm(50, 100, 7);
+/// assert_eq!(g.node_count(), 50);
+/// assert_eq!(g.edge_count(), 100);
+/// ```
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} pairs exist");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique of
+/// `m0 = m` nodes and attaches each new node to `m` existing nodes chosen
+/// proportionally to degree.
+///
+/// Produces the heavy-tailed degree distributions typical of the paper's
+/// collaboration and social datasets (CA-AstroPh, soc-Slashdot, …).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::barabasi_albert;
+///
+/// let g = barabasi_albert(500, 3, 1);
+/// assert_eq!(g.node_count(), 500);
+/// // Hubs emerge: the max degree greatly exceeds the attachment count.
+/// assert!(g.max_degree() > 10);
+/// ```
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n >= m, "need at least m nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder(n);
+    // `targets` holds one entry per half-edge endpoint: sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(4 * n * m.max(1));
+    // Seed clique among the first m nodes (a single node when m == 1).
+    for u in 0..m as u32 {
+        for v in (u + 1)..m as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    if m == 1 && n > 1 {
+        // No seed edges exist yet; bootstrap by linking node 1 to node 0.
+        b.add_edge(NodeId(0), NodeId(1));
+        endpoint_pool.push(0);
+        endpoint_pool.push(1);
+    }
+    let start = if m == 1 { 2 } else { m };
+    for u in start..n {
+        // A Vec keeps insertion order deterministic (HashSet iteration
+        // order would leak nondeterminism into the endpoint pool and make
+        // same-seed runs diverge); m is small, so `contains` is cheap.
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            let v = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if v as usize != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+            guard += 1;
+        }
+        // Degenerate fallback (tiny pools): connect to first nodes.
+        let mut fill = 0u32;
+        while chosen.len() < m {
+            if (fill as usize) != u && !chosen.contains(&fill) {
+                chosen.push(fill);
+            }
+            fill += 1;
+        }
+        for v in chosen {
+            b.add_edge(NodeId(u as u32), NodeId(v));
+            endpoint_pool.push(u as u32);
+            endpoint_pool.push(v);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node links
+/// to its `k/2` nearest neighbors on each side, then each edge is rewired
+/// with probability `beta`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::watts_strogatz;
+///
+/// let g = watts_strogatz(100, 4, 0.1, 3);
+/// assert_eq!(g.node_count(), 100);
+/// assert!(g.edge_count() <= 200); // rewiring can collide, never add
+/// ```
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k % 2 == 0, "lattice degree k must be even");
+    assert!(k < n, "lattice degree k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if rng.random_bool(beta) {
+                // Rewire the far endpoint uniformly.
+                let w = rng.random_range(0..n as u32);
+                b.add_edge(NodeId(u as u32), NodeId(w));
+            } else {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive-matrix graph (Chakrabarti et al.), the standard model
+/// for web-crawl-like graphs: `2^scale` nodes, `edge_count` sampled edges,
+/// quadrant probabilities `(a, b, c)` with `d = 1 - a - b - c`.
+///
+/// Used as the structural stand-in for the paper's web-BerkStan dataset
+/// (combined with [`with_pendant_chains`] to reproduce its "deep pages").
+///
+/// # Panics
+///
+/// Panics if the probabilities are negative or sum above 1.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::rmat;
+///
+/// let g = rmat(10, 5_000, (0.57, 0.19, 0.19), 11);
+/// assert_eq!(g.node_count(), 1024);
+/// assert!(g.edge_count() > 3_000); // some duplicates collapse
+/// ```
+pub fn rmat(scale: u32, edge_count: usize, (a, b, c): (f64, f64, f64), seed: u64) -> Graph {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9,
+        "rmat probabilities must be non-negative and sum to at most 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = builder(n);
+    for _ in 0..edge_count {
+        let (mut u, mut v) = (0usize, 0usize);
+        let mut span = n / 2;
+        while span >= 1 {
+            let r: f64 = rng.random_range(0.0..1.0);
+            if r < a {
+                // top-left: no change
+            } else if r < a + b {
+                v += span;
+            } else if r < a + b + c {
+                u += span;
+            } else {
+                u += span;
+                v += span;
+            }
+            span /= 2;
+        }
+        if u != v {
+            g.add_edge(NodeId(u as u32), NodeId(v as u32));
+        }
+    }
+    g.build()
+}
+
+/// Planted-partition (stochastic block) graph: `communities` equal-size
+/// groups; intra-community edges with probability `p_in`, inter-community
+/// with `p_out`.
+///
+/// Stand-in for the paper's Amazon co-purchase graph, whose community
+/// structure drives its moderate coreness values.
+///
+/// # Panics
+///
+/// Panics if `communities == 0` or a probability is outside `[0, 1]`.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    assert!(communities > 0, "need at least one community");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out),
+        "probabilities must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder(n);
+    // Sparse sampling: expected intra edges per community pair are small, so
+    // use G(n,p)-style skip sampling per block would be ideal; given the
+    // moderate sizes used in the harness, Bernoulli per candidate pair within
+    // a community and skip sampling across communities keeps this fast
+    // enough while staying simple.
+    let community_of = |u: usize| u % communities;
+    // Intra-community pairs.
+    for c in 0..communities {
+        let members: Vec<usize> = (0..n).filter(|&u| community_of(u) == c).collect();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.random_bool(p_in) {
+                    b.add_edge(NodeId(members[i] as u32), NodeId(members[j] as u32));
+                }
+            }
+        }
+    }
+    // Inter-community pairs via skip sampling over all pairs, filtered.
+    if p_out > 0.0 {
+        let log_1p = (1.0 - p_out).ln();
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        let n_i = n as i64;
+        while v < n_i {
+            let r: f64 = rng.random_range(0.0..1.0);
+            w += 1 + ((1.0 - r).ln() / log_1p) as i64;
+            while w >= v && v < n_i {
+                w -= v;
+                v += 1;
+            }
+            if v < n_i && community_of(w as usize) != community_of(v as usize) {
+                b.add_edge(NodeId(w as u32), NodeId(v as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two-dimensional grid graph with `rows × cols` nodes, each connected to
+/// its horizontal and vertical neighbors.
+///
+/// The high-diameter, low-degree stand-in for the paper's roadNet-TX
+/// dataset (coreness ≤ 2 in a pure grid, ≤ 3 in the SNAP original).
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::grid;
+///
+/// let g = grid(3, 4);
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // 17
+/// ```
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = builder(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Grid with a fraction of extra random "shortcut" edges, making the
+/// coreness landscape less uniform than a pure grid while keeping the
+/// large diameter (closer to a real road network with loops).
+pub fn grid_perturbed(rows: usize, cols: usize, extra_edges: usize, seed: u64) -> Graph {
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = grid(rows, cols);
+    let mut b = builder(n);
+    for (u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    let mut added = 0;
+    while added < extra_edges {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v));
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Attaches `chains` pendant paths of length `chain_len` to random nodes of
+/// `base`; returns the combined graph.
+///
+/// Models the "deep pages very far away from the highest cores" that the
+/// paper blames for web-BerkStan's slow 1-core convergence (§5.1, Table 2
+/// discussion).
+pub fn with_pendant_chains(base: &Graph, chains: usize, chain_len: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n0 = base.node_count();
+    let n = n0 + chains * chain_len;
+    let mut b = builder(n);
+    for (u, v) in base.edges() {
+        b.add_edge(u, v);
+    }
+    let mut next = n0 as u32;
+    for _ in 0..chains {
+        let mut anchor = NodeId(rng.random_range(0..n0 as u32));
+        for _ in 0..chain_len {
+            let fresh = NodeId(next);
+            next += 1;
+            b.add_edge(anchor, fresh);
+            anchor = fresh;
+        }
+    }
+    b.build()
+}
+
+/// Path graph `0 — 1 — … — n-1`.
+///
+/// The paper notes (§4.2) that the linear chain of size `N` converges in
+/// `⌈N/2⌉` synchronous rounds.
+pub fn path(n: usize) -> Graph {
+    let mut b = builder(n);
+    for u in 1..n {
+        b.add_edge(NodeId((u - 1) as u32), NodeId(u as u32));
+    }
+    b.build()
+}
+
+/// Cycle graph on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n` is 1 or 2 (a simple cycle needs at least 3 nodes);
+/// `n == 0` yields the empty graph.
+pub fn cycle(n: usize) -> Graph {
+    if n == 0 {
+        return builder(0).build();
+    }
+    assert!(n >= 3, "a simple cycle needs at least 3 nodes");
+    let mut b = builder(n);
+    for u in 0..n {
+        b.add_edge(NodeId(u as u32), NodeId(((u + 1) % n) as u32));
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`: every node has coreness `n − 1`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = builder(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = builder(n);
+    for u in 1..n as u32 {
+        b.add_edge(NodeId(0), NodeId(u));
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree: node `u` attaches to a uniformly random
+/// earlier node. All coreness values are 1.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = builder(n);
+    for u in 1..n {
+        let parent = rng.random_range(0..u as u32);
+        b.add_edge(NodeId(u as u32), NodeId(parent));
+    }
+    b.build()
+}
+
+/// The worst-case family of the paper's Figure 3, on which the synchronous
+/// execution time is exactly `N − 1` rounds (for `N ≥ 5`).
+///
+/// Construction rules (§4.2, nodes numbered `1..=N` in the paper, shifted
+/// to `0..N` here):
+///
+/// * node `N` is connected to all nodes except node `N − 3`;
+/// * each node `i = 1 … N−2` is connected to its successor `i + 1`;
+/// * node `N − 3` is also connected to node `N − 1`.
+///
+/// Every node has degree 3, except the hub (`N`, degree `N − 2`) and the
+/// trigger node 1 (degree 2). All coreness values are 2, yet convergence
+/// takes `N − 1` rounds while the diameter stays 3 — the paper's example
+/// showing execution time is not governed by diameter.
+///
+/// # Panics
+///
+/// Panics if `n < 5`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::generators::worst_case;
+///
+/// let g = worst_case(12); // the exact graph drawn in the paper's Figure 3
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.degree(dkcore_graph::NodeId(11)), 10); // hub: N - 2
+/// assert_eq!(g.degree(dkcore_graph::NodeId(0)), 2);   // trigger node
+/// ```
+pub fn worst_case(n: usize) -> Graph {
+    assert!(n >= 5, "the worst-case family is defined for N >= 5");
+    let mut b = builder(n);
+    // Paper node j (1-based) is NodeId(j - 1).
+    let id = |j: usize| NodeId((j - 1) as u32);
+    let hub = n;
+    for j in 1..n {
+        if j != n - 3 {
+            b.add_edge(id(hub), id(j));
+        }
+    }
+    for j in 1..=(n - 2) {
+        b.add_edge(id(j), id(j + 1));
+    }
+    b.add_edge(id(n - 3), id(n - 1));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_determinism_and_bounds() {
+        let a = gnp(200, 0.02, 9);
+        let b = gnp(200, 0.02, 9);
+        assert_eq!(a, b, "same seed must give the same graph");
+        let c = gnp(200, 0.02, 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+        assert_eq!(gnp(0, 0.5, 1).node_count(), 0);
+    }
+
+    #[test]
+    fn gnp_density_close_to_expectation() {
+        let n = 1000;
+        let p = 0.01;
+        let g = gnp(n, p, 123);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let actual = g.edge_count() as f64;
+        assert!((actual - expected).abs() < 0.15 * expected,
+            "edge count {actual} too far from expectation {expected}");
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        for (n, m) in [(10, 0), (10, 45), (100, 500)] {
+            assert_eq!(gnm(n, m, 5).edge_count(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs exist")]
+    fn gnm_too_many_edges_panics() {
+        let _ = gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn ba_node_and_hub_structure() {
+        let g = barabasi_albert(300, 2, 77);
+        assert_eq!(g.node_count(), 300);
+        // Every non-seed node contributes >= m edges (dedup can only merge
+        // the seed clique); allow slack for collisions.
+        assert!(g.edge_count() >= 2 * (300 - 2) - 10);
+        assert!(g.max_degree() >= 10, "BA should grow hubs");
+    }
+
+    #[test]
+    fn ba_m1_is_tree_like() {
+        let g = barabasi_albert(50, 1, 3);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 49);
+    }
+
+    #[test]
+    fn ws_ring_structure_no_rewiring() {
+        let g = watts_strogatz(20, 4, 0.0, 0);
+        assert_eq!(g.edge_count(), 40);
+        // Pure lattice: node 0 is adjacent to 1, 2, 18, 19.
+        let nbrs = g.neighbors(NodeId(0));
+        assert_eq!(nbrs, &[NodeId(1), NodeId(2), NodeId(18), NodeId(19)]);
+    }
+
+    #[test]
+    fn rmat_is_seed_deterministic() {
+        assert_eq!(rmat(8, 1000, (0.57, 0.19, 0.19), 4), rmat(8, 1000, (0.57, 0.19, 0.19), 4));
+    }
+
+    #[test]
+    fn planted_partition_intra_denser_than_inter() {
+        let g = planted_partition(200, 4, 0.2, 0.005, 8);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if u.index() % 4 == v.index() % 4 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} should dominate inter {inter}");
+    }
+
+    #[test]
+    fn grid_edge_count_formula() {
+        for (r, c) in [(1, 1), (1, 5), (4, 4), (3, 7)] {
+            let g = grid(r, c);
+            assert_eq!(g.node_count(), r * c);
+            assert_eq!(g.edge_count(), r * (c.saturating_sub(1)) + c * (r.saturating_sub(1)));
+        }
+    }
+
+    #[test]
+    fn grid_perturbed_has_extra_edges() {
+        let g = grid_perturbed(10, 10, 30, 2);
+        assert!(g.edge_count() > grid(10, 10).edge_count());
+        assert!(g.edge_count() <= grid(10, 10).edge_count() + 30);
+    }
+
+    #[test]
+    fn pendant_chains_extend_graph() {
+        let base = complete(5);
+        let g = with_pendant_chains(&base, 3, 4, 1);
+        assert_eq!(g.node_count(), 5 + 12);
+        assert_eq!(g.edge_count(), base.edge_count() + 12);
+    }
+
+    #[test]
+    fn path_cycle_star_complete_shapes() {
+        assert_eq!(path(6).edge_count(), 5);
+        assert_eq!(cycle(6).edge_count(), 6);
+        assert_eq!(star(6).edge_count(), 5);
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(cycle(0).node_count(), 0);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree(100, 5);
+        assert_eq!(g.edge_count(), 99);
+    }
+
+    #[test]
+    fn worst_case_matches_paper_figure3() {
+        // N = 12, as drawn in the paper.
+        let g = worst_case(12);
+        assert_eq!(g.node_count(), 12);
+        // Degrees: hub N-2 = 10; node 1 has 2; everyone else 3.
+        let mut degs = g.degrees();
+        assert_eq!(degs[11], 10, "hub degree must be N - 2");
+        assert_eq!(degs[0], 2, "trigger node degree must be 2");
+        degs.sort_unstable();
+        assert_eq!(&degs[1..11], &[3; 10], "all other nodes have degree 3");
+        // Hub is NOT connected to node N-3 (paper numbering) = NodeId(8).
+        assert!(!g.has_edge(NodeId(11), NodeId(8)));
+        // Extra edge (N-3, N-1) = (9, 11) paper = (8, 10) zero-based.
+        assert!(g.has_edge(NodeId(8), NodeId(10)));
+    }
+
+    #[test]
+    fn worst_case_various_sizes() {
+        for n in [5, 6, 9, 20, 33] {
+            let g = worst_case(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.degree(NodeId((n - 1) as u32)), (n - 2) as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 5")]
+    fn worst_case_too_small_panics() {
+        let _ = worst_case(4);
+    }
+}

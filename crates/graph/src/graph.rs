@@ -1,0 +1,390 @@
+use crate::{GraphBuilder, GraphError, NodeId};
+
+/// A simple undirected graph in CSR (compressed sparse row) form.
+///
+/// The representation is immutable once built: neighbor lists are sorted,
+/// deduplicated and free of self-loops. Every undirected edge `{u, v}` is
+/// stored twice (as `u → v` and `v → u`), matching the paper's §5 note that
+/// "undirected graphs have been transformed in directed graphs by
+/// considering both directions for each link".
+///
+/// Use [`GraphBuilder`] or [`Graph::from_edges`] to construct one.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{Graph, NodeId};
+///
+/// let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(triangle.edge_count(), 3);
+/// assert!(triangle.has_edge(NodeId(0), NodeId(2)));
+/// assert_eq!(triangle.degree(NodeId(1)), 2);
+/// # Ok::<(), dkcore_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    /// `offsets[u.index()]..offsets[u.index() + 1]` indexes `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node sorted adjacency lists.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `node_count` nodes from an edge iterator.
+    ///
+    /// Self-loops are dropped and duplicate edges are merged, so the result
+    /// is always a simple graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>=
+    /// node_count` and [`GraphError::TooManyNodes`] if `node_count` does not
+    /// fit in `u32`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dkcore_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 0), (2, 2), (1, 2)])?;
+    /// // (1,0) duplicates (0,1); (2,2) is a self-loop: both are ignored.
+    /// assert_eq!(g.edge_count(), 2);
+    /// # Ok::<(), dkcore_graph::GraphError>(())
+    /// ```
+    pub fn from_edges<I>(node_count: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut builder = GraphBuilder::new(node_count)?;
+        for (u, v) in edges {
+            builder.add_edge_checked(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Constructs the CSR arrays directly; used by [`GraphBuilder::build`].
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>) -> Graph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        Graph { offsets, targets }
+    }
+
+    /// Number of nodes `N = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `M = |E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of node `u` — the size of `neighborV(u)` in the paper's
+    /// notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> u32 {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as u32
+    }
+
+    /// Sorted slice of neighbors of `u` (`neighborV(u)` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    ///
+    /// Runs in `O(log degree(u))` thanks to sorted adjacency lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node identifiers `0..N`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dkcore_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(3, [(0, 1)])?;
+    /// let ids: Vec<u32> = g.nodes().map(|u| u.0).collect();
+    /// assert_eq!(ids, vec![0, 1, 2]);
+    /// # Ok::<(), dkcore_graph::GraphError>(())
+    /// ```
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + use<> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, u: 0, pos: 0 }
+    }
+
+    /// Iterator over the neighbors of `u`.
+    ///
+    /// Equivalent to `self.neighbors(u).iter().copied()` but named per the
+    /// paper's `neighborV` function for readability at call sites.
+    pub fn neighbors_iter(&self, u: NodeId) -> Neighbors<'_> {
+        Neighbors { inner: self.neighbors(u).iter() }
+    }
+
+    /// Degrees of all nodes, indexed by `NodeId::index`.
+    pub fn degrees(&self) -> Vec<u32> {
+        self.nodes().map(|u| self.degree(u)).collect()
+    }
+
+    /// Largest degree `Δ` in the graph, or 0 for an empty graph.
+    pub fn max_degree(&self) -> u32 {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2M / N`, or 0.0 for an empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Subgraph induced by the nodes for which `keep` is `true`, together
+    /// with the mapping from new node ids to original ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.node_count()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dkcore_graph::{Graph, NodeId};
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+    /// let keep = vec![true, true, true, false];
+    /// let (sub, original) = g.induced_subgraph(&keep);
+    /// assert_eq!(sub.node_count(), 3);
+    /// assert_eq!(sub.edge_count(), 2); // 0-1 and 1-2 survive
+    /// assert_eq!(original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    /// # Ok::<(), dkcore_graph::GraphError>(())
+    /// ```
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(
+            keep.len(),
+            self.node_count(),
+            "keep mask length must equal node count"
+        );
+        let mut new_id = vec![u32::MAX; self.node_count()];
+        let mut original = Vec::new();
+        for u in self.nodes() {
+            if keep[u.index()] {
+                new_id[u.index()] = original.len() as u32;
+                original.push(u);
+            }
+        }
+        let mut builder = GraphBuilder::new(original.len())
+            .expect("subgraph cannot exceed u32 nodes");
+        for (u, v) in self.edges() {
+            if keep[u.index()] && keep[v.index()] {
+                builder.add_edge(NodeId(new_id[u.index()]), NodeId(new_id[v.index()]));
+            }
+        }
+        (builder.build(), original)
+    }
+
+    /// Total number of directed arcs (`2M`); the length of the CSR target
+    /// array. Exposed because the message-complexity bound of the paper's
+    /// Corollary 2 is naturally expressed in directed arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Iterator over undirected edges of a [`Graph`], each reported once with
+/// `u < v`. Created by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    u: u32,
+    pos: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.graph.node_count() as u32;
+        while self.u < n {
+            let u = NodeId(self.u);
+            let nbrs = self.graph.neighbors(u);
+            while self.pos < nbrs.len() {
+                let v = nbrs[self.pos];
+                self.pos += 1;
+                if u < v {
+                    return Some((u, v));
+                }
+            }
+            self.u += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+/// Iterator over the neighbors of one node. Created by
+/// [`Graph::neighbors_iter`].
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    inner: std::slice::Iter<'a, NodeId>,
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // Figure 1-like small graph: a triangle 0-1-2 with a pendant 3 on 0.
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.arc_count(), 8);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = sample();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                assert!(g.has_edge(v, u), "missing reverse arc {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_extremes() {
+        let g = sample();
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_removed() {
+        let g = Graph::from_edges(3, [(0, 0), (0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, node_count: 2 }));
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = sample();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(1), NodeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbors_iter_matches_slice() {
+        let g = sample();
+        let via_iter: Vec<_> = g.neighbors_iter(NodeId(0)).collect();
+        assert_eq!(via_iter.as_slice(), g.neighbors(NodeId(0)));
+        assert_eq!(g.neighbors_iter(NodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let g = Graph::from_edges(3, []).unwrap();
+        for u in g.nodes() {
+            assert!(g.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = sample();
+        let (sub, original) = g.induced_subgraph(&[true, true, true, false]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3); // triangle survives
+        assert_eq!(original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_mask() {
+        let g = sample();
+        let (sub, original) = g.induced_subgraph(&[false; 4]);
+        assert_eq!(sub.node_count(), 0);
+        assert!(original.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "keep mask length")]
+    fn induced_subgraph_bad_mask_panics() {
+        let g = sample();
+        let _ = g.induced_subgraph(&[true]);
+    }
+
+    #[test]
+    fn clone_eq_debug() {
+        let g = sample();
+        let h = g.clone();
+        assert_eq!(g, h);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Undirected graph substrate for the distributed k-core decomposition
+//! reproduction (Montresor, De Pellegrini, Miorandi — PODC 2011).
+//!
+//! This crate provides everything the protocols and the evaluation harness
+//! need from a graph library:
+//!
+//! * [`Graph`] — a compact, immutable CSR (compressed sparse row)
+//!   representation of a simple undirected graph, built through
+//!   [`GraphBuilder`];
+//! * [`generators`] — seeded synthetic graph generators covering every
+//!   workload class used in the paper's evaluation (random, scale-free,
+//!   small-world, web-like, road-like, community graphs) plus the theory
+//!   fixtures of §4 (the worst-case family of Figure 3, paths, cycles, …);
+//! * [`io`] — reading and writing SNAP-style edge lists, the format of the
+//!   Stanford Large Network Dataset collection used in the paper's §5;
+//! * [`metrics`] — degrees, connected components, BFS, exact and
+//!   double-sweep approximate diameters (the left half of the paper's
+//!   Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_graph::{Graph, NodeId};
+//!
+//! // The 6-node path graph of the paper's Figure 2: 1-2-3-4-5-6
+//! // (zero-based here).
+//! let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])?;
+//! assert_eq!(g.node_count(), 6);
+//! assert_eq!(g.edge_count(), 5);
+//! assert_eq!(g.degree(NodeId(0)), 1);
+//! assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+//! # Ok::<(), dkcore_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod node;
+
+pub mod generators;
+pub mod io;
+pub mod metrics;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edges, Graph, Neighbors};
+pub use node::NodeId;

@@ -1,0 +1,295 @@
+//! Structural graph metrics: connected components, BFS distances,
+//! eccentricities, exact and approximate diameters, degree histograms.
+//!
+//! These produce the left half of the paper's Table 1 (`|V|`, `|E|`,
+//! diameter, `d_max`) for the dataset analogs.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance value for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Breadth-first distances from `src` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{generators::path, metrics::bfs_distances, NodeId};
+///
+/// let g = path(4);
+/// assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: returns `(component_count, labels)` where
+/// `labels[u]` is the 0-based component index of node `u`.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{Graph, metrics::connected_components};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (2, 3)])?;
+/// let (count, labels) = connected_components(&g);
+/// assert_eq!(count, 3); // {0,1}, {2,3}, {4}
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// # Ok::<(), dkcore_graph::GraphError>(())
+/// ```
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in g.nodes() {
+        if labels[start.index()] != u32::MAX {
+            continue;
+        }
+        labels[start.index()] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, labels)
+}
+
+/// Largest connected component as an induced subgraph, with the mapping
+/// back to original node ids. Returns the empty graph for an empty input.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let (count, labels) = connected_components(g);
+    if count == 0 {
+        return (Graph::from_edges(0, []).expect("empty graph"), Vec::new());
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    let keep: Vec<bool> = labels.iter().map(|&l| l == biggest).collect();
+    g.induced_subgraph(&keep)
+}
+
+/// Eccentricity of `src` within its connected component: the greatest BFS
+/// distance to any reachable node.
+pub fn eccentricity(g: &Graph, src: NodeId) -> u32 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter of the largest connected component, by running a BFS from
+/// every node of that component. `O(N·M)` — use only on small graphs; the
+/// harness uses [`approx_diameter`] for dataset-scale graphs.
+pub fn exact_diameter(g: &Graph) -> u32 {
+    let (lcc, _) = largest_component(g);
+    lcc.nodes().map(|u| eccentricity(&lcc, u)).max().unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter of the largest component:
+/// repeatedly BFS from the farthest node found so far. With `sweeps` ≥ 2
+/// this matches the exact diameter on most real-world graphs and is the
+/// standard technique for Table-1-style diameter columns.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::{generators::path, metrics::approx_diameter};
+///
+/// assert_eq!(approx_diameter(&path(100), 2), 99);
+/// ```
+pub fn approx_diameter(g: &Graph, sweeps: usize) -> u32 {
+    let (lcc, _) = largest_component(g);
+    if lcc.node_count() == 0 {
+        return 0;
+    }
+    // Start from a max-degree node: a good heuristic seed.
+    let mut src = lcc
+        .nodes()
+        .max_by_key(|&u| lcc.degree(u))
+        .expect("non-empty component");
+    let mut best = 0u32;
+    for _ in 0..sweeps.max(1) {
+        let dist = bfs_distances(&lcc, src);
+        let (far, d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHABLE)
+            .max_by_key(|&(_, &d)| d)
+            .map(|(i, &d)| (NodeId::from_index(i), d))
+            .expect("component is non-empty");
+        if d <= best {
+            break;
+        }
+        best = d;
+        src = far;
+    }
+    best
+}
+
+/// Histogram of node degrees: `hist[d]` is the number of nodes with degree
+/// `d`. The vector has length `max_degree + 1` (or 0 for an empty graph).
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    if g.node_count() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; g.max_degree() as usize + 1];
+    for u in g.nodes() {
+        hist[g.degree(u) as usize] += 1;
+    }
+    hist
+}
+
+/// Number of nodes having the minimal degree of the graph — the `K` of the
+/// paper's Corollary 1 (execution time ≤ `N − K + 1`).
+pub fn min_degree_count(g: &Graph) -> usize {
+    let degs = g.degrees();
+    match degs.iter().min() {
+        None => 0,
+        Some(&min) => degs.iter().filter(|&&d| d == min).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, gnp, grid, path, star, worst_case};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, NodeId(2)), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (count, labels) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn components_empty_and_connected() {
+        assert_eq!(connected_components(&Graph::from_edges(0, []).unwrap()).0, 0);
+        assert_eq!(connected_components(&complete(5)).0, 1);
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let (lcc, original) = largest_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(original, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn diameters_of_known_shapes() {
+        assert_eq!(exact_diameter(&path(10)), 9);
+        assert_eq!(exact_diameter(&cycle(10)), 5);
+        assert_eq!(exact_diameter(&complete(10)), 1);
+        assert_eq!(exact_diameter(&star(10)), 2);
+        assert_eq!(exact_diameter(&grid(3, 3)), 4);
+    }
+
+    #[test]
+    fn worst_case_diameter_is_three() {
+        // The paper: "the diameter is 3, i.e., a constant regardless of N".
+        for n in [8, 12, 30] {
+            assert_eq!(exact_diameter(&worst_case(n)), 3, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn approx_diameter_lower_bounds_exact() {
+        for seed in 0..5 {
+            let g = gnp(150, 0.03, seed);
+            let approx = approx_diameter(&g, 4);
+            let exact = exact_diameter(&g);
+            assert!(approx <= exact);
+            // Double sweep is usually exact on these; at minimum sanity-close.
+            assert!(approx + 2 >= exact, "approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn approx_diameter_on_path_exact() {
+        assert_eq!(approx_diameter(&path(57), 2), 56);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let h = degree_histogram(&star(5));
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // hub
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn degree_histogram_empty() {
+        assert!(degree_histogram(&Graph::from_edges(0, []).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn min_degree_count_examples() {
+        assert_eq!(min_degree_count(&path(5)), 2); // two endpoints of degree 1
+        assert_eq!(min_degree_count(&complete(4)), 4); // all equal
+        assert_eq!(min_degree_count(&worst_case(12)), 1); // the trigger node
+        assert_eq!(min_degree_count(&Graph::from_edges(0, []).unwrap()), 0);
+    }
+
+    #[test]
+    fn eccentricity_of_center_and_leaf() {
+        let g = path(9);
+        assert_eq!(eccentricity(&g, NodeId(4)), 4);
+        assert_eq!(eccentricity(&g, NodeId(0)), 8);
+    }
+}

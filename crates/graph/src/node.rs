@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Identifier of a graph node.
+///
+/// Node identifiers are dense integers in `0..Graph::node_count()`, matching
+/// the paper's §3.2.2 assumption that "node identifiers are integers in the
+/// range `[0 .. n-1]`". The newtype keeps node indices from being confused
+/// with host indices, coreness values or round numbers in protocol code.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_graph::NodeId;
+///
+/// let u = NodeId(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize`, for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a [`NodeId`] from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`; graphs in this workspace are
+    /// bounded by `u32` node identifiers (4.2 billion nodes).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(id: u32) -> Self {
+        NodeId(id)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in [0usize, 1, 7, 1024, u32::MAX as usize] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_bare_integer() {
+        assert_eq!(NodeId(17).to_string(), "17");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", NodeId(2)), "NodeId(2)");
+    }
+
+    #[test]
+    fn conversions() {
+        let u: NodeId = 5u32.into();
+        assert_eq!(u, NodeId(5));
+        let raw: u32 = u.into();
+        assert_eq!(raw, 5);
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the graph substrate.
+
+use dkcore_graph::{generators, metrics, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph given as (node_count, edge endpoints).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..200);
+        edges.prop_map(move |es| Graph::from_edges(n, es).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    /// CSR invariant: adjacency is symmetric, sorted, deduplicated, and
+    /// free of self-loops.
+    #[test]
+    fn csr_invariants(g in arb_graph()) {
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted+dedup");
+            prop_assert!(!nbrs.contains(&u), "no self-loop");
+            for &v in nbrs {
+                prop_assert!(g.has_edge(v, u), "symmetry");
+            }
+        }
+    }
+
+    /// Handshake lemma: sum of degrees equals twice the edge count.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total: u64 = g.degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(total, 2 * g.edge_count() as u64);
+        prop_assert_eq!(g.arc_count(), 2 * g.edge_count());
+    }
+
+    /// The edges iterator reports each undirected edge exactly once.
+    #[test]
+    fn edges_iterator_consistent(g in arb_graph()) {
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        for &(u, v) in &listed {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+        }
+        let mut dedup = listed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), listed.len());
+    }
+
+    /// Writing then reading an edge list preserves the edge set on the
+    /// non-isolated nodes.
+    #[test]
+    fn io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        dkcore_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let (back, raw) = dkcore_graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        // Every original edge must exist in the reloaded graph, modulo the
+        // id compaction recorded in `raw`.
+        let dense_of: std::collections::HashMap<u64, u32> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        for (u, v) in g.edges() {
+            let du = NodeId(dense_of[&(u.0 as u64)]);
+            let dv = NodeId(dense_of[&(v.0 as u64)]);
+            prop_assert!(back.has_edge(du, dv));
+        }
+    }
+
+    /// Induced subgraph never invents edges and preserves kept ones.
+    #[test]
+    fn induced_subgraph_correct(g in arb_graph(), mask_seed in any::<u64>()) {
+        let n = g.node_count();
+        let keep: Vec<bool> = (0..n).map(|i| (mask_seed >> (i % 64)) & 1 == 1).collect();
+        let (sub, original) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.iter().filter(|&&k| k).count());
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(original[a.index()], original[b.index()]));
+        }
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| keep[u.index()] && keep[v.index()])
+            .count();
+        prop_assert_eq!(sub.edge_count(), expected);
+    }
+
+    /// Connected components partition the node set and BFS stays within a
+    /// component.
+    #[test]
+    fn components_partition(g in arb_graph()) {
+        let (count, labels) = metrics::connected_components(&g);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+        for u in g.nodes() {
+            let dist = metrics::bfs_distances(&g, u);
+            for v in g.nodes() {
+                let same = labels[u.index()] == labels[v.index()];
+                let reachable = dist[v.index()] != metrics::UNREACHABLE;
+                prop_assert_eq!(same, reachable);
+            }
+        }
+    }
+
+    /// Double-sweep approximation never exceeds the exact diameter.
+    #[test]
+    fn approx_diameter_is_lower_bound(g in arb_graph()) {
+        prop_assert!(metrics::approx_diameter(&g, 3) <= metrics::exact_diameter(&g));
+    }
+
+    /// Generators honor their size contracts for arbitrary parameters.
+    #[test]
+    fn generator_size_contracts(n in 5usize..80, seed in any::<u64>()) {
+        prop_assert_eq!(generators::gnp(n, 0.1, seed).node_count(), n);
+        prop_assert_eq!(generators::random_tree(n, seed).edge_count(), n - 1);
+        prop_assert_eq!(generators::worst_case(n).node_count(), n);
+        let g = generators::barabasi_albert(n, 2, seed);
+        prop_assert_eq!(g.node_count(), n);
+        // Trees and the worst-case family are connected.
+        prop_assert_eq!(metrics::connected_components(&generators::random_tree(n, seed)).0, 1);
+        prop_assert_eq!(metrics::connected_components(&generators::worst_case(n)).0, 1);
+    }
+}

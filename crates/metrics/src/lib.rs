@@ -1,0 +1,36 @@
+//! Experiment metrics toolkit for the k-core reproduction harness.
+//!
+//! Three small building blocks, shared by the simulator observers and the
+//! bench binaries that regenerate the paper's tables and figures:
+//!
+//! * [`Summary`] — streaming summary statistics (count/mean/min/max/std),
+//!   used for the `t_avg`/`t_min`/`t_max`/`m_avg`/`m_max` columns of
+//!   Table 1;
+//! * [`Series`] — labeled `(x, y)` sequences with cross-repetition
+//!   aggregation, used for the error-evolution curves of Figure 4 and the
+//!   overhead curves of Figure 5;
+//! * [`Table`] — plain-text (paper-style) and CSV rendering of result
+//!   tables.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_metrics::Summary;
+//!
+//! let s: Summary = [19.0, 18.0, 21.0].into_iter().collect();
+//! assert_eq!(s.count(), 3);
+//! assert_eq!(s.min(), 18.0);
+//! assert_eq!(s.max(), 21.0);
+//! assert!((s.mean() - 19.333).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod series;
+mod summary;
+mod table;
+
+pub use series::Series;
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,206 @@
+use std::fmt;
+
+/// A labeled sequence of `(x, y)` points — one curve of a figure.
+///
+/// Used for the paper's Figure 4 (error vs. round) and Figure 5 (overhead
+/// vs. host count). Provides point-wise aggregation across experiment
+/// repetitions, with an explicit fill value for runs that terminate early
+/// (a converged run has error 0 from then on, so Figure 4 uses `0.0`).
+///
+/// # Example
+///
+/// ```
+/// use dkcore_metrics::Series;
+///
+/// let run1 = Series::from_points("err", [(1.0, 4.0), (2.0, 1.0), (3.0, 0.0)]);
+/// let run2 = Series::from_points("err", [(1.0, 2.0), (2.0, 1.0)]);
+/// // Average the two runs; the shorter one is padded with 0.0.
+/// let avg = Series::mean_across("err", &[run1, run2], 0.0);
+/// assert_eq!(avg.points(), &[(1.0, 3.0), (2.0, 1.0), (3.0, 0.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Creates a series from an iterator of points.
+    pub fn from_points(
+        label: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
+        Series { label: label.into(), points: points.into_iter().collect() }
+    }
+
+    /// The curve's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest y value, or `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |a: f64| a.max(y)))
+        })
+    }
+
+    /// The first x at which y drops to (or below) `threshold`, scanning
+    /// left to right; `None` if it never does. Used to answer questions
+    /// like "by which round is the maximum error ≤ 1?" (paper §5.1).
+    pub fn first_x_below(&self, threshold: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, y)| y <= threshold).map(|&(x, _)| x)
+    }
+
+    /// Point-wise mean of several runs of the same experiment.
+    ///
+    /// Runs may have different lengths (they converge at different rounds);
+    /// shorter runs contribute `fill` beyond their end. The x values are
+    /// taken from the longest run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn mean_across(label: impl Into<String>, runs: &[Series], fill: f64) -> Series {
+        assert!(!runs.is_empty(), "need at least one run to aggregate");
+        let longest = runs.iter().max_by_key(|s| s.len()).expect("non-empty");
+        let mut points = Vec::with_capacity(longest.len());
+        for (i, &(x, _)) in longest.points.iter().enumerate() {
+            let sum: f64 = runs
+                .iter()
+                .map(|r| r.points.get(i).map_or(fill, |&(_, y)| y))
+                .sum();
+            points.push((x, sum / runs.len() as f64));
+        }
+        Series { label: label.into(), points }
+    }
+
+    /// Point-wise maximum of several runs (the right half of Figure 4 uses
+    /// the max error "computed over all nodes, and over 50 experiments").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn max_across(label: impl Into<String>, runs: &[Series], fill: f64) -> Series {
+        assert!(!runs.is_empty(), "need at least one run to aggregate");
+        let longest = runs.iter().max_by_key(|s| s.len()).expect("non-empty");
+        let mut points = Vec::with_capacity(longest.len());
+        for (i, &(x, _)) in longest.points.iter().enumerate() {
+            let max = runs
+                .iter()
+                .map(|r| r.points.get(i).map_or(fill, |&(_, y)| y))
+                .fold(f64::NEG_INFINITY, f64::max);
+            points.push((x, max));
+        }
+        Series { label: label.into(), points }
+    }
+
+    /// Renders the series as `x<TAB>y` lines, gnuplot-style, prefixed by a
+    /// `# label` comment.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x}\t{y}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} points)", self.label, self.points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut s = Series::new("curve");
+        assert!(s.is_empty());
+        s.push(1.0, 10.0);
+        s.push(2.0, 5.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(), "curve");
+        assert_eq!(s.max_y(), Some(10.0));
+    }
+
+    #[test]
+    fn first_x_below_threshold() {
+        let s = Series::from_points("e", [(1.0, 9.0), (2.0, 3.0), (3.0, 0.5)]);
+        assert_eq!(s.first_x_below(1.0), Some(3.0));
+        assert_eq!(s.first_x_below(3.0), Some(2.0));
+        assert_eq!(s.first_x_below(0.1), None);
+        assert_eq!(Series::new("x").first_x_below(1.0), None);
+    }
+
+    #[test]
+    fn mean_across_pads_with_fill() {
+        let a = Series::from_points("a", [(1.0, 4.0), (2.0, 2.0), (3.0, 2.0)]);
+        let b = Series::from_points("b", [(1.0, 0.0)]);
+        let avg = Series::mean_across("avg", &[a, b], 0.0);
+        assert_eq!(avg.points(), &[(1.0, 2.0), (2.0, 1.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn max_across_takes_pointwise_max() {
+        let a = Series::from_points("a", [(1.0, 4.0), (2.0, 1.0)]);
+        let b = Series::from_points("b", [(1.0, 2.0), (2.0, 5.0), (3.0, 1.0)]);
+        let m = Series::max_across("max", &[a, b], 0.0);
+        assert_eq!(m.points(), &[(1.0, 4.0), (2.0, 5.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_run_aggregates_to_itself() {
+        let a = Series::from_points("a", [(1.0, 4.0), (2.0, 1.0)]);
+        let m = Series::mean_across("m", std::slice::from_ref(&a), 0.0);
+        assert_eq!(m.points(), a.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn mean_across_empty_panics() {
+        let _ = Series::mean_across("m", &[], 0.0);
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let s = Series::from_points("err", [(1.0, 0.5)]);
+        let tsv = s.to_tsv();
+        assert!(tsv.starts_with("# err\n"));
+        assert!(tsv.contains("1\t0.5"));
+    }
+
+    #[test]
+    fn display_mentions_label_and_size() {
+        let s = Series::from_points("curve", [(0.0, 0.0)]);
+        assert_eq!(s.to_string(), "curve (1 points)");
+    }
+}

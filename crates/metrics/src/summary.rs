@@ -1,0 +1,232 @@
+use std::fmt;
+
+/// Streaming summary statistics over `f64` observations.
+///
+/// Tracks count, mean, min, max and variance (Welford's online algorithm),
+/// so repeated experiment outcomes can be folded in one at a time — exactly
+/// what the paper's "average over 50 experiments" columns need.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for rounds in [18.0, 19.0, 21.0, 20.0] {
+///     s.record(rounds);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 19.5);
+/// assert_eq!(s.min(), 18.0);
+/// assert_eq!(s.max(), 21.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn from_values(values: &[f64]) -> Self {
+        values.iter().copied().collect()
+    }
+
+    /// Folds one observation into the summary.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one (order-independent).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.2} max={:.2} std={:.2}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max(),
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_values(&[7.0]);
+        assert_eq!(s.mean(), 7.0);
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 4.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let ys = [4.0, 4.0, 9.0];
+        let mut a = Summary::from_values(&xs);
+        let b = Summary::from_values(&ys);
+        a.merge(&b);
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let c = Summary::from_values(&all);
+        assert_eq!(a.count(), c.count());
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.variance() - c.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_values(&[1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        s.extend([3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_values(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=2.00"));
+    }
+}

@@ -1,0 +1,163 @@
+use std::fmt;
+
+/// A simple result table with aligned plain-text and CSV rendering.
+///
+/// The bench binaries use this to print the paper's tables in a shape
+/// directly comparable with the originals.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_metrics::Table;
+///
+/// let mut t = Table::new(["name", "|V|", "t_avg"]);
+/// t.row(["CA-AstroPh-like", "18772", "19.55"]);
+/// let text = t.to_string();
+/// assert!(text.contains("CA-AstroPh-like"));
+/// assert!(t.to_csv().starts_with("name,|V|,t_avg\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header count");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (headers first, comma-separated, `\n` line ends).
+    /// Cells containing commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Aligned plain-text rendering with a header separator line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_separator() {
+        let mut t = Table::new(["name", "n"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "22"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned: the "1" lines up at the end of the column.
+        assert!(lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["plain", "with,comma"]);
+        t.row(["has\"quote", "x"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain,\"with,comma\""));
+        assert!(csv.contains("\"has\"\"quote\",x"));
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(["h1", "h2"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_csv(), "h1,h2\n");
+        assert!(t.to_string().contains("h1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn row_chaining() {
+        let mut t = Table::new(["x"]);
+        t.row(["1"]).row(["2"]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The BSP superstep engine.
+
+use std::thread;
+
+use dkcore_graph::{Graph, NodeId};
+
+/// A vertex-centric program in the Pregel model.
+///
+/// The engine calls [`compute`](VertexProgram::compute) on every *active*
+/// vertex once per superstep. A vertex deactivates by voting to halt and
+/// is reactivated whenever a message arrives for it. Superstep 0 runs on
+/// every vertex with an empty message list.
+pub trait VertexProgram: Sync {
+    /// Per-vertex state, owned by the engine between supersteps.
+    type State: Send;
+    /// Message type exchanged along edges.
+    type Message: Send + Clone;
+
+    /// Produces the initial state of vertex `v`.
+    fn init(&self, g: &Graph, v: NodeId) -> Self::State;
+
+    /// One superstep of work for one vertex.
+    fn compute(&self, state: &mut Self::State, ctx: &mut ComputeContext<'_, Self::Message>);
+}
+
+/// Commutative, associative message reduction applied per destination
+/// vertex — Pregel's bandwidth optimization for programs that only need
+/// an aggregate of their incoming messages.
+pub trait Combiner<M>: Sync {
+    /// Combines two messages addressed to the same vertex.
+    fn combine(&self, a: M, b: M) -> M;
+}
+
+/// Combiner keeping the minimum message (for [`Ord`] messages) — what
+/// shortest-path and label-propagation programs want.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinCombiner;
+
+impl<M: Ord> Combiner<M> for MinCombiner {
+    fn combine(&self, a: M, b: M) -> M {
+        a.min(b)
+    }
+}
+
+/// Everything a vertex sees during one `compute` call.
+#[derive(Debug)]
+pub struct ComputeContext<'a, M> {
+    vertex: NodeId,
+    superstep: u32,
+    neighbors: &'a [NodeId],
+    messages: &'a [M],
+    outbox: &'a mut Vec<(NodeId, M)>,
+    halted: &'a mut bool,
+    sent: &'a mut u64,
+}
+
+impl<M: Clone> ComputeContext<'_, M> {
+    /// The vertex being computed.
+    pub fn vertex(&self) -> NodeId {
+        self.vertex
+    }
+
+    /// Current superstep index (0-based).
+    pub fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    /// The vertex's neighbors (Pregel's out-edges; our graphs are
+    /// undirected, so these are all incident edges).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// The vertex's degree.
+    pub fn degree(&self) -> u32 {
+        self.neighbors.len() as u32
+    }
+
+    /// Messages delivered to this vertex for this superstep.
+    pub fn messages(&self) -> &[M] {
+        self.messages
+    }
+
+    /// Sends `msg` to vertex `to`, to be delivered next superstep.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        *self.sent += 1;
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn send_to_neighbors(&mut self, msg: M) {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Votes to halt: the vertex will not be computed again until a
+    /// message arrives for it.
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+}
+
+/// Result of a Pregel run.
+#[derive(Debug, Clone)]
+pub struct PregelResult<S> {
+    /// Final state of every vertex, indexed by [`NodeId::index`].
+    pub states: Vec<S>,
+    /// Supersteps executed (including superstep 0).
+    pub supersteps: u32,
+    /// Total messages sent (after combining).
+    pub messages: u64,
+    /// Whether the computation halted on its own (vs the superstep cap).
+    pub converged: bool,
+}
+
+/// The BSP engine: vertex partitions are processed by a pool of worker
+/// threads with a barrier between supersteps, messages are routed between
+/// supersteps, and the run ends when every vertex has halted and no
+/// messages are in flight — Pregel's termination condition.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_pregel::{HopDistanceProgram, Pregel};
+/// use dkcore_graph::{generators::path, NodeId};
+///
+/// let g = path(5);
+/// let result = Pregel::new(2).run(&g, &HopDistanceProgram::from(NodeId(0)));
+/// let dist: Vec<u32> = result.states.clone();
+/// assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pregel {
+    workers: usize,
+    max_supersteps: u32,
+}
+
+impl Pregel {
+    /// Creates an engine with the given worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Pregel { workers, max_supersteps: u32::MAX }
+    }
+
+    /// Caps the number of supersteps (for approximate runs or tests).
+    pub fn with_max_supersteps(mut self, cap: u32) -> Self {
+        self.max_supersteps = cap.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `program` over `g` without a combiner.
+    pub fn run<P: VertexProgram>(&self, g: &Graph, program: &P) -> PregelResult<P::State> {
+        self.run_inner(g, program, None::<&NoCombiner>)
+    }
+
+    /// Runs `program` over `g`, combining messages per destination with
+    /// `combiner`.
+    pub fn run_with_combiner<P, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        combiner: &C,
+    ) -> PregelResult<P::State>
+    where
+        P: VertexProgram,
+        C: Combiner<P::Message>,
+    {
+        self.run_inner(g, program, Some(combiner))
+    }
+
+    fn run_inner<P, C>(
+        &self,
+        g: &Graph,
+        program: &P,
+        combiner: Option<&C>,
+    ) -> PregelResult<P::State>
+    where
+        P: VertexProgram,
+        C: Combiner<P::Message>,
+    {
+        let n = g.node_count();
+        let mut states: Vec<P::State> = g.nodes().map(|v| program.init(g, v)).collect();
+        let mut halted: Vec<bool> = vec![false; n];
+        let mut inboxes: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
+        let mut superstep = 0u32;
+        let mut total_messages = 0u64;
+
+        loop {
+            // Who computes this superstep? Active vertices: not halted, or
+            // with pending messages (which reactivate).
+            let chunk = n.div_ceil(self.workers).max(1);
+            let mut worker_outboxes: Vec<Vec<(NodeId, P::Message)>> = Vec::new();
+            let mut sent_this_step = 0u64;
+
+            thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let state_chunks = states.chunks_mut(chunk);
+                let halted_chunks = halted.chunks_mut(chunk);
+                let inbox_chunks = inboxes.chunks_mut(chunk);
+                for (w, ((states, halted), inboxes)) in
+                    state_chunks.zip(halted_chunks).zip(inbox_chunks).enumerate()
+                {
+                    let base = w * chunk;
+                    handles.push(scope.spawn(move || {
+                        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+                        let mut sent = 0u64;
+                        for (i, state) in states.iter_mut().enumerate() {
+                            let v = NodeId::from_index(base + i);
+                            let messages = std::mem::take(&mut inboxes[i]);
+                            if halted[i] && messages.is_empty() {
+                                continue;
+                            }
+                            halted[i] = false;
+                            let mut ctx = ComputeContext {
+                                vertex: v,
+                                superstep,
+                                neighbors: g.neighbors(v),
+                                messages: &messages,
+                                outbox: &mut outbox,
+                                halted: &mut halted[i],
+                                sent: &mut sent,
+                            };
+                            program.compute(state, &mut ctx);
+                        }
+                        (outbox, sent)
+                    }));
+                }
+                for h in handles {
+                    let (outbox, sent) = h.join().expect("worker panicked");
+                    worker_outboxes.push(outbox);
+                    sent_this_step += sent;
+                }
+            });
+
+            // Route messages (applying the combiner per destination).
+            let mut any_message = false;
+            for outbox in worker_outboxes {
+                for (to, msg) in outbox {
+                    any_message = true;
+                    let inbox = &mut inboxes[to.index()];
+                    match (combiner, inbox.len()) {
+                        (Some(c), 1..) => {
+                            let prev = inbox.pop().expect("non-empty");
+                            inbox.push(c.combine(prev, msg));
+                        }
+                        _ => inbox.push(msg),
+                    }
+                }
+            }
+            total_messages += sent_this_step;
+            superstep += 1;
+
+            let all_halted = halted.iter().all(|&h| h);
+            if (!any_message && all_halted) || superstep >= self.max_supersteps {
+                let converged = !any_message && all_halted;
+                return PregelResult {
+                    states,
+                    supersteps: superstep,
+                    messages: total_messages,
+                    converged,
+                };
+            }
+        }
+    }
+}
+
+/// Private placeholder for "no combiner" (never instantiated).
+struct NoCombiner;
+
+impl<M> Combiner<M> for NoCombiner {
+    fn combine(&self, _a: M, _b: M) -> M {
+        unreachable!("NoCombiner is never invoked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{complete, path};
+
+    /// Program that floods a token once and counts supersteps in state.
+    struct CountSteps;
+
+    impl VertexProgram for CountSteps {
+        type State = u32;
+        type Message = ();
+
+        fn init(&self, _g: &Graph, _v: NodeId) -> u32 {
+            0
+        }
+
+        fn compute(&self, state: &mut u32, ctx: &mut ComputeContext<'_, ()>) {
+            *state = ctx.superstep() + 1;
+            if ctx.superstep() == 0 {
+                ctx.send_to_neighbors(());
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn two_supersteps_for_one_flood() {
+        let g = complete(4);
+        let result = Pregel::new(2).run(&g, &CountSteps);
+        assert!(result.converged);
+        // Superstep 0: everyone sends; superstep 1: everyone receives.
+        assert_eq!(result.supersteps, 2);
+        assert_eq!(result.states, vec![2; 4]);
+        assert_eq!(result.messages, 4 * 3);
+    }
+
+    #[test]
+    fn halted_vertices_are_not_computed() {
+        struct HaltImmediately;
+        impl VertexProgram for HaltImmediately {
+            type State = u32;
+            type Message = ();
+            fn init(&self, _g: &Graph, _v: NodeId) -> u32 {
+                0
+            }
+            fn compute(&self, state: &mut u32, ctx: &mut ComputeContext<'_, ()>) {
+                *state += 1;
+                ctx.vote_to_halt();
+            }
+        }
+        let g = path(6);
+        let result = Pregel::new(3).run(&g, &HaltImmediately);
+        assert_eq!(result.supersteps, 1);
+        assert_eq!(result.states, vec![1; 6], "each vertex computed exactly once");
+        assert_eq!(result.messages, 0);
+    }
+
+    #[test]
+    fn superstep_cap_reports_non_convergence() {
+        struct Chatter;
+        impl VertexProgram for Chatter {
+            type State = ();
+            type Message = ();
+            fn init(&self, _g: &Graph, _v: NodeId) {}
+            fn compute(&self, _state: &mut (), ctx: &mut ComputeContext<'_, ()>) {
+                ctx.send_to_neighbors(());
+                ctx.vote_to_halt();
+            }
+        }
+        let g = path(4);
+        let result = Pregel::new(1).with_max_supersteps(5).run(&g, &Chatter);
+        assert_eq!(result.supersteps, 5);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let g = path(40);
+        let a = Pregel::new(1).run(&g, &CountSteps);
+        let b = Pregel::new(7).run(&g, &CountSteps);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.supersteps, b.supersteps);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn combiner_reduces_inbox_to_single_message() {
+        /// Each vertex records how many messages it received in superstep 1.
+        struct CountIncoming;
+        impl VertexProgram for CountIncoming {
+            type State = usize;
+            type Message = u32;
+            fn init(&self, _g: &Graph, _v: NodeId) -> usize {
+                0
+            }
+            fn compute(&self, state: &mut usize, ctx: &mut ComputeContext<'_, u32>) {
+                if ctx.superstep() == 0 {
+                    let v = ctx.vertex().0;
+                    ctx.send_to_neighbors(v);
+                } else {
+                    *state = ctx.messages().len();
+                }
+                ctx.vote_to_halt();
+            }
+        }
+        let g = complete(5);
+        let plain = Pregel::new(2).run(&g, &CountIncoming);
+        assert!(plain.states.iter().all(|&c| c == 4));
+        let combined = Pregel::new(2).run_with_combiner(&g, &CountIncoming, &MinCombiner);
+        assert!(combined.states.iter().all(|&c| c == 1), "combined to one message");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Pregel::new(0);
+    }
+
+    #[test]
+    fn empty_graph_halts_immediately() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let result = Pregel::new(2).run(&g, &CountSteps);
+        assert!(result.converged);
+        assert!(result.states.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! A miniature Pregel — the "next logical step" of the paper's §6.
+//!
+//! The paper closes by proposing to implement the k-core algorithms on
+//! bulk-synchronous vertex-centric frameworks: *"we are considering
+//! distributed frameworks like Hadoop and Pregel \[9\], in which the
+//! computation is divided in logical units … divided among a collection of
+//! computational processes, termed workers"*. This crate builds that
+//! substrate and carries the proposal out:
+//!
+//! * [`Pregel`] — a BSP engine in the mold of Malewicz et al. (SIGMOD
+//!   2010): supersteps, per-vertex `compute()` with incoming messages,
+//!   `vote_to_halt` semantics with message-driven reactivation, optional
+//!   message [`Combiner`]s, and a pool of worker threads processing
+//!   vertex partitions in parallel;
+//! * [`KCoreProgram`] — the paper's Algorithm 1 expressed as a vertex
+//!   program (one superstep = one round, estimates as messages);
+//! * [`ConnectedComponentsProgram`] and [`HopDistanceProgram`] — classic
+//!   vertex programs that double as independent engine tests and show the
+//!   substrate is not k-core-specific.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_pregel::{KCoreProgram, Pregel};
+//! use dkcore::seq::batagelj_zaversnik;
+//! use dkcore_graph::generators::gnp;
+//!
+//! let g = gnp(200, 0.05, 7);
+//! let result = Pregel::new(4).run(&g, &KCoreProgram::default());
+//! let coreness: Vec<u32> = result.states.iter().map(|s| s.core).collect();
+//! assert_eq!(coreness, batagelj_zaversnik(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod programs;
+
+pub use engine::{Combiner, ComputeContext, MinCombiner, Pregel, PregelResult, VertexProgram};
+pub use programs::{
+    ComponentState, ConnectedComponentsProgram, HopDistanceProgram, KCoreProgram, KCoreState,
+};

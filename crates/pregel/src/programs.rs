@@ -1,0 +1,290 @@
+//! Vertex programs: the paper's k-core algorithm plus two classic
+//! programs that exercise the engine independently.
+
+use dkcore::{compute_index, INFINITY_EST};
+use dkcore_graph::{Graph, NodeId};
+
+use crate::{ComputeContext, VertexProgram};
+
+/// Per-vertex state of [`KCoreProgram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KCoreState {
+    /// Current coreness estimate (the `core` variable of Algorithm 1).
+    pub core: u32,
+    /// Neighbor estimates, parallel to the vertex's (sorted) neighbor
+    /// list; `INFINITY_EST` = not heard from yet.
+    est: Vec<u32>,
+}
+
+impl KCoreState {
+    /// The freshest estimate held for the `i`-th neighbor.
+    pub fn neighbor_estimate(&self, i: usize) -> u32 {
+        self.est[i]
+    }
+}
+
+/// The paper's Algorithm 1 as a Pregel vertex program: one superstep = one
+/// round of the one-to-one protocol.
+///
+/// Superstep 0 broadcasts the degree; afterwards a vertex recomputes its
+/// estimate from incoming `⟨u, core⟩` messages via `computeIndex` and
+/// broadcasts only on change, then votes to halt — reactivation on
+/// message arrival gives exactly the paper's event-driven behavior, and
+/// Pregel's termination condition *is* the §3.3 quiescence criterion.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_pregel::{KCoreProgram, Pregel};
+/// use dkcore_graph::generators::complete;
+///
+/// let g = complete(5);
+/// let result = Pregel::new(2).run(&g, &KCoreProgram::default());
+/// assert!(result.states.iter().all(|s| s.core == 4));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KCoreProgram {
+    /// The §3.1.2 send optimization: message a neighbor only if the new
+    /// estimate could still lower that neighbor's own estimate.
+    pub send_optimization: bool,
+}
+
+impl Default for KCoreProgram {
+    fn default() -> Self {
+        KCoreProgram { send_optimization: true }
+    }
+}
+
+impl VertexProgram for KCoreProgram {
+    type State = KCoreState;
+    /// `⟨u, core⟩` of Algorithm 1.
+    type Message = (NodeId, u32);
+
+    fn init(&self, g: &Graph, v: NodeId) -> KCoreState {
+        KCoreState {
+            core: g.degree(v),
+            est: vec![INFINITY_EST; g.degree(v) as usize],
+        }
+    }
+
+    fn compute(&self, state: &mut KCoreState, ctx: &mut ComputeContext<'_, (NodeId, u32)>) {
+        if ctx.superstep() == 0 {
+            let announce = (ctx.vertex(), state.core);
+            ctx.send_to_neighbors(announce);
+            ctx.vote_to_halt();
+            return;
+        }
+        let mut changed = false;
+        for i in 0..ctx.messages().len() {
+            let (from, k) = ctx.messages()[i];
+            let Ok(slot) = ctx.neighbors().binary_search(&from) else {
+                continue;
+            };
+            if k < state.est[slot] {
+                state.est[slot] = k;
+                changed = true;
+            }
+        }
+        if changed {
+            let t = compute_index(state.est.iter().copied(), state.core);
+            if t < state.core {
+                state.core = t;
+                let announce = (ctx.vertex(), state.core);
+                if self.send_optimization {
+                    for i in 0..ctx.neighbors().len() {
+                        let v = ctx.neighbors()[i];
+                        if state.core < state.est[i] {
+                            ctx.send(v, announce);
+                        }
+                    }
+                } else {
+                    ctx.send_to_neighbors(announce);
+                }
+            }
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Connected components by min-label propagation: every vertex adopts the
+/// smallest vertex id it has ever heard of; converged labels identify the
+/// components. Works with [`MinCombiner`](crate::MinCombiner).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectedComponentsProgram;
+
+/// Per-vertex state of [`ConnectedComponentsProgram`]: the current
+/// component label.
+pub type ComponentState = u32;
+
+impl VertexProgram for ConnectedComponentsProgram {
+    type State = ComponentState;
+    type Message = u32;
+
+    fn init(&self, _g: &Graph, v: NodeId) -> u32 {
+        v.0
+    }
+
+    fn compute(&self, state: &mut u32, ctx: &mut ComputeContext<'_, u32>) {
+        let incoming_min = ctx.messages().iter().copied().min();
+        let best = incoming_min.map_or(*state, |m| m.min(*state));
+        if ctx.superstep() == 0 || best < *state {
+            *state = best;
+            ctx.send_to_neighbors(best);
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+/// Unweighted shortest hop distances from a source vertex (BFS in BSP
+/// form). Unreached vertices end at `u32::MAX`.
+#[derive(Debug, Clone, Copy)]
+pub struct HopDistanceProgram {
+    source: NodeId,
+}
+
+impl From<NodeId> for HopDistanceProgram {
+    fn from(source: NodeId) -> Self {
+        HopDistanceProgram { source }
+    }
+}
+
+impl VertexProgram for HopDistanceProgram {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, _g: &Graph, v: NodeId) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            u32::MAX
+        }
+    }
+
+    fn compute(&self, state: &mut u32, ctx: &mut ComputeContext<'_, u32>) {
+        let incoming = ctx.messages().iter().copied().min().unwrap_or(u32::MAX);
+        let best = (*state).min(incoming);
+        let should_announce =
+            (ctx.superstep() == 0 && ctx.vertex() == self.source) || best < *state;
+        if should_announce {
+            *state = best;
+            ctx.send_to_neighbors(best.saturating_add(1));
+        }
+        ctx.vote_to_halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinCombiner, Pregel};
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+    use dkcore_graph::metrics::{bfs_distances, connected_components};
+
+    #[test]
+    fn kcore_program_matches_bz_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnp(150, 0.05, seed);
+            let result = Pregel::new(4).run(&g, &KCoreProgram::default());
+            assert!(result.converged);
+            let coreness: Vec<u32> = result.states.iter().map(|s| s.core).collect();
+            assert_eq!(coreness, batagelj_zaversnik(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn kcore_program_without_optimization_matches_too() {
+        let g = gnp(120, 0.06, 9);
+        let program = KCoreProgram { send_optimization: false };
+        let result = Pregel::new(3).run(&g, &program);
+        let coreness: Vec<u32> = result.states.iter().map(|s| s.core).collect();
+        assert_eq!(coreness, batagelj_zaversnik(&g));
+    }
+
+    #[test]
+    fn kcore_optimization_saves_messages() {
+        let g = gnp(150, 0.06, 4);
+        let plain = Pregel::new(2).run(&g, &KCoreProgram { send_optimization: false });
+        let optimized = Pregel::new(2).run(&g, &KCoreProgram { send_optimization: true });
+        assert!(optimized.messages < plain.messages,
+            "{} !< {}", optimized.messages, plain.messages);
+        let a: Vec<u32> = plain.states.iter().map(|s| s.core).collect();
+        let b: Vec<u32> = optimized.states.iter().map(|s| s.core).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kcore_supersteps_track_protocol_rounds() {
+        // The worst-case family needs ~N supersteps; a clique needs ~2.
+        let fast = Pregel::new(2).run(&complete(10), &KCoreProgram::default());
+        assert!(fast.supersteps <= 3, "clique: {}", fast.supersteps);
+        let slow = Pregel::new(2).run(&worst_case(20), &KCoreProgram::default());
+        assert!(slow.supersteps >= 18, "worst case: {}", slow.supersteps);
+    }
+
+    #[test]
+    fn kcore_state_exposes_neighbor_estimates() {
+        let g = star(4);
+        let result = Pregel::new(1).run(&g, &KCoreProgram::default());
+        let hub = &result.states[0];
+        assert_eq!(hub.core, 1);
+        for i in 0..3 {
+            assert_eq!(hub.neighbor_estimate(i), 1);
+        }
+    }
+
+    #[test]
+    fn connected_components_program() {
+        let g = dkcore_graph::Graph::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        let result =
+            Pregel::new(3).run_with_combiner(&g, &ConnectedComponentsProgram, &MinCombiner);
+        assert!(result.converged);
+        assert_eq!(result.states, vec![0, 0, 0, 3, 3, 5, 5]);
+        // Agreement with the graph-metrics implementation.
+        let (count, labels) = connected_components(&g);
+        assert_eq!(count, 3);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(
+                    labels[u] == labels[v],
+                    result.states[u] == result.states[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distance_program_equals_bfs() {
+        for seed in 0..4 {
+            let g = gnp(100, 0.04, 40 + seed);
+            let src = NodeId(0);
+            let result =
+                Pregel::new(4).run_with_combiner(&g, &HopDistanceProgram::from(src), &MinCombiner);
+            let expected: Vec<u32> = bfs_distances(&g, src)
+                .into_iter()
+                .map(|d| if d == dkcore_graph::metrics::UNREACHABLE { u32::MAX } else { d })
+                .collect();
+            assert_eq!(result.states, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hop_distance_on_path_counts_supersteps() {
+        let g = path(10);
+        let result = Pregel::new(1).run(&g, &HopDistanceProgram::from(NodeId(0)));
+        assert_eq!(result.states, (0..10).collect::<Vec<u32>>());
+        // The wave needs one superstep per hop plus the final quiet one.
+        assert!(result.supersteps >= 10);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = gnp(120, 0.05, 77);
+        let one = Pregel::new(1).run(&g, &KCoreProgram::default());
+        let many = Pregel::new(8).run(&g, &KCoreProgram::default());
+        let a: Vec<u32> = one.states.iter().map(|s| s.core).collect();
+        let b: Vec<u32> = many.states.iter().map(|s| s.core).collect();
+        assert_eq!(a, b);
+        assert_eq!(one.supersteps, many.supersteps);
+    }
+}

@@ -1,0 +1,36 @@
+//! Threaded message-passing runtime for the distributed k-core protocols.
+//!
+//! Where `dkcore-sim` *simulates* rounds, this crate actually *runs* the
+//! protocol on a set of live workers: every host of the paper's §3.2 model
+//! becomes an OS thread owning its [`HostProtocol`] state, and estimate
+//! messages `⟨S⟩` travel over crossbeam channels (reliable, in-order,
+//! no crashes — exactly the system model of the paper's §2).
+//!
+//! Rounds are paced by a coordinator thread implementing the paper's
+//! §3.3 *centralized* termination detection ("master-slaves approach"):
+//! each round it ticks every worker, collects one activity report per
+//! worker, and stops the system after the first fully quiescent round.
+//!
+//! The one-to-one scenario is the special case `hosts == node_count` (the
+//! paper, §1: "the former can be seen as a special case of the latter"),
+//! so a single runtime serves both deployment models.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_runtime::{Runtime, RuntimeConfig};
+//! use dkcore::seq::batagelj_zaversnik;
+//! use dkcore_graph::generators::gnp;
+//!
+//! let g = gnp(60, 0.08, 5);
+//! let result = Runtime::new(RuntimeConfig::with_hosts(4)).run(&g);
+//! assert!(result.converged);
+//! assert_eq!(result.coreness, batagelj_zaversnik(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod worker;
+
+pub use worker::{Runtime, RuntimeConfig, RuntimeResult};

@@ -1,0 +1,336 @@
+//! Coordinator + worker threads.
+
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dkcore::one_to_many::{
+    Assignment, AssignmentPolicy, Destination, HostProtocol, OneToManyConfig, Outgoing,
+};
+use dkcore_graph::{Graph, NodeId};
+use parking_lot::Mutex;
+
+/// Configuration for a [`Runtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (= hosts `|H|`).
+    pub hosts: usize,
+    /// Node → host assignment policy (§3.2.2).
+    pub assignment: AssignmentPolicy,
+    /// Host protocol configuration (dissemination policy, emulation mode).
+    pub protocol: OneToManyConfig,
+    /// Safety cap on rounds; `0` means automatic (`2·N + 100`).
+    pub max_rounds: u32,
+}
+
+impl RuntimeConfig {
+    /// Default configuration with the given number of hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts == 0`.
+    pub fn with_hosts(hosts: usize) -> Self {
+        assert!(hosts > 0, "need at least one host");
+        RuntimeConfig {
+            hosts,
+            assignment: AssignmentPolicy::Modulo,
+            protocol: OneToManyConfig::default(),
+            max_rounds: 0,
+        }
+    }
+}
+
+/// Outcome of a live run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeResult {
+    /// Computed coreness per node (indexed by node id).
+    pub coreness: Vec<u32>,
+    /// Rounds executed, including the quiescent detection round.
+    pub rounds: u32,
+    /// Total `⟨S⟩` messages exchanged between hosts.
+    pub messages: u64,
+    /// Total `(node, estimate)` pairs shipped (Figure 5's overhead
+    /// numerator).
+    pub estimates_sent: u64,
+    /// Whether the system reached quiescence (vs. hitting the round cap).
+    pub converged: bool,
+}
+
+/// Control messages from the coordinator to workers.
+enum Control {
+    /// Execute one round; `first` selects the initialization flush.
+    Tick { first: bool },
+    /// Terminate and report final state.
+    Stop,
+}
+
+/// A worker's end-of-round report to the coordinator.
+struct Report {
+    /// Sent messages or produced new estimates this round.
+    active: bool,
+}
+
+/// A worker's final state, delivered after `Stop`.
+struct FinalState {
+    estimates: Vec<(NodeId, u32)>,
+    messages_sent: u64,
+    estimates_sent: u64,
+}
+
+/// The live message-passing runtime. See the [crate docs](crate).
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime { config }
+    }
+
+    /// Runs the protocol on `g` to completion and returns the computed
+    /// decomposition with transport statistics.
+    ///
+    /// Spawns `config.hosts` worker threads plus a coordinator; all
+    /// threads are joined before returning.
+    pub fn run(&self, g: &Graph) -> RuntimeResult {
+        let h = self.config.hosts;
+        let n = g.node_count();
+        let max_rounds = if self.config.max_rounds > 0 {
+            self.config.max_rounds
+        } else {
+            2 * n as u32 + 100
+        };
+        let assignment = Assignment::new(g, h, &self.config.assignment);
+        let protocols: Vec<HostProtocol> =
+            HostProtocol::for_assignment(g, &assignment, self.config.protocol);
+
+        // Data plane: one channel per host for ⟨S⟩ messages.
+        let (data_txs, data_rxs): (Vec<Sender<Vec<(NodeId, u32)>>>, Vec<_>) =
+            (0..h).map(|_| unbounded()).unzip();
+        // Control plane.
+        let (ctrl_txs, ctrl_rxs): (Vec<Sender<Control>>, Vec<_>) =
+            (0..h).map(|_| unbounded()).unzip();
+        let (report_tx, report_rx) = unbounded::<Report>();
+        // Final states, collected under a lock (workers finish in any order).
+        let finals: Mutex<Vec<Option<FinalState>>> =
+            Mutex::new((0..h).map(|_| None).collect());
+
+        let mut rounds = 0u32;
+        let mut total_messages = 0u64;
+
+        thread::scope(|scope| {
+            for (i, proto) in protocols.into_iter().enumerate() {
+                let peers = data_txs.clone();
+                let ctrl = ctrl_rxs[i].clone();
+                let data = data_rxs[i].clone();
+                let report = report_tx.clone();
+                let finals = &finals;
+                scope.spawn(move || {
+                    worker_loop(i, proto, peers, ctrl, data, report, finals);
+                });
+            }
+
+            // Coordinator: tick rounds until a fully quiescent one.
+            let mut first = true;
+            loop {
+                rounds += 1;
+                for tx in &ctrl_txs {
+                    tx.send(Control::Tick { first }).expect("worker alive");
+                }
+                first = false;
+                let mut any_active = false;
+                for _ in 0..h {
+                    let r = report_rx.recv().expect("worker reports");
+                    any_active |= r.active;
+                }
+                if !any_active || rounds >= max_rounds {
+                    break;
+                }
+            }
+            for tx in &ctrl_txs {
+                tx.send(Control::Stop).expect("worker alive");
+            }
+        });
+
+        let mut coreness = vec![0u32; n];
+        let mut estimates_sent = 0u64;
+        let mut converged = true;
+        for state in finals.into_inner() {
+            let state = state.expect("every worker reported a final state");
+            for (u, e) in state.estimates {
+                coreness[u.index()] = e;
+            }
+            total_messages += state.messages_sent;
+            estimates_sent += state.estimates_sent;
+        }
+        if rounds >= max_rounds {
+            converged = false;
+        }
+        RuntimeResult {
+            coreness,
+            rounds,
+            messages: total_messages,
+            estimates_sent,
+            converged,
+        }
+    }
+}
+
+/// Body of one worker thread: drain inbox, process, flush, report.
+fn worker_loop(
+    host: usize,
+    mut proto: HostProtocol,
+    peers: Vec<Sender<Vec<(NodeId, u32)>>>,
+    ctrl: Receiver<Control>,
+    data: Receiver<Vec<(NodeId, u32)>>,
+    report: Sender<Report>,
+    finals: &Mutex<Vec<Option<FinalState>>>,
+) {
+    loop {
+        match ctrl.recv().expect("coordinator alive") {
+            Control::Tick { first } => {
+                // Drain all estimate sets that arrived since the last tick.
+                while let Ok(pairs) = data.try_recv() {
+                    proto.receive(&pairs);
+                }
+                let outgoing: Vec<Outgoing> =
+                    if first { proto.initial_flush() } else { proto.round_flush() };
+                let mut sent = false;
+                for msg in outgoing {
+                    sent = true;
+                    match msg.dest {
+                        Destination::AllHosts => {
+                            for (p, tx) in peers.iter().enumerate() {
+                                if p != host {
+                                    tx.send(msg.pairs.clone()).expect("peer alive");
+                                }
+                            }
+                        }
+                        Destination::Host(y) => {
+                            peers[y.index()].send(msg.pairs.clone()).expect("peer alive");
+                        }
+                    }
+                }
+                let active = sent || proto.has_pending_changes();
+                report.send(Report { active }).expect("coordinator alive");
+            }
+            Control::Stop => {
+                let state = FinalState {
+                    estimates: proto.local_estimates().collect(),
+                    messages_sent: proto.messages_sent(),
+                    estimates_sent: proto.estimates_sent(),
+                };
+                finals.lock()[host] = Some(state);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::one_to_many::{DisseminationPolicy, EmulationMode};
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{barabasi_albert, gnp, path, worst_case};
+
+    #[test]
+    fn computes_correct_coreness_p2p() {
+        let g = gnp(100, 0.06, 1);
+        let truth = batagelj_zaversnik(&g);
+        for hosts in [1, 2, 4, 8] {
+            let result = Runtime::new(RuntimeConfig::with_hosts(hosts)).run(&g);
+            assert!(result.converged);
+            assert_eq!(result.coreness, truth, "hosts = {hosts}");
+        }
+    }
+
+    #[test]
+    fn computes_correct_coreness_broadcast() {
+        let g = barabasi_albert(120, 3, 3);
+        let truth = batagelj_zaversnik(&g);
+        let mut config = RuntimeConfig::with_hosts(6);
+        config.protocol.policy = DisseminationPolicy::Broadcast;
+        let result = Runtime::new(config).run(&g);
+        assert!(result.converged);
+        assert_eq!(result.coreness, truth);
+    }
+
+    #[test]
+    fn one_thread_per_node_matches_one_to_one_scenario() {
+        let g = gnp(24, 0.2, 9);
+        let truth = batagelj_zaversnik(&g);
+        let result = Runtime::new(RuntimeConfig::with_hosts(24)).run(&g);
+        assert_eq!(result.coreness, truth);
+    }
+
+    #[test]
+    fn worst_case_graph_through_threads() {
+        let g = worst_case(16);
+        let result = Runtime::new(RuntimeConfig::with_hosts(4)).run(&g);
+        assert!(result.coreness.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn per_round_emulation_converges_live() {
+        let g = path(24);
+        let mut config = RuntimeConfig::with_hosts(3);
+        config.assignment = AssignmentPolicy::Block;
+        config.protocol.emulation = EmulationMode::PerRound;
+        let result = Runtime::new(config).run(&g);
+        assert!(result.converged);
+        assert_eq!(result.coreness, vec![1; 24]);
+    }
+
+    #[test]
+    fn single_host_needs_no_messages() {
+        let g = gnp(50, 0.1, 2);
+        let result = Runtime::new(RuntimeConfig::with_hosts(1)).run(&g);
+        assert_eq!(result.messages, 0);
+        assert_eq!(result.coreness, batagelj_zaversnik(&g));
+    }
+
+    #[test]
+    fn round_cap_reports_non_convergence() {
+        let g = path(60);
+        let mut config = RuntimeConfig::with_hosts(4);
+        config.max_rounds = 2;
+        let result = Runtime::new(config).run(&g);
+        assert!(!result.converged);
+        assert_eq!(result.rounds, 2);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let g = gnp(80, 0.08, 7);
+        let result = Runtime::new(RuntimeConfig::with_hosts(8)).run(&g);
+        assert!(result.messages > 0);
+        assert!(result.estimates_sent >= result.messages,
+            "every message carries at least one estimate");
+        assert!(result.rounds >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        let _ = RuntimeConfig::with_hosts(0);
+    }
+
+    #[test]
+    fn confluent_results_despite_threading() {
+        // Thread scheduling must not affect the *outcome*: the protocol is
+        // confluent (estimates only decrease toward a unique fixpoint).
+        // Transport statistics may legitimately vary between runs — a
+        // worker may drain a message in the round it was sent or the next
+        // one depending on interleaving, exactly the nondeterminism the
+        // paper models by varying operation order across experiments.
+        let g = barabasi_albert(100, 2, 11);
+        let truth = batagelj_zaversnik(&g);
+        for _ in 0..5 {
+            let result = Runtime::new(RuntimeConfig::with_hosts(7)).run(&g);
+            assert_eq!(result.coreness, truth);
+            assert!(result.converged);
+        }
+    }
+}

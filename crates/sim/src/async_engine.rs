@@ -1,0 +1,451 @@
+//! Event-driven *asynchronous* simulation of the one-to-one protocol.
+//!
+//! The paper's round model is a convenience: Algorithm 1 itself is
+//! asynchronous — it reacts to message arrivals and flushes "every δ time
+//! units" on a local clock. This engine drops the round abstraction
+//! entirely: every message gets an independent random latency (messages
+//! can overtake each other), and every node flushes on its own period
+//! with a random phase. The protocol tolerates all of it *by
+//! construction*: estimates only decrease and stale (higher) values are
+//! ignored on receipt, so reordering and delay cannot violate safety —
+//! which the tests verify against the sequential baseline.
+//!
+//! Time is measured in abstract ticks; a node's flush period is
+//! [`AsyncSimConfig::delta`] ticks and message latencies are drawn
+//! uniformly from [`AsyncSimConfig::latency`].
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_sim::{AsyncSim, AsyncSimConfig};
+//! use dkcore::seq::batagelj_zaversnik;
+//! use dkcore_graph::generators::gnp;
+//!
+//! let g = gnp(100, 0.06, 3);
+//! // Latencies up to 3x the flush period: heavy reordering.
+//! let config = AsyncSimConfig { delta: 10, latency: (1, 30), ..AsyncSimConfig::new(7) };
+//! let result = AsyncSim::new(&g, config).run();
+//! assert!(result.converged);
+//! assert_eq!(result.final_estimates, batagelj_zaversnik(&g));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dkcore::one_to_one::{NodeProtocol, OneToOneConfig};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of an [`AsyncSim`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncSimConfig {
+    /// Flush period δ in ticks (the paper's "repeat every δ time units").
+    pub delta: u64,
+    /// Message latency range `(min, max)` in ticks, inclusive.
+    pub latency: (u64, u64),
+    /// Protocol configuration.
+    pub protocol: OneToOneConfig,
+    /// RNG seed (latencies and flush phases).
+    pub seed: u64,
+    /// Safety cap on processed events; `0` = automatic.
+    pub max_events: u64,
+    /// Probability that a message is silently dropped in transit.
+    ///
+    /// The paper's §2 *assumes* reliable channels; this knob probes that
+    /// assumption. With loss and no repair, safety still holds (estimates
+    /// stay upper bounds — dropping a message can only leave estimates
+    /// too high) but liveness fails: the run may quiesce with wrong
+    /// values. Pair with [`anti_entropy`](Self::anti_entropy) to restore
+    /// convergence.
+    pub loss_probability: f64,
+    /// Anti-entropy period: every this many ticks, a node re-announces
+    /// its current estimate to all neighbors *even if unchanged* — the
+    /// standard epidemic repair for lossy channels. `0` disables it.
+    pub anti_entropy: u64,
+}
+
+impl AsyncSimConfig {
+    /// Reasonable defaults: δ = 10 ticks, latency 1–9 ticks (messages
+    /// usually arrive within one period), reliable channels, given seed.
+    pub fn new(seed: u64) -> Self {
+        AsyncSimConfig {
+            delta: 10,
+            latency: (1, 9),
+            protocol: OneToOneConfig::default(),
+            seed,
+            max_events: 0,
+            loss_probability: 0.0,
+            anti_entropy: 0,
+        }
+    }
+}
+
+/// Outcome of an asynchronous run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncRunResult {
+    /// Virtual time (ticks) at which the last estimate change happened.
+    pub converged_at: u64,
+    /// Virtual time at which the simulation drained (all messages
+    /// delivered, no pending changes).
+    pub drained_at: u64,
+    /// Total point-to-point messages sent.
+    pub total_messages: u64,
+    /// Messages lost in transit (`loss_probability > 0` runs).
+    pub dropped_messages: u64,
+    /// Delivery events processed.
+    pub deliveries: u64,
+    /// Final estimates per node.
+    pub final_estimates: Vec<u32>,
+    /// Whether the run drained before hitting the event cap.
+    pub converged: bool,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// (time, sequence for determinism, payload)
+    Deliver { to: NodeId, from: NodeId, value: u32 },
+    Flush { node: NodeId },
+    /// Periodic unconditional re-announcement (anti-entropy repair).
+    AntiEntropy { node: NodeId },
+}
+
+/// Event-driven asynchronous simulator of the one-to-one protocol.
+///
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct AsyncSim {
+    nodes: Vec<NodeProtocol>,
+    queue: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    rng: StdRng,
+    config: AsyncSimConfig,
+    seq: u64,
+    now: u64,
+    pending_deliveries: u64,
+    total_messages: u64,
+    dropped_messages: u64,
+    deliveries: u64,
+    last_change_at: u64,
+    /// Remaining anti-entropy announcements (bounds the repair phase so a
+    /// lossless-after-repair run can drain).
+    anti_entropy_budget: u64,
+}
+
+impl AsyncSim {
+    /// Builds the simulator; each node gets a random flush phase in
+    /// `[0, δ)` and the initialization broadcasts are scheduled at t = 0.
+    pub fn new(g: &Graph, config: AsyncSimConfig) -> Self {
+        assert!(config.delta > 0, "flush period must be positive");
+        assert!(config.latency.0 <= config.latency.1, "latency range must be ordered");
+        assert!(
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability must be in [0, 1]"
+        );
+        let mut this = AsyncSim {
+            nodes: NodeProtocol::for_graph(g, config.protocol),
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            seq: 0,
+            now: 0,
+            pending_deliveries: 0,
+            total_messages: 0,
+            dropped_messages: 0,
+            deliveries: 0,
+            last_change_at: 0,
+            anti_entropy_budget: 0,
+        };
+        // Enough repair announcements to drive the residual error to
+        // negligible probability: ~50 sweeps per node (a stale cache
+        // entry survives unrepaired with probability loss^sweeps).
+        this.anti_entropy_budget = (this.nodes.len() as u64).saturating_mul(50).max(64)
+            * u64::from(config.anti_entropy > 0);
+        // Initial broadcasts at t = 0 (+ latency), then periodic flushes
+        // with random phase.
+        for i in 0..this.nodes.len() {
+            if let Some(b) = this.nodes[i].initial_broadcast() {
+                this.schedule_broadcast(b);
+            }
+            let phase = this.rng.random_range(0..this.config.delta);
+            this.push(phase, Event::Flush { node: NodeId::from_index(i) });
+            if this.config.anti_entropy > 0 {
+                let phase = this.rng.random_range(0..this.config.anti_entropy);
+                this.push(phase, Event::AntiEntropy { node: NodeId::from_index(i) });
+            }
+        }
+        this
+    }
+
+    fn push(&mut self, at: u64, event: Event) {
+        self.seq += 1;
+        if matches!(event, Event::Deliver { .. }) {
+            self.pending_deliveries += 1;
+        }
+        self.queue.push(Reverse((at, self.seq, event)));
+    }
+
+    fn schedule_broadcast(&mut self, b: dkcore::one_to_one::Broadcast) {
+        let (lo, hi) = self.config.latency;
+        let now = self.now;
+        let loss = self.config.loss_probability;
+        for to in b.recipients {
+            self.total_messages += 1;
+            if loss > 0.0 && self.rng.random_bool(loss) {
+                self.dropped_messages += 1;
+                continue;
+            }
+            let latency = self.rng.random_range(lo..=hi);
+            self.push(now + latency, Event::Deliver { to, from: b.from, value: b.core });
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until the system drains: no deliveries in flight and no node
+    /// holding an unflushed change.
+    pub fn run(mut self) -> AsyncRunResult {
+        let cap = if self.config.max_events > 0 {
+            self.config.max_events
+        } else {
+            // Generous: each message produces one delivery; flush events
+            // tick every delta. Corollary 2 bounds messages by O(Δ·M).
+            1_000_000_u64.max(self.nodes.len() as u64 * 10_000)
+        };
+        let mut processed = 0u64;
+        while let Some(Reverse((at, _, event))) = self.queue.pop() {
+            self.now = at;
+            processed += 1;
+            if processed > cap {
+                return self.finish(false);
+            }
+            match event {
+                Event::Deliver { to, from, value } => {
+                    self.pending_deliveries -= 1;
+                    self.deliveries += 1;
+                    if self.nodes[to.index()].receive(from, value) {
+                        self.last_change_at = at;
+                    }
+                }
+                Event::Flush { node } => {
+                    if let Some(b) = self.nodes[node.index()].round_flush() {
+                        self.schedule_broadcast(b);
+                    }
+                    // Keep flushing only while the system is live;
+                    // otherwise the queue drains and the run ends.
+                    let live = self.pending_deliveries > 0
+                        || self.nodes.iter().any(NodeProtocol::is_changed);
+                    if live {
+                        let at = self.now + self.config.delta;
+                        self.push(at, Event::Flush { node });
+                    }
+                }
+                Event::AntiEntropy { node } => {
+                    // Unconditional re-announcement: repairs estimate
+                    // caches that lost messages left stale. The protocol
+                    // ignores values that do not improve anything, so
+                    // this is always safe. Recur while the system might
+                    // still be wrong anywhere (conservatively: while any
+                    // message was ever dropped and the queue is live or
+                    // a bounded number of repair periods remains).
+                    let i = node.index();
+                    if self.nodes[i].degree() > 0 {
+                        let core = self.nodes[i].core();
+                        let recipients = self.nodes[i].neighbors().to_vec();
+                        self.schedule_broadcast(dkcore::one_to_one::Broadcast {
+                            from: node,
+                            core,
+                            recipients,
+                        });
+                        self.anti_entropy_budget = self.anti_entropy_budget.saturating_sub(1);
+                        if self.anti_entropy_budget > 0 {
+                            let at = self.now + self.config.anti_entropy;
+                            self.push(at, Event::AntiEntropy { node });
+                        }
+                    }
+                }
+            }
+        }
+        self.finish(true)
+    }
+
+    fn finish(self, converged: bool) -> AsyncRunResult {
+        AsyncRunResult {
+            converged_at: self.last_change_at,
+            drained_at: self.now,
+            total_messages: self.total_messages,
+            dropped_messages: self.dropped_messages,
+            deliveries: self.deliveries,
+            final_estimates: self.nodes.iter().map(NodeProtocol::core).collect(),
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{complete, gnp, path, worst_case};
+
+    #[test]
+    fn converges_with_small_latency() {
+        for seed in 0..5 {
+            let g = gnp(80, 0.07, seed);
+            let result = AsyncSim::new(&g, AsyncSimConfig::new(seed)).run();
+            assert!(result.converged);
+            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn converges_under_heavy_reordering() {
+        // Latencies far beyond the flush period: messages overtake each
+        // other constantly. Monotonicity makes this harmless.
+        for seed in 0..5 {
+            let g = gnp(60, 0.08, 100 + seed);
+            let config = AsyncSimConfig {
+                delta: 5,
+                latency: (1, 100),
+                ..AsyncSimConfig::new(seed)
+            };
+            let result = AsyncSim::new(&g, config).run();
+            assert!(result.converged);
+            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn converges_with_zero_latency_floor() {
+        let g = path(30);
+        let config = AsyncSimConfig { latency: (0, 0), ..AsyncSimConfig::new(3) };
+        let result = AsyncSim::new(&g, config).run();
+        assert!(result.converged);
+        assert_eq!(result.final_estimates, vec![1; 30]);
+    }
+
+    #[test]
+    fn worst_case_still_converges_async() {
+        let g = worst_case(25);
+        let result = AsyncSim::new(&g, AsyncSimConfig::new(9)).run();
+        assert!(result.final_estimates.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn complete_graph_needs_no_changes() {
+        let g = complete(10);
+        let result = AsyncSim::new(&g, AsyncSimConfig::new(1)).run();
+        assert!(result.converged);
+        assert_eq!(result.converged_at, 0, "degree == coreness: nothing changes");
+        assert_eq!(result.final_estimates, vec![9; 10]);
+        // All 90 initial messages were delivered.
+        assert_eq!(result.deliveries, 90);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = gnp(50, 0.1, 4);
+        let a = AsyncSim::new(&g, AsyncSimConfig::new(11)).run();
+        let b = AsyncSim::new(&g, AsyncSimConfig::new(11)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_slows_convergence_time() {
+        let g = path(60);
+        let fast = AsyncSim::new(
+            &g,
+            AsyncSimConfig { delta: 10, latency: (1, 2), ..AsyncSimConfig::new(5) },
+        )
+        .run();
+        let slow = AsyncSim::new(
+            &g,
+            AsyncSimConfig { delta: 10, latency: (50, 80), ..AsyncSimConfig::new(5) },
+        )
+        .run();
+        assert!(slow.converged_at > fast.converged_at,
+            "higher latency should delay convergence: {} vs {}",
+            slow.converged_at, fast.converged_at);
+    }
+
+    #[test]
+    fn event_cap_reports_non_convergence() {
+        let g = gnp(50, 0.1, 8);
+        let config = AsyncSimConfig { max_events: 10, ..AsyncSimConfig::new(2) };
+        let result = AsyncSim::new(&g, config).run();
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn isolated_graph_drains_immediately() {
+        let g = dkcore_graph::Graph::from_edges(4, []).unwrap();
+        let result = AsyncSim::new(&g, AsyncSimConfig::new(0)).run();
+        assert!(result.converged);
+        assert_eq!(result.total_messages, 0);
+        assert_eq!(result.final_estimates, vec![0; 4]);
+    }
+
+    #[test]
+    fn loss_without_repair_keeps_safety_but_may_stall() {
+        // §2's reliability assumption, probed: with 30% loss and no
+        // repair, the run drains but estimates can be stuck ABOVE the
+        // truth — never below (safety is loss-proof).
+        let g = gnp(80, 0.08, 7);
+        let truth = batagelj_zaversnik(&g);
+        let config = AsyncSimConfig {
+            loss_probability: 0.3,
+            ..AsyncSimConfig::new(13)
+        };
+        let result = AsyncSim::new(&g, config).run();
+        assert!(result.dropped_messages > 0, "loss must actually occur");
+        for (u, (&est, &t)) in result.final_estimates.iter().zip(truth.iter()).enumerate() {
+            assert!(est >= t, "safety violated at node {u}: {est} < {t}");
+        }
+    }
+
+    #[test]
+    fn anti_entropy_restores_convergence_under_loss() {
+        for seed in 0..3 {
+            let g = gnp(60, 0.08, 300 + seed);
+            let truth = batagelj_zaversnik(&g);
+            let config = AsyncSimConfig {
+                loss_probability: 0.25,
+                anti_entropy: 20,
+                ..AsyncSimConfig::new(seed)
+            };
+            let result = AsyncSim::new(&g, config).run();
+            assert!(result.dropped_messages > 0);
+            assert_eq!(result.final_estimates, truth,
+                "anti-entropy repair should reach the exact decomposition (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn anti_entropy_is_harmless_without_loss() {
+        let g = gnp(50, 0.1, 4);
+        let truth = batagelj_zaversnik(&g);
+        let config = AsyncSimConfig { anti_entropy: 15, ..AsyncSimConfig::new(6) };
+        let result = AsyncSim::new(&g, config).run();
+        assert!(result.converged);
+        assert_eq!(result.final_estimates, truth);
+        assert_eq!(result.dropped_messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let g = path(3);
+        let config = AsyncSimConfig { loss_probability: 1.5, ..AsyncSimConfig::new(0) };
+        let _ = AsyncSim::new(&g, config);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush period must be positive")]
+    fn zero_delta_panics() {
+        let g = path(3);
+        let config = AsyncSimConfig { delta: 0, ..AsyncSimConfig::new(0) };
+        let _ = AsyncSim::new(&g, config);
+    }
+}

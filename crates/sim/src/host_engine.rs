@@ -1,0 +1,443 @@
+//! Simulation engine for the one-to-many protocol (Algorithms 3–5).
+
+use dkcore::one_to_many::{
+    Assignment, AssignmentPolicy, Destination, HostProtocol, OneToManyConfig, Outgoing,
+};
+use dkcore::termination::{CentralizedDetector, TerminationDetector};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{Observer, RunResult, SimMode, StepReport};
+
+/// Configuration of a [`HostSim`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSimConfig {
+    /// Execution model (see [`SimMode`]).
+    pub mode: SimMode,
+    /// Number of hosts `|H|`.
+    pub hosts: usize,
+    /// Node → host assignment policy (§3.2.2; the paper uses `Modulo`).
+    pub assignment: AssignmentPolicy,
+    /// Host protocol configuration (dissemination policy + emulation mode).
+    pub protocol: OneToManyConfig,
+    /// Safety cap on simulated rounds; `0` means automatic (`2·N + 100`).
+    pub max_rounds: u32,
+}
+
+impl HostSimConfig {
+    /// Synchronous rounds, `hosts` hosts, the paper's modulo assignment,
+    /// default protocol settings.
+    pub fn synchronous(hosts: usize) -> Self {
+        HostSimConfig {
+            mode: SimMode::Synchronous,
+            hosts,
+            assignment: AssignmentPolicy::Modulo,
+            protocol: OneToManyConfig::default(),
+            max_rounds: 0,
+        }
+    }
+
+    /// PeerSim-style random-order cycles.
+    pub fn random_order(hosts: usize, seed: u64) -> Self {
+        HostSimConfig { mode: SimMode::RandomOrder { seed }, ..Self::synchronous(hosts) }
+    }
+
+    fn effective_max_rounds(&self, n: usize) -> u32 {
+        if self.max_rounds > 0 {
+            self.max_rounds
+        } else {
+            2 * n as u32 + 100
+        }
+    }
+}
+
+/// Round-based simulator of the one-to-many protocol.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_sim::{HostSim, HostSimConfig};
+/// use dkcore::seq::batagelj_zaversnik;
+/// use dkcore_graph::generators::gnp;
+///
+/// let g = gnp(60, 0.08, 3);
+/// let mut sim = HostSim::new(&g, HostSimConfig::synchronous(4));
+/// let result = sim.run();
+/// assert!(result.converged);
+/// assert_eq!(result.final_estimates, batagelj_zaversnik(&g));
+/// ```
+#[derive(Debug)]
+pub struct HostSim {
+    hosts: Vec<HostProtocol>,
+    /// Per-host queue of received pair-sets.
+    inboxes: Vec<Vec<Vec<(NodeId, u32)>>>,
+    node_count: usize,
+    mode: SimMode,
+    rng: Option<StdRng>,
+    round: u32,
+    max_rounds: u32,
+    execution_time: u32,
+    total_messages: u64,
+    started: bool,
+}
+
+impl HostSim {
+    /// Builds a simulator for `g` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hosts == 0`.
+    pub fn new(g: &Graph, config: HostSimConfig) -> Self {
+        let assignment = Assignment::new(g, config.hosts, &config.assignment);
+        let hosts = HostProtocol::for_assignment(g, &assignment, config.protocol);
+        let rng = match config.mode {
+            SimMode::Synchronous => None,
+            SimMode::RandomOrder { seed } => Some(StdRng::seed_from_u64(seed)),
+        };
+        HostSim {
+            inboxes: vec![Vec::new(); hosts.len()],
+            hosts,
+            node_count: g.node_count(),
+            mode: config.mode,
+            rng,
+            round: 0,
+            max_rounds: config.effective_max_rounds(g.node_count()),
+            execution_time: 0,
+            total_messages: 0,
+            started: false,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// 1-based index of the last executed round (0 before the first).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The execution-time counter: rounds in which ≥ 1 message was sent.
+    pub fn execution_time(&self) -> u32 {
+        self.execution_time
+    }
+
+    /// Current estimates for all nodes, indexed by node id.
+    pub fn estimates(&self) -> Vec<u32> {
+        let mut est = vec![0u32; self.node_count];
+        for h in &self.hosts {
+            for (u, e) in h.local_estimates() {
+                est[u.index()] = e;
+            }
+        }
+        est
+    }
+
+    /// Total `(node, estimate)` pairs sent so far across all hosts — the
+    /// numerator of the paper's Figure 5 overhead metric.
+    pub fn estimates_sent(&self) -> u64 {
+        self.hosts.iter().map(HostProtocol::estimates_sent).sum()
+    }
+
+    /// Figure 5's y-axis: estimates sent per node.
+    pub fn overhead_per_node(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            self.estimates_sent() as f64 / self.node_count as f64
+        }
+    }
+
+    /// Whether all inboxes are empty and no host has unflushed changes.
+    pub fn is_quiescent(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty)
+            && self.hosts.iter().all(|h| !h.has_pending_changes())
+    }
+
+    fn deliver(
+        inboxes: &mut [Vec<Vec<(NodeId, u32)>>],
+        sender: usize,
+        outgoing: Vec<Outgoing>,
+    ) -> u64 {
+        let mut count = 0u64;
+        for msg in outgoing {
+            count += 1;
+            match msg.dest {
+                Destination::AllHosts => {
+                    // Broadcast medium: one send, everyone else hears it.
+                    for (h, inbox) in inboxes.iter_mut().enumerate() {
+                        if h != sender {
+                            inbox.push(msg.pairs.clone());
+                        }
+                    }
+                }
+                Destination::Host(y) => {
+                    inboxes[y.index()].push(msg.pairs.clone());
+                }
+            }
+        }
+        count
+    }
+
+    /// Executes one round/cycle.
+    pub fn step(&mut self) -> StepReport {
+        self.round += 1;
+        let h = self.hosts.len();
+        let mut active = vec![false; h];
+        let mut messages = 0u64;
+        let first = !self.started;
+        self.started = true;
+
+        match self.mode {
+            SimMode::Synchronous => {
+                let mut all_outgoing: Vec<(usize, Vec<Outgoing>)> = Vec::new();
+                if first {
+                    for (i, host) in self.hosts.iter_mut().enumerate() {
+                        let out = host.initial_flush();
+                        if !out.is_empty() {
+                            all_outgoing.push((i, out));
+                        }
+                        // PerRound emulation may leave internal propagation
+                        // pending right after initialization.
+                        if host.has_pending_changes() {
+                            active[i] = true;
+                        }
+                    }
+                } else {
+                    for i in 0..h {
+                        let batches = std::mem::take(&mut self.inboxes[i]);
+                        for pairs in batches {
+                            self.hosts[i].receive(&pairs);
+                        }
+                    }
+                    for (i, host) in self.hosts.iter_mut().enumerate() {
+                        let out = host.round_flush();
+                        if !out.is_empty() {
+                            all_outgoing.push((i, out));
+                        }
+                        // A host that generated new estimates this round —
+                        // even purely internal ones (PerRound emulation) —
+                        // is not quiescent yet (§3.3: quiescence means "no
+                        // new estimate is generated during a round").
+                        if host.has_pending_changes() {
+                            active[i] = true;
+                        }
+                    }
+                }
+                for (i, out) in all_outgoing {
+                    active[i] = true;
+                    messages += Self::deliver(&mut self.inboxes, i, out);
+                }
+            }
+            SimMode::RandomOrder { .. } => {
+                let rng = self.rng.as_mut().expect("random mode has rng");
+                let mut order: Vec<usize> = (0..h).collect();
+                order.shuffle(rng);
+                for &i in &order {
+                    if first {
+                        let out = self.hosts[i].initial_flush();
+                        if !out.is_empty() {
+                            active[i] = true;
+                            messages += Self::deliver(&mut self.inboxes, i, out);
+                        }
+                    }
+                    let batches = std::mem::take(&mut self.inboxes[i]);
+                    for pairs in batches {
+                        self.hosts[i].receive(&pairs);
+                    }
+                    let out = self.hosts[i].round_flush();
+                    if !out.is_empty() {
+                        active[i] = true;
+                        messages += Self::deliver(&mut self.inboxes, i, out);
+                    }
+                    if self.hosts[i].has_pending_changes() {
+                        active[i] = true;
+                    }
+                }
+            }
+        }
+
+        if messages > 0 {
+            self.execution_time += 1;
+        }
+        self.total_messages += messages;
+        StepReport { round: self.round, messages, active }
+    }
+
+    /// Runs to quiescence under the exact [`CentralizedDetector`].
+    pub fn run(&mut self) -> RunResult {
+        let mut detector = CentralizedDetector::new();
+        self.run_with(&mut detector, &mut [])
+    }
+
+    /// Runs under an arbitrary termination detector with observers.
+    pub fn run_with(
+        &mut self,
+        detector: &mut dyn TerminationDetector,
+        observers: &mut [&mut dyn Observer],
+    ) -> RunResult {
+        loop {
+            let report = self.step();
+            let estimates = self.estimates();
+            for obs in observers.iter_mut() {
+                obs.on_round(report.round, &estimates, report.messages);
+            }
+            let stop = detector.observe_round(report.round, &report.active);
+            if stop || self.round >= self.max_rounds {
+                break;
+            }
+        }
+        let result = RunResult {
+            execution_time: self.execution_time,
+            rounds_executed: self.round,
+            total_messages: self.total_messages,
+            messages_per_sender: self.hosts.iter().map(HostProtocol::messages_sent).collect(),
+            final_estimates: self.estimates(),
+            converged: self.is_quiescent(),
+        };
+        for obs in observers.iter_mut() {
+            obs.on_finish(&result);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::one_to_many::{DisseminationPolicy, EmulationMode};
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{barabasi_albert, gnp, path, worst_case};
+
+    #[test]
+    fn synchronous_converges_all_policies() {
+        let g = gnp(70, 0.07, 5);
+        let truth = batagelj_zaversnik(&g);
+        for hosts in [1, 2, 8, 70] {
+            for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+                let mut config = HostSimConfig::synchronous(hosts);
+                config.protocol.policy = policy;
+                let result = HostSim::new(&g, config).run();
+                assert!(result.converged);
+                assert_eq!(result.final_estimates, truth, "hosts {hosts} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_order_converges() {
+        let g = barabasi_albert(100, 2, 7);
+        let truth = batagelj_zaversnik(&g);
+        for seed in 0..4 {
+            let result = HostSim::new(&g, HostSimConfig::random_order(8, seed)).run();
+            assert!(result.converged);
+            assert_eq!(result.final_estimates, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounds_comparable_to_one_to_one() {
+        // §5.2: "the number of rounds needed to complete the protocol was
+        // equivalent to that of the one-to-one version".
+        use crate::{NodeSim, NodeSimConfig};
+        let g = gnp(80, 0.06, 11);
+        let one_to_one = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        let mut config = HostSimConfig::synchronous(8);
+        config.protocol.policy = DisseminationPolicy::PointToPoint;
+        let one_to_many = HostSim::new(&g, config).run();
+        // Internal emulation can only shave rounds off, never add.
+        assert!(one_to_many.rounds_executed <= one_to_one.rounds_executed + 1,
+            "{} vs {}", one_to_many.rounds_executed, one_to_one.rounds_executed);
+    }
+
+    #[test]
+    fn broadcast_sends_one_message_per_active_host_per_round() {
+        let g = gnp(50, 0.1, 3);
+        let mut config = HostSimConfig::synchronous(5);
+        config.protocol.policy = DisseminationPolicy::Broadcast;
+        let mut sim = HostSim::new(&g, config);
+        let first = sim.step();
+        // Round 1: every non-empty host broadcasts exactly once.
+        assert!(first.messages <= 5);
+        assert_eq!(first.messages, first.active_count() as u64);
+    }
+
+    #[test]
+    fn overhead_broadcast_well_below_p2p_at_many_hosts() {
+        // The qualitative content of Figure 5.
+        let g = barabasi_albert(200, 3, 9);
+        let measure = |policy, hosts| {
+            let mut config = HostSimConfig::synchronous(hosts);
+            config.protocol.policy = policy;
+            let mut sim = HostSim::new(&g, config);
+            sim.run();
+            sim.overhead_per_node()
+        };
+        let broadcast = measure(DisseminationPolicy::Broadcast, 64);
+        let p2p = measure(DisseminationPolicy::PointToPoint, 64);
+        assert!(broadcast < p2p,
+            "broadcast {broadcast} should be cheaper than p2p {p2p} at 64 hosts");
+    }
+
+    #[test]
+    fn p2p_overhead_increases_with_host_count() {
+        let g = barabasi_albert(200, 3, 13);
+        let overhead = |hosts| {
+            let mut config = HostSimConfig::synchronous(hosts);
+            config.protocol.policy = DisseminationPolicy::PointToPoint;
+            let mut sim = HostSim::new(&g, config);
+            sim.run();
+            sim.overhead_per_node()
+        };
+        let at2 = overhead(2);
+        let at64 = overhead(64);
+        assert!(at64 > at2, "{at2} -> {at64}");
+    }
+
+    #[test]
+    fn worst_case_cascade_with_hosts() {
+        let g = worst_case(20);
+        let result = HostSim::new(&g, HostSimConfig::synchronous(4)).run();
+        assert!(result.final_estimates.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn per_round_emulation_still_converges_via_engine() {
+        let g = path(30);
+        let mut config = HostSimConfig::synchronous(3);
+        config.assignment = AssignmentPolicy::Block;
+        config.protocol.emulation = EmulationMode::PerRound;
+        let result = HostSim::new(&g, config).run();
+        assert!(result.converged);
+        assert_eq!(result.final_estimates, vec![1; 30]);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let g = gnp(60, 0.08, 21);
+        let r1 = HostSim::new(&g, HostSimConfig::random_order(4, 9)).run();
+        let r2 = HostSim::new(&g, HostSimConfig::random_order(4, 9)).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn observers_see_host_runs_too() {
+        use crate::ErrorEvolutionObserver;
+        let g = gnp(40, 0.12, 2);
+        let truth = batagelj_zaversnik(&g);
+        let mut obs = ErrorEvolutionObserver::new(truth.clone());
+        let mut det = CentralizedDetector::new();
+        let mut sim = HostSim::new(&g, HostSimConfig::synchronous(4));
+        let result = sim.run_with(&mut det, &mut [&mut obs]);
+        assert_eq!(result.final_estimates, truth);
+        let avg = obs.avg_series("avg");
+        assert_eq!(avg.points().last().unwrap().1, 0.0);
+        // Error is non-increasing over rounds in the synchronous engine.
+        let ys: Vec<f64> = avg.points().iter().map(|&(_, y)| y).collect();
+        for w in ys.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Simulation engine for the one-to-one protocol (Algorithm 1).
+
+use dkcore::one_to_one::{NodeProtocol, OneToOneConfig};
+use dkcore::termination::{CentralizedDetector, TerminationDetector};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::{Observer, RunResult, SimMode, StepReport};
+
+/// Configuration of a [`NodeSim`].
+///
+/// # Example
+///
+/// ```
+/// use dkcore_sim::{NodeSimConfig, SimMode};
+///
+/// let sync = NodeSimConfig::synchronous();
+/// assert_eq!(sync.mode, SimMode::Synchronous);
+/// let cycles = NodeSimConfig::random_order(42);
+/// assert_eq!(cycles.mode, SimMode::RandomOrder { seed: 42 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSimConfig {
+    /// Execution model (see [`SimMode`]).
+    pub mode: SimMode,
+    /// Protocol configuration (send optimization, §3.1.2).
+    pub protocol: OneToOneConfig,
+    /// Safety cap on simulated rounds; `0` means automatic
+    /// (`2·N + 100`, comfortably above the paper's `N − K + 1` bound).
+    pub max_rounds: u32,
+}
+
+impl NodeSimConfig {
+    /// Lock-step synchronous rounds with default protocol settings.
+    pub fn synchronous() -> Self {
+        NodeSimConfig {
+            mode: SimMode::Synchronous,
+            protocol: OneToOneConfig::default(),
+            max_rounds: 0,
+        }
+    }
+
+    /// PeerSim-style random-order cycles with default protocol settings.
+    pub fn random_order(seed: u64) -> Self {
+        NodeSimConfig {
+            mode: SimMode::RandomOrder { seed },
+            protocol: OneToOneConfig::default(),
+            max_rounds: 0,
+        }
+    }
+
+    fn effective_max_rounds(&self, n: usize) -> u32 {
+        if self.max_rounds > 0 {
+            self.max_rounds
+        } else {
+            2 * n as u32 + 100
+        }
+    }
+}
+
+/// Round-based simulator of the one-to-one protocol over a graph.
+///
+/// Use [`step`](NodeSim::step) for fine-grained control or
+/// [`run`](NodeSim::run)/[`run_with`](NodeSim::run_with) for a full
+/// execution. See the [crate docs](crate) for the two execution models.
+#[derive(Debug)]
+pub struct NodeSim {
+    nodes: Vec<NodeProtocol>,
+    inboxes: Vec<Vec<(NodeId, u32)>>,
+    mode: SimMode,
+    rng: Option<StdRng>,
+    round: u32,
+    max_rounds: u32,
+    execution_time: u32,
+    total_messages: u64,
+    started: bool,
+}
+
+impl NodeSim {
+    /// Builds a simulator for `g` under `config`.
+    pub fn new(g: &Graph, config: NodeSimConfig) -> Self {
+        let n = g.node_count();
+        let rng = match config.mode {
+            SimMode::Synchronous => None,
+            SimMode::RandomOrder { seed } => Some(StdRng::seed_from_u64(seed)),
+        };
+        NodeSim {
+            nodes: NodeProtocol::for_graph(g, config.protocol),
+            inboxes: vec![Vec::new(); n],
+            mode: config.mode,
+            rng,
+            round: 0,
+            max_rounds: config.effective_max_rounds(n),
+            execution_time: 0,
+            total_messages: 0,
+            started: false,
+        }
+    }
+
+    /// Builds a *warm-started* simulator: node `u` begins from
+    /// `initial[u]` (clamped by its degree) instead of its degree. Used to
+    /// re-converge after a graph mutation with estimates from
+    /// [`dkcore::dynamic::warm_start_estimates`]; every initial value must
+    /// upper-bound the node's true coreness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != g.node_count()`.
+    pub fn with_estimates(g: &Graph, config: NodeSimConfig, initial: &[u32]) -> Self {
+        assert_eq!(initial.len(), g.node_count(), "one initial estimate per node");
+        let mut sim = NodeSim::new(g, config);
+        sim.nodes = g
+            .nodes()
+            .map(|u| {
+                NodeProtocol::with_initial_estimate(g, u, initial[u.index()], config.protocol)
+            })
+            .collect();
+        sim
+    }
+
+    /// Number of simulated nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// 1-based index of the last executed round (0 before the first).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The paper's execution-time counter so far: rounds in which at least
+    /// one message was sent.
+    pub fn execution_time(&self) -> u32 {
+        self.execution_time
+    }
+
+    /// Current estimate of every node, indexed by node id.
+    pub fn estimates(&self) -> Vec<u32> {
+        self.nodes.iter().map(NodeProtocol::core).collect()
+    }
+
+    /// Whether no messages are in flight and no node has unflushed changes.
+    pub fn is_quiescent(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty)
+            && self.nodes.iter().all(|n| !n.is_changed())
+    }
+
+    /// Executes one round/cycle; returns what happened.
+    pub fn step(&mut self) -> StepReport {
+        self.round += 1;
+        let n = self.nodes.len();
+        let mut active = vec![false; n];
+        let mut messages = 0u64;
+
+        let first = !self.started;
+        self.started = true;
+
+        match self.mode {
+            SimMode::Synchronous => {
+                // Deliver everything sent last round, then flush changes.
+                let mut outgoing: Vec<(NodeId, u32, Vec<NodeId>)> = Vec::new();
+                if first {
+                    for node in &mut self.nodes {
+                        if let Some(b) = node.initial_broadcast() {
+                            outgoing.push((b.from, b.core, b.recipients));
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        let msgs = std::mem::take(&mut self.inboxes[i]);
+                        for (from, k) in msgs {
+                            self.nodes[i].receive(from, k);
+                        }
+                    }
+                    for node in &mut self.nodes {
+                        if let Some(b) = node.round_flush() {
+                            outgoing.push((b.from, b.core, b.recipients));
+                        }
+                    }
+                }
+                for (from, core, recipients) in outgoing {
+                    active[from.index()] = true;
+                    messages += recipients.len() as u64;
+                    for r in recipients {
+                        self.inboxes[r.index()].push((from, core));
+                    }
+                }
+            }
+            SimMode::RandomOrder { .. } => {
+                // PeerSim cycle: random node order, immediate visibility.
+                let rng = self.rng.as_mut().expect("random mode has rng");
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                for &i in &order {
+                    if first {
+                        if let Some(b) = self.nodes[i].initial_broadcast() {
+                            active[i] = true;
+                            messages += b.recipients.len() as u64;
+                            for r in b.recipients {
+                                self.inboxes[r.index()].push((b.from, b.core));
+                            }
+                        }
+                    }
+                    let msgs = std::mem::take(&mut self.inboxes[i]);
+                    for (from, k) in msgs {
+                        self.nodes[i].receive(from, k);
+                    }
+                    if let Some(b) = self.nodes[i].round_flush() {
+                        active[i] = true;
+                        messages += b.recipients.len() as u64;
+                        for r in b.recipients {
+                            self.inboxes[r.index()].push((b.from, b.core));
+                        }
+                    }
+                }
+            }
+        }
+
+        if messages > 0 {
+            self.execution_time += 1;
+        }
+        self.total_messages += messages;
+        StepReport { round: self.round, messages, active }
+    }
+
+    /// Runs to quiescence under the exact [`CentralizedDetector`].
+    pub fn run(&mut self) -> RunResult {
+        let mut detector = CentralizedDetector::new();
+        self.run_with(&mut detector, &mut [])
+    }
+
+    /// Runs under an arbitrary termination detector, reporting each round
+    /// to the given observers.
+    ///
+    /// The run ends when the detector fires or the round cap is reached;
+    /// `converged` in the result reflects whether true quiescence was
+    /// reached.
+    pub fn run_with(
+        &mut self,
+        detector: &mut dyn TerminationDetector,
+        observers: &mut [&mut dyn Observer],
+    ) -> RunResult {
+        loop {
+            let report = self.step();
+            let estimates = self.estimates();
+            for obs in observers.iter_mut() {
+                obs.on_round(report.round, &estimates, report.messages);
+            }
+            let stop = detector.observe_round(report.round, &report.active);
+            if stop || self.round >= self.max_rounds {
+                break;
+            }
+        }
+        let result = RunResult {
+            execution_time: self.execution_time,
+            rounds_executed: self.round,
+            total_messages: self.total_messages,
+            messages_per_sender: self.nodes.iter().map(NodeProtocol::messages_sent).collect(),
+            final_estimates: self.estimates(),
+            converged: self.is_quiescent(),
+        };
+        for obs in observers.iter_mut() {
+            obs.on_finish(&result);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore::termination::FixedRoundsDetector;
+    use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+
+    #[test]
+    fn synchronous_converges_to_bz() {
+        for seed in 0..5 {
+            let g = gnp(80, 0.06, seed);
+            let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+            assert!(result.converged);
+            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_order_converges_to_bz() {
+        for seed in 0..5 {
+            let g = gnp(80, 0.06, 100 + seed);
+            let result = NodeSim::new(&g, NodeSimConfig::random_order(seed)).run();
+            assert!(result.converged);
+            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn worst_case_takes_exactly_n_minus_1_synchronous_rounds() {
+        // §4.2: "we managed to identify a class of graphs ... with execution
+        // time equal to N − 1 rounds for N ≥ 5". The paper's count includes
+        // the final round in which the last updates are delivered but "have
+        // no further effect" (footnote 1): that is `rounds_executed` here;
+        // rounds in which messages are actually sent number N − 2.
+        for n in [5, 6, 7, 8, 12, 20, 40] {
+            let g = worst_case(n);
+            let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+            assert!(result.converged);
+            assert_eq!(result.rounds_executed, n as u32 - 1, "N = {n}");
+            assert_eq!(result.execution_time, n as u32 - 2, "N = {n}");
+            assert!(result.final_estimates.iter().all(|&c| c == 2));
+        }
+    }
+
+    #[test]
+    fn linear_chain_takes_ceil_n_over_2_rounds() {
+        // §4.2: "a linear chain of size N requires ⌈N/2⌉ rounds to
+        // converge". The §4 analysis applies "no further optimizations",
+        // so the send optimization is disabled here (it suppresses the
+        // final, ineffective messages and shaves a round off).
+        for n in [4usize, 5, 10, 11, 30, 31] {
+            let g = path(n);
+            let mut config = NodeSimConfig::synchronous();
+            config.protocol.send_optimization = false;
+            let result = NodeSim::new(&g, config).run();
+            assert_eq!(result.execution_time, n.div_ceil(2) as u32, "N = {n}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_single_active_round() {
+        let g = complete(8);
+        let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        assert_eq!(result.execution_time, 1);
+        assert_eq!(result.final_estimates, vec![7; 8]);
+    }
+
+    #[test]
+    fn theorem4_bound_holds() {
+        // T <= 1 + sum(d(u) - k(u)).
+        for seed in 0..5 {
+            let g = gnp(60, 0.08, 200 + seed);
+            let truth = batagelj_zaversnik(&g);
+            let initial_error: u64 = g
+                .nodes()
+                .map(|u| (g.degree(u) - truth[u.index()]) as u64)
+                .sum();
+            let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+            assert!(
+                result.execution_time as u64 <= 1 + initial_error,
+                "seed {seed}: T = {} > 1 + {initial_error}",
+                result.execution_time
+            );
+        }
+    }
+
+    #[test]
+    fn corollary1_bound_holds() {
+        // T <= N - K + 1 where K = #nodes of minimal degree.
+        for seed in 0..5 {
+            let g = gnp(60, 0.08, 300 + seed);
+            let k = dkcore_graph::metrics::min_degree_count(&g);
+            let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+            assert!(
+                result.execution_time as usize <= g.node_count() - k + 1,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary2_message_bound_holds() {
+        // Update messages (excluding the initial broadcasts) are bounded by
+        // sum(d^2) - 2M; checked without the send optimization, as in §4.3.
+        for seed in 0..5 {
+            let g = gnp(50, 0.1, 400 + seed);
+            let mut config = NodeSimConfig::synchronous();
+            config.protocol.send_optimization = false;
+            let result = NodeSim::new(&g, config).run();
+            let d2: u64 = g.nodes().map(|u| (g.degree(u) as u64).pow(2)).sum();
+            let bound = d2 - 2 * g.edge_count() as u64;
+            let initial: u64 = 2 * g.edge_count() as u64; // one msg per arc
+            assert!(
+                result.total_messages - initial <= bound,
+                "seed {seed}: {} update messages > bound {bound}",
+                result.total_messages - initial
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_never_below_truth_during_run() {
+        // Theorem 2 observed through the engine at every round.
+        let g = gnp(50, 0.1, 17);
+        let truth = batagelj_zaversnik(&g);
+        let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(3));
+        loop {
+            let report = sim.step();
+            for (u, &est) in sim.estimates().iter().enumerate() {
+                assert!(est >= truth[u]);
+            }
+            if report.is_quiet() && sim.is_quiescent() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_round_detector_stops_early() {
+        let g = path(50); // needs 25 rounds
+        let mut sim = NodeSim::new(&g, NodeSimConfig::synchronous());
+        let mut det = FixedRoundsDetector::new(5);
+        let result = sim.run_with(&mut det, &mut []);
+        assert_eq!(result.rounds_executed, 5);
+        assert!(!result.converged);
+        // Approximate estimates: still all >= truth.
+        for &e in &result.final_estimates {
+            assert!(e >= 1);
+        }
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic() {
+        let g = gnp(40, 0.1, 9);
+        let r1 = NodeSim::new(&g, NodeSimConfig::random_order(5)).run();
+        let r2 = NodeSim::new(&g, NodeSimConfig::random_order(5)).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_seeds_can_change_execution_time() {
+        // The spread observed in Table 1 (t_min vs t_max) comes from the
+        // processing order; with enough seeds the path graph shows it.
+        let g = path(60);
+        let times: Vec<u32> = (0..10)
+            .map(|s| NodeSim::new(&g, NodeSimConfig::random_order(s)).run().execution_time)
+            .collect();
+        let min = times.iter().min().unwrap();
+        let max = times.iter().max().unwrap();
+        assert!(min < max, "expected order-dependent execution times, got {times:?}");
+    }
+
+    #[test]
+    fn isolated_and_star_graphs() {
+        let g = dkcore_graph::Graph::from_edges(3, []).unwrap();
+        let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        assert_eq!(result.execution_time, 0);
+        assert_eq!(result.final_estimates, vec![0, 0, 0]);
+
+        let g = star(10);
+        let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        assert_eq!(result.final_estimates, vec![1; 10]);
+    }
+
+    #[test]
+    fn warm_start_reconverges_after_mutation() {
+        use dkcore::dynamic::{warm_start_estimates, DynamicCore};
+        let g = gnp(120, 0.05, 55);
+        let truth_before = batagelj_zaversnik(&g);
+        // Mutate: insert the first missing edge among low ids.
+        let mut dc = DynamicCore::new(&g);
+        let mut inserted = None;
+        'outer: for a in 0..20u32 {
+            for b in (a + 1)..20 {
+                if !dc.has_edge(NodeId(a), NodeId(b)) {
+                    dc.insert_edge(NodeId(a), NodeId(b)).unwrap();
+                    inserted = Some((NodeId(a), NodeId(b)));
+                    break 'outer;
+                }
+            }
+        }
+        let new_graph = dc.to_graph();
+        let est = warm_start_estimates(&truth_before, &new_graph, inserted);
+        let mut warm = NodeSim::with_estimates(&new_graph, NodeSimConfig::synchronous(), &est);
+        let warm_result = warm.run();
+        assert_eq!(warm_result.final_estimates, batagelj_zaversnik(&new_graph));
+        // Warm start converges much faster than a cold start.
+        let cold = NodeSim::new(&new_graph, NodeSimConfig::synchronous()).run();
+        assert!(
+            warm_result.total_messages < cold.total_messages,
+            "warm {} !< cold {}",
+            warm_result.total_messages,
+            cold.total_messages
+        );
+    }
+
+    #[test]
+    fn warm_start_with_exact_coreness_is_one_shot() {
+        // Warm-starting from the exact coreness: the initial broadcasts
+        // confirm the fixpoint and nothing changes.
+        let g = gnp(80, 0.08, 3);
+        let truth = batagelj_zaversnik(&g);
+        let mut sim = NodeSim::with_estimates(&g, NodeSimConfig::synchronous(), &truth);
+        let result = sim.run();
+        assert_eq!(result.final_estimates, truth);
+        assert_eq!(result.execution_time, 1, "only the initial broadcast round");
+    }
+
+    #[test]
+    fn execution_time_counts_only_active_rounds() {
+        let g = path(10);
+        let mut sim = NodeSim::new(&g, NodeSimConfig::synchronous());
+        let result = sim.run();
+        // rounds_executed includes the quiet detection round.
+        assert_eq!(result.rounds_executed, result.execution_time + 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-round observation hooks: the instrumentation behind the paper's
+//! Table 2 and Figure 4.
+
+use dkcore_metrics::Series;
+
+use crate::RunResult;
+
+/// Receives a callback after every simulated round.
+///
+/// `estimates` holds the current coreness estimate of every node (indexed
+/// by node id); implementations typically compare them against the true
+/// decomposition they were constructed with.
+pub trait Observer {
+    /// Called once per round, after all of the round's sends.
+    fn on_round(&mut self, round: u32, estimates: &[u32], messages_this_round: u64);
+
+    /// Called once when the run finishes.
+    fn on_finish(&mut self, _result: &RunResult) {}
+}
+
+/// Tracks the evolution of the estimation error over rounds — the
+/// instrumentation behind the paper's Figure 4.
+///
+/// Error at a node is `estimate − true coreness` (non-negative by the
+/// safety theorem); the observer records the per-round average over all
+/// nodes (left plot) and the per-round maximum (right plot).
+///
+/// # Example
+///
+/// ```
+/// use dkcore_sim::{ErrorEvolutionObserver, NodeSim, NodeSimConfig};
+/// use dkcore::seq::batagelj_zaversnik;
+/// use dkcore_graph::generators::gnp;
+///
+/// let g = gnp(50, 0.1, 7);
+/// let truth = batagelj_zaversnik(&g);
+/// let mut obs = ErrorEvolutionObserver::new(truth);
+/// let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(1));
+/// let mut det = dkcore::termination::CentralizedDetector::new();
+/// sim.run_with(&mut det, &mut [&mut obs]);
+/// // Converged: the last recorded average error is 0.
+/// let avg = obs.avg_series("avg");
+/// assert_eq!(avg.points().last().unwrap().1, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorEvolutionObserver {
+    truth: Vec<u32>,
+    avg_points: Vec<(f64, f64)>,
+    max_points: Vec<(f64, f64)>,
+}
+
+impl ErrorEvolutionObserver {
+    /// Creates the observer from the true coreness values.
+    pub fn new(truth: Vec<u32>) -> Self {
+        ErrorEvolutionObserver { truth, avg_points: Vec::new(), max_points: Vec::new() }
+    }
+
+    /// The average-error curve recorded so far, as a labeled series.
+    pub fn avg_series(&self, label: impl Into<String>) -> Series {
+        Series::from_points(label, self.avg_points.iter().copied())
+    }
+
+    /// The maximum-error curve recorded so far, as a labeled series.
+    pub fn max_series(&self, label: impl Into<String>) -> Series {
+        Series::from_points(label, self.max_points.iter().copied())
+    }
+
+    /// First round at which the *maximum* error dropped to ≤ `threshold`
+    /// (the paper: "the maximum error is at most equal to 1 by cycle 22").
+    pub fn first_round_max_error_at_most(&self, threshold: f64) -> Option<u32> {
+        self.max_points
+            .iter()
+            .find(|&&(_, y)| y <= threshold)
+            .map(|&(x, _)| x as u32)
+    }
+}
+
+impl Observer for ErrorEvolutionObserver {
+    fn on_round(&mut self, round: u32, estimates: &[u32], _messages: u64) {
+        debug_assert_eq!(estimates.len(), self.truth.len());
+        let n = estimates.len().max(1);
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for (e, t) in estimates.iter().zip(self.truth.iter()) {
+            let err = e.saturating_sub(*t) as u64;
+            sum += err;
+            max = max.max(err);
+        }
+        self.avg_points.push((round as f64, sum as f64 / n as f64));
+        self.max_points.push((round as f64, max as f64));
+    }
+}
+
+/// Tracks, per coreness class, the fraction of nodes still holding a wrong
+/// estimate at a set of checkpoint rounds — the paper's Table 2 ("the
+/// percentage of nodes in the given core that do not know the correct
+/// coreness value after t rounds").
+#[derive(Debug, Clone)]
+pub struct CoreCompletionObserver {
+    truth: Vec<u32>,
+    checkpoints: Vec<u32>,
+    /// `wrong[c][k]` = fraction of the k-shell wrong at checkpoint index c.
+    wrong: Vec<Vec<f64>>,
+    shell_sizes: Vec<usize>,
+}
+
+impl CoreCompletionObserver {
+    /// Creates the observer from the true coreness values and the rounds
+    /// at which snapshots should be taken (e.g. `[25, 50, …, 300]`).
+    pub fn new(truth: Vec<u32>, checkpoints: Vec<u32>) -> Self {
+        let kmax = truth.iter().copied().max().unwrap_or(0) as usize;
+        let mut shell_sizes = vec![0usize; kmax + 1];
+        for &t in &truth {
+            shell_sizes[t as usize] += 1;
+        }
+        CoreCompletionObserver { truth, checkpoints, wrong: Vec::new(), shell_sizes }
+    }
+
+    /// The checkpoint rounds.
+    pub fn checkpoints(&self) -> &[u32] {
+        &self.checkpoints
+    }
+
+    /// Number of nodes in the k-shell (the `#` column of Table 2).
+    pub fn shell_size(&self, k: u32) -> usize {
+        self.shell_sizes.get(k as usize).copied().unwrap_or(0)
+    }
+
+    /// Fraction (0..=1) of the k-shell still wrong at checkpoint index
+    /// `c`, or `None` if that checkpoint was not reached.
+    pub fn wrong_fraction(&self, c: usize, k: u32) -> Option<f64> {
+        self.wrong.get(c).map(|row| row.get(k as usize).copied().unwrap_or(0.0))
+    }
+
+    /// Largest coreness value present.
+    pub fn max_coreness(&self) -> u32 {
+        (self.shell_sizes.len().saturating_sub(1)) as u32
+    }
+}
+
+impl Observer for CoreCompletionObserver {
+    fn on_round(&mut self, round: u32, estimates: &[u32], _messages: u64) {
+        // Snapshot only at checkpoints, in order.
+        if self.wrong.len() >= self.checkpoints.len()
+            || round != self.checkpoints[self.wrong.len()]
+        {
+            return;
+        }
+        let kmax = self.shell_sizes.len();
+        let mut wrong_counts = vec![0usize; kmax];
+        for (e, t) in estimates.iter().zip(self.truth.iter()) {
+            if e != t {
+                wrong_counts[*t as usize] += 1;
+            }
+        }
+        let row: Vec<f64> = wrong_counts
+            .iter()
+            .zip(self.shell_sizes.iter())
+            .map(|(&w, &s)| if s == 0 { 0.0 } else { w as f64 / s as f64 })
+            .collect();
+        self.wrong.push(row);
+    }
+}
+
+/// Minimal observer recording the per-round message counts; handy for
+/// tests and progress reports.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressObserver {
+    messages: Vec<u64>,
+    finished: bool,
+}
+
+impl ProgressObserver {
+    /// Creates the observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Messages sent in each round, in order.
+    pub fn messages_per_round(&self) -> &[u64] {
+        &self.messages
+    }
+
+    /// Whether `on_finish` has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl Observer for ProgressObserver {
+    fn on_round(&mut self, _round: u32, _estimates: &[u32], messages: u64) {
+        self.messages.push(messages);
+    }
+
+    fn on_finish(&mut self, _result: &RunResult) {
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_observer_computes_avg_and_max() {
+        let mut obs = ErrorEvolutionObserver::new(vec![1, 1, 2]);
+        obs.on_round(1, &[3, 1, 2], 5); // errors 2,0,0
+        obs.on_round(2, &[1, 1, 2], 1); // all correct
+        let avg = obs.avg_series("a");
+        assert_eq!(avg.points(), &[(1.0, 2.0 / 3.0), (2.0, 0.0)]);
+        let max = obs.max_series("m");
+        assert_eq!(max.points(), &[(1.0, 2.0), (2.0, 0.0)]);
+        assert_eq!(obs.first_round_max_error_at_most(1.0), Some(2));
+        assert_eq!(obs.first_round_max_error_at_most(2.0), Some(1));
+    }
+
+    #[test]
+    fn completion_observer_snapshots_at_checkpoints() {
+        let truth = vec![1, 1, 2, 2];
+        let mut obs = CoreCompletionObserver::new(truth, vec![2, 4]);
+        assert_eq!(obs.shell_size(1), 2);
+        assert_eq!(obs.shell_size(2), 2);
+        assert_eq!(obs.max_coreness(), 2);
+        obs.on_round(1, &[9, 9, 9, 9], 0); // not a checkpoint: ignored
+        obs.on_round(2, &[1, 9, 2, 9], 0); // half of each shell wrong
+        obs.on_round(3, &[1, 1, 2, 2], 0); // not a checkpoint
+        obs.on_round(4, &[1, 1, 2, 2], 0); // all correct
+        assert_eq!(obs.wrong_fraction(0, 1), Some(0.5));
+        assert_eq!(obs.wrong_fraction(0, 2), Some(0.5));
+        assert_eq!(obs.wrong_fraction(1, 1), Some(0.0));
+        assert_eq!(obs.wrong_fraction(2, 1), None); // only two checkpoints
+    }
+
+    #[test]
+    fn completion_observer_handles_empty_shells() {
+        // truth has no coreness-0 or coreness-2 nodes.
+        let obs = CoreCompletionObserver::new(vec![1, 1, 3], vec![1]);
+        assert_eq!(obs.shell_size(0), 0);
+        assert_eq!(obs.shell_size(2), 0);
+        assert_eq!(obs.shell_size(3), 1);
+    }
+
+    #[test]
+    fn progress_observer_records_rounds() {
+        let mut obs = ProgressObserver::new();
+        obs.on_round(1, &[1], 10);
+        obs.on_round(2, &[1], 0);
+        assert_eq!(obs.messages_per_round(), &[10, 0]);
+        assert!(!obs.is_finished());
+    }
+}

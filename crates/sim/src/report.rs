@@ -1,0 +1,107 @@
+//! Result types shared by the node and host engines.
+
+/// Outcome of one simulated round/cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// 1-based round index.
+    pub round: u32,
+    /// Point-to-point messages sent during the round (each recipient of a
+    /// broadcast counts once for the one-to-one engine; each `⟨S⟩` message
+    /// counts once for the host engine).
+    pub messages: u64,
+    /// Which hosts/nodes sent anything this round (the activity vector
+    /// consumed by termination detectors).
+    pub active: Vec<bool>,
+}
+
+impl StepReport {
+    /// Number of active participants this round.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether the round was completely silent.
+    pub fn is_quiet(&self) -> bool {
+        self.messages == 0
+    }
+}
+
+/// Outcome of a complete simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The paper's *execution time*: "the total number of rounds during
+    /// which at least one node broadcasts its new estimate" — including
+    /// the final round whose messages change nothing.
+    pub execution_time: u32,
+    /// Rounds actually simulated (≥ `execution_time`; includes trailing
+    /// quiet rounds the termination detector needed).
+    pub rounds_executed: u32,
+    /// Total messages sent over the whole run.
+    pub total_messages: u64,
+    /// Messages sent per node (one-to-one) or per host (one-to-many),
+    /// indexed by id.
+    pub messages_per_sender: Vec<u64>,
+    /// Final coreness estimates per node.
+    pub final_estimates: Vec<u32>,
+    /// Whether the run reached quiescence (as opposed to hitting the
+    /// round cap or an early-stopping detector).
+    pub converged: bool,
+}
+
+impl RunResult {
+    /// Mean messages per sender (the paper's `m_avg` when senders are
+    /// nodes).
+    pub fn avg_messages_per_sender(&self) -> f64 {
+        if self.messages_per_sender.is_empty() {
+            0.0
+        } else {
+            self.messages_per_sender.iter().sum::<u64>() as f64
+                / self.messages_per_sender.len() as f64
+        }
+    }
+
+    /// Maximum messages from any single sender (the paper's `m_max`).
+    pub fn max_messages_per_sender(&self) -> u64 {
+        self.messages_per_sender.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_report_counts() {
+        let s = StepReport { round: 3, messages: 0, active: vec![false, true, true] };
+        assert_eq!(s.active_count(), 2);
+        assert!(s.is_quiet());
+    }
+
+    #[test]
+    fn run_result_message_statistics() {
+        let r = RunResult {
+            execution_time: 5,
+            rounds_executed: 6,
+            total_messages: 10,
+            messages_per_sender: vec![1, 3, 6],
+            final_estimates: vec![1, 1, 2],
+            converged: true,
+        };
+        assert!((r.avg_messages_per_sender() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_messages_per_sender(), 6);
+    }
+
+    #[test]
+    fn empty_run_result() {
+        let r = RunResult {
+            execution_time: 0,
+            rounds_executed: 0,
+            total_messages: 0,
+            messages_per_sender: vec![],
+            final_estimates: vec![],
+            converged: true,
+        };
+        assert_eq!(r.avg_messages_per_sender(), 0.0);
+        assert_eq!(r.max_messages_per_sender(), 0);
+    }
+}

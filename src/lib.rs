@@ -1,0 +1,13 @@
+//! Facade crate for the distributed k-core decomposition reproduction.
+//!
+//! Re-exports all workspace crates under one roof so examples and
+//! integration tests have a single dependency.
+
+pub use dkcore;
+pub use dkcore_data as data;
+pub use dkcore_gossip as gossip;
+pub use dkcore_graph as graph;
+pub use dkcore_metrics as metrics;
+pub use dkcore_pregel as pregel;
+pub use dkcore_runtime as runtime;
+pub use dkcore_sim as sim;

@@ -1,0 +1,100 @@
+//! Property-based cross-crate tests: on *arbitrary* graphs, every
+//! execution path computes the Batagelj–Zaveršnik decomposition.
+
+use dkcore_repro::dkcore::one_to_many::{AssignmentPolicy, DisseminationPolicy, EmulationMode};
+use dkcore_repro::dkcore::seq::batagelj_zaversnik;
+use dkcore_repro::graph::Graph;
+use dkcore_repro::runtime::{Runtime, RuntimeConfig};
+use dkcore_repro::sim::{HostSim, HostSimConfig, NodeSim, NodeSimConfig};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..120);
+        edges.prop_map(move |es| Graph::from_edges(n, es).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One-to-one, synchronous engine == sequential baseline.
+    #[test]
+    fn sync_one_to_one_equals_bz(g in arb_graph()) {
+        let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.final_estimates, batagelj_zaversnik(&g));
+    }
+
+    /// One-to-one, random-order engine == sequential baseline, any seed.
+    #[test]
+    fn random_order_equals_bz(g in arb_graph(), seed in any::<u64>()) {
+        let result = NodeSim::new(&g, NodeSimConfig::random_order(seed)).run();
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.final_estimates, batagelj_zaversnik(&g));
+    }
+
+    /// One-to-many == sequential for arbitrary host counts, policies and
+    /// emulation modes.
+    #[test]
+    fn one_to_many_equals_bz(
+        g in arb_graph(),
+        hosts in 1usize..12,
+        broadcast in any::<bool>(),
+        emulation_pick in 0u8..3,
+        block in any::<bool>(),
+    ) {
+        let mut config = HostSimConfig::synchronous(hosts);
+        config.protocol.policy = if broadcast {
+            DisseminationPolicy::Broadcast
+        } else {
+            DisseminationPolicy::PointToPoint
+        };
+        config.protocol.emulation = match emulation_pick {
+            0 => EmulationMode::Worklist,
+            1 => EmulationMode::Sweep,
+            _ => EmulationMode::PerRound,
+        };
+        config.assignment = if block { AssignmentPolicy::Block } else { AssignmentPolicy::Modulo };
+        let result = HostSim::new(&g, config).run();
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.final_estimates, batagelj_zaversnik(&g));
+    }
+
+    /// The live threaded runtime == sequential baseline.
+    #[test]
+    fn runtime_equals_bz(g in arb_graph(), hosts in 1usize..6) {
+        let result = Runtime::new(RuntimeConfig::with_hosts(hosts)).run(&g);
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.coreness, batagelj_zaversnik(&g));
+    }
+
+    /// Execution-time bounds (Theorems 4, 5) hold on arbitrary graphs.
+    #[test]
+    fn execution_time_bounds(g in arb_graph()) {
+        let truth = batagelj_zaversnik(&g);
+        let mut config = NodeSimConfig::synchronous();
+        config.protocol.send_optimization = false;
+        let result = NodeSim::new(&g, config).run();
+        let t = result.execution_time as u64;
+        let initial_error: u64 =
+            g.nodes().map(|u| (g.degree(u) - truth[u.index()]) as u64).sum();
+        prop_assert!(t <= 1 + initial_error, "Theorem 4");
+        prop_assert!(t as usize <= g.node_count().max(1), "Theorem 5");
+    }
+
+    /// The final estimates satisfy the locality fixpoint (Theorem 1): no
+    /// node could justify a higher value from its neighbors' coreness.
+    #[test]
+    fn converged_estimates_are_locality_fixpoint(g in arb_graph()) {
+        let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+        let est = &result.final_estimates;
+        for u in g.nodes() {
+            let i = dkcore_repro::dkcore::compute_index(
+                g.neighbors(u).iter().map(|v| est[v.index()]),
+                g.degree(u),
+            );
+            prop_assert_eq!(i, est[u.index()]);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: dataset analogs through every execution
+//! path (sequential, simulated one-to-one, simulated one-to-many, live
+//! threads) must agree on the decomposition.
+
+use dkcore_repro::data;
+use dkcore_repro::dkcore::one_to_many::{AssignmentPolicy, DisseminationPolicy};
+use dkcore_repro::dkcore::seq::batagelj_zaversnik;
+use dkcore_repro::dkcore::termination::{FixedRoundsDetector, GossipDetector};
+use dkcore_repro::dkcore::CoreDecomposition;
+use dkcore_repro::runtime::{Runtime, RuntimeConfig};
+use dkcore_repro::sim::{
+    ErrorEvolutionObserver, HostSim, HostSimConfig, NodeSim, NodeSimConfig,
+};
+
+const SCALE: usize = 1_500;
+
+#[test]
+fn every_dataset_analog_agrees_across_execution_paths() {
+    for spec in data::catalog() {
+        let g = spec.build_scaled(SCALE, 11);
+        let truth = batagelj_zaversnik(&g);
+
+        // Simulated one-to-one, random order.
+        let r1 = NodeSim::new(&g, NodeSimConfig::random_order(3)).run();
+        assert!(r1.converged, "{}", spec.name);
+        assert_eq!(r1.final_estimates, truth, "{} one-to-one", spec.name);
+
+        // Simulated one-to-many over 8 hosts, point-to-point.
+        let r2 = HostSim::new(&g, HostSimConfig::random_order(8, 4)).run();
+        assert!(r2.converged, "{}", spec.name);
+        assert_eq!(r2.final_estimates, truth, "{} one-to-many", spec.name);
+
+        // Live threads, 4 hosts, broadcast dissemination.
+        let mut config = RuntimeConfig::with_hosts(4);
+        config.protocol.policy = DisseminationPolicy::Broadcast;
+        let r3 = Runtime::new(config).run(&g);
+        assert!(r3.converged, "{}", spec.name);
+        assert_eq!(r3.coreness, truth, "{} live", spec.name);
+    }
+}
+
+#[test]
+fn gossip_termination_matches_centralized_result() {
+    let g = data::by_name("gnutella-like").unwrap().build_scaled(2_000, 5);
+    let truth = batagelj_zaversnik(&g);
+    let hosts = g.node_count();
+    let patience = GossipDetector::recommended_patience(hosts);
+    let mut det = GossipDetector::new(hosts, patience, 9);
+    let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(1));
+    let result = sim.run_with(&mut det, &mut []);
+    // Gossip detection fires only after true convergence (patience covers
+    // the dissemination latency), so the estimates are exact.
+    assert_eq!(result.final_estimates, truth);
+    assert!(result.converged);
+}
+
+#[test]
+fn fixed_round_budget_gives_good_approximation() {
+    // §5.1: "if the exact computation of coreness is not required ... the
+    // algorithms may be stopped after a predefined number of rounds,
+    // knowing that both the average and the maximum errors would be
+    // extremely low."
+    let g = data::by_name("astroph-like").unwrap().build_scaled(4_000, 7);
+    let truth = batagelj_zaversnik(&g);
+    let n = g.node_count() as f64;
+    let avg_err_after = |budget: u32| -> f64 {
+        let mut det = FixedRoundsDetector::new(budget);
+        let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(2));
+        let result = sim.run_with(&mut det, &mut []);
+        assert_eq!(result.rounds_executed, budget);
+        let total: u64 = result
+            .final_estimates
+            .iter()
+            .zip(truth.iter())
+            .map(|(e, t)| (e - t) as u64)
+            .sum();
+        total as f64 / n
+    };
+    // Figure 4's regime: error below 1 within ~15 rounds and essentially
+    // gone a handful of rounds later.
+    let at_15 = avg_err_after(15);
+    let at_25 = avg_err_after(25);
+    assert!(at_15 < 1.0, "average error after 15 rounds should be < 1, got {at_15}");
+    assert!(at_25 < 0.05, "average error after 25 rounds should be tiny, got {at_25}");
+    assert!(at_25 <= at_15, "error must not grow with budget");
+}
+
+#[test]
+fn decomposition_api_roundtrip_through_sim() {
+    let g = data::fixtures::figure2_graph();
+    let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+    let decomp = CoreDecomposition::from_coreness(result.final_estimates);
+    assert_eq!(decomp.max_coreness(), 2);
+    let (core2, original) = decomp.k_core(&g, 2);
+    assert_eq!(core2.node_count(), 4);
+    // The 2-core consists of paper nodes 2..5 (zero-based 1..4).
+    let ids: Vec<u32> = original.iter().map(|u| u.0).collect();
+    assert_eq!(ids, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn host_counts_and_policies_product_space() {
+    let g = data::by_name("amazon-like").unwrap().build_scaled(1_200, 3);
+    let truth = batagelj_zaversnik(&g);
+    for hosts in [1usize, 3, 16, 64] {
+        for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+            for assignment in [
+                AssignmentPolicy::Modulo,
+                AssignmentPolicy::BfsBlocks,
+                AssignmentPolicy::Random { seed: 1 },
+            ] {
+                let mut config = HostSimConfig::synchronous(hosts);
+                config.protocol.policy = policy;
+                config.assignment = assignment.clone();
+                let result = HostSim::new(&g, config).run();
+                assert_eq!(
+                    result.final_estimates, truth,
+                    "hosts={hosts} policy={policy:?} assignment={assignment:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snap_file_roundtrip_through_the_full_pipeline() {
+    // Write an analog out in SNAP format, read it back, decompose both.
+    let g = data::by_name("condmat-like").unwrap().build_scaled(1_000, 13);
+    let mut buf = Vec::new();
+    dkcore_repro::graph::io::write_edge_list(&g, &mut buf).unwrap();
+    let (reloaded, raw) = dkcore_repro::graph::io::read_edge_list(&buf[..]).unwrap();
+    // The reloaded graph drops isolated nodes; compare coreness through
+    // the id mapping.
+    let original = batagelj_zaversnik(&g);
+    let reloaded_core = batagelj_zaversnik(&reloaded);
+    for (dense, &orig_id) in raw.iter().enumerate() {
+        assert_eq!(
+            reloaded_core[dense],
+            original[orig_id as usize],
+            "coreness preserved through io for node {orig_id}"
+        );
+    }
+}

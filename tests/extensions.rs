@@ -1,0 +1,94 @@
+//! Integration tests for the systems built beyond the paper's evaluation:
+//! the Pregel deployment (§6's proposal), dynamic maintenance, and the
+//! asynchronous engine — all agreeing with the core protocol stack.
+
+use dkcore_repro::data;
+use dkcore_repro::dkcore::dynamic::{warm_start_estimates, DynamicCore};
+use dkcore_repro::dkcore::seq::batagelj_zaversnik;
+use dkcore_repro::graph::NodeId;
+use dkcore_repro::pregel::{KCoreProgram, Pregel};
+use dkcore_repro::sim::{AsyncSim, AsyncSimConfig, NodeSim, NodeSimConfig};
+
+#[test]
+fn all_five_execution_paths_agree_on_dataset_analogs() {
+    for name in ["gnutella-like", "condmat-like", "wikitalk-like"] {
+        let g = data::by_name(name).unwrap().build_scaled(1_200, 5);
+        let truth = batagelj_zaversnik(&g);
+
+        let sim = NodeSim::new(&g, NodeSimConfig::random_order(1)).run();
+        assert_eq!(sim.final_estimates, truth, "{name} round engine");
+
+        let async_run = AsyncSim::new(&g, AsyncSimConfig::new(2)).run();
+        assert_eq!(async_run.final_estimates, truth, "{name} async engine");
+
+        let pregel = Pregel::new(4).run(&g, &KCoreProgram::default());
+        let pregel_core: Vec<u32> = pregel.states.iter().map(|s| s.core).collect();
+        assert_eq!(pregel_core, truth, "{name} pregel");
+
+        let runtime = dkcore_repro::runtime::Runtime::new(
+            dkcore_repro::runtime::RuntimeConfig::with_hosts(4),
+        )
+        .run(&g);
+        assert_eq!(runtime.coreness, truth, "{name} threaded runtime");
+    }
+}
+
+#[test]
+fn pregel_supersteps_match_round_engine_scale() {
+    // One superstep = one protocol round: counts should be comparable.
+    let g = data::by_name("amazon-like").unwrap().build_scaled(2_000, 9);
+    let sim = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+    let pregel = Pregel::new(4).run(&g, &KCoreProgram::default());
+    let diff = (pregel.supersteps as i64 - sim.rounds_executed as i64).abs();
+    assert!(
+        diff <= 2,
+        "supersteps {} vs rounds {}",
+        pregel.supersteps,
+        sim.rounds_executed
+    );
+}
+
+#[test]
+fn churn_loop_stays_consistent_across_stack() {
+    // Simulate a churning overlay: mutate, repair incrementally, verify
+    // the warm-started protocol and Pregel both land on the repair's
+    // answer.
+    use rand::prelude::*;
+    let g = data::by_name("gnutella-like").unwrap().build_scaled(800, 13);
+    let mut dc = DynamicCore::new(&g);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for step in 0..15 {
+        let a = NodeId(rng.random_range(0..800));
+        let b = NodeId(rng.random_range(0..800));
+        if a == b {
+            continue;
+        }
+        let old = dc.values().to_vec();
+        let inserted = if dc.has_edge(a, b) {
+            dc.remove_edge(a, b).unwrap();
+            None
+        } else {
+            dc.insert_edge(a, b).unwrap();
+            Some((a, b))
+        };
+        let now = dc.to_graph();
+        let est = warm_start_estimates(&old, &now, inserted);
+        let warm = NodeSim::with_estimates(&now, NodeSimConfig::synchronous(), &est).run();
+        assert_eq!(warm.final_estimates.as_slice(), dc.values(), "step {step} warm");
+        let pregel = Pregel::new(2).run(&now, &KCoreProgram::default());
+        let pregel_core: Vec<u32> = pregel.states.iter().map(|s| s.core).collect();
+        assert_eq!(pregel_core.as_slice(), dc.values(), "step {step} pregel");
+    }
+}
+
+#[test]
+fn async_engine_handles_all_analogs() {
+    for spec in data::catalog() {
+        let g = spec.build_scaled(800, 21);
+        let truth = batagelj_zaversnik(&g);
+        let config = AsyncSimConfig { delta: 8, latency: (1, 20), ..AsyncSimConfig::new(3) };
+        let result = AsyncSim::new(&g, config).run();
+        assert!(result.converged, "{}", spec.name);
+        assert_eq!(result.final_estimates, truth, "{}", spec.name);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's §4 theory, checked end to end through the engines
+//! (experiment E6): execution-time bounds, message bounds, the worst-case
+//! family and the safety/liveness invariants.
+
+use dkcore_repro::dkcore::seq::batagelj_zaversnik;
+use dkcore_repro::graph::generators::{gnp, path, worst_case};
+use dkcore_repro::graph::metrics::{exact_diameter, min_degree_count};
+use dkcore_repro::sim::{NodeSim, NodeSimConfig, SimMode};
+
+fn no_opt_sync() -> NodeSimConfig {
+    let mut config = NodeSimConfig::synchronous();
+    config.protocol.send_optimization = false;
+    config
+}
+
+#[test]
+fn worst_case_family_needs_exactly_n_minus_1_rounds() {
+    // §4.2 and Figure 3: execution time N − 1 (the paper's count includes
+    // the final delivery-only round) while the diameter stays constant 3.
+    for n in [5usize, 7, 10, 12, 15, 20, 30, 50] {
+        let g = worst_case(n);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        assert!(result.converged);
+        assert_eq!(result.rounds_executed as usize, n - 1, "N = {n}");
+        // "the diameter is 3, i.e., a constant regardless of N" — the very
+        // smallest instances are even tighter.
+        assert!(exact_diameter(&g) <= 3, "diameter must stay constant at N = {n}");
+        if n >= 10 {
+            assert_eq!(exact_diameter(&g), 3, "diameter must be 3 at N = {n}");
+        }
+        assert!(result.final_estimates.iter().all(|&c| c == 2));
+    }
+}
+
+#[test]
+fn worst_case_demonstrates_diameter_independence() {
+    // The paper's point: "the convergence time increases linearly with N
+    // but the diameter is 3". Verify the linear growth explicitly.
+    let r20 = NodeSim::new(&worst_case(20), no_opt_sync()).run();
+    let r40 = NodeSim::new(&worst_case(40), no_opt_sync()).run();
+    assert_eq!(r40.rounds_executed - r20.rounds_executed, 20);
+}
+
+#[test]
+fn chain_needs_ceil_n_over_2_send_rounds() {
+    for n in [2usize, 3, 8, 9, 40, 41, 100] {
+        let g = path(n);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        assert_eq!(result.execution_time as usize, n.div_ceil(2), "N = {n}");
+    }
+}
+
+#[test]
+fn theorem4_and_corollary1_bounds() {
+    for seed in 0..10u64 {
+        let g = gnp(200, 0.03, seed);
+        let truth = batagelj_zaversnik(&g);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        let t = result.execution_time as u64;
+
+        // Theorem 4: T <= 1 + sum of initial errors.
+        let initial_error: u64 =
+            g.nodes().map(|u| (g.degree(u) - truth[u.index()]) as u64).sum();
+        assert!(t <= 1 + initial_error, "Theorem 4, seed {seed}");
+
+        // Corollary 1: T <= N - K + 1.
+        let k = min_degree_count(&g);
+        assert!(t as usize <= g.node_count() - k + 1, "Corollary 1, seed {seed}");
+
+        // Theorem 5: T <= N (weaker, implied).
+        assert!(t as usize <= g.node_count(), "Theorem 5, seed {seed}");
+    }
+}
+
+#[test]
+fn corollary2_message_bound() {
+    for seed in 0..10u64 {
+        let g = gnp(150, 0.04, 100 + seed);
+        let result = NodeSim::new(&g, no_opt_sync()).run();
+        let d2: u64 = g.nodes().map(|u| (g.degree(u) as u64).pow(2)).sum();
+        let bound = d2 - 2 * g.edge_count() as u64;
+        let initial = 2 * g.edge_count() as u64;
+        assert!(
+            result.total_messages - initial <= bound,
+            "Corollary 2, seed {seed}: {} > {bound}",
+            result.total_messages - initial
+        );
+    }
+}
+
+#[test]
+fn safety_estimates_never_drop_below_coreness() {
+    // Theorem 2 through the engine, at every round, in both modes.
+    for mode in [SimMode::Synchronous, SimMode::RandomOrder { seed: 5 }] {
+        let g = gnp(120, 0.05, 77);
+        let truth = batagelj_zaversnik(&g);
+        let mut config = NodeSimConfig::synchronous();
+        config.mode = mode;
+        let mut sim = NodeSim::new(&g, config);
+        for _ in 0..500 {
+            let report = sim.step();
+            for (u, &est) in sim.estimates().iter().enumerate() {
+                assert!(est >= truth[u], "safety violated at node {u}");
+            }
+            if report.is_quiet() && sim.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(sim.estimates(), truth, "liveness: converged to coreness");
+    }
+}
+
+#[test]
+fn estimates_are_monotone_nonincreasing_over_rounds() {
+    // The observation backing Theorem 2's proof: core never grows.
+    let g = gnp(100, 0.06, 42);
+    let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(3));
+    let mut last = sim.estimates();
+    for _ in 0..300 {
+        let report = sim.step();
+        let now = sim.estimates();
+        for (a, b) in last.iter().zip(now.iter()) {
+            assert!(b <= a, "estimate grew");
+        }
+        last = now;
+        if report.is_quiet() && sim.is_quiescent() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn send_optimization_preserves_results_and_saves_messages() {
+    // §3.1.2: optimization only suppresses messages that cannot matter.
+    for seed in 0..5u64 {
+        let g = gnp(150, 0.05, 200 + seed);
+        let mut plain = NodeSimConfig::synchronous();
+        plain.protocol.send_optimization = false;
+        let mut optimized = NodeSimConfig::synchronous();
+        optimized.protocol.send_optimization = true;
+        let a = NodeSim::new(&g, plain).run();
+        let b = NodeSim::new(&g, optimized).run();
+        assert_eq!(a.final_estimates, b.final_estimates, "same fixpoint");
+        assert!(b.total_messages < a.total_messages, "optimization saves messages");
+    }
+}
