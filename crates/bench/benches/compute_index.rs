@@ -1,21 +1,75 @@
 //! Microbenchmark of `computeIndex` (Algorithm 2), the inner loop of both
-//! protocols: cost as a function of the node degree.
+//! protocols: the from-scratch (now allocation-free) rescan as a function
+//! of node degree, versus the O(1)-amortized [`IncrementalIndex`] fast
+//! path that the protocols actually run per message.
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dkcore::compute_index;
+use dkcore::{compute_index, IncrementalIndex};
 
 fn bench_compute_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("compute_index");
     for degree in [4usize, 16, 64, 256, 1024, 4096] {
         // Estimates spanning the interesting range, with some infinities.
         let ests: Vec<u32> = (0..degree)
-            .map(|i| if i % 7 == 0 { u32::MAX } else { (i % 32) as u32 })
+            .map(|i| {
+                if i % 7 == 0 {
+                    u32::MAX
+                } else {
+                    (i % 32) as u32
+                }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(degree), &ests, |b, ests| {
             b.iter(|| compute_index(black_box(ests.iter().copied()), black_box(degree as u32)))
         });
+    }
+    group.finish();
+
+    // The old-vs-new per-message comparison: one received estimate used
+    // to cost a full `compute_index` rescan; the incremental index pays
+    // one bucket move. Each iteration replays a full monotone descent so
+    // the amortized walk cost is included.
+    let mut group = c.benchmark_group("per_message_update");
+    for degree in [16u32, 256, 4096] {
+        let descent: Vec<(u32, u32)> = (0..degree)
+            .map(|i| (i % degree, degree.saturating_sub(i / 2 + 1)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("rescan", degree),
+            &descent,
+            |b, descent| {
+                b.iter(|| {
+                    let mut est = vec![u32::MAX; degree as usize];
+                    let mut core = degree;
+                    for &(slot, val) in descent {
+                        if val < est[slot as usize] {
+                            est[slot as usize] = val;
+                            core = core.min(compute_index(est.iter().copied(), core));
+                        }
+                    }
+                    black_box(core)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", degree),
+            &descent,
+            |b, descent| {
+                b.iter(|| {
+                    let mut est = vec![u32::MAX; degree as usize];
+                    let mut idx = IncrementalIndex::new(degree);
+                    for &(slot, val) in descent {
+                        if val < est[slot as usize] {
+                            idx.update(est[slot as usize], val);
+                            est[slot as usize] = val;
+                        }
+                    }
+                    black_box(idx.core())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -11,10 +11,8 @@ fn bench_gossip(c: &mut Criterion) {
     for n in [64usize, 512, 4_096] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut net = GossipNetwork::new(
-                    (0..n).map(|i| MaxAggregate::new(i as f64)),
-                    black_box(42),
-                );
+                let mut net =
+                    GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), black_box(42));
                 net.run_until_converged(0.0, 10 * n).expect("converges")
             })
         });
@@ -24,8 +22,7 @@ fn bench_gossip(c: &mut Criterion) {
     let mut group = c.benchmark_group("gossip_single_round");
     for n in [512usize, 4_096] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut net =
-                GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), 7);
+            let mut net = GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), 7);
             b.iter(|| {
                 net.round();
                 black_box(net.spread())

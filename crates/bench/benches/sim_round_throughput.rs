@@ -1,13 +1,16 @@
 //! Benchmarks of the simulation engines: full one-to-one runs under both
-//! execution models, and the distributed protocol versus the sequential
-//! baseline (the "price of distribution" in pure compute terms).
+//! execution models, the legacy synchronous engine versus the flat
+//! [`ActiveSetEngine`] fast path (the PR 1 acceptance comparison, also
+//! emitted as `BENCH_PR1.json` by the `bench_pr1` binary), and the
+//! distributed protocol versus the sequential baseline (the "price of
+//! distribution" in pure compute terms).
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dkcore::seq::batagelj_zaversnik;
-use dkcore_graph::generators::{barabasi_albert, gnp};
-use dkcore_sim::{NodeSim, NodeSimConfig};
+use dkcore_graph::generators::{barabasi_albert, gnp, worst_case};
+use dkcore_sim::{ActiveSetConfig, ActiveSetEngine, NodeSim, NodeSimConfig};
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("node_sim_full_run");
@@ -35,5 +38,35 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// Old vs new synchronous engine on the PR 1 acceptance workloads:
+/// `gnp` up to 100k nodes, a power-law graph, and the paper's §4.2
+/// worst-case cascade family, where the active set shines.
+fn bench_active_set(c: &mut Criterion) {
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let scale = if quick { 10_000 } else { 100_000 };
+    let mut group = c.benchmark_group("sync_engine_comparison");
+    group.sample_size(10);
+    let workloads: Vec<(String, dkcore_graph::Graph)> = vec![
+        (
+            format!("gnp_avg16/{scale}"),
+            gnp(scale, 16.0 / scale as f64, 42),
+        ),
+        (format!("ba_m8/{scale}"), barabasi_albert(scale, 8, 44)),
+        ("worst_case/3000".into(), worst_case(3_000)),
+    ];
+    for (name, g) in &workloads {
+        group.bench_with_input(BenchmarkId::new("legacy", name), g, |b, g| {
+            b.iter(|| NodeSim::new(black_box(g), NodeSimConfig::synchronous()).run())
+        });
+        group.bench_with_input(BenchmarkId::new("active_set", name), g, |b, g| {
+            b.iter(|| ActiveSetEngine::new(black_box(g), ActiveSetConfig::default()).run())
+        });
+        group.bench_with_input(BenchmarkId::new("active_set_seq", name), g, |b, g| {
+            b.iter(|| ActiveSetEngine::new(black_box(g), ActiveSetConfig::sequential()).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_active_set);
 criterion_main!(benches);

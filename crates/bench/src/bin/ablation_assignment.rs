@@ -19,10 +19,15 @@ fn main() {
         args.scale = Some(15_000);
     }
     if args.datasets.is_empty() {
-        args.datasets = ["astroph-like", "amazon-like", "roadnet-like", "gnutella-like"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        args.datasets = [
+            "astroph-like",
+            "amazon-like",
+            "roadnet-like",
+            "gnutella-like",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let hosts = 16;
     let policies: [(&str, AssignmentPolicy); 4] = [
@@ -33,7 +38,11 @@ fn main() {
     ];
 
     let mut table = Table::new([
-        "name", "assignment", "overhead/node", "messages", "rounds(avg)",
+        "name",
+        "assignment",
+        "overhead/node",
+        "messages",
+        "rounds(avg)",
     ]);
 
     for spec in args.selected_datasets() {

@@ -28,15 +28,25 @@ fn main() {
         args.scale = Some(10_000);
     }
     if args.datasets.is_empty() {
-        args.datasets = ["astroph-like", "gnutella-like", "amazon-like", "wikitalk-like"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        args.datasets = [
+            "astroph-like",
+            "gnutella-like",
+            "amazon-like",
+            "wikitalk-like",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let mutations = 30u32;
     let mut table = Table::new([
-        "name", "repair nodes(avg)", "warm msgs(avg)", "warm rounds(avg)",
-        "cold msgs(avg)", "cold rounds(avg)", "msg saving",
+        "name",
+        "repair nodes(avg)",
+        "warm msgs(avg)",
+        "warm rounds(avg)",
+        "cold msgs(avg)",
+        "cold rounds(avg)",
+        "msg saving",
     ]);
 
     for spec in args.selected_datasets() {
@@ -85,8 +95,7 @@ fn main() {
             warm_msgs.record(warm_result.total_messages as f64);
             warm_rounds.record(warm_result.rounds_executed as f64);
 
-            let cold =
-                NodeSim::new(&new_graph, NodeSimConfig::random_order(done as u64)).run();
+            let cold = NodeSim::new(&new_graph, NodeSimConfig::random_order(done as u64)).run();
             cold_msgs.record(cold.total_messages as f64);
             cold_rounds.record(cold.rounds_executed as f64);
         }

@@ -18,7 +18,12 @@ fn main() {
         args.scale = Some(20_000);
     }
     let mut table = Table::new([
-        "name", "m_avg(opt)", "m_avg(plain)", "saved", "t_avg(opt)", "t_avg(plain)",
+        "name",
+        "m_avg(opt)",
+        "m_avg(plain)",
+        "saved",
+        "t_avg(opt)",
+        "t_avg(plain)",
     ]);
     let mut total_with = 0.0;
     let mut total_without = 0.0;

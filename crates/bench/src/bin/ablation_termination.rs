@@ -16,7 +16,12 @@ fn main() {
         args.scale = Some(10_000);
     }
     let mut table = Table::new([
-        "name", "detector", "rounds", "extra", "wrong nodes", "avg err",
+        "name",
+        "detector",
+        "rounds",
+        "extra",
+        "wrong nodes",
+        "avg err",
     ]);
 
     for spec in args.selected_datasets() {
@@ -30,9 +35,7 @@ fn main() {
         let mut centralized = CentralizedDetector::new();
         let exact = sim.run_with(&mut centralized, &mut []);
         let exact_rounds = exact.rounds_executed;
-        let report = |name: &str,
-                      result: &dkcore_sim::RunResult,
-                      table: &mut Table| {
+        let report = |name: &str, result: &dkcore_sim::RunResult, table: &mut Table| {
             let wrong = result
                 .final_estimates
                 .iter()

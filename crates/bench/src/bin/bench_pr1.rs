@@ -1,0 +1,120 @@
+//! PR 1 acceptance benchmark: legacy synchronous engine vs the flat
+//! [`ActiveSetEngine`](dkcore_sim::ActiveSetEngine), with correctness
+//! cross-checks, emitting machine-readable `BENCH_PR1.json`.
+//!
+//! Usage: `bench_pr1 [output.json]` (default `BENCH_PR1.json`). Set
+//! `BENCH_QUICK=1` for a fast smoke run (smaller graphs, one repetition)
+//! — the mode CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_graph::generators::{barabasi_albert, gnp, worst_case};
+use dkcore_graph::Graph;
+use dkcore_sim::{ActiveSetConfig, ActiveSetEngine, NodeSim, NodeSimConfig, RunResult};
+
+struct Row {
+    graph: &'static str,
+    nodes: usize,
+    edges: usize,
+    legacy_ms: f64,
+    seq_ms: f64,
+    par_ms: f64,
+    identical: bool,
+}
+
+fn time_best_of<F: FnMut() -> RunResult>(reps: usize, mut f: F) -> (f64, RunResult) {
+    let mut best = f64::INFINITY;
+    let mut result = f();
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, result)
+}
+
+fn measure(graph: &'static str, g: &Graph, reps: usize) -> Row {
+    let truth = batagelj_zaversnik(g);
+    let (legacy_ms, legacy) =
+        time_best_of(reps, || NodeSim::new(g, NodeSimConfig::synchronous()).run());
+    let (seq_ms, seq) = time_best_of(reps, || {
+        ActiveSetEngine::new(g, ActiveSetConfig::sequential()).run()
+    });
+    let (par_ms, par) = time_best_of(reps, || {
+        ActiveSetEngine::new(g, ActiveSetConfig::default()).run()
+    });
+    let identical = legacy.final_estimates == truth && seq == legacy && par == legacy;
+    println!(
+        "{graph:<22} legacy {legacy_ms:>9.2} ms | active-set seq {seq_ms:>9.2} ms ({:>5.2}x) \
+         | par {par_ms:>9.2} ms ({:>5.2}x) | identical: {identical}",
+        legacy_ms / seq_ms,
+        legacy_ms / par_ms,
+    );
+    Row {
+        graph,
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        legacy_ms,
+        seq_ms,
+        par_ms,
+        identical,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (scale, reps) = if quick {
+        (10_000usize, 1usize)
+    } else {
+        (100_000, 3)
+    };
+
+    println!("building graphs (scale {scale})...");
+    let rows = [
+        measure("gnp_avg16", &gnp(scale, 16.0 / scale as f64, 42), reps),
+        measure("gnp_avg4", &gnp(scale, 4.0 / scale as f64, 43), reps),
+        measure("barabasi_albert_m8", &barabasi_albert(scale, 8, 44), reps),
+        measure(
+            "worst_case",
+            &worst_case(if quick { 1_000 } else { 3_000 }),
+            reps,
+        ),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR1\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    json.push_str("  \"engines\": [\"legacy_sync\", \"active_set_seq\", \"active_set_par\"],\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"legacy_sync_ms\": {:.3}, \"active_set_seq_ms\": {:.3}, \
+             \"active_set_par_ms\": {:.3}, \"speedup_seq\": {:.3}, \
+             \"speedup_par\": {:.3}, \"identical_output\": {}}}",
+            r.graph,
+            r.nodes,
+            r.edges,
+            r.legacy_ms,
+            r.seq_ms,
+            r.par_ms,
+            r.legacy_ms / r.seq_ms,
+            r.legacy_ms / r.par_ms,
+            r.identical,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR1.json");
+    println!("wrote {out_path}");
+
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "engines disagree — see table above"
+    );
+}

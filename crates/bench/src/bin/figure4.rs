@@ -18,7 +18,11 @@ use dkcore_sim::{ErrorEvolutionObserver, NodeSim, NodeSimConfig};
 fn main() {
     let args = HarnessArgs::from_env();
     let mut summary = Table::new([
-        "name", "rounds(avg)", "avg_err@5", "avg_err@10", "max_err<=1 by",
+        "name",
+        "rounds(avg)",
+        "avg_err@5",
+        "avg_err@10",
+        "max_err<=1 by",
     ]);
 
     for spec in args.selected_datasets() {
@@ -57,7 +61,8 @@ fn main() {
             f2(rounds_sum as f64 / args.reps as f64),
             f2(err_at(&avg, 5.0)),
             f2(err_at(&avg, 10.0)),
-            max.first_x_below(1.0).map_or("never".into(), |x| format!("{x:.0}")),
+            max.first_x_below(1.0)
+                .map_or("never".into(), |x| format!("{x:.0}")),
         ]);
     }
 

@@ -20,11 +20,16 @@ fn main() {
     // Figure 5 plots a subset of the datasets; default to the paper's five
     // (minus road/wiki, as in the original figure) unless overridden.
     if args.datasets.is_empty() {
-        args.datasets = ["astroph-like", "gnutella-like", "slashdot-like", "amazon-like",
-            "berkstan-like"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        args.datasets = [
+            "astroph-like",
+            "gnutella-like",
+            "slashdot-like",
+            "amazon-like",
+            "berkstan-like",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     // Smaller default scale: figure 5 sweeps 9 host counts x 2 policies.
     if args.scale.is_none() {
@@ -38,7 +43,10 @@ fn main() {
         eprintln!("[figure5] building {} ...", spec.name);
         let g = args.build(&spec);
         let n = g.node_count() as f64;
-        for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+        for policy in [
+            DisseminationPolicy::Broadcast,
+            DisseminationPolicy::PointToPoint,
+        ] {
             let mut series = Series::new(format!("{} {policy:?}", spec.name));
             for &hosts in &host_counts {
                 let mut template = HostSimConfig::random_order(hosts, 0);

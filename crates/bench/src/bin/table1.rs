@@ -14,12 +14,12 @@ use dkcore_sim::NodeSimConfig;
 fn main() {
     let args = HarnessArgs::from_env();
     let mut table = Table::new([
-        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg",
-        "t_avg", "t_min", "t_max", "m_avg", "m_max",
+        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg", "t_avg", "t_min", "t_max",
+        "m_avg", "m_max",
     ]);
     let mut reference = Table::new([
-        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg",
-        "t_avg", "t_min", "t_max", "m_avg", "m_max",
+        "name", "|V|", "|E|", "diam", "d_max", "k_max", "k_avg", "t_avg", "t_min", "t_max",
+        "m_avg", "m_max",
     ]);
 
     for spec in args.selected_datasets() {
@@ -32,8 +32,7 @@ fn main() {
             args.reps,
             g.node_count()
         );
-        let outcome =
-            run_node_experiment(&g, NodeSimConfig::random_order(0), args.reps, args.seed);
+        let outcome = run_node_experiment(&g, NodeSimConfig::random_order(0), args.reps, args.seed);
         assert!(outcome.all_converged, "{} failed to converge", spec.name);
 
         table.row([

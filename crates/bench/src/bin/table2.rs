@@ -33,7 +33,10 @@ fn main() {
     let mut observer = CoreCompletionObserver::new(truth.clone(), checkpoints.clone());
     let mut detector = CentralizedDetector::new();
     let mut sim = NodeSim::new(&g, NodeSimConfig::random_order(args.seed));
-    eprintln!("[table2] running one-to-one on {} nodes ...", g.node_count());
+    eprintln!(
+        "[table2] running one-to-one on {} nodes ...",
+        g.node_count()
+    );
     let result = sim.run_with(&mut detector, &mut [&mut observer]);
 
     let mut headers: Vec<String> = vec!["k".into(), "#".into()];
@@ -47,8 +50,8 @@ fn main() {
         }
         // Only report cores that were ever wrong at a checkpoint (the
         // paper: "All other coreness are correctly computed at round 25").
-        let ever_wrong = (0..checkpoints.len())
-            .any(|c| observer.wrong_fraction(c, k).unwrap_or(0.0) > 0.0);
+        let ever_wrong =
+            (0..checkpoints.len()).any(|c| observer.wrong_fraction(c, k).unwrap_or(0.0) > 0.0);
         if !ever_wrong {
             continue;
         }

@@ -60,13 +60,22 @@ fn main() {
 
     println!("== Theorem 4 / Corollary 1 / Corollary 2 on random graphs ==");
     let mut t = Table::new([
-        "seed", "N", "M", "T", "thm4_bound", "cor1_bound", "updates", "cor2_bound",
+        "seed",
+        "N",
+        "M",
+        "T",
+        "thm4_bound",
+        "cor1_bound",
+        "updates",
+        "cor2_bound",
     ]);
     for seed in 0..args.reps.min(10) as u64 {
         let g = gnp(300, 0.02, args.seed ^ seed);
         let truth = batagelj_zaversnik(&g);
-        let initial_error: u64 =
-            g.nodes().map(|u| (g.degree(u) - truth[u.index()]) as u64).sum();
+        let initial_error: u64 = g
+            .nodes()
+            .map(|u| (g.degree(u) - truth[u.index()]) as u64)
+            .sum();
         let k = min_degree_count(&g);
         let result = NodeSim::new(&g, no_opt_sync()).run();
         let t_exec = result.execution_time as u64;
@@ -91,7 +100,9 @@ fn main() {
     }
     print!("{t}");
     println!();
-    println!("all §4 bounds hold (assertions passed); note how loose the worst-case \
+    println!(
+        "all §4 bounds hold (assertions passed); note how loose the worst-case \
               bounds are on random graphs, matching the paper's observation that \
-              \"the bound is far from being tight\" on real graphs.");
+              \"the bound is far from being tight\" on real graphs."
+    );
 }

@@ -43,7 +43,13 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: None, reps: 10, seed: 42, datasets: Vec::new(), csv: false }
+        HarnessArgs {
+            scale: None,
+            reps: 10,
+            seed: 42,
+            datasets: Vec::new(),
+            csv: false,
+        }
     }
 }
 
@@ -71,15 +77,18 @@ impl HarnessArgs {
         let mut out = HarnessArgs::default();
         while let Some(flag) = args.next() {
             let mut value = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
             };
             match flag.as_str() {
                 "--scale" => out.scale = Some(value("--scale").parse().expect("--scale: number")),
                 "--reps" => out.reps = value("--reps").parse().expect("--reps: number"),
                 "--seed" => out.seed = value("--seed").parse().expect("--seed: number"),
                 "--datasets" => {
-                    out.datasets =
-                        value("--datasets").split(',').map(|s| s.trim().to_string()).collect();
+                    out.datasets = value("--datasets")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect();
                 }
                 "--csv" => out.csv = true,
                 other => panic!(
@@ -145,10 +154,19 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let args = HarnessArgs::parse(
-            ["--scale", "1000", "--reps", "2", "--seed", "7", "--csv",
-             "--datasets", "CA-AstroPh,roadnet-like"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "1000",
+                "--reps",
+                "2",
+                "--seed",
+                "7",
+                "--csv",
+                "--datasets",
+                "CA-AstroPh,roadnet-like",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(args.scale, Some(1000));
         assert_eq!(args.reps, 2);

@@ -89,8 +89,11 @@ pub fn load_input(input: &str, seed: u64) -> Result<Graph, CliError> {
     if let Some(rest) = input.strip_prefix("analog:") {
         let mut parts = rest.splitn(2, ':');
         let name = parts.next().expect("non-empty split");
-        let spec = dkcore_data::by_name(name)
-            .ok_or_else(|| CliError::new(format!("unknown analog {name:?}; try `dkcore list-analogs`")))?;
+        let spec = dkcore_data::by_name(name).ok_or_else(|| {
+            CliError::new(format!(
+                "unknown analog {name:?}; try `dkcore list-analogs`"
+            ))
+        })?;
         let graph = match parts.next() {
             Some(nodes) => {
                 let n: usize = nodes
@@ -120,8 +123,14 @@ pub fn cmd_stats<W: Write>(input: &str, seed: u64, out: &mut W) -> Result<(), Cl
     t.row(["edges |E|", &g.edge_count().to_string()]);
     t.row(["max degree", &g.max_degree().to_string()]);
     t.row(["avg degree", &format!("{:.2}", g.avg_degree())]);
-    t.row(["diameter (approx)", &metrics::approx_diameter(&g, 4).to_string()]);
-    t.row(["components", &metrics::connected_components(&g).0.to_string()]);
+    t.row([
+        "diameter (approx)",
+        &metrics::approx_diameter(&g, 4).to_string(),
+    ]);
+    t.row([
+        "components",
+        &metrics::connected_components(&g).0.to_string(),
+    ]);
     t.row(["max coreness", &decomp.max_coreness().to_string()]);
     t.row(["avg coreness", &format!("{:.2}", decomp.avg_coreness())]);
     write!(out, "{t}")?;
@@ -148,7 +157,9 @@ pub fn cmd_decompose<W: Write>(
         "bz" => batagelj_zaversnik(&g),
         "naive" => naive_peeling(&g),
         "protocol" => {
-            NodeSim::new(&g, NodeSimConfig::random_order(seed)).run().final_estimates
+            NodeSim::new(&g, NodeSimConfig::random_order(seed))
+                .run()
+                .final_estimates
         }
         "pregel" => Pregel::new(4)
             .run(&g, &KCoreProgram::default())
@@ -211,7 +222,12 @@ pub fn cmd_simulate<W: Write>(
                 other => return Err(CliError::new(format!("unknown mode {other:?}"))),
             };
             let r = NodeSim::new(&g, config).run();
-            (r.rounds_executed, r.execution_time, r.total_messages, r.final_estimates)
+            (
+                r.rounds_executed,
+                r.execution_time,
+                r.total_messages,
+                r.final_estimates,
+            )
         } else {
             let mut config = match mode {
                 "sync" => HostSimConfig::synchronous(hosts),
@@ -224,7 +240,12 @@ pub fn cmd_simulate<W: Write>(
                 other => return Err(CliError::new(format!("unknown policy {other:?}"))),
             };
             let r = HostSim::new(&g, config).run();
-            (r.rounds_executed, r.execution_time, r.total_messages, r.final_estimates)
+            (
+                r.rounds_executed,
+                r.execution_time,
+                r.total_messages,
+                r.final_estimates,
+            )
         };
         let correct = estimates == truth;
         t.row([
@@ -263,7 +284,13 @@ pub fn cmd_generate<W: Write>(
 ///
 /// Returns [`CliError`] on output failures.
 pub fn cmd_list_analogs<W: Write>(out: &mut W) -> Result<(), CliError> {
-    let mut t = Table::new(["analog", "stands in for", "paper |V|", "paper k_max", "default"]);
+    let mut t = Table::new([
+        "analog",
+        "stands in for",
+        "paper |V|",
+        "paper k_max",
+        "default",
+    ]);
     for spec in dkcore_data::catalog() {
         t.row([
             spec.name.to_string(),
@@ -364,7 +391,9 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             write!(sink, "{USAGE}")?;
             Ok(())
         }
-        other => Err(CliError::new(format!("unknown command {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -409,10 +438,19 @@ mod tests {
     #[test]
     fn simulate_one_to_one_and_hosts() {
         let text = run(&["simulate", "analog:gnutella-like:300", "--reps", "2"]).unwrap();
-        assert!(text.matches("true").count() == 2, "both reps correct: {text}");
+        assert!(
+            text.matches("true").count() == 2,
+            "both reps correct: {text}"
+        );
         let text = run(&[
-            "simulate", "analog:gnutella-like:300", "--hosts", "4",
-            "--policy", "broadcast", "--mode", "sync",
+            "simulate",
+            "analog:gnutella-like:300",
+            "--hosts",
+            "4",
+            "--policy",
+            "broadcast",
+            "--mode",
+            "sync",
         ])
         .unwrap();
         assert!(text.contains("true"));
@@ -424,7 +462,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("gen.txt");
         let path_str = path.to_str().unwrap();
-        run(&["generate", "roadnet-like", "--nodes", "400", "--out", path_str]).unwrap();
+        run(&[
+            "generate",
+            "roadnet-like",
+            "--nodes",
+            "400",
+            "--out",
+            path_str,
+        ])
+        .unwrap();
         let text = run(&["stats", path_str]).unwrap();
         assert!(text.contains("edges |E|"));
         std::fs::remove_file(&path).ok();
@@ -441,14 +487,28 @@ mod tests {
     #[test]
     fn helpful_errors() {
         assert!(run(&[]).is_err());
-        assert!(run(&["bogus-cmd"]).unwrap_err().to_string().contains("unknown command"));
-        assert!(run(&["stats"]).is_err());
-        assert!(run(&["stats", "analog:nope:100"]).unwrap_err().to_string().contains("unknown analog"));
-        assert!(run(&["decompose", "analog:gnutella-like:100", "--algorithm", "magic"])
+        assert!(run(&["bogus-cmd"])
             .unwrap_err()
             .to_string()
-            .contains("unknown algorithm"));
-        assert!(run(&["generate", "roadnet-like"]).unwrap_err().to_string().contains("--nodes"));
+            .contains("unknown command"));
+        assert!(run(&["stats"]).is_err());
+        assert!(run(&["stats", "analog:nope:100"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown analog"));
+        assert!(run(&[
+            "decompose",
+            "analog:gnutella-like:100",
+            "--algorithm",
+            "magic"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("unknown algorithm"));
+        assert!(run(&["generate", "roadnet-like"])
+            .unwrap_err()
+            .to_string()
+            .contains("--nodes"));
         assert!(run(&["stats", "/no/such/file.txt"]).is_err());
         assert!(run(&["simulate", "analog:gnutella-like:100", "--mode", "warp"]).is_err());
         assert!(run(&["stats", "analog:gnutella-like:100", "--seed"]).is_err());

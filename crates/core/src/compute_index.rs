@@ -12,7 +12,9 @@
 /// [`crate::INFINITY_EST`] and clamp the same way.
 ///
 /// Runs in `O(degree + k)` time and `O(k)` space, exactly like the paper's
-/// counting implementation.
+/// counting implementation — but allocation-free: small `k` counts on the
+/// stack, large `k` reuses a thread-local scratch buffer. (Protocol hot
+/// paths avoid even this via [`crate::IncrementalIndex`].)
 ///
 /// # Example
 ///
@@ -35,8 +37,37 @@ where
         return 0;
     }
     let k = k as usize;
+    // Counting space: a stack buffer covers the common small-degree case;
+    // larger nodes reuse a per-thread scratch vector. Either way the hot
+    // path performs no heap allocation per call.
+    const STACK_CAP: usize = 64;
+    if k < STACK_CAP {
+        let mut count = [0u32; STACK_CAP];
+        return compute_with_counts(&mut count[..=k], neighbor_estimates);
+    }
+    std::thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|scratch| match scratch.try_borrow_mut() {
+        Ok(mut buf) => {
+            buf.clear();
+            buf.resize(k + 1, 0);
+            compute_with_counts(&mut buf, neighbor_estimates)
+        }
+        // Reentrant call (an estimate iterator that itself runs
+        // compute_index): fall back to a one-off allocation.
+        Err(_) => compute_with_counts(&mut vec![0u32; k + 1], neighbor_estimates),
+    })
+}
+
+/// Algorithm 2's counting pass over a zeroed `count` buffer of length
+/// `k + 1`.
+fn compute_with_counts<I>(count: &mut [u32], neighbor_estimates: I) -> u32
+where
+    I: IntoIterator<Item = u32>,
+{
+    let k = count.len() - 1;
     // count[i], 1 <= i <= k: number of neighbors with min(k, est) == i.
-    let mut count = vec![0u32; k + 1];
     let mut any = false;
     for est in neighbor_estimates {
         let j = (est as usize).min(k);

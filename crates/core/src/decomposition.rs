@@ -32,7 +32,9 @@ impl CoreDecomposition {
     /// Computes the decomposition of `g` with the Batagelj–Zaveršnik
     /// sequential algorithm (the paper's reference \[3\]).
     pub fn compute(g: &Graph) -> Self {
-        CoreDecomposition { coreness: batagelj_zaversnik(g) }
+        CoreDecomposition {
+            coreness: batagelj_zaversnik(g),
+        }
     }
 
     /// Wraps an externally computed coreness vector (e.g. the converged
@@ -219,13 +221,11 @@ mod tests {
             let mask = d.k_core_mask(k);
             for u in g.nodes() {
                 if !mask[u.index()] {
-                    let inside = g
-                        .neighbors(u)
-                        .iter()
-                        .filter(|v| mask[v.index()])
-                        .count();
-                    assert!(inside < k as usize,
-                        "node {u} outside the {k}-core has {inside} neighbors inside");
+                    let inside = g.neighbors(u).iter().filter(|v| mask[v.index()]).count();
+                    assert!(
+                        inside < k as usize,
+                        "node {u} outside the {k}-core has {inside} neighbors inside"
+                    );
                 }
             }
         }

@@ -1,0 +1,322 @@
+//! Incremental maintenance of `computeIndex` (Algorithm 2) under
+//! monotonically decreasing neighbor estimates.
+//!
+//! The paper's Algorithm 1 recomputes `computeIndex(est, u, k)` from
+//! scratch on **every** received estimate, an `O(degree + k)` scan per
+//! message. Over a whole execution that is the dominant cost: the
+//! experimental-evaluation literature on this protocol (see `PAPERS.md`)
+//! identifies incremental bucket maintenance as the key to scaling it to
+//! millions of nodes.
+//!
+//! [`IncrementalIndex`] exploits the protocol's central safety invariant
+//! (Theorem 2: estimates only ever decrease) to maintain the same value in
+//! **O(1) amortized** time per update with **zero allocation** per
+//! message:
+//!
+//! * `cnt[i]` — a histogram of the neighbor estimates clamped to the
+//!   node's degree `d` (the initial local estimate, and an upper bound on
+//!   everything the index can ever return);
+//! * `core` — the current value of `computeIndex`, i.e. the largest `i`
+//!   such that at least `i` neighbors have (clamped) estimate `≥ i`;
+//! * `ge_core` — the number of neighbors with clamped estimate `≥ core`.
+//!
+//! An estimate drop `old → new` moves one histogram entry and adjusts
+//! `ge_core`; `core` must then drop exactly when `ge_core < core`, and the
+//! new value is found by walking `i` downward while accumulating suffix
+//! counts. Because both `core` and every estimate are non-increasing over
+//! an execution, the total walk work is bounded by `d` across **all**
+//! updates — each message costs amortized constant time, versus the
+//! `O(degree + k)` full rescan of [`compute_index`](crate::compute_index).
+//!
+//! The result is *bit-identical* to calling `compute_index` after every
+//! message (asserted by the property tests in this module and in
+//! `crates/core/tests/properties.rs`): this is a pure fast path behind the
+//! same protocol semantics, used by
+//! [`NodeProtocol`](crate::one_to_one::NodeProtocol) and by the worklist
+//! emulation mode of [`HostProtocol`](crate::one_to_many::HostProtocol).
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore::IncrementalIndex;
+//!
+//! // A node of degree 3: all neighbors start at +∞, so the index starts
+//! // at the degree, exactly like Algorithm 1's `core ← d(u)`.
+//! let mut idx = IncrementalIndex::new(3);
+//! assert_eq!(idx.core(), 3);
+//!
+//! // One neighbor announces estimate 1 (was +∞): two neighbors ≥ 2 now.
+//! assert!(idx.update(u32::MAX, 1));
+//! assert_eq!(idx.core(), 2);
+//!
+//! // Another neighbor drops 7 → 2: still two neighbors ≥ 2.
+//! assert!(!idx.update(7, 2));
+//! assert_eq!(idx.core(), 2);
+//! ```
+
+/// Incrementally maintained `computeIndex` value over one node's neighbor
+/// estimates. See the [module documentation](self) for the data structure
+/// and complexity argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalIndex {
+    /// `cnt[i]`, `0 ≤ i ≤ cap`: number of neighbors whose estimate,
+    /// clamped to `cap`, equals `i`. `cap` is the node's degree.
+    cnt: Box<[u32]>,
+    /// Current index value (the protocol's `core` variable).
+    core: u32,
+    /// Number of neighbors with clamped estimate `≥ core`. Meaningless
+    /// (and unused) once `core == 0`.
+    ge_core: u32,
+}
+
+impl IncrementalIndex {
+    /// Index for a node of degree `degree` whose neighbors all start at
+    /// the `+∞` initialization ([`crate::INFINITY_EST`]): the value starts
+    /// at the degree, matching Algorithm 1's `core ← d(u)`.
+    pub fn new(degree: u32) -> Self {
+        let mut cnt = vec![0u32; degree as usize + 1].into_boxed_slice();
+        cnt[degree as usize] = degree;
+        IncrementalIndex {
+            cnt,
+            core: degree,
+            ge_core: degree,
+        }
+    }
+
+    /// Index over explicit initial estimates with upper bound `cap` (the
+    /// node's current estimate; its degree at protocol start).
+    ///
+    /// The starting value equals `compute_index(estimates, cap)`.
+    pub fn from_estimates<I>(estimates: I, cap: u32) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut cnt = vec![0u32; cap as usize + 1].into_boxed_slice();
+        for est in estimates {
+            cnt[(est as usize).min(cap as usize)] += 1;
+        }
+        let mut this = IncrementalIndex {
+            cnt,
+            core: cap,
+            ge_core: 0,
+        };
+        this.ge_core = this.cnt[cap as usize];
+        if this.ge_core < this.core {
+            this.walk_down();
+        }
+        this
+    }
+
+    /// The current index value: the largest `i` (≤ the initial cap and
+    /// every forced bound since) such that at least `i` neighbors have
+    /// estimate `≥ i`, or 0 when no neighbor has a positive estimate.
+    #[inline]
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// Records a neighbor's estimate drop `old → new`, updating the index
+    /// value. Returns `true` iff the value dropped.
+    ///
+    /// Amortized `O(1)`; allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or corrupt the histogram) if `old` does not match an
+    /// estimate previously inserted — callers own that bookkeeping, which
+    /// the protocols get for free from their `est[]` arrays.
+    #[inline]
+    pub fn update(&mut self, old: u32, new: u32) -> bool {
+        debug_assert!(new < old, "estimates only decrease (Theorem 2)");
+        let cap = (self.cnt.len() - 1) as u32;
+        let o = old.min(cap);
+        let n = new.min(cap);
+        if o == n {
+            // Both clamp to the same bucket: no observable change.
+            return false;
+        }
+        self.cnt[o as usize] -= 1;
+        self.cnt[n as usize] += 1;
+        if self.core == 0 {
+            return false;
+        }
+        if o >= self.core && n < self.core {
+            self.ge_core -= 1;
+        }
+        if self.ge_core >= self.core {
+            return false;
+        }
+        self.walk_down();
+        true
+    }
+
+    /// Forces the value down to at most `bound` (no-op if already ≤).
+    /// Returns `true` iff the value dropped.
+    ///
+    /// Used when the protocol's estimate is lowered *directly* — a host
+    /// hearing about one of its own nodes from a neighbor host, or a
+    /// warm start from a previous decomposition — rather than through a
+    /// neighbor-estimate update. Total cost across a whole execution is
+    /// `O(degree)` (the walk is monotone).
+    pub fn force_bound(&mut self, bound: u32) -> bool {
+        if bound >= self.core {
+            return false;
+        }
+        // ge_core at the new, lower level: add the buckets in between.
+        for i in bound..self.core {
+            self.ge_core += self.cnt[i as usize];
+        }
+        self.core = bound;
+        true
+    }
+
+    /// Lowers `core` to the largest justified value below its current
+    /// one. Precondition: `ge_core < core` (the current value is no
+    /// longer justified) and `core > 0`.
+    fn walk_down(&mut self) {
+        let mut t = self.core - 1;
+        let mut running = self.ge_core;
+        loop {
+            if t == 0 {
+                break;
+            }
+            running += self.cnt[t as usize];
+            if running >= t {
+                break;
+            }
+            t -= 1;
+        }
+        self.core = t;
+        self.ge_core = running;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_index, INFINITY_EST};
+    use rand::prelude::*;
+
+    #[test]
+    fn matches_initialization() {
+        for d in 0..20 {
+            let idx = IncrementalIndex::new(d);
+            assert_eq!(idx.core(), compute_index(vec![INFINITY_EST; d as usize], d));
+        }
+    }
+
+    #[test]
+    fn from_estimates_matches_compute_index() {
+        let cases: &[(&[u32], u32)] = &[
+            (&[], 0),
+            (&[], 3),
+            (&[1], 1),
+            (&[2, 2, 3], 3),
+            (&[1, 3, 3], 3),
+            (&[5, 5, 5, 5, 5], 2),
+            (&[0, 0, 0], 3),
+            (&[0, 2, 2], 3),
+            (&[1, 2, 2, 3], 4),
+            (&[INFINITY_EST; 4], 4),
+        ];
+        for &(ests, cap) in cases {
+            let idx = IncrementalIndex::from_estimates(ests.iter().copied(), cap);
+            assert_eq!(
+                idx.core(),
+                compute_index(ests.iter().copied(), cap),
+                "{ests:?} cap {cap}"
+            );
+        }
+    }
+
+    /// The heart of the tentpole: random monotone-decreasing update
+    /// traces, checked step by step against the from-scratch Algorithm 2.
+    #[test]
+    fn random_traces_match_recomputation() {
+        let mut rng = StdRng::seed_from_u64(0xD15C0);
+        for trial in 0..200 {
+            let degree = rng.random_range(0u32..40);
+            let mut est = vec![INFINITY_EST; degree as usize];
+            let mut idx = IncrementalIndex::new(degree);
+            let mut core = degree;
+            for step in 0..200 {
+                if degree == 0 {
+                    break;
+                }
+                let i = rng.random_range(0..degree as usize);
+                if est[i] == 0 {
+                    continue;
+                }
+                // A strictly lower replacement estimate, occasionally 0.
+                let cur = est[i].min(degree + 3);
+                let new = rng.random_range(0..cur);
+                let dropped = idx.update(est[i], new);
+                est[i] = new;
+                // Reference: Algorithm 1 recomputes with the current core
+                // as the clamp.
+                let t = compute_index(est.iter().copied(), core);
+                let expect_drop = t < core;
+                core = core.min(t);
+                assert_eq!(idx.core(), core, "trial {trial} step {step} est {est:?}");
+                assert_eq!(dropped, expect_drop, "trial {trial} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_bound_matches_clamped_recomputation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let degree = rng.random_range(1u32..30);
+            let mut est = vec![INFINITY_EST; degree as usize];
+            let mut idx = IncrementalIndex::new(degree);
+            let mut core = degree;
+            for _ in 0..60 {
+                if rng.random_bool(0.3) {
+                    let bound = rng.random_range(0..=core.max(1));
+                    let expect = bound < core;
+                    assert_eq!(idx.force_bound(bound), expect);
+                    core = core.min(bound);
+                } else {
+                    let i = rng.random_range(0..degree as usize);
+                    if est[i] == 0 {
+                        continue;
+                    }
+                    let new = rng.random_range(0..est[i].min(degree + 2));
+                    idx.update(est[i], new);
+                    est[i] = new;
+                    let t = compute_index(est.iter().copied(), core);
+                    core = core.min(t);
+                }
+                assert_eq!(idx.core(), core);
+            }
+        }
+    }
+
+    #[test]
+    fn update_above_cap_is_invisible() {
+        // Drops entirely above the degree clamp never change anything.
+        let mut idx = IncrementalIndex::new(3);
+        assert!(!idx.update(INFINITY_EST, 900));
+        assert!(!idx.update(900, 3));
+        assert_eq!(idx.core(), 3);
+    }
+
+    #[test]
+    fn isolated_node() {
+        let mut idx = IncrementalIndex::new(0);
+        assert_eq!(idx.core(), 0);
+        assert!(!idx.force_bound(0));
+    }
+
+    #[test]
+    fn drop_to_zero_estimates() {
+        let mut idx = IncrementalIndex::new(2);
+        assert!(idx.update(INFINITY_EST, 0));
+        assert_eq!(idx.core(), 1);
+        assert!(idx.update(INFINITY_EST, 0));
+        assert_eq!(idx.core(), 0);
+        // Further churn on a dead index is a no-op.
+        assert!(!idx.force_bound(0));
+    }
+}

@@ -51,6 +51,7 @@
 
 mod compute_index;
 mod decomposition;
+mod incremental;
 
 pub mod dynamic;
 pub mod one_to_many;
@@ -60,6 +61,7 @@ pub mod termination;
 
 pub use compute_index::compute_index;
 pub use decomposition::CoreDecomposition;
+pub use incremental::IncrementalIndex;
 
 /// Estimate value representing the paper's `+∞` initialization: "in the
 /// absence of more precise information, all entries are initialized to +∞".

@@ -87,14 +87,14 @@ impl Assignment {
         let mut host_of = vec![HostId(0); n];
         match policy {
             AssignmentPolicy::Modulo => {
-                for u in 0..n {
-                    host_of[u] = HostId((u % host_count) as u32);
+                for (u, h) in host_of.iter_mut().enumerate() {
+                    *h = HostId((u % host_count) as u32);
                 }
             }
             AssignmentPolicy::Block => {
                 let chunk = n.div_ceil(host_count).max(1);
-                for u in 0..n {
-                    host_of[u] = HostId((u / chunk) as u32);
+                for (u, h) in host_of.iter_mut().enumerate() {
+                    *h = HostId((u / chunk) as u32);
                 }
             }
             AssignmentPolicy::Random { seed } => {
@@ -205,7 +205,10 @@ mod tests {
     fn block_is_contiguous() {
         let g = path(10);
         let a = Assignment::new(&g, 3, &AssignmentPolicy::Block);
-        assert_eq!(a.nodes_of(HostId(0)), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            a.nodes_of(HostId(0)),
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(a.nodes_of(HostId(2)), &[NodeId(8), NodeId(9)]);
         check_partition(&a, 10);
     }
@@ -241,8 +244,12 @@ mod tests {
         };
         let bfs = Assignment::new(&g, 4, &AssignmentPolicy::BfsBlocks);
         let modulo = Assignment::new(&g, 4, &AssignmentPolicy::Modulo);
-        assert!(cut(&bfs) < cut(&modulo) / 2,
-            "bfs cut {} should be far below modulo cut {}", cut(&bfs), cut(&modulo));
+        assert!(
+            cut(&bfs) < cut(&modulo) / 2,
+            "bfs cut {} should be far below modulo cut {}",
+            cut(&bfs),
+            cut(&modulo)
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use dkcore_graph::{Graph, NodeId};
 
 use super::{Assignment, DisseminationPolicy, HostId};
-use crate::{compute_index, INFINITY_EST};
+use crate::{compute_index, IncrementalIndex, INFINITY_EST};
 
 /// How the internal emulation of Algorithm 4 (`improveEstimate`) is
 /// executed. All modes converge to the same estimates; they differ in how
@@ -105,6 +105,14 @@ pub struct HostProtocol {
     /// Slots whose estimate dropped since the last emulation pass
     /// (only used by [`EmulationMode::PerRound`]).
     dirty: Vec<u32>,
+    /// Per-local incremental `computeIndex` state, parallel to `locals`
+    /// (only maintained by [`EmulationMode::Worklist`], the default).
+    idx: Vec<IncrementalIndex>,
+    /// Reusable drop-event queue `(slot, old, new)` driving the worklist
+    /// cascade; FIFO so that successive drops of one slot are applied in
+    /// chronological order. Kept across calls so the hot loop never
+    /// allocates once warm.
+    work: VecDeque<(u32, u32, u32)>,
     /// Total `(node, estimate)` pairs sent — the paper's Figure 5
     /// "overhead (estimates sent)" numerator.
     estimates_sent: u64,
@@ -120,12 +128,7 @@ impl HostProtocol {
     /// # Panics
     ///
     /// Panics if `host` is out of range for `assignment`.
-    pub fn new(
-        g: &Graph,
-        assignment: &Assignment,
-        host: HostId,
-        config: OneToManyConfig,
-    ) -> Self {
+    pub fn new(g: &Graph, assignment: &Assignment, host: HostId, config: OneToManyConfig) -> Self {
         let locals: Vec<NodeId> = assignment.nodes_of(host).to_vec();
         debug_assert!(locals.windows(2).all(|w| w[0] < w[1]));
 
@@ -150,7 +153,9 @@ impl HostProtocol {
             match locals.binary_search(&v) {
                 Ok(i) => i as u32,
                 Err(_) => {
-                    let j = ext.binary_search(&v).expect("neighbor must be local or ext");
+                    let j = ext
+                        .binary_search(&v)
+                        .expect("neighbor must be local or ext");
                     (locals.len() + j) as u32
                 }
             }
@@ -180,7 +185,9 @@ impl HostProtocol {
             hosts_of_u.sort_unstable();
             hosts_of_u.dedup();
             for h in hosts_of_u {
-                let j = neighbor_hosts.binary_search(&h).expect("known neighbor host");
+                let j = neighbor_hosts
+                    .binary_search(&h)
+                    .expect("known neighbor host");
                 border[j].push(i as u32);
             }
         }
@@ -203,13 +210,19 @@ impl HostProtocol {
             neighbor_hosts,
             border: border.into_iter().map(Vec::into_boxed_slice).collect(),
             dirty: Vec::new(),
+            idx: Vec::new(),
+            work: VecDeque::new(),
             estimates_sent: 0,
             messages_sent: 0,
         };
         // Algorithm 3 initialization ends with improveEstimate(est): local
         // degrees already constrain each other before anything is sent.
-        let all: Vec<u32> = (0..this.locals.len() as u32).collect();
-        this.emulate(&all);
+        if this.config.emulation == EmulationMode::Worklist {
+            this.init_indexes();
+        } else {
+            let all: Vec<u32> = (0..this.locals.len() as u32).collect();
+            this.emulate(&all);
+        }
         this
     }
 
@@ -249,7 +262,10 @@ impl HostProtocol {
 
     /// Iterator over `(node, current estimate)` for the local nodes.
     pub fn local_estimates(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
-        self.locals.iter().enumerate().map(|(i, &u)| (u, self.est[i]))
+        self.locals
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, self.est[i]))
     }
 
     /// Whether any local estimate changed since the last flush.
@@ -280,6 +296,55 @@ impl HostProtocol {
         }
     }
 
+    /// Builds the per-local [`IncrementalIndex`] state and runs the
+    /// initialization `improveEstimate` as a drop-event cascade — the
+    /// worklist-mode fast path of Algorithm 4.
+    fn init_indexes(&mut self) {
+        let nlocal = self.locals.len();
+        let mut idx = Vec::with_capacity(nlocal);
+        for i in 0..nlocal {
+            let cap = self.est[i];
+            idx.push(IncrementalIndex::from_estimates(
+                self.adj[i].iter().map(|&s| self.est[s as usize]),
+                cap,
+            ));
+        }
+        self.idx = idx;
+        // The indexes were built from the pristine initial estimates, so
+        // first collect every local whose own estimate is immediately
+        // improvable, then let the cascade propagate the drops.
+        for i in 0..nlocal {
+            let new = self.idx[i].core();
+            if new < self.est[i] {
+                let old = self.est[i];
+                self.est[i] = new;
+                self.changed[i] = true;
+                self.work.push_back((i as u32, old, new));
+            }
+        }
+        self.cascade();
+    }
+
+    /// Drains the drop-event stack to the internal fixpoint: each event
+    /// `(slot, old, new)` feeds the incremental indexes of the local
+    /// nodes adjacent to `slot`; locals whose value drops emit follow-up
+    /// events. Amortized O(1) per event, allocation-free after warmup —
+    /// the worklist-mode replacement for repeated `computeIndex` rescans.
+    fn cascade(&mut self) {
+        while let Some((s, old, new)) = self.work.pop_front() {
+            for t in 0..self.rev[s as usize].len() {
+                let l = self.rev[s as usize][t] as usize;
+                if self.idx[l].update(old, new) {
+                    let old_l = self.est[l];
+                    let new_l = self.idx[l].core();
+                    self.est[l] = new_l;
+                    self.changed[l] = true;
+                    self.work.push_back((l as u32, old_l, new_l));
+                }
+            }
+        }
+    }
+
     /// Recomputes local node `i`'s estimate; returns `true` if it dropped.
     fn recompute(&mut self, i: u32) -> bool {
         let cur = self.est[i as usize];
@@ -296,34 +361,14 @@ impl HostProtocol {
         }
     }
 
-    /// Algorithm 4, in the configured [`EmulationMode`], seeded by the
-    /// slots whose estimates just dropped.
+    /// Algorithm 4 for the recompute-based ablation modes, seeded by the
+    /// slots whose estimates just dropped. [`EmulationMode::Worklist`]
+    /// never reaches here — it runs the incremental-index cascade
+    /// ([`Self::init_indexes`] / [`Self::cascade`]) instead.
     fn emulate(&mut self, dropped_slots: &[u32]) {
         match self.config.emulation {
             EmulationMode::Worklist => {
-                let mut queue: VecDeque<u32> = VecDeque::new();
-                let mut queued = vec![false; self.locals.len()];
-                for &s in dropped_slots {
-                    for idx in 0..self.rev[s as usize].len() {
-                        let l = self.rev[s as usize][idx];
-                        if !queued[l as usize] {
-                            queued[l as usize] = true;
-                            queue.push_back(l);
-                        }
-                    }
-                }
-                while let Some(l) = queue.pop_front() {
-                    queued[l as usize] = false;
-                    if self.recompute(l) {
-                        for idx in 0..self.rev[l as usize].len() {
-                            let nb = self.rev[l as usize][idx];
-                            if !queued[nb as usize] {
-                                queued[nb as usize] = true;
-                                queue.push_back(nb);
-                            }
-                        }
-                    }
-                }
+                unreachable!("Worklist mode is routed to init_indexes/cascade")
             }
             EmulationMode::Sweep => {
                 // The paper's literal loop: full passes until quiescence.
@@ -375,7 +420,10 @@ impl HostProtocol {
                         .collect();
                     self.estimates_sent += pairs.len() as u64;
                     self.messages_sent += 1;
-                    vec![Outgoing { dest: Destination::AllHosts, pairs }]
+                    vec![Outgoing {
+                        dest: Destination::AllHosts,
+                        pairs,
+                    }]
                 }
             }
             DisseminationPolicy::PointToPoint => {
@@ -388,7 +436,10 @@ impl HostProtocol {
                     if !pairs.is_empty() {
                         self.estimates_sent += pairs.len() as u64;
                         self.messages_sent += 1;
-                        out.push(Outgoing { dest: Destination::Host(y), pairs });
+                        out.push(Outgoing {
+                            dest: Destination::Host(y),
+                            pairs,
+                        });
                     }
                 }
                 out
@@ -412,6 +463,29 @@ impl HostProtocol {
     /// Pairs about nodes this host does not know (possible on a broadcast
     /// medium) are ignored.
     pub fn receive(&mut self, pairs: &[(NodeId, u32)]) {
+        if self.config.emulation == EmulationMode::Worklist {
+            // Fast path: push drop events straight onto the cascade stack;
+            // no recomputation scans and no per-call allocation.
+            for &(v, k) in pairs {
+                if let Some(s) = self.slot(v) {
+                    let si = s as usize;
+                    let old = self.est[si];
+                    if k < old {
+                        self.est[si] = k;
+                        // A local estimate lowered from outside must be
+                        // re-announced too, and its index bounded so
+                        // later walks start from the right level.
+                        if si < self.locals.len() {
+                            self.changed[si] = true;
+                            self.idx[si].force_bound(k);
+                        }
+                        self.work.push_back((s, old, k));
+                    }
+                }
+            }
+            self.cascade();
+            return;
+        }
         let mut dropped: Vec<u32> = Vec::new();
         for &(v, k) in pairs {
             if let Some(s) = self.slot(v) {
@@ -452,22 +526,26 @@ impl HostProtocol {
                     .collect();
                 self.estimates_sent += pairs.len() as u64;
                 self.messages_sent += 1;
-                vec![Outgoing { dest: Destination::AllHosts, pairs }]
+                vec![Outgoing {
+                    dest: Destination::AllHosts,
+                    pairs,
+                }]
             }
             DisseminationPolicy::PointToPoint => {
                 let mut out = Vec::new();
                 for (j, &y) in self.neighbor_hosts.iter().enumerate() {
                     // Intersect sorted border[j] with changed_locals.
-                    let pairs: Vec<(NodeId, u32)> = intersect_sorted(
-                        &self.border[j],
-                        &changed_locals,
-                    )
-                    .map(|i| (self.locals[i as usize], self.est[i as usize]))
-                    .collect();
+                    let pairs: Vec<(NodeId, u32)> =
+                        intersect_sorted(&self.border[j], &changed_locals)
+                            .map(|i| (self.locals[i as usize], self.est[i as usize]))
+                            .collect();
                     if !pairs.is_empty() {
                         self.estimates_sent += pairs.len() as u64;
                         self.messages_sent += 1;
-                        out.push(Outgoing { dest: Destination::Host(y), pairs });
+                        out.push(Outgoing {
+                            dest: Destination::Host(y),
+                            pairs,
+                        });
                     }
                 }
                 out
@@ -510,6 +588,7 @@ fn intersect_sorted<'a>(a: &'a [u32], b: &'a [u32]) -> impl Iterator<Item = u32>
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mutate two arrays side by side
 mod tests {
     use super::*;
     use crate::one_to_many::AssignmentPolicy;
@@ -532,22 +611,21 @@ mod tests {
         let assignment = Assignment::new(g, hosts, policy);
         let mut protos = HostProtocol::for_assignment(g, &assignment, config);
         let mut inboxes: Vec<Vec<Vec<(NodeId, u32)>>> = vec![Vec::new(); hosts];
-        let deliver = |msgs: Vec<Outgoing>,
-                           from: usize,
-                           inboxes: &mut Vec<Vec<Vec<(NodeId, u32)>>>| {
-            for m in msgs {
-                match m.dest {
-                    Destination::AllHosts => {
-                        for h in 0..hosts {
-                            if h != from {
-                                inboxes[h].push(m.pairs.clone());
+        let deliver =
+            |msgs: Vec<Outgoing>, from: usize, inboxes: &mut Vec<Vec<Vec<(NodeId, u32)>>>| {
+                for m in msgs {
+                    match m.dest {
+                        Destination::AllHosts => {
+                            for h in 0..hosts {
+                                if h != from {
+                                    inboxes[h].push(m.pairs.clone());
+                                }
                             }
                         }
+                        Destination::Host(y) => inboxes[y.index()].push(m.pairs.clone()),
                     }
-                    Destination::Host(y) => inboxes[y.index()].push(m.pairs.clone()),
                 }
-            }
-        };
+            };
         let mut rounds = 0u32;
         let mut any = false;
         for h in 0..hosts {
@@ -660,8 +738,15 @@ mod tests {
     fn all_emulation_modes_agree() {
         let g = gnp(40, 0.12, 21);
         let truth = batagelj_zaversnik(&g);
-        for emulation in [EmulationMode::Worklist, EmulationMode::Sweep, EmulationMode::PerRound] {
-            for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+        for emulation in [
+            EmulationMode::Worklist,
+            EmulationMode::Sweep,
+            EmulationMode::PerRound,
+        ] {
+            for policy in [
+                DisseminationPolicy::Broadcast,
+                DisseminationPolicy::PointToPoint,
+            ] {
                 let cfg = OneToManyConfig { policy, emulation };
                 let (cores, _, _) = run_hosts(&g, 4, cfg);
                 assert_eq!(cores, truth, "{emulation:?}/{policy:?}");
@@ -724,8 +809,10 @@ mod tests {
         };
         let (_, _, est_few) = run_hosts(&g, 2, cfg);
         let (_, _, est_many) = run_hosts(&g, 64, cfg);
-        assert!(est_many > est_few,
-            "p2p estimates should grow with host count: {est_few} -> {est_many}");
+        assert!(
+            est_many > est_few,
+            "p2p estimates should grow with host count: {est_few} -> {est_many}"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use dkcore_graph::{Graph, NodeId};
 
-use crate::{compute_index, INFINITY_EST};
+use crate::{IncrementalIndex, INFINITY_EST};
 
 /// Configuration for the one-to-one protocol.
 ///
@@ -61,7 +61,9 @@ pub struct OneToOneConfig {
 
 impl Default for OneToOneConfig {
     fn default() -> Self {
-        OneToOneConfig { send_optimization: true }
+        OneToOneConfig {
+            send_optimization: true,
+        }
     }
 }
 
@@ -90,6 +92,9 @@ pub struct NodeProtocol {
     neighbors: Box<[NodeId]>,
     /// Estimates parallel to `neighbors`; `INFINITY_EST` is the `+∞` init.
     est: Box<[u32]>,
+    /// Incrementally maintained `computeIndex` over `est` — the O(1)
+    /// amortized fast path replacing the per-message Algorithm 2 rescan.
+    index: IncrementalIndex,
     core: u32,
     changed: bool,
     config: OneToOneConfig,
@@ -109,6 +114,7 @@ impl NodeProtocol {
         NodeProtocol {
             id: u,
             core: neighbors.len() as u32,
+            index: IncrementalIndex::new(neighbors.len() as u32),
             neighbors,
             est,
             changed: false,
@@ -142,6 +148,7 @@ impl NodeProtocol {
     ) -> Self {
         let mut this = NodeProtocol::new(g, u, config);
         this.core = initial.min(this.degree());
+        this.index.force_bound(this.core);
         this
     }
 
@@ -189,13 +196,34 @@ impl NodeProtocol {
     /// The initialization broadcast: `send ⟨u, core⟩ to neighborV(u)`.
     ///
     /// Returns `None` for isolated nodes (no neighbors to notify).
+    ///
+    /// Allocates a fresh recipient vector per call; round-based engines
+    /// should prefer [`initial_broadcast_with`](Self::initial_broadcast_with).
     pub fn initial_broadcast(&mut self) -> Option<Broadcast> {
+        let mut recipients = Vec::new();
+        self.initial_broadcast_with(|v, _| recipients.push(v))
+            .map(|core| Broadcast {
+                from: self.id,
+                core,
+                recipients,
+            })
+    }
+
+    /// Allocation-free variant of [`initial_broadcast`](Self::initial_broadcast):
+    /// invokes `sink(recipient, core)` once per neighbor and returns the
+    /// announced estimate, or `None` for isolated nodes.
+    pub fn initial_broadcast_with<F>(&mut self, mut sink: F) -> Option<u32>
+    where
+        F: FnMut(NodeId, u32),
+    {
         if self.neighbors.is_empty() {
             return None;
         }
-        let recipients: Vec<NodeId> = self.neighbors.to_vec();
-        self.messages_sent += recipients.len() as u64;
-        Some(Broadcast { from: self.id, core: self.core, recipients })
+        for &v in self.neighbors.iter() {
+            sink(v, self.core);
+        }
+        self.messages_sent += self.neighbors.len() as u64;
+        Some(self.core)
     }
 
     /// Handles an incoming `⟨v, k⟩` message (the `on receive` block of
@@ -207,13 +235,16 @@ impl NodeProtocol {
         let Ok(i) = self.neighbors.binary_search(&from) else {
             return false;
         };
-        if k >= self.est[i] {
+        let old = self.est[i];
+        if k >= old {
             return false;
         }
         self.est[i] = k;
-        let t = compute_index(self.est.iter().copied(), self.core);
-        if t < self.core {
-            self.core = t;
+        // O(1) amortized, allocation-free update — equivalent to the
+        // paper's `computeIndex(est, u, core)` rescan (see
+        // [`IncrementalIndex`]), whose result is bit-identical.
+        if self.index.update(old, k) {
+            self.core = self.index.core();
             self.changed = true;
             true
         } else {
@@ -229,30 +260,58 @@ impl NodeProtocol {
     /// filtered down to neighbors for which `core < est[v]`; `None` is
     /// returned when nothing needs sending (no change, or every neighbor
     /// already knows a value ≤ `core`).
+    ///
+    /// Allocates a fresh recipient vector per call; round-based engines
+    /// should prefer [`round_flush_with`](Self::round_flush_with).
     pub fn round_flush(&mut self) -> Option<Broadcast> {
+        let mut recipients = Vec::new();
+        self.round_flush_with(|v, _| recipients.push(v))
+            .map(|core| Broadcast {
+                from: self.id,
+                core,
+                recipients,
+            })
+    }
+
+    /// Allocation-free variant of [`round_flush`](Self::round_flush):
+    /// invokes `sink(recipient, core)` once per addressed neighbor and
+    /// returns the announced estimate, or `None` when nothing was sent.
+    ///
+    /// Exactly the same semantics (flag handling, §3.1.2 filter, message
+    /// accounting) without materializing a `recipients` vector — this is
+    /// the hot path used by the `dkcore-sim` engines.
+    pub fn round_flush_with<F>(&mut self, mut sink: F) -> Option<u32>
+    where
+        F: FnMut(NodeId, u32),
+    {
         if !self.changed {
             return None;
         }
         self.changed = false;
-        let recipients: Vec<NodeId> = if self.config.send_optimization {
-            self.neighbors
-                .iter()
-                .zip(self.est.iter())
-                .filter(|&(_, &est)| self.core < est)
-                .map(|(&v, _)| v)
-                .collect()
+        let mut count = 0u64;
+        if self.config.send_optimization {
+            for (&v, &est) in self.neighbors.iter().zip(self.est.iter()) {
+                if self.core < est {
+                    sink(v, self.core);
+                    count += 1;
+                }
+            }
         } else {
-            self.neighbors.to_vec()
-        };
-        if recipients.is_empty() {
+            for &v in self.neighbors.iter() {
+                sink(v, self.core);
+                count += 1;
+            }
+        }
+        if count == 0 {
             return None;
         }
-        self.messages_sent += recipients.len() as u64;
-        Some(Broadcast { from: self.id, core: self.core, recipients })
+        self.messages_sent += count;
+        Some(self.core)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mutate two arrays side by side
 mod tests {
     use super::*;
     use crate::seq::batagelj_zaversnik;
@@ -355,10 +414,19 @@ mod tests {
         // §3.1.1: path 1-2-3-4-5-6 with extra edges making nodes 2..5 have
         // degree 3: edges (2,4) and (3,5) in paper numbering.
         // Zero-based: path 0-1-2-3-4-5 plus (1,3) and (2,4).
-        let g = Graph::from_edges(6, [
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), // the chain
-            (1, 3), (2, 4),                         // making middle degree 3
-        ]).unwrap();
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5), // the chain
+                (1, 3),
+                (2, 4), // making middle degree 3
+            ],
+        )
+        .unwrap();
         assert_eq!(g.degrees(), vec![1, 3, 3, 3, 3, 1]);
         let (cores, rounds, _) = run_sync(&g, OneToOneConfig::default());
         // "Finally, core = 2 for v = 2,3,4,5 and core = 1 for v = 1,6."
@@ -381,7 +449,9 @@ mod tests {
     fn converges_without_optimization_too() {
         for seed in 0..4 {
             let g = gnp(50, 0.1, seed);
-            let cfg = OneToOneConfig { send_optimization: false };
+            let cfg = OneToOneConfig {
+                send_optimization: false,
+            };
             let (cores, _, _) = run_sync(&g, cfg);
             assert_eq!(cores, batagelj_zaversnik(&g), "seed {seed}");
         }
@@ -392,10 +462,22 @@ mod tests {
         // §3.1.2: "this optimization has shown to be able to reduce the
         // number of exchanged messages by approximately 50%".
         let g = gnp(120, 0.06, 3);
-        let (_, _, with_opt) = run_sync(&g, OneToOneConfig { send_optimization: true });
-        let (_, _, without) = run_sync(&g, OneToOneConfig { send_optimization: false });
-        assert!(with_opt < without,
-            "optimization should reduce messages: {with_opt} vs {without}");
+        let (_, _, with_opt) = run_sync(
+            &g,
+            OneToOneConfig {
+                send_optimization: true,
+            },
+        );
+        let (_, _, without) = run_sync(
+            &g,
+            OneToOneConfig {
+                send_optimization: false,
+            },
+        );
+        assert!(
+            with_opt < without,
+            "optimization should reduce messages: {with_opt} vs {without}"
+        );
     }
 
     #[test]
@@ -467,7 +549,9 @@ mod tests {
     #[test]
     fn flush_without_optimization_sends_to_all() {
         let g = star(4);
-        let cfg = OneToOneConfig { send_optimization: false };
+        let cfg = OneToOneConfig {
+            send_optimization: false,
+        };
         let mut hub = NodeProtocol::new(&g, NodeId(0), cfg);
         for leaf in 1..4u32 {
             hub.receive(NodeId(leaf), 1);

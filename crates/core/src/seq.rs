@@ -242,18 +242,32 @@ mod tests {
     #[test]
     fn grid_interior_is_2core() {
         let core = batagelj_zaversnik(&grid(5, 5));
-        assert!(core.iter().all(|&c| c == 2), "pure grids are uniformly 2-degenerate");
+        assert!(
+            core.iter().all(|&c| c == 2),
+            "pure grids are uniformly 2-degenerate"
+        );
     }
 
     #[test]
     fn paper_figure1_style_decomposition() {
         // Build a graph with known 3-core: K4 (nodes 0-3), attach a 2-core
         // ring (4,5) bridging into it, and pendant 6.
-        let g = Graph::from_edges(7, [
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (4, 0), (4, 5), (5, 1),                         // 2-ish appendage
-            (6, 0),                                         // pendant
-        ]).unwrap();
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // K4
+                (4, 0),
+                (4, 5),
+                (5, 1), // 2-ish appendage
+                (6, 0), // pendant
+            ],
+        )
+        .unwrap();
         let core = batagelj_zaversnik(&g);
         assert_eq!(&core[0..4], &[3, 3, 3, 3]);
         assert_eq!(core[4], 2);
@@ -283,7 +297,7 @@ mod tests {
     }
 
     #[test]
-    fn coreness_is_at_most_degree(){
+    fn coreness_is_at_most_degree() {
         let g = gnp(100, 0.05, 3);
         let core = batagelj_zaversnik(&g);
         for u in g.nodes() {
@@ -310,8 +324,10 @@ mod tests {
                 .iter()
                 .filter(|v| rank[v.index()] > rank[u.index()])
                 .count();
-            assert!(later as u32 <= degeneracy,
-                "node {u} has {later} later neighbors > degeneracy {degeneracy}");
+            assert!(
+                later as u32 <= degeneracy,
+                "node {u} has {later} later neighbors > degeneracy {degeneracy}"
+            );
         }
     }
 

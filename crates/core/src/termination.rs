@@ -133,10 +133,7 @@ impl GossipDetector {
     pub fn new(host_count: usize, patience: u32, seed: u64) -> Self {
         assert!(patience > 0, "patience must be positive");
         GossipDetector {
-            net: GossipNetwork::new(
-                (0..host_count).map(|_| MaxAggregate::new(0.0)),
-                seed,
-            ),
+            net: GossipNetwork::new((0..host_count).map(|_| MaxAggregate::new(0.0)), seed),
             patience,
         }
     }
@@ -241,7 +238,10 @@ mod tests {
         let mut det = GossipDetector::new(hosts, patience, 7);
         let fired = fire_round(&mut det, &trace(hosts, 10, 100)).expect("fires");
         // Cannot fire before the silence has lasted `patience` rounds.
-        assert!(fired >= 10 + patience, "fired at {fired}, patience {patience}");
+        assert!(
+            fired >= 10 + patience,
+            "fired at {fired}, patience {patience}"
+        );
         // Should fire within a small constant of patience after silence.
         assert!(fired <= 10 + 2 * patience + 8, "fired too late: {fired}");
         assert_eq!(det.name(), "gossip");
@@ -270,19 +270,23 @@ mod tests {
         let patience = GossipDetector::recommended_patience(hosts); // 10
         let mut det = GossipDetector::new(hosts, patience, 9);
         let mut t = trace(hosts, 5, 5); // active 1..=5, silent 6..=10
-        // At round 11, host 3 is active once more.
+                                        // At round 11, host 3 is active once more.
         let mut late = vec![false; hosts];
         late[3] = true;
         t.push(late);
         t.extend(trace(hosts, 0, 60));
         let fired = fire_round(&mut det, &t).expect("fires");
-        assert!(fired >= 11 + patience, "straggler must reset the clock (fired {fired})");
+        assert!(
+            fired >= 11 + patience,
+            "straggler must reset the clock (fired {fired})"
+        );
     }
 
     #[test]
     fn recommended_patience_grows_with_hosts() {
-        assert!(GossipDetector::recommended_patience(512)
-            > GossipDetector::recommended_patience(4));
+        assert!(
+            GossipDetector::recommended_patience(512) > GossipDetector::recommended_patience(4)
+        );
         assert!(GossipDetector::recommended_patience(1) >= 5);
     }
 

@@ -26,7 +26,10 @@ pub fn collaboration(
     seed: u64,
 ) -> Graph {
     assert!(authors > 0, "need at least one author");
-    assert!(*authors_per_paper.start() >= 2, "papers need at least two authors");
+    assert!(
+        *authors_per_paper.start() >= 2,
+        "papers need at least two authors"
+    );
     assert!(
         authors_per_paper.start() <= authors_per_paper.end(),
         "empty author-count range"
@@ -156,12 +159,18 @@ mod tests {
         // members of bigger or overlapping papers.
         let core = dkcore::seq::batagelj_zaversnik(&g);
         let kmax = core.iter().copied().max().unwrap();
-        assert!(kmax >= 6, "collaboration cliques should stack, kmax = {kmax}");
+        assert!(
+            kmax >= 6,
+            "collaboration cliques should stack, kmax = {kmax}"
+        );
     }
 
     #[test]
     fn collaboration_is_deterministic() {
-        assert_eq!(collaboration(100, 50, 2..=5, 9), collaboration(100, 50, 2..=5, 9));
+        assert_eq!(
+            collaboration(100, 50, 2..=5, 9),
+            collaboration(100, 50, 2..=5, 9)
+        );
     }
 
     #[test]
@@ -170,7 +179,10 @@ mod tests {
         let degs = g.degrees();
         let avg = g.avg_degree();
         let max = *degs.iter().max().unwrap() as f64;
-        assert!(max > 4.0 * avg, "preferential urn should create hubs: max {max}, avg {avg}");
+        assert!(
+            max > 4.0 * avg,
+            "preferential urn should create hubs: max {max}, avg {avg}"
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ enum Family {
     /// Collaboration cliques (CA-AstroPh, CA-CondMat): papers as % of
     /// authors, team size lo..=hi, plus one large collaboration (a clique
     /// among the most prolific authors) fixing `k_max`.
-    Collaboration { paper_factor_pct: u32, team_lo: usize, team_hi: usize, clique: usize },
+    Collaboration {
+        paper_factor_pct: u32,
+        team_lo: usize,
+        team_hi: usize,
+        clique: usize,
+    },
     /// Sparse uniform random graph (p2p-Gnutella31): avg degree ×100.
     SparseRandom { avg_degree_x100: u32 },
     /// Preferential attachment + hub clique (Slashdot, wiki-Talk):
@@ -46,7 +51,11 @@ enum Family {
     SocialHubs { m: usize, clique: usize },
     /// Planted partition (Amazon co-purchase): community size, p_in ×1000,
     /// p_out ×100000.
-    Communities { community: usize, p_in_x1000: u32, p_out_x100000: u32 },
+    Communities {
+        community: usize,
+        p_in_x1000: u32,
+        p_out_x100000: u32,
+    },
     /// R-MAT web graph + diffuse dense core + pendant chains
     /// (web-BerkStan): core size, core density ×100.
     Web {
@@ -58,7 +67,11 @@ enum Family {
     },
     /// Degraded grid plus dead-end roads (roadNet-TX): keep fraction
     /// ×100, pendant chains per thousand nodes, chain length.
-    Road { keep_pct: u32, chains_per_thousand: u32, chain_len: usize },
+    Road {
+        keep_pct: u32,
+        chains_per_thousand: u32,
+        chain_len: usize,
+    },
 }
 
 /// One entry of the dataset catalog: a paper dataset, its reported
@@ -102,7 +115,12 @@ impl DatasetSpec {
     pub fn build_scaled(&self, nodes: usize, seed: u64) -> Graph {
         assert!(nodes > 0, "need at least one node");
         match self.family {
-            Family::Collaboration { paper_factor_pct, team_lo, team_hi, clique } => {
+            Family::Collaboration {
+                paper_factor_pct,
+                team_lo,
+                team_hi,
+                clique,
+            } => {
                 let papers = nodes * paper_factor_pct as usize / 100;
                 let base = collaboration(nodes, papers, team_lo..=team_hi, seed);
                 // One "large collaboration" paper (ATLAS-style author list)
@@ -118,7 +136,11 @@ impl DatasetSpec {
                 let base = generators::barabasi_albert(nodes, m, seed);
                 with_hub_clique(&base, clique.min(nodes), seed ^ 0xC11C)
             }
-            Family::Communities { community, p_in_x1000, p_out_x100000 } => {
+            Family::Communities {
+                community,
+                p_in_x1000,
+                p_out_x100000,
+            } => {
                 let communities = (nodes / community).max(1);
                 generators::planted_partition(
                     nodes,
@@ -128,7 +150,13 @@ impl DatasetSpec {
                     seed,
                 )
             }
-            Family::Web { edges_per_node_x100, core, core_density_pct, chains_pct, chain_len } => {
+            Family::Web {
+                edges_per_node_x100,
+                core,
+                core_density_pct,
+                chains_pct,
+                chain_len,
+            } => {
                 let chains = (nodes * chains_pct as usize / 100 / chain_len.max(1)).max(1);
                 let core_nodes = nodes.saturating_sub(chains * chain_len).max(16);
                 let scale = (core_nodes as f64).log2().ceil() as u32;
@@ -147,7 +175,11 @@ impl DatasetSpec {
                 );
                 generators::with_pendant_chains(&with_core, chains, chain_len, seed ^ 0xCAFE)
             }
-            Family::Road { keep_pct, chains_per_thousand, chain_len } => {
+            Family::Road {
+                keep_pct,
+                chains_per_thousand,
+                chain_len,
+            } => {
                 let chains = nodes * chains_per_thousand as usize / 1000 / chain_len.max(1);
                 let grid_nodes = nodes.saturating_sub(chains * chain_len).max(4);
                 let side = (grid_nodes as f64).sqrt().round() as usize;
@@ -168,46 +200,86 @@ pub fn catalog() -> Vec<DatasetSpec> {
             name: "astroph-like",
             snap_name: "CA-AstroPh",
             paper: PaperStats {
-                nodes: 18_772, edges: 198_110, diameter: 14, max_degree: 504,
-                max_coreness: 56, avg_coreness: 12.62,
-                t_avg: 19.55, t_min: 18, t_max: 21, m_avg: 47.21, m_max: 807.05,
+                nodes: 18_772,
+                edges: 198_110,
+                diameter: 14,
+                max_degree: 504,
+                max_coreness: 56,
+                avg_coreness: 12.62,
+                t_avg: 19.55,
+                t_min: 18,
+                t_max: 21,
+                m_avg: 47.21,
+                m_max: 807.05,
             },
             default_nodes: 18_772,
             family: Family::Collaboration {
-                paper_factor_pct: 40, team_lo: 2, team_hi: 12, clique: 57,
+                paper_factor_pct: 40,
+                team_lo: 2,
+                team_hi: 12,
+                clique: 57,
             },
         },
         DatasetSpec {
             name: "condmat-like",
             snap_name: "CA-CondMat",
             paper: PaperStats {
-                nodes: 23_133, edges: 93_497, diameter: 15, max_degree: 280,
-                max_coreness: 25, avg_coreness: 4.90,
-                t_avg: 15.65, t_min: 14, t_max: 17, m_avg: 13.97, m_max: 410.25,
+                nodes: 23_133,
+                edges: 93_497,
+                diameter: 15,
+                max_degree: 280,
+                max_coreness: 25,
+                avg_coreness: 4.90,
+                t_avg: 15.65,
+                t_min: 14,
+                t_max: 17,
+                m_avg: 13.97,
+                m_max: 410.25,
             },
             default_nodes: 23_133,
             family: Family::Collaboration {
-                paper_factor_pct: 45, team_lo: 2, team_hi: 7, clique: 26,
+                paper_factor_pct: 45,
+                team_lo: 2,
+                team_hi: 7,
+                clique: 26,
             },
         },
         DatasetSpec {
             name: "gnutella-like",
             snap_name: "p2p-Gnutella31",
             paper: PaperStats {
-                nodes: 62_590, edges: 147_895, diameter: 11, max_degree: 95,
-                max_coreness: 6, avg_coreness: 2.52,
-                t_avg: 27.45, t_min: 25, t_max: 30, m_avg: 9.30, m_max: 131.25,
+                nodes: 62_590,
+                edges: 147_895,
+                diameter: 11,
+                max_degree: 95,
+                max_coreness: 6,
+                avg_coreness: 2.52,
+                t_avg: 27.45,
+                t_min: 25,
+                t_max: 30,
+                m_avg: 9.30,
+                m_max: 131.25,
             },
             default_nodes: 62_590,
-            family: Family::SparseRandom { avg_degree_x100: 473 },
+            family: Family::SparseRandom {
+                avg_degree_x100: 473,
+            },
         },
         DatasetSpec {
             name: "slashdot-sign-like",
             snap_name: "soc-sign-Slashdot090221",
             paper: PaperStats {
-                nodes: 82_145, edges: 500_485, diameter: 11, max_degree: 2_553,
-                max_coreness: 54, avg_coreness: 6.22,
-                t_avg: 25.10, t_min: 24, t_max: 26, m_avg: 29.32, m_max: 3_192.40,
+                nodes: 82_145,
+                edges: 500_485,
+                diameter: 11,
+                max_degree: 2_553,
+                max_coreness: 54,
+                avg_coreness: 6.22,
+                t_avg: 25.10,
+                t_min: 24,
+                t_max: 26,
+                m_avg: 29.32,
+                m_max: 3_192.40,
             },
             default_nodes: 40_000,
             family: Family::SocialHubs { m: 6, clique: 55 },
@@ -216,9 +288,17 @@ pub fn catalog() -> Vec<DatasetSpec> {
             name: "slashdot-like",
             snap_name: "soc-Slashdot0902",
             paper: PaperStats {
-                nodes: 82_173, edges: 582_537, diameter: 12, max_degree: 2_548,
-                max_coreness: 56, avg_coreness: 7.22,
-                t_avg: 21.15, t_min: 20, t_max: 22, m_avg: 31.35, m_max: 3_319.95,
+                nodes: 82_173,
+                edges: 582_537,
+                diameter: 12,
+                max_degree: 2_548,
+                max_coreness: 56,
+                avg_coreness: 7.22,
+                t_avg: 21.15,
+                t_min: 20,
+                t_max: 22,
+                m_avg: 31.35,
+                m_max: 3_319.95,
             },
             default_nodes: 40_000,
             family: Family::SocialHubs { m: 7, clique: 57 },
@@ -227,20 +307,40 @@ pub fn catalog() -> Vec<DatasetSpec> {
             name: "amazon-like",
             snap_name: "Amazon0601",
             paper: PaperStats {
-                nodes: 403_399, edges: 2_443_412, diameter: 21, max_degree: 2_752,
-                max_coreness: 10, avg_coreness: 7.22,
-                t_avg: 55.65, t_min: 53, t_max: 59, m_avg: 24.91, m_max: 2_900.30,
+                nodes: 403_399,
+                edges: 2_443_412,
+                diameter: 21,
+                max_degree: 2_752,
+                max_coreness: 10,
+                avg_coreness: 7.22,
+                t_avg: 55.65,
+                t_min: 53,
+                t_max: 59,
+                m_avg: 24.91,
+                m_max: 2_900.30,
             },
             default_nodes: 50_000,
-            family: Family::Communities { community: 13, p_in_x1000: 780, p_out_x100000: 2 },
+            family: Family::Communities {
+                community: 13,
+                p_in_x1000: 780,
+                p_out_x100000: 2,
+            },
         },
         DatasetSpec {
             name: "berkstan-like",
             snap_name: "web-BerkStan",
             paper: PaperStats {
-                nodes: 685_235, edges: 6_649_474, diameter: 669, max_degree: 84_230,
-                max_coreness: 201, avg_coreness: 11.11,
-                t_avg: 306.15, t_min: 294, t_max: 322, m_avg: 29.04, m_max: 86_293.20,
+                nodes: 685_235,
+                edges: 6_649_474,
+                diameter: 669,
+                max_degree: 84_230,
+                max_coreness: 201,
+                avg_coreness: 11.11,
+                t_avg: 306.15,
+                t_min: 294,
+                t_max: 322,
+                m_avg: 29.04,
+                m_max: 86_293.20,
             },
             default_nodes: 60_000,
             family: Family::Web {
@@ -255,20 +355,40 @@ pub fn catalog() -> Vec<DatasetSpec> {
             name: "roadnet-like",
             snap_name: "roadNet-TX",
             paper: PaperStats {
-                nodes: 1_379_922, edges: 1_921_664, diameter: 1_049, max_degree: 12,
-                max_coreness: 3, avg_coreness: 1.79,
-                t_avg: 98.60, t_min: 94, t_max: 103, m_avg: 4.45, m_max: 19.30,
+                nodes: 1_379_922,
+                edges: 1_921_664,
+                diameter: 1_049,
+                max_degree: 12,
+                max_coreness: 3,
+                avg_coreness: 1.79,
+                t_avg: 98.60,
+                t_min: 94,
+                t_max: 103,
+                m_avg: 4.45,
+                m_max: 19.30,
             },
             default_nodes: 65_536,
-            family: Family::Road { keep_pct: 65, chains_per_thousand: 150, chain_len: 150 },
+            family: Family::Road {
+                keep_pct: 65,
+                chains_per_thousand: 150,
+                chain_len: 150,
+            },
         },
         DatasetSpec {
             name: "wikitalk-like",
             snap_name: "wiki-Talk",
             paper: PaperStats {
-                nodes: 2_394_390, edges: 4_659_569, diameter: 9, max_degree: 100_029,
-                max_coreness: 131, avg_coreness: 1.96,
-                t_avg: 31.60, t_min: 30, t_max: 33, m_avg: 5.89, m_max: 103_895.35,
+                nodes: 2_394_390,
+                edges: 4_659_569,
+                diameter: 9,
+                max_degree: 100_029,
+                max_coreness: 131,
+                avg_coreness: 1.96,
+                t_avg: 31.60,
+                t_min: 30,
+                t_max: 33,
+                m_avg: 5.89,
+                m_max: 103_895.35,
             },
             default_nodes: 80_000,
             family: Family::SocialHubs { m: 2, clique: 132 },
@@ -279,9 +399,9 @@ pub fn catalog() -> Vec<DatasetSpec> {
 /// Looks a dataset analog up by its `name` or by the original `snap_name`
 /// (case-insensitive).
 pub fn by_name(name: &str) -> Option<DatasetSpec> {
-    catalog().into_iter().find(|s| {
-        s.name.eq_ignore_ascii_case(name) || s.snap_name.eq_ignore_ascii_case(name)
-    })
+    catalog()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name) || s.snap_name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -293,11 +413,20 @@ mod tests {
         let c = catalog();
         assert_eq!(c.len(), 9);
         let names: Vec<&str> = c.iter().map(|s| s.snap_name).collect();
-        assert_eq!(names, vec![
-            "CA-AstroPh", "CA-CondMat", "p2p-Gnutella31",
-            "soc-sign-Slashdot090221", "soc-Slashdot0902", "Amazon0601",
-            "web-BerkStan", "roadNet-TX", "wiki-Talk",
-        ]);
+        assert_eq!(
+            names,
+            vec![
+                "CA-AstroPh",
+                "CA-CondMat",
+                "p2p-Gnutella31",
+                "soc-sign-Slashdot090221",
+                "soc-Slashdot0902",
+                "Amazon0601",
+                "web-BerkStan",
+                "roadNet-TX",
+                "wiki-Talk",
+            ]
+        );
     }
 
     #[test]

@@ -21,10 +21,18 @@ use dkcore_graph::{Graph, GraphBuilder, NodeId};
 /// assert_eq!(batagelj_zaversnik(&g), vec![1, 2, 2, 2, 2, 1]);
 /// ```
 pub fn figure2_graph() -> Graph {
-    Graph::from_edges(6, [
-        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), // the chain
-        (1, 3), (2, 4),                         // middle 2-core
-    ])
+    Graph::from_edges(
+        6,
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5), // the chain
+            (1, 3),
+            (2, 4), // middle 2-core
+        ],
+    )
     .expect("static fixture is valid")
 }
 

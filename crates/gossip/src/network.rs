@@ -177,8 +177,10 @@ mod tests {
         let n = 256;
         let mut net = GossipNetwork::new((0..n).map(|i| MaxAggregate::new(i as f64)), 1);
         let rounds = net.run_until_converged(0.0, 64).unwrap();
-        assert!(rounds <= 2 * (n as f64).log2().ceil() as usize,
-            "max gossip took {rounds} rounds for n={n}");
+        assert!(
+            rounds <= 2 * (n as f64).log2().ceil() as usize,
+            "max gossip took {rounds} rounds for n={n}"
+        );
         assert!(net.agents().iter().all(|a| a.value() == (n - 1) as f64));
     }
 
@@ -196,20 +198,21 @@ mod tests {
     #[test]
     fn count_estimates_network_size() {
         let n = 128;
-        let mut net =
-            GossipNetwork::new((0..n).map(|i| CountAggregate::new(i == 0)), 9);
+        let mut net = GossipNetwork::new((0..n).map(|i| CountAggregate::new(i == 0)), 9);
         net.run_until_converged(1e-12, 300).unwrap();
         for a in net.agents() {
-            assert!((a.estimated_size() - n as f64).abs() < 0.5,
-                "size estimate {}", a.estimated_size());
+            assert!(
+                (a.estimated_size() - n as f64).abs() < 0.5,
+                "size estimate {}",
+                a.estimated_size()
+            );
         }
     }
 
     #[test]
     fn deterministic_under_seed() {
         let mk = || {
-            let mut net =
-                GossipNetwork::new((0..32).map(|i| AvgAggregate::new(i as f64)), 11);
+            let mut net = GossipNetwork::new((0..32).map(|i| AvgAggregate::new(i as f64)), 11);
             net.round();
             net.round();
             net.agents().iter().map(|a| a.value()).collect::<Vec<_>>()
@@ -240,10 +243,7 @@ mod tests {
     #[test]
     fn convergence_failure_is_reported() {
         // Two agents that can never agree within 0 rounds of budget.
-        let mut net = GossipNetwork::new(
-            [AvgAggregate::new(0.0), AvgAggregate::new(1.0)],
-            4,
-        );
+        let mut net = GossipNetwork::new([AvgAggregate::new(0.0), AvgAggregate::new(1.0)], 4);
         let err = net.run_until_converged(1e-12, 0).unwrap_err();
         assert_eq!(err.rounds(), 0);
         assert!(err.to_string().contains("did not converge"));

@@ -38,7 +38,10 @@ impl GraphBuilder {
         if node_count > u32::MAX as usize {
             return Err(GraphError::TooManyNodes { node_count });
         }
-        Ok(GraphBuilder { node_count, arcs: Vec::new() })
+        Ok(GraphBuilder {
+            node_count,
+            arcs: Vec::new(),
+        })
     }
 
     /// Number of nodes the built graph will have.
@@ -72,10 +75,16 @@ impl GraphBuilder {
     pub fn add_edge_checked(&mut self, u: u32, v: u32) -> Result<&mut Self, GraphError> {
         let n = self.node_count;
         if (u as usize) >= n {
-            return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: n,
+            });
         }
         if (v as usize) >= n {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: n,
+            });
         }
         if u != v {
             self.arcs.push((u, v));

@@ -43,7 +43,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::TooManyNodes { node_count } => {
                 write!(f, "node count {node_count} exceeds u32 identifier space")
@@ -77,11 +80,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GraphError::NodeOutOfRange { node: 4, node_count: 2 };
+        let e = GraphError::NodeOutOfRange {
+            node: 4,
+            node_count: 2,
+        };
         assert_eq!(e.to_string(), "node 4 out of range for graph with 2 nodes");
-        let e = GraphError::Parse { line: 3, message: "expected two fields".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
         assert_eq!(e.to_string(), "parse error at line 3: expected two fields");
-        let e = GraphError::TooManyNodes { node_count: usize::MAX };
+        let e = GraphError::TooManyNodes {
+            node_count: usize::MAX,
+        };
         assert!(e.to_string().contains("exceeds u32"));
     }
 

@@ -44,7 +44,10 @@ fn builder(n: usize) -> GraphBuilder {
 /// assert!(g.edge_count() > 120 && g.edge_count() < 400);
 /// ```
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut b = builder(n);
     if n == 0 || p == 0.0 {
         return b.build();
@@ -91,7 +94,10 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
 /// ```
 pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} pairs exist");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} pairs exist"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = builder(n);
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
@@ -201,9 +207,12 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
 /// assert!(g.edge_count() <= 200); // rewiring can collide, never add
 /// ```
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k % 2 == 0, "lattice degree k must be even");
+    assert!(k.is_multiple_of(2), "lattice degree k must be even");
     assert!(k < n, "lattice degree k must be smaller than n");
-    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "rewiring probability must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = builder(n);
     for u in 0..n {
@@ -242,8 +251,10 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 /// assert!(g.edge_count() > 3_000); // some duplicates collapse
 /// ```
 pub fn rmat(scale: u32, edge_count: usize, (a, b, c): (f64, f64, f64), seed: u64) -> Graph {
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9,
-        "rmat probabilities must be non-negative and sum to at most 1");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9,
+        "rmat probabilities must be non-negative and sum to at most 1"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = builder(n);
@@ -281,16 +292,12 @@ pub fn rmat(scale: u32, edge_count: usize, (a, b, c): (f64, f64, f64), seed: u64
 /// # Panics
 ///
 /// Panics if `communities == 0` or a probability is outside `[0, 1]`.
-pub fn planted_partition(
-    n: usize,
-    communities: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> Graph {
+pub fn planted_partition(n: usize, communities: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     assert!(communities > 0, "need at least one community");
-    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out),
-        "probabilities must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out),
+        "probabilities must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = builder(n);
     // Sparse sampling: expected intra edges per community pair are small, so
@@ -548,8 +555,10 @@ mod tests {
         let g = gnp(n, p, 123);
         let expected = (n * (n - 1) / 2) as f64 * p;
         let actual = g.edge_count() as f64;
-        assert!((actual - expected).abs() < 0.15 * expected,
-            "edge count {actual} too far from expectation {expected}");
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "edge count {actual} too far from expectation {expected}"
+        );
     }
 
     #[test]
@@ -593,7 +602,10 @@ mod tests {
 
     #[test]
     fn rmat_is_seed_deterministic() {
-        assert_eq!(rmat(8, 1000, (0.57, 0.19, 0.19), 4), rmat(8, 1000, (0.57, 0.19, 0.19), 4));
+        assert_eq!(
+            rmat(8, 1000, (0.57, 0.19, 0.19), 4),
+            rmat(8, 1000, (0.57, 0.19, 0.19), 4)
+        );
     }
 
     #[test]
@@ -616,7 +628,10 @@ mod tests {
         for (r, c) in [(1, 1), (1, 5), (4, 4), (3, 7)] {
             let g = grid(r, c);
             assert_eq!(g.node_count(), r * c);
-            assert_eq!(g.edge_count(), r * (c.saturating_sub(1)) + c * (r.saturating_sub(1)));
+            assert_eq!(
+                g.edge_count(),
+                r * (c.saturating_sub(1)) + c * (r.saturating_sub(1))
+            );
         }
     }
 

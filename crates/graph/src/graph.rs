@@ -131,7 +131,11 @@ impl Graph {
 
     /// Iterator over undirected edges, each reported once with `u < v`.
     pub fn edges(&self) -> Edges<'_> {
-        Edges { graph: self, u: 0, pos: 0 }
+        Edges {
+            graph: self,
+            u: 0,
+            pos: 0,
+        }
     }
 
     /// Iterator over the neighbors of `u`.
@@ -139,7 +143,9 @@ impl Graph {
     /// Equivalent to `self.neighbors(u).iter().copied()` but named per the
     /// paper's `neighborV` function for readability at call sites.
     pub fn neighbors_iter(&self, u: NodeId) -> Neighbors<'_> {
-        Neighbors { inner: self.neighbors(u).iter() }
+        Neighbors {
+            inner: self.neighbors(u).iter(),
+        }
     }
 
     /// Degrees of all nodes, indexed by `NodeId::index`.
@@ -195,8 +201,8 @@ impl Graph {
                 original.push(u);
             }
         }
-        let mut builder = GraphBuilder::new(original.len())
-            .expect("subgraph cannot exceed u32 nodes");
+        let mut builder =
+            GraphBuilder::new(original.len()).expect("subgraph cannot exceed u32 nodes");
         for (u, v) in self.edges() {
             if keep[u.index()] && keep[v.index()] {
                 builder.add_edge(NodeId(new_id[u.index()]), NodeId(new_id[v.index()]));
@@ -312,7 +318,13 @@ mod tests {
     #[test]
     fn out_of_range_edge_rejected() {
         let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, node_count: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            }
+        ));
     }
 
     #[test]

@@ -125,7 +125,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(Graph, Vec<u64>),
 /// ```
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# Undirected graph: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# Undirected graph: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     writeln!(w, "# FromNodeId\tToNodeId")?;
     for (u, v) in g.edges() {
         writeln!(w, "{u}\t{v}")?;

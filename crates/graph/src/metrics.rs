@@ -119,7 +119,10 @@ pub fn eccentricity(g: &Graph, src: NodeId) -> u32 {
 /// harness uses [`approx_diameter`] for dataset-scale graphs.
 pub fn exact_diameter(g: &Graph) -> u32 {
     let (lcc, _) = largest_component(g);
-    lcc.nodes().map(|u| eccentricity(&lcc, u)).max().unwrap_or(0)
+    lcc.nodes()
+        .map(|u| eccentricity(&lcc, u))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Double-sweep lower bound on the diameter of the largest component:
@@ -219,7 +222,10 @@ mod tests {
 
     #[test]
     fn components_empty_and_connected() {
-        assert_eq!(connected_components(&Graph::from_edges(0, []).unwrap()).0, 0);
+        assert_eq!(
+            connected_components(&Graph::from_edges(0, []).unwrap()).0,
+            0
+        );
         assert_eq!(connected_components(&complete(5)).0, 1);
     }
 

@@ -27,7 +27,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Creates a series from an iterator of points.
@@ -35,7 +38,10 @@ impl Series {
         label: impl Into<String>,
         points: impl IntoIterator<Item = (f64, f64)>,
     ) -> Self {
-        Series { label: label.into(), points: points.into_iter().collect() }
+        Series {
+            label: label.into(),
+            points: points.into_iter().collect(),
+        }
     }
 
     /// The curve's label.
@@ -65,16 +71,20 @@ impl Series {
 
     /// Largest y value, or `None` when empty.
     pub fn max_y(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
     }
 
     /// The first x at which y drops to (or below) `threshold`, scanning
     /// left to right; `None` if it never does. Used to answer questions
     /// like "by which round is the maximum error ≤ 1?" (paper §5.1).
     pub fn first_x_below(&self, threshold: f64) -> Option<f64> {
-        self.points.iter().find(|&&(_, y)| y <= threshold).map(|&(x, _)| x)
+        self.points
+            .iter()
+            .find(|&&(_, y)| y <= threshold)
+            .map(|&(x, _)| x)
     }
 
     /// Point-wise mean of several runs of the same experiment.
@@ -97,7 +107,10 @@ impl Series {
                 .sum();
             points.push((x, sum / runs.len() as f64));
         }
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Point-wise maximum of several runs (the right half of Figure 4 uses
@@ -117,7 +130,10 @@ impl Series {
                 .fold(f64::NEG_INFINITY, f64::max);
             points.push((x, max));
         }
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Renders the series as `x<TAB>y` lines, gnuplot-style, prefixed by a

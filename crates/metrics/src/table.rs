@@ -29,7 +29,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -43,7 +46,11 @@ impl Table {
         S: Into<String>,
     {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match header count");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
         self.rows.push(row);
         self
     }
@@ -70,7 +77,12 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

@@ -145,7 +145,10 @@ impl Pregel {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        Pregel { workers, max_supersteps: u32::MAX }
+        Pregel {
+            workers,
+            max_supersteps: u32::MAX,
+        }
     }
 
     /// Caps the number of supersteps (for approximate runs or tests).
@@ -208,8 +211,10 @@ impl Pregel {
                 let state_chunks = states.chunks_mut(chunk);
                 let halted_chunks = halted.chunks_mut(chunk);
                 let inbox_chunks = inboxes.chunks_mut(chunk);
-                for (w, ((states, halted), inboxes)) in
-                    state_chunks.zip(halted_chunks).zip(inbox_chunks).enumerate()
+                for (w, ((states, halted), inboxes)) in state_chunks
+                    .zip(halted_chunks)
+                    .zip(inbox_chunks)
+                    .enumerate()
                 {
                     let base = w * chunk;
                     handles.push(scope.spawn(move || {
@@ -337,7 +342,11 @@ mod tests {
         let g = path(6);
         let result = Pregel::new(3).run(&g, &HaltImmediately);
         assert_eq!(result.supersteps, 1);
-        assert_eq!(result.states, vec![1; 6], "each vertex computed exactly once");
+        assert_eq!(
+            result.states,
+            vec![1; 6],
+            "each vertex computed exactly once"
+        );
         assert_eq!(result.messages, 0);
     }
 
@@ -393,7 +402,10 @@ mod tests {
         let plain = Pregel::new(2).run(&g, &CountIncoming);
         assert!(plain.states.iter().all(|&c| c == 4));
         let combined = Pregel::new(2).run_with_combiner(&g, &CountIncoming, &MinCombiner);
-        assert!(combined.states.iter().all(|&c| c == 1), "combined to one message");
+        assert!(
+            combined.states.iter().all(|&c| c == 1),
+            "combined to one message"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub struct KCoreProgram {
 
 impl Default for KCoreProgram {
     fn default() -> Self {
-        KCoreProgram { send_optimization: true }
+        KCoreProgram {
+            send_optimization: true,
+        }
     }
 }
 
@@ -195,7 +197,9 @@ mod tests {
     #[test]
     fn kcore_program_without_optimization_matches_too() {
         let g = gnp(120, 0.06, 9);
-        let program = KCoreProgram { send_optimization: false };
+        let program = KCoreProgram {
+            send_optimization: false,
+        };
         let result = Pregel::new(3).run(&g, &program);
         let coreness: Vec<u32> = result.states.iter().map(|s| s.core).collect();
         assert_eq!(coreness, batagelj_zaversnik(&g));
@@ -204,10 +208,24 @@ mod tests {
     #[test]
     fn kcore_optimization_saves_messages() {
         let g = gnp(150, 0.06, 4);
-        let plain = Pregel::new(2).run(&g, &KCoreProgram { send_optimization: false });
-        let optimized = Pregel::new(2).run(&g, &KCoreProgram { send_optimization: true });
-        assert!(optimized.messages < plain.messages,
-            "{} !< {}", optimized.messages, plain.messages);
+        let plain = Pregel::new(2).run(
+            &g,
+            &KCoreProgram {
+                send_optimization: false,
+            },
+        );
+        let optimized = Pregel::new(2).run(
+            &g,
+            &KCoreProgram {
+                send_optimization: true,
+            },
+        );
+        assert!(
+            optimized.messages < plain.messages,
+            "{} !< {}",
+            optimized.messages,
+            plain.messages
+        );
         let a: Vec<u32> = plain.states.iter().map(|s| s.core).collect();
         let b: Vec<u32> = optimized.states.iter().map(|s| s.core).collect();
         assert_eq!(a, b);
@@ -245,10 +263,7 @@ mod tests {
         assert_eq!(count, 3);
         for u in 0..7 {
             for v in 0..7 {
-                assert_eq!(
-                    labels[u] == labels[v],
-                    result.states[u] == result.states[v]
-                );
+                assert_eq!(labels[u] == labels[v], result.states[u] == result.states[v]);
             }
         }
     }
@@ -262,7 +277,13 @@ mod tests {
                 Pregel::new(4).run_with_combiner(&g, &HopDistanceProgram::from(src), &MinCombiner);
             let expected: Vec<u32> = bfs_distances(&g, src)
                 .into_iter()
-                .map(|d| if d == dkcore_graph::metrics::UNREACHABLE { u32::MAX } else { d })
+                .map(|d| {
+                    if d == dkcore_graph::metrics::UNREACHABLE {
+                        u32::MAX
+                    } else {
+                        d
+                    }
+                })
                 .collect();
             assert_eq!(result.states, expected, "seed {seed}");
         }

@@ -55,6 +55,9 @@ pub struct RuntimeResult {
     pub converged: bool,
 }
 
+/// Sending half of a host's estimate-set channel.
+type EstimateSender = Sender<Vec<(NodeId, u32)>>;
+
 /// Control messages from the coordinator to workers.
 enum Control {
     /// Execute one round; `first` selects the initialization flush.
@@ -106,15 +109,14 @@ impl Runtime {
             HostProtocol::for_assignment(g, &assignment, self.config.protocol);
 
         // Data plane: one channel per host for ⟨S⟩ messages.
-        let (data_txs, data_rxs): (Vec<Sender<Vec<(NodeId, u32)>>>, Vec<_>) =
+        let (data_txs, data_rxs): (Vec<EstimateSender>, Vec<_>) =
             (0..h).map(|_| unbounded()).unzip();
         // Control plane.
         let (ctrl_txs, ctrl_rxs): (Vec<Sender<Control>>, Vec<_>) =
             (0..h).map(|_| unbounded()).unzip();
         let (report_tx, report_rx) = unbounded::<Report>();
         // Final states, collected under a lock (workers finish in any order).
-        let finals: Mutex<Vec<Option<FinalState>>> =
-            Mutex::new((0..h).map(|_| None).collect());
+        let finals: Mutex<Vec<Option<FinalState>>> = Mutex::new((0..h).map(|_| None).collect());
 
         let mut rounds = 0u32;
         let mut total_messages = 0u64;
@@ -194,8 +196,11 @@ fn worker_loop(
                 while let Ok(pairs) = data.try_recv() {
                     proto.receive(&pairs);
                 }
-                let outgoing: Vec<Outgoing> =
-                    if first { proto.initial_flush() } else { proto.round_flush() };
+                let outgoing: Vec<Outgoing> = if first {
+                    proto.initial_flush()
+                } else {
+                    proto.round_flush()
+                };
                 let mut sent = false;
                 for msg in outgoing {
                     sent = true;
@@ -208,7 +213,9 @@ fn worker_loop(
                             }
                         }
                         Destination::Host(y) => {
-                            peers[y.index()].send(msg.pairs.clone()).expect("peer alive");
+                            peers[y.index()]
+                                .send(msg.pairs.clone())
+                                .expect("peer alive");
                         }
                     }
                 }
@@ -306,8 +313,10 @@ mod tests {
         let g = gnp(80, 0.08, 7);
         let result = Runtime::new(RuntimeConfig::with_hosts(8)).run(&g);
         assert!(result.messages > 0);
-        assert!(result.estimates_sent >= result.messages,
-            "every message carries at least one estimate");
+        assert!(
+            result.estimates_sent >= result.messages,
+            "every message carries at least one estimate"
+        );
         assert!(result.rounds >= 2);
     }
 

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is auto-calibrated so one sample takes at
+//! least ~2 ms, then `sample_size` samples are collected; the median,
+//! minimum and mean per-iteration times are printed in a criterion-like
+//! line format. Set `BENCH_QUICK=1` to cap sampling for smoke runs (CI).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures under measurement; handed to benchmark bodies.
+pub struct Bencher {
+    sample_size: usize,
+    /// Collected per-iteration times (one entry per sample), in seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-batching iterations so each sample is long
+    /// enough to time reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = quick_mode();
+        // Calibrate batch size: grow until one batch takes >= 2 ms.
+        let mut batch = 1u64;
+        let target = Duration::from_millis(2);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let samples = if quick {
+            self.sample_size.clamp(1, 3)
+        } else {
+            self.sample_size
+        };
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<48} time: [min {} median {} mean {}]",
+        format_time(min),
+        format_time(median),
+        format_time(mean)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        report(&full, &mut b.samples);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id);
+        report(&full, &mut b.samples);
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: if quick_mode() { 3 } else { 20 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.default_sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.to_string(), &mut b.samples);
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); this
+            // harness runs everything and ignores the arguments.
+            $( $group(); )+
+        }
+    };
+}

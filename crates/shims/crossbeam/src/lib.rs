@@ -1,0 +1,218 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with
+//! cloneable ends, built on a `Mutex<VecDeque>` + `Condvar`. Sufficient
+//! for the workspace's coordinator/worker runtime; not a performance
+//! match for the real crate.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable (messages go
+    /// to whichever clone receives first).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.shared);
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.items.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.shared);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails once the channel is empty
+        /// and every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.shared);
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .ready
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.shared);
+            match inner.items.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.shared).receivers -= 1;
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_detection() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            handle.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

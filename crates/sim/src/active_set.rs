@@ -1,0 +1,843 @@
+//! Flat, active-set, optionally parallel engine for the synchronous
+//! one-to-one protocol (Algorithm 1) — the fast path behind the same
+//! semantics as [`NodeSim`](crate::NodeSim) in [`SimMode::Synchronous`]
+//! mode.
+//!
+//! The legacy engine materializes every message through per-node
+//! `Vec<Vec<(NodeId, u32)>>` inboxes (allocation churn plus a random
+//! memory write per message), rescans a node's whole neighborhood per
+//! received message, and walks all `N` nodes every round even when only
+//! a handful are still active. This engine restructures the round loop
+//! around four ideas:
+//!
+//! 1. **Flat CSR state.** All per-neighbor protocol state lives in arrays
+//!    parallel to the arc array: `nbr_est[p]` is Algorithm 1's `est[]`
+//!    entry for arc `p`, and a precomputed `mirror[p]` maps each arc to
+//!    its reverse arc, so "sending" an estimate is one array write into
+//!    the recipient's slot — no message objects, no allocation.
+//! 2. **Active sets.** Only nodes whose estimate dropped flush, and only
+//!    staged slots are delivered. Quiescent regions cost zero work per
+//!    round — matching the protocol's own convergence structure, where
+//!    most nodes settle within a few rounds (Table 2). The dense first
+//!    exchange (every node broadcasts its degree) skips staging entirely
+//!    and is applied as one sequential sweep.
+//! 3. **Cache-partitioned delivery.** Staged deliveries are bucketed by
+//!    destination *region* (a fixed arc-range window) at flush time;
+//!    delivery then processes one region at a time, so the scattered
+//!    writes into the big per-arc arrays stay inside a cache-resident
+//!    window instead of thrashing the whole array.
+//! 4. **Incremental index maintenance.** Estimate recomputation uses the
+//!    suffix-count histogram scheme of
+//!    [`IncrementalIndex`](dkcore::IncrementalIndex), inlined over a
+//!    flat arena (one `degree + 1` slice per node), so a delivered
+//!    estimate costs O(1) amortized instead of an `O(degree + core)`
+//!    Algorithm 2 rescan per message.
+//!
+//! Delivery and flush optionally run in **parallel** over disjoint
+//! contiguous node shards (hence disjoint arc ranges) with scoped
+//! threads and one barrier per phase — no locks, no unsafe. The design
+//! is rayon-shaped (`par_iter` over shards); with no rayon available
+//! offline, `std::thread::scope` plays its role.
+//!
+//! Synchronous-round semantics are preserved *exactly*: estimates
+//! flushed in round `r` are staged and only become visible in round
+//! `r + 1`, the §3.1.2 send-optimization filter is evaluated at flush
+//! time against the sender's cached estimates, and message/round/
+//! estimate accounting matches the legacy engine bit for bit (asserted
+//! by `tests/active_set.rs` across graph families and the optimization
+//! on/off matrix).
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_sim::{ActiveSetConfig, ActiveSetEngine, NodeSim, NodeSimConfig};
+//! use dkcore::seq::batagelj_zaversnik;
+//! use dkcore_graph::generators::gnp;
+//!
+//! let g = gnp(300, 0.03, 7);
+//! let fast = ActiveSetEngine::new(&g, ActiveSetConfig::default()).run();
+//! assert!(fast.converged);
+//! assert_eq!(fast.final_estimates, batagelj_zaversnik(&g));
+//! // Identical trace to the legacy synchronous engine:
+//! let legacy = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
+//! assert_eq!(fast, legacy);
+//! ```
+
+use dkcore::one_to_one::OneToOneConfig;
+use dkcore::INFINITY_EST;
+use dkcore_graph::Graph;
+
+use crate::RunResult;
+
+/// Arcs per delivery region: staged estimates are bucketed into windows
+/// of this many arc slots so delivery's scattered writes stay inside
+/// a cache-resident range (2^13 arcs ≈ 32 KiB of `nbr_est`).
+const REGION_BITS: u32 = 13;
+
+/// Configuration of an [`ActiveSetEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActiveSetConfig {
+    /// Protocol configuration (§3.1.2 send optimization).
+    pub protocol: OneToOneConfig,
+    /// Worker threads for the delivery/flush phases; `0` means automatic
+    /// (available parallelism, capped so each shard keeps a meaningful
+    /// amount of arcs). `1` forces the sequential path.
+    pub threads: usize,
+    /// Safety cap on simulated rounds; `0` means automatic (`2·N + 100`),
+    /// matching [`NodeSimConfig`](crate::NodeSimConfig).
+    pub max_rounds: u32,
+}
+
+impl ActiveSetConfig {
+    /// Automatic threading with the given protocol configuration.
+    pub fn with_protocol(protocol: OneToOneConfig) -> Self {
+        ActiveSetConfig {
+            protocol,
+            ..Self::default()
+        }
+    }
+
+    /// Forces the sequential (single-thread) path.
+    pub fn sequential() -> Self {
+        ActiveSetConfig {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of one [`ActiveSetEngine::step`]: like
+/// [`StepReport`](crate::StepReport) but without the per-node activity
+/// vector, which would cost `O(N)` per round to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveStepReport {
+    /// 1-based round index.
+    pub round: u32,
+    /// Point-to-point messages sent during the round.
+    pub messages: u64,
+    /// Nodes that sent at least one message this round.
+    pub senders: u64,
+}
+
+/// A staged delivery: the estimate lands in `nbr_est[arc]` at the start
+/// of the next round.
+type Staged = (u32, u32); // (arc position in the recipient's row, estimate)
+
+/// Flat active-set simulator of the synchronous one-to-one protocol. See
+/// the [module documentation](self).
+#[derive(Debug)]
+pub struct ActiveSetEngine {
+    // --- immutable topology (flattened CSR copy) ---
+    /// `offsets[u]..offsets[u + 1]` is node `u`'s arc range.
+    offsets: Vec<usize>,
+    /// Arc targets (neighbor ids).
+    targets: Vec<u32>,
+    /// Node degrees (`offsets` deltas, kept as u32 for cache density).
+    deg: Vec<u32>,
+    /// `mirror[p]`: position of the reverse arc in the target's row.
+    mirror: Vec<u32>,
+    /// `owner[p]`: the node whose row contains arc `p`.
+    owner: Vec<u32>,
+    /// Shard boundaries (node ids), length `threads + 1`.
+    shard_bounds: Vec<usize>,
+
+    // --- protocol state ---
+    /// Current estimate (`core`) per node.
+    est: Vec<u32>,
+    /// Cached neighbor estimates per arc (Algorithm 1's `est[]`, indexed
+    /// by the *owner's* arc).
+    nbr_est: Vec<u32>,
+    /// Suffix-count histogram arena: node `u`'s `degree(u) + 1` counters
+    /// live at `offsets[u] + u ..`, clamped-estimate buckets exactly as
+    /// in [`dkcore::IncrementalIndex`].
+    cnt: Vec<u32>,
+    /// Number of neighbors with clamped estimate `≥ est[u]`, per node.
+    ge: Vec<u32>,
+    /// Changed-since-flush flag per node.
+    changed: Vec<bool>,
+    /// `stage[src][region]`: deliveries staged by shard `src` into the
+    /// given arc region. Written by `src` during flush (own row), read by
+    /// every shard during the next delivery, cleared by `src` at its
+    /// next flush.
+    stage: Vec<Vec<Vec<Staged>>>,
+    /// Per-shard flush worklist: nodes whose estimate dropped.
+    flush_lists: Vec<Vec<u32>>,
+    /// The initial degree exchange is in flight (applied as a dense
+    /// sweep next round instead of via staging).
+    pending_dense: bool,
+
+    // --- accounting (mirrors the legacy engine) ---
+    send_optimization: bool,
+    round: u32,
+    max_rounds: u32,
+    execution_time: u32,
+    total_messages: u64,
+    messages_per_sender: Vec<u64>,
+    started: bool,
+}
+
+impl ActiveSetEngine {
+    /// Builds the engine for `g` under `config`. Setup is `O(N + M)`;
+    /// after it, rounds allocate nothing beyond worklist growth.
+    pub fn new(g: &Graph, config: ActiveSetConfig) -> Self {
+        let n = g.node_count();
+        let arcs = g.arc_count();
+
+        // Flatten the CSR so the hot loops index plain arrays.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(arcs);
+        let mut owner = Vec::with_capacity(arcs);
+        offsets.push(0usize);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                targets.push(v.0);
+                owner.push(u.0);
+            }
+            offsets.push(targets.len());
+        }
+        let deg: Vec<u32> = (0..n)
+            .map(|u| (offsets[u + 1] - offsets[u]) as u32)
+            .collect();
+
+        // Reverse-arc positions in one O(N + M) cursor pass: arcs into
+        // `v` arrive in ascending source order, exactly the order of
+        // `v`'s sorted row, so a per-node cursor pairs them up.
+        let mut mirror = vec![0u32; arcs];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for (m, &t) in mirror.iter_mut().zip(targets.iter()) {
+            let v = t as usize;
+            *m = cursor[v] as u32;
+            cursor[v] += 1;
+        }
+
+        let threads = effective_threads(config.threads, arcs);
+        let shard_bounds = balance_shards(&offsets, threads);
+        let regions = (arcs >> REGION_BITS) + 1;
+
+        // Histogram arena: all neighbors start at +∞, i.e. in the
+        // degree-clamped top bucket — `core ← d(u)`, `ge ← d(u)`.
+        let mut cnt = vec![0u32; arcs + n];
+        for u in 0..n {
+            cnt[offsets[u] + u + deg[u] as usize] = deg[u];
+        }
+
+        ActiveSetEngine {
+            offsets,
+            targets,
+            mirror,
+            owner,
+            shard_bounds,
+            est: deg.clone(),
+            ge: deg.clone(),
+            deg,
+            nbr_est: vec![INFINITY_EST; arcs],
+            cnt,
+            changed: vec![false; n],
+            stage: vec![vec![Vec::new(); regions]; threads],
+            flush_lists: vec![Vec::new(); threads],
+            pending_dense: false,
+            send_optimization: config.protocol.send_optimization,
+            round: 0,
+            max_rounds: if config.max_rounds > 0 {
+                config.max_rounds
+            } else {
+                2 * n as u32 + 100
+            },
+            execution_time: 0,
+            total_messages: 0,
+            messages_per_sender: vec![0; n],
+            started: false,
+        }
+    }
+
+    /// Number of simulated nodes.
+    pub fn node_count(&self) -> usize {
+        self.est.len()
+    }
+
+    /// 1-based index of the last executed round (0 before the first).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The paper's execution-time counter: rounds in which at least one
+    /// message was sent.
+    pub fn execution_time(&self) -> u32 {
+        self.execution_time
+    }
+
+    /// Current estimate of every node, indexed by node id.
+    pub fn estimates(&self) -> Vec<u32> {
+        self.est.clone()
+    }
+
+    /// Whether no deliveries are in flight and no node has unflushed
+    /// changes (evaluated between rounds, after [`step`](Self::step)).
+    pub fn is_quiescent(&self) -> bool {
+        !self.pending_dense
+            && self.stage.iter().all(|row| row.iter().all(Vec::is_empty))
+            && self.flush_lists.iter().all(Vec::is_empty)
+    }
+
+    /// Executes one synchronous round: applies the deliveries staged last
+    /// round, then flushes every node whose estimate dropped.
+    pub fn step(&mut self) -> ActiveStepReport {
+        self.round += 1;
+        let first = !self.started;
+        self.started = true;
+
+        if first {
+            // Initialization broadcast: `send ⟨u, core⟩ to neighborV(u)`.
+            // Every arc carries exactly one message (the sender's degree),
+            // so nothing needs staging: the whole exchange is accounted
+            // here and applied as a dense sweep next round.
+            let mut messages = 0u64;
+            let mut senders = 0u64;
+            for u in 0..self.deg.len() {
+                let d = self.deg[u] as u64;
+                if d > 0 {
+                    self.messages_per_sender[u] += d;
+                    messages += d;
+                    senders += 1;
+                }
+            }
+            self.pending_dense = messages > 0;
+            if messages > 0 {
+                self.execution_time += 1;
+            }
+            self.total_messages += messages;
+            return ActiveStepReport {
+                round: self.round,
+                messages,
+                senders,
+            };
+        }
+
+        let threads = self.shard_bounds.len() - 1;
+        let (messages, senders) = if threads == 1 {
+            let mut shards = carve_impl(
+                &self.shard_bounds,
+                &self.offsets,
+                &mut self.est,
+                &mut self.ge,
+                &mut self.changed,
+                &mut self.messages_per_sender,
+                &mut self.nbr_est,
+                &mut self.cnt,
+                &mut self.flush_lists,
+            );
+            let shard = &mut shards[0];
+            if self.pending_dense {
+                shard.deliver_dense(&self.offsets, &self.targets, &self.deg);
+            } else {
+                shard.deliver(&self.stage, &self.offsets, &self.owner);
+            }
+            shard.flush(
+                &self.offsets,
+                &self.mirror,
+                &mut self.stage[0],
+                self.send_optimization,
+            )
+        } else {
+            self.parallel_round()
+        };
+        self.pending_dense = false;
+
+        if messages > 0 {
+            self.execution_time += 1;
+        }
+        self.total_messages += messages;
+        ActiveStepReport {
+            round: self.round,
+            messages,
+            senders,
+        }
+    }
+
+    /// One parallel round: all shards deliver (barrier), then all shards
+    /// flush (barrier), each on its disjoint slice of the state.
+    fn parallel_round(&mut self) -> (u64, u64) {
+        let offsets = &self.offsets;
+        let targets = &self.targets;
+        let deg = &self.deg;
+        let owner = &self.owner;
+        let mirror = &self.mirror;
+        let send_optimization = self.send_optimization;
+        let pending_dense = self.pending_dense;
+
+        // Phase 1: delivery. The stage grid is shared read-only; every
+        // shard mutates only its own node/arc slices.
+        {
+            let stage = &self.stage;
+            let mut shards = carve_impl(
+                &self.shard_bounds,
+                offsets,
+                &mut self.est,
+                &mut self.ge,
+                &mut self.changed,
+                &mut self.messages_per_sender,
+                &mut self.nbr_est,
+                &mut self.cnt,
+                &mut self.flush_lists,
+            );
+            std::thread::scope(|scope| {
+                for shard in &mut shards {
+                    scope.spawn(move || {
+                        if pending_dense {
+                            shard.deliver_dense(offsets, targets, deg);
+                        } else {
+                            shard.deliver(stage, offsets, owner);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 2: flush. Each shard owns its row of the stage grid.
+        let mut shards = carve_impl(
+            &self.shard_bounds,
+            offsets,
+            &mut self.est,
+            &mut self.ge,
+            &mut self.changed,
+            &mut self.messages_per_sender,
+            &mut self.nbr_est,
+            &mut self.cnt,
+            &mut self.flush_lists,
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(self.stage.iter_mut())
+                .map(|(shard, stage_row)| {
+                    scope.spawn(move || shard.flush(offsets, mirror, stage_row, send_optimization))
+                })
+                .collect();
+            let mut messages = 0u64;
+            let mut senders = 0u64;
+            for h in handles {
+                let (m, s) = h.join().expect("shard worker panicked");
+                messages += m;
+                senders += s;
+            }
+            (messages, senders)
+        })
+    }
+
+    /// Runs to quiescence (or the round cap), mirroring the legacy
+    /// engine's centralized termination detection: the run ends after the
+    /// first round in which nobody sends.
+    pub fn run(&mut self) -> RunResult {
+        loop {
+            let report = self.step();
+            if report.messages == 0 || self.round >= self.max_rounds {
+                break;
+            }
+        }
+        RunResult {
+            execution_time: self.execution_time,
+            rounds_executed: self.round,
+            total_messages: self.total_messages,
+            messages_per_sender: self.messages_per_sender.clone(),
+            final_estimates: self.est.clone(),
+            converged: self.is_quiescent(),
+        }
+    }
+}
+
+/// Mutable view of one shard's disjoint node range `[lo, hi)` and the
+/// matching arc/histogram ranges, all re-based to 0. The parallel phases
+/// run one `Shard` per thread; the sequential path uses one full-range
+/// shard.
+struct Shard<'a> {
+    lo: usize,
+    hi: usize,
+    est: &'a mut [u32],
+    ge: &'a mut [u32],
+    changed: &'a mut [bool],
+    msgs: &'a mut [u64],
+    /// Arc range `offsets[lo]..offsets[hi]`.
+    nbr_est: &'a mut [u32],
+    /// Histogram arena range `offsets[lo] + lo..offsets[hi] + hi`.
+    cnt: &'a mut [u32],
+    flush_list: &'a mut Vec<u32>,
+}
+
+/// Carves the engine's node/arc state into per-shard disjoint mutable
+/// views (free function so the parallel phases can re-carve between the
+/// delivery and flush barriers).
+#[allow(clippy::too_many_arguments)]
+fn carve_impl<'a>(
+    bounds: &[usize],
+    offsets: &[usize],
+    mut est: &'a mut [u32],
+    mut ge: &'a mut [u32],
+    mut changed: &'a mut [bool],
+    mut msgs: &'a mut [u64],
+    mut nbr_est: &'a mut [u32],
+    mut cnt: &'a mut [u32],
+    flush_lists: &'a mut [Vec<u32>],
+) -> Vec<Shard<'a>> {
+    let mut shards = Vec::with_capacity(bounds.len() - 1);
+    let mut arc_base = 0usize;
+    let mut lists = flush_lists.iter_mut();
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let nodes = hi - lo;
+        let (e, e_rest) = est.split_at_mut(nodes);
+        let (g_, g_rest) = ge.split_at_mut(nodes);
+        let (c, c_rest) = changed.split_at_mut(nodes);
+        let (m, m_rest) = msgs.split_at_mut(nodes);
+        let (nb, nb_rest) = nbr_est.split_at_mut(offsets[hi] - arc_base);
+        // The histogram arena allots degree(u) + 1 slots per node.
+        let (ct, ct_rest) = cnt.split_at_mut(offsets[hi] + hi - (arc_base + lo));
+        shards.push(Shard {
+            lo,
+            hi,
+            est: e,
+            ge: g_,
+            changed: c,
+            msgs: m,
+            nbr_est: nb,
+            cnt: ct,
+            flush_list: lists.next().expect("one flush list per shard"),
+        });
+        est = e_rest;
+        ge = g_rest;
+        changed = c_rest;
+        msgs = m_rest;
+        nbr_est = nb_rest;
+        cnt = ct_rest;
+        arc_base = offsets[hi];
+    }
+    shards
+}
+
+/// The suffix-count walk of `IncrementalIndex::walk_down`, inlined over
+/// one node's histogram slice: finds the largest `t < core` justified by
+/// the counts (`running(t) >= t`), returning `(t, running(t))`.
+/// Precondition: `core > 0` and `ge < core`.
+#[inline]
+fn walk_down(cnt: &[u32], cnt_base: usize, core: u32, ge: u32) -> (u32, u32) {
+    let mut t = core - 1;
+    let mut running = ge;
+    loop {
+        if t == 0 {
+            break;
+        }
+        running += cnt[cnt_base + t as usize];
+        if running >= t {
+            break;
+        }
+        t -= 1;
+    }
+    (t, running)
+}
+
+impl Shard<'_> {
+    /// Applies one delivered estimate to the arc `q` (absolute position,
+    /// must belong to this shard): the inlined equivalent of
+    /// `IncrementalIndex::update` plus the worklist bookkeeping.
+    #[inline]
+    fn apply(&mut self, q: usize, val: u32, x: usize, offsets: &[usize], arc_base: usize) {
+        let old = self.nbr_est[q - arc_base];
+        if val >= old {
+            return; // stale (Algorithm 1: only lower estimates matter)
+        }
+        self.nbr_est[q - arc_base] = val;
+        let xi = x - self.lo;
+        let cap = (offsets[x + 1] - offsets[x]) as u32;
+        let core = self.est[xi];
+        let o = old.min(cap);
+        let nn = val.min(cap);
+        if o == nn {
+            return;
+        }
+        let cnt_base = offsets[x] + x - (arc_base + self.lo);
+        self.cnt[cnt_base + o as usize] -= 1;
+        self.cnt[cnt_base + nn as usize] += 1;
+        if core == 0 || o < core || nn >= core {
+            return;
+        }
+        let ge = self.ge[xi] - 1;
+        if ge >= core {
+            self.ge[xi] = ge;
+            return;
+        }
+        // Walk down to the largest justified value (amortized O(1):
+        // the walk is monotone over the whole execution).
+        let (t, running) = walk_down(self.cnt, cnt_base, core, ge);
+        self.est[xi] = t;
+        self.ge[xi] = running;
+        if !self.changed[xi] {
+            self.changed[xi] = true;
+            self.flush_list.push(x as u32);
+        }
+    }
+
+    /// Delivery phase: applies every staged estimate addressed to this
+    /// shard's arcs, region by region so the scattered writes stay in a
+    /// cache-resident window.
+    fn deliver(&mut self, stage: &[Vec<Vec<Staged>>], offsets: &[usize], owner: &[u32]) {
+        let arc_base = offsets[self.lo];
+        let arc_hi = offsets[self.hi];
+        if arc_base == arc_hi {
+            return;
+        }
+        let r_lo = arc_base >> REGION_BITS;
+        let r_hi = (arc_hi - 1) >> REGION_BITS;
+        for region in r_lo..=r_hi {
+            for row in stage {
+                for &(q, val) in &row[region] {
+                    let q = q as usize;
+                    if q < arc_base || q >= arc_hi {
+                        continue; // boundary region shared with a neighbor shard
+                    }
+                    self.apply(q, val, owner[q] as usize, offsets, arc_base);
+                }
+            }
+        }
+    }
+
+    /// Dense delivery of the initialization exchange: every node hears
+    /// every neighbor's degree. One sequential sweep over this shard's
+    /// rows — no staging, no scatter — rebuilding each histogram fresh
+    /// (equivalent to, but cheaper than, `degree` bucket moves off the
+    /// `+∞` top bucket).
+    fn deliver_dense(&mut self, offsets: &[usize], targets: &[u32], deg: &[u32]) {
+        let arc_base = offsets[self.lo];
+        for x in self.lo..self.hi {
+            let (a, b) = (offsets[x], offsets[x + 1]);
+            if a == b {
+                continue;
+            }
+            let xi = x - self.lo;
+            let cap = (b - a) as u32;
+            let core = self.est[xi]; // == cap before the first delivery
+            let cnt_base = a + x - (arc_base + self.lo);
+            self.cnt[cnt_base + cap as usize] = 0;
+            let mut below = 0u32; // neighbors with clamped estimate < core
+            for p in a..b {
+                let val = deg[targets[p] as usize];
+                // old == +∞: every value applies.
+                self.nbr_est[p - arc_base] = val;
+                let nn = val.min(cap);
+                self.cnt[cnt_base + nn as usize] += 1;
+                below += u32::from(nn < core);
+            }
+            let mut ge = cap - below;
+            if core > 0 && ge < core {
+                let (t, running) = walk_down(self.cnt, cnt_base, core, ge);
+                self.est[xi] = t;
+                ge = running;
+                if !self.changed[xi] {
+                    self.changed[xi] = true;
+                    self.flush_list.push(x as u32);
+                }
+            }
+            self.ge[xi] = ge;
+        }
+    }
+
+    /// Flush phase: every changed node stages its new estimate to the
+    /// neighbors that should hear it (§3.1.2 filter against the sender's
+    /// cached estimates, exactly as in Algorithm 1) and the messages are
+    /// accounted. Returns `(messages, senders)`.
+    fn flush(
+        &mut self,
+        offsets: &[usize],
+        mirror: &[u32],
+        stage_row: &mut [Vec<Staged>],
+        send_optimization: bool,
+    ) -> (u64, u64) {
+        // Last round's staging from this shard has been consumed by every
+        // shard; reset the row for this round's output.
+        for bucket in stage_row.iter_mut() {
+            bucket.clear();
+        }
+        let mut messages = 0u64;
+        let mut senders = 0u64;
+        let arc_base = offsets[self.lo];
+        for wi in 0..self.flush_list.len() {
+            let u = self.flush_list[wi] as usize;
+            let ui = u - self.lo;
+            self.changed[ui] = false;
+            let c = self.est[ui];
+            let (a, b) = (offsets[u], offsets[u + 1]);
+            let mut sent = 0u64;
+            for (&q, &cached) in mirror[a..b]
+                .iter()
+                .zip(&self.nbr_est[a - arc_base..b - arc_base])
+            {
+                // §3.1.2: address only neighbors that might improve.
+                if !send_optimization || c < cached {
+                    stage_row[(q as usize) >> REGION_BITS].push((q, c));
+                    sent += 1;
+                }
+            }
+            if sent > 0 {
+                self.msgs[ui] += sent;
+                messages += sent;
+                senders += 1;
+            }
+        }
+        self.flush_list.clear();
+        (messages, senders)
+    }
+}
+
+/// Resolves the worker-thread count: explicit, or available parallelism
+/// bounded so each shard keeps at least ~64k arcs (below that the barrier
+/// overhead dominates any speedup).
+fn effective_threads(configured: usize, arcs: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    let by_size = (arcs / 65_536).max(1);
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    available.min(by_size).min(16)
+}
+
+/// Splits nodes into `threads` contiguous shards of roughly equal arc
+/// count. Returns `threads + 1` boundaries starting at 0 and ending at N.
+fn balance_shards(offsets: &[usize], threads: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    for t in 1..threads {
+        let target = total * t / threads;
+        // First node whose row starts at or after the target.
+        let b = offsets.partition_point(|&o| o < target).min(n);
+        let b = (*bounds.last().unwrap()).max(b.saturating_sub(1)).min(n);
+        bounds.push(b);
+    }
+    bounds.push(n);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeSim, NodeSimConfig};
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+
+    fn legacy(g: &Graph, send_optimization: bool) -> RunResult {
+        let mut config = NodeSimConfig::synchronous();
+        config.protocol.send_optimization = send_optimization;
+        NodeSim::new(g, config).run()
+    }
+
+    fn fast(g: &Graph, send_optimization: bool, threads: usize) -> RunResult {
+        let config = ActiveSetConfig {
+            protocol: dkcore::one_to_one::OneToOneConfig { send_optimization },
+            threads,
+            max_rounds: 0,
+        };
+        ActiveSetEngine::new(g, config).run()
+    }
+
+    #[test]
+    fn identical_to_legacy_on_graph_families() {
+        for (name, g) in [
+            ("gnp", gnp(200, 0.04, 3)),
+            ("star", star(40)),
+            ("complete", complete(12)),
+            ("worst_case", worst_case(25)),
+            ("path", path(60)),
+        ] {
+            for opt in [true, false] {
+                for threads in [1, 4] {
+                    let a = fast(&g, opt, threads);
+                    let b = legacy(&g, opt);
+                    assert_eq!(a, b, "{name}, opt={opt}, threads={threads}");
+                    assert_eq!(a.final_estimates, batagelj_zaversnik(&g), "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_balance_covers_all_nodes() {
+        let g = gnp(500, 0.02, 1);
+        let engine = ActiveSetEngine::new(
+            &g,
+            ActiveSetConfig {
+                threads: 7,
+                ..Default::default()
+            },
+        );
+        let b = &engine.shard_bounds;
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&500));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "monotone bounds: {b:?}");
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let r = ActiveSetEngine::new(&g, ActiveSetConfig::default()).run();
+        assert!(r.converged);
+        assert_eq!(r.total_messages, 0);
+
+        let g = Graph::from_edges(5, []).unwrap();
+        let r = ActiveSetEngine::new(&g, ActiveSetConfig::default()).run();
+        assert_eq!(r.final_estimates, vec![0; 5]);
+        assert_eq!(r.execution_time, 0);
+    }
+
+    #[test]
+    fn stepwise_state_matches_legacy() {
+        // Not just the final result: every intermediate round agrees.
+        let g = gnp(80, 0.08, 11);
+        let mut a = ActiveSetEngine::new(&g, ActiveSetConfig::sequential());
+        let mut b = NodeSim::new(&g, NodeSimConfig::synchronous());
+        loop {
+            let ra = a.step();
+            let rb = b.step();
+            assert_eq!(ra.messages, rb.messages, "round {}", ra.round);
+            assert_eq!(a.estimates(), b.estimates(), "round {}", ra.round);
+            if ra.messages == 0 {
+                break;
+            }
+        }
+        assert!(a.is_quiescent() && b.is_quiescent());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = gnp(300, 0.05, 9);
+        let r1 = fast(&g, true, 3);
+        let r2 = fast(&g, true, 5);
+        let r3 = fast(&g, true, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn max_rounds_cap_reports_nonconvergence() {
+        let g = path(50);
+        let mut engine = ActiveSetEngine::new(
+            &g,
+            ActiveSetConfig {
+                max_rounds: 3,
+                ..ActiveSetConfig::sequential()
+            },
+        );
+        let r = engine.run();
+        assert_eq!(r.rounds_executed, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn run_result_fields_match_legacy_per_node() {
+        let g = gnp(150, 0.06, 21);
+        let a = fast(&g, true, 1);
+        let b = legacy(&g, true);
+        assert_eq!(a.messages_per_sender, b.messages_per_sender);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.rounds_executed, b.rounds_executed);
+        assert_eq!(a.total_messages, b.total_messages);
+    }
+}

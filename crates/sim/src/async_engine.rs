@@ -104,10 +104,18 @@ pub struct AsyncRunResult {
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// (time, sequence for determinism, payload)
-    Deliver { to: NodeId, from: NodeId, value: u32 },
-    Flush { node: NodeId },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        value: u32,
+    },
+    Flush {
+        node: NodeId,
+    },
     /// Periodic unconditional re-announcement (anti-entropy repair).
-    AntiEntropy { node: NodeId },
+    AntiEntropy {
+        node: NodeId,
+    },
 }
 
 /// Event-driven asynchronous simulator of the one-to-one protocol.
@@ -136,7 +144,10 @@ impl AsyncSim {
     /// `[0, δ)` and the initialization broadcasts are scheduled at t = 0.
     pub fn new(g: &Graph, config: AsyncSimConfig) -> Self {
         assert!(config.delta > 0, "flush period must be positive");
-        assert!(config.latency.0 <= config.latency.1, "latency range must be ordered");
+        assert!(
+            config.latency.0 <= config.latency.1,
+            "latency range must be ordered"
+        );
         assert!(
             (0.0..=1.0).contains(&config.loss_probability),
             "loss probability must be in [0, 1]"
@@ -167,10 +178,20 @@ impl AsyncSim {
                 this.schedule_broadcast(b);
             }
             let phase = this.rng.random_range(0..this.config.delta);
-            this.push(phase, Event::Flush { node: NodeId::from_index(i) });
+            this.push(
+                phase,
+                Event::Flush {
+                    node: NodeId::from_index(i),
+                },
+            );
             if this.config.anti_entropy > 0 {
                 let phase = this.rng.random_range(0..this.config.anti_entropy);
-                this.push(phase, Event::AntiEntropy { node: NodeId::from_index(i) });
+                this.push(
+                    phase,
+                    Event::AntiEntropy {
+                        node: NodeId::from_index(i),
+                    },
+                );
             }
         }
         this
@@ -195,7 +216,14 @@ impl AsyncSim {
                 continue;
             }
             let latency = self.rng.random_range(lo..=hi);
-            self.push(now + latency, Event::Deliver { to, from: b.from, value: b.core });
+            self.push(
+                now + latency,
+                Event::Deliver {
+                    to,
+                    from: b.from,
+                    value: b.core,
+                },
+            );
         }
     }
 
@@ -296,7 +324,11 @@ mod tests {
             let g = gnp(80, 0.07, seed);
             let result = AsyncSim::new(&g, AsyncSimConfig::new(seed)).run();
             assert!(result.converged);
-            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+            assert_eq!(
+                result.final_estimates,
+                batagelj_zaversnik(&g),
+                "seed {seed}"
+            );
         }
     }
 
@@ -313,14 +345,21 @@ mod tests {
             };
             let result = AsyncSim::new(&g, config).run();
             assert!(result.converged);
-            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+            assert_eq!(
+                result.final_estimates,
+                batagelj_zaversnik(&g),
+                "seed {seed}"
+            );
         }
     }
 
     #[test]
     fn converges_with_zero_latency_floor() {
         let g = path(30);
-        let config = AsyncSimConfig { latency: (0, 0), ..AsyncSimConfig::new(3) };
+        let config = AsyncSimConfig {
+            latency: (0, 0),
+            ..AsyncSimConfig::new(3)
+        };
         let result = AsyncSim::new(&g, config).run();
         assert!(result.converged);
         assert_eq!(result.final_estimates, vec![1; 30]);
@@ -338,7 +377,10 @@ mod tests {
         let g = complete(10);
         let result = AsyncSim::new(&g, AsyncSimConfig::new(1)).run();
         assert!(result.converged);
-        assert_eq!(result.converged_at, 0, "degree == coreness: nothing changes");
+        assert_eq!(
+            result.converged_at, 0,
+            "degree == coreness: nothing changes"
+        );
         assert_eq!(result.final_estimates, vec![9; 10]);
         // All 90 initial messages were delivered.
         assert_eq!(result.deliveries, 90);
@@ -357,23 +399,37 @@ mod tests {
         let g = path(60);
         let fast = AsyncSim::new(
             &g,
-            AsyncSimConfig { delta: 10, latency: (1, 2), ..AsyncSimConfig::new(5) },
+            AsyncSimConfig {
+                delta: 10,
+                latency: (1, 2),
+                ..AsyncSimConfig::new(5)
+            },
         )
         .run();
         let slow = AsyncSim::new(
             &g,
-            AsyncSimConfig { delta: 10, latency: (50, 80), ..AsyncSimConfig::new(5) },
+            AsyncSimConfig {
+                delta: 10,
+                latency: (50, 80),
+                ..AsyncSimConfig::new(5)
+            },
         )
         .run();
-        assert!(slow.converged_at > fast.converged_at,
+        assert!(
+            slow.converged_at > fast.converged_at,
             "higher latency should delay convergence: {} vs {}",
-            slow.converged_at, fast.converged_at);
+            slow.converged_at,
+            fast.converged_at
+        );
     }
 
     #[test]
     fn event_cap_reports_non_convergence() {
         let g = gnp(50, 0.1, 8);
-        let config = AsyncSimConfig { max_events: 10, ..AsyncSimConfig::new(2) };
+        let config = AsyncSimConfig {
+            max_events: 10,
+            ..AsyncSimConfig::new(2)
+        };
         let result = AsyncSim::new(&g, config).run();
         assert!(!result.converged);
     }
@@ -417,8 +473,10 @@ mod tests {
             };
             let result = AsyncSim::new(&g, config).run();
             assert!(result.dropped_messages > 0);
-            assert_eq!(result.final_estimates, truth,
-                "anti-entropy repair should reach the exact decomposition (seed {seed})");
+            assert_eq!(
+                result.final_estimates, truth,
+                "anti-entropy repair should reach the exact decomposition (seed {seed})"
+            );
         }
     }
 
@@ -426,7 +484,10 @@ mod tests {
     fn anti_entropy_is_harmless_without_loss() {
         let g = gnp(50, 0.1, 4);
         let truth = batagelj_zaversnik(&g);
-        let config = AsyncSimConfig { anti_entropy: 15, ..AsyncSimConfig::new(6) };
+        let config = AsyncSimConfig {
+            anti_entropy: 15,
+            ..AsyncSimConfig::new(6)
+        };
         let result = AsyncSim::new(&g, config).run();
         assert!(result.converged);
         assert_eq!(result.final_estimates, truth);
@@ -437,7 +498,10 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_panics() {
         let g = path(3);
-        let config = AsyncSimConfig { loss_probability: 1.5, ..AsyncSimConfig::new(0) };
+        let config = AsyncSimConfig {
+            loss_probability: 1.5,
+            ..AsyncSimConfig::new(0)
+        };
         let _ = AsyncSim::new(&g, config);
     }
 
@@ -445,7 +509,10 @@ mod tests {
     #[should_panic(expected = "flush period must be positive")]
     fn zero_delta_panics() {
         let g = path(3);
-        let config = AsyncSimConfig { delta: 0, ..AsyncSimConfig::new(0) };
+        let config = AsyncSimConfig {
+            delta: 0,
+            ..AsyncSimConfig::new(0)
+        };
         let _ = AsyncSim::new(&g, config);
     }
 }

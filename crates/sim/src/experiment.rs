@@ -46,7 +46,8 @@ impl ExperimentOutcome {
     fn record(&mut self, result: &RunResult) {
         self.execution_time.record(result.execution_time as f64);
         self.avg_messages.record(result.avg_messages_per_sender());
-        self.max_messages.record(result.max_messages_per_sender() as f64);
+        self.max_messages
+            .record(result.max_messages_per_sender() as f64);
         self.total_messages.record(result.total_messages as f64);
         self.all_converged &= result.converged;
     }
@@ -55,8 +56,7 @@ impl ExperimentOutcome {
 /// Derives the per-repetition seed from a base seed (SplitMix64 step, so
 /// neighboring repetitions get decorrelated streams).
 pub fn repetition_seed(base: u64, repetition: u32) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(repetition as u64 + 1));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(repetition as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -89,11 +89,17 @@ pub fn run_node_experiment(
     base_seed: u64,
 ) -> ExperimentOutcome {
     let mut outcome = ExperimentOutcome::new();
-    let reps = if template.mode == SimMode::Synchronous { 1 } else { repetitions.max(1) };
+    let reps = if template.mode == SimMode::Synchronous {
+        1
+    } else {
+        repetitions.max(1)
+    };
     for rep in 0..reps {
         let mut config = template;
         if let SimMode::RandomOrder { .. } = config.mode {
-            config.mode = SimMode::RandomOrder { seed: repetition_seed(base_seed, rep) };
+            config.mode = SimMode::RandomOrder {
+                seed: repetition_seed(base_seed, rep),
+            };
         }
         let result = NodeSim::new(g, config).run();
         outcome.record(&result);
@@ -111,11 +117,17 @@ pub fn run_host_experiment(
     base_seed: u64,
 ) -> ExperimentOutcome {
     let mut outcome = ExperimentOutcome::new();
-    let reps = if template.mode == SimMode::Synchronous { 1 } else { repetitions.max(1) };
+    let reps = if template.mode == SimMode::Synchronous {
+        1
+    } else {
+        repetitions.max(1)
+    };
     for rep in 0..reps {
         let mut config = template.clone();
         if let SimMode::RandomOrder { .. } = config.mode {
-            config.mode = SimMode::RandomOrder { seed: repetition_seed(base_seed, rep) };
+            config.mode = SimMode::RandomOrder {
+                seed: repetition_seed(base_seed, rep),
+            };
         }
         let mut sim = HostSim::new(g, config);
         let result = sim.run();
@@ -162,8 +174,7 @@ mod tests {
     #[test]
     fn host_experiment_tracks_overhead() {
         let g = gnp(60, 0.08, 5);
-        let outcome =
-            run_host_experiment(&g, HostSimConfig::random_order(4, 0), 5, 13);
+        let outcome = run_host_experiment(&g, HostSimConfig::random_order(4, 0), 5, 13);
         assert_eq!(outcome.estimates_sent.count(), 5);
         assert!(outcome.estimates_sent.mean() > 0.0);
         assert!(outcome.all_converged);

@@ -40,7 +40,10 @@ impl HostSimConfig {
 
     /// PeerSim-style random-order cycles.
     pub fn random_order(hosts: usize, seed: u64) -> Self {
-        HostSimConfig { mode: SimMode::RandomOrder { seed }, ..Self::synchronous(hosts) }
+        HostSimConfig {
+            mode: SimMode::RandomOrder { seed },
+            ..Self::synchronous(hosts)
+        }
     }
 
     fn effective_max_rounds(&self, n: usize) -> u32 {
@@ -263,7 +266,11 @@ impl HostSim {
             self.execution_time += 1;
         }
         self.total_messages += messages;
-        StepReport { round: self.round, messages, active }
+        StepReport {
+            round: self.round,
+            messages,
+            active,
+        }
     }
 
     /// Runs to quiescence under the exact [`CentralizedDetector`].
@@ -316,7 +323,10 @@ mod tests {
         let g = gnp(70, 0.07, 5);
         let truth = batagelj_zaversnik(&g);
         for hosts in [1, 2, 8, 70] {
-            for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+            for policy in [
+                DisseminationPolicy::Broadcast,
+                DisseminationPolicy::PointToPoint,
+            ] {
                 let mut config = HostSimConfig::synchronous(hosts);
                 config.protocol.policy = policy;
                 let result = HostSim::new(&g, config).run();
@@ -348,8 +358,12 @@ mod tests {
         config.protocol.policy = DisseminationPolicy::PointToPoint;
         let one_to_many = HostSim::new(&g, config).run();
         // Internal emulation can only shave rounds off, never add.
-        assert!(one_to_many.rounds_executed <= one_to_one.rounds_executed + 1,
-            "{} vs {}", one_to_many.rounds_executed, one_to_one.rounds_executed);
+        assert!(
+            one_to_many.rounds_executed <= one_to_one.rounds_executed + 1,
+            "{} vs {}",
+            one_to_many.rounds_executed,
+            one_to_one.rounds_executed
+        );
     }
 
     #[test]
@@ -377,8 +391,10 @@ mod tests {
         };
         let broadcast = measure(DisseminationPolicy::Broadcast, 64);
         let p2p = measure(DisseminationPolicy::PointToPoint, 64);
-        assert!(broadcast < p2p,
-            "broadcast {broadcast} should be cheaper than p2p {p2p} at 64 hosts");
+        assert!(
+            broadcast < p2p,
+            "broadcast {broadcast} should be cheaper than p2p {p2p} at 64 hosts"
+        );
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! [`experiment`] wraps repetition + aggregation ("average over 50
 //! experiments").
 //!
+//! For large synchronous runs, [`ActiveSetEngine`] is a flat, worklist-
+//! driven, optionally parallel fast path producing bit-identical results
+//! to `NodeSim` in [`SimMode::Synchronous`] mode at a multiple of the
+//! throughput (see `BENCH_PR1.json` at the repository root).
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active_set;
 mod async_engine;
 mod host_engine;
 mod node_engine;
@@ -50,6 +56,7 @@ mod report;
 
 pub mod experiment;
 
+pub use active_set::{ActiveSetConfig, ActiveSetEngine, ActiveStepReport};
 pub use async_engine::{AsyncRunResult, AsyncSim, AsyncSimConfig};
 pub use host_engine::{HostSim, HostSimConfig};
 pub use node_engine::{NodeSim, NodeSimConfig};

@@ -108,13 +108,15 @@ impl NodeSim {
     ///
     /// Panics if `initial.len() != g.node_count()`.
     pub fn with_estimates(g: &Graph, config: NodeSimConfig, initial: &[u32]) -> Self {
-        assert_eq!(initial.len(), g.node_count(), "one initial estimate per node");
+        assert_eq!(
+            initial.len(),
+            g.node_count(),
+            "one initial estimate per node"
+        );
         let mut sim = NodeSim::new(g, config);
         sim.nodes = g
             .nodes()
-            .map(|u| {
-                NodeProtocol::with_initial_estimate(g, u, initial[u.index()], config.protocol)
-            })
+            .map(|u| NodeProtocol::with_initial_estimate(g, u, initial[u.index()], config.protocol))
             .collect();
         sim
     }
@@ -142,8 +144,7 @@ impl NodeSim {
 
     /// Whether no messages are in flight and no node has unflushed changes.
     pub fn is_quiescent(&self) -> bool {
-        self.inboxes.iter().all(Vec::is_empty)
-            && self.nodes.iter().all(|n| !n.is_changed())
+        self.inboxes.iter().all(Vec::is_empty) && self.nodes.iter().all(|n| !n.is_changed())
     }
 
     /// Executes one round/cycle; returns what happened.
@@ -156,34 +157,49 @@ impl NodeSim {
         let first = !self.started;
         self.started = true;
 
+        // Split-borrow the node and inbox arrays so the allocation-free
+        // flush sinks can write straight into the recipients' inboxes
+        // (no per-node `recipients` vector is ever materialized).
+        let nodes = &mut self.nodes;
+        let inboxes = &mut self.inboxes;
+
         match self.mode {
             SimMode::Synchronous => {
                 // Deliver everything sent last round, then flush changes.
-                let mut outgoing: Vec<(NodeId, u32, Vec<NodeId>)> = Vec::new();
+                // Flushed estimates go straight into inboxes: they are
+                // only read at the start of the next round, so immediate
+                // staging preserves the synchronous semantics.
                 if first {
-                    for node in &mut self.nodes {
-                        if let Some(b) = node.initial_broadcast() {
-                            outgoing.push((b.from, b.core, b.recipients));
+                    for i in 0..n {
+                        let from = nodes[i].id();
+                        let sent = nodes[i]
+                            .initial_broadcast_with(|v, core| {
+                                inboxes[v.index()].push((from, core));
+                            })
+                            .is_some();
+                        if sent {
+                            active[i] = true;
+                            messages += nodes[i].degree() as u64;
                         }
                     }
                 } else {
                     for i in 0..n {
-                        let msgs = std::mem::take(&mut self.inboxes[i]);
+                        let msgs = std::mem::take(&mut inboxes[i]);
                         for (from, k) in msgs {
-                            self.nodes[i].receive(from, k);
+                            nodes[i].receive(from, k);
                         }
                     }
-                    for node in &mut self.nodes {
-                        if let Some(b) = node.round_flush() {
-                            outgoing.push((b.from, b.core, b.recipients));
+                    for i in 0..n {
+                        let from = nodes[i].id();
+                        let mut sent = 0u64;
+                        nodes[i].round_flush_with(|v, core| {
+                            inboxes[v.index()].push((from, core));
+                            sent += 1;
+                        });
+                        if sent > 0 {
+                            active[i] = true;
+                            messages += sent;
                         }
-                    }
-                }
-                for (from, core, recipients) in outgoing {
-                    active[from.index()] = true;
-                    messages += recipients.len() as u64;
-                    for r in recipients {
-                        self.inboxes[r.index()].push((from, core));
                     }
                 }
             }
@@ -193,25 +209,30 @@ impl NodeSim {
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(rng);
                 for &i in &order {
+                    let from = nodes[i].id();
                     if first {
-                        if let Some(b) = self.nodes[i].initial_broadcast() {
+                        let sent = nodes[i]
+                            .initial_broadcast_with(|v, core| {
+                                inboxes[v.index()].push((from, core));
+                            })
+                            .is_some();
+                        if sent {
                             active[i] = true;
-                            messages += b.recipients.len() as u64;
-                            for r in b.recipients {
-                                self.inboxes[r.index()].push((b.from, b.core));
-                            }
+                            messages += nodes[i].degree() as u64;
                         }
                     }
-                    let msgs = std::mem::take(&mut self.inboxes[i]);
+                    let msgs = std::mem::take(&mut inboxes[i]);
                     for (from, k) in msgs {
-                        self.nodes[i].receive(from, k);
+                        nodes[i].receive(from, k);
                     }
-                    if let Some(b) = self.nodes[i].round_flush() {
+                    let mut sent = 0u64;
+                    nodes[i].round_flush_with(|v, core| {
+                        inboxes[v.index()].push((from, core));
+                        sent += 1;
+                    });
+                    if sent > 0 {
                         active[i] = true;
-                        messages += b.recipients.len() as u64;
-                        for r in b.recipients {
-                            self.inboxes[r.index()].push((b.from, b.core));
-                        }
+                        messages += sent;
                     }
                 }
             }
@@ -221,7 +242,11 @@ impl NodeSim {
             self.execution_time += 1;
         }
         self.total_messages += messages;
-        StepReport { round: self.round, messages, active }
+        StepReport {
+            round: self.round,
+            messages,
+            active,
+        }
     }
 
     /// Runs to quiescence under the exact [`CentralizedDetector`].
@@ -280,7 +305,11 @@ mod tests {
             let g = gnp(80, 0.06, seed);
             let result = NodeSim::new(&g, NodeSimConfig::synchronous()).run();
             assert!(result.converged);
-            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+            assert_eq!(
+                result.final_estimates,
+                batagelj_zaversnik(&g),
+                "seed {seed}"
+            );
         }
     }
 
@@ -290,7 +319,11 @@ mod tests {
             let g = gnp(80, 0.06, 100 + seed);
             let result = NodeSim::new(&g, NodeSimConfig::random_order(seed)).run();
             assert!(result.converged);
-            assert_eq!(result.final_estimates, batagelj_zaversnik(&g), "seed {seed}");
+            assert_eq!(
+                result.final_estimates,
+                batagelj_zaversnik(&g),
+                "seed {seed}"
+            );
         }
     }
 
@@ -432,11 +465,18 @@ mod tests {
         // processing order; with enough seeds the path graph shows it.
         let g = path(60);
         let times: Vec<u32> = (0..10)
-            .map(|s| NodeSim::new(&g, NodeSimConfig::random_order(s)).run().execution_time)
+            .map(|s| {
+                NodeSim::new(&g, NodeSimConfig::random_order(s))
+                    .run()
+                    .execution_time
+            })
             .collect();
         let min = times.iter().min().unwrap();
         let max = times.iter().max().unwrap();
-        assert!(min < max, "expected order-dependent execution times, got {times:?}");
+        assert!(
+            min < max,
+            "expected order-dependent execution times, got {times:?}"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct ErrorEvolutionObserver {
 impl ErrorEvolutionObserver {
     /// Creates the observer from the true coreness values.
     pub fn new(truth: Vec<u32>) -> Self {
-        ErrorEvolutionObserver { truth, avg_points: Vec::new(), max_points: Vec::new() }
+        ErrorEvolutionObserver {
+            truth,
+            avg_points: Vec::new(),
+            max_points: Vec::new(),
+        }
     }
 
     /// The average-error curve recorded so far, as a labeled series.
@@ -113,7 +117,12 @@ impl CoreCompletionObserver {
         for &t in &truth {
             shell_sizes[t as usize] += 1;
         }
-        CoreCompletionObserver { truth, checkpoints, wrong: Vec::new(), shell_sizes }
+        CoreCompletionObserver {
+            truth,
+            checkpoints,
+            wrong: Vec::new(),
+            shell_sizes,
+        }
     }
 
     /// The checkpoint rounds.
@@ -129,7 +138,9 @@ impl CoreCompletionObserver {
     /// Fraction (0..=1) of the k-shell still wrong at checkpoint index
     /// `c`, or `None` if that checkpoint was not reached.
     pub fn wrong_fraction(&self, c: usize, k: u32) -> Option<f64> {
-        self.wrong.get(c).map(|row| row.get(k as usize).copied().unwrap_or(0.0))
+        self.wrong
+            .get(c)
+            .map(|row| row.get(k as usize).copied().unwrap_or(0.0))
     }
 
     /// Largest coreness value present.
@@ -141,8 +152,7 @@ impl CoreCompletionObserver {
 impl Observer for CoreCompletionObserver {
     fn on_round(&mut self, round: u32, estimates: &[u32], _messages: u64) {
         // Snapshot only at checkpoints, in order.
-        if self.wrong.len() >= self.checkpoints.len()
-            || round != self.checkpoints[self.wrong.len()]
+        if self.wrong.len() >= self.checkpoints.len() || round != self.checkpoints[self.wrong.len()]
         {
             return;
         }

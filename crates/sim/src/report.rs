@@ -72,7 +72,11 @@ mod tests {
 
     #[test]
     fn step_report_counts() {
-        let s = StepReport { round: 3, messages: 0, active: vec![false, true, true] };
+        let s = StepReport {
+            round: 3,
+            messages: 0,
+            active: vec![false, true, true],
+        };
         assert_eq!(s.active_count(), 2);
         assert!(s.is_quiet());
     }

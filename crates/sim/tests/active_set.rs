@@ -1,0 +1,133 @@
+//! Property tests for the PR 1 fast path: the [`ActiveSetEngine`] must be
+//! indistinguishable from the legacy synchronous engine — same coreness
+//! (cross-checked against Batagelj–Zaveršnik ground truth), same round
+//! count, same message counts, per sender — across random graphs, the
+//! named graph families, and the §3.1.2 send-optimization on/off matrix.
+
+use dkcore::one_to_one::OneToOneConfig;
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::{compute_index, IncrementalIndex};
+use dkcore_graph::generators::{complete, gnp, star, worst_case};
+use dkcore_graph::Graph;
+use dkcore_sim::{ActiveSetConfig, ActiveSetEngine, NodeSim, NodeSimConfig, RunResult};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..70).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..250);
+        edges.prop_map(move |es| Graph::from_edges(n, es).expect("endpoints in range"))
+    })
+}
+
+fn run_legacy(g: &Graph, send_optimization: bool) -> RunResult {
+    let mut config = NodeSimConfig::synchronous();
+    config.protocol.send_optimization = send_optimization;
+    NodeSim::new(g, config).run()
+}
+
+fn run_fast(g: &Graph, send_optimization: bool, threads: usize) -> RunResult {
+    let config = ActiveSetConfig {
+        protocol: OneToOneConfig { send_optimization },
+        threads,
+        max_rounds: 0,
+    };
+    ActiveSetEngine::new(g, config).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence on random graphs: coreness equals the
+    /// sequential ground truth, and the whole `RunResult` (rounds,
+    /// execution time, total and per-sender messages) matches the legacy
+    /// engine, with the §3.1.2 optimization both on and off.
+    #[test]
+    fn active_set_equals_legacy_and_bz(g in arb_graph(), opt in any::<bool>()) {
+        let truth = batagelj_zaversnik(&g);
+        let legacy = run_legacy(&g, opt);
+        let fast = run_fast(&g, opt, 1);
+        prop_assert_eq!(&fast.final_estimates, &truth);
+        prop_assert_eq!(&fast, &legacy);
+        // Sharded execution changes nothing either.
+        let sharded = run_fast(&g, opt, 3);
+        prop_assert_eq!(&sharded, &legacy);
+    }
+
+    /// `IncrementalIndex` tracks Algorithm 2 exactly under arbitrary
+    /// monotone estimate-drop traces.
+    #[test]
+    fn incremental_index_tracks_compute_index(
+        degree in 0u32..40,
+        drops in proptest::collection::vec((0u32..40, 0u32..50), 0..120),
+    ) {
+        let mut est = vec![u32::MAX; degree as usize];
+        let mut idx = IncrementalIndex::new(degree);
+        let mut core = degree;
+        for (slot, new) in drops {
+            if degree == 0 {
+                break;
+            }
+            let i = (slot % degree) as usize;
+            if new >= est[i] {
+                continue; // only drops are legal protocol events
+            }
+            let dropped = idx.update(est[i], new);
+            est[i] = new;
+            let t = compute_index(est.iter().copied(), core);
+            prop_assert_eq!(dropped, t < core);
+            core = core.min(t);
+            prop_assert_eq!(idx.core(), core);
+        }
+    }
+}
+
+/// The fixed-family × optimization matrix named by the PR issue.
+#[test]
+fn family_matrix_identical_counts() {
+    let families: Vec<(&str, Graph)> = vec![
+        ("gnp", gnp(120, 0.06, 5)),
+        ("star", star(30)),
+        ("complete", complete(14)),
+        ("worst_case", worst_case(20)),
+    ];
+    for (name, g) in &families {
+        let truth = batagelj_zaversnik(g);
+        for opt in [true, false] {
+            let legacy = run_legacy(g, opt);
+            let fast = run_fast(g, opt, 1);
+            assert_eq!(fast.final_estimates, truth, "{name} opt={opt}: coreness");
+            assert_eq!(
+                fast.rounds_executed, legacy.rounds_executed,
+                "{name} opt={opt}: rounds"
+            );
+            assert_eq!(
+                fast.execution_time, legacy.execution_time,
+                "{name} opt={opt}: execution time"
+            );
+            assert_eq!(
+                fast.total_messages, legacy.total_messages,
+                "{name} opt={opt}: total messages"
+            );
+            assert_eq!(
+                fast.messages_per_sender, legacy.messages_per_sender,
+                "{name} opt={opt}: per-sender messages"
+            );
+        }
+    }
+}
+
+/// The optimization matrix is not vacuous: on a graph where the §3.1.2
+/// filter matters, on/off runs genuinely differ — and the fast engine
+/// reproduces both sides of the difference.
+#[test]
+fn optimization_changes_counts_identically() {
+    let g = gnp(150, 0.05, 8);
+    let legacy_on = run_legacy(&g, true);
+    let legacy_off = run_legacy(&g, false);
+    assert!(
+        legacy_on.total_messages < legacy_off.total_messages,
+        "filter should save messages"
+    );
+    assert_eq!(run_fast(&g, true, 1), legacy_on);
+    assert_eq!(run_fast(&g, false, 1), legacy_off);
+}

@@ -62,7 +62,11 @@ fn main() {
     // A collaboration network: clique-stacking gives a deep, small inner
     // core — exactly the structure where coreness beats degree.
     let g = collaboration(10_000, 9_000, 2..=6, 17);
-    println!("network: {} nodes, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "network: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // Compute coreness with the distributed protocol (one-to-one, as a
     // live overlay would).
@@ -91,7 +95,10 @@ fn main() {
         "\nsingle-seed SIR, {trials} trials per strategy ({} core candidates):",
         core_pool.len()
     );
-    println!("{:>6}  {:>10}  {:>10}  {:>10}  {:>11}", "beta", "core", "degree", "random", "core/random");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>11}",
+        "beta", "core", "degree", "random", "core/random"
+    );
     for beta in [0.03, 0.05, 0.08] {
         let core_avg = avg_outbreak(&g, &core_pool, beta, trials, &mut rng);
         let degree_avg = avg_outbreak(&g, &degree_pool, beta, trials, &mut rng);

@@ -25,8 +25,17 @@ fn main() {
     let truth = batagelj_zaversnik(&g);
 
     let hosts = 16;
-    let mut table = Table::new(["policy", "assignment", "rounds", "estimates/node", "messages"]);
-    for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+    let mut table = Table::new([
+        "policy",
+        "assignment",
+        "rounds",
+        "estimates/node",
+        "messages",
+    ]);
+    for policy in [
+        DisseminationPolicy::Broadcast,
+        DisseminationPolicy::PointToPoint,
+    ] {
         for (name, assignment) in [
             ("modulo", AssignmentPolicy::Modulo),
             ("bfs-blocks", AssignmentPolicy::BfsBlocks),

@@ -50,6 +50,9 @@ fn main() {
             table.row([k.to_string(), size.to_string()]);
         }
     }
-    println!("\nk-shell sizes (max coreness = {}):", decomp.max_coreness());
+    println!(
+        "\nk-shell sizes (max coreness = {}):",
+        decomp.max_coreness()
+    );
     print!("{table}");
 }

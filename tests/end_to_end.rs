@@ -8,9 +8,7 @@ use dkcore_repro::dkcore::seq::batagelj_zaversnik;
 use dkcore_repro::dkcore::termination::{FixedRoundsDetector, GossipDetector};
 use dkcore_repro::dkcore::CoreDecomposition;
 use dkcore_repro::runtime::{Runtime, RuntimeConfig};
-use dkcore_repro::sim::{
-    ErrorEvolutionObserver, HostSim, HostSimConfig, NodeSim, NodeSimConfig,
-};
+use dkcore_repro::sim::{HostSim, HostSimConfig, NodeSim, NodeSimConfig};
 
 const SCALE: usize = 1_500;
 
@@ -41,7 +39,9 @@ fn every_dataset_analog_agrees_across_execution_paths() {
 
 #[test]
 fn gossip_termination_matches_centralized_result() {
-    let g = data::by_name("gnutella-like").unwrap().build_scaled(2_000, 5);
+    let g = data::by_name("gnutella-like")
+        .unwrap()
+        .build_scaled(2_000, 5);
     let truth = batagelj_zaversnik(&g);
     let hosts = g.node_count();
     let patience = GossipDetector::recommended_patience(hosts);
@@ -60,7 +60,9 @@ fn fixed_round_budget_gives_good_approximation() {
     // algorithms may be stopped after a predefined number of rounds,
     // knowing that both the average and the maximum errors would be
     // extremely low."
-    let g = data::by_name("astroph-like").unwrap().build_scaled(4_000, 7);
+    let g = data::by_name("astroph-like")
+        .unwrap()
+        .build_scaled(4_000, 7);
     let truth = batagelj_zaversnik(&g);
     let n = g.node_count() as f64;
     let avg_err_after = |budget: u32| -> f64 {
@@ -80,8 +82,14 @@ fn fixed_round_budget_gives_good_approximation() {
     // gone a handful of rounds later.
     let at_15 = avg_err_after(15);
     let at_25 = avg_err_after(25);
-    assert!(at_15 < 1.0, "average error after 15 rounds should be < 1, got {at_15}");
-    assert!(at_25 < 0.05, "average error after 25 rounds should be tiny, got {at_25}");
+    assert!(
+        at_15 < 1.0,
+        "average error after 15 rounds should be < 1, got {at_15}"
+    );
+    assert!(
+        at_25 < 0.05,
+        "average error after 25 rounds should be tiny, got {at_25}"
+    );
     assert!(at_25 <= at_15, "error must not grow with budget");
 }
 
@@ -103,7 +111,10 @@ fn host_counts_and_policies_product_space() {
     let g = data::by_name("amazon-like").unwrap().build_scaled(1_200, 3);
     let truth = batagelj_zaversnik(&g);
     for hosts in [1usize, 3, 16, 64] {
-        for policy in [DisseminationPolicy::Broadcast, DisseminationPolicy::PointToPoint] {
+        for policy in [
+            DisseminationPolicy::Broadcast,
+            DisseminationPolicy::PointToPoint,
+        ] {
             for assignment in [
                 AssignmentPolicy::Modulo,
                 AssignmentPolicy::BfsBlocks,
@@ -125,7 +136,9 @@ fn host_counts_and_policies_product_space() {
 #[test]
 fn snap_file_roundtrip_through_the_full_pipeline() {
     // Write an analog out in SNAP format, read it back, decompose both.
-    let g = data::by_name("condmat-like").unwrap().build_scaled(1_000, 13);
+    let g = data::by_name("condmat-like")
+        .unwrap()
+        .build_scaled(1_000, 13);
     let mut buf = Vec::new();
     dkcore_repro::graph::io::write_edge_list(&g, &mut buf).unwrap();
     let (reloaded, raw) = dkcore_repro::graph::io::read_edge_list(&buf[..]).unwrap();
@@ -135,8 +148,7 @@ fn snap_file_roundtrip_through_the_full_pipeline() {
     let reloaded_core = batagelj_zaversnik(&reloaded);
     for (dense, &orig_id) in raw.iter().enumerate() {
         assert_eq!(
-            reloaded_core[dense],
-            original[orig_id as usize],
+            reloaded_core[dense], original[orig_id as usize],
             "coreness preserved through io for node {orig_id}"
         );
     }

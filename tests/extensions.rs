@@ -54,7 +54,9 @@ fn churn_loop_stays_consistent_across_stack() {
     // the warm-started protocol and Pregel both land on the repair's
     // answer.
     use rand::prelude::*;
-    let g = data::by_name("gnutella-like").unwrap().build_scaled(800, 13);
+    let g = data::by_name("gnutella-like")
+        .unwrap()
+        .build_scaled(800, 13);
     let mut dc = DynamicCore::new(&g);
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     for step in 0..15 {
@@ -74,7 +76,11 @@ fn churn_loop_stays_consistent_across_stack() {
         let now = dc.to_graph();
         let est = warm_start_estimates(&old, &now, inserted);
         let warm = NodeSim::with_estimates(&now, NodeSimConfig::synchronous(), &est).run();
-        assert_eq!(warm.final_estimates.as_slice(), dc.values(), "step {step} warm");
+        assert_eq!(
+            warm.final_estimates.as_slice(),
+            dc.values(),
+            "step {step} warm"
+        );
         let pregel = Pregel::new(2).run(&now, &KCoreProgram::default());
         let pregel_core: Vec<u32> = pregel.states.iter().map(|s| s.core).collect();
         assert_eq!(pregel_core.as_slice(), dc.values(), "step {step} pregel");
@@ -86,7 +92,11 @@ fn async_engine_handles_all_analogs() {
     for spec in data::catalog() {
         let g = spec.build_scaled(800, 21);
         let truth = batagelj_zaversnik(&g);
-        let config = AsyncSimConfig { delta: 8, latency: (1, 20), ..AsyncSimConfig::new(3) };
+        let config = AsyncSimConfig {
+            delta: 8,
+            latency: (1, 20),
+            ..AsyncSimConfig::new(3)
+        };
         let result = AsyncSim::new(&g, config).run();
         assert!(result.converged, "{}", spec.name);
         assert_eq!(result.final_estimates, truth, "{}", spec.name);

@@ -5,9 +5,7 @@ use dkcore_repro::data::fixtures::{figure1_style_graph, figure2_graph};
 use dkcore_repro::data::{self};
 use dkcore_repro::dkcore::seq::batagelj_zaversnik;
 use dkcore_repro::dkcore::termination::CentralizedDetector;
-use dkcore_repro::sim::{
-    CoreCompletionObserver, ErrorEvolutionObserver, NodeSim, NodeSimConfig,
-};
+use dkcore_repro::sim::{CoreCompletionObserver, ErrorEvolutionObserver, NodeSim, NodeSimConfig};
 
 #[test]
 fn figure2_walkthrough_matches_the_papers_narration() {
@@ -59,7 +57,12 @@ fn figure1_concentric_cores() {
 fn execution_times_are_tens_of_rounds_not_thousands() {
     // §5.1: "the execution time is of the order of few tens of rounds for
     // most of the graphs" — dramatically below the theoretical N bound.
-    for name in ["astroph-like", "condmat-like", "gnutella-like", "slashdot-like"] {
+    for name in [
+        "astroph-like",
+        "condmat-like",
+        "gnutella-like",
+        "slashdot-like",
+    ] {
         let g = data::by_name(name).unwrap().build_scaled(3_000, 21);
         let result = NodeSim::new(&g, NodeSimConfig::random_order(4)).run();
         assert!(
@@ -76,7 +79,9 @@ fn execution_times_are_tens_of_rounds_not_thousands() {
 fn messages_per_node_track_average_degree() {
     // §5.1: "the average ... number of messages per node is, in general,
     // comparable to the average ... degree of nodes."
-    let g = data::by_name("gnutella-like").unwrap().build_scaled(4_000, 9);
+    let g = data::by_name("gnutella-like")
+        .unwrap()
+        .build_scaled(4_000, 9);
     let result = NodeSim::new(&g, NodeSimConfig::random_order(6)).run();
     let m_avg = result.avg_messages_per_sender();
     let d_avg = g.avg_degree();
@@ -91,7 +96,12 @@ fn max_error_drops_to_one_within_tens_of_cycles() {
     // §5.1 / Figure 4 right: "in all our experimental data sets, the
     // maximum error is at most equal to 1 by cycle 22". Our analogs are
     // smaller, so give a little slack beyond the paper's 22.
-    for name in ["astroph-like", "gnutella-like", "amazon-like", "wikitalk-like"] {
+    for name in [
+        "astroph-like",
+        "gnutella-like",
+        "amazon-like",
+        "wikitalk-like",
+    ] {
         let g = data::by_name(name).unwrap().build_scaled(3_000, 33);
         let truth = batagelj_zaversnik(&g);
         let mut obs = ErrorEvolutionObserver::new(truth);
@@ -112,12 +122,16 @@ fn deep_chains_delay_the_one_core_like_berkstan() {
     // 'deep' pages very far away from the highest cores". The web analog
     // reproduces the effect: at a mid-run checkpoint the 1-shell still has
     // wrong nodes after the densest core has settled.
-    let g = data::by_name("berkstan-like").unwrap().build_scaled(6_000, 3);
+    let g = data::by_name("berkstan-like")
+        .unwrap()
+        .build_scaled(6_000, 3);
     let truth = batagelj_zaversnik(&g);
     let result = NodeSim::new(&g, NodeSimConfig::random_order(2)).run();
     assert_eq!(result.final_estimates, truth);
     // Convergence takes much longer than on the small-diameter analogs.
-    let small = data::by_name("slashdot-like").unwrap().build_scaled(6_000, 3);
+    let small = data::by_name("slashdot-like")
+        .unwrap()
+        .build_scaled(6_000, 3);
     let small_run = NodeSim::new(&small, NodeSimConfig::random_order(2)).run();
     assert!(
         result.rounds_executed > 2 * small_run.rounds_executed,
@@ -129,7 +143,9 @@ fn deep_chains_delay_the_one_core_like_berkstan() {
 
 #[test]
 fn core_completion_observer_reproduces_table2_shape() {
-    let g = data::by_name("berkstan-like").unwrap().build_scaled(6_000, 3);
+    let g = data::by_name("berkstan-like")
+        .unwrap()
+        .build_scaled(6_000, 3);
     let truth = batagelj_zaversnik(&g);
     let checkpoints: Vec<u32> = (1..=12).map(|i| i * 10).collect();
     let mut obs = CoreCompletionObserver::new(truth.clone(), checkpoints.clone());
@@ -139,7 +155,10 @@ fn core_completion_observer_reproduces_table2_shape() {
     // The 1-shell (the pendant chains) is the straggler: still wrong at
     // the first checkpoint, and wrong LATER than every denser shell.
     let one_shell_wrong_at_first = obs.wrong_fraction(0, 1).unwrap_or(0.0);
-    assert!(one_shell_wrong_at_first > 0.0, "1-shell should lag at round 10");
+    assert!(
+        one_shell_wrong_at_first > 0.0,
+        "1-shell should lag at round 10"
+    );
     let last_wrong_checkpoint = |k: u32| -> Option<usize> {
         (0..checkpoints.len())
             .rev()

@@ -24,7 +24,10 @@ fn worst_case_family_needs_exactly_n_minus_1_rounds() {
         assert_eq!(result.rounds_executed as usize, n - 1, "N = {n}");
         // "the diameter is 3, i.e., a constant regardless of N" — the very
         // smallest instances are even tighter.
-        assert!(exact_diameter(&g) <= 3, "diameter must stay constant at N = {n}");
+        assert!(
+            exact_diameter(&g) <= 3,
+            "diameter must stay constant at N = {n}"
+        );
         if n >= 10 {
             assert_eq!(exact_diameter(&g), 3, "diameter must be 3 at N = {n}");
         }
@@ -59,13 +62,18 @@ fn theorem4_and_corollary1_bounds() {
         let t = result.execution_time as u64;
 
         // Theorem 4: T <= 1 + sum of initial errors.
-        let initial_error: u64 =
-            g.nodes().map(|u| (g.degree(u) - truth[u.index()]) as u64).sum();
+        let initial_error: u64 = g
+            .nodes()
+            .map(|u| (g.degree(u) - truth[u.index()]) as u64)
+            .sum();
         assert!(t <= 1 + initial_error, "Theorem 4, seed {seed}");
 
         // Corollary 1: T <= N - K + 1.
         let k = min_degree_count(&g);
-        assert!(t as usize <= g.node_count() - k + 1, "Corollary 1, seed {seed}");
+        assert!(
+            t as usize <= g.node_count() - k + 1,
+            "Corollary 1, seed {seed}"
+        );
 
         // Theorem 5: T <= N (weaker, implied).
         assert!(t as usize <= g.node_count(), "Theorem 5, seed {seed}");
@@ -141,6 +149,9 @@ fn send_optimization_preserves_results_and_saves_messages() {
         let a = NodeSim::new(&g, plain).run();
         let b = NodeSim::new(&g, optimized).run();
         assert_eq!(a.final_estimates, b.final_estimates, "same fixpoint");
-        assert!(b.total_messages < a.total_messages, "optimization saves messages");
+        assert!(
+            b.total_messages < a.total_messages,
+            "optimization saves messages"
+        );
     }
 }
