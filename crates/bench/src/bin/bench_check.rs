@@ -1,0 +1,81 @@
+//! CI performance-regression gate: compares freshly generated
+//! `BENCH_PR*.quick.json` documents against the committed baselines and
+//! fails (exit code 1) when any engine speedup ratio degraded by more
+//! than the threshold.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check [--threshold FRACTION] <baseline.json> <fresh.json> [...more pairs]
+//! ```
+//!
+//! The threshold defaults to 0.2 (a 20% ratio drop) and can also be set
+//! via the `BENCH_REGRESSION_THRESHOLD` environment variable; the flag
+//! wins. Absolute times are never compared — only the machine-portable
+//! legacy-vs-fast speedup ratios (see `dkcore_bench::regression`).
+
+use std::process::ExitCode;
+
+use dkcore_bench::regression::{compare, parse_results, render_table};
+
+fn main() -> ExitCode {
+    let mut threshold: f64 = std::env::var("BENCH_REGRESSION_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = args.next().expect("--threshold requires a value");
+                threshold = v.parse().expect("--threshold: fraction like 0.2");
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        eprintln!(
+            "usage: bench_check [--threshold FRACTION] <baseline.json> <fresh.json> [...pairs]"
+        );
+        return ExitCode::FAILURE;
+    }
+    assert!(
+        (0.0..1.0).contains(&threshold),
+        "threshold must be a fraction in [0, 1), got {threshold}"
+    );
+
+    let mut regressions = 0usize;
+    for pair in paths.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        let read = |p: &String| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+        };
+        let baseline =
+            parse_results(&read(baseline_path)).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+        let fresh =
+            parse_results(&read(fresh_path)).unwrap_or_else(|e| panic!("{fresh_path}: {e}"));
+        let comparisons = compare(&baseline, &fresh, threshold)
+            .unwrap_or_else(|e| panic!("{baseline_path} vs {fresh_path}: {e}"));
+        print!(
+            "{}",
+            render_table(
+                &format!("{baseline_path} vs {fresh_path}"),
+                &comparisons,
+                threshold
+            )
+        );
+        regressions += comparisons.iter().filter(|c| c.regressed).count();
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} speedup ratio(s) degraded by more than {:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all speedup ratios within threshold");
+        ExitCode::SUCCESS
+    }
+}

@@ -3,7 +3,7 @@
 //! cross-checks, emitting machine-readable `BENCH_PR1.json`.
 //!
 //! Usage: `bench_pr1 [output.json]` (default `BENCH_PR1.json`). Set
-//! `BENCH_QUICK=1` for a fast smoke run (smaller graphs, one repetition)
+//! `BENCH_QUICK=1` for a fast smoke run (smaller graphs, fewer repetitions)
 //! — the mode CI uses.
 
 use std::fmt::Write as _;
@@ -69,7 +69,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_PR1.json".into());
     let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
     let (scale, reps) = if quick {
-        (10_000usize, 1usize)
+        (10_000usize, 3usize)
     } else {
         (100_000, 3)
     };

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regression;
+
 use dkcore_data::DatasetSpec;
 use dkcore_graph::Graph;
 

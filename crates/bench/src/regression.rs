@@ -1,0 +1,352 @@
+//! Performance-regression gating over the `BENCH_PR*.json` artifacts.
+//!
+//! The engine-comparison binaries (`bench_pr1`, `bench_pr2`) emit one JSON
+//! document each with a `results` array of per-graph rows containing
+//! `speedup_*` ratios (new engine vs legacy). Absolute wall-clock numbers
+//! are not portable across machines, but the *ratios* are: a fast engine
+//! that is 4× the legacy engine on one box is close to 4× on another. The
+//! CI `bench-smoke` job therefore regenerates the quick-mode JSONs and
+//! runs [`compare`] against the committed baselines via the `bench_check`
+//! binary, failing the build when any speedup ratio degrades by more than
+//! a configurable threshold (default 20%).
+//!
+//! The parser below is a deliberately tiny extractor for exactly the flat
+//! shape our own binaries emit (`"results": [{"key": value, ...}, ...]`,
+//! no nested objects inside rows) — the workspace builds offline, so no
+//! JSON dependency is available.
+
+use std::collections::BTreeMap;
+
+/// One row of a benchmark document: the graph label plus every numeric
+/// field (including the `speedup_*` ratios the gate compares).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// The row's `graph` label (unique within one document).
+    pub graph: String,
+    /// Numeric fields by key, in key order.
+    pub numbers: BTreeMap<String, f64>,
+}
+
+/// Minimum wall-clock (ms) any timed field of a row must reach, in both
+/// documents, for its ratios to gate the build: sub-millisecond
+/// measurements are noise-dominated across machines, so their rows are
+/// reported but never fail the check.
+pub const MIN_GATED_MS: f64 = 1.0;
+
+/// Outcome of one baseline-vs-fresh ratio comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Row label (`graph`).
+    pub graph: String,
+    /// The compared metric (a `speedup_*` key).
+    pub metric: String,
+    /// Baseline ratio.
+    pub baseline: f64,
+    /// Freshly measured ratio.
+    pub fresh: f64,
+    /// `fresh / baseline - 1`, negative when the fresh run is slower.
+    pub delta: f64,
+    /// Whether the degradation exceeds the threshold.
+    pub regressed: bool,
+    /// The row contains a timing below [`MIN_GATED_MS`]: too fast to
+    /// measure reliably, so it can never regress the build.
+    pub too_fast: bool,
+}
+
+/// Extracts the `results` rows from a benchmark JSON document.
+///
+/// # Errors
+///
+/// Returns a message when the document has no parsable `results` array or
+/// a row lacks a `graph` label.
+pub fn parse_results(json: &str) -> Result<Vec<BenchRow>, String> {
+    let start = json
+        .find("\"results\"")
+        .ok_or_else(|| "no \"results\" key in document".to_string())?;
+    let body = &json[start..];
+    let open = body
+        .find('[')
+        .ok_or_else(|| "no array after \"results\"".to_string())?;
+    let close = body
+        .find(']')
+        .ok_or_else(|| "unterminated results array".to_string())?;
+    let array = &body[open + 1..close];
+    let mut rows = Vec::new();
+    let mut rest = array;
+    while let Some(obj_start) = rest.find('{') {
+        let obj_end = rest[obj_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated result object".to_string())?
+            + obj_start;
+        rows.push(parse_row(&rest[obj_start + 1..obj_end])?);
+        rest = &rest[obj_end + 1..];
+    }
+    if rows.is_empty() {
+        return Err("empty results array".to_string());
+    }
+    Ok(rows)
+}
+
+/// Parses one flat `"key": value, ...` row body.
+fn parse_row(body: &str) -> Result<BenchRow, String> {
+    let mut graph = None;
+    let mut numbers = BTreeMap::new();
+    let mut rest = body;
+    while let Some(q0) = rest.find('"') {
+        let after_key = &rest[q0 + 1..];
+        let q1 = after_key
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = &after_key[..q1];
+        let after = &after_key[q1 + 1..];
+        let colon = after
+            .find(':')
+            .ok_or_else(|| format!("no value for key {key:?}"))?;
+        let value = after[colon + 1..].trim_start();
+        if let Some(v) = value.strip_prefix('"') {
+            let end = v
+                .find('"')
+                .ok_or_else(|| "unterminated string value".to_string())?;
+            if key == "graph" {
+                graph = Some(v[..end].to_string());
+            }
+            rest = &v[end + 1..];
+        } else {
+            let end = value
+                .find([',', '}'])
+                .unwrap_or(value.len())
+                .min(value.len());
+            let token = value[..end].trim();
+            if let Ok(num) = token.parse::<f64>() {
+                numbers.insert(key.to_string(), num);
+            }
+            // Booleans and anything else are ignored: the gate compares
+            // ratios only.
+            rest = &value[end..];
+        }
+    }
+    Ok(BenchRow {
+        graph: graph.ok_or_else(|| "row without a graph label".to_string())?,
+        numbers,
+    })
+}
+
+/// Compares every `speedup_*` ratio present in both documents, flagging
+/// rows where the fresh ratio fell more than `threshold` (fractional,
+/// e.g. `0.2` = 20%) below the baseline.
+///
+/// # Errors
+///
+/// Returns a message when the documents share no comparable ratios — a
+/// silent pass on disjoint files would defeat the gate.
+pub fn compare(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    threshold: f64,
+) -> Result<Vec<Comparison>, String> {
+    let mut out = Vec::new();
+    for base_row in baseline {
+        let Some(fresh_row) = fresh.iter().find(|r| r.graph == base_row.graph) else {
+            return Err(format!(
+                "graph {:?} present in baseline but missing from fresh results",
+                base_row.graph
+            ));
+        };
+        // A row whose fastest engine runs under MIN_GATED_MS (on either
+        // machine) has noise-dominated ratios.
+        let too_fast = [base_row, fresh_row].iter().any(|row| {
+            row.numbers
+                .iter()
+                .any(|(k, &v)| k.ends_with("_ms") && !k.contains("build") && v < MIN_GATED_MS)
+        });
+        for (metric, &base_value) in &base_row.numbers {
+            if !metric.starts_with("speedup") {
+                continue;
+            }
+            let Some(&fresh_value) = fresh_row.numbers.get(metric) else {
+                return Err(format!(
+                    "metric {metric:?} of graph {:?} missing from fresh results",
+                    base_row.graph
+                ));
+            };
+            let delta = if base_value > 0.0 {
+                fresh_value / base_value - 1.0
+            } else {
+                0.0
+            };
+            out.push(Comparison {
+                graph: base_row.graph.clone(),
+                metric: metric.clone(),
+                baseline: base_value,
+                fresh: fresh_value,
+                delta,
+                regressed: !too_fast && delta < -threshold,
+                too_fast,
+            });
+        }
+    }
+    if out.is_empty() {
+        return Err("no speedup ratios to compare".to_string());
+    }
+    Ok(out)
+}
+
+/// Renders the per-benchmark comparison table printed by `bench_check`.
+pub fn render_table(label: &str, comparisons: &[Comparison], threshold: f64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{label}: speedup ratios, fail below -{:.0}%",
+        threshold * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "  {:<28} {:<14} {:>9} {:>9} {:>8}  status",
+        "graph", "metric", "baseline", "fresh", "delta"
+    );
+    for c in comparisons {
+        let _ = writeln!(
+            s,
+            "  {:<28} {:<14} {:>8.2}x {:>8.2}x {:>+7.1}%  {}",
+            c.graph,
+            c.metric,
+            c.baseline,
+            c.fresh,
+            c.delta * 100.0,
+            if c.regressed {
+                "REGRESSED"
+            } else if c.too_fast {
+                "ok (sub-ms, not gated)"
+            } else {
+                "ok"
+            },
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "BENCH_TEST",
+  "quick_mode": true,
+  "engines": ["legacy", "fast"],
+  "results": [
+    {"graph": "gnp_16", "nodes": 1000, "legacy_ms": 10.0, "speedup_seq": 4.000, "speedup_par": 6.500, "identical_output": true},
+    {"graph": "worst_case", "nodes": 500, "legacy_ms": 8.0, "speedup_seq": 100.125, "speedup_par": 90.0, "identical_output": true}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_rows_and_numbers() {
+        let rows = parse_results(DOC).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].graph, "gnp_16");
+        assert_eq!(rows[0].numbers["speedup_par"], 6.5);
+        assert_eq!(rows[1].numbers["speedup_seq"], 100.125);
+        // Booleans are not numbers.
+        assert!(!rows[0].numbers.contains_key("identical_output"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_results("{}").is_err());
+        assert!(parse_results("{\"results\": []}").is_err());
+        assert!(parse_results("no json at all").is_err());
+    }
+
+    #[test]
+    fn compare_passes_within_threshold() {
+        let base = parse_results(DOC).unwrap();
+        let mut fresh = base.clone();
+        // 10% slower everywhere: within the default 20% budget.
+        for row in &mut fresh {
+            for v in row.numbers.values_mut() {
+                *v *= 0.9;
+            }
+        }
+        let cmp = compare(&base, &fresh, 0.2).unwrap();
+        assert_eq!(cmp.len(), 4);
+        assert!(cmp.iter().all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn compare_flags_regressions() {
+        let base = parse_results(DOC).unwrap();
+        let mut fresh = base.clone();
+        *fresh[1].numbers.get_mut("speedup_seq").unwrap() = 50.0; // -50%
+        let cmp = compare(&base, &fresh, 0.2).unwrap();
+        let bad: Vec<_> = cmp.iter().filter(|c| c.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].graph, "worst_case");
+        assert_eq!(bad[0].metric, "speedup_seq");
+        assert!(bad[0].delta < -0.2);
+    }
+
+    #[test]
+    fn compare_faster_is_never_a_regression() {
+        let base = parse_results(DOC).unwrap();
+        let mut fresh = base.clone();
+        for row in &mut fresh {
+            for v in row.numbers.values_mut() {
+                *v *= 3.0;
+            }
+        }
+        let cmp = compare(&base, &fresh, 0.2).unwrap();
+        assert!(cmp.iter().all(|c| !c.regressed && c.delta > 0.0));
+    }
+
+    #[test]
+    fn compare_rejects_disjoint_documents() {
+        let base = parse_results(DOC).unwrap();
+        let fresh = vec![BenchRow {
+            graph: "other".into(),
+            numbers: BTreeMap::new(),
+        }];
+        assert!(compare(&base, &fresh, 0.2).is_err());
+        // Same graphs but no speedup metrics at all: also an error.
+        let stripped: Vec<BenchRow> = base
+            .iter()
+            .map(|r| BenchRow {
+                graph: r.graph.clone(),
+                numbers: BTreeMap::new(),
+            })
+            .collect();
+        assert!(compare(&stripped, &stripped, 0.2).is_err());
+    }
+
+    #[test]
+    fn sub_millisecond_rows_never_gate() {
+        let doc = DOC.replace(
+            "\"legacy_ms\": 8.0",
+            "\"legacy_ms\": 8.0, \"fast_ms\": 0.08",
+        );
+        let base = parse_results(&doc).unwrap();
+        let mut fresh = base.clone();
+        // A 60% ratio drop on the sub-millisecond row: reported, not gated.
+        *fresh[1].numbers.get_mut("speedup_seq").unwrap() = 40.0;
+        let cmp = compare(&base, &fresh, 0.2).unwrap();
+        assert!(cmp.iter().all(|c| !c.regressed));
+        assert!(cmp.iter().any(|c| c.too_fast));
+        // The well-measured row still gates.
+        let mut fresh = base.clone();
+        *fresh[0].numbers.get_mut("speedup_par").unwrap() = 1.0;
+        let cmp = compare(&base, &fresh, 0.2).unwrap();
+        assert!(cmp.iter().any(|c| c.regressed));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let base = parse_results(DOC).unwrap();
+        let cmp = compare(&base, &base, 0.2).unwrap();
+        let table = render_table("BENCH_TEST", &cmp, 0.2);
+        assert!(table.contains("gnp_16"));
+        assert!(table.contains("worst_case"));
+        assert!(table.contains("ok"));
+        assert!(!table.contains("REGRESSED"));
+    }
+}

@@ -30,7 +30,10 @@ use dkcore::CoreDecomposition;
 use dkcore_graph::{io as graph_io, metrics, Graph};
 use dkcore_metrics::Table;
 use dkcore_pregel::{KCoreProgram, Pregel};
-use dkcore_sim::{HostSim, HostSimConfig, NodeSim, NodeSimConfig};
+use dkcore_sim::{
+    ActiveSetConfig, ActiveSetEngine, ActiveSetHostConfig, ActiveSetHostEngine, HostSim,
+    HostSimConfig, NodeSim, NodeSimConfig,
+};
 
 /// Error produced by CLI parsing or execution.
 #[derive(Debug)]
@@ -70,6 +73,7 @@ USAGE:
   dkcore stats     <input> [--seed S]
   dkcore decompose <input> [--algorithm bz|naive|protocol|pregel] [--shells] [--seed S]
   dkcore simulate  <input> [--hosts H] [--policy broadcast|p2p] [--mode sync|random]
+                            [--engine legacy|active-set] [--threads T]
                             [--reps R] [--seed S]
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
@@ -195,7 +199,10 @@ pub fn cmd_decompose<W: Write>(
 /// message statistics.
 ///
 /// `hosts == 0` selects the one-to-one protocol; otherwise the one-to-many
-/// protocol over that many hosts.
+/// protocol over that many hosts. `engine` picks the simulator: `legacy`
+/// (the reference engines, both modes) or `active-set` (the flat parallel
+/// fast path — synchronous mode only, bit-identical results). `threads`
+/// controls active-set sharding (`0` = automatic).
 ///
 /// # Errors
 ///
@@ -206,11 +213,27 @@ pub fn cmd_simulate<W: Write>(
     hosts: usize,
     policy: &str,
     mode: &str,
+    engine: &str,
+    threads: usize,
     reps: u32,
     seed: u64,
     out: &mut W,
 ) -> Result<(), CliError> {
     let g = load_input(input, seed)?;
+    let active_set = match engine {
+        "legacy" => false,
+        "active-set" => true,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown engine {other:?}; expected legacy|active-set"
+            )))
+        }
+    };
+    if active_set && mode != "sync" {
+        return Err(CliError::new(
+            "--engine active-set requires --mode sync (the fast path is synchronous-only)",
+        ));
+    }
     let truth = batagelj_zaversnik(&g);
     let mut t = Table::new(["rep", "rounds", "exec-time", "messages", "correct"]);
     for rep in 0..reps.max(1) {
@@ -221,7 +244,13 @@ pub fn cmd_simulate<W: Write>(
                 "random" => NodeSimConfig::random_order(rep_seed),
                 other => return Err(CliError::new(format!("unknown mode {other:?}"))),
             };
-            let r = NodeSim::new(&g, config).run();
+            let r = if active_set {
+                let mut fast = ActiveSetConfig::with_protocol(config.protocol);
+                fast.threads = threads;
+                ActiveSetEngine::new(&g, fast).run()
+            } else {
+                NodeSim::new(&g, config).run()
+            };
             (
                 r.rounds_executed,
                 r.execution_time,
@@ -239,7 +268,21 @@ pub fn cmd_simulate<W: Write>(
                 "p2p" => DisseminationPolicy::PointToPoint,
                 other => return Err(CliError::new(format!("unknown policy {other:?}"))),
             };
-            let r = HostSim::new(&g, config).run();
+            let r = if active_set {
+                ActiveSetHostEngine::new(
+                    &g,
+                    ActiveSetHostConfig {
+                        hosts: config.hosts,
+                        assignment: config.assignment,
+                        protocol: config.protocol,
+                        threads,
+                        max_rounds: config.max_rounds,
+                    },
+                )
+                .run()
+            } else {
+                HostSim::new(&g, config).run()
+            };
             (
                 r.rounds_executed,
                 r.execution_time,
@@ -317,6 +360,8 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut hosts = 0usize;
     let mut policy = "p2p".to_string();
     let mut mode = "random".to_string();
+    let mut engine = "legacy".to_string();
+    let mut threads = 0usize;
     let mut reps = 1u32;
     let mut seed = 42u64;
     let mut nodes = 0usize;
@@ -339,6 +384,12 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             }
             "--policy" => policy = value("--policy")?,
             "--mode" => mode = value("--mode")?,
+            "--engine" => engine = value("--engine")?,
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError::new("--threads: expected a number"))?
+            }
             "--reps" => {
                 reps = value("--reps")?
                     .parse()
@@ -379,7 +430,17 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     match command {
         "stats" => cmd_stats(need_input()?, seed, &mut sink),
         "decompose" => cmd_decompose(need_input()?, &algorithm, shells, seed, &mut sink),
-        "simulate" => cmd_simulate(need_input()?, hosts, &policy, &mode, reps, seed, &mut sink),
+        "simulate" => cmd_simulate(
+            need_input()?,
+            hosts,
+            &policy,
+            &mode,
+            &engine,
+            threads,
+            reps,
+            seed,
+            &mut sink,
+        ),
         "generate" => {
             if nodes == 0 {
                 return Err(CliError::new("generate requires --nodes N"));
@@ -454,6 +515,63 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("true"));
+    }
+
+    #[test]
+    fn simulate_active_set_engines() {
+        // One-to-one and one-to-many fast paths both agree with the
+        // ground-truth check (the table prints `true` per repetition) and
+        // match the legacy engine's table output exactly.
+        for hosts in ["0", "4"] {
+            let fast = run(&[
+                "simulate",
+                "analog:gnutella-like:300",
+                "--hosts",
+                hosts,
+                "--mode",
+                "sync",
+                "--engine",
+                "active-set",
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+            assert!(fast.contains("true"), "hosts={hosts}: {fast}");
+            let legacy = run(&[
+                "simulate",
+                "analog:gnutella-like:300",
+                "--hosts",
+                hosts,
+                "--mode",
+                "sync",
+                "--engine",
+                "legacy",
+            ])
+            .unwrap();
+            assert_eq!(fast, legacy, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn active_set_engine_rejects_random_mode() {
+        let err = run(&[
+            "simulate",
+            "analog:gnutella-like:100",
+            "--mode",
+            "random",
+            "--engine",
+            "active-set",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--mode sync"), "{err}");
+        let err = run(&[
+            "simulate",
+            "analog:gnutella-like:100",
+            "--engine",
+            "warp-drive",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "{err}");
     }
 
     #[test]

@@ -56,6 +56,59 @@ pub struct Outgoing {
     pub pairs: Vec<(NodeId, u32)>,
 }
 
+/// Receiver of the outgoing `⟨S⟩` messages of a flush, without
+/// materializing a per-destination pair vector per message.
+///
+/// Engines that stage batches into flat per-shard buffers (the
+/// `ActiveSetHostEngine` in `dkcore-sim`) implement this to have
+/// [`HostProtocol::initial_flush_with`] / [`HostProtocol::round_flush_with`]
+/// write pairs straight into their staging arenas — no `Vec<Outgoing>`
+/// allocation and no pair-vector clones on the delivery side.
+pub trait OutgoingSink {
+    /// Consumes one outgoing message. `pairs` is guaranteed non-empty and
+    /// **must be fully drained** — the host's `estimates_sent` accounting
+    /// assumes every pair offered is taken.
+    fn message(&mut self, dest: Destination, pairs: &mut dyn Iterator<Item = (NodeId, u32)>);
+}
+
+/// Receiver of the engine-facing *staged* flush variants
+/// ([`HostProtocol::initial_flush_staged`] /
+/// [`HostProtocol::round_flush_staged`]).
+///
+/// Point-to-point messages are emitted **slot-translated**: each pair is
+/// `(slot in the destination host's slot space, estimate)`, mapped through
+/// the engine's precomputed border translation tables, so delivery becomes
+/// a direct array-indexed update ([`HostProtocol::receive_slots`]) with no
+/// per-pair node lookup. Broadcast messages stay `(node, estimate)` — on a
+/// broadcast medium the recipients are not known at flush time.
+pub trait StagedSink {
+    /// Consumes one point-to-point message to host `y`. Must drain the
+    /// iterator; returns the number of pairs taken (the iterator may turn
+    /// out empty — no message is accounted then).
+    fn p2p(&mut self, y: HostId, pairs: &mut dyn Iterator<Item = (u32, u32)>) -> u64;
+
+    /// Consumes one broadcast message. `pairs` is guaranteed non-empty
+    /// and must be fully drained.
+    fn broadcast(&mut self, pairs: &mut dyn Iterator<Item = (NodeId, u32)>);
+}
+
+/// [`OutgoingSink`] collecting messages into a `Vec<Outgoing>` — the
+/// compatibility path behind [`HostProtocol::initial_flush`] and
+/// [`HostProtocol::round_flush`].
+#[derive(Debug, Default)]
+struct VecSink {
+    out: Vec<Outgoing>,
+}
+
+impl OutgoingSink for VecSink {
+    fn message(&mut self, dest: Destination, pairs: &mut dyn Iterator<Item = (NodeId, u32)>) {
+        self.out.push(Outgoing {
+            dest,
+            pairs: pairs.collect(),
+        });
+    }
+}
+
 /// Per-host state machine of Algorithm 3 (with Algorithm 4's
 /// `improveEstimate` and Algorithm 5's point-to-point variant).
 ///
@@ -113,6 +166,9 @@ pub struct HostProtocol {
     /// chronological order. Kept across calls so the hot loop never
     /// allocates once warm.
     work: VecDeque<(u32, u32, u32)>,
+    /// Reusable changed-local scratch list for flushes, so the hot
+    /// sink-based flush path allocates nothing once warm.
+    scratch_changed: Vec<u32>,
     /// Total `(node, estimate)` pairs sent — the paper's Figure 5
     /// "overhead (estimates sent)" numerator.
     estimates_sent: u64,
@@ -212,6 +268,7 @@ impl HostProtocol {
             dirty: Vec::new(),
             idx: Vec::new(),
             work: VecDeque::new(),
+            scratch_changed: Vec::new(),
             estimates_sent: 0,
             messages_sent: 0,
         };
@@ -258,6 +315,26 @@ impl HostProtocol {
     /// `None` if `v` is unknown here.
     pub fn estimate_of(&self, v: NodeId) -> Option<u32> {
         self.slot(v).map(|s| self.est[s as usize])
+    }
+
+    /// The sorted local indices (into [`local_nodes`](Self::local_nodes))
+    /// of the nodes bordering neighbor host `j` — i.e. having at least one
+    /// neighbor owned by `neighbor_hosts()[j]`. Engines use this together
+    /// with [`slot_of`](Self::slot_of) to precompute the slot translation
+    /// tables consumed by [`round_flush_staged`](Self::round_flush_staged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range for [`neighbor_hosts`](Self::neighbor_hosts).
+    pub fn border(&self, j: usize) -> &[u32] {
+        &self.border[j]
+    }
+
+    /// The slot of `v` in this host's slot space (`V(x) ∪ neighborV(x)`,
+    /// locals first), or `None` if `v` is unknown here — the address used
+    /// by [`receive_slots`](Self::receive_slots).
+    pub fn slot_of(&self, v: NodeId) -> Option<u32> {
+        self.slot(v)
     }
 
     /// Iterator over `(node, current estimate)` for the local nodes.
@@ -407,44 +484,44 @@ impl HostProtocol {
     /// In point-to-point mode the set is filtered per destination to the
     /// border nodes that destination cares about, per Algorithm 5.
     pub fn initial_flush(&mut self) -> Vec<Outgoing> {
-        let out = match self.config.policy {
+        let mut sink = VecSink::default();
+        self.initial_flush_with(&mut sink);
+        sink.out
+    }
+
+    /// Sink-based variant of [`initial_flush`](Self::initial_flush):
+    /// identical semantics and accounting, but each message's pairs are
+    /// streamed into `sink` instead of materializing `Vec<Outgoing>`.
+    /// Returns the number of `⟨S⟩` messages emitted.
+    pub fn initial_flush_with(&mut self, sink: &mut dyn OutgoingSink) -> u64 {
+        let mut messages = 0u64;
+        match self.config.policy {
             DisseminationPolicy::Broadcast => {
-                if self.locals.is_empty() || self.neighbor_hosts.is_empty() {
-                    Vec::new()
-                } else {
-                    let pairs: Vec<(NodeId, u32)> = self
-                        .locals
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &u)| (u, self.est[i]))
-                        .collect();
-                    self.estimates_sent += pairs.len() as u64;
+                if !self.locals.is_empty() && !self.neighbor_hosts.is_empty() {
+                    self.estimates_sent += self.locals.len() as u64;
                     self.messages_sent += 1;
-                    vec![Outgoing {
-                        dest: Destination::AllHosts,
-                        pairs,
-                    }]
+                    messages = 1;
+                    let est = &self.est;
+                    let mut pairs = self.locals.iter().enumerate().map(|(i, &u)| (u, est[i]));
+                    sink.message(Destination::AllHosts, &mut pairs);
                 }
             }
             DisseminationPolicy::PointToPoint => {
-                let mut out = Vec::new();
                 for (j, &y) in self.neighbor_hosts.iter().enumerate() {
-                    let pairs: Vec<(NodeId, u32)> = self.border[j]
-                        .iter()
-                        .map(|&i| (self.locals[i as usize], self.est[i as usize]))
-                        .collect();
-                    if !pairs.is_empty() {
-                        self.estimates_sent += pairs.len() as u64;
-                        self.messages_sent += 1;
-                        out.push(Outgoing {
-                            dest: Destination::Host(y),
-                            pairs,
-                        });
+                    if self.border[j].is_empty() {
+                        continue;
                     }
+                    self.estimates_sent += self.border[j].len() as u64;
+                    self.messages_sent += 1;
+                    messages += 1;
+                    let (locals, est) = (&self.locals, &self.est);
+                    let mut pairs = self.border[j]
+                        .iter()
+                        .map(|&i| (locals[i as usize], est[i as usize]));
+                    sink.message(Destination::Host(y), &mut pairs);
                 }
-                out
             }
-        };
+        }
         // Everything below the initial values has just been announced;
         // clear the flags set by the constructor's improveEstimate...
         //
@@ -454,7 +531,7 @@ impl HostProtocol {
         if self.config.emulation != EmulationMode::PerRound {
             self.changed.iter_mut().for_each(|c| *c = false);
         }
-        out
+        messages
     }
 
     /// Handles an incoming `⟨S⟩` message: `foreach (v, k) ∈ S: if k <
@@ -463,39 +540,32 @@ impl HostProtocol {
     /// Pairs about nodes this host does not know (possible on a broadcast
     /// medium) are ignored.
     pub fn receive(&mut self, pairs: &[(NodeId, u32)]) {
+        self.receive_iter(pairs.iter().copied());
+    }
+
+    /// Iterator variant of [`receive`](Self::receive) — identical
+    /// semantics, without requiring the pairs to be materialized as a
+    /// slice of `(NodeId, u32)` (engines store staging arenas as raw
+    /// `(u32, u32)` pairs).
+    pub fn receive_iter<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (NodeId, u32)>,
+    {
         if self.config.emulation == EmulationMode::Worklist {
             // Fast path: push drop events straight onto the cascade stack;
             // no recomputation scans and no per-call allocation.
-            for &(v, k) in pairs {
+            for (v, k) in pairs {
                 if let Some(s) = self.slot(v) {
-                    let si = s as usize;
-                    let old = self.est[si];
-                    if k < old {
-                        self.est[si] = k;
-                        // A local estimate lowered from outside must be
-                        // re-announced too, and its index bounded so
-                        // later walks start from the right level.
-                        if si < self.locals.len() {
-                            self.changed[si] = true;
-                            self.idx[si].force_bound(k);
-                        }
-                        self.work.push_back((s, old, k));
-                    }
+                    self.apply_drop(s, k);
                 }
             }
             self.cascade();
             return;
         }
         let mut dropped: Vec<u32> = Vec::new();
-        for &(v, k) in pairs {
+        for (v, k) in pairs {
             if let Some(s) = self.slot(v) {
-                if k < self.est[s as usize] {
-                    self.est[s as usize] = k;
-                    // A local estimate lowered from outside must be
-                    // re-announced too.
-                    if (s as usize) < self.locals.len() {
-                        self.changed[s as usize] = true;
-                    }
+                if self.apply_drop_recompute(s, k) {
                     dropped.push(s);
                 }
             }
@@ -505,65 +575,281 @@ impl HostProtocol {
         }
     }
 
+    /// Slot-addressed variant of [`receive`](Self::receive): every pair is
+    /// `(slot, estimate)` in **this host's** slot space, as produced by a
+    /// sender's [`round_flush_staged`](Self::round_flush_staged) through
+    /// the engine's translation tables. Identical semantics, but delivery
+    /// costs one array access per pair instead of a node lookup.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or corrupt state) if a slot is out of range — the
+    /// translation tables own that invariant.
+    pub fn receive_slots(&mut self, pairs: &[(u32, u32)]) {
+        if self.config.emulation == EmulationMode::Worklist {
+            for &(s, k) in pairs {
+                self.apply_drop(s, k);
+            }
+            self.cascade();
+            return;
+        }
+        let mut dropped: Vec<u32> = Vec::new();
+        for &(s, k) in pairs {
+            if self.apply_drop_recompute(s, k) {
+                dropped.push(s);
+            }
+        }
+        if !dropped.is_empty() {
+            self.emulate(&dropped);
+        }
+    }
+
+    /// Worklist-mode receive step for one `(slot, estimate)` pair: record
+    /// the drop and queue the cascade event.
+    #[inline]
+    fn apply_drop(&mut self, s: u32, k: u32) {
+        let si = s as usize;
+        let old = self.est[si];
+        if k < old {
+            self.est[si] = k;
+            // A local estimate lowered from outside must be re-announced
+            // too, and its index bounded so later walks start from the
+            // right level.
+            if si < self.locals.len() {
+                self.changed[si] = true;
+                self.idx[si].force_bound(k);
+            }
+            self.work.push_back((s, old, k));
+        }
+    }
+
+    /// Recompute-mode receive step for one `(slot, estimate)` pair;
+    /// returns `true` iff the estimate dropped (the slot then seeds
+    /// [`Self::emulate`]).
+    #[inline]
+    fn apply_drop_recompute(&mut self, s: u32, k: u32) -> bool {
+        let si = s as usize;
+        if k < self.est[si] {
+            self.est[si] = k;
+            // A local estimate lowered from outside must be re-announced
+            // too.
+            if si < self.locals.len() {
+                self.changed[si] = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
     /// The periodic block of Algorithms 3/5: collect the changed local
     /// estimates, clear the flags, and produce the outgoing messages for
     /// the configured policy. Returns an empty vector when quiescent.
     pub fn round_flush(&mut self) -> Vec<Outgoing> {
-        let changed_locals: Vec<u32> = (0..self.locals.len() as u32)
-            .filter(|&i| self.changed[i as usize])
-            .collect();
+        let mut sink = VecSink::default();
+        self.round_flush_with(&mut sink);
+        sink.out
+    }
+
+    /// Sink-based variant of [`round_flush`](Self::round_flush): identical
+    /// semantics and accounting (flag handling, border intersection, the
+    /// PerRound trailing emulation), but each message's pairs stream into
+    /// `sink` and the changed-local list lives in a reused scratch buffer,
+    /// so the hot path allocates nothing once warm. Returns the number of
+    /// `⟨S⟩` messages emitted (0 when quiescent).
+    pub fn round_flush_with(&mut self, sink: &mut dyn OutgoingSink) -> u64 {
+        let mut changed_locals = std::mem::take(&mut self.scratch_changed);
+        changed_locals.clear();
+        changed_locals.extend((0..self.locals.len() as u32).filter(|&i| self.changed[i as usize]));
         if changed_locals.is_empty() {
-            return Vec::new();
+            self.scratch_changed = changed_locals;
+            return 0;
         }
         for &i in &changed_locals {
             self.changed[i as usize] = false;
         }
-        let out = match self.config.policy {
+        let mut messages = 0u64;
+        match self.config.policy {
             DisseminationPolicy::Broadcast => {
-                let pairs: Vec<(NodeId, u32)> = changed_locals
-                    .iter()
-                    .map(|&i| (self.locals[i as usize], self.est[i as usize]))
-                    .collect();
-                self.estimates_sent += pairs.len() as u64;
+                self.estimates_sent += changed_locals.len() as u64;
                 self.messages_sent += 1;
-                vec![Outgoing {
-                    dest: Destination::AllHosts,
-                    pairs,
-                }]
+                messages = 1;
+                let (locals, est) = (&self.locals, &self.est);
+                let mut pairs = changed_locals
+                    .iter()
+                    .map(|&i| (locals[i as usize], est[i as usize]));
+                sink.message(Destination::AllHosts, &mut pairs);
             }
             DisseminationPolicy::PointToPoint => {
-                let mut out = Vec::new();
                 for (j, &y) in self.neighbor_hosts.iter().enumerate() {
-                    // Intersect sorted border[j] with changed_locals.
-                    let pairs: Vec<(NodeId, u32)> =
-                        intersect_sorted(&self.border[j], &changed_locals)
-                            .map(|i| (self.locals[i as usize], self.est[i as usize]))
-                            .collect();
-                    if !pairs.is_empty() {
-                        self.estimates_sent += pairs.len() as u64;
-                        self.messages_sent += 1;
-                        out.push(Outgoing {
-                            dest: Destination::Host(y),
-                            pairs,
-                        });
+                    // Single pass over the sorted border[j] × changed_locals
+                    // intersection: peek for the non-empty guarantee, count
+                    // while the sink drains for the accounting.
+                    let (locals, est) = (&self.locals, &self.est);
+                    let mut pairs = intersect_sorted(&self.border[j], &changed_locals)
+                        .map(|i| (locals[i as usize], est[i as usize]))
+                        .peekable();
+                    if pairs.peek().is_none() {
+                        continue;
                     }
+                    let mut count = 0u64;
+                    {
+                        let mut counted = pairs.inspect(|_| count += 1);
+                        sink.message(Destination::Host(y), &mut counted);
+                    }
+                    self.estimates_sent += count;
+                    self.messages_sent += 1;
+                    messages += 1;
                 }
-                out
             }
-        };
+        }
         // PerRound ablation: propagate the just-flushed changes one more
         // internal step, setting up the next round.
         if self.config.emulation == EmulationMode::PerRound {
             let dropped = std::mem::take(&mut self.dirty);
             // The flushed locals themselves are the sources.
-            let mut sources = changed_locals;
+            let mut sources = changed_locals.clone();
             sources.extend(dropped);
             sources.sort_unstable();
             sources.dedup();
             self.emulate(&sources);
         }
-        out
+        self.scratch_changed = changed_locals;
+        messages
     }
+
+    /// Engine-facing variant of [`initial_flush`](Self::initial_flush):
+    /// identical semantics and accounting, but point-to-point messages are
+    /// emitted slot-translated through `xlat` (see
+    /// [`round_flush_staged`](Self::round_flush_staged)). Returns the
+    /// number of `⟨S⟩` messages emitted.
+    pub fn initial_flush_staged(&mut self, xlat: &[Box<[u32]>], sink: &mut dyn StagedSink) -> u64 {
+        let mut messages = 0u64;
+        match self.config.policy {
+            DisseminationPolicy::Broadcast => {
+                if !self.locals.is_empty() && !self.neighbor_hosts.is_empty() {
+                    self.estimates_sent += self.locals.len() as u64;
+                    self.messages_sent += 1;
+                    messages = 1;
+                    let est = &self.est;
+                    let mut pairs = self.locals.iter().enumerate().map(|(i, &u)| (u, est[i]));
+                    sink.broadcast(&mut pairs);
+                }
+            }
+            DisseminationPolicy::PointToPoint => {
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    if self.border[j].is_empty() {
+                        continue;
+                    }
+                    let est = &self.est;
+                    let table = &xlat[j];
+                    let mut pairs = self.border[j]
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &i)| (table[pos], est[i as usize]));
+                    let n = sink.p2p(y, &mut pairs);
+                    debug_assert_eq!(n, self.border[j].len() as u64, "sink must drain");
+                    self.estimates_sent += n;
+                    self.messages_sent += 1;
+                    messages += 1;
+                }
+            }
+        }
+        if self.config.emulation != EmulationMode::PerRound {
+            self.changed.iter_mut().for_each(|c| *c = false);
+        }
+        messages
+    }
+
+    /// Engine-facing variant of [`round_flush`](Self::round_flush):
+    /// identical semantics and accounting (flag handling, border
+    /// intersection, the PerRound trailing emulation), but point-to-point
+    /// messages are emitted **slot-translated**: `xlat` holds, per
+    /// neighbor host `j` (parallel to [`neighbor_hosts`](Self::neighbor_hosts)),
+    /// a table parallel to [`border(j)`](Self::border) mapping each border
+    /// node to its slot in the destination host's slot space. The
+    /// destination applies the message with
+    /// [`receive_slots`](Self::receive_slots) — one array access per pair,
+    /// no node lookups. Returns the number of `⟨S⟩` messages emitted.
+    ///
+    /// `xlat` is unused (may be empty) under the broadcast policy, where
+    /// recipients are unknown at flush time and pairs stay by-name.
+    pub fn round_flush_staged(&mut self, xlat: &[Box<[u32]>], sink: &mut dyn StagedSink) -> u64 {
+        let mut changed_locals = std::mem::take(&mut self.scratch_changed);
+        changed_locals.clear();
+        changed_locals.extend((0..self.locals.len() as u32).filter(|&i| self.changed[i as usize]));
+        if changed_locals.is_empty() {
+            self.scratch_changed = changed_locals;
+            return 0;
+        }
+        for &i in &changed_locals {
+            self.changed[i as usize] = false;
+        }
+        let mut messages = 0u64;
+        match self.config.policy {
+            DisseminationPolicy::Broadcast => {
+                self.estimates_sent += changed_locals.len() as u64;
+                self.messages_sent += 1;
+                messages = 1;
+                let (locals, est) = (&self.locals, &self.est);
+                let mut pairs = changed_locals
+                    .iter()
+                    .map(|&i| (locals[i as usize], est[i as usize]));
+                sink.broadcast(&mut pairs);
+            }
+            DisseminationPolicy::PointToPoint => {
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    let est = &self.est;
+                    let table = &xlat[j];
+                    let mut pairs = intersect_sorted_positions(&self.border[j], &changed_locals)
+                        .map(|(pos, i)| (table[pos], est[i as usize]));
+                    let n = sink.p2p(y, &mut pairs);
+                    if n == 0 {
+                        continue;
+                    }
+                    self.estimates_sent += n;
+                    self.messages_sent += 1;
+                    messages += 1;
+                }
+            }
+        }
+        if self.config.emulation == EmulationMode::PerRound {
+            let dropped = std::mem::take(&mut self.dirty);
+            let mut sources = changed_locals.clone();
+            sources.extend(dropped);
+            sources.sort_unstable();
+            sources.dedup();
+            self.emulate(&sources);
+        }
+        self.scratch_changed = changed_locals;
+        messages
+    }
+}
+
+/// Iterator over `(position in a, value)` for values present in both
+/// sorted `u32` slices — the staged flush uses the position to index the
+/// slot translation table parallel to `a`.
+fn intersect_sorted_positions<'a>(
+    a: &'a [u32],
+    b: &'a [u32],
+) -> impl Iterator<Item = (usize, u32)> + 'a {
+    let mut i = 0;
+    let mut j = 0;
+    std::iter::from_fn(move || {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = (i, a[i]);
+                    i += 1;
+                    j += 1;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    })
 }
 
 /// Iterator over values present in both sorted `u32` slices.
@@ -848,6 +1134,114 @@ mod tests {
         assert_eq!(got, vec![3, 7]);
         assert_eq!(intersect_sorted(&[], &b).count(), 0);
         assert_eq!(intersect_sorted(&a, &a).count(), a.len());
+    }
+
+    #[test]
+    fn sink_flush_matches_vec_flush() {
+        // Drive two clones of every host in lock-step: one through the
+        // Vec-returning flushes, one through an OutgoingSink that records
+        // the same structure. They must agree message for message, pair
+        // for pair, and in all counters.
+        struct Recorder(Vec<Outgoing>);
+        impl OutgoingSink for Recorder {
+            fn message(
+                &mut self,
+                dest: Destination,
+                pairs: &mut dyn Iterator<Item = (NodeId, u32)>,
+            ) {
+                self.0.push(Outgoing {
+                    dest,
+                    pairs: pairs.collect(),
+                });
+            }
+        }
+        for emulation in [
+            EmulationMode::Worklist,
+            EmulationMode::Sweep,
+            EmulationMode::PerRound,
+        ] {
+            for policy in [
+                DisseminationPolicy::Broadcast,
+                DisseminationPolicy::PointToPoint,
+            ] {
+                let g = gnp(40, 0.12, 31);
+                let cfg = OneToManyConfig { policy, emulation };
+                let assignment = Assignment::new(&g, 4, &AssignmentPolicy::Modulo);
+                let mut via_vec = HostProtocol::for_assignment(&g, &assignment, cfg);
+                let mut via_sink = via_vec.clone();
+                let mut inboxes: Vec<Vec<Vec<(NodeId, u32)>>> = vec![Vec::new(); 4];
+                for h in 0..4 {
+                    let out = via_vec[h].initial_flush();
+                    let mut rec = Recorder(Vec::new());
+                    let n = via_sink[h].initial_flush_with(&mut rec);
+                    assert_eq!(rec.0, out, "{emulation:?}/{policy:?} initial");
+                    assert_eq!(n, out.len() as u64);
+                    for m in out {
+                        match m.dest {
+                            Destination::AllHosts => {
+                                for (i, inbox) in inboxes.iter_mut().enumerate() {
+                                    if i != h {
+                                        inbox.push(m.pairs.clone());
+                                    }
+                                }
+                            }
+                            Destination::Host(y) => inboxes[y.index()].push(m.pairs),
+                        }
+                    }
+                }
+                for _round in 0..30 {
+                    let mut quiet = true;
+                    for h in 0..4 {
+                        for batch in std::mem::take(&mut inboxes[h]) {
+                            via_vec[h].receive(&batch);
+                            via_sink[h].receive(&batch);
+                        }
+                    }
+                    for h in 0..4 {
+                        let out = via_vec[h].round_flush();
+                        let mut rec = Recorder(Vec::new());
+                        let n = via_sink[h].round_flush_with(&mut rec);
+                        assert_eq!(rec.0, out, "{emulation:?}/{policy:?} round");
+                        assert_eq!(n, out.len() as u64);
+                        assert_eq!(
+                            via_vec[h].estimates_sent(),
+                            via_sink[h].estimates_sent(),
+                            "estimates_sent"
+                        );
+                        assert_eq!(
+                            via_vec[h].messages_sent(),
+                            via_sink[h].messages_sent(),
+                            "messages_sent"
+                        );
+                        quiet = quiet && out.is_empty();
+                        for m in out {
+                            match m.dest {
+                                Destination::AllHosts => {
+                                    for (i, inbox) in inboxes.iter_mut().enumerate() {
+                                        if i != h {
+                                            inbox.push(m.pairs.clone());
+                                        }
+                                    }
+                                }
+                                Destination::Host(y) => inboxes[y.index()].push(m.pairs),
+                            }
+                        }
+                    }
+                    if quiet {
+                        break;
+                    }
+                }
+                let a: Vec<Vec<(NodeId, u32)>> = via_vec
+                    .iter()
+                    .map(|p| p.local_estimates().collect())
+                    .collect();
+                let b: Vec<Vec<(NodeId, u32)>> = via_sink
+                    .iter()
+                    .map(|p| p.local_estimates().collect())
+                    .collect();
+                assert_eq!(a, b, "{emulation:?}/{policy:?} final estimates");
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod assignment;
 mod host;
 
 pub use assignment::{Assignment, AssignmentPolicy, HostId};
-pub use host::{Destination, EmulationMode, HostProtocol, OneToManyConfig, Outgoing};
+pub use host::{
+    Destination, EmulationMode, HostProtocol, OneToManyConfig, Outgoing, OutgoingSink, StagedSink,
+};
 
 /// Dissemination policy for estimate updates (§3.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,1035 @@
+//! Flat, active-set, optionally parallel engine for the synchronous
+//! one-to-many protocol (Algorithms 3–5) — the host-layer counterpart of
+//! [`ActiveSetEngine`](crate::ActiveSetEngine), behind the same semantics
+//! as [`HostSim`](crate::HostSim) in [`SimMode`](crate::SimMode)
+//! `Synchronous` mode.
+//!
+//! The legacy [`HostSim`](crate::HostSim) drives every
+//! [`HostProtocol`](dkcore::one_to_many::HostProtocol) sequentially
+//! through per-host `Vec<Vec<(NodeId, u32)>>` inboxes: each `⟨S⟩` batch is
+//! `clone()`d once per recipient (for a broadcast, `|H| − 1` times),
+//! every host is visited every round even when quiescent, and the whole
+//! estimate vector is rebuilt per round for observers. This engine
+//! restructures the round loop around four ideas:
+//!
+//! 1. **Contiguous estimates arena.** All local estimates live in one
+//!    arena indexed by a host-offset table (`offsets[h]..offsets[h + 1]`
+//!    is host `h`'s slice), synchronized lazily from the per-host state
+//!    machines; snapshotting the system is a sequential copy plus one
+//!    scatter through the flattened locals table instead of a per-host
+//!    iterator walk.
+//! 2. **Shard-staged `⟨S⟩` batches.** Outgoing messages are written once
+//!    into a flat per-shard pairs arena via the sink-based flush variants
+//!    ([`HostProtocol::round_flush_with`]) — point-to-point batches are
+//!    bucketed by destination-host *shard*, broadcast batches are stored
+//!    exactly once and every shard reads the same slice at delivery. No
+//!    nested inboxes, no pair-vector clones.
+//! 3. **Worklists.** Only hosts that received a batch (or report pending
+//!    internal changes, which the PerRound ablation produces) are flushed;
+//!    quiescent hosts cost zero work per round.
+//! 4. **Sharded phases.** Delivery and flush run over disjoint contiguous
+//!    host shards on scoped threads with one barrier per phase — the same
+//!    rayon-shaped structure as the one-to-one engine. Estimate updates
+//!    inside each host reuse the incremental `computeIndex` histograms
+//!    ([`dkcore::IncrementalIndex`]) that `HostProtocol`'s worklist
+//!    emulation maintains.
+//!
+//! Synchronous-round semantics are preserved *exactly*: batches flushed in
+//! round `r` are delivered in round `r + 1`, per-round delivery is
+//! order-independent (estimates are monotone and the internal cascade is
+//! confluent), and round/message/per-host accounting matches [`HostSim`]
+//! bit for bit — asserted by `tests/active_set_host.rs` across graph
+//! families, dissemination policies, emulation modes, assignment policies
+//! and thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_sim::{ActiveSetHostConfig, ActiveSetHostEngine, HostSim, HostSimConfig};
+//! use dkcore::seq::batagelj_zaversnik;
+//! use dkcore_graph::generators::gnp;
+//!
+//! let g = gnp(120, 0.05, 7);
+//! let fast = ActiveSetHostEngine::new(&g, ActiveSetHostConfig::synchronous(6)).run();
+//! assert!(fast.converged);
+//! assert_eq!(fast.final_estimates, batagelj_zaversnik(&g));
+//! // Identical trace to the legacy synchronous host engine:
+//! let legacy = HostSim::new(&g, HostSimConfig::synchronous(6)).run();
+//! assert_eq!(fast, legacy);
+//! ```
+
+use dkcore::one_to_many::{
+    Assignment, AssignmentPolicy, DisseminationPolicy, EmulationMode, HostId, HostProtocol,
+    OneToManyConfig, StagedSink,
+};
+use dkcore_graph::{Graph, NodeId};
+
+use crate::RunResult;
+
+/// Configuration of an [`ActiveSetHostEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSetHostConfig {
+    /// Number of hosts `|H|`.
+    pub hosts: usize,
+    /// Node → host assignment policy (§3.2.2; the paper uses `Modulo`).
+    pub assignment: AssignmentPolicy,
+    /// Host protocol configuration (dissemination policy + emulation mode).
+    pub protocol: OneToManyConfig,
+    /// Worker threads for the delivery/flush phases; `0` means automatic
+    /// (available parallelism, bounded by graph size and host count).
+    /// `1` forces the sequential path.
+    pub threads: usize,
+    /// Safety cap on simulated rounds; `0` means automatic (`2·N + 100`),
+    /// matching [`HostSimConfig`](crate::HostSimConfig).
+    pub max_rounds: u32,
+}
+
+impl ActiveSetHostConfig {
+    /// Automatic threading, `hosts` hosts, the paper's modulo assignment,
+    /// default protocol settings — the fast-path equivalent of
+    /// [`HostSimConfig::synchronous`](crate::HostSimConfig::synchronous).
+    pub fn synchronous(hosts: usize) -> Self {
+        ActiveSetHostConfig {
+            hosts,
+            assignment: AssignmentPolicy::Modulo,
+            protocol: OneToManyConfig::default(),
+            threads: 0,
+            max_rounds: 0,
+        }
+    }
+
+    /// Forces the sequential (single-thread) path.
+    pub fn sequential(hosts: usize) -> Self {
+        ActiveSetHostConfig {
+            threads: 1,
+            ..Self::synchronous(hosts)
+        }
+    }
+
+    pub(crate) fn effective_max_rounds(&self, n: usize) -> u32 {
+        if self.max_rounds > 0 {
+            self.max_rounds
+        } else {
+            2 * n as u32 + 100
+        }
+    }
+}
+
+/// Outcome of one [`ActiveSetHostEngine::step`]: like
+/// [`StepReport`](crate::StepReport) but with an active-host count instead
+/// of the `O(|H|)` per-host activity vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostStepReport {
+    /// 1-based round index.
+    pub round: u32,
+    /// `⟨S⟩` messages sent during the round (a broadcast counts once).
+    pub messages: u64,
+    /// Hosts that sent a message or hold pending internal changes — the
+    /// population a [`CentralizedDetector`](dkcore::termination::CentralizedDetector)
+    /// would see as active.
+    pub active_hosts: u64,
+}
+
+/// One shard's staged outgoing batches for a round. Pairs live in a flat
+/// arena; batches are `(host, start, end)` windows into it.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStage {
+    /// Flat pair arena shared by all batches of this shard. Point-to-point
+    /// batches hold `(destination slot, estimate)` pairs (slot-translated
+    /// at flush time); broadcast batches hold `(node id, estimate)`.
+    pub(crate) pairs: Vec<(u32, u32)>,
+    /// Point-to-point batches `(destination host, start, end)`, bucketed
+    /// by the destination host's shard.
+    pub(crate) p2p: Vec<Vec<(u32, u32, u32)>>,
+    /// Broadcast batches `(sender host, start, end)`: stored once, read by
+    /// every shard, delivered to every host except the sender.
+    pub(crate) bcast: Vec<(u32, u32, u32)>,
+}
+
+impl ShardStage {
+    pub(crate) fn new(shards: usize) -> Self {
+        ShardStage {
+            pairs: Vec::new(),
+            p2p: (0..shards).map(|_| Vec::new()).collect(),
+            bcast: Vec::new(),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.pairs.clear();
+        for bucket in &mut self.p2p {
+            bucket.clear();
+        }
+        self.bcast.clear();
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.bcast.is_empty() && self.p2p.iter().all(Vec::is_empty)
+    }
+}
+
+/// [`StagedSink`] writing one host's flush straight into its shard's
+/// staging buffers — the zero-clone replacement for `Vec<Outgoing>` plus
+/// nested inbox pushes. Point-to-point pairs arrive already translated to
+/// destination-host slots; empty p2p messages record no batch.
+struct StageSink<'a> {
+    stage: &'a mut ShardStage,
+    shard_of_host: &'a [u32],
+    sender: u32,
+}
+
+impl StagedSink for StageSink<'_> {
+    fn p2p(&mut self, y: HostId, pairs: &mut dyn Iterator<Item = (u32, u32)>) -> u64 {
+        let start = self.stage.pairs.len() as u32;
+        self.stage.pairs.extend(pairs);
+        let end = self.stage.pairs.len() as u32;
+        if end > start {
+            let shard = self.shard_of_host[y.index()] as usize;
+            self.stage.p2p[shard].push((y.0, start, end));
+        }
+        (end - start) as u64
+    }
+
+    fn broadcast(&mut self, pairs: &mut dyn Iterator<Item = (NodeId, u32)>) {
+        let start = self.stage.pairs.len() as u32;
+        self.stage.pairs.extend(pairs.map(|(v, k)| (v.0, k)));
+        let end = self.stage.pairs.len() as u32;
+        self.stage.bcast.push((self.sender, start, end));
+    }
+}
+
+/// Compatibility engine for the Sweep / PerRound emulation modes: the
+/// reference [`HostProtocol`] state machines driven through the staged,
+/// worklist-driven, fused round loop (see the module docs). The default
+/// Worklist mode runs on the fully flat
+/// [`FlatEngine`](crate::active_set_host_flat::FlatEngine) instead.
+#[derive(Debug)]
+pub(crate) struct CompatEngine {
+    /// Per-host protocol state machines (flat slot arrays + incremental
+    /// `computeIndex` histograms inside).
+    hosts: Vec<HostProtocol>,
+    /// Host-offset table: host `h`'s local estimates occupy
+    /// `arena[offsets[h]..offsets[h + 1]]`.
+    offsets: Vec<usize>,
+    /// Node id of each arena slot (the flattened, per-host-sorted locals).
+    node_of_slot: Vec<u32>,
+    /// Contiguous estimates arena, synchronized lazily per host.
+    arena: Vec<u32>,
+    /// Arena slice `h` is stale (host state changed since the last sync).
+    stale: Vec<bool>,
+    /// Shard boundaries (host indices), length `shards + 1`.
+    shard_bounds: Vec<usize>,
+    /// Shard owning each host.
+    shard_of_host: Vec<u32>,
+    /// Slot translation tables: `xlat[x][j][pos]` is the slot, in the slot
+    /// space of `x`'s `j`-th neighbor host, of `x`'s border node
+    /// `border(j)[pos]`. Point-to-point flushes emit through these so
+    /// delivery is one array-indexed update per pair; empty under the
+    /// broadcast policy.
+    xlat: Vec<Vec<Box<[u32]>>>,
+    /// Staged outgoing batches of the *previous* round, one row per
+    /// source shard — what the current round delivers. Read-only within a
+    /// round.
+    stage_front: Vec<ShardStage>,
+    /// Staging rows being written by the current round's flushes (each
+    /// shard owns its row); swapped with `stage_front` after every round.
+    /// Double-buffering is what lets delivery and flush fuse into one
+    /// cache-hot pass per host without a barrier in between.
+    stage_back: Vec<ShardStage>,
+    /// Per-shard, per-local-host inbound batch lists `(cell, start, end)`
+    /// into `stage_front` pair arenas — the grouping that lets a round
+    /// touch each host's state exactly once.
+    inboxes: Vec<Vec<Vec<(u32, u32, u32)>>>,
+    /// Per-shard worklist: hosts to process this round (delivered to, or
+    /// holding pending changes from the PerRound ablation).
+    flush_lists: Vec<Vec<u32>>,
+    /// Membership flag for the flush worklists, per host.
+    queued: Vec<bool>,
+    /// PerRound ablation in effect (the only mode with pending changes
+    /// after a flush).
+    per_round: bool,
+
+    // --- accounting (mirrors HostSim) ---
+    node_count: usize,
+    round: u32,
+    max_rounds: u32,
+    execution_time: u32,
+    total_messages: u64,
+    started: bool,
+}
+
+impl CompatEngine {
+    /// Builds the engine for `g` under `config`. Setup is `O(N + M)` on
+    /// top of the per-host protocol construction; after it, rounds
+    /// allocate nothing beyond staging/worklist growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hosts == 0`.
+    pub(crate) fn new(g: &Graph, config: ActiveSetHostConfig) -> Self {
+        let assignment = Assignment::new(g, config.hosts, &config.assignment);
+        let hosts = HostProtocol::for_assignment(g, &assignment, config.protocol);
+        let host_count = hosts.len();
+
+        // Host-offset table + flattened locals + initial arena sync.
+        let mut offsets = Vec::with_capacity(host_count + 1);
+        offsets.push(0usize);
+        let mut node_of_slot = Vec::with_capacity(g.node_count());
+        let mut arena = Vec::with_capacity(g.node_count());
+        for h in &hosts {
+            for (u, e) in h.local_estimates() {
+                node_of_slot.push(u.0);
+                arena.push(e);
+            }
+            offsets.push(node_of_slot.len());
+        }
+
+        // Shard hosts by protocol work: a host's per-round cost is driven
+        // by the arcs of its locals (delivery scans + cascade).
+        let mut weight = Vec::with_capacity(host_count + 1);
+        weight.push(0usize);
+        for h in &hosts {
+            let w: usize = h
+                .local_nodes()
+                .iter()
+                .map(|&u| g.degree(u) as usize + 1)
+                .sum();
+            weight.push(weight.last().unwrap() + w);
+        }
+        let shards = effective_threads(config.threads, g.arc_count(), host_count);
+        let shard_bounds = balance_shards(&weight, shards);
+        let mut shard_of_host = vec![0u32; host_count];
+        for (s, w) in shard_bounds.windows(2).enumerate() {
+            for owner in &mut shard_of_host[w[0]..w[1]] {
+                *owner = s as u32;
+            }
+        }
+
+        // Border slot translation, built once: O(border pairs · log slots).
+        let xlat: Vec<Vec<Box<[u32]>>> = if config.protocol.policy
+            == DisseminationPolicy::PointToPoint
+        {
+            hosts
+                .iter()
+                .map(|x| {
+                    x.neighbor_hosts()
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &y)| {
+                            let dest = &hosts[y.index()];
+                            x.border(j)
+                                .iter()
+                                .map(|&i| {
+                                    dest.slot_of(x.local_nodes()[i as usize])
+                                        .expect("border node is in the destination's slot space")
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            vec![Vec::new(); host_count]
+        };
+
+        CompatEngine {
+            offsets,
+            node_of_slot,
+            arena,
+            stale: vec![false; host_count],
+            shard_of_host,
+            xlat,
+            stage_front: (0..shards).map(|_| ShardStage::new(shards)).collect(),
+            stage_back: (0..shards).map(|_| ShardStage::new(shards)).collect(),
+            inboxes: shard_bounds
+                .windows(2)
+                .map(|w| vec![Vec::new(); w[1] - w[0]])
+                .collect(),
+            flush_lists: vec![Vec::new(); shards],
+            queued: vec![false; host_count],
+            per_round: config.protocol.emulation == EmulationMode::PerRound,
+            shard_bounds,
+            hosts,
+            node_count: g.node_count(),
+            round: 0,
+            max_rounds: config.effective_max_rounds(g.node_count()),
+            execution_time: 0,
+            total_messages: 0,
+            started: false,
+        }
+    }
+
+    /// Number of hosts.
+    pub(crate) fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// 1-based index of the last executed round (0 before the first).
+    pub(crate) fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The execution-time counter: rounds in which ≥ 1 message was sent.
+    pub(crate) fn execution_time(&self) -> u32 {
+        self.execution_time
+    }
+
+    /// Total `(node, estimate)` pairs sent so far across all hosts — the
+    /// numerator of the paper's Figure 5 overhead metric.
+    pub(crate) fn estimates_sent(&self) -> u64 {
+        self.hosts.iter().map(HostProtocol::estimates_sent).sum()
+    }
+
+    /// Figure 5's y-axis: estimates sent per node.
+    pub(crate) fn overhead_per_node(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            self.estimates_sent() as f64 / self.node_count as f64
+        }
+    }
+
+    /// Current estimates for all nodes, indexed by node id.
+    ///
+    /// Synchronizes the stale arena slices (hosts untouched since the last
+    /// snapshot are skipped) and scatters the arena through the flattened
+    /// locals table; takes `&mut self` for the lazy sync.
+    pub(crate) fn estimates(&mut self) -> Vec<u32> {
+        for h in 0..self.hosts.len() {
+            if !self.stale[h] {
+                continue;
+            }
+            self.stale[h] = false;
+            let slice = &mut self.arena[self.offsets[h]..self.offsets[h + 1]];
+            for (slot, (_, e)) in slice.iter_mut().zip(self.hosts[h].local_estimates()) {
+                *slot = e;
+            }
+        }
+        let mut est = vec![0u32; self.node_count];
+        for (&u, &e) in self.node_of_slot.iter().zip(self.arena.iter()) {
+            est[u as usize] = e;
+        }
+        est
+    }
+
+    /// Whether no batches are staged and no host has unflushed changes
+    /// (evaluated between rounds, after [`step`](Self::step)).
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.stage_front.iter().all(ShardStage::is_empty)
+            && self.hosts.iter().all(|h| !h.has_pending_changes())
+    }
+
+    /// Executes one synchronous round. Each shard runs a single fused
+    /// pass over its worklist hosts — apply all inbound batches staged
+    /// last round (read from the front buffer), then flush the host's
+    /// changed estimates into the back buffer — so every host's state is
+    /// touched exactly once per round, cache-hot. One barrier per round;
+    /// the buffers swap afterwards.
+    pub(crate) fn step(&mut self) -> HostStepReport {
+        self.round += 1;
+        let first = !self.started;
+        self.started = true;
+        let shards = self.shard_bounds.len() - 1;
+
+        let (messages, active_hosts) = if shards == 1 {
+            let mut views = carve(
+                &self.shard_bounds,
+                &mut self.hosts,
+                &mut self.queued,
+                &mut self.stale,
+                &mut self.flush_lists,
+                &mut self.inboxes,
+            );
+            let view = &mut views[0];
+            if first {
+                view.initial(
+                    &mut self.stage_back[0],
+                    &self.shard_of_host,
+                    &self.xlat,
+                    self.per_round,
+                )
+            } else {
+                view.round(
+                    &self.stage_front,
+                    &mut self.stage_back[0],
+                    &self.shard_of_host,
+                    &self.xlat,
+                    self.per_round,
+                    0,
+                )
+            }
+        } else {
+            self.parallel_round(first)
+        };
+        std::mem::swap(&mut self.stage_front, &mut self.stage_back);
+
+        if messages > 0 {
+            self.execution_time += 1;
+        }
+        self.total_messages += messages;
+        HostStepReport {
+            round: self.round,
+            messages,
+            active_hosts,
+        }
+    }
+
+    /// One parallel round: every shard runs its fused deliver-and-flush
+    /// pass concurrently, reading the shared front buffer and writing its
+    /// own back-buffer row; the scope join is the round barrier.
+    fn parallel_round(&mut self, first: bool) -> (u64, u64) {
+        let shard_of_host = &self.shard_of_host;
+        let xlat = &self.xlat;
+        let per_round = self.per_round;
+        let stage_front = &self.stage_front;
+
+        let mut views = carve(
+            &self.shard_bounds,
+            &mut self.hosts,
+            &mut self.queued,
+            &mut self.stale,
+            &mut self.flush_lists,
+            &mut self.inboxes,
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = views
+                .iter_mut()
+                .zip(self.stage_back.iter_mut())
+                .enumerate()
+                .map(|(s, (view, back_row))| {
+                    scope.spawn(move || {
+                        if first {
+                            view.initial(back_row, shard_of_host, xlat, per_round)
+                        } else {
+                            view.round(stage_front, back_row, shard_of_host, xlat, per_round, s)
+                        }
+                    })
+                })
+                .collect();
+            let mut messages = 0u64;
+            let mut active = 0u64;
+            for h in handles {
+                let (m, a) = h.join().expect("shard worker panicked");
+                messages += m;
+                active += a;
+            }
+            (messages, active)
+        })
+    }
+
+    /// Runs to quiescence, mirroring [`HostSim::run`](crate::HostSim::run)
+    /// under the exact `CentralizedDetector`: the run ends after the first
+    /// round in which no host is active.
+    pub(crate) fn run(&mut self) -> RunResult {
+        loop {
+            let report = self.step();
+            if report.active_hosts == 0 || self.round >= self.max_rounds {
+                break;
+            }
+        }
+        RunResult {
+            execution_time: self.execution_time,
+            rounds_executed: self.round,
+            total_messages: self.total_messages,
+            messages_per_sender: self.hosts.iter().map(HostProtocol::messages_sent).collect(),
+            final_estimates: self.estimates(),
+            converged: self.is_quiescent(),
+        }
+    }
+}
+
+/// Mutable view of one shard's disjoint host range `[lo, hi)`.
+struct HostShard<'a> {
+    lo: usize,
+    hosts: &'a mut [HostProtocol],
+    queued: &'a mut [bool],
+    stale: &'a mut [bool],
+    list: &'a mut Vec<u32>,
+    /// Per-local-host inbound batch lists `(cell, start, end)`.
+    inbox: &'a mut [Vec<(u32, u32, u32)>],
+}
+
+/// Carves the engine's per-host state into disjoint mutable shard views
+/// (free function so the round can be borrowed per scoped thread).
+#[allow(clippy::type_complexity)]
+fn carve<'a>(
+    bounds: &[usize],
+    mut hosts: &'a mut [HostProtocol],
+    mut queued: &'a mut [bool],
+    mut stale: &'a mut [bool],
+    flush_lists: &'a mut [Vec<u32>],
+    inboxes: &'a mut [Vec<Vec<(u32, u32, u32)>>],
+) -> Vec<HostShard<'a>> {
+    let mut views = Vec::with_capacity(bounds.len() - 1);
+    let mut lists = flush_lists.iter_mut();
+    let mut inbox_rows = inboxes.iter_mut();
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let n = hi - lo;
+        let (h, h_rest) = hosts.split_at_mut(n);
+        let (q, q_rest) = queued.split_at_mut(n);
+        let (s, s_rest) = stale.split_at_mut(n);
+        views.push(HostShard {
+            lo,
+            hosts: h,
+            queued: q,
+            stale: s,
+            list: lists.next().expect("one flush list per shard"),
+            inbox: inbox_rows.next().expect("one inbox row per shard"),
+        });
+        hosts = h_rest;
+        queued = q_rest;
+        stale = s_rest;
+    }
+    views
+}
+
+impl HostShard<'_> {
+    /// Queues host `h` (shard-local index `d`) for this round's flush.
+    #[inline]
+    fn enqueue(&mut self, d: usize) {
+        if !self.queued[d] {
+            self.queued[d] = true;
+            self.list.push((self.lo + d) as u32);
+        }
+    }
+
+    /// One fused round for this shard: group last round's batches by
+    /// destination host, then make a single pass over the worklist hosts
+    /// — apply each host's inbound batches and immediately flush it while
+    /// its estimate arrays and histograms are cache-hot.
+    ///
+    /// Point-to-point batches are already slot-translated and apply via
+    /// [`HostProtocol::receive_slots`] (one array access per pair);
+    /// broadcast batches stay by-name. Within a round, delivery order is
+    /// irrelevant (estimates are monotone; the internal cascade is
+    /// confluent), so shards proceed independently. Returns
+    /// `(messages, active hosts)` — a host counts as active when it sent
+    /// a message or (PerRound) still holds pending internal changes, the
+    /// same predicate [`crate::HostSim`] feeds its termination detector.
+    fn round(
+        &mut self,
+        stage_front: &[ShardStage],
+        back_row: &mut ShardStage,
+        shard_of_host: &[u32],
+        xlat: &[Vec<Box<[u32]>>],
+        per_round: bool,
+        my_shard: usize,
+    ) -> (u64, u64) {
+        // The back row was consumed by every shard last round; reset it
+        // for this round's output.
+        back_row.clear();
+
+        // Group inbound point-to-point batches by destination host.
+        for (ci, cell) in stage_front.iter().enumerate() {
+            for &(dest, start, end) in &cell.p2p[my_shard] {
+                let d = dest as usize - self.lo;
+                self.enqueue(d);
+                self.inbox[d].push((ci as u32, start, end));
+            }
+        }
+        // A broadcast medium makes every host a recipient this round.
+        let any_bcast = stage_front.iter().any(|c| !c.bcast.is_empty());
+        if any_bcast {
+            for d in 0..self.hosts.len() {
+                self.queued[d] = true;
+            }
+            self.list.clear();
+            self.list
+                .extend((self.lo..self.lo + self.hosts.len()).map(|h| h as u32));
+        }
+
+        let mut messages = 0u64;
+        let mut active = 0u64;
+        let list = std::mem::take(self.list);
+        for &h in &list {
+            let d = h as usize - self.lo;
+            self.queued[d] = false;
+            self.stale[d] = true;
+            // Deliver: this host's slot-addressed batches, then (broadcast
+            // medium) every other sender's broadcast.
+            for &(ci, start, end) in &self.inbox[d] {
+                self.hosts[d]
+                    .receive_slots(&stage_front[ci as usize].pairs[start as usize..end as usize]);
+            }
+            self.inbox[d].clear();
+            if any_bcast {
+                for cell in stage_front {
+                    for &(sender, start, end) in &cell.bcast {
+                        if sender == h {
+                            continue;
+                        }
+                        let pairs = &cell.pairs[start as usize..end as usize];
+                        self.hosts[d].receive_iter(pairs.iter().map(|&(v, k)| (NodeId(v), k)));
+                    }
+                }
+            }
+            // Flush, while everything the flush reads is still hot.
+            let mut sink = StageSink {
+                stage: back_row,
+                shard_of_host,
+                sender: h,
+            };
+            let m = self.hosts[d].round_flush_staged(&xlat[h as usize], &mut sink);
+            let mut is_active = m > 0;
+            if per_round && self.hosts[d].has_pending_changes() {
+                // The trailing emulation step queued more internal work.
+                self.enqueue(d);
+                is_active = true;
+            }
+            messages += m;
+            active += u64::from(is_active);
+        }
+        drop(list);
+        (messages, active)
+    }
+
+    /// First-round flush: every host announces its initial estimates
+    /// (Algorithm 3 initialization). Returns `(messages, active hosts)`.
+    fn initial(
+        &mut self,
+        stage_row: &mut ShardStage,
+        shard_of_host: &[u32],
+        xlat: &[Vec<Box<[u32]>>],
+        per_round: bool,
+    ) -> (u64, u64) {
+        stage_row.clear();
+        let mut messages = 0u64;
+        let mut active = 0u64;
+        for d in 0..self.hosts.len() {
+            let mut sink = StageSink {
+                stage: stage_row,
+                shard_of_host,
+                sender: (self.lo + d) as u32,
+            };
+            let m = self.hosts[d].initial_flush_staged(&xlat[self.lo + d], &mut sink);
+            let mut is_active = m > 0;
+            // PerRound emulation may leave internal propagation pending
+            // right after initialization; such hosts flush next round.
+            if per_round && self.hosts[d].has_pending_changes() {
+                self.enqueue(d);
+                is_active = true;
+            }
+            messages += m;
+            active += u64::from(is_active);
+        }
+        (messages, active)
+    }
+}
+
+/// Resolves the worker-thread count: explicit, or available parallelism
+/// bounded so each shard keeps at least ~64k arcs of protocol work, never
+/// exceeding the host count.
+pub(crate) fn effective_threads(configured: usize, arcs: usize, host_count: usize) -> usize {
+    let raw = if configured > 0 {
+        configured
+    } else {
+        let by_size = (arcs / 65_536).max(1);
+        let available = std::thread::available_parallelism().map_or(1, usize::from);
+        available.min(by_size).min(16)
+    };
+    raw.clamp(1, host_count.max(1))
+}
+
+/// Splits hosts into `shards` contiguous ranges of roughly equal weight.
+/// `weight` is a prefix-sum table (`weight[h]` = total weight of hosts
+/// `< h`). Returns `shards + 1` boundaries from 0 to the host count.
+pub(crate) fn balance_shards(weight: &[usize], shards: usize) -> Vec<usize> {
+    let n = weight.len() - 1;
+    let total = weight[n];
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0);
+    for s in 1..shards {
+        let target = total * s / shards;
+        let b = weight.partition_point(|&w| w < target).min(n);
+        let b = (*bounds.last().unwrap()).max(b.saturating_sub(1)).min(n);
+        bounds.push(b);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Flat active-set simulator of the synchronous one-to-many protocol. See
+/// the [module documentation](self).
+///
+/// Two implementations live behind this type, chosen by the configured
+/// [`EmulationMode`]:
+///
+/// * **Worklist** (the protocol's default) runs on the fully flat engine
+///   (`active_set_host_flat`): all hosts' slot spaces concatenated into
+///   global arrays, estimates in one contiguous arena indexed by the
+///   host-offset table, incremental `computeIndex` histograms in a flat
+///   arena, and a fused cache-hot deliver-and-flush pass per host per
+///   round.
+/// * **Sweep / PerRound** (the paper-literal and ablation modes) run on a
+///   compatibility engine that drives the reference
+///   [`HostProtocol`](dkcore::one_to_many::HostProtocol) state machines
+///   through the same staged, worklist-driven round loop.
+///
+/// Both are bit-identical to [`HostSim`](crate::HostSim).
+#[derive(Debug)]
+pub struct ActiveSetHostEngine {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Flat(Box<crate::active_set_host_flat::FlatEngine>),
+    Compat(Box<CompatEngine>),
+}
+
+impl ActiveSetHostEngine {
+    /// Builds the engine for `g` under `config`. Setup is `O(N + M)`;
+    /// after it, rounds allocate nothing beyond staging/worklist growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hosts == 0`.
+    pub fn new(g: &Graph, config: ActiveSetHostConfig) -> Self {
+        let inner = if config.protocol.emulation == EmulationMode::Worklist {
+            Inner::Flat(Box::new(crate::active_set_host_flat::FlatEngine::new(
+                g, &config,
+            )))
+        } else {
+            Inner::Compat(Box::new(CompatEngine::new(g, config)))
+        };
+        ActiveSetHostEngine { inner }
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        match &self.inner {
+            Inner::Flat(e) => e.host_count(),
+            Inner::Compat(e) => e.host_count(),
+        }
+    }
+
+    /// 1-based index of the last executed round (0 before the first).
+    pub fn round(&self) -> u32 {
+        match &self.inner {
+            Inner::Flat(e) => e.round(),
+            Inner::Compat(e) => e.round(),
+        }
+    }
+
+    /// The execution-time counter: rounds in which ≥ 1 message was sent.
+    pub fn execution_time(&self) -> u32 {
+        match &self.inner {
+            Inner::Flat(e) => e.execution_time(),
+            Inner::Compat(e) => e.execution_time(),
+        }
+    }
+
+    /// Total `(node, estimate)` pairs sent so far across all hosts — the
+    /// numerator of the paper's Figure 5 overhead metric.
+    pub fn estimates_sent(&self) -> u64 {
+        match &self.inner {
+            Inner::Flat(e) => e.estimates_sent(),
+            Inner::Compat(e) => e.estimates_sent(),
+        }
+    }
+
+    /// Figure 5's y-axis: estimates sent per node.
+    pub fn overhead_per_node(&self) -> f64 {
+        match &self.inner {
+            Inner::Flat(e) => e.overhead_per_node(),
+            Inner::Compat(e) => e.overhead_per_node(),
+        }
+    }
+
+    /// Current estimates for all nodes, indexed by node id.
+    pub fn estimates(&mut self) -> Vec<u32> {
+        match &mut self.inner {
+            Inner::Flat(e) => e.estimates(),
+            Inner::Compat(e) => e.estimates(),
+        }
+    }
+
+    /// Whether no batches are staged and no host has unflushed changes
+    /// (evaluated between rounds, after [`step`](Self::step)).
+    pub fn is_quiescent(&self) -> bool {
+        match &self.inner {
+            Inner::Flat(e) => e.is_quiescent(),
+            Inner::Compat(e) => e.is_quiescent(),
+        }
+    }
+
+    /// Executes one synchronous round (see the module docs for the fused
+    /// round structure).
+    pub fn step(&mut self) -> HostStepReport {
+        match &mut self.inner {
+            Inner::Flat(e) => e.step(),
+            Inner::Compat(e) => e.step(),
+        }
+    }
+
+    /// Runs to quiescence, mirroring [`HostSim::run`](crate::HostSim::run)
+    /// under the exact `CentralizedDetector`: the run ends after the first
+    /// round in which no host is active.
+    pub fn run(&mut self) -> RunResult {
+        match &mut self.inner {
+            Inner::Flat(e) => e.run(),
+            Inner::Compat(e) => e.run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostSim, HostSimConfig};
+    use dkcore::one_to_many::DisseminationPolicy;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+
+    fn legacy(g: &Graph, hosts: usize, policy: DisseminationPolicy) -> RunResult {
+        let mut config = HostSimConfig::synchronous(hosts);
+        config.protocol.policy = policy;
+        HostSim::new(g, config).run()
+    }
+
+    fn fast(g: &Graph, hosts: usize, policy: DisseminationPolicy, threads: usize) -> RunResult {
+        let mut config = ActiveSetHostConfig::synchronous(hosts);
+        config.protocol.policy = policy;
+        config.threads = threads;
+        ActiveSetHostEngine::new(g, config).run()
+    }
+
+    #[test]
+    fn identical_to_legacy_on_graph_families() {
+        for (name, g) in [
+            ("gnp", gnp(150, 0.05, 3)),
+            ("star", star(40)),
+            ("complete", complete(12)),
+            ("worst_case", worst_case(25)),
+            ("path", path(60)),
+        ] {
+            for policy in [
+                DisseminationPolicy::Broadcast,
+                DisseminationPolicy::PointToPoint,
+            ] {
+                for hosts in [1, 4, 9] {
+                    for threads in [1, 3] {
+                        let a = fast(&g, hosts, policy, threads);
+                        let b = legacy(&g, hosts, policy);
+                        assert_eq!(a, b, "{name}, {policy:?}, hosts={hosts}, threads={threads}");
+                        assert_eq!(a.final_estimates, batagelj_zaversnik(&g), "{name}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stepwise_state_matches_legacy() {
+        // Not just the final result: every intermediate round agrees.
+        let g = gnp(80, 0.08, 11);
+        let mut config = HostSimConfig::synchronous(5);
+        config.protocol.policy = DisseminationPolicy::PointToPoint;
+        let mut b = HostSim::new(&g, config);
+        let mut fast_config = ActiveSetHostConfig::sequential(5);
+        fast_config.protocol.policy = DisseminationPolicy::PointToPoint;
+        let mut a = ActiveSetHostEngine::new(&g, fast_config);
+        loop {
+            let ra = a.step();
+            let rb = b.step();
+            assert_eq!(ra.messages, rb.messages, "round {}", ra.round);
+            assert_eq!(
+                ra.active_hosts,
+                rb.active_count() as u64,
+                "round {}",
+                ra.round
+            );
+            assert_eq!(a.estimates(), b.estimates(), "round {}", ra.round);
+            if ra.active_hosts == 0 {
+                break;
+            }
+        }
+        assert!(a.is_quiescent() && b.is_quiescent());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = gnp(200, 0.05, 9);
+        let r1 = fast(&g, 8, DisseminationPolicy::PointToPoint, 1);
+        let r2 = fast(&g, 8, DisseminationPolicy::PointToPoint, 3);
+        let r3 = fast(&g, 8, DisseminationPolicy::PointToPoint, 8);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn per_round_emulation_matches_legacy() {
+        let g = path(30);
+        let mut legacy_config = HostSimConfig::synchronous(3);
+        legacy_config.assignment = AssignmentPolicy::Block;
+        legacy_config.protocol.emulation = EmulationMode::PerRound;
+        let b = HostSim::new(&g, legacy_config).run();
+        let mut config = ActiveSetHostConfig::synchronous(3);
+        config.assignment = AssignmentPolicy::Block;
+        config.protocol.emulation = EmulationMode::PerRound;
+        for threads in [1, 2] {
+            config.threads = threads;
+            let a = ActiveSetHostEngine::new(&g, config.clone()).run();
+            assert_eq!(a, b, "threads={threads}");
+            assert!(a.converged);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = Graph::from_edges(0, []).unwrap();
+        let r = ActiveSetHostEngine::new(&g, ActiveSetHostConfig::synchronous(3)).run();
+        assert!(r.converged);
+        assert_eq!(r.total_messages, 0);
+
+        let g = Graph::from_edges(5, []).unwrap();
+        let r = ActiveSetHostEngine::new(&g, ActiveSetHostConfig::synchronous(3)).run();
+        assert_eq!(r.final_estimates, vec![0; 5]);
+        assert_eq!(r.execution_time, 0);
+    }
+
+    #[test]
+    fn max_rounds_cap_reports_nonconvergence() {
+        let g = path(50);
+        let mut config = ActiveSetHostConfig::sequential(2);
+        config.assignment = AssignmentPolicy::Block;
+        config.protocol.emulation = EmulationMode::PerRound;
+        config.max_rounds = 2;
+        let r = ActiveSetHostEngine::new(&g, config).run();
+        assert_eq!(r.rounds_executed, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn overhead_accounting_matches_legacy() {
+        let g = gnp(100, 0.06, 17);
+        let mut legacy_sim = HostSim::new(&g, HostSimConfig::synchronous(8));
+        legacy_sim.run();
+        let mut engine = ActiveSetHostEngine::new(&g, ActiveSetHostConfig::synchronous(8));
+        engine.run();
+        assert_eq!(engine.estimates_sent(), legacy_sim.estimates_sent());
+        assert!((engine.overhead_per_node() - legacy_sim.overhead_per_node()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_bounds_cover_all_hosts() {
+        let g = gnp(300, 0.03, 1);
+        let mut config = ActiveSetHostConfig::synchronous(24);
+        config.threads = 5;
+        let engine = ActiveSetHostEngine::new(&g, config);
+        let Inner::Flat(flat) = &engine.inner else {
+            panic!("Worklist mode routes to the flat engine");
+        };
+        let b = flat.shard_bounds();
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&24));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "monotone bounds: {b:?}");
+
+        // The ablation modes route to the compatibility engine.
+        let mut config = ActiveSetHostConfig::synchronous(4);
+        config.protocol.emulation = EmulationMode::Sweep;
+        let engine = ActiveSetHostEngine::new(&g, config);
+        assert!(matches!(engine.inner, Inner::Compat(_)));
+    }
+}

@@ -10,7 +10,24 @@
 use dkcore_graph::Graph;
 use dkcore_metrics::Summary;
 
-use crate::{HostSim, HostSimConfig, NodeSim, NodeSimConfig, RunResult, SimMode};
+use crate::{
+    ActiveSetHostConfig, ActiveSetHostEngine, HostSim, HostSimConfig, NodeSim, NodeSimConfig,
+    RunResult, SimMode,
+};
+
+/// Engine driving a host experiment (see the crate's *Engine selection*
+/// docs): the legacy reference simulator, or the flat active-set fast
+/// path, which is bit-identical in synchronous mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostEngine {
+    /// [`HostSim`] — both execution modes, observers, detectors.
+    #[default]
+    Legacy,
+    /// [`ActiveSetHostEngine`] — synchronous mode only; repetition
+    /// templates in `RandomOrder` mode fall back to [`HostSim`], which is
+    /// the only engine implementing that schedule.
+    ActiveSet,
+}
 
 /// Aggregated outcome of repeated runs of the same configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +133,22 @@ pub fn run_host_experiment(
     repetitions: u32,
     base_seed: u64,
 ) -> ExperimentOutcome {
+    run_host_experiment_on(g, template, repetitions, base_seed, HostEngine::Legacy)
+}
+
+/// [`run_host_experiment`] with an explicit [`HostEngine`] choice.
+///
+/// With [`HostEngine::ActiveSet`], synchronous repetitions run on the
+/// flat fast path (bit-identical results, multiple of the throughput —
+/// see `BENCH_PR2.json`); `RandomOrder` templates always use [`HostSim`],
+/// the only engine implementing that schedule.
+pub fn run_host_experiment_on(
+    g: &Graph,
+    template: HostSimConfig,
+    repetitions: u32,
+    base_seed: u64,
+    engine: HostEngine,
+) -> ExperimentOutcome {
     let mut outcome = ExperimentOutcome::new();
     let reps = if template.mode == SimMode::Synchronous {
         1
@@ -129,10 +162,26 @@ pub fn run_host_experiment(
                 seed: repetition_seed(base_seed, rep),
             };
         }
-        let mut sim = HostSim::new(g, config);
-        let result = sim.run();
-        outcome.record(&result);
-        outcome.estimates_sent.record(sim.estimates_sent() as f64);
+        if engine == HostEngine::ActiveSet && config.mode == SimMode::Synchronous {
+            let mut fast = ActiveSetHostEngine::new(
+                g,
+                ActiveSetHostConfig {
+                    hosts: config.hosts,
+                    assignment: config.assignment,
+                    protocol: config.protocol,
+                    threads: 0,
+                    max_rounds: config.max_rounds,
+                },
+            );
+            let result = fast.run();
+            outcome.record(&result);
+            outcome.estimates_sent.record(fast.estimates_sent() as f64);
+        } else {
+            let mut sim = HostSim::new(g, config);
+            let result = sim.run();
+            outcome.record(&result);
+            outcome.estimates_sent.record(sim.estimates_sent() as f64);
+        }
     }
     outcome
 }
@@ -178,6 +227,20 @@ mod tests {
         assert_eq!(outcome.estimates_sent.count(), 5);
         assert!(outcome.estimates_sent.mean() > 0.0);
         assert!(outcome.all_converged);
+    }
+
+    #[test]
+    fn host_engines_agree_in_synchronous_experiments() {
+        let g = gnp(70, 0.08, 8);
+        let template = HostSimConfig::synchronous(6);
+        let legacy = run_host_experiment_on(&g, template.clone(), 3, 1, HostEngine::Legacy);
+        let fast = run_host_experiment_on(&g, template, 3, 1, HostEngine::ActiveSet);
+        assert_eq!(legacy, fast);
+        // Random-order templates fall back to the legacy engine.
+        let template = HostSimConfig::random_order(6, 0);
+        let a = run_host_experiment_on(&g, template.clone(), 4, 9, HostEngine::ActiveSet);
+        let b = run_host_experiment(&g, template, 4, 9);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,10 +22,26 @@
 //! [`experiment`] wraps repetition + aggregation ("average over 50
 //! experiments").
 //!
-//! For large synchronous runs, [`ActiveSetEngine`] is a flat, worklist-
-//! driven, optionally parallel fast path producing bit-identical results
-//! to `NodeSim` in [`SimMode::Synchronous`] mode at a multiple of the
-//! throughput (see `BENCH_PR1.json` at the repository root).
+//! # Engine selection
+//!
+//! Four engines cover the protocol × performance matrix; the slow pair is
+//! the semantic reference (both execution models, observers, pluggable
+//! termination detectors), the fast pair is the bit-identical synchronous
+//! fast path:
+//!
+//! | engine | protocol | modes | when to use |
+//! |--------|----------|-------|-------------|
+//! | [`NodeSim`] | one-to-one (Alg. 1) | sync + random-order | reference runs, observers, Table 1/2 + Figure 4 experiments |
+//! | [`ActiveSetEngine`] | one-to-one (Alg. 1) | sync only | large synchronous runs: flat CSR, active sets, sharded threads (`BENCH_PR1.json`) |
+//! | [`HostSim`] | one-to-many (Alg. 3–5) | sync + random-order | reference host runs, observers, Figure 5 experiments |
+//! | [`ActiveSetHostEngine`] | one-to-many (Alg. 3–5) | sync only | large multi-host synchronous runs: estimates arena, shard-staged `⟨S⟩` batches, host worklists (`BENCH_PR2.json`) |
+//!
+//! Both fast engines produce results bit-identical to their reference
+//! engine (rounds, execution time, total and per-sender messages, final
+//! estimates — property-tested in `tests/active_set.rs` and
+//! `tests/active_set_host.rs`), so they are safe drop-in replacements
+//! whenever the execution model is synchronous. The `dkcore simulate`
+//! CLI exposes the choice as `--engine legacy|active-set`.
 //!
 //! # Example
 //!
@@ -48,6 +64,8 @@
 #![warn(missing_docs)]
 
 mod active_set;
+mod active_set_host;
+mod active_set_host_flat;
 mod async_engine;
 mod host_engine;
 mod node_engine;
@@ -57,6 +75,7 @@ mod report;
 pub mod experiment;
 
 pub use active_set::{ActiveSetConfig, ActiveSetEngine, ActiveStepReport};
+pub use active_set_host::{ActiveSetHostConfig, ActiveSetHostEngine, HostStepReport};
 pub use async_engine::{AsyncRunResult, AsyncSim, AsyncSimConfig};
 pub use host_engine::{HostSim, HostSimConfig};
 pub use node_engine::{NodeSim, NodeSimConfig};

@@ -12,6 +12,9 @@ use dkcore_graph::Graph;
 use dkcore_sim::{ActiveSetConfig, ActiveSetEngine, NodeSim, NodeSimConfig, RunResult};
 use proptest::prelude::*;
 
+mod common;
+use common::{seed_offset, test_threads};
+
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (1usize..70).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..250);
@@ -49,7 +52,7 @@ proptest! {
         prop_assert_eq!(&fast.final_estimates, &truth);
         prop_assert_eq!(&fast, &legacy);
         // Sharded execution changes nothing either.
-        let sharded = run_fast(&g, opt, 3);
+        let sharded = run_fast(&g, opt, test_threads(3));
         prop_assert_eq!(&sharded, &legacy);
     }
 
@@ -81,20 +84,24 @@ proptest! {
     }
 }
 
-/// The fixed-family × optimization matrix named by the PR issue.
+/// The fixed-family × optimization matrix named by the PR issue. The CI
+/// determinism job re-runs it with `DKCORE_TEST_THREADS`/`DKCORE_TEST_SEED`
+/// varied, proving sharding never changes the counts.
 #[test]
 fn family_matrix_identical_counts() {
+    let off = seed_offset();
     let families: Vec<(&str, Graph)> = vec![
-        ("gnp", gnp(120, 0.06, 5)),
+        ("gnp", gnp(120, 0.06, 5 + off)),
         ("star", star(30)),
         ("complete", complete(14)),
         ("worst_case", worst_case(20)),
     ];
+    let threads = test_threads(1);
     for (name, g) in &families {
         let truth = batagelj_zaversnik(g);
         for opt in [true, false] {
             let legacy = run_legacy(g, opt);
-            let fast = run_fast(g, opt, 1);
+            let fast = run_fast(g, opt, threads);
             assert_eq!(fast.final_estimates, truth, "{name} opt={opt}: coreness");
             assert_eq!(
                 fast.rounds_executed, legacy.rounds_executed,
@@ -128,6 +135,7 @@ fn optimization_changes_counts_identically() {
         legacy_on.total_messages < legacy_off.total_messages,
         "filter should save messages"
     );
-    assert_eq!(run_fast(&g, true, 1), legacy_on);
-    assert_eq!(run_fast(&g, false, 1), legacy_off);
+    let threads = test_threads(1);
+    assert_eq!(run_fast(&g, true, threads), legacy_on);
+    assert_eq!(run_fast(&g, false, threads), legacy_off);
 }

@@ -1,0 +1,22 @@
+//! Helpers shared by the engine-equivalence suites: the environment
+//! knobs of the CI `determinism` job, which re-runs them at 1, 2 and 8
+//! threads with shifted graph seeds.
+
+/// Thread count for the sharded runs: the `DKCORE_TEST_THREADS` override
+/// (the CI determinism matrix), or `default` when unset.
+pub fn test_threads(default: usize) -> usize {
+    std::env::var("DKCORE_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default)
+}
+
+/// Offset mixed into every graph seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix); 0 when unset.
+pub fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |s| s.wrapping_mul(0x9E37_79B9))
+}

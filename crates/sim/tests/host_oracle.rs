@@ -1,0 +1,71 @@
+//! Oracle verification for [`HostSim`] itself (the PR 2 satellite): the
+//! legacy host engine is the reference that `ActiveSetHostEngine` is
+//! property-tested against, so this suite independently pins *it* to the
+//! sequential Batagelj–Zaveršnik ground truth — seed-randomized graphs,
+//! random partitions, both execution modes, both dissemination policies.
+
+use dkcore::one_to_many::{AssignmentPolicy, DisseminationPolicy};
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_graph::Graph;
+use dkcore_sim::{HostSim, HostSimConfig, SimMode};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..70).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..250);
+        edges.prop_map(move |es| Graph::from_edges(n, es).expect("endpoints in range"))
+    })
+}
+
+fn arb_assignment() -> impl Strategy<Value = AssignmentPolicy> {
+    (0u32..4, any::<u64>()).prop_map(|(which, seed)| match which {
+        0 => AssignmentPolicy::Modulo,
+        1 => AssignmentPolicy::Block,
+        2 => AssignmentPolicy::Random { seed },
+        _ => AssignmentPolicy::BfsBlocks,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synchronous mode: every random graph × partition × policy run
+    /// converges exactly to the sequential coreness.
+    #[test]
+    fn host_sim_synchronous_matches_ground_truth(
+        g in arb_graph(),
+        hosts in 1usize..16,
+        broadcast in any::<bool>(),
+        assignment in arb_assignment(),
+    ) {
+        let truth = batagelj_zaversnik(&g);
+        let mut config = HostSimConfig::synchronous(hosts);
+        config.protocol.policy = if broadcast {
+            DisseminationPolicy::Broadcast
+        } else {
+            DisseminationPolicy::PointToPoint
+        };
+        config.assignment = assignment;
+        let result = HostSim::new(&g, config).run();
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.final_estimates, truth);
+    }
+
+    /// Random-order (PeerSim-style buffered cycles) mode: schedule noise
+    /// never changes the fixpoint either.
+    #[test]
+    fn host_sim_random_order_matches_ground_truth(
+        g in arb_graph(),
+        hosts in 1usize..12,
+        seed in any::<u64>(),
+        assignment in arb_assignment(),
+    ) {
+        let truth = batagelj_zaversnik(&g);
+        let mut config = HostSimConfig::synchronous(hosts);
+        config.mode = SimMode::RandomOrder { seed };
+        config.assignment = assignment;
+        let result = HostSim::new(&g, config).run();
+        prop_assert!(result.converged);
+        prop_assert_eq!(result.final_estimates, truth);
+    }
+}
