@@ -7,6 +7,7 @@
 //! dkcore stats     <input>                         graph statistics (Table-1 style)
 //! dkcore decompose <input> [--algorithm A]         coreness of every node
 //! dkcore simulate  <input> [--hosts H] [...]       run the distributed protocols
+//! dkcore stream    <input> [--batch B] [...]       maintain coreness under edge churn
 //! dkcore generate  <analog> --nodes N [...]        emit a synthetic dataset
 //! ```
 //!
@@ -75,6 +76,9 @@ USAGE:
   dkcore simulate  <input> [--hosts H] [--policy broadcast|p2p] [--mode sync|random]
                             [--engine legacy|active-set] [--threads T]
                             [--reps R] [--seed S]
+  dkcore stream    <input> [--batch B] [--steps S]
+                            [--workload sliding-window|insert-heavy|adversarial|hotspot]
+                            [--engine batched|per-edge|warm-dist] [--threads T] [--seed S]
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
   dkcore help
@@ -82,6 +86,12 @@ USAGE:
 INPUT:
   a SNAP-style edge-list file, or  analog:NAME[:NODES]  for a built-in
   synthetic dataset (see `dkcore list-analogs`).
+
+STREAM ENGINES:
+  batched   repair each batch in one amortized pass (StreamCore; default)
+  per-edge  replay every mutation through DynamicCore, one repair per edge
+  warm-dist re-converge the distributed protocol per batch, warm-started
+            from batch-safe upper bounds (vs a cold start, for comparison)
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -303,6 +313,165 @@ pub fn cmd_simulate<W: Write>(
     Ok(())
 }
 
+/// `dkcore stream`: run an edge-churn stream and maintain the coreness
+/// decomposition with the chosen engine, verifying every step against the
+/// sequential ground truth.
+///
+/// Engines: `batched` repairs whole batches through
+/// [`dkcore::stream::StreamCore`]; `per-edge` replays each mutation
+/// through [`dkcore::dynamic::DynamicCore`]; `warm-dist` re-converges the
+/// distributed protocol per batch via a warm-started
+/// [`ActiveSetEngine`](dkcore_sim::ActiveSetEngine), reporting warm vs
+/// cold round counts.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for invalid options and I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_stream<W: Write>(
+    input: &str,
+    batch: usize,
+    steps: usize,
+    workload: &str,
+    engine: &str,
+    threads: usize,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use dkcore::dynamic::DynamicCore;
+    use dkcore::stream::{warm_start_estimates_batch, StreamCore};
+    use dkcore_data::ChurnWorkload;
+    use dkcore_sim::ActiveSetConfig;
+
+    let g = load_input(input, seed)?;
+    if g.node_count() < 2 {
+        return Err(CliError::new("stream needs a graph with at least 2 nodes"));
+    }
+    let workload = match workload {
+        "sliding-window" => ChurnWorkload::SlidingWindow { window: 2 * batch },
+        "insert-heavy" => ChurnWorkload::InsertHeavy { remove_every: 8 },
+        "adversarial" => ChurnWorkload::Adversarial,
+        "hotspot" => ChurnWorkload::Hotspot {
+            span: (g.node_count() / 20).max(16),
+            remove_every: 8,
+        },
+        other => {
+            return Err(CliError::new(format!(
+                "unknown workload {other:?}; expected \
+                 sliding-window|insert-heavy|adversarial|hotspot"
+            )))
+        }
+    };
+    let stream = dkcore_data::churn_stream(&g, workload, steps, batch, seed);
+
+    let mut all_correct = true;
+    match engine {
+        "batched" | "per-edge" => {
+            let batched = engine == "batched";
+            let mut sc = batched.then(|| StreamCore::new(&g));
+            let mut dc = (!batched).then(|| DynamicCore::new(&g));
+            let mut t = Table::new([
+                "step",
+                "inserts",
+                "removals",
+                "candidates",
+                "changed",
+                "correct",
+            ]);
+            for (i, b) in stream.iter().enumerate() {
+                let (candidates, changed, values, graph) = if let Some(dc) = dc.as_mut() {
+                    let mut candidates = 0usize;
+                    let mut changed = 0usize;
+                    for &(u, v) in b.removals() {
+                        let s = dc
+                            .remove_edge(u, v)
+                            .map_err(|e| CliError::new(e.to_string()))?;
+                        candidates += s.candidates;
+                        changed += s.changed;
+                    }
+                    for &(u, v) in b.insertions() {
+                        let s = dc
+                            .insert_edge(u, v)
+                            .map_err(|e| CliError::new(e.to_string()))?;
+                        candidates += s.candidates;
+                        changed += s.changed;
+                    }
+                    (candidates, changed, dc.values().to_vec(), dc.to_graph())
+                } else {
+                    let sc = sc.as_mut().expect("batched engine");
+                    let s = sc
+                        .apply_batch(b)
+                        .map_err(|e| CliError::new(e.to_string()))?;
+                    (s.candidates, s.changed, sc.values().to_vec(), sc.to_graph())
+                };
+                let correct = values == batagelj_zaversnik(&graph);
+                all_correct &= correct;
+                t.row([
+                    i.to_string(),
+                    b.insertions().len().to_string(),
+                    b.removals().len().to_string(),
+                    candidates.to_string(),
+                    changed.to_string(),
+                    correct.to_string(),
+                ]);
+            }
+            write!(out, "{t}")?;
+        }
+        "warm-dist" => {
+            let mut sc = StreamCore::new(&g);
+            let mut t = Table::new([
+                "step",
+                "inserts",
+                "removals",
+                "warm-rounds",
+                "cold-rounds",
+                "warm-msgs",
+                "correct",
+            ]);
+            for (i, b) in stream.iter().enumerate() {
+                let old = sc.values().to_vec();
+                sc.apply_batch(b)
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                let new_graph = sc.to_graph();
+                let est = warm_start_estimates_batch(
+                    &old,
+                    &new_graph,
+                    b.insertions(),
+                    b.removals().len(),
+                );
+                let cfg = ActiveSetConfig {
+                    threads,
+                    ..Default::default()
+                };
+                let warm = ActiveSetEngine::with_estimates(&new_graph, cfg, &est).run();
+                let cold = ActiveSetEngine::new(&new_graph, cfg).run();
+                let correct =
+                    warm.final_estimates == sc.values() && cold.final_estimates == sc.values();
+                all_correct &= correct;
+                t.row([
+                    i.to_string(),
+                    b.insertions().len().to_string(),
+                    b.removals().len().to_string(),
+                    warm.rounds_executed.to_string(),
+                    cold.rounds_executed.to_string(),
+                    warm.total_messages.to_string(),
+                    correct.to_string(),
+                ]);
+            }
+            write!(out, "{t}")?;
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown engine {other:?}; expected batched|per-edge|warm-dist"
+            )))
+        }
+    }
+    if !all_correct {
+        return Err(CliError::new("stream verification failed (see table)"));
+    }
+    Ok(())
+}
+
 /// `dkcore generate`: build a dataset analog and write it as an edge list.
 ///
 /// # Errors
@@ -360,11 +529,14 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut hosts = 0usize;
     let mut policy = "p2p".to_string();
     let mut mode = "random".to_string();
-    let mut engine = "legacy".to_string();
+    let mut engine: Option<String> = None;
     let mut threads = 0usize;
     let mut reps = 1u32;
     let mut seed = 42u64;
     let mut nodes = 0usize;
+    let mut batch = 32usize;
+    let mut steps = 8usize;
+    let mut workload = "sliding-window".to_string();
     let mut out_path: Option<String> = None;
 
     let mut it = args.iter();
@@ -384,7 +556,18 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             }
             "--policy" => policy = value("--policy")?,
             "--mode" => mode = value("--mode")?,
-            "--engine" => engine = value("--engine")?,
+            "--engine" => engine = Some(value("--engine")?),
+            "--workload" => workload = value("--workload")?,
+            "--batch" => {
+                batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| CliError::new("--batch: expected a number"))?
+            }
+            "--steps" => {
+                steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| CliError::new("--steps: expected a number"))?
+            }
             "--threads" => {
                 threads = value("--threads")?
                     .parse()
@@ -435,9 +618,19 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             hosts,
             &policy,
             &mode,
-            &engine,
+            engine.as_deref().unwrap_or("legacy"),
             threads,
             reps,
+            seed,
+            &mut sink,
+        ),
+        "stream" => cmd_stream(
+            need_input()?,
+            batch,
+            steps,
+            &workload,
+            engine.as_deref().unwrap_or("batched"),
+            threads,
             seed,
             &mut sink,
         ),
@@ -572,6 +765,69 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("unknown engine"), "{err}");
+    }
+
+    #[test]
+    fn stream_engines_verify_against_ground_truth() {
+        for engine in ["batched", "per-edge"] {
+            for workload in ["sliding-window", "insert-heavy", "adversarial"] {
+                let text = run(&[
+                    "stream",
+                    "analog:gnutella-like:300",
+                    "--batch",
+                    "8",
+                    "--steps",
+                    "4",
+                    "--workload",
+                    workload,
+                    "--engine",
+                    engine,
+                ])
+                .unwrap();
+                assert_eq!(
+                    text.matches("true").count(),
+                    4,
+                    "{engine}/{workload}: every step verified: {text}"
+                );
+                assert!(text.contains("candidates"));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_warm_dist_reports_round_counts() {
+        let text = run(&[
+            "stream",
+            "analog:condmat-like:400",
+            "--batch",
+            "6",
+            "--steps",
+            "3",
+            "--engine",
+            "warm-dist",
+        ])
+        .unwrap();
+        assert!(text.contains("warm-rounds"), "{text}");
+        assert!(text.contains("cold-rounds"), "{text}");
+        assert_eq!(text.matches("true").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn stream_rejects_bad_options() {
+        assert!(
+            run(&["stream", "analog:gnutella-like:100", "--engine", "bogus"])
+                .unwrap_err()
+                .to_string()
+                .contains("unknown engine")
+        );
+        assert!(
+            run(&["stream", "analog:gnutella-like:100", "--workload", "bogus"])
+                .unwrap_err()
+                .to_string()
+                .contains("unknown workload")
+        );
+        assert!(run(&["stream", "analog:gnutella-like:100", "--batch", "x"]).is_err());
+        assert!(run(&["stream"]).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   every initial estimate to upper-bound the new coreness — removals
 //!   only lower coreness, and insertion candidates can gain at most 1).
 //!
+//! `DynamicCore` repairs **one mutation at a time**; adjacency lives in
+//! the shared slotted-CSR [`AdjacencyArena`](crate::stream::AdjacencyArena)
+//! (binary-search insert/remove, no per-node vectors). For whole batches
+//! of churn — where per-edge repairs waste a traversal per edge — use the
+//! amortized [`StreamCore`](crate::stream::StreamCore) instead.
+//!
 //! # Example
 //!
 //! ```
@@ -38,9 +44,10 @@ use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
-use dkcore_graph::{Graph, GraphBuilder, NodeId};
+use dkcore_graph::{Graph, NodeId};
 
 use crate::seq::batagelj_zaversnik;
+use crate::stream::AdjacencyArena;
 
 /// Error for invalid dynamic-graph mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,8 +111,11 @@ pub struct UpdateStats {
 /// See the [module docs](self) for the algorithmic background.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicCore {
-    /// Sorted adjacency lists.
-    adj: Vec<Vec<NodeId>>,
+    /// Sorted adjacency in one slotted-CSR arena (shared representation
+    /// with the batched [`StreamCore`](crate::stream::StreamCore)):
+    /// mutations are a binary search plus an in-slot shift, never a
+    /// per-node vector rebuild.
+    adj: AdjacencyArena,
     /// Current coreness of every node.
     core: Vec<u32>,
 }
@@ -115,19 +125,19 @@ impl DynamicCore {
     /// pass).
     pub fn new(g: &Graph) -> Self {
         DynamicCore {
-            adj: g.nodes().map(|u| g.neighbors(u).to_vec()).collect(),
+            adj: AdjacencyArena::from_graph(g),
             core: batagelj_zaversnik(g),
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.adj.node_count()
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj.edge_count()
     }
 
     /// Current coreness of `u`.
@@ -150,29 +160,23 @@ impl DynamicCore {
     ///
     /// Panics if `u` is out of range.
     pub fn degree(&self, u: NodeId) -> u32 {
-        self.adj[u.index()].len() as u32
+        self.adj.degree(u.index())
     }
 
-    /// Whether the edge `{u, v}` currently exists.
+    /// Whether the edge `{u, v}` currently exists (a binary search in
+    /// `u`'s sorted slot).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u.index() < self.adj.len() && self.adj[u.index()].binary_search(&v).is_ok()
+        u.index() < self.adj.node_count() && self.adj.has_edge(u.index(), v.0)
     }
 
     /// Snapshot of the current graph.
     pub fn to_graph(&self) -> Graph {
-        let mut b = GraphBuilder::new(self.adj.len()).expect("node count fits");
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            for &v in nbrs {
-                if (u as u32) < v.0 {
-                    b.add_edge(NodeId(u as u32), v);
-                }
-            }
-        }
-        b.build()
+        self.adj.to_graph()
     }
 
     fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), MutationError> {
-        if u == v || u.index() >= self.adj.len() || v.index() >= self.adj.len() {
+        let n = self.adj.node_count();
+        if u == v || u.index() >= n || v.index() >= n {
             return Err(MutationError::InvalidEndpoints { u, v });
         }
         Ok(())
@@ -198,10 +202,7 @@ impl DynamicCore {
                 present: true,
             });
         }
-        let iu = self.adj[u.index()].binary_search(&v).unwrap_err();
-        self.adj[u.index()].insert(iu, v);
-        let iv = self.adj[v.index()].binary_search(&u).unwrap_err();
-        self.adj[v.index()].insert(iv, u);
+        self.adj.insert_edge(u, v);
 
         let k_min = self.core[u.index()].min(self.core[v.index()]);
         // Roots: the endpoint(s) sitting exactly at k_min.
@@ -212,7 +213,8 @@ impl DynamicCore {
 
         // Candidate region: k_min-shell nodes reachable from the roots
         // through the k_min-shell.
-        let mut in_candidates = vec![false; self.adj.len()];
+        let n = self.adj.node_count();
+        let mut in_candidates = vec![false; n];
         let mut candidates: Vec<NodeId> = Vec::new();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for r in roots {
@@ -223,8 +225,8 @@ impl DynamicCore {
             }
         }
         while let Some(w) = queue.pop_front() {
-            for idx in 0..self.adj[w.index()].len() {
-                let x = self.adj[w.index()][idx];
+            for &x in self.adj.neighbors(w.index()) {
+                let x = NodeId(x);
                 if self.core[x.index()] == k_min && !in_candidates[x.index()] {
                     in_candidates[x.index()] = true;
                     candidates.push(x);
@@ -235,15 +237,17 @@ impl DynamicCore {
 
         // Candidate degree: neighbors that could support level k_min + 1 —
         // higher-core neighbors plus surviving candidates.
-        let mut cd = vec![0u32; self.adj.len()];
+        let mut cd = vec![0u32; n];
         for &w in &candidates {
-            cd[w.index()] = self.adj[w.index()]
+            cd[w.index()] = self
+                .adj
+                .neighbors(w.index())
                 .iter()
-                .filter(|x| self.core[x.index()] > k_min || in_candidates[x.index()])
+                .filter(|&&x| self.core[x as usize] > k_min || in_candidates[x as usize])
                 .count() as u32;
         }
         // Prune candidates that cannot reach k_min + 1.
-        let mut evicted = vec![false; self.adj.len()];
+        let mut evicted = vec![false; n];
         let mut peel: VecDeque<NodeId> = candidates
             .iter()
             .copied()
@@ -253,13 +257,13 @@ impl DynamicCore {
             evicted[w.index()] = true;
         }
         while let Some(w) = peel.pop_front() {
-            for idx in 0..self.adj[w.index()].len() {
-                let x = self.adj[w.index()][idx];
-                if in_candidates[x.index()] && !evicted[x.index()] {
-                    cd[x.index()] -= 1;
-                    if cd[x.index()] <= k_min {
-                        evicted[x.index()] = true;
-                        peel.push_back(x);
+            for &x in self.adj.neighbors(w.index()) {
+                let x = x as usize;
+                if in_candidates[x] && !evicted[x] {
+                    cd[x] -= 1;
+                    if cd[x] <= k_min {
+                        evicted[x] = true;
+                        peel.push_back(NodeId(x as u32));
                     }
                 }
             }
@@ -298,10 +302,7 @@ impl DynamicCore {
             });
         }
         let k_min = self.core[u.index()].min(self.core[v.index()]);
-        let iu = self.adj[u.index()].binary_search(&v).expect("edge present");
-        self.adj[u.index()].remove(iu);
-        let iv = self.adj[v.index()].binary_search(&u).expect("edge present");
-        self.adj[v.index()].remove(iv);
+        self.adj.remove_edge(u, v);
 
         let roots: Vec<NodeId> = [u, v]
             .into_iter()
@@ -310,7 +311,8 @@ impl DynamicCore {
 
         // Candidate region, as for insertion (over the post-removal graph;
         // the roots are included regardless of reachability).
-        let mut in_candidates = vec![false; self.adj.len()];
+        let n = self.adj.node_count();
+        let mut in_candidates = vec![false; n];
         let mut candidates: Vec<NodeId> = Vec::new();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for r in roots {
@@ -321,8 +323,8 @@ impl DynamicCore {
             }
         }
         while let Some(w) = queue.pop_front() {
-            for idx in 0..self.adj[w.index()].len() {
-                let x = self.adj[w.index()][idx];
+            for &x in self.adj.neighbors(w.index()) {
+                let x = NodeId(x);
                 if self.core[x.index()] == k_min && !in_candidates[x.index()] {
                     in_candidates[x.index()] = true;
                     candidates.push(x);
@@ -332,14 +334,16 @@ impl DynamicCore {
         }
 
         // Support: neighbors at coreness >= k_min keep a node at k_min.
-        let mut support = vec![0u32; self.adj.len()];
+        let mut support = vec![0u32; n];
         for &w in &candidates {
-            support[w.index()] = self.adj[w.index()]
+            support[w.index()] = self
+                .adj
+                .neighbors(w.index())
                 .iter()
-                .filter(|x| self.core[x.index()] >= k_min)
+                .filter(|&&x| self.core[x as usize] >= k_min)
                 .count() as u32;
         }
-        let mut dropped = vec![false; self.adj.len()];
+        let mut dropped = vec![false; n];
         let mut peel: VecDeque<NodeId> = candidates
             .iter()
             .copied()
@@ -352,13 +356,13 @@ impl DynamicCore {
         while let Some(w) = peel.pop_front() {
             self.core[w.index()] = k_min.saturating_sub(1);
             changed += 1;
-            for idx in 0..self.adj[w.index()].len() {
-                let x = self.adj[w.index()][idx];
-                if in_candidates[x.index()] && !dropped[x.index()] {
-                    support[x.index()] -= 1;
-                    if support[x.index()] < k_min {
-                        dropped[x.index()] = true;
-                        peel.push_back(x);
+            for &x in self.adj.neighbors(w.index()) {
+                let x = x as usize;
+                if in_candidates[x] && !dropped[x] {
+                    support[x] -= 1;
+                    if support[x] < k_min {
+                        dropped[x] = true;
+                        peel.push_back(NodeId(x as u32));
                     }
                 }
             }
@@ -568,6 +572,36 @@ mod tests {
         assert_eq!(dc.coreness(NodeId(1)), 2);
         assert_eq!(dc.coreness(NodeId(2)), 2);
         assert_eq!(dc.coreness(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn high_degree_hub_mutations_stay_sorted_and_correct() {
+        // Regression for the adjacency fast path: a 20k-leaf star hub is
+        // churned hundreds of times. Sorted-insertion via binary search +
+        // in-slot shift must keep `has_edge`/repair correct at high
+        // degree (a linear-scan or rebuild-based adjacency would blow up
+        // quadratically here).
+        const LEAVES: u32 = 20_000;
+        let g = star(LEAVES as usize + 1);
+        let mut dc = DynamicCore::new(&g);
+        assert_eq!(dc.degree(NodeId(0)), LEAVES);
+        // Remove and re-insert hub edges scattered across the slot.
+        for i in 0..400u32 {
+            let leaf = NodeId(1 + (i * 37) % LEAVES);
+            dc.remove_edge(NodeId(0), leaf).unwrap();
+            assert!(!dc.has_edge(NodeId(0), leaf));
+            dc.insert_edge(NodeId(0), leaf).unwrap();
+            assert!(dc.has_edge(NodeId(0), leaf));
+        }
+        assert_eq!(dc.degree(NodeId(0)), LEAVES);
+        // Leaf-to-leaf chords trigger hub-region repairs at full degree.
+        for i in 0..50u32 {
+            dc.insert_edge(NodeId(1 + 2 * i), NodeId(2 + 2 * i))
+                .unwrap();
+        }
+        let expected = batagelj_zaversnik(&dc.to_graph());
+        assert_eq!(dc.values(), expected.as_slice());
+        assert_eq!(dc.coreness(NodeId(0)), 2);
     }
 
     #[test]

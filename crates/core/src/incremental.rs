@@ -60,8 +60,11 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IncrementalIndex {
     /// `cnt[i]`, `0 ≤ i ≤ cap`: number of neighbors whose estimate,
-    /// clamped to `cap`, equals `i`. `cap` is the node's degree.
-    cnt: Box<[u32]>,
+    /// clamped to `cap`, equals `i`. `cap` is the node's degree (or the
+    /// explicit cap of [`from_estimates`](Self::from_estimates)). Kept as
+    /// a `Vec` so [`rebuild`](Self::rebuild) can recycle the allocation;
+    /// `len() == cap + 1` is an invariant.
+    cnt: Vec<u32>,
     /// Current index value (the protocol's `core` variable).
     core: u32,
     /// Number of neighbors with clamped estimate `≥ core`. Meaningless
@@ -74,7 +77,7 @@ impl IncrementalIndex {
     /// the `+∞` initialization ([`crate::INFINITY_EST`]): the value starts
     /// at the degree, matching Algorithm 1's `core ← d(u)`.
     pub fn new(degree: u32) -> Self {
-        let mut cnt = vec![0u32; degree as usize + 1].into_boxed_slice();
+        let mut cnt = vec![0u32; degree as usize + 1];
         cnt[degree as usize] = degree;
         IncrementalIndex {
             cnt,
@@ -91,20 +94,35 @@ impl IncrementalIndex {
     where
         I: IntoIterator<Item = u32>,
     {
-        let mut cnt = vec![0u32; cap as usize + 1].into_boxed_slice();
-        for est in estimates {
-            cnt[(est as usize).min(cap as usize)] += 1;
-        }
         let mut this = IncrementalIndex {
-            cnt,
-            core: cap,
+            cnt: Vec::new(),
+            core: 0,
             ge_core: 0,
         };
-        this.ge_core = this.cnt[cap as usize];
-        if this.ge_core < this.core {
-            this.walk_down();
-        }
+        this.rebuild(estimates, cap);
         this
+    }
+
+    /// Re-initializes this index over new estimates and cap, recycling
+    /// the histogram allocation — the batched streaming engine rebuilds
+    /// one pooled index per touched node per repair, so this keeps the
+    /// descent allocation-free once the pool is warm.
+    ///
+    /// Equivalent to `*self = Self::from_estimates(estimates, cap)`.
+    pub fn rebuild<I>(&mut self, estimates: I, cap: u32)
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        self.cnt.clear();
+        self.cnt.resize(cap as usize + 1, 0);
+        for est in estimates {
+            self.cnt[(est as usize).min(cap as usize)] += 1;
+        }
+        self.core = cap;
+        self.ge_core = self.cnt[cap as usize];
+        if self.ge_core < self.core {
+            self.walk_down();
+        }
     }
 
     /// The current index value: the largest `i` (≤ the initial cap and
@@ -290,6 +308,24 @@ mod tests {
                 }
                 assert_eq!(idx.core(), core);
             }
+        }
+    }
+
+    #[test]
+    fn rebuild_recycles_and_matches_fresh_construction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut idx = IncrementalIndex::new(5);
+        for _ in 0..50 {
+            let cap = rng.random_range(0u32..20);
+            let ests: Vec<u32> = (0..rng.random_range(0..25))
+                .map(|_| rng.random_range(0..30))
+                .collect();
+            idx.rebuild(ests.iter().copied(), cap);
+            assert_eq!(
+                idx,
+                IncrementalIndex::from_estimates(ests.iter().copied(), cap)
+            );
+            assert_eq!(idx.core(), compute_index(ests.iter().copied(), cap));
         }
     }
 

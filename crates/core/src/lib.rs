@@ -23,6 +23,9 @@
 //!   naive peeling algorithm for cross-validation.
 //! * [`termination`] — the three termination-detection strategies of §3.3:
 //!   centralized, decentralized epidemic aggregation, and fixed-round.
+//! * [`dynamic`] / [`stream`] — maintenance under edge churn (the paper's
+//!   §1 live-overlay scenario): per-mutation repair and the batched
+//!   streaming engine with distributed warm starts.
 //!
 //! # Quick start
 //!
@@ -57,6 +60,7 @@ pub mod dynamic;
 pub mod one_to_many;
 pub mod one_to_one;
 pub mod seq;
+pub mod stream;
 pub mod termination;
 
 pub use compute_index::compute_index;

@@ -1,0 +1,175 @@
+//! Seed-randomized churn oracle: random mutation streams applied both
+//! **batched** (`StreamCore::apply_batch`) and **per-edge**
+//! (`DynamicCore::insert_edge`/`remove_edge`), checked for bit-identity
+//! against a fresh Batagelj–Zaveršnik ground-truth pass after *every*
+//! batch, across graph families × batch sizes × seeds.
+//!
+//! The CI determinism matrix re-runs this suite with `DKCORE_TEST_SEED`
+//! shifting every stream, so the oracle covers fresh mutation sequences
+//! on every run rather than one pinned trace.
+
+use dkcore::dynamic::DynamicCore;
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::{EdgeBatch, StreamCore};
+use dkcore_graph::generators::{barabasi_albert, complete, gnp, path, star, worst_case};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Offset mixed into every stream seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix); 0 when unset.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |s| s.wrapping_mul(0x9E37_79B9))
+}
+
+/// The graph families under churn. Sizes are kept modest because the
+/// oracle runs a full ground-truth pass after every batch.
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp_sparse", gnp(150, 0.02, seed)),
+        ("gnp_dense", gnp(90, 0.1, seed ^ 1)),
+        ("ba", barabasi_albert(120, 3, seed ^ 2)),
+        ("star", star(60)),
+        ("path", path(80)),
+        ("complete", complete(12)),
+        ("worst_case", worst_case(40)),
+    ]
+}
+
+/// Draws the next valid batch against the current edge state: a random
+/// mix of insertions of absent edges and removals of present ones.
+fn next_batch(sc: &StreamCore, batch_size: usize, rng: &mut StdRng) -> EdgeBatch {
+    let n = sc.node_count() as u32;
+    let mut batch = EdgeBatch::new();
+    let mut used: Vec<(u32, u32)> = Vec::new();
+    let mut tries = 0;
+    while batch.len() < batch_size && tries < batch_size * 30 {
+        tries += 1;
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if used.contains(&key) {
+            continue;
+        }
+        used.push(key);
+        let (u, v) = (NodeId(key.0), NodeId(key.1));
+        if sc.has_edge(u, v) {
+            batch.remove(u, v);
+        } else {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+/// The oracle proper: one family, one batch size, one seed.
+fn run_oracle(name: &str, g: &Graph, batch_size: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batched = StreamCore::new(g);
+    let mut per_edge = DynamicCore::new(g);
+    for step in 0..8 {
+        let batch = next_batch(&batched, batch_size, &mut rng);
+        batched.apply_batch(&batch).unwrap();
+        for &(u, v) in batch.removals() {
+            per_edge.remove_edge(u, v).unwrap();
+        }
+        for &(u, v) in batch.insertions() {
+            per_edge.insert_edge(u, v).unwrap();
+        }
+        let truth = batagelj_zaversnik(&batched.to_graph());
+        assert_eq!(
+            batched.values(),
+            truth.as_slice(),
+            "{name}: batched repair diverged (batch {batch_size}, seed {seed}, step {step})"
+        );
+        assert_eq!(
+            per_edge.values(),
+            truth.as_slice(),
+            "{name}: per-edge repair diverged (batch {batch_size}, seed {seed}, step {step})"
+        );
+        assert_eq!(
+            batched.to_graph(),
+            per_edge.to_graph(),
+            "{name}: adjacency drifted (batch {batch_size}, seed {seed}, step {step})"
+        );
+    }
+}
+
+#[test]
+fn batched_and_per_edge_match_bz_across_families_and_batch_sizes() {
+    let offset = seed_offset();
+    for seed in 0..2u64 {
+        for (name, g) in families(seed.wrapping_add(offset)) {
+            for batch_size in [1usize, 7, 32] {
+                run_oracle(
+                    name,
+                    &g,
+                    batch_size,
+                    (seed * 31 + batch_size as u64).wrapping_add(offset),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn removal_only_and_insert_only_streams() {
+    // Degenerate streams exercise the two phases in isolation: pure
+    // insertion batches (region analysis + bumped descent, no removal
+    // phase) and pure removal batches (exact descent, no regions).
+    let offset = seed_offset();
+    let mut rng = StdRng::seed_from_u64(7 ^ offset);
+    let g = gnp(120, 0.06, 3 ^ offset);
+    let mut sc = StreamCore::new(&g);
+
+    // Insert-only: densify.
+    for _ in 0..5 {
+        let mut batch = EdgeBatch::new();
+        let mut used: Vec<(u32, u32)> = Vec::new();
+        while batch.len() < 16 {
+            let a = rng.random_range(0..120u32);
+            let b = rng.random_range(0..120u32);
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if used.contains(&key) || sc.has_edge(NodeId(key.0), NodeId(key.1)) {
+                continue;
+            }
+            used.push(key);
+            batch.insert(NodeId(key.0), NodeId(key.1));
+        }
+        sc.apply_batch(&batch).unwrap();
+        assert_eq!(
+            sc.values(),
+            batagelj_zaversnik(&sc.to_graph()).as_slice(),
+            "insert-only stream diverged"
+        );
+    }
+
+    // Removal-only: peel back down until the graph is sparse.
+    while sc.edge_count() > 100 {
+        let snapshot = sc.to_graph();
+        let mut batch = EdgeBatch::new();
+        for (i, (u, v)) in snapshot.edges().enumerate() {
+            if i % 7 == 0 && batch.len() < 16 {
+                batch.remove(u, v);
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        sc.apply_batch(&batch).unwrap();
+        assert_eq!(
+            sc.values(),
+            batagelj_zaversnik(&sc.to_graph()).as_slice(),
+            "removal-only stream diverged"
+        );
+    }
+}

@@ -121,6 +121,54 @@ pub fn with_dense_core(base: &Graph, size: usize, p: f64, seed: u64) -> Graph {
     b.build()
 }
 
+/// A heterogeneous-density overlay: `blocks` ER communities of
+/// `block_size` nodes whose average degree climbs from ~3 up through
+/// ~35 in a repeating five-tier cycle, with `bridges` random edges
+/// between consecutive blocks.
+///
+/// Because neighboring blocks sit at *different* coreness levels, the
+/// equal-coreness regions that streaming repairs traverse stay confined
+/// to a block instead of percolating across the graph — the structure
+/// that makes warm-started re-convergence after scattered churn cheap
+/// (`dkcore::stream`), and the shape of real overlays whose communities
+/// differ in density. Contrast with a homogeneous G(n,p), where one
+/// dominant coreness value spans the giant component.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `block_size < 2`.
+pub fn tiered_blocks(blocks: usize, block_size: usize, bridges: usize, seed: u64) -> Graph {
+    assert!(blocks > 0, "need at least one block");
+    assert!(block_size >= 2, "blocks need at least two nodes");
+    let n = blocks * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).expect("node count fits u32");
+    for blk in 0..blocks {
+        let base = (blk * block_size) as u32;
+        // Average degree 3, 11, ..., 35 cycling over tiers of 5: the wide
+        // spacing puts neighboring blocks several coreness levels apart,
+        // so small-window candidate regions cannot leak across bridges.
+        let avg_degree = 3.0 + 8.0 * (blk % 5) as f64;
+        let p = (avg_degree / (block_size - 1) as f64).min(1.0);
+        for i in 0..block_size as u32 {
+            for j in (i + 1)..block_size as u32 {
+                if rng.random_bool(p) {
+                    b.add_edge(NodeId(base + i), NodeId(base + j));
+                }
+            }
+        }
+        if blk + 1 < blocks {
+            let next = ((blk + 1) * block_size) as u32;
+            for _ in 0..bridges {
+                let u = base + rng.random_range(0..block_size as u32);
+                let v = next + rng.random_range(0..block_size as u32);
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    b.build()
+}
+
 /// A road-network model: a 2-D grid with a fraction of its edges removed.
 ///
 /// Pure grids have average degree → 4; real road networks (the paper's
@@ -194,6 +242,23 @@ mod tests {
         assert!(kmax >= 19, "clique of 20 forces kmax >= 19, got {kmax}");
         assert!(kmax > base_kmax);
         assert_eq!(g.node_count(), base.node_count());
+    }
+
+    #[test]
+    fn tiered_blocks_spreads_coreness_across_tiers() {
+        let g = tiered_blocks(16, 150, 4, 7);
+        assert_eq!(g.node_count(), 16 * 150);
+        let core = dkcore::seq::batagelj_zaversnik(&g);
+        // The densest tier (avg degree ~17) must reach a much higher
+        // coreness than the sparsest (~3): heterogeneity is the point.
+        let block_max = |blk: usize| (blk * 150..(blk + 1) * 150).map(|u| core[u]).max().unwrap();
+        assert!(
+            block_max(4) >= block_max(0) + 5,
+            "tier 4 ({}) should out-core tier 0 ({})",
+            block_max(4),
+            block_max(0)
+        );
+        assert_eq!(tiered_blocks(16, 150, 4, 7), tiered_blocks(16, 150, 4, 7));
     }
 
     #[test]

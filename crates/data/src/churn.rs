@@ -1,0 +1,438 @@
+//! Churn-stream workload generators: deterministic sequences of valid
+//! [`EdgeBatch`]es modeling how a live overlay's edge set evolves (the
+//! paper's §1 scenario — "the k-core organization of the network can
+//! vary" while the system inspects itself).
+//!
+//! Three families, mirroring the batched-maintenance evaluation
+//! literature (see `PAPERS.md`):
+//!
+//! * [`ChurnWorkload::SlidingWindow`] — the streaming-graph staple: every
+//!   batch inserts fresh random edges and expires the oldest streamed
+//!   ones once the window is full, so insert and remove rates balance in
+//!   steady state.
+//! * [`ChurnWorkload::InsertHeavy`] — a growing overlay: almost all
+//!   insertions, with an occasional removal (failures are rare compared
+//!   to joins).
+//! * [`ChurnWorkload::Adversarial`] — §4.2-style churn: batches toggle
+//!   the lowest-id chain edges, which on the paper's worst-case family
+//!   are exactly the mutations whose repair cascades across the whole
+//!   graph. On other graphs it concentrates churn on a few hot edges.
+//! * [`ChurnWorkload::Hotspot`] — churn confined to one flaky region of
+//!   an otherwise stable overlay, the showcase for warm-started
+//!   distributed re-convergence.
+//!
+//! Every generated batch is **valid** against the graph state produced by
+//! applying the previous batches in order (removals target live edges,
+//! insertions target absent ones, no edge is mutated twice in one batch),
+//! so streams can be fed directly to
+//! [`StreamCore::apply_batch`](dkcore::stream::StreamCore::apply_batch)
+//! or replayed per-edge through
+//! [`DynamicCore`](dkcore::dynamic::DynamicCore).
+
+use std::collections::{HashSet, VecDeque};
+
+use dkcore::stream::EdgeBatch;
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A churn-stream family. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnWorkload {
+    /// Insert fresh random edges; once more than `window` streamed edges
+    /// are live, expire the oldest so the window stays bounded.
+    SlidingWindow {
+        /// Maximum number of streamed (inserted-by-the-stream) edges kept
+        /// alive.
+        window: usize,
+    },
+    /// Random insertions with one removal every `remove_every` mutations
+    /// (`0` disables removals entirely).
+    InsertHeavy {
+        /// Period of removals among the mutations; `0` = never remove.
+        remove_every: usize,
+    },
+    /// Toggle the lowest-id chain edges `{i, i+1}` — the §4.2 cascade
+    /// sources on the worst-case family.
+    Adversarial,
+    /// Churn confined to the first `span` node ids — a flaky region of an
+    /// otherwise stable overlay. This is the workload where warm-started
+    /// re-convergence shines: only the hotspot's candidate regions ever
+    /// reactivate, so the rest of the system confirms its coreness
+    /// immediately.
+    Hotspot {
+        /// Node-id prefix the churn is confined to.
+        span: usize,
+        /// Period of removals among the mutations; `0` = never remove.
+        remove_every: usize,
+    },
+}
+
+/// Generates `batches` valid batches of `batch_size` mutations each for
+/// `workload`, starting from `g`. Deterministic in `seed`.
+///
+/// A batch may come out smaller than `batch_size` when the graph runs out
+/// of legal mutations (e.g. removals requested on an empty graph).
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than two nodes and mutations are requested.
+pub fn churn_stream(
+    g: &Graph,
+    workload: ChurnWorkload,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<EdgeBatch> {
+    assert!(
+        batches == 0 || batch_size == 0 || g.node_count() >= 2,
+        "churn needs at least two nodes"
+    );
+    let mut state = EdgeState::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut streamed: VecDeque<(u32, u32)> = VecDeque::new();
+    let mut mutation_clock = 0usize;
+    let mut out = Vec::with_capacity(batches);
+
+    for _ in 0..batches {
+        let mut batch = EdgeBatch::new();
+        let mut used: HashSet<(u32, u32)> = HashSet::new();
+        match workload {
+            ChurnWorkload::SlidingWindow { window } => {
+                // Fill the insert half first, then expire the oldest
+                // streamed edges beyond the window.
+                let inserts = batch_size.div_ceil(2);
+                for _ in 0..inserts {
+                    if let Some(e) = state.random_absent(&mut rng, &used) {
+                        used.insert(e);
+                        state.insert(e);
+                        streamed.push_back(e);
+                        batch.insert(NodeId(e.0), NodeId(e.1));
+                    }
+                }
+                // Edges skipped because they were already churned this
+                // batch stay tracked (re-queued at the front afterwards);
+                // only genuinely expired duplicates are dropped.
+                let mut deferred: Vec<(u32, u32)> = Vec::new();
+                while streamed.len() + deferred.len() > window && batch.len() < batch_size {
+                    let Some(e) = streamed.pop_front() else { break };
+                    if used.contains(&e) {
+                        deferred.push(e);
+                        continue;
+                    }
+                    if !state.contains(e) {
+                        continue; // stale entry: this edge already expired
+                    }
+                    used.insert(e);
+                    state.remove(e);
+                    batch.remove(NodeId(e.0), NodeId(e.1));
+                }
+                for e in deferred.into_iter().rev() {
+                    streamed.push_front(e);
+                }
+            }
+            ChurnWorkload::InsertHeavy { remove_every } => {
+                for _ in 0..batch_size {
+                    mutation_clock += 1;
+                    let do_remove = remove_every > 0 && mutation_clock.is_multiple_of(remove_every);
+                    if do_remove {
+                        if let Some(e) = state.random_present(&mut rng, &used) {
+                            used.insert(e);
+                            state.remove(e);
+                            batch.remove(NodeId(e.0), NodeId(e.1));
+                            continue;
+                        }
+                    }
+                    if let Some(e) = state.random_absent(&mut rng, &used) {
+                        used.insert(e);
+                        state.insert(e);
+                        batch.insert(NodeId(e.0), NodeId(e.1));
+                    }
+                }
+            }
+            ChurnWorkload::Hotspot { span, remove_every } => {
+                let span = span.clamp(2, g.node_count()) as u32;
+                for _ in 0..batch_size {
+                    mutation_clock += 1;
+                    let do_remove = remove_every > 0 && mutation_clock.is_multiple_of(remove_every);
+                    if do_remove {
+                        if let Some(e) = state.random_present_within(&mut rng, &used, span) {
+                            used.insert(e);
+                            state.remove(e);
+                            batch.remove(NodeId(e.0), NodeId(e.1));
+                            continue;
+                        }
+                    }
+                    if let Some(e) = state.random_absent_within(&mut rng, &used, span) {
+                        used.insert(e);
+                        state.insert(e);
+                        batch.insert(NodeId(e.0), NodeId(e.1));
+                    }
+                }
+            }
+            ChurnWorkload::Adversarial => {
+                let n = g.node_count() as u32;
+                for i in 0..batch_size as u32 {
+                    let e = (i % (n - 1), i % (n - 1) + 1);
+                    if used.contains(&e) {
+                        continue;
+                    }
+                    used.insert(e);
+                    if state.contains(e) {
+                        state.remove(e);
+                        batch.remove(NodeId(e.0), NodeId(e.1));
+                    } else {
+                        state.insert(e);
+                        batch.insert(NodeId(e.0), NodeId(e.1));
+                    }
+                }
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+/// Live edge set with O(1) membership and uniform sampling of both
+/// present and absent edges.
+struct EdgeState {
+    nodes: u32,
+    present: HashSet<(u32, u32)>,
+    /// Present edges as a sampling pool (swap-removed on removal).
+    pool: Vec<(u32, u32)>,
+}
+
+impl EdgeState {
+    fn new(g: &Graph) -> Self {
+        let pool: Vec<(u32, u32)> = g.edges().map(|(u, v)| ordered(u.0, v.0)).collect();
+        EdgeState {
+            nodes: g.node_count() as u32,
+            present: pool.iter().copied().collect(),
+            pool,
+        }
+    }
+
+    fn contains(&self, e: (u32, u32)) -> bool {
+        self.present.contains(&e)
+    }
+
+    fn insert(&mut self, e: (u32, u32)) {
+        if self.present.insert(e) {
+            self.pool.push(e);
+        }
+    }
+
+    fn remove(&mut self, e: (u32, u32)) {
+        if self.present.remove(&e) {
+            let i = self
+                .pool
+                .iter()
+                .position(|&x| x == e)
+                .expect("pool mirrors set");
+            self.pool.swap_remove(i);
+        }
+    }
+
+    /// A uniform random absent edge not yet used in this batch, or `None`
+    /// if none is found after bounded rejection sampling.
+    fn random_absent(&self, rng: &mut StdRng, used: &HashSet<(u32, u32)>) -> Option<(u32, u32)> {
+        self.random_absent_within(rng, used, self.nodes)
+    }
+
+    /// As [`random_absent`](Self::random_absent), confined to node ids
+    /// below `span`.
+    fn random_absent_within(
+        &self,
+        rng: &mut StdRng,
+        used: &HashSet<(u32, u32)>,
+        span: u32,
+    ) -> Option<(u32, u32)> {
+        for _ in 0..200 {
+            let a = rng.random_range(0..span);
+            let b = rng.random_range(0..span);
+            if a == b {
+                continue;
+            }
+            let e = ordered(a, b);
+            if !self.present.contains(&e) && !used.contains(&e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// A uniform random present edge not yet used in this batch.
+    fn random_present(&self, rng: &mut StdRng, used: &HashSet<(u32, u32)>) -> Option<(u32, u32)> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        for _ in 0..200 {
+            let e = self.pool[rng.random_range(0..self.pool.len())];
+            if !used.contains(&e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// A random present edge with both endpoints below `span`, not yet
+    /// used in this batch.
+    fn random_present_within(
+        &self,
+        rng: &mut StdRng,
+        used: &HashSet<(u32, u32)>,
+        span: u32,
+    ) -> Option<(u32, u32)> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        for _ in 0..200 {
+            let e = self.pool[rng.random_range(0..self.pool.len())];
+            if e.1 < span && !used.contains(&e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+fn ordered(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore::stream::StreamCore;
+    use dkcore_graph::generators::{gnp, worst_case};
+
+    fn replay_and_verify(g: &Graph, stream: &[EdgeBatch]) {
+        let mut sc = StreamCore::new(g);
+        for (i, batch) in stream.iter().enumerate() {
+            sc.apply_batch(batch)
+                .unwrap_or_else(|e| panic!("batch {i} invalid: {e}"));
+        }
+        assert_eq!(sc.values(), batagelj_zaversnik(&sc.to_graph()).as_slice());
+    }
+
+    #[test]
+    fn sliding_window_batches_are_valid_and_bounded() {
+        let g = gnp(300, 0.02, 4);
+        let stream = churn_stream(&g, ChurnWorkload::SlidingWindow { window: 40 }, 12, 16, 7);
+        assert_eq!(stream.len(), 12);
+        // Early batches are insert-only; steady-state batches remove too.
+        assert!(stream[0].removals().is_empty());
+        assert!(!stream.last().unwrap().removals().is_empty());
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn insert_heavy_is_mostly_insertions() {
+        let g = gnp(200, 0.02, 9);
+        let stream = churn_stream(
+            &g,
+            ChurnWorkload::InsertHeavy { remove_every: 8 },
+            10,
+            16,
+            3,
+        );
+        let (ins, rem): (usize, usize) = stream.iter().fold((0, 0), |(i, r), b| {
+            (i + b.insertions().len(), r + b.removals().len())
+        });
+        assert!(
+            ins > 6 * rem,
+            "insert-heavy mix: {ins} inserts, {rem} removals"
+        );
+        assert!(rem > 0, "removals do occur");
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn adversarial_toggles_cascade_edges_on_worst_case() {
+        let g = worst_case(60);
+        let stream = churn_stream(&g, ChurnWorkload::Adversarial, 6, 4, 0);
+        // The first batch removes live chain edges; the second re-inserts
+        // them (toggle), so batches alternate direction.
+        assert!(!stream[0].removals().is_empty());
+        assert!(!stream[1].insertions().is_empty());
+        for b in &stream {
+            for &(u, v) in b.removals().iter().chain(b.insertions()) {
+                assert_eq!(v.0, u.0 + 1, "adversarial churn stays on the chain");
+            }
+        }
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn sliding_window_bounds_live_streamed_edges_even_with_tiny_windows() {
+        // Regression: with `window < inserts-per-batch`, the expiry loop
+        // pops edges inserted in the same batch; they must stay tracked
+        // (deferred), not silently leak out of the window accounting.
+        let g = gnp(200, 0.01, 8);
+        let base_edges = g.edge_count();
+        let stream = churn_stream(&g, ChurnWorkload::SlidingWindow { window: 2 }, 15, 8, 3);
+        let (ins, rem) = stream.iter().fold((0, 0), |(i, r), b| {
+            (i + b.insertions().len(), r + b.removals().len())
+        });
+        assert!(
+            ins - rem <= 2 + 8,
+            "live streamed edges must stay near the window: {ins} inserted, {rem} removed"
+        );
+        let mut sc = StreamCore::new(&g);
+        for b in &stream {
+            sc.apply_batch(b).unwrap();
+        }
+        assert!(sc.edge_count() <= base_edges + 2 + 8);
+    }
+
+    #[test]
+    fn hotspot_confines_churn_to_the_span() {
+        let g = gnp(400, 0.02, 5);
+        let stream = churn_stream(
+            &g,
+            ChurnWorkload::Hotspot {
+                span: 50,
+                remove_every: 4,
+            },
+            10,
+            8,
+            11,
+        );
+        let mut saw_removal = false;
+        for b in &stream {
+            for &(u, v) in b.insertions().iter().chain(b.removals()) {
+                assert!(u.0 < 50 && v.0 < 50, "churn escaped the hotspot");
+            }
+            saw_removal |= !b.removals().is_empty();
+        }
+        assert!(saw_removal);
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let g = gnp(150, 0.03, 1);
+        let w = ChurnWorkload::SlidingWindow { window: 30 };
+        assert_eq!(
+            churn_stream(&g, w, 8, 12, 42),
+            churn_stream(&g, w, 8, 12, 42)
+        );
+        assert_ne!(
+            churn_stream(&g, w, 8, 12, 42),
+            churn_stream(&g, w, 8, 12, 43)
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_requests() {
+        let g = gnp(50, 0.05, 2);
+        assert!(churn_stream(&g, ChurnWorkload::Adversarial, 0, 8, 1).is_empty());
+        let stream = churn_stream(&g, ChurnWorkload::InsertHeavy { remove_every: 0 }, 3, 0, 1);
+        assert!(stream.iter().all(EdgeBatch::is_empty));
+    }
+}

@@ -10,6 +10,10 @@
 //! [`dkcore_graph::io::read_edge_list_file`] — the harness accepts any
 //! graph.
 //!
+//! The [`churn`] module adds *edge-churn stream* workloads on top of any
+//! graph: sliding-window, insert-heavy and adversarial batch sequences
+//! for the streaming maintenance engine (`dkcore::stream`).
+//!
 //! # Example
 //!
 //! ```
@@ -26,7 +30,9 @@
 
 mod builders;
 mod catalog;
+pub mod churn;
 pub mod fixtures;
 
-pub use builders::{collaboration, sparse_grid, with_dense_core, with_hub_clique};
+pub use builders::{collaboration, sparse_grid, tiered_blocks, with_dense_core, with_hub_clique};
 pub use catalog::{by_name, catalog, DatasetSpec, PaperStats};
+pub use churn::{churn_stream, ChurnWorkload};

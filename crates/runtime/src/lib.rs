@@ -8,8 +8,16 @@
 //!
 //! Rounds are paced by a coordinator thread implementing the paper's
 //! §3.3 *centralized* termination detection ("master-slaves approach"):
-//! each round it ticks every worker, collects one activity report per
-//! worker, and stops the system after the first fully quiescent round.
+//! each round is a deliver barrier (every worker drains last round's
+//! messages) followed by a flush barrier (every worker emits its staged
+//! `⟨S⟩` sets), and the system stops after the first fully quiescent
+//! round. The two-barrier round makes the live transport exactly
+//! lock-step: coreness *and* message statistics are bit-identical to the
+//! synchronous `HostSim` reference engine (asserted by the parity test in
+//! `worker.rs`). Point-to-point messages travel slot-translated in
+//! recycled per-peer buffers (`round_flush_staged`/`receive_slots`), so
+//! steady-state rounds allocate nothing; broadcasts ship one shared
+//! `Arc` set instead of per-recipient clones.
 //!
 //! The one-to-one scenario is the special case `hosts == node_count` (the
 //! paper, §1: "the former can be seen as a special case of the latter"),

@@ -1,10 +1,22 @@
 //! Coordinator + worker threads.
+//!
+//! The data plane ships estimate sets with the flat staging layout of the
+//! PR 2 engines instead of heap-allocated pair vectors per message:
+//! point-to-point `⟨S⟩` messages are emitted **slot-translated** through
+//! [`HostProtocol::round_flush_staged`] into reusable per-peer buffers
+//! (receivers drain them with [`HostProtocol::receive_slots`] — one array
+//! write per pair, no node lookups — and recycle the emptied buffer back
+//! to the sender), while broadcast sets are shared by `Arc` rather than
+//! cloned per recipient. Steady-state rounds allocate nothing on the
+//! point-to-point path.
 
+use std::sync::Arc;
 use std::thread;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dkcore::one_to_many::{
-    Assignment, AssignmentPolicy, Destination, HostProtocol, OneToManyConfig, Outgoing,
+    Assignment, AssignmentPolicy, DisseminationPolicy, HostId, HostProtocol, OneToManyConfig,
+    StagedSink,
 };
 use dkcore_graph::{Graph, NodeId};
 use parking_lot::Mutex;
@@ -55,13 +67,39 @@ pub struct RuntimeResult {
     pub converged: bool,
 }
 
-/// Sending half of a host's estimate-set channel.
-type EstimateSender = Sender<Vec<(NodeId, u32)>>;
+/// One data-plane message between hosts.
+enum Packet {
+    /// A point-to-point `⟨S⟩` message, slot-translated into the
+    /// recipient's slot space; `from` identifies the sender so the
+    /// drained buffer can be recycled back to it.
+    Slots {
+        /// Sending host (recycling address).
+        from: usize,
+        /// `(destination slot, estimate)` pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// A broadcast `⟨S⟩` set, shared across all recipients.
+    Broadcast(Arc<Vec<(NodeId, u32)>>),
+}
+
+/// Sending half of a buffer-recycling channel.
+type RecycleSender = Sender<Vec<(u32, u32)>>;
 
 /// Control messages from the coordinator to workers.
+///
+/// A round is two barriers: `Deliver` (drain everything sent last round)
+/// then `Flush` — making the live transport *exactly* lock-step
+/// synchronous. With a single combined tick, a fast sender's message
+/// could be drained by a slow receiver in the same round, silently
+/// compressing convergence and making message counts scheduling-
+/// dependent; the split barrier restores the deliver-then-flush round of
+/// the synchronous reference engine (`HostSim`), bit-identical counts
+/// included.
 enum Control {
-    /// Execute one round; `first` selects the initialization flush.
-    Tick { first: bool },
+    /// Drain all `⟨S⟩` messages sent last round, then acknowledge.
+    Deliver,
+    /// Emit this round's flush; `first` selects the initialization flush.
+    Flush { first: bool },
     /// Terminate and report final state.
     Stop,
 }
@@ -108,8 +146,43 @@ impl Runtime {
         let protocols: Vec<HostProtocol> =
             HostProtocol::for_assignment(g, &assignment, self.config.protocol);
 
-        // Data plane: one channel per host for ⟨S⟩ messages.
-        let (data_txs, data_rxs): (Vec<EstimateSender>, Vec<_>) =
+        // Border slot-translation tables (point-to-point only): for host
+        // `x` and its `j`-th neighbor host, the slot each border node
+        // occupies at the destination — exactly the tables the PR 2
+        // active-set host engine precomputes, here feeding the live
+        // transport so receivers apply messages with `receive_slots`.
+        let xlats: Vec<Vec<Box<[u32]>>> = if self.config.protocol.policy
+            == DisseminationPolicy::PointToPoint
+        {
+            protocols
+                .iter()
+                .map(|x| {
+                    x.neighbor_hosts()
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &y)| {
+                            let dest = &protocols[y.index()];
+                            x.border(j)
+                                .iter()
+                                .map(|&i| {
+                                    dest.slot_of(x.local_nodes()[i as usize])
+                                        .expect("border node is in the destination's slot space")
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            vec![Vec::new(); h]
+        };
+
+        // Data plane: one packet channel per host, plus one recycling
+        // channel per host through which receivers hand drained
+        // point-to-point buffers back to their sender.
+        let (data_txs, data_rxs): (Vec<Sender<Packet>>, Vec<_>) =
+            (0..h).map(|_| unbounded()).unzip();
+        let (recycle_txs, recycle_rxs): (Vec<RecycleSender>, Vec<_>) =
             (0..h).map(|_| unbounded()).unzip();
         // Control plane.
         let (ctrl_txs, ctrl_rxs): (Vec<Sender<Control>>, Vec<_>) =
@@ -122,23 +195,42 @@ impl Runtime {
         let mut total_messages = 0u64;
 
         thread::scope(|scope| {
-            for (i, proto) in protocols.into_iter().enumerate() {
+            for (i, (proto, xlat)) in protocols.into_iter().zip(xlats).enumerate() {
                 let peers = data_txs.clone();
+                let recycle_peers = recycle_txs.clone();
+                let recycle = recycle_rxs[i].clone();
                 let ctrl = ctrl_rxs[i].clone();
                 let data = data_rxs[i].clone();
                 let report = report_tx.clone();
                 let finals = &finals;
                 scope.spawn(move || {
-                    worker_loop(i, proto, peers, ctrl, data, report, finals);
+                    let net = Network {
+                        host: i,
+                        peers,
+                        recycle_peers,
+                        recycle,
+                        xlat,
+                    };
+                    worker_loop(proto, net, ctrl, data, report, finals);
                 });
             }
 
-            // Coordinator: tick rounds until a fully quiescent one.
+            // Coordinator: run deliver/flush rounds until a fully
+            // quiescent one. The first round has nothing in flight, so it
+            // skips the deliver barrier.
             let mut first = true;
             loop {
                 rounds += 1;
+                if !first {
+                    for tx in &ctrl_txs {
+                        tx.send(Control::Deliver).expect("worker alive");
+                    }
+                    for _ in 0..h {
+                        report_rx.recv().expect("worker acks delivery");
+                    }
+                }
                 for tx in &ctrl_txs {
-                    tx.send(Control::Tick { first }).expect("worker alive");
+                    tx.send(Control::Flush { first }).expect("worker alive");
                 }
                 first = false;
                 let mut any_active = false;
@@ -179,47 +271,112 @@ impl Runtime {
     }
 }
 
+/// One worker's view of the transport: peer channels, the buffer
+/// recycling loop, and its slot-translation tables.
+struct Network {
+    host: usize,
+    peers: Vec<Sender<Packet>>,
+    /// Recycling senders, indexed by the host a drained buffer goes back to.
+    recycle_peers: Vec<Sender<Vec<(u32, u32)>>>,
+    /// This worker's incoming recycled buffers.
+    recycle: Receiver<Vec<(u32, u32)>>,
+    /// Slot tables for `round_flush_staged` (empty under broadcast).
+    xlat: Vec<Box<[u32]>>,
+}
+
+/// [`StagedSink`] shipping staged flushes over the channels: p2p messages
+/// go out in recycled buffers, broadcasts as one shared `Arc` set.
+struct NetSink<'a> {
+    host: usize,
+    peers: &'a [Sender<Packet>],
+    recycle: &'a Receiver<Vec<(u32, u32)>>,
+    /// A drained buffer kept local when a flush produced no pairs.
+    spare: Option<Vec<(u32, u32)>>,
+    sent: bool,
+}
+
+impl StagedSink for NetSink<'_> {
+    fn p2p(&mut self, y: HostId, pairs: &mut dyn Iterator<Item = (u32, u32)>) -> u64 {
+        let mut buf = self
+            .spare
+            .take()
+            .or_else(|| self.recycle.try_recv().ok())
+            .unwrap_or_default();
+        buf.clear();
+        buf.extend(pairs);
+        let n = buf.len() as u64;
+        if n == 0 {
+            self.spare = Some(buf);
+            return 0;
+        }
+        self.sent = true;
+        self.peers[y.index()]
+            .send(Packet::Slots {
+                from: self.host,
+                pairs: buf,
+            })
+            .expect("peer alive");
+        n
+    }
+
+    fn broadcast(&mut self, pairs: &mut dyn Iterator<Item = (NodeId, u32)>) {
+        let set: Arc<Vec<(NodeId, u32)>> = Arc::new(pairs.collect());
+        self.sent = true;
+        for (p, tx) in self.peers.iter().enumerate() {
+            if p != self.host {
+                tx.send(Packet::Broadcast(set.clone())).expect("peer alive");
+            }
+        }
+    }
+}
+
 /// Body of one worker thread: drain inbox, process, flush, report.
 fn worker_loop(
-    host: usize,
     mut proto: HostProtocol,
-    peers: Vec<Sender<Vec<(NodeId, u32)>>>,
+    net: Network,
     ctrl: Receiver<Control>,
-    data: Receiver<Vec<(NodeId, u32)>>,
+    data: Receiver<Packet>,
     report: Sender<Report>,
     finals: &Mutex<Vec<Option<FinalState>>>,
 ) {
+    let mut spare: Option<Vec<(u32, u32)>> = None;
     loop {
         match ctrl.recv().expect("coordinator alive") {
-            Control::Tick { first } => {
-                // Drain all estimate sets that arrived since the last tick.
-                while let Ok(pairs) = data.try_recv() {
-                    proto.receive(&pairs);
-                }
-                let outgoing: Vec<Outgoing> = if first {
-                    proto.initial_flush()
-                } else {
-                    proto.round_flush()
-                };
-                let mut sent = false;
-                for msg in outgoing {
-                    sent = true;
-                    match msg.dest {
-                        Destination::AllHosts => {
-                            for (p, tx) in peers.iter().enumerate() {
-                                if p != host {
-                                    tx.send(msg.pairs.clone()).expect("peer alive");
-                                }
-                            }
+            Control::Deliver => {
+                // Drain everything flushed last round (all of it has
+                // arrived: peers sent before reporting, and the
+                // coordinator collected every report before this barrier).
+                while let Ok(packet) = data.try_recv() {
+                    match packet {
+                        Packet::Slots { from, mut pairs } => {
+                            proto.receive_slots(&pairs);
+                            pairs.clear();
+                            // Hand the drained buffer back; the sender may
+                            // already be gone during shutdown.
+                            let _ = net.recycle_peers[from].send(pairs);
                         }
-                        Destination::Host(y) => {
-                            peers[y.index()]
-                                .send(msg.pairs.clone())
-                                .expect("peer alive");
-                        }
+                        Packet::Broadcast(set) => proto.receive(&set),
                     }
                 }
-                let active = sent || proto.has_pending_changes();
+                report
+                    .send(Report { active: false })
+                    .expect("coordinator alive");
+            }
+            Control::Flush { first } => {
+                let mut sink = NetSink {
+                    host: net.host,
+                    peers: &net.peers,
+                    recycle: &net.recycle,
+                    spare: spare.take(),
+                    sent: false,
+                };
+                if first {
+                    proto.initial_flush_staged(&net.xlat, &mut sink);
+                } else {
+                    proto.round_flush_staged(&net.xlat, &mut sink);
+                }
+                let active = sink.sent || proto.has_pending_changes();
+                spare = sink.spare;
                 report.send(Report { active }).expect("coordinator alive");
             }
             Control::Stop => {
@@ -228,7 +385,7 @@ fn worker_loop(
                     messages_sent: proto.messages_sent(),
                     estimates_sent: proto.estimates_sent(),
                 };
-                finals.lock()[host] = Some(state);
+                finals.lock()[net.host] = Some(state);
                 return;
             }
         }
@@ -327,19 +484,65 @@ mod tests {
     }
 
     #[test]
+    fn message_count_parity_with_host_sim() {
+        // The staged transport must be *accounting-identical* to the
+        // synchronous reference engine: with the coordinator barrier,
+        // every ⟨S⟩ sent in tick r is drained before the tick-(r+1)
+        // flush, exactly HostSim's deliver-then-flush round — so message
+        // and estimate counts (and the round count) agree bit for bit,
+        // buffer recycling notwithstanding.
+        use dkcore_sim::{HostSim, HostSimConfig};
+        let g = gnp(140, 0.05, 33);
+        for policy in [
+            DisseminationPolicy::PointToPoint,
+            DisseminationPolicy::Broadcast,
+        ] {
+            for hosts in [3, 8] {
+                let mut config = RuntimeConfig::with_hosts(hosts);
+                config.protocol.policy = policy;
+                let live = Runtime::new(config).run(&g);
+
+                let mut sim_config = HostSimConfig::synchronous(hosts);
+                sim_config.protocol.policy = policy;
+                let mut sim = HostSim::new(&g, sim_config);
+                let reference = sim.run();
+
+                assert_eq!(
+                    live.coreness, reference.final_estimates,
+                    "{policy:?}/{hosts}"
+                );
+                assert_eq!(
+                    live.messages, reference.total_messages,
+                    "{policy:?}/{hosts}: ⟨S⟩ message counts diverged"
+                );
+                assert_eq!(
+                    live.estimates_sent,
+                    sim.estimates_sent(),
+                    "{policy:?}/{hosts}: estimate-pair counts diverged"
+                );
+                assert_eq!(
+                    live.rounds, reference.rounds_executed,
+                    "{policy:?}/{hosts}: round counts diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn confluent_results_despite_threading() {
-        // Thread scheduling must not affect the *outcome*: the protocol is
-        // confluent (estimates only decrease toward a unique fixpoint).
-        // Transport statistics may legitimately vary between runs — a
-        // worker may drain a message in the round it was sent or the next
-        // one depending on interleaving, exactly the nondeterminism the
-        // paper models by varying operation order across experiments.
+        // Thread scheduling must not affect anything observable: the
+        // protocol is confluent (estimates only decrease toward a unique
+        // fixpoint), and since the deliver/flush barriers made the
+        // transport exactly lock-step, even the message statistics are
+        // identical from run to run.
         let g = barabasi_albert(100, 2, 11);
         let truth = batagelj_zaversnik(&g);
-        for _ in 0..5 {
+        let reference = Runtime::new(RuntimeConfig::with_hosts(7)).run(&g);
+        assert_eq!(reference.coreness, truth);
+        assert!(reference.converged);
+        for _ in 0..4 {
             let result = Runtime::new(RuntimeConfig::with_hosts(7)).run(&g);
-            assert_eq!(result.coreness, truth);
-            assert!(result.converged);
+            assert_eq!(result, reference, "runs must be bit-identical");
         }
     }
 }

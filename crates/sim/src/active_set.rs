@@ -165,6 +165,10 @@ pub struct ActiveSetEngine {
     /// The initial degree exchange is in flight (applied as a dense
     /// sweep next round instead of via staging).
     pending_dense: bool,
+    /// Warm-start broadcast values: what each node announced in the
+    /// initialization round. `None` on a cold start (nodes announce their
+    /// degree, read straight from `deg`).
+    warm: Option<Vec<u32>>,
 
     // --- accounting (mirrors the legacy engine) ---
     send_optimization: bool,
@@ -236,6 +240,7 @@ impl ActiveSetEngine {
             stage: vec![vec![Vec::new(); regions]; threads],
             flush_lists: vec![Vec::new(); threads],
             pending_dense: false,
+            warm: None,
             send_optimization: config.protocol.send_optimization,
             round: 0,
             max_rounds: if config.max_rounds > 0 {
@@ -248,6 +253,41 @@ impl ActiveSetEngine {
             messages_per_sender: vec![0; n],
             started: false,
         }
+    }
+
+    /// Builds a *warm-started* engine: node `u` begins from `initial[u]`
+    /// (clamped by its degree) instead of its degree, exactly like
+    /// [`NodeSim::with_estimates`](crate::NodeSim::with_estimates) — the
+    /// two are bit-identical round for round (property-tested in
+    /// `tests/active_set.rs`).
+    ///
+    /// Used to re-converge after graph mutations with estimates from
+    /// [`dkcore::dynamic::warm_start_estimates`] or the batched
+    /// [`dkcore::stream::warm_start_estimates_batch`]: unaffected nodes
+    /// confirm their old coreness in the initialization exchange and go
+    /// quiet, so the active worklist contains only the mutation
+    /// candidates and re-convergence costs a handful of sparse rounds
+    /// instead of a cold start. **Safety:** every initial value must
+    /// upper-bound the node's true coreness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != g.node_count()`.
+    pub fn with_estimates(g: &Graph, config: ActiveSetConfig, initial: &[u32]) -> Self {
+        assert_eq!(
+            initial.len(),
+            g.node_count(),
+            "one initial estimate per node"
+        );
+        let mut this = ActiveSetEngine::new(g, config);
+        for (u, est) in this.est.iter_mut().enumerate() {
+            *est = initial[u].min(this.deg[u]);
+        }
+        // The histograms still hold every neighbor at +∞ (the top
+        // bucket), and `ge == deg ≥ est` everywhere, matching
+        // `NodeProtocol::with_initial_estimate`'s `force_bound`.
+        this.warm = Some(this.est.clone());
+        this
     }
 
     /// Number of simulated nodes.
@@ -328,7 +368,8 @@ impl ActiveSetEngine {
             );
             let shard = &mut shards[0];
             if self.pending_dense {
-                shard.deliver_dense(&self.offsets, &self.targets, &self.deg);
+                let init = self.warm.as_deref().unwrap_or(&self.deg);
+                shard.deliver_dense(&self.offsets, &self.targets, init);
             } else {
                 shard.deliver(&self.stage, &self.offsets, &self.owner);
             }
@@ -359,7 +400,7 @@ impl ActiveSetEngine {
     fn parallel_round(&mut self) -> (u64, u64) {
         let offsets = &self.offsets;
         let targets = &self.targets;
-        let deg = &self.deg;
+        let init: &[u32] = self.warm.as_deref().unwrap_or(&self.deg);
         let owner = &self.owner;
         let mirror = &self.mirror;
         let send_optimization = self.send_optimization;
@@ -384,7 +425,7 @@ impl ActiveSetEngine {
                 for shard in &mut shards {
                     scope.spawn(move || {
                         if pending_dense {
-                            shard.deliver_dense(offsets, targets, deg);
+                            shard.deliver_dense(offsets, targets, init);
                         } else {
                             shard.deliver(stage, offsets, owner);
                         }
@@ -600,11 +641,12 @@ impl Shard<'_> {
     }
 
     /// Dense delivery of the initialization exchange: every node hears
-    /// every neighbor's degree. One sequential sweep over this shard's
-    /// rows — no staging, no scatter — rebuilding each histogram fresh
-    /// (equivalent to, but cheaper than, `degree` bucket moves off the
-    /// `+∞` top bucket).
-    fn deliver_dense(&mut self, offsets: &[usize], targets: &[u32], deg: &[u32]) {
+    /// every neighbor's announced value — its degree on a cold start, its
+    /// warm estimate under [`ActiveSetEngine::with_estimates`]. One
+    /// sequential sweep over this shard's rows — no staging, no scatter —
+    /// rebuilding each histogram fresh (equivalent to, but cheaper than,
+    /// `degree` bucket moves off the `+∞` top bucket).
+    fn deliver_dense(&mut self, offsets: &[usize], targets: &[u32], init: &[u32]) {
         let arc_base = offsets[self.lo];
         for x in self.lo..self.hi {
             let (a, b) = (offsets[x], offsets[x + 1]);
@@ -613,12 +655,12 @@ impl Shard<'_> {
             }
             let xi = x - self.lo;
             let cap = (b - a) as u32;
-            let core = self.est[xi]; // == cap before the first delivery
+            let core = self.est[xi]; // == cap on a cold start; ≤ cap warm
             let cnt_base = a + x - (arc_base + self.lo);
             self.cnt[cnt_base + cap as usize] = 0;
             let mut below = 0u32; // neighbors with clamped estimate < core
             for p in a..b {
-                let val = deg[targets[p] as usize];
+                let val = init[targets[p] as usize];
                 // old == +∞: every value applies.
                 self.nbr_est[p - arc_base] = val;
                 let nn = val.min(cap);

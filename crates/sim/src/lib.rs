@@ -43,6 +43,15 @@
 //! whenever the execution model is synchronous. The `dkcore simulate`
 //! CLI exposes the choice as `--engine legacy|active-set`.
 //!
+//! The one-to-one engines also support **warm starts** for edge-churn
+//! streams: [`NodeSim::with_estimates`] and
+//! [`ActiveSetEngine::with_estimates`] (bit-identical to each other)
+//! begin from per-node upper bounds — e.g.
+//! [`dkcore::stream::warm_start_estimates_batch`] after a batch of
+//! mutations — so only the mutation candidates reactivate and
+//! re-convergence costs a fraction of a cold start (`dkcore stream
+//! --engine warm-dist`, `BENCH_PR3.json`).
+//!
 //! # Example
 //!
 //! ```

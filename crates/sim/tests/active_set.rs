@@ -123,6 +123,165 @@ fn family_matrix_identical_counts() {
     }
 }
 
+/// Warm starts: `ActiveSetEngine::with_estimates` is bit-identical to
+/// `NodeSim::with_estimates` — stepwise, across thread counts — when
+/// re-converging after a real batch of mutations, and both land on the
+/// ground truth of the mutated graph. Re-run by the CI determinism
+/// matrix under `DKCORE_TEST_THREADS`/`DKCORE_TEST_SEED`.
+#[test]
+fn warm_start_equals_legacy_warm_start() {
+    use dkcore::stream::{warm_start_estimates_batch, EdgeBatch, StreamCore};
+    use dkcore_graph::NodeId;
+
+    let off = seed_offset();
+    for seed in 0..3u64 {
+        let g = gnp(220, 0.03, seed * 7 + 11 + off);
+        let mut sc = StreamCore::new(&g);
+        let old = sc.values().to_vec();
+        // A small scattered batch: a few insertions plus a removal.
+        let mut batch = EdgeBatch::new();
+        let mut ins: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut removed = 0usize;
+        let mut k = 0u32;
+        while ins.len() < 4 {
+            let (u, v) = (NodeId(k % 220), NodeId((k * k + 3 + seed as u32) % 220));
+            k += 1;
+            if u == v {
+                continue;
+            }
+            let key = if u <= v { (u, v) } else { (v, u) };
+            if ins.contains(&key) {
+                continue;
+            }
+            if sc.has_edge(u, v) {
+                if removed == 0 {
+                    batch.remove(u, v);
+                    removed = 1;
+                }
+            } else {
+                batch.insert(u, v);
+                ins.push(key);
+            }
+        }
+        sc.apply_batch(&batch).unwrap();
+        let new_graph = sc.to_graph();
+        let est = warm_start_estimates_batch(&old, &new_graph, &ins, removed);
+
+        let truth = batagelj_zaversnik(&new_graph);
+        let legacy_cfg = NodeSimConfig::synchronous();
+        let legacy = NodeSim::with_estimates(&new_graph, legacy_cfg, &est).run();
+        assert_eq!(legacy.final_estimates, truth, "seed {seed}: legacy warm");
+        for threads in [1, test_threads(4)] {
+            let cfg = ActiveSetConfig {
+                protocol: OneToOneConfig::default(),
+                threads,
+                max_rounds: 0,
+            };
+            let fast = ActiveSetEngine::with_estimates(&new_graph, cfg, &est).run();
+            assert_eq!(
+                fast, legacy,
+                "seed {seed}, threads {threads}: warm-start runs diverged"
+            );
+        }
+
+        // The warm start never does worse than the cold start. (On a
+        // homogeneous G(n,p) the safe candidate region can legitimately
+        // span the graph, degenerating the warm start to the cold one —
+        // the strict win is asserted deterministically in
+        // `warm_start_strictly_beats_cold_on_stable_regions`.)
+        let cold = NodeSim::new(&new_graph, legacy_cfg).run();
+        assert_eq!(cold.final_estimates, truth);
+        assert!(
+            legacy.total_messages <= cold.total_messages,
+            "seed {seed}: warm {} > cold {} messages",
+            legacy.total_messages,
+            cold.total_messages
+        );
+        assert!(
+            legacy.rounds_executed <= cold.rounds_executed,
+            "seed {seed}: warm rounds exceed cold rounds"
+        );
+    }
+}
+
+/// The warm-start payoff, deterministically: a graph whose hard part (a
+/// §4.2 worst-case component, which needs ~N rounds from a cold start)
+/// is untouched by the mutation. Warm estimates confirm it immediately,
+/// so re-convergence is a handful of rounds and a fraction of the
+/// messages, at any thread count.
+#[test]
+fn warm_start_strictly_beats_cold_on_stable_regions() {
+    use dkcore::stream::{warm_start_estimates_batch, EdgeBatch, StreamCore};
+    use dkcore_graph::NodeId;
+
+    // Component A: worst_case(40) on ids 0..40. Component B: a 30-node
+    // path on ids 40..70.
+    let wc = worst_case(40);
+    let mut edges: Vec<(u32, u32)> = wc.edges().map(|(u, v)| (u.0, v.0)).collect();
+    edges.extend((40..69u32).map(|i| (i, i + 1)));
+    let g = Graph::from_edges(70, edges).unwrap();
+
+    let mut sc = StreamCore::new(&g);
+    let old = sc.values().to_vec();
+    // Close the path into a cycle: only component B's coreness changes.
+    let mut batch = EdgeBatch::new();
+    batch.insert(NodeId(40), NodeId(69));
+    sc.apply_batch(&batch).unwrap();
+    let new_graph = sc.to_graph();
+    let est = warm_start_estimates_batch(&old, &new_graph, &[(NodeId(40), NodeId(69))], 0);
+
+    let truth = batagelj_zaversnik(&new_graph);
+    let cold = NodeSim::new(&new_graph, NodeSimConfig::synchronous()).run();
+    assert_eq!(cold.final_estimates, truth);
+    // Both runs pay the same initialization broadcast (one message per
+    // arc); the warm start's win is in the *update* traffic after it.
+    let initial = 2 * new_graph.edge_count() as u64;
+    for threads in [1, test_threads(4)] {
+        let cfg = ActiveSetConfig {
+            protocol: OneToOneConfig::default(),
+            threads,
+            max_rounds: 0,
+        };
+        let warm = ActiveSetEngine::with_estimates(&new_graph, cfg, &est).run();
+        assert_eq!(warm.final_estimates, truth, "threads {threads}");
+        assert!(
+            warm.rounds_executed < cold.rounds_executed / 2,
+            "threads {threads}: warm {} rounds vs cold {}",
+            warm.rounds_executed,
+            cold.rounds_executed
+        );
+        assert!(
+            warm.total_messages - initial < (cold.total_messages - initial) / 2,
+            "threads {threads}: warm {} update messages vs cold {}",
+            warm.total_messages - initial,
+            cold.total_messages - initial
+        );
+    }
+}
+
+/// Stepwise warm-start agreement (not just the final result): every
+/// intermediate round of the warm engines matches.
+#[test]
+fn warm_start_stepwise_state_matches_legacy() {
+    let off = seed_offset();
+    let g = gnp(90, 0.07, 17 + off);
+    // Exact coreness as the warm start: the run must confirm and stop.
+    let truth = batagelj_zaversnik(&g);
+    let mut fast = ActiveSetEngine::with_estimates(&g, ActiveSetConfig::sequential(), &truth);
+    let mut legacy = NodeSim::with_estimates(&g, NodeSimConfig::synchronous(), &truth);
+    loop {
+        let ra = fast.step();
+        let rb = legacy.step();
+        assert_eq!(ra.messages, rb.messages, "round {}", ra.round);
+        assert_eq!(fast.estimates(), legacy.estimates(), "round {}", ra.round);
+        if ra.messages == 0 {
+            break;
+        }
+    }
+    assert_eq!(fast.execution_time(), 1, "only the confirmation broadcast");
+    assert!(fast.is_quiescent() && legacy.is_quiescent());
+}
+
 /// The optimization matrix is not vacuous: on a graph where the §3.1.2
 /// filter matters, on/off runs genuinely differ — and the fast engine
 /// reproduces both sides of the difference.
