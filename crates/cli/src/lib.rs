@@ -8,6 +8,8 @@
 //! dkcore decompose <input> [--algorithm A]         coreness of every node
 //! dkcore simulate  <input> [--hosts H] [...]       run the distributed protocols
 //! dkcore stream    <input> [--batch B] [...]       maintain coreness under edge churn
+//! dkcore serve     <input> [--port P] [...]        query service over churning graph
+//! dkcore query     --port P <command> [...]        query a running service
 //! dkcore generate  <analog> --nodes N [...]        emit a synthetic dataset
 //! ```
 //!
@@ -77,8 +79,14 @@ USAGE:
                             [--engine legacy|active-set] [--threads T]
                             [--reps R] [--seed S]
   dkcore stream    <input> [--batch B] [--steps S]
-                            [--workload sliding-window|insert-heavy|adversarial|hotspot]
-                            [--engine batched|per-edge|warm-dist] [--threads T] [--seed S]
+                            [--workload sliding-window|insert-heavy|adversarial|hotspot|mixed]
+                            [--engine batched|per-edge|warm-dist] [--threads T]
+                            [--insert-pct P] [--report-json FILE] [--seed S]
+  dkcore serve     <input> [--port P] [--batch B] [--steps S]
+                            [--workload ...] [--insert-pct P] [--interval-ms MS]
+                            [--no-wait] [--seed S]
+  dkcore query     --port P <coreness V | members K | subgraph K | hist |
+                             topk N | epoch | shutdown>
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
   dkcore help
@@ -92,6 +100,14 @@ STREAM ENGINES:
   per-edge  replay every mutation through DynamicCore, one repair per edge
   warm-dist re-converge the distributed protocol per batch, warm-started
             from batch-safe upper bounds (vs a cold start, for comparison)
+
+SERVE:
+  runs the epoch-snapshot query service (dkcore-serve): one writer applies
+  the churn workload batch by batch, publishing an immutable snapshot per
+  epoch; concurrent readers query over a TCP line protocol. `--port 0`
+  picks an ephemeral port (printed on startup). Unless --no-wait is given
+  the command keeps serving after the churn until a client sends
+  `shutdown` (`dkcore query --port P shutdown`).
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -313,6 +329,52 @@ pub fn cmd_simulate<W: Write>(
     Ok(())
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves a `--workload` name against a loaded graph.
+fn parse_workload(
+    name: &str,
+    batch: usize,
+    node_count: usize,
+    insert_pct: u32,
+) -> Result<dkcore_data::ChurnWorkload, CliError> {
+    use dkcore_data::ChurnWorkload;
+    Ok(match name {
+        "sliding-window" => ChurnWorkload::SlidingWindow { window: 2 * batch },
+        "insert-heavy" => ChurnWorkload::InsertHeavy { remove_every: 8 },
+        "adversarial" => ChurnWorkload::Adversarial,
+        "hotspot" => ChurnWorkload::Hotspot {
+            span: (node_count / 20).max(16),
+            remove_every: 8,
+        },
+        "mixed" => ChurnWorkload::Mixed { insert_pct },
+        other => {
+            return Err(CliError::new(format!(
+                "unknown workload {other:?}; expected \
+                 sliding-window|insert-heavy|adversarial|hotspot|mixed"
+            )))
+        }
+    })
+}
+
 /// `dkcore stream`: run an edge-churn stream and maintain the coreness
 /// decomposition with the chosen engine, verifying every step against the
 /// sequential ground truth.
@@ -323,6 +385,11 @@ pub fn cmd_simulate<W: Write>(
 /// distributed protocol per batch via a warm-started
 /// [`ActiveSetEngine`](dkcore_sim::ActiveSetEngine), reporting warm vs
 /// cold round counts.
+///
+/// With `report_json = Some(path)`, a machine-readable summary of the run
+/// (per-step rows plus totals, same flat `results` shape as the
+/// `BENCH_PR*.json` artifacts) is written to `path` in addition to the
+/// table on `out`.
 ///
 /// # Errors
 ///
@@ -335,36 +402,27 @@ pub fn cmd_stream<W: Write>(
     workload: &str,
     engine: &str,
     threads: usize,
+    insert_pct: u32,
+    report_json: Option<&str>,
     seed: u64,
     out: &mut W,
 ) -> Result<(), CliError> {
     use dkcore::dynamic::DynamicCore;
     use dkcore::stream::{warm_start_estimates_batch, StreamCore};
-    use dkcore_data::ChurnWorkload;
     use dkcore_sim::ActiveSetConfig;
+    use std::fmt::Write as _;
 
     let g = load_input(input, seed)?;
     if g.node_count() < 2 {
         return Err(CliError::new("stream needs a graph with at least 2 nodes"));
     }
-    let workload = match workload {
-        "sliding-window" => ChurnWorkload::SlidingWindow { window: 2 * batch },
-        "insert-heavy" => ChurnWorkload::InsertHeavy { remove_every: 8 },
-        "adversarial" => ChurnWorkload::Adversarial,
-        "hotspot" => ChurnWorkload::Hotspot {
-            span: (g.node_count() / 20).max(16),
-            remove_every: 8,
-        },
-        other => {
-            return Err(CliError::new(format!(
-                "unknown workload {other:?}; expected \
-                 sliding-window|insert-heavy|adversarial|hotspot"
-            )))
-        }
-    };
+    let workload_name = workload;
+    let workload = parse_workload(workload, batch, g.node_count(), insert_pct)?;
     let stream = dkcore_data::churn_stream(&g, workload, steps, batch, seed);
 
     let mut all_correct = true;
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut total_mutations = 0usize;
     match engine {
         "batched" | "per-edge" => {
             let batched = engine == "batched";
@@ -406,6 +464,17 @@ pub fn cmd_stream<W: Write>(
                 };
                 let correct = values == batagelj_zaversnik(&graph);
                 all_correct &= correct;
+                total_mutations += b.len();
+                let mut row = String::new();
+                let _ = write!(
+                    row,
+                    "{{\"graph\": \"step{i}\", \"step\": {i}, \"inserts\": {}, \
+                     \"removals\": {}, \"candidates\": {candidates}, \
+                     \"changed\": {changed}, \"correct\": {correct}}}",
+                    b.insertions().len(),
+                    b.removals().len(),
+                );
+                json_rows.push(row);
                 t.row([
                     i.to_string(),
                     b.insertions().len().to_string(),
@@ -448,6 +517,20 @@ pub fn cmd_stream<W: Write>(
                 let correct =
                     warm.final_estimates == sc.values() && cold.final_estimates == sc.values();
                 all_correct &= correct;
+                total_mutations += b.len();
+                let mut row = String::new();
+                let _ = write!(
+                    row,
+                    "{{\"graph\": \"step{i}\", \"step\": {i}, \"inserts\": {}, \
+                     \"removals\": {}, \"warm_rounds\": {}, \"cold_rounds\": {}, \
+                     \"warm_messages\": {}, \"correct\": {correct}}}",
+                    b.insertions().len(),
+                    b.removals().len(),
+                    warm.rounds_executed,
+                    cold.rounds_executed,
+                    warm.total_messages,
+                );
+                json_rows.push(row);
                 t.row([
                     i.to_string(),
                     b.insertions().len().to_string(),
@@ -466,8 +549,194 @@ pub fn cmd_stream<W: Write>(
             )))
         }
     }
+    if let Some(path) = report_json {
+        let mut json = String::from("{\n  \"command\": \"stream\",\n");
+        let _ = writeln!(json, "  \"input\": \"{}\",", json_escape(input));
+        let _ = writeln!(json, "  \"engine\": \"{engine}\",");
+        let _ = writeln!(json, "  \"workload\": \"{workload_name}\",");
+        let _ = writeln!(json, "  \"batch\": {batch},");
+        let _ = writeln!(json, "  \"steps\": {},", json_rows.len());
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        let _ = writeln!(json, "  \"total_mutations\": {total_mutations},");
+        let _ = writeln!(json, "  \"all_correct\": {all_correct},");
+        json.push_str("  \"results\": [\n");
+        for (i, row) in json_rows.iter().enumerate() {
+            json.push_str("    ");
+            json.push_str(row);
+            json.push_str(if i + 1 < json_rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, json)?;
+    }
     if !all_correct {
         return Err(CliError::new("stream verification failed (see table)"));
+    }
+    Ok(())
+}
+
+/// `dkcore serve`: run the epoch-snapshot query service over a churning
+/// graph (see [`dkcore_serve`]).
+///
+/// Starts the TCP front end on `127.0.0.1:port` (`0` = ephemeral; the
+/// bound port is printed first), then applies `steps` churn batches
+/// through the single writer — publishing one epoch snapshot each,
+/// `interval_ms` apart — and reports per-epoch stats plus
+/// repair/publish-latency percentiles. With `wait` the service then keeps
+/// serving queries until a client sends `SHUTDOWN`; otherwise it exits
+/// once the churn is exhausted.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for invalid options and I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_serve<W: Write>(
+    input: &str,
+    port: u16,
+    workload: &str,
+    batch: usize,
+    steps: usize,
+    insert_pct: u32,
+    interval_ms: u64,
+    wait: bool,
+    seed: u64,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use dkcore_metrics::Percentiles;
+    use dkcore_serve::{wire, CoreService};
+
+    let g = load_input(input, seed)?;
+    if g.node_count() < 2 {
+        return Err(CliError::new("serve needs a graph with at least 2 nodes"));
+    }
+    let workload = parse_workload(workload, batch, g.node_count(), insert_pct)?;
+    let stream = dkcore_data::churn_stream(&g, workload, steps, batch, seed);
+
+    let mut svc = CoreService::new(&g);
+    let handle = svc.handle();
+    let server = wire::serve(handle.clone(), ("127.0.0.1", port))?;
+    writeln!(
+        out,
+        "listening on 127.0.0.1:{} (epoch 0: {} nodes, {} edges)",
+        server.port(),
+        g.node_count(),
+        g.edge_count()
+    )?;
+
+    let mut t = Table::new(["epoch", "inserts", "removals", "changed", "publish-us"]);
+    let mut repair = Percentiles::new();
+    let mut publish = Percentiles::new();
+    for b in &stream {
+        let report = svc
+            .apply_batch(b)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        repair.record(report.repair_micros);
+        publish.record(report.publish_micros);
+        t.row([
+            report.epoch.to_string(),
+            b.insertions().len().to_string(),
+            b.removals().len().to_string(),
+            report.stats.changed.to_string(),
+            format!("{:.0}", report.publish_micros),
+        ]);
+        if interval_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+    write!(out, "{t}")?;
+
+    // The final published epoch must be the exact decomposition.
+    let snap = handle.snapshot();
+    let verified = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    writeln!(
+        out,
+        "final epoch {} ({} edges, kmax {}) verified: {verified}",
+        snap.epoch(),
+        snap.edge_count(),
+        snap.max_coreness()
+    )?;
+    writeln!(out, "repair latency (us):  {repair}")?;
+    writeln!(out, "publish latency (us): {publish}")?;
+    if !verified {
+        return Err(CliError::new("served epoch diverged from ground truth"));
+    }
+    if wait {
+        writeln!(
+            out,
+            "serving until SHUTDOWN (dkcore query --port {} shutdown)",
+            server.port()
+        )?;
+        server.wait();
+    }
+    Ok(())
+}
+
+/// `dkcore query`: one query against a running `dkcore serve` instance
+/// on `127.0.0.1:port`.
+///
+/// `args` is the query in CLI spelling, e.g. `["coreness", "5"]`,
+/// `["members", "3"]`, `["subgraph", "2"]`, `["hist"]`, `["topk", "10"]`,
+/// `["epoch"]`, `["shutdown"]`. Prints the wire response verbatim
+/// (`SUBGRAPH` bodies included).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown queries, connection failures and
+/// `ERR` responses.
+pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), CliError> {
+    use dkcore_serve::wire::WireClient;
+
+    let Some((&verb, rest)) = args.split_first() else {
+        return Err(CliError::new(
+            "query needs a command: coreness V | members K | subgraph K | \
+             hist | topk N | epoch | shutdown",
+        ));
+    };
+    // Validate the query — arguments included — before touching the
+    // network: every numeric argument is parsed here, so no raw user
+    // string (which could embed newlines, i.e. extra protocol commands)
+    // ever reaches the wire.
+    let num = |name: &str| -> Result<u32, CliError> {
+        let token = rest
+            .first()
+            .copied()
+            .ok_or_else(|| CliError::new(format!("query {name} requires an argument")))?;
+        token
+            .parse()
+            .map_err(|_| CliError::new(format!("query {name}: {token:?} is not a number")))
+    };
+    enum Request {
+        Line(String),
+        Subgraph(u32),
+    }
+    let request = match verb {
+        "coreness" => Request::Line(format!("CORENESS {}", num("coreness")?)),
+        "members" => Request::Line(format!("MEMBERS {}", num("members")?)),
+        "subgraph" => Request::Subgraph(num("subgraph")?),
+        "hist" => Request::Line("HIST".into()),
+        "topk" => Request::Line(format!("TOPK {}", num("topk")?)),
+        "epoch" => Request::Line("EPOCH".into()),
+        "shutdown" => Request::Line("SHUTDOWN".into()),
+        other => {
+            return Err(CliError::new(format!(
+            "unknown query {other:?}; expected coreness|members|subgraph|hist|topk|epoch|shutdown"
+        )))
+        }
+    };
+    let mut client = WireClient::connect(("127.0.0.1", port))
+        .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+    let lines = match request {
+        Request::Line(line) => vec![client.request(&line)?],
+        Request::Subgraph(k) => client.request_subgraph(k)?,
+    };
+    let failed = lines.first().is_some_and(|l| l.starts_with("ERR"));
+    for line in &lines {
+        writeln!(out, "{line}")?;
+    }
+    if failed {
+        return Err(CliError::new(format!(
+            "server rejected the query: {}",
+            lines[0]
+        )));
     }
     Ok(())
 }
@@ -538,6 +807,11 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut steps = 8usize;
     let mut workload = "sliding-window".to_string();
     let mut out_path: Option<String> = None;
+    let mut port = 0u16;
+    let mut insert_pct = 60u32;
+    let mut interval_ms = 0u64;
+    let mut wait = true;
+    let mut report_json: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -589,6 +863,23 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
                     .map_err(|_| CliError::new("--nodes: expected a number"))?
             }
             "--out" => out_path = Some(value("--out")?),
+            "--port" => {
+                port = value("--port")?
+                    .parse()
+                    .map_err(|_| CliError::new("--port: expected a port number"))?
+            }
+            "--insert-pct" => {
+                insert_pct = value("--insert-pct")?
+                    .parse()
+                    .map_err(|_| CliError::new("--insert-pct: expected a percentage"))?
+            }
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| CliError::new("--interval-ms: expected a number"))?
+            }
+            "--no-wait" => wait = false,
+            "--report-json" => report_json = Some(value("--report-json")?),
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag}")))
             }
@@ -631,9 +922,29 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             &workload,
             engine.as_deref().unwrap_or("batched"),
             threads,
+            insert_pct,
+            report_json.as_deref(),
             seed,
             &mut sink,
         ),
+        "serve" => cmd_serve(
+            need_input()?,
+            port,
+            &workload,
+            batch,
+            steps,
+            insert_pct,
+            interval_ms,
+            wait,
+            seed,
+            &mut sink,
+        ),
+        "query" => {
+            if port == 0 {
+                return Err(CliError::new("query requires --port P (the serve port)"));
+            }
+            cmd_query(port, rest, &mut sink)
+        }
         "generate" => {
             if nodes == 0 {
                 return Err(CliError::new("generate requires --nodes N"));
@@ -810,6 +1121,224 @@ mod tests {
         assert!(text.contains("warm-rounds"), "{text}");
         assert!(text.contains("cold-rounds"), "{text}");
         assert_eq!(text.matches("true").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn stream_mixed_workload_verifies() {
+        let text = run(&[
+            "stream",
+            "analog:gnutella-like:300",
+            "--batch",
+            "8",
+            "--steps",
+            "4",
+            "--workload",
+            "mixed",
+            "--insert-pct",
+            "70",
+        ])
+        .unwrap();
+        assert_eq!(text.matches("true").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn stream_report_json_is_machine_readable() {
+        let dir = std::env::temp_dir().join("dkcore_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream_report.json");
+        let path_str = path.to_str().unwrap().to_string();
+        run(&[
+            "stream",
+            "analog:gnutella-like:300",
+            "--batch",
+            "6",
+            "--steps",
+            "3",
+            "--workload",
+            "mixed",
+            "--report-json",
+            &path_str,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"command\": \"stream\""), "{json}");
+        assert!(json.contains("\"engine\": \"batched\""));
+        assert!(json.contains("\"workload\": \"mixed\""));
+        assert!(json.contains("\"steps\": 3"));
+        assert!(json.contains("\"all_correct\": true"));
+        assert!(json.contains("\"results\": ["));
+        assert_eq!(json.matches("\"step\":").count(), 3);
+        // warm-dist rows carry round counts instead.
+        run(&[
+            "stream",
+            "analog:condmat-like:300",
+            "--batch",
+            "4",
+            "--steps",
+            "2",
+            "--engine",
+            "warm-dist",
+            "--report-json",
+            &path_str,
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"warm_rounds\":"), "{json}");
+        assert!(json.contains("\"cold_rounds\":"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `Write` sink shared with the thread running `cmd_serve`, so the
+    /// test can read the bound port while the server is still running.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8")
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_and_query_end_to_end() {
+        let buf = SharedBuf::default();
+        let server = {
+            let mut sink = buf.clone();
+            std::thread::spawn(move || {
+                cmd_serve(
+                    "analog:gnutella-like:200",
+                    0,
+                    "mixed",
+                    8,
+                    3,
+                    60,
+                    0,
+                    true, // keep serving until the SHUTDOWN query below
+                    42,
+                    &mut sink,
+                )
+            })
+        };
+        // Wait for the ephemeral port to be announced.
+        let port: u16 = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                let text = buf.contents();
+                if let Some(rest) = text.split("listening on 127.0.0.1:").nth(1) {
+                    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    if !digits.is_empty() {
+                        break digits.parse().unwrap();
+                    }
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "serve never announced its port: {text:?}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        let port_s = port.to_string();
+        // Wait for the churn to finish (3 epochs), then query.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let e = run(&["query", "epoch", "--port", &port_s]).unwrap();
+            assert!(e.starts_with("OK epoch="), "{e}");
+            if e.contains("epoch=3") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "stuck at {e}");
+        }
+        let c = run(&["query", "coreness", "5", "--port", &port_s]).unwrap();
+        assert!(c.contains("coreness=") && c.contains("degree="), "{c}");
+        let h = run(&["query", "hist", "--port", &port_s]).unwrap();
+        assert!(h.contains("hist=0:") || h.contains("hist="), "{h}");
+        let t = run(&["query", "topk", "3", "--port", &port_s]).unwrap();
+        assert_eq!(t.matches(':').count(), 3, "{t}");
+        let s = run(&["query", "subgraph", "2", "--port", &port_s]).unwrap();
+        assert!(s.starts_with("OK epoch=3 nodes="), "{s}");
+        // Bad queries surface the server's ERR.
+        let err = run(&["query", "coreness", "99999", "--port", &port_s]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Shut the service down and join the serve command.
+        let bye = run(&["query", "shutdown", "--port", &port_s]).unwrap();
+        assert!(bye.contains("shutting-down"), "{bye}");
+        server.join().unwrap().unwrap();
+        let text = buf.contents();
+        assert!(text.contains("final epoch 3"), "{text}");
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(text.contains("repair latency (us):"), "{text}");
+        assert!(text.contains("publish latency (us):"), "{text}");
+        assert!(text.contains("p95="), "{text}");
+    }
+
+    #[test]
+    fn serve_no_wait_runs_to_completion() {
+        let mut out = Vec::new();
+        cmd_serve(
+            "analog:gnutella-like:150",
+            0,
+            "sliding-window",
+            6,
+            2,
+            60,
+            0,
+            false, // exit as soon as the churn is exhausted
+            7,
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("final epoch 2"), "{text}");
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(!text.contains("serving until SHUTDOWN"), "{text}");
+    }
+
+    #[test]
+    fn query_rejects_bad_usage() {
+        assert!(run(&["query", "epoch"])
+            .unwrap_err()
+            .to_string()
+            .contains("--port"));
+        assert!(run(&["query", "--port", "1"])
+            .unwrap_err()
+            .to_string()
+            .contains("query needs a command"));
+        assert!(run(&["query", "teleport", "--port", "1"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown query"));
+        // Arguments are validated client-side (before any connection), so
+        // raw strings — including embedded protocol commands — never
+        // reach the wire.
+        assert!(run(&["query", "coreness", "abc", "--port", "1"])
+            .unwrap_err()
+            .to_string()
+            .contains("is not a number"));
+        assert!(run(&["query", "topk", "5\nSHUTDOWN", "--port", "1"])
+            .unwrap_err()
+            .to_string()
+            .contains("is not a number"));
+        // Nothing listens on the discard port: connection errors surface.
+        assert!(run(&["query", "epoch", "--port", "9"])
+            .unwrap_err()
+            .to_string()
+            .contains("cannot reach"));
+        assert!(
+            run(&["serve", "analog:gnutella-like:100", "--workload", "bogus"])
+                .unwrap_err()
+                .to_string()
+                .contains("unknown workload")
+        );
     }
 
     #[test]

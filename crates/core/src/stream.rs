@@ -510,6 +510,24 @@ impl StreamCore {
         self.adj.to_graph()
     }
 
+    /// Current degree of every node, read straight off the arena.
+    ///
+    /// Together with [`values`](Self::values) and
+    /// [`adjacency`](Self::adjacency) this is the cheap read-only state
+    /// export consumed by snapshot builders (e.g. `dkcore-serve`): the
+    /// coreness values are exact between batches, so nothing has to be
+    /// re-derived with a fresh decomposition pass.
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.adj.node_count())
+            .map(|u| self.adj.degree(u))
+            .collect()
+    }
+
+    /// Read-only view of the slotted-CSR adjacency arena.
+    pub fn adjacency(&self) -> &AdjacencyArena {
+        &self.adj
+    }
+
     /// Inserts one edge — a batch of one.
     ///
     /// # Errors
@@ -1211,6 +1229,50 @@ mod tests {
             avg <= (2 * SIZE) as f64,
             "repairs should stay within the mutated blocks: avg {avg}"
         );
+    }
+
+    #[test]
+    fn snapshot_accessors_match_ground_truth_after_every_batch() {
+        // The read-only export (`values` + `degrees` + `adjacency`) must
+        // agree with a fresh Batagelj–Zaveršnik pass and the materialized
+        // graph after every applied batch — snapshot builders rely on it
+        // instead of re-deriving state.
+        let g = gnp(120, 0.05, 21);
+        let mut sc = StreamCore::new(&g);
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        for _ in 0..10 {
+            let mut b = EdgeBatch::new();
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..8 {
+                let x = rng.random_range(0..120u32);
+                let y = rng.random_range(0..120u32);
+                if x == y {
+                    continue;
+                }
+                let key = (x.min(y), x.max(y));
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                if sc.has_edge(NodeId(x), NodeId(y)) {
+                    b.remove(NodeId(x), NodeId(y));
+                } else {
+                    b.insert(NodeId(x), NodeId(y));
+                }
+            }
+            sc.apply_batch(&b).unwrap();
+            let graph = sc.to_graph();
+            assert_eq!(sc.values(), batagelj_zaversnik(&graph).as_slice());
+            assert_eq!(sc.degrees(), graph.degrees());
+            for u in 0..sc.node_count() {
+                let nbrs: Vec<u32> = graph
+                    .neighbors(NodeId(u as u32))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                assert_eq!(sc.adjacency().neighbors(u), nbrs.as_slice());
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`ChurnWorkload::Hotspot`] — churn confined to one flaky region of
 //!   an otherwise stable overlay, the showcase for warm-started
 //!   distributed re-convergence.
+//! * [`ChurnWorkload::Mixed`] — fully interleaved inserts and removals
+//!   with a configurable skew, the mutation side of a read-mostly serving
+//!   workload (`dkcore-serve`'s load generator pairs it with a query-side
+//!   read:write ratio).
 //!
 //! Every generated batch is **valid** against the graph state produced by
 //! applying the previous batches in order (removals target live edges,
@@ -65,6 +69,18 @@ pub enum ChurnWorkload {
         span: usize,
         /// Period of removals among the mutations; `0` = never remove.
         remove_every: usize,
+    },
+    /// Fully interleaved inserts and removals: each mutation is an
+    /// insertion with probability `insert_pct`% (else a removal), decided
+    /// independently per mutation — no phase structure, no period. When
+    /// the preferred kind has no legal edge left (e.g. a removal on an
+    /// empty graph), the other kind is tried so batches stay full as long
+    /// as any mutation is legal.
+    Mixed {
+        /// Percentage of mutations that are insertions (clamped to 100).
+        /// `50` is balanced steady-state churn; higher skews toward
+        /// growth.
+        insert_pct: u32,
     },
 }
 
@@ -167,6 +183,41 @@ pub fn churn_stream(
                         used.insert(e);
                         state.insert(e);
                         batch.insert(NodeId(e.0), NodeId(e.1));
+                    }
+                }
+            }
+            ChurnWorkload::Mixed { insert_pct } => {
+                let pct = insert_pct.min(100);
+                for _ in 0..batch_size {
+                    let prefer_insert = rng.random_range(0..100u32) < pct;
+                    let mut done = false;
+                    if prefer_insert {
+                        if let Some(e) = state.random_absent(&mut rng, &used) {
+                            used.insert(e);
+                            state.insert(e);
+                            batch.insert(NodeId(e.0), NodeId(e.1));
+                            done = true;
+                        }
+                    } else if let Some(e) = state.random_present(&mut rng, &used) {
+                        used.insert(e);
+                        state.remove(e);
+                        batch.remove(NodeId(e.0), NodeId(e.1));
+                        done = true;
+                    }
+                    if !done {
+                        // The preferred kind ran dry: fall back to the
+                        // other so the batch stays as full as possible.
+                        if prefer_insert {
+                            if let Some(e) = state.random_present(&mut rng, &used) {
+                                used.insert(e);
+                                state.remove(e);
+                                batch.remove(NodeId(e.0), NodeId(e.1));
+                            }
+                        } else if let Some(e) = state.random_absent(&mut rng, &used) {
+                            used.insert(e);
+                            state.insert(e);
+                            batch.insert(NodeId(e.0), NodeId(e.1));
+                        }
                     }
                 }
             }
@@ -412,6 +463,63 @@ mod tests {
         }
         assert!(saw_removal);
         replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn mixed_skew_controls_the_insert_ratio() {
+        let g = gnp(250, 0.03, 6);
+        // Heavy insert skew: inserts clearly dominate.
+        let grow = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 90 }, 10, 20, 5);
+        let (ins, rem) = grow.iter().fold((0usize, 0usize), |(i, r), b| {
+            (i + b.insertions().len(), r + b.removals().len())
+        });
+        assert!(ins > 4 * rem, "90% skew: {ins} inserts vs {rem} removals");
+        assert!(rem > 0, "removals still interleave");
+        replay_and_verify(&g, &grow);
+
+        // Removal skew on the same graph: removals dominate instead.
+        let shrink = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 10 }, 10, 20, 5);
+        let (ins, rem) = shrink.iter().fold((0usize, 0usize), |(i, r), b| {
+            (i + b.insertions().len(), r + b.removals().len())
+        });
+        assert!(rem > 4 * ins, "10% skew: {ins} inserts vs {rem} removals");
+        replay_and_verify(&g, &shrink);
+    }
+
+    #[test]
+    fn mixed_interleaves_within_single_batches() {
+        // No phase structure: a single balanced batch holds both kinds.
+        let g = gnp(200, 0.04, 8);
+        let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 50 }, 6, 24, 13);
+        assert!(stream
+            .iter()
+            .any(|b| !b.insertions().is_empty() && !b.removals().is_empty()));
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn mixed_falls_back_when_a_kind_runs_dry() {
+        // Pure-removal skew on a tiny graph drains it, after which the
+        // fallback inserts keep batches non-empty.
+        let g = gnp(20, 0.1, 3);
+        let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 0 }, 30, 8, 9);
+        let ins: usize = stream.iter().map(|b| b.insertions().len()).sum();
+        assert!(ins > 0, "fallback insertions once the graph is drained");
+        replay_and_verify(&g, &stream);
+    }
+
+    #[test]
+    fn mixed_streams_are_seed_deterministic() {
+        let g = gnp(150, 0.03, 1);
+        let w = ChurnWorkload::Mixed { insert_pct: 60 };
+        assert_eq!(
+            churn_stream(&g, w, 8, 12, 42),
+            churn_stream(&g, w, 8, 12, 42)
+        );
+        assert_ne!(
+            churn_stream(&g, w, 8, 12, 42),
+            churn_stream(&g, w, 8, 12, 43)
+        );
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`Summary`] — streaming summary statistics (count/mean/min/max/std),
 //!   used for the `t_avg`/`t_min`/`t_max`/`m_avg`/`m_max` columns of
 //!   Table 1;
+//! * [`Percentiles`] — exact tail quantiles (p50/p95/p99) over stored
+//!   observations, used for the serve-layer latency reports
+//!   (`BENCH_PR4.json`);
 //! * [`Series`] — labeled `(x, y)` sequences with cross-repetition
 //!   aggregation, used for the error-evolution curves of Figure 4 and the
 //!   overhead curves of Figure 5;
@@ -32,5 +35,5 @@ mod summary;
 mod table;
 
 pub use series::Series;
-pub use summary::Summary;
+pub use summary::{Percentiles, Summary};
 pub use table::Table;

@@ -146,6 +146,163 @@ impl Extend<f64> for Summary {
     }
 }
 
+/// Exact percentile summary over stored `f64` observations.
+///
+/// [`Summary`] is streaming (constant memory) but can only answer
+/// mean/min/max/std questions; latency reporting needs tail quantiles, so
+/// this sibling keeps every observation in a sorted vector (insertion
+/// keeps it ordered, so queries are O(1) after an O(n) insert) and
+/// answers arbitrary percentiles with linear interpolation between the
+/// two closest ranks — the convention used by most load-testing tools.
+///
+/// Non-finite observations (NaN, ±∞) are ignored: they have no place in
+/// a latency distribution and would poison the ordering.
+///
+/// # Example
+///
+/// ```
+/// use dkcore_metrics::Percentiles;
+///
+/// let p: Percentiles = (1..=100).map(f64::from).collect();
+/// assert_eq!(p.count(), 100);
+/// assert_eq!(p.p50(), 50.5);
+/// assert!((p.p99() - 99.01).abs() < 1e-9);
+/// assert_eq!(p.percentile(100.0), 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Percentiles {
+    /// Observations, kept sorted ascending.
+    values: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Creates an empty percentile summary.
+    pub fn new() -> Self {
+        Percentiles { values: Vec::new() }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn from_values(values: &[f64]) -> Self {
+        values.iter().copied().collect()
+    }
+
+    /// Records one observation (ignored when not finite).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let at = self.values.partition_point(|&v| v < x);
+        self.values.insert(at, x);
+    }
+
+    /// Number of (finite) observations recorded.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`, clamped), linearly
+    /// interpolated between the two closest ranks; `0.0` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (self.values.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.values[lo] + (self.values[hi] - self.values[lo]) * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Smallest observation; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest observation; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Merges another summary into this one (order-independent).
+    pub fn merge(&mut self, other: &Percentiles) {
+        let merged = self.values.len() + other.values.len();
+        let mut values = Vec::with_capacity(merged);
+        let (mut a, mut b) = (
+            self.values.iter().peekable(),
+            other.values.iter().peekable(),
+        );
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            if x <= y {
+                values.push(x);
+                a.next();
+            } else {
+                values.push(y);
+                b.next();
+            }
+        }
+        values.extend(a.copied());
+        values.extend(b.copied());
+        self.values = values;
+    }
+}
+
+impl FromIterator<f64> for Percentiles {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut values: Vec<f64> = iter.into_iter().filter(|x| x.is_finite()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values are ordered"));
+        Percentiles { values }
+    }
+}
+
+impl Extend<f64> for Percentiles {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.merge(&iter.into_iter().collect());
+    }
+}
+
+impl fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+            self.count(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -234,5 +391,82 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("n=2"));
         assert!(text.contains("mean=2.00"));
+    }
+
+    #[test]
+    fn percentiles_empty_and_single() {
+        let p = Percentiles::new();
+        assert!(p.is_empty());
+        assert_eq!(p.p50(), 0.0);
+        assert_eq!(p.percentile(99.0), 0.0);
+        assert_eq!(p.min(), 0.0);
+        assert_eq!(p.max(), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        let p = Percentiles::from_values(&[7.0]);
+        assert_eq!(p.p50(), 7.0);
+        assert_eq!(p.p99(), 7.0);
+        assert_eq!(p.percentile(0.0), 7.0);
+    }
+
+    #[test]
+    fn percentiles_known_quantiles() {
+        // 1..=100: linear interpolation between closest ranks.
+        let p: Percentiles = (1..=100).map(f64::from).collect();
+        assert_eq!(p.count(), 100);
+        assert_eq!(p.p50(), 50.5);
+        assert!((p.p95() - 95.05).abs() < 1e-9);
+        assert!((p.p99() - 99.01).abs() < 1e-9);
+        assert_eq!(p.percentile(0.0), 1.0);
+        assert_eq!(p.percentile(100.0), 100.0);
+        assert_eq!(p.percentile(250.0), 100.0, "clamped above");
+        assert_eq!(p.percentile(-5.0), 1.0, "clamped below");
+        assert_eq!(p.min(), 1.0);
+        assert_eq!(p.max(), 100.0);
+        assert_eq!(p.mean(), 50.5);
+    }
+
+    #[test]
+    fn percentiles_record_order_does_not_matter() {
+        let mut a = Percentiles::new();
+        for x in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            a.record(x);
+        }
+        let b = Percentiles::from_values(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50(), 5.0);
+    }
+
+    #[test]
+    fn percentiles_ignore_non_finite() {
+        let mut p = Percentiles::new();
+        p.record(f64::NAN);
+        p.record(f64::INFINITY);
+        p.record(2.0);
+        assert_eq!(p.count(), 1);
+        let q: Percentiles = [1.0, f64::NAN, 3.0].into_iter().collect();
+        assert_eq!(q.count(), 2);
+        assert_eq!(q.p50(), 2.0);
+    }
+
+    #[test]
+    fn percentiles_merge_equals_concatenation() {
+        let xs = [4.0, 1.0, 8.0];
+        let ys = [2.0, 9.0, 5.0, 3.0];
+        let mut a = Percentiles::from_values(&xs);
+        a.merge(&Percentiles::from_values(&ys));
+        let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        assert_eq!(a, Percentiles::from_values(&all));
+        let mut e = Percentiles::new();
+        e.extend(all.iter().copied());
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn percentiles_display_shows_tail() {
+        let p: Percentiles = (1..=10).map(f64::from).collect();
+        let text = p.to_string();
+        assert!(text.contains("n=10"));
+        assert!(text.contains("p50=5.50"));
+        assert!(text.contains("p99="));
     }
 }

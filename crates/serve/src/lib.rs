@@ -1,0 +1,73 @@
+//! Concurrent core-number query service over the streaming engine — the
+//! serving layer between "repairs fast" (`dkcore::stream`) and a system
+//! that answers coreness queries for live traffic while the graph churns.
+//!
+//! # Architecture
+//!
+//! One **writer**, any number of **readers**:
+//!
+//! * [`CoreService`] owns the mutable [`StreamCore`](dkcore::stream::StreamCore)
+//!   and is the single writer: every
+//!   [`apply_batch`](CoreService::apply_batch) validates and applies an
+//!   [`EdgeBatch`](dkcore::stream::EdgeBatch), repairs the decomposition,
+//!   and *publishes* a fresh immutable [`CoreSnapshot`] as the next
+//!   **epoch**.
+//! * [`ServiceHandle`] is the cloneable reader handle: `snapshot()`
+//!   returns an `Arc<CoreSnapshot>` of the latest published epoch.
+//!   Publication is double-buffered — the writer builds the new snapshot
+//!   off to the side, installs it into the *inactive* buffer, and flips
+//!   an atomic index. A reader's critical section is a single `Arc`
+//!   clone of the *active* buffer, so readers never wait on a repair in
+//!   progress and the writer never waits for readers to finish a query:
+//!   queries of arbitrary duration run against the pinned `Arc` entirely
+//!   outside any lock.
+//! * [`CoreSnapshot`] answers every query against one consistent epoch:
+//!   point coreness, k-core membership, k-core subgraph extraction,
+//!   shell-size histograms, and top-k max-coreness. A snapshot is
+//!   immutable; holding one pins that epoch's entire state regardless of
+//!   how far the writer has advanced.
+//!
+//! Consistency guarantee (checked end-to-end by `tests/serve_oracle.rs`):
+//! every snapshot a reader can observe is the *exact* decomposition of
+//! that epoch's graph — equal to a fresh Batagelj–Zaveršnik pass — never
+//! a torn or partially-repaired state, because snapshots are built only
+//! at batch boundaries where [`StreamCore`](dkcore::stream::StreamCore)
+//! estimates are exact.
+//!
+//! A minimal std-only TCP front end ([`wire`]) exposes the same queries
+//! as a line protocol (`dkcore serve` / `dkcore query` in the CLI); the
+//! in-process [`ServiceHandle`] is what benches and embedding
+//! applications use directly.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_serve::CoreService;
+//! use dkcore::stream::EdgeBatch;
+//! use dkcore_graph::{generators::path, NodeId};
+//!
+//! let mut svc = CoreService::new(&path(6));
+//! let handle = svc.handle();
+//! let before = handle.snapshot(); // pin epoch 0
+//!
+//! let mut batch = EdgeBatch::new();
+//! batch.insert(NodeId(0), NodeId(5)); // close the cycle
+//! svc.apply_batch(&batch).unwrap();
+//!
+//! let after = handle.snapshot();
+//! assert_eq!(before.epoch(), 0);
+//! assert_eq!(after.epoch(), 1);
+//! assert_eq!(before.coreness(NodeId(0)), Some(1)); // pinned epoch is immutable
+//! assert_eq!(after.coreness(NodeId(0)), Some(2));
+//! assert_eq!(after.kcore_members(2).len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod snapshot;
+pub mod wire;
+
+pub use service::{CoreService, PublishReport, ServiceHandle};
+pub use snapshot::CoreSnapshot;

@@ -1,0 +1,276 @@
+//! The single-writer service and its lock-free reader handles.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use dkcore::dynamic::MutationError;
+use dkcore::stream::{BatchStats, EdgeBatch, StreamCore};
+use dkcore_graph::Graph;
+
+use crate::snapshot::CoreSnapshot;
+
+/// Double-buffered epoch publication cell.
+///
+/// The writer installs each new snapshot into the buffer the readers are
+/// *not* directed at, then flips the atomic index — so in steady state
+/// the writer's write lock is uncontended and a reader's critical
+/// section is one `Arc` clone of the active buffer. A reader that loads
+/// the index just before a flip simply clones the previous epoch, which
+/// stays valid for as long as it holds the `Arc`. (The locks exist only
+/// to make the `Arc` swap itself safe without `unsafe` code; no query
+/// work ever happens under them.)
+struct EpochCell {
+    slots: [RwLock<Arc<CoreSnapshot>>; 2],
+    /// Index of the slot readers should clone from.
+    current: AtomicUsize,
+    /// Latest published epoch, readable without touching a slot.
+    epoch: AtomicU64,
+}
+
+impl EpochCell {
+    fn new(initial: Arc<CoreSnapshot>) -> Self {
+        EpochCell {
+            slots: [RwLock::new(initial.clone()), RwLock::new(initial)],
+            current: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    fn load(&self) -> Arc<CoreSnapshot> {
+        let i = self.current.load(Ordering::Acquire);
+        self.slots[i]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn publish(&self, snapshot: Arc<CoreSnapshot>) {
+        let epoch = snapshot.epoch();
+        let next = 1 - self.current.load(Ordering::Acquire);
+        *self.slots[next]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = snapshot;
+        self.current.store(next, Ordering::Release);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+/// Report of one applied-and-published batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishReport {
+    /// The epoch the batch was published as.
+    pub epoch: u64,
+    /// Repair statistics from [`StreamCore::apply_batch`].
+    pub stats: BatchStats,
+    /// Time spent applying the batch and repairing coreness, in
+    /// microseconds.
+    pub repair_micros: f64,
+    /// Time spent building and swapping in the new snapshot, in
+    /// microseconds — the window during which fresh readers still see
+    /// the previous epoch.
+    pub publish_micros: f64,
+}
+
+/// The single-writer core-number service: owns the streaming engine,
+/// applies batches, publishes epoch snapshots. See the
+/// [crate docs](crate) for the architecture.
+#[derive(Debug)]
+pub struct CoreService {
+    core: StreamCore,
+    cell: Arc<EpochCell>,
+    epoch: u64,
+}
+
+// EpochCell has no Debug; keep the service's Debug useful by hand.
+impl std::fmt::Debug for EpochCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCell")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoreService {
+    /// Builds the service from a static graph and publishes it as
+    /// epoch 0.
+    pub fn new(g: &Graph) -> Self {
+        let core = StreamCore::new(g);
+        let initial = Arc::new(CoreSnapshot::capture(0, &core));
+        CoreService {
+            core,
+            cell: Arc::new(EpochCell::new(initial)),
+            epoch: 0,
+        }
+    }
+
+    /// A new reader handle. Handles are cheap to clone and can be sent
+    /// to any number of reader threads.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            cell: self.cell.clone(),
+        }
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Writer-side read access to the streaming engine (current state,
+    /// not an epoch snapshot).
+    pub fn stream(&self) -> &StreamCore {
+        &self.core
+    }
+
+    /// Applies one batch atomically, repairs the decomposition, and
+    /// publishes the result as the next epoch. On a validation error
+    /// nothing is mutated and no epoch is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MutationError`] from batch validation.
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<PublishReport, MutationError> {
+        let t0 = Instant::now();
+        let stats = self.core.apply_batch(batch)?;
+        let repair_micros = t0.elapsed().as_secs_f64() * 1e6;
+
+        let t1 = Instant::now();
+        self.epoch += 1;
+        let snapshot = Arc::new(CoreSnapshot::capture(self.epoch, &self.core));
+        self.cell.publish(snapshot);
+        let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
+
+        Ok(PublishReport {
+            epoch: self.epoch,
+            stats,
+            repair_micros,
+            publish_micros,
+        })
+    }
+}
+
+/// Cloneable reader handle: access to the latest published epoch
+/// snapshot. See the [crate docs](crate) for the publication scheme.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    cell: Arc<EpochCell>,
+}
+
+impl ServiceHandle {
+    /// The latest published snapshot. The returned `Arc` pins its epoch:
+    /// queries against it stay consistent no matter how far the writer
+    /// advances.
+    pub fn snapshot(&self) -> Arc<CoreSnapshot> {
+        self.cell.load()
+    }
+
+    /// The latest published epoch number, without loading a snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore_graph::generators::{gnp, path};
+    use dkcore_graph::NodeId;
+    use rand::prelude::*;
+
+    #[test]
+    fn epochs_increment_and_match_ground_truth() {
+        let g = gnp(150, 0.04, 11);
+        let mut svc = CoreService::new(&g);
+        let handle = svc.handle();
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(
+            handle.snapshot().values(),
+            batagelj_zaversnik(&g).as_slice()
+        );
+
+        let mut rng = StdRng::seed_from_u64(4);
+        for step in 1..=12u64 {
+            let mut b = EdgeBatch::new();
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..6 {
+                let x = rng.random_range(0..150u32);
+                let y = rng.random_range(0..150u32);
+                if x == y || seen.contains(&(x.min(y), x.max(y))) {
+                    continue;
+                }
+                seen.push((x.min(y), x.max(y)));
+                if svc.stream().has_edge(NodeId(x), NodeId(y)) {
+                    b.remove(NodeId(x), NodeId(y));
+                } else {
+                    b.insert(NodeId(x), NodeId(y));
+                }
+            }
+            let report = svc.apply_batch(&b).unwrap();
+            assert_eq!(report.epoch, step);
+            assert_eq!(report.stats.inserted, b.insertions().len());
+            assert!(report.publish_micros >= 0.0);
+            let snap = handle.snapshot();
+            assert_eq!(snap.epoch(), step);
+            assert_eq!(
+                snap.values(),
+                batagelj_zaversnik(snap.graph()).as_slice(),
+                "published epoch {step} is exact"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_validation_publishes_nothing() {
+        let g = path(5);
+        let mut svc = CoreService::new(&g);
+        let handle = svc.handle();
+        let mut b = EdgeBatch::new();
+        b.remove(NodeId(0), NodeId(4)); // not an edge
+        assert!(svc.apply_batch(&b).is_err());
+        assert_eq!(svc.epoch(), 0);
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.snapshot().epoch(), 0);
+        assert_eq!(handle.snapshot().graph(), &g);
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_double_buffer_reuse() {
+        // Three publishes reuse each buffer at least once; Arcs pinned
+        // from every epoch must stay intact.
+        let g = path(6);
+        let mut svc = CoreService::new(&g);
+        let handle = svc.handle();
+        let mut pinned = vec![handle.snapshot()];
+        let edges = [(0u32, 5u32), (1, 3), (2, 4)];
+        for &(u, v) in &edges {
+            let mut b = EdgeBatch::new();
+            b.insert(NodeId(u), NodeId(v));
+            svc.apply_batch(&b).unwrap();
+            pinned.push(handle.snapshot());
+        }
+        for (i, snap) in pinned.iter().enumerate() {
+            assert_eq!(snap.epoch(), i as u64);
+            assert_eq!(snap.edge_count(), 5 + i);
+            assert_eq!(
+                snap.values(),
+                batagelj_zaversnik(snap.graph()).as_slice(),
+                "epoch {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_share_the_same_cell() {
+        let mut svc = CoreService::new(&path(4));
+        let h1 = svc.handle();
+        let h2 = h1.clone();
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(3));
+        svc.apply_batch(&b).unwrap();
+        assert_eq!(h1.epoch(), 1);
+        assert_eq!(h2.epoch(), 1);
+        assert_eq!(h1.snapshot().values(), h2.snapshot().values());
+    }
+}

@@ -1,0 +1,295 @@
+//! Immutable epoch snapshots: all queries answered against one
+//! consistent decomposition.
+
+use dkcore::stream::StreamCore;
+use dkcore_graph::{Graph, NodeId};
+
+/// One published epoch of the service: the graph as of a batch boundary
+/// together with its exact coreness decomposition and precomputed
+/// shell-size histogram. Immutable — holding a snapshot pins this
+/// epoch's entire state no matter how far the writer advances.
+#[derive(Debug, Clone)]
+pub struct CoreSnapshot {
+    epoch: u64,
+    coreness: Vec<u32>,
+    degrees: Vec<u32>,
+    graph: Graph,
+    /// `shell_sizes[k]` = number of nodes with coreness exactly `k`.
+    shell_sizes: Vec<usize>,
+}
+
+impl CoreSnapshot {
+    /// Builds the snapshot of `core`'s current state as epoch `epoch`.
+    ///
+    /// Must only be called at batch boundaries, where the stream's
+    /// estimates are exact — between
+    /// [`apply_batch`](StreamCore::apply_batch) calls. Uses the stream's
+    /// cheap read-only export (`values` + `degrees` + arena), so nothing
+    /// is re-derived with a fresh decomposition pass.
+    pub fn capture(epoch: u64, core: &StreamCore) -> Self {
+        let coreness = core.values().to_vec();
+        let max_core = coreness.iter().copied().max().unwrap_or(0) as usize;
+        let mut shell_sizes = vec![0usize; max_core + 1];
+        for &k in &coreness {
+            shell_sizes[k as usize] += 1;
+        }
+        CoreSnapshot {
+            epoch,
+            degrees: core.degrees(),
+            graph: core.to_graph(),
+            coreness,
+            shell_sizes,
+        }
+    }
+
+    /// The epoch this snapshot was published as (0 = initial graph).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.coreness.len()
+    }
+
+    /// Number of edges in this epoch's graph.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// This epoch's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Coreness of `v`, or `None` when out of range.
+    pub fn coreness(&self, v: NodeId) -> Option<u32> {
+        self.coreness.get(v.index()).copied()
+    }
+
+    /// Degree of `v` in this epoch's graph, or `None` when out of range.
+    pub fn degree(&self, v: NodeId) -> Option<u32> {
+        self.degrees.get(v.index()).copied()
+    }
+
+    /// Coreness of every node.
+    pub fn values(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// The largest coreness of this epoch.
+    pub fn max_coreness(&self) -> u32 {
+        (self.shell_sizes.len() - 1) as u32
+    }
+
+    /// Shell-size histogram: entry `k` counts the nodes with coreness
+    /// exactly `k`. Always has `max_coreness() + 1` entries.
+    pub fn histogram(&self) -> &[usize] {
+        &self.shell_sizes
+    }
+
+    /// Number of nodes with coreness at least `k` — the k-core's size,
+    /// without materializing the member list.
+    pub fn kcore_size(&self, k: u32) -> usize {
+        self.shell_sizes
+            .iter()
+            .skip(k as usize)
+            .copied()
+            .sum::<usize>()
+    }
+
+    /// The members of the k-core: every node with coreness ≥ `k`, in
+    /// ascending id order. Empty when `k` exceeds the max coreness
+    /// (except `k = 0`, which is all nodes).
+    pub fn kcore_members(&self, k: u32) -> Vec<NodeId> {
+        self.coreness
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(u, _)| NodeId(u as u32))
+            .collect()
+    }
+
+    /// Extracts the k-core subgraph: the graph induced on the nodes with
+    /// coreness ≥ `k`, plus the mapping from new compact ids back to the
+    /// original [`NodeId`]s (position `i` is the original id of new node
+    /// `i`).
+    pub fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
+        let keep: Vec<bool> = self.coreness.iter().map(|&c| c >= k).collect();
+        self.graph.induced_subgraph(&keep)
+    }
+
+    /// The `n` nodes of largest coreness as `(node, coreness)` pairs,
+    /// ordered by descending coreness, ties by ascending id. Returns all
+    /// nodes when `n ≥ node_count()`.
+    ///
+    /// Runs in `O(N)` (no full sort): the histogram locates the coreness
+    /// threshold, a single scan collects the members.
+    pub fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
+        let n = n.min(self.node_count());
+        if n == 0 {
+            return Vec::new();
+        }
+        // Find the smallest threshold t such that |{v : core(v) ≥ t}| ≥ n.
+        let mut t = self.shell_sizes.len(); // exclusive upper bound
+        let mut above = 0usize; // |{v : core(v) ≥ t}|
+        while t > 0 && above < n {
+            t -= 1;
+            above += self.shell_sizes[t];
+        }
+        let t = t as u32;
+        // One scan: everything strictly above t is in; nodes at exactly t
+        // fill the remainder in id order.
+        let mut strict: Vec<(NodeId, u32)> = Vec::new();
+        let mut at: Vec<(NodeId, u32)> = Vec::new();
+        for (u, &c) in self.coreness.iter().enumerate() {
+            if c > t {
+                strict.push((NodeId(u as u32), c));
+            } else if c == t {
+                at.push((NodeId(u as u32), c));
+            }
+        }
+        strict.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let fill = n - strict.len();
+        strict.extend(at.into_iter().take(fill));
+        strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore::seq::batagelj_zaversnik;
+    use dkcore::stream::EdgeBatch;
+    use dkcore_data::collaboration;
+    use dkcore_graph::generators::{complete, gnp, path, star};
+
+    fn snap(g: &Graph) -> CoreSnapshot {
+        CoreSnapshot::capture(0, &StreamCore::new(g))
+    }
+
+    #[test]
+    fn capture_matches_ground_truth() {
+        let g = gnp(200, 0.04, 7);
+        let s = snap(&g);
+        assert_eq!(s.values(), batagelj_zaversnik(&g).as_slice());
+        assert_eq!(s.graph(), &g);
+        assert_eq!(s.node_count(), 200);
+        assert_eq!(s.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(s.degree(u), Some(g.degree(u)));
+        }
+        assert_eq!(s.coreness(NodeId(500)), None);
+        assert_eq!(s.degree(NodeId(500)), None);
+    }
+
+    #[test]
+    fn histogram_and_kcore_sizes_agree() {
+        let g = collaboration(400, 600, 2..=8, 3);
+        let s = snap(&g);
+        let hist = s.histogram();
+        assert_eq!(hist.iter().sum::<usize>(), s.node_count());
+        assert_eq!(s.max_coreness(), *s.values().iter().max().unwrap());
+        assert!(hist[s.max_coreness() as usize] > 0, "top shell non-empty");
+        for k in 0..=s.max_coreness() + 1 {
+            assert_eq!(s.kcore_size(k), s.kcore_members(k).len(), "k={k}");
+        }
+        assert_eq!(s.kcore_size(0), s.node_count());
+        assert_eq!(s.kcore_size(s.max_coreness() + 5), 0);
+    }
+
+    #[test]
+    fn kcore_subgraph_is_the_induced_kcore() {
+        let g = collaboration(300, 500, 3..=7, 9);
+        let s = snap(&g);
+        let k = s.max_coreness();
+        let (sub, back) = s.kcore_subgraph(k);
+        assert_eq!(sub.node_count(), s.kcore_size(k));
+        assert_eq!(back.len(), sub.node_count());
+        // Every node of the k-core has degree ≥ k inside the extracted
+        // subgraph (the defining property of the k-core).
+        for u in sub.nodes() {
+            assert!(
+                sub.degree(u) >= k,
+                "node {} (orig {}) has degree {} < {k}",
+                u,
+                back[u.index()],
+                sub.degree(u)
+            );
+        }
+        // And its own decomposition confirms min coreness ≥ k.
+        assert!(batagelj_zaversnik(&sub).iter().all(|&c| c >= k));
+        // k = 0 extracts the whole graph.
+        let (all, _) = s.kcore_subgraph(0);
+        assert_eq!(all.node_count(), g.node_count());
+        assert_eq!(all.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn top_k_orders_by_coreness_then_id() {
+        let g = collaboration(300, 400, 2..=9, 5);
+        let s = snap(&g);
+        for n in [0usize, 1, 7, 50, 299, 300, 1000] {
+            let top = s.top_k(n);
+            assert_eq!(top.len(), n.min(300));
+            // Ordering: coreness desc, id asc.
+            for w in top.windows(2) {
+                assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+            }
+            // Exactness: the returned pairs match the stored coreness and
+            // no excluded node beats the weakest included one.
+            if let Some(&(_, weakest)) = top.last() {
+                let included: std::collections::HashSet<u32> =
+                    top.iter().map(|&(v, _)| v.0).collect();
+                for (u, &c) in s.values().iter().enumerate() {
+                    if !included.contains(&(u as u32)) {
+                        assert!(c <= weakest, "node {u} (core {c}) outranks the top-{n}");
+                    }
+                }
+            }
+            for &(v, c) in &top {
+                assert_eq!(s.coreness(v), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_on_uniform_and_degenerate_graphs() {
+        // complete graph: all nodes tie, ids ascend.
+        let s = snap(&complete(8));
+        let top = s.top_k(3);
+        assert_eq!(
+            top,
+            vec![(NodeId(0), 7), (NodeId(1), 7), (NodeId(2), 7)],
+            "ties resolved by id"
+        );
+        // star: hub has coreness 1 like the leaves.
+        let s = snap(&star(5));
+        assert_eq!(s.top_k(1)[0].1, 1);
+        // path endpoints have coreness 1 too.
+        let s = snap(&path(4));
+        assert_eq!(s.top_k(4).len(), 4);
+        // empty graph.
+        let s = snap(&Graph::from_edges(3, []).unwrap());
+        assert_eq!(s.max_coreness(), 0);
+        assert_eq!(s.top_k(2), vec![(NodeId(0), 0), (NodeId(1), 0)]);
+        assert_eq!(s.kcore_members(1), vec![]);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_further_churn() {
+        let g = path(5);
+        let mut sc = StreamCore::new(&g);
+        let pinned = CoreSnapshot::capture(0, &sc);
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(4));
+        sc.apply_batch(&b).unwrap();
+        // The pinned snapshot still answers with epoch-0 state.
+        assert_eq!(pinned.coreness(NodeId(0)), Some(1));
+        assert_eq!(pinned.edge_count(), 4);
+        assert_eq!(pinned.graph(), &g);
+        let now = CoreSnapshot::capture(1, &sc);
+        assert_eq!(now.coreness(NodeId(0)), Some(2));
+        assert_eq!(now.edge_count(), 5);
+    }
+}

@@ -1,0 +1,486 @@
+//! Minimal std-only TCP line protocol over a [`ServiceHandle`] — the
+//! wire front end behind `dkcore serve` / `dkcore query`.
+//!
+//! One UTF-8 command per line; every response starts with `OK` or `ERR`.
+//! All answers are served from the latest published epoch, and every
+//! `OK` response carries `epoch=<e>` so a client can correlate answers:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `EPOCH` | `OK epoch=<e> nodes=<n> edges=<m> kmax=<k>` |
+//! | `CORENESS <v>` | `OK epoch=<e> coreness=<c> degree=<d>` |
+//! | `MEMBERS <k>` | `OK epoch=<e> count=<c> members=<v1,v2,...>` |
+//! | `SUBGRAPH <k>` | `OK epoch=<e> nodes=<n> edges=<m>`, then `m` lines `u v` (original ids) |
+//! | `HIST` | `OK epoch=<e> hist=<k:count,...>` (non-empty shells) |
+//! | `TOPK <n>` | `OK epoch=<e> top=<v:c,...>` |
+//! | `QUIT` | `OK bye`, connection closes |
+//! | `SHUTDOWN` | `OK shutting-down`, server stops accepting |
+//!
+//! Malformed input earns `ERR <reason>` and the connection stays open.
+//! Each accepted connection is served by its own thread; queries pin one
+//! snapshot per request, so a multi-line `SUBGRAPH` answer is internally
+//! consistent even while the writer publishes new epochs mid-response.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dkcore_graph::NodeId;
+
+use crate::service::ServiceHandle;
+use crate::snapshot::CoreSnapshot;
+
+/// A running wire server: accept loop plus per-connection threads.
+///
+/// Stops when [`shutdown`](Self::shutdown) is called or a client sends
+/// `SHUTDOWN`. Dropping the server also shuts it down.
+#[derive(Debug)]
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// serving `handle`'s snapshots.
+///
+/// # Errors
+///
+/// Returns the I/O error from binding the listener.
+pub fn serve<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> io::Result<WireServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = stop.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let handle = handle.clone();
+            let stop = accept_stop.clone();
+            std::thread::spawn(move || {
+                // Connection errors just end that connection.
+                let _ = serve_connection(stream, &handle, &stop);
+            });
+        }
+    });
+    Ok(WireServer {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl WireServer {
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Whether the server has been asked to stop.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the server is asked to stop (via
+    /// [`shutdown`](Self::shutdown) from another thread or a client's
+    /// `SHUTDOWN` command).
+    pub fn wait(&self) {
+        while !self.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stops accepting connections and joins the accept loop. Idempotent.
+    /// In-flight connections finish their current request and then see
+    /// the stop flag at the next one.
+    pub fn shutdown(&mut self) {
+        request_stop(&self.stop, self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sets the stop flag and nudges the accept loop out of `accept()` with
+/// a throwaway connection.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if !stop.swap(true, Ordering::AcqRel) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Serves one client connection until `QUIT`, EOF, shutdown, or an I/O
+/// error.
+///
+/// Every fully-received request is answered — even one that races with
+/// shutdown — so a client never loses a response it was owed. The stop
+/// flag is observed between requests via a read timeout, which also
+/// lets *idle* connections wind down shortly after shutdown instead of
+/// blocking in `read_line` forever.
+fn serve_connection(
+    stream: TcpStream,
+    handle: &ServiceHandle,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let peer_addr = stream.local_addr()?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // EOF
+                Ok(_) => break,         // full line: always answer it
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle tick: partial bytes (if any) stay in `line`.
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let mut parts = request.split_ascii_whitespace();
+        let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+        match verb.as_str() {
+            "QUIT" => {
+                writeln!(writer, "OK bye")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            "SHUTDOWN" => {
+                writeln!(writer, "OK shutting-down")?;
+                writer.flush()?;
+                request_stop(stop, peer_addr);
+                return Ok(());
+            }
+            _ => respond(&mut writer, &verb, parts, &handle.snapshot())?,
+        }
+        writer.flush()?;
+    }
+}
+
+/// Answers one query against a pinned snapshot.
+fn respond<W: Write>(
+    out: &mut W,
+    verb: &str,
+    mut args: std::str::SplitAsciiWhitespace<'_>,
+    snap: &CoreSnapshot,
+) -> io::Result<()> {
+    let epoch = snap.epoch();
+    let mut num = |name: &str| -> Result<u32, String> {
+        let token = args
+            .next()
+            .ok_or_else(|| format!("{name} requires an argument"))?;
+        token
+            .parse::<u32>()
+            .map_err(|_| format!("{name}: {token:?} is not a number"))
+    };
+    match verb {
+        "EPOCH" => writeln!(
+            out,
+            "OK epoch={epoch} nodes={} edges={} kmax={}",
+            snap.node_count(),
+            snap.edge_count(),
+            snap.max_coreness()
+        ),
+        "CORENESS" => match num("CORENESS") {
+            Ok(v) => match snap.coreness(NodeId(v)) {
+                Some(c) => writeln!(
+                    out,
+                    "OK epoch={epoch} coreness={c} degree={}",
+                    snap.degree(NodeId(v)).expect("in range with coreness")
+                ),
+                None => writeln!(out, "ERR node {v} out of range"),
+            },
+            Err(e) => writeln!(out, "ERR {e}"),
+        },
+        "MEMBERS" => match num("MEMBERS") {
+            Ok(k) => {
+                let members = snap.kcore_members(k);
+                let ids: Vec<String> = members.iter().map(|v| v.0.to_string()).collect();
+                writeln!(
+                    out,
+                    "OK epoch={epoch} count={} members={}",
+                    members.len(),
+                    ids.join(",")
+                )
+            }
+            Err(e) => writeln!(out, "ERR {e}"),
+        },
+        "SUBGRAPH" => match num("SUBGRAPH") {
+            Ok(k) => {
+                let (sub, back) = snap.kcore_subgraph(k);
+                writeln!(
+                    out,
+                    "OK epoch={epoch} nodes={} edges={}",
+                    sub.node_count(),
+                    sub.edge_count()
+                )?;
+                for (u, v) in sub.edges() {
+                    writeln!(out, "{} {}", back[u.index()], back[v.index()])?;
+                }
+                Ok(())
+            }
+            Err(e) => writeln!(out, "ERR {e}"),
+        },
+        "HIST" => {
+            let shells: Vec<String> = snap
+                .histogram()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(k, &c)| format!("{k}:{c}"))
+                .collect();
+            writeln!(out, "OK epoch={epoch} hist={}", shells.join(","))
+        }
+        "TOPK" => match num("TOPK") {
+            Ok(n) => {
+                let pairs: Vec<String> = snap
+                    .top_k(n as usize)
+                    .iter()
+                    .map(|&(v, c)| format!("{}:{c}", v.0))
+                    .collect();
+                writeln!(out, "OK epoch={epoch} top={}", pairs.join(","))
+            }
+            Err(e) => writeln!(out, "ERR {e}"),
+        },
+        other => writeln!(
+            out,
+            "ERR unknown command {other:?}; known: EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK QUIT SHUTDOWN"
+        ),
+    }
+}
+
+/// Blocking line-protocol client, for the CLI and tests.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl WireClient {
+    /// Connects to a running [`WireServer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connection error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(WireClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one command line and returns the one-line response.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, including an unexpected EOF.
+    pub fn request(&mut self, command: &str) -> io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Sends one command and reads a header line plus, when the header
+    /// is `OK ... edges=<m>` for a `SUBGRAPH` request, `m` follow-up
+    /// lines. Returns all lines, header first.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, including an unexpected EOF mid-body.
+    pub fn request_subgraph(&mut self, k: u32) -> io::Result<Vec<String>> {
+        writeln!(self.writer, "SUBGRAPH {k}")?;
+        self.writer.flush()?;
+        let header = self.read_line()?;
+        let mut lines = vec![header.clone()];
+        if header.starts_with("OK") {
+            let edges: usize = header
+                .split_ascii_whitespace()
+                .find_map(|t| t.strip_prefix("edges="))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed SUBGRAPH header")
+                })?;
+            for _ in 0..edges {
+                lines.push(self.read_line()?);
+            }
+        }
+        Ok(lines)
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreService;
+    use dkcore::stream::EdgeBatch;
+    use dkcore_graph::generators::path;
+    use dkcore_graph::Graph;
+
+    fn service_on_cycle() -> (CoreService, WireServer) {
+        let mut svc = CoreService::new(&path(6));
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(5)); // epoch 1: a 6-cycle, all coreness 2
+        svc.apply_batch(&b).unwrap();
+        let server = serve(svc.handle(), "127.0.0.1:0").unwrap();
+        (svc, server)
+    }
+
+    #[test]
+    fn full_query_conversation() {
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("EPOCH").unwrap(),
+            "OK epoch=1 nodes=6 edges=6 kmax=2"
+        );
+        assert_eq!(
+            c.request("CORENESS 3").unwrap(),
+            "OK epoch=1 coreness=2 degree=2"
+        );
+        assert_eq!(
+            c.request("MEMBERS 2").unwrap(),
+            "OK epoch=1 count=6 members=0,1,2,3,4,5"
+        );
+        assert_eq!(c.request("HIST").unwrap(), "OK epoch=1 hist=2:6");
+        assert_eq!(c.request("TOPK 2").unwrap(), "OK epoch=1 top=0:2,1:2");
+        let sub = c.request_subgraph(2).unwrap();
+        assert_eq!(sub[0], "OK epoch=1 nodes=6 edges=6");
+        assert_eq!(sub.len(), 7);
+        // The body lines are valid original-id edges of the cycle.
+        let edges: Vec<(u32, u32)> = sub[1..]
+            .iter()
+            .map(|l| {
+                let mut it = l.split_ascii_whitespace();
+                (
+                    it.next().unwrap().parse().unwrap(),
+                    it.next().unwrap().parse().unwrap(),
+                )
+            })
+            .collect();
+        let rebuilt = Graph::from_edges(6, edges).unwrap();
+        assert!(rebuilt.nodes().all(|u| rebuilt.degree(u) == 2));
+        assert_eq!(c.request("QUIT").unwrap(), "OK bye");
+    }
+
+    #[test]
+    fn error_paths_keep_the_connection_open() {
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("CORENESS 99").unwrap(),
+            "ERR node 99 out of range"
+        );
+        assert!(c.request("CORENESS").unwrap().starts_with("ERR"));
+        assert!(c.request("CORENESS xyz").unwrap().starts_with("ERR"));
+        assert!(c.request("FROBNICATE 1").unwrap().starts_with("ERR"));
+        // Still serving after all those errors.
+        assert!(c.request("EPOCH").unwrap().starts_with("OK epoch=1"));
+    }
+
+    #[test]
+    fn concurrent_clients_see_consistent_epochs() {
+        let (mut svc, server) = service_on_cycle();
+        let addr = server.local_addr();
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = WireClient::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        let r = c.request("EPOCH").unwrap();
+                        assert!(r.starts_with("OK epoch="), "{r}");
+                        let h = c.request("HIST").unwrap();
+                        assert!(h.starts_with("OK epoch="), "{h}");
+                    }
+                })
+            })
+            .collect();
+        // Writer churns concurrently.
+        for (u, v) in [(1u32, 4u32), (2, 5), (0, 3)] {
+            let mut b = EdgeBatch::new();
+            b.insert(NodeId(u), NodeId(v));
+            svc.apply_batch(&b).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(c.request("SHUTDOWN").unwrap(), "OK shutting-down");
+        server.wait(); // returns because the client stopped the server
+        assert!(server.is_shutdown());
+    }
+
+    #[test]
+    fn requests_racing_shutdown_are_still_answered() {
+        // An already-open connection must never lose a response it is
+        // owed: after another client shuts the server down, a request on
+        // the surviving connection is still answered (the connection
+        // then winds down at its next idle read).
+        let (_svc, server) = service_on_cycle();
+        let mut a = WireClient::connect(server.local_addr()).unwrap();
+        assert!(a.request("EPOCH").unwrap().starts_with("OK"));
+        let mut b = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(b.request("SHUTDOWN").unwrap(), "OK shutting-down");
+        server.wait();
+        assert_eq!(a.request("HIST").unwrap(), "OK epoch=1 hist=2:6");
+    }
+
+    #[test]
+    fn explicit_shutdown_is_idempotent() {
+        let (_svc, mut server) = service_on_cycle();
+        assert!(!server.is_shutdown());
+        server.shutdown();
+        assert!(server.is_shutdown());
+        server.shutdown(); // second call is a no-op
+        assert!(WireClient::connect(server.local_addr())
+            .and_then(|mut c| c.request("EPOCH"))
+            .is_err());
+    }
+}

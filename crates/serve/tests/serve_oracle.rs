@@ -1,0 +1,210 @@
+//! Snapshot-consistency oracle: under concurrent churn and queries,
+//! every reader-observed epoch must be *exactly* the decomposition of
+//! that epoch's graph — readers never see a torn or partially-repaired
+//! state, epochs only move forward, and every query family agrees with
+//! ground truth recomputed from the snapshot's own graph.
+//!
+//! The CI determinism matrix re-runs this suite with
+//! `DKCORE_TEST_THREADS` forcing the reader-thread count to 1, 2 and 8
+//! and `DKCORE_TEST_SEED` re-randomizing the churn streams.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::{gnp, worst_case};
+use dkcore_serve::{CoreService, CoreSnapshot, ServiceHandle};
+
+/// Reader-thread count: `DKCORE_TEST_THREADS` override, default 4.
+fn reader_threads() -> usize {
+    std::env::var("DKCORE_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Offset mixed into every stream seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix varies it).
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Exhaustive consistency check of one observed snapshot against ground
+/// truth recomputed from the snapshot's own pinned graph.
+fn verify_snapshot(snap: &CoreSnapshot) {
+    let truth = batagelj_zaversnik(snap.graph());
+    assert_eq!(
+        snap.values(),
+        truth.as_slice(),
+        "epoch {}: published coreness must equal a fresh BZ pass on the \
+         epoch's graph (torn state observed)",
+        snap.epoch()
+    );
+    // Degrees match the pinned graph.
+    for u in snap.graph().nodes() {
+        assert_eq!(snap.degree(u), Some(snap.graph().degree(u)));
+    }
+    // Histogram totals and k-core sizes are internally consistent.
+    let hist = snap.histogram();
+    assert_eq!(hist.iter().sum::<usize>(), snap.node_count());
+    let kmax = snap.max_coreness();
+    assert!(hist[kmax as usize] > 0);
+    for k in [0, 1, kmax, kmax + 1] {
+        let members = snap.kcore_members(k);
+        assert_eq!(members.len(), snap.kcore_size(k), "epoch {}", snap.epoch());
+        assert!(members
+            .iter()
+            .all(|&v| snap.coreness(v).expect("member in range") >= k));
+    }
+    // The max-core subgraph has min internal degree ≥ kmax.
+    let (sub, _) = snap.kcore_subgraph(kmax);
+    assert!(sub.nodes().all(|u| sub.degree(u) >= kmax));
+    // Top-k agrees with the coreness values.
+    let top = snap.top_k(8);
+    for w in top.windows(2) {
+        assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+    }
+    for &(v, c) in &top {
+        assert_eq!(snap.coreness(v), Some(c));
+    }
+    if let Some(&(_, weakest)) = top.last() {
+        let in_top: HashSet<u32> = top.iter().map(|&(v, _)| v.0).collect();
+        for (u, &c) in snap.values().iter().enumerate() {
+            assert!(in_top.contains(&(u as u32)) || c <= weakest);
+        }
+    }
+}
+
+/// Drives one graph + workload through the service while `readers`
+/// threads continuously observe and verify snapshots. Returns the number
+/// of distinct epochs the readers verified.
+fn run_oracle(
+    name: &str,
+    graph: &dkcore_graph::Graph,
+    workload: ChurnWorkload,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> usize {
+    let stream = churn_stream(graph, workload, batches, batch_size, seed);
+    let mut svc = CoreService::new(graph);
+    let handle = svc.handle();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..reader_threads())
+        .map(|_| {
+            let handle: ServiceHandle = handle.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut verified: Vec<u64> = Vec::new();
+                loop {
+                    let snap = handle.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epochs must be monotone per reader: {} then {}",
+                        last_epoch,
+                        snap.epoch()
+                    );
+                    if snap.epoch() > last_epoch || verified.is_empty() {
+                        verify_snapshot(&snap);
+                        verified.push(snap.epoch());
+                        last_epoch = snap.epoch();
+                    }
+                    if done.load(Ordering::Acquire) && handle.epoch() == last_epoch {
+                        return verified;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    for (i, batch) in stream.iter().enumerate() {
+        svc.apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{name}: batch {i} invalid: {e}"));
+    }
+    done.store(true, Ordering::Release);
+
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for r in readers {
+        let verified = r.join().expect("reader panicked (oracle violation)");
+        assert!(!verified.is_empty(), "{name}: reader observed no epoch");
+        distinct.extend(verified);
+    }
+    // The writer-side final epoch is also exactly verifiable.
+    let final_snap = handle.snapshot();
+    assert_eq!(final_snap.epoch(), stream.len() as u64);
+    verify_snapshot(&final_snap);
+    distinct.len()
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_state_mixed_churn() {
+    let seed = 0xC0DE + seed_offset();
+    let g = gnp(300, 0.03, seed);
+    let epochs = run_oracle(
+        "mixed/gnp300",
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        40,
+        8,
+        seed,
+    );
+    assert!(epochs >= 2, "readers verified {epochs} distinct epochs");
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_state_sliding_window() {
+    let seed = 0x51DE + seed_offset();
+    let g = gnp(250, 0.04, seed);
+    run_oracle(
+        "sliding/gnp250",
+        &g,
+        ChurnWorkload::SlidingWindow { window: 32 },
+        30,
+        10,
+        seed,
+    );
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_state_adversarial() {
+    // §4.2 worst-case family: chain-edge toggles whose repairs cascade
+    // across the whole graph — the hardest case for snapshot isolation
+    // because nearly every publish changes nearly every value.
+    let g = worst_case(80);
+    run_oracle(
+        "adversarial/worst80",
+        &g,
+        ChurnWorkload::Adversarial,
+        20,
+        6,
+        7 + seed_offset(),
+    );
+}
+
+#[test]
+fn pinned_epochs_stay_valid_while_writer_races_ahead() {
+    // A slow reader pins early snapshots; after heavy further churn all
+    // pinned epochs still verify against their own graphs.
+    let seed = 0xAB + seed_offset();
+    let g = gnp(200, 0.05, seed);
+    let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 50 }, 25, 12, seed);
+    let mut svc = CoreService::new(&g);
+    let handle = svc.handle();
+    let mut pinned = vec![handle.snapshot()];
+    for b in &stream {
+        svc.apply_batch(b).unwrap();
+        pinned.push(handle.snapshot());
+    }
+    for snap in &pinned {
+        verify_snapshot(snap);
+    }
+    assert_eq!(pinned.last().unwrap().epoch(), stream.len() as u64);
+}

@@ -52,6 +52,19 @@
 //! re-convergence costs a fraction of a cold start (`dkcore stream
 //! --engine warm-dist`, `BENCH_PR3.json`).
 //!
+//! Beyond the protocol simulators, two maintenance/serving layers build
+//! on the same decomposition core and extend the selection matrix for
+//! *churning* graphs:
+//!
+//! | engine | layer | concurrency | when to use |
+//! |--------|-------|-------------|-------------|
+//! | `dkcore::stream::StreamCore` | batched streaming repair | single-threaded writer | re-converge after each mutation batch without rescanning the graph (`BENCH_PR3.json`) |
+//! | `dkcore_serve::CoreService` | epoch-snapshot query service | one writer + lock-free readers | answer coreness / k-core / histogram / top-k queries concurrently *while* the graph churns — readers pin immutable epochs, the writer publishes one per batch (`dkcore serve`, `BENCH_PR4.json`) |
+//!
+//! Pick a simulator when the object of study is the *protocol* (rounds,
+//! messages, convergence); pick the serving stack when the object is the
+//! *answers* and the graph never stops changing.
+//!
 //! # Example
 //!
 //! ```

@@ -1,0 +1,101 @@
+//! Run the epoch-snapshot core-number query service in-process: one
+//! writer applies mixed churn while reader threads answer consistent
+//! queries, then the same snapshots are served over the TCP line
+//! protocol.
+//!
+//! Run: `cargo run --release --example serve_queries`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dkcore_repro::data::{churn_stream, collaboration, ChurnWorkload};
+use dkcore_repro::dkcore::seq::batagelj_zaversnik;
+use dkcore_repro::graph::NodeId;
+use dkcore_repro::metrics::Percentiles;
+use dkcore_repro::serve::{wire, CoreService};
+
+fn main() {
+    // A collaboration network with a rich shell structure.
+    let g = collaboration(3_000, 4_500, 2..=8, 42);
+    println!("graph: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    // The writer owns the service; readers get cloneable handles.
+    let mut svc = CoreService::new(&g);
+    let handle = svc.handle();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Two in-process readers: query continuously, each against a pinned
+    // consistent epoch, and spot-check it against ground truth.
+    let readers: Vec<_> = (0..2)
+        .map(|id| {
+            let handle = svc.handle();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0;
+                let mut queries = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = handle.snapshot();
+                    queries += 3;
+                    let hub = snap.top_k(1)[0];
+                    let kmax = snap.max_coreness();
+                    let core_size = snap.kcore_size(kmax);
+                    if snap.epoch() != last_epoch {
+                        last_epoch = snap.epoch();
+                        assert_eq!(
+                            snap.values(),
+                            batagelj_zaversnik(snap.graph()).as_slice(),
+                            "reader observed a torn epoch"
+                        );
+                        println!(
+                            "  reader {id}: epoch {last_epoch}: kmax={kmax} \
+                             ({core_size} nodes), hub {} (coreness {})",
+                            hub.0, hub.1
+                        );
+                    }
+                }
+                queries
+            })
+        })
+        .collect();
+
+    // The writer sustains mixed churn, one published epoch per batch.
+    let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 55 }, 12, 64, 7);
+    let mut publish = Percentiles::new();
+    for batch in &stream {
+        let report = svc.apply_batch(batch).expect("valid batch");
+        publish.record(report.publish_micros);
+    }
+    done.store(true, Ordering::Release);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    println!("readers answered {total} queries during the churn");
+    println!("publish latency (us): {publish}");
+
+    // The same handle drives the TCP front end (`dkcore serve` does
+    // exactly this).
+    let server = wire::serve(handle.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = wire::WireClient::connect(server.local_addr()).expect("connect");
+    println!("wire: {}", client.request("EPOCH").unwrap());
+    println!("wire: {}", client.request("CORENESS 0").unwrap());
+    println!("wire: {}", client.request("TOPK 3").unwrap());
+
+    // Epoch pinning: a held snapshot outlives further churn.
+    let pinned = handle.snapshot();
+    let mut toggle = dkcore_repro::dkcore::stream::EdgeBatch::new();
+    let (u, v) = (NodeId(0), NodeId(1));
+    if svc.stream().has_edge(u, v) {
+        toggle.remove(u, v);
+    } else {
+        toggle.insert(u, v);
+    }
+    svc.apply_batch(&toggle).expect("valid toggle");
+    assert_eq!(pinned.epoch() + 1, handle.snapshot().epoch());
+    assert_eq!(
+        pinned.values(),
+        batagelj_zaversnik(pinned.graph()).as_slice()
+    );
+    println!(
+        "pinned epoch {} still consistent after the writer advanced to {}",
+        pinned.epoch(),
+        handle.snapshot().epoch()
+    );
+}

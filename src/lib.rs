@@ -10,4 +10,5 @@ pub use dkcore_graph as graph;
 pub use dkcore_metrics as metrics;
 pub use dkcore_pregel as pregel;
 pub use dkcore_runtime as runtime;
+pub use dkcore_serve as serve;
 pub use dkcore_sim as sim;
