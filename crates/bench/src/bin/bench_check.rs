@@ -13,10 +13,17 @@
 //! via the `BENCH_REGRESSION_THRESHOLD` environment variable; the flag
 //! wins. Absolute times are never compared — only the machine-portable
 //! legacy-vs-fast speedup ratios (see `dkcore_bench::regression`).
+//!
+//! Machine-scaling ratios (`speedup_readers*`) are special-cased: they
+//! gate only when the baseline document records a core count comparable
+//! to the fresh run's (every bench binary writes `"cores"`); otherwise
+//! they are downgraded to soft warnings — a reader-scaling baseline from
+//! a 1-core container is an oversubscription floor, not a target, on a
+//! 16-core runner.
 
 use std::process::ExitCode;
 
-use dkcore_bench::regression::{compare, parse_results, render_table};
+use dkcore_bench::regression::{compare_docs, parse_document, render_table};
 
 fn main() -> ExitCode {
     let mut threshold: f64 = std::env::var("BENCH_REGRESSION_THRESHOLD")
@@ -52,15 +59,20 @@ fn main() -> ExitCode {
             std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
         };
         let baseline =
-            parse_results(&read(baseline_path)).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+            parse_document(&read(baseline_path)).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
         let fresh =
-            parse_results(&read(fresh_path)).unwrap_or_else(|e| panic!("{fresh_path}: {e}"));
-        let comparisons = compare(&baseline, &fresh, threshold)
+            parse_document(&read(fresh_path)).unwrap_or_else(|e| panic!("{fresh_path}: {e}"));
+        let comparisons = compare_docs(&baseline, &fresh, threshold)
             .unwrap_or_else(|e| panic!("{baseline_path} vs {fresh_path}: {e}"));
+        let describe = |c: Option<f64>| c.map_or("?".to_string(), |v| format!("{v:.0}"));
         print!(
             "{}",
             render_table(
-                &format!("{baseline_path} vs {fresh_path}"),
+                &format!(
+                    "{baseline_path} (cores {}) vs {fresh_path} (cores {})",
+                    describe(baseline.cores),
+                    describe(fresh.cores)
+                ),
                 &comparisons,
                 threshold
             )

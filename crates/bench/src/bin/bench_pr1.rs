@@ -88,6 +88,8 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"BENCH_PR1\",\n");
     let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str("  \"engines\": [\"legacy_sync\", \"active_set_seq\", \"active_set_par\"],\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -132,6 +132,8 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"BENCH_PR2\",\n");
     let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str("  \"metric\": \"round throughput (run time, construction separate)\",\n");
     json.push_str("  \"engines\": [\"legacy_host_sync\", \"active_set_host\"],\n");
     json.push_str("  \"results\": [\n");

@@ -175,7 +175,7 @@ fn measure_warm(
         let old = sc.values().to_vec();
         sc.apply_batch(b).expect("stream batches are valid");
         let new_graph = sc.to_graph();
-        let est = warm_start_estimates_batch(&old, &new_graph, b.insertions(), b.removals().len());
+        let est = warm_start_estimates_batch(&old, &new_graph, b.insertions(), b.removals());
         let warm = ActiveSetEngine::with_estimates(&new_graph, cfg, &est).run();
         let cold = ActiveSetEngine::new(&new_graph, cfg).run();
         assert_eq!(warm.final_estimates, sc.values(), "warm re-convergence");
@@ -274,6 +274,8 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"BENCH_PR3\",\n");
     let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let _ = writeln!(json, "  \"cores\": {cores},");
     json.push_str(
         "  \"metric\": \"whole-stream repair time; deterministic distributed round counts\",\n",
     );

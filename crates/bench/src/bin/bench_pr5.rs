@@ -1,0 +1,289 @@
+//! PR 5 acceptance benchmark: **incremental (copy-on-write) epoch
+//! publishing** vs the PR 4 full-rebuild publish path, plus the sharded
+//! multi-writer service, emitting machine-readable `BENCH_PR5.json`.
+//!
+//! Publish-path rows: a `CoreService` sustains mixed churn (batch 32 on
+//! the 100k-node overlay, per the acceptance criterion) and every epoch
+//! is published twice-over for timing — once through the production
+//! incremental [`CoreSnapshot::advance`] path (structural chunk sharing,
+//! `O(|touched| + N/C)`), and once through the PR 4-equivalent full
+//! rebuild (a fresh [`CoreSnapshot::capture`] **plus** the eager graph
+//! materialization the old snapshot performed, `O(N + M)`).
+//! `speedup_publish` is the headline gated ratio; the binary asserts the
+//! acceptance floor (≥5× full mode, ≥2× quick) and that publish cost
+//! tracks `|touched|`, not `N + M`.
+//!
+//! Sharded rows: `ShardedCoreService` at shard counts {1, 2, 4} drives
+//! the same workload; every row asserts the stitched epochs equal fresh
+//! Batagelj–Zaveršnik on the union graph (`identical_output`), and
+//! reports border-exchange rounds/messages and publish latency. These
+//! rows carry no gated speedups — cross-shard costs are machine- and
+//! partition-dependent.
+//!
+//! Usage: `bench_pr5 [output.json]` (default `BENCH_PR5.json`). Set
+//! `BENCH_QUICK=1` for the fast smoke configuration CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::EdgeBatch;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_metrics::Percentiles;
+use dkcore_serve::{CoreService, CoreSnapshot, ShardedCoreService};
+
+/// The inverse of each batch, so apply→undo cycles stay valid forever.
+fn undo_batches(stream: &[EdgeBatch]) -> Vec<EdgeBatch> {
+    stream
+        .iter()
+        .map(|b| {
+            let mut u = EdgeBatch::new();
+            for &(x, y) in b.insertions() {
+                u.remove(x, y);
+            }
+            for &(x, y) in b.removals() {
+                u.insert(x, y);
+            }
+            u
+        })
+        .collect()
+}
+
+struct PublishRow {
+    graph: String,
+    nodes: usize,
+    batch: usize,
+    epochs: u64,
+    touched_mean: f64,
+    incr: Percentiles,
+    full: Percentiles,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Drives `epochs` churn epochs through a `CoreService`, timing the
+/// production incremental publish and a PR 4-equivalent full rebuild of
+/// the same epoch.
+fn measure_publish(scale: usize, batch: usize, epochs: u64, seed: u64) -> PublishRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        8,
+        batch,
+        seed ^ 7,
+    );
+    let undos: Vec<_> = undo_batches(&stream).into_iter().rev().collect();
+    let mut svc = CoreService::new(&g);
+
+    let mut incr = Percentiles::new();
+    let mut full = Percentiles::new();
+    let mut touched = 0u64;
+    let mut done = 0u64;
+    'outer: loop {
+        for b in stream.iter().chain(undos.iter()) {
+            if done == epochs {
+                break 'outer;
+            }
+            // Production path: apply + incremental advance (timed inside
+            // the service).
+            let report = svc.apply_batch(b).expect("stream batches are valid");
+            incr.record(report.publish_micros);
+            touched += report.stats.candidates as u64;
+
+            // PR 4-equivalent full rebuild of the very same epoch: a
+            // fresh capture plus the eager graph materialization the old
+            // snapshot performed on every publish.
+            let t = Instant::now();
+            let rebuilt = CoreSnapshot::capture(report.epoch, svc.stream());
+            std::hint::black_box(rebuilt.graph().edge_count());
+            full.record(t.elapsed().as_secs_f64() * 1e6);
+            done += 1;
+        }
+    }
+
+    let snap = svc.handle().snapshot();
+    let identical = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    let speedup = full.p50() / incr.p50();
+    println!(
+        "publish gnp12/{scale} batch {batch}: incremental p50 {:>8.1}us p99 {:>8.1}us | \
+         full-rebuild p50 {:>9.1}us | {speedup:>6.2}x | mean touched {:>7.1} | identical: {identical}",
+        incr.p50(),
+        incr.p99(),
+        full.p50(),
+        touched as f64 / done as f64,
+    );
+    PublishRow {
+        graph: format!("publish_mixed_gnp12/{scale}/batch{batch}"),
+        nodes: scale,
+        batch,
+        epochs: done,
+        touched_mean: touched as f64 / done as f64,
+        incr,
+        full,
+        speedup,
+        identical,
+    }
+}
+
+struct ShardRow {
+    graph: String,
+    nodes: usize,
+    shards: usize,
+    epochs: u64,
+    rounds: u64,
+    messages: u64,
+    repair: Percentiles,
+    publish: Percentiles,
+    identical: bool,
+}
+
+/// Drives the sharded service at one shard count and pins every epoch's
+/// stitched state to union-graph ground truth.
+fn measure_sharded(scale: usize, shards: usize, batch: usize, steps: usize, seed: u64) -> ShardRow {
+    let g = gnp(scale, 10.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        batch,
+        seed ^ 3,
+    );
+    let mut svc = ShardedCoreService::new(&g, shards);
+    let handle = svc.handle();
+    let mut repair = Percentiles::new();
+    let mut publish = Percentiles::new();
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    let mut identical = true;
+    for b in &stream {
+        let r = svc.apply_batch(b).expect("stream batches are valid");
+        repair.record(r.repair_micros);
+        publish.record(r.publish_micros);
+        rounds += u64::from(r.rounds);
+        messages += r.messages;
+        let snap = handle.snapshot();
+        identical &= snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    }
+    println!(
+        "sharded gnp10/{scale} x{shards}: {rounds:>4} rounds, {messages:>7} messages | \
+         repair p50 {:>8.1}us | publish p50 {:>7.1}us | identical: {identical}",
+        repair.p50(),
+        publish.p50(),
+    );
+    ShardRow {
+        graph: format!("sharded_mixed_gnp10/{scale}/shards{shards}"),
+        nodes: scale,
+        shards,
+        epochs: stream.len() as u64,
+        rounds,
+        messages,
+        repair,
+        publish,
+        identical,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (scale, epochs, shard_scale, shard_steps) = if quick {
+        (10_000usize, 40u64, 2_000usize, 8usize)
+    } else {
+        (100_000, 60, 5_000, 12)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("publish-path comparison (scale {scale}, {cores} cores)...");
+
+    let publish_row = measure_publish(scale, 32, epochs, 42);
+    let shard_rows: Vec<ShardRow> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| measure_sharded(shard_scale, s, 32, shard_steps, 77))
+        .collect();
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR5\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"metric\": \"incremental (copy-on-write) epoch publish vs PR4 full rebuild; \
+         sharded multi-writer stitched epochs vs union-graph ground truth\",\n",
+    );
+    json.push_str(
+        "  \"engines\": [\"core_service_incremental_publish\", \"sharded_core_service\"],\n",
+    );
+    json.push_str("  \"results\": [\n");
+    {
+        let r = &publish_row;
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"batch\": {}, \"epochs\": {}, \
+             \"touched_mean\": {:.1}, \
+             \"publish_incr_p50_us\": {:.1}, \"publish_incr_p99_us\": {:.1}, \
+             \"publish_full_p50_us\": {:.1}, \"publish_full_p99_us\": {:.1}, \
+             \"speedup_publish\": {:.3}, \"identical_output\": {}}},",
+            r.graph,
+            r.nodes,
+            r.batch,
+            r.epochs,
+            r.touched_mean,
+            r.incr.p50(),
+            r.incr.p99(),
+            r.full.p50(),
+            r.full.p99(),
+            r.speedup,
+            r.identical,
+        );
+    }
+    for (i, r) in shard_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"shards\": {}, \"epochs\": {}, \
+             \"rounds\": {}, \"messages\": {}, \
+             \"repair_p50_us\": {:.1}, \"repair_p99_us\": {:.1}, \
+             \"publish_p50_us\": {:.1}, \"identical_output\": {}}}",
+            r.graph,
+            r.nodes,
+            r.shards,
+            r.epochs,
+            r.rounds,
+            r.messages,
+            r.repair.p50(),
+            r.repair.p99(),
+            r.publish.p50(),
+            r.identical,
+        );
+        json.push_str(if i + 1 < shard_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR5.json");
+    println!("wrote {out_path}");
+
+    // Acceptance floors.
+    assert!(publish_row.identical, "service diverged from ground truth");
+    assert!(
+        shard_rows.iter().all(|r| r.identical),
+        "a stitched epoch diverged from union-graph ground truth"
+    );
+    let target = if quick { 2.0 } else { 5.0 };
+    assert!(
+        publish_row.speedup >= target,
+        "incremental publish {:.2}x below the {target}x acceptance floor",
+        publish_row.speedup
+    );
+    // Publish cost must track the touched set, not N + M: the mean
+    // incremental publish must stay far below the full rebuild even at
+    // the tail (p99 vs the *full* path's p50).
+    assert!(
+        publish_row.incr.p99() < publish_row.full.p50(),
+        "incremental publish tail ({:.1}us) reached full-rebuild territory ({:.1}us)",
+        publish_row.incr.p99(),
+        publish_row.full.p50()
+    );
+}

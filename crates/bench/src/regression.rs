@@ -33,6 +33,39 @@ pub struct BenchRow {
 /// reported but never fail the check.
 pub const MIN_GATED_MS: f64 = 1.0;
 
+/// Metrics whose value depends on how many cores the machine has (e.g.
+/// the reader-scaling ratios of `bench_pr4`: on a 1-core container they
+/// measure oversubscription overhead, on a 16-core box real read
+/// scalability). These gate only when the baseline and the fresh run
+/// were measured on comparable machines — see [`cores_differ_materially`].
+pub const SCALING_METRIC_PREFIX: &str = "speedup_readers";
+
+/// Core-count ratio beyond which two machines stop being comparable for
+/// [scaling metrics](SCALING_METRIC_PREFIX).
+pub const CORES_MATERIAL_RATIO: f64 = 1.5;
+
+/// A parsed benchmark document: the `results` rows plus the recorded
+/// machine core count (every bench binary writes a top-level `"cores"`
+/// field; older committed baselines may lack it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Top-level `"cores"` field, when present.
+    pub cores: Option<f64>,
+    /// The `results` rows.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Whether two recorded core counts differ enough that machine-scaling
+/// ratios measured on them are not comparable. Unknown core counts (an
+/// old baseline without the field) are treated as not comparable — a
+/// scaling ratio should never fail the build on unverifiable grounds.
+pub fn cores_differ_materially(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (Some(a), Some(b)) if a > 0.0 && b > 0.0 => a.max(b) / a.min(b) >= CORES_MATERIAL_RATIO,
+        _ => true,
+    }
+}
+
 /// Outcome of one baseline-vs-fresh ratio comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -51,6 +84,10 @@ pub struct Comparison {
     /// The row contains a timing below [`MIN_GATED_MS`]: too fast to
     /// measure reliably, so it can never regress the build.
     pub too_fast: bool,
+    /// The metric is machine-scaling ([`SCALING_METRIC_PREFIX`]) and the
+    /// baseline was recorded on a materially different core count:
+    /// reported as a soft warning, never gated.
+    pub machine_mismatch: bool,
 }
 
 /// Extracts the `results` rows from a benchmark JSON document.
@@ -60,9 +97,22 @@ pub struct Comparison {
 /// Returns a message when the document has no parsable `results` array or
 /// a row lacks a `graph` label.
 pub fn parse_results(json: &str) -> Result<Vec<BenchRow>, String> {
+    Ok(parse_document(json)?.rows)
+}
+
+/// Parses a whole benchmark document: document-level metadata (the
+/// recorded `"cores"`) plus the `results` rows.
+///
+/// # Errors
+///
+/// Returns a message when the document has no parsable `results` array
+/// or a row lacks a `graph` label.
+pub fn parse_document(json: &str) -> Result<BenchDoc, String> {
     let start = json
         .find("\"results\"")
         .ok_or_else(|| "no \"results\" key in document".to_string())?;
+    // Document-level numeric fields live before the results array.
+    let cores = parse_meta_number(&json[..start], "cores");
     let body = &json[start..];
     let open = body
         .find('[')
@@ -84,7 +134,18 @@ pub fn parse_results(json: &str) -> Result<Vec<BenchRow>, String> {
     if rows.is_empty() {
         return Err("empty results array".to_string());
     }
-    Ok(rows)
+    Ok(BenchDoc { cores, rows })
+}
+
+/// Extracts one document-level numeric field (`"key": 123`) from the
+/// text before the results array.
+fn parse_meta_number(head: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let at = head.find(&quoted)?;
+    let after = &head[at + quoted.len()..];
+    let value = after[after.find(':')? + 1..].trim_start();
+    let end = value.find([',', '}', '\n']).unwrap_or(value.len());
+    value[..end].trim().parse().ok()
 }
 
 /// Parses one flat `"key": value, ...` row body.
@@ -182,11 +243,40 @@ pub fn compare(
                 delta,
                 regressed: !too_fast && delta < -threshold,
                 too_fast,
+                machine_mismatch: false,
             });
         }
     }
     if out.is_empty() {
         return Err("no speedup ratios to compare".to_string());
+    }
+    Ok(out)
+}
+
+/// [`compare`], plus the machine-scaling rule: metrics named with the
+/// [`SCALING_METRIC_PREFIX`] gate only when the two documents were
+/// recorded on comparable core counts ([`cores_differ_materially`]);
+/// otherwise they are downgraded to soft warnings. This keeps a
+/// 1-core-container baseline (an oversubscription floor, as the PR 4
+/// ROADMAP note records) from failing runs on real multi-core machines
+/// — and vice versa.
+///
+/// # Errors
+///
+/// Propagates [`compare`]'s errors.
+pub fn compare_docs(
+    baseline: &BenchDoc,
+    fresh: &BenchDoc,
+    threshold: f64,
+) -> Result<Vec<Comparison>, String> {
+    let mut out = compare(&baseline.rows, &fresh.rows, threshold)?;
+    if cores_differ_materially(baseline.cores, fresh.cores) {
+        for c in &mut out {
+            if c.metric.starts_with(SCALING_METRIC_PREFIX) {
+                c.machine_mismatch = true;
+                c.regressed = false;
+            }
+        }
     }
     Ok(out)
 }
@@ -216,6 +306,8 @@ pub fn render_table(label: &str, comparisons: &[Comparison], threshold: f64) -> 
             c.delta * 100.0,
             if c.regressed {
                 "REGRESSED"
+            } else if c.machine_mismatch {
+                "warn (core counts differ, scaling not gated)"
             } else if c.too_fast {
                 "ok (sub-ms, not gated)"
             } else {
@@ -337,6 +429,87 @@ mod tests {
         *fresh[0].numbers.get_mut("speedup_par").unwrap() = 1.0;
         let cmp = compare(&base, &fresh, 0.2).unwrap();
         assert!(cmp.iter().any(|c| c.regressed));
+    }
+
+    const SCALING_DOC: &str = r#"{
+  "bench": "BENCH_SCALE",
+  "quick_mode": true,
+  "cores": 1,
+  "engines": ["svc"],
+  "results": [
+    {"graph": "serve/readers1", "elapsed_ms": 900.0, "qps": 100.0, "speedup_readers": 1.000},
+    {"graph": "serve/readers8", "elapsed_ms": 900.0, "qps": 170.0, "speedup_readers": 1.700, "speedup_publish": 6.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn parse_document_reads_cores() {
+        let doc = parse_document(SCALING_DOC).unwrap();
+        assert_eq!(doc.cores, Some(1.0));
+        assert_eq!(doc.rows.len(), 2);
+        // A document without the field parses with cores = None.
+        let old = parse_document(DOC).unwrap();
+        assert_eq!(old.cores, None);
+        assert_eq!(old.rows.len(), 2);
+        // A "cores" key inside a *row* is not document metadata.
+        let row_only = DOC.replace("\"nodes\": 1000", "\"cores\": 64, \"nodes\": 1000");
+        assert_eq!(parse_document(&row_only).unwrap().cores, None);
+    }
+
+    #[test]
+    fn core_material_difference_rule() {
+        assert!(!cores_differ_materially(Some(8.0), Some(8.0)));
+        assert!(!cores_differ_materially(Some(8.0), Some(6.0)));
+        assert!(cores_differ_materially(Some(1.0), Some(8.0)));
+        assert!(cores_differ_materially(Some(1.0), Some(2.0)));
+        // Unknown on either side: never comparable, never gated.
+        assert!(cores_differ_materially(None, Some(8.0)));
+        assert!(cores_differ_materially(Some(8.0), None));
+        assert!(cores_differ_materially(None, None));
+    }
+
+    #[test]
+    fn scaling_metrics_soft_warn_across_core_counts() {
+        // Baseline from a 1-core container, fresh run on an 8-core box
+        // whose reader-scaling ratio *dropped* hard: the scaling metric
+        // must warn instead of failing, while ordinary speedups on the
+        // same rows still gate.
+        let base = parse_document(SCALING_DOC).unwrap();
+        let fresh_json = SCALING_DOC.replace("\"cores\": 1", "\"cores\": 8");
+        let mut fresh = parse_document(&fresh_json).unwrap();
+        *fresh.rows[1].numbers.get_mut("speedup_readers").unwrap() = 0.6; // -65%
+        *fresh.rows[1].numbers.get_mut("speedup_publish").unwrap() = 2.0; // -67%
+        let cmp = compare_docs(&base, &fresh, 0.2).unwrap();
+        let readers = cmp
+            .iter()
+            .find(|c| c.graph == "serve/readers8" && c.metric == "speedup_readers")
+            .unwrap();
+        assert!(readers.machine_mismatch);
+        assert!(
+            !readers.regressed,
+            "scaling row must not gate across machines"
+        );
+        let publish = cmp.iter().find(|c| c.metric == "speedup_publish").unwrap();
+        assert!(!publish.machine_mismatch, "ordinary ratios still gate");
+        assert!(publish.regressed);
+        // Rendered table spells the downgrade out.
+        let table = render_table("BENCH_SCALE", &cmp, 0.2);
+        assert!(table.contains("core counts differ"), "{table}");
+    }
+
+    #[test]
+    fn scaling_metrics_still_gate_on_comparable_machines() {
+        let base = parse_document(SCALING_DOC).unwrap();
+        let mut fresh = parse_document(SCALING_DOC).unwrap();
+        *fresh.rows[1].numbers.get_mut("speedup_readers").unwrap() = 0.6;
+        let cmp = compare_docs(&base, &fresh, 0.2).unwrap();
+        let readers = cmp
+            .iter()
+            .find(|c| c.metric == "speedup_readers" && c.graph == "serve/readers8")
+            .unwrap();
+        assert!(!readers.machine_mismatch);
+        assert!(readers.regressed, "same core count: the ratio gates");
     }
 
     #[test]

@@ -82,7 +82,7 @@ USAGE:
                             [--workload sliding-window|insert-heavy|adversarial|hotspot|mixed]
                             [--engine batched|per-edge|warm-dist] [--threads T]
                             [--insert-pct P] [--report-json FILE] [--seed S]
-  dkcore serve     <input> [--port P] [--batch B] [--steps S]
+  dkcore serve     <input> [--port P] [--batch B] [--steps S] [--shards S]
                             [--workload ...] [--insert-pct P] [--interval-ms MS]
                             [--no-wait] [--seed S]
   dkcore query     --port P <coreness V | members K | subgraph K | hist |
@@ -107,7 +107,11 @@ SERVE:
   epoch; concurrent readers query over a TCP line protocol. `--port 0`
   picks an ephemeral port (printed on startup). Unless --no-wait is given
   the command keeps serving after the churn until a client sends
-  `shutdown` (`dkcore query --port P shutdown`).
+  `shutdown` (`dkcore query --port P shutdown`). With `--shards S` (S > 1)
+  the graph is partitioned over S shard writers that re-converge via
+  border-estimate exchange; queries are answered by the stitching front
+  end against a consistent vector of per-shard epochs — same protocol,
+  same answers.
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -502,12 +506,8 @@ pub fn cmd_stream<W: Write>(
                 sc.apply_batch(b)
                     .map_err(|e| CliError::new(e.to_string()))?;
                 let new_graph = sc.to_graph();
-                let est = warm_start_estimates_batch(
-                    &old,
-                    &new_graph,
-                    b.insertions(),
-                    b.removals().len(),
-                );
+                let est =
+                    warm_start_estimates_batch(&old, &new_graph, b.insertions(), b.removals());
                 let cfg = ActiveSetConfig {
                     threads,
                     ..Default::default()
@@ -579,11 +579,13 @@ pub fn cmd_stream<W: Write>(
 ///
 /// Starts the TCP front end on `127.0.0.1:port` (`0` = ephemeral; the
 /// bound port is printed first), then applies `steps` churn batches
-/// through the single writer — publishing one epoch snapshot each,
-/// `interval_ms` apart — and reports per-epoch stats plus
-/// repair/publish-latency percentiles. With `wait` the service then keeps
-/// serving queries until a client sends `SHUTDOWN`; otherwise it exits
-/// once the churn is exhausted.
+/// through the writer — publishing one epoch each, `interval_ms` apart —
+/// and reports per-epoch stats plus repair/publish-latency percentiles.
+/// With `shards > 1` the graph is partitioned over that many shard
+/// writers (`ShardedCoreService`) and queries are answered by the
+/// stitching front end; the wire protocol is identical. With `wait` the
+/// service then keeps serving queries until a client sends `SHUTDOWN`;
+/// otherwise it exits once the churn is exhausted.
 ///
 /// # Errors
 ///
@@ -595,6 +597,7 @@ pub fn cmd_serve<W: Write>(
     workload: &str,
     batch: usize,
     steps: usize,
+    shards: usize,
     insert_pct: u32,
     interval_ms: u64,
     wait: bool,
@@ -602,7 +605,7 @@ pub fn cmd_serve<W: Write>(
     out: &mut W,
 ) -> Result<(), CliError> {
     use dkcore_metrics::Percentiles;
-    use dkcore_serve::{wire, CoreService};
+    use dkcore_serve::{wire, CoreService, ShardedCoreService};
 
     let g = load_input(input, seed)?;
     if g.node_count() < 2 {
@@ -611,32 +614,60 @@ pub fn cmd_serve<W: Write>(
     let workload = parse_workload(workload, batch, g.node_count(), insert_pct)?;
     let stream = dkcore_data::churn_stream(&g, workload, steps, batch, seed);
 
-    let mut svc = CoreService::new(&g);
-    let handle = svc.handle();
-    let server = wire::serve(handle.clone(), ("127.0.0.1", port))?;
+    // One apply/report arm per backend; everything else is shared. Boxed
+    // so the enum stays pointer-sized (the services embed large state).
+    enum Backend {
+        Single(Box<CoreService>),
+        Sharded(Box<ShardedCoreService>),
+    }
+    let mut backend = if shards > 1 {
+        Backend::Sharded(Box::new(ShardedCoreService::new(&g, shards)))
+    } else {
+        Backend::Single(Box::new(CoreService::new(&g)))
+    };
+    let server = match &backend {
+        Backend::Single(svc) => wire::serve(svc.handle(), ("127.0.0.1", port))?,
+        Backend::Sharded(svc) => wire::serve(svc.handle(), ("127.0.0.1", port))?,
+    };
     writeln!(
         out,
-        "listening on 127.0.0.1:{} (epoch 0: {} nodes, {} edges)",
+        "listening on 127.0.0.1:{} (epoch 0: {} nodes, {} edges{})",
         server.port(),
         g.node_count(),
-        g.edge_count()
+        g.edge_count(),
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        }
     )?;
 
     let mut t = Table::new(["epoch", "inserts", "removals", "changed", "publish-us"]);
     let mut repair = Percentiles::new();
     let mut publish = Percentiles::new();
     for b in &stream {
-        let report = svc
-            .apply_batch(b)
-            .map_err(|e| CliError::new(e.to_string()))?;
-        repair.record(report.repair_micros);
-        publish.record(report.publish_micros);
+        let (epoch, changed, repair_us, publish_us) = match &mut backend {
+            Backend::Single(svc) => {
+                let r = svc
+                    .apply_batch(b)
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                (r.epoch, r.stats.changed, r.repair_micros, r.publish_micros)
+            }
+            Backend::Sharded(svc) => {
+                let r = svc
+                    .apply_batch(b)
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                (r.epoch, r.changed, r.repair_micros, r.publish_micros)
+            }
+        };
+        repair.record(repair_us);
+        publish.record(publish_us);
         t.row([
-            report.epoch.to_string(),
+            epoch.to_string(),
             b.insertions().len().to_string(),
             b.removals().len().to_string(),
-            report.stats.changed.to_string(),
-            format!("{:.0}", report.publish_micros),
+            changed.to_string(),
+            format!("{publish_us:.0}"),
         ]);
         if interval_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(interval_ms));
@@ -644,15 +675,23 @@ pub fn cmd_serve<W: Write>(
     }
     write!(out, "{t}")?;
 
-    // The final published epoch must be the exact decomposition.
-    let snap = handle.snapshot();
-    let verified = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    // The final published epoch must be the exact decomposition (of the
+    // union graph, in the sharded case).
+    let (epoch, edges, kmax, verified) = match &backend {
+        Backend::Single(svc) => {
+            let snap = svc.handle().snapshot();
+            let ok = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+            (snap.epoch(), snap.edge_count(), snap.max_coreness(), ok)
+        }
+        Backend::Sharded(svc) => {
+            let snap = svc.handle().snapshot();
+            let ok = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+            (snap.epoch(), snap.edge_count(), snap.max_coreness(), ok)
+        }
+    };
     writeln!(
         out,
-        "final epoch {} ({} edges, kmax {}) verified: {verified}",
-        snap.epoch(),
-        snap.edge_count(),
-        snap.max_coreness()
+        "final epoch {epoch} ({edges} edges, kmax {kmax}) verified: {verified}"
     )?;
     writeln!(out, "repair latency (us):  {repair}")?;
     writeln!(out, "publish latency (us): {publish}")?;
@@ -808,6 +847,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut workload = "sliding-window".to_string();
     let mut out_path: Option<String> = None;
     let mut port = 0u16;
+    let mut shards = 1usize;
     let mut insert_pct = 60u32;
     let mut interval_ms = 0u64;
     let mut wait = true;
@@ -867,6 +907,14 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
                 port = value("--port")?
                     .parse()
                     .map_err(|_| CliError::new("--port: expected a port number"))?
+            }
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::new("--shards: expected a number"))?;
+                if shards == 0 {
+                    return Err(CliError::new("--shards: need at least 1 shard"));
+                }
             }
             "--insert-pct" => {
                 insert_pct = value("--insert-pct")?
@@ -933,6 +981,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             &workload,
             batch,
             steps,
+            shards,
             insert_pct,
             interval_ms,
             wait,
@@ -1221,6 +1270,7 @@ mod tests {
                     "mixed",
                     8,
                     3,
+                    1,
                     60,
                     0,
                     true, // keep serving until the SHUTDOWN query below
@@ -1290,6 +1340,7 @@ mod tests {
             "sliding-window",
             6,
             2,
+            1,
             60,
             0,
             false, // exit as soon as the churn is exhausted
@@ -1301,6 +1352,41 @@ mod tests {
         assert!(text.contains("final epoch 2"), "{text}");
         assert!(text.contains("verified: true"), "{text}");
         assert!(!text.contains("serving until SHUTDOWN"), "{text}");
+    }
+
+    #[test]
+    fn serve_sharded_runs_to_completion_and_verifies() {
+        // The sharded backend behind the same command: stitched epochs
+        // verified against union-graph ground truth for shard counts
+        // above 1, same table and summary output.
+        for shards in [2usize, 4] {
+            let mut out = Vec::new();
+            cmd_serve(
+                "analog:gnutella-like:200",
+                0,
+                "mixed",
+                8,
+                3,
+                shards,
+                60,
+                0,
+                false,
+                11,
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains(&format!("{shards} shards")), "{text}");
+            assert!(text.contains("final epoch 3"), "{text}");
+            assert!(text.contains("verified: true"), "{text}");
+        }
+        // --shards 0 is rejected at parse time.
+        let args: Vec<String> = ["serve", "analog:gnutella-like:100", "--shards", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = dispatch(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
     }
 
     #[test]

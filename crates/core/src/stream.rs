@@ -199,6 +199,67 @@ impl EdgeBatch {
     pub fn is_empty(&self) -> bool {
         self.insertions.is_empty() && self.removals.is_empty()
     }
+
+    /// Validates the batch against a graph with `n` nodes whose edge set
+    /// is exposed through `has_edge`: all removals must name present
+    /// edges, all insertions absent ones (unless the same batch also
+    /// removes them), duplicates and bad endpoints are rejected. This is
+    /// the exact rule [`StreamCore::apply_batch`] enforces, exported so
+    /// other batch appliers (e.g. the sharded serving layer) stay
+    /// bit-compatible with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MutationError`] found.
+    pub fn validate_against<F>(&self, n: usize, has_edge: F) -> Result<(), MutationError>
+    where
+        F: Fn(NodeId, NodeId) -> bool,
+    {
+        let endpoints_ok = |&(u, v): &(NodeId, NodeId)| -> Result<(), MutationError> {
+            if u == v || u.index() >= n || v.index() >= n {
+                return Err(MutationError::InvalidEndpoints { u, v });
+            }
+            Ok(())
+        };
+        let mut removals = self.removals().to_vec();
+        removals.sort_unstable();
+        for (i, r) in removals.iter().enumerate() {
+            endpoints_ok(r)?;
+            let &(u, v) = r;
+            if i > 0 && removals[i - 1] == (u, v) {
+                // A duplicate removal: the second one targets a missing edge.
+                return Err(MutationError::EdgeState {
+                    u,
+                    v,
+                    present: false,
+                });
+            }
+            if !has_edge(u, v) {
+                return Err(MutationError::EdgeState {
+                    u,
+                    v,
+                    present: false,
+                });
+            }
+        }
+        let mut insertions = self.insertions().to_vec();
+        insertions.sort_unstable();
+        for (i, ins) in insertions.iter().enumerate() {
+            endpoints_ok(ins)?;
+            let &(u, v) = ins;
+            let dup = i > 0 && insertions[i - 1] == (u, v);
+            let present = has_edge(u, v);
+            let also_removed = removals.binary_search(&(u, v)).is_ok();
+            if dup || (present && !also_removed) {
+                return Err(MutationError::EdgeState {
+                    u,
+                    v,
+                    present: true,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 fn ordered(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
@@ -268,6 +329,39 @@ impl AdjacencyArena {
         }
     }
 
+    /// Builds the arena from explicit sorted neighbor lists — the
+    /// constructor for slot spaces that are not `0..n` graph ids, such as
+    /// a shard arena whose slots are shard-local node indices while the
+    /// stored values stay global.
+    ///
+    /// Each list must be strictly ascending (debug-asserted).
+    pub fn from_sorted_lists<I, J>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = u32>,
+    {
+        let mut start = Vec::new();
+        let mut len = Vec::new();
+        let mut pool: Vec<u32> = Vec::new();
+        for list in lists {
+            let s = pool.len();
+            start.push(s);
+            pool.extend(list);
+            debug_assert!(
+                pool[s..].windows(2).all(|w| w[0] < w[1]),
+                "neighbor lists must be strictly ascending"
+            );
+            len.push((pool.len() - s) as u32);
+        }
+        AdjacencyArena {
+            start,
+            cap: len.clone(),
+            len,
+            live: pool.len(),
+            pool,
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.len.len()
@@ -326,7 +420,12 @@ impl AdjacencyArena {
 
     /// Inserts `v` into `u`'s sorted list (one direction). Returns `false`
     /// if already present.
-    fn insert_arc(&mut self, u: usize, v: u32) -> bool {
+    ///
+    /// Public for callers that manage both arc directions themselves —
+    /// e.g. a sharded service whose slots are shard-local while the
+    /// stored values are global node ids, so the matching reverse arc
+    /// lives in a *different* arena.
+    pub fn insert_arc(&mut self, u: usize, v: u32) -> bool {
         let Err(pos) = self.neighbors(u).binary_search(&v) else {
             return false;
         };
@@ -343,8 +442,9 @@ impl AdjacencyArena {
     }
 
     /// Removes `v` from `u`'s sorted list (one direction). Returns `false`
-    /// if absent.
-    fn remove_arc(&mut self, u: usize, v: u32) -> bool {
+    /// if absent. See [`insert_arc`](Self::insert_arc) for when one-sided
+    /// arc maintenance is the right tool.
+    pub fn remove_arc(&mut self, u: usize, v: u32) -> bool {
         let Ok(pos) = self.neighbors(u).binary_search(&v) else {
             return false;
         };
@@ -528,6 +628,31 @@ impl StreamCore {
         &self.adj
     }
 
+    /// The per-batch delta: every node the most recent
+    /// [`apply_batch`](Self::apply_batch) examined, with its *pre-batch*
+    /// coreness. Nodes not listed are untouched — their coreness,
+    /// degree, and adjacency are identical to the previous batch
+    /// boundary (adjacency additionally changes only at the batch's own
+    /// edge endpoints).
+    ///
+    /// This is the export incremental snapshot builders (e.g.
+    /// `dkcore-serve`) consume to publish an epoch in `O(|touched|)`
+    /// instead of rebuilding `O(N + M)` state. Valid until the next
+    /// `apply_batch` call; empty before the first one.
+    pub fn last_touched(&self) -> &[(u32, u32)] {
+        &self.touched
+    }
+
+    /// `(node, old, new)` for every node whose coreness changed in the
+    /// most recent [`apply_batch`](Self::apply_batch) — the filtered
+    /// view of [`last_touched`](Self::last_touched).
+    pub fn last_coreness_changes(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.touched
+            .iter()
+            .filter(|&&(u, old)| self.core[u as usize] != old)
+            .map(|&(u, old)| (u, old, self.core[u as usize]))
+    }
+
     /// Inserts one edge — a batch of one.
     ///
     /// # Errors
@@ -607,51 +732,9 @@ impl StreamCore {
     /// Validates the whole batch against the current graph without
     /// mutating anything.
     fn validate(&self, batch: &EdgeBatch) -> Result<(), MutationError> {
-        let n = self.adj.node_count();
-        let endpoints_ok = |&(u, v): &(NodeId, NodeId)| -> Result<(), MutationError> {
-            if u == v || u.index() >= n || v.index() >= n {
-                return Err(MutationError::InvalidEndpoints { u, v });
-            }
-            Ok(())
-        };
-        let mut removals = batch.removals().to_vec();
-        removals.sort_unstable();
-        for (i, r) in removals.iter().enumerate() {
-            endpoints_ok(r)?;
-            let &(u, v) = r;
-            if i > 0 && removals[i - 1] == (u, v) {
-                // A duplicate removal: the second one targets a missing edge.
-                return Err(MutationError::EdgeState {
-                    u,
-                    v,
-                    present: false,
-                });
-            }
-            if !self.adj.has_edge(u.index(), v.0) {
-                return Err(MutationError::EdgeState {
-                    u,
-                    v,
-                    present: false,
-                });
-            }
-        }
-        let mut insertions = batch.insertions().to_vec();
-        insertions.sort_unstable();
-        for (i, ins) in insertions.iter().enumerate() {
-            endpoints_ok(ins)?;
-            let &(u, v) = ins;
-            let dup = i > 0 && insertions[i - 1] == (u, v);
-            let present = self.adj.has_edge(u.index(), v.0);
-            let also_removed = removals.binary_search(&(u, v)).is_ok();
-            if dup || (present && !also_removed) {
-                return Err(MutationError::EdgeState {
-                    u,
-                    v,
-                    present: true,
-                });
-            }
-        }
-        Ok(())
+        batch.validate_against(self.adj.node_count(), |u, v| {
+            self.adj.has_edge(u.index(), v.0)
+        })
     }
 
     /// Opens a fresh descent phase: invalidates every histogram and
@@ -757,17 +840,20 @@ impl StreamCore {
     /// candidate estimates to the proven upper bound, and descends.
     /// Returns the number of merged regions.
     fn insertion_phase(&mut self, insertions: &[(NodeId, NodeId)]) -> usize {
+        // The removal phase already ran, so `core` is exact for the
+        // post-removal graph and no removal slack is needed here.
         let regions = {
             let adj = &self.adj;
-            grow_regions(self.core.len(), insertions, &self.core, 0, |x| {
+            candidate_regions(self.core.len(), insertions, &[], &self.core, |x| {
                 adj.neighbors(x as usize).iter().copied()
             })
         };
         // Bump and seed: est ← min(deg', core₁ + group insertions).
         self.begin_phase();
         let count = regions.len();
-        for (bump, members) in regions {
-            for w in members {
+        for region in regions {
+            let bump = region.insertions;
+            for w in region.members {
                 let wi = w as usize;
                 self.touch(w); // record core₁ before the bump
                 let est = (self.core[wi] + bump).min(self.adj.degree(wi));
@@ -780,34 +866,70 @@ impl StreamCore {
     }
 }
 
-/// Grows the merged insertion candidate regions of the [module](self)
-/// theorem: union-find over edge groups, each region closed under the
-/// "`|Δcore| ≤ group insertions − 1 + extra_window`" traversal rule,
-/// groups merged whenever their regions touch. Returns `(insert count,
-/// members)` per surviving group.
+/// One merged candidate region of [`candidate_regions`]: the nodes whose
+/// coreness the group's mutations may change, together with the group's
+/// mutation counts (the insertion count is the proven estimate bump).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateRegion {
+    /// Inserted edges merged into this group — members' coreness can rise
+    /// by at most this much.
+    pub insertions: u32,
+    /// Removed edges merged into this group — the group's share of the
+    /// removal slack (widens the traversal window, never the bump).
+    pub removals: u32,
+    /// The region's nodes.
+    pub members: Vec<u32>,
+}
+
+/// Grows the merged candidate regions of the [module](self) theorem:
+/// union-find over edge groups (every inserted *and* removed edge seeds
+/// its own group), each region closed under the "`|Δcore| ≤ window`"
+/// traversal rule with `window = max(insertions − 1, 0) + removals`
+/// counted *per group*, groups merged whenever their regions touch.
+///
+/// Seeding the removals as groups of their own is what regionalizes the
+/// removal slack: a removal's influence (the nodes whose coreness its
+/// drop cascade can lower) stays connected to its endpoints through
+/// nodes whose pre-batch coreness differs by at most the number of
+/// removals compounding there — two adjacent nodes that were at the same
+/// *current* level when a drop propagated satisfy
+/// `|core₁(x) − core₁(y)| = |δ(x) − δ(y)| ≤ r` once every removal
+/// affecting them is merged into the same group of `r` removals, and the
+/// merge fixpoint below guarantees exactly that. Removals that never
+/// touch an insertion region therefore contribute **no** slack to it,
+/// instead of the former global `+removed_count` on every window.
 ///
 /// Merges widen a group's window, so its members must be re-expanded;
 /// re-expansion is deferred to drain rounds (all merges of a round are
 /// re-pushed together, and a node is skipped unless its group's window
 /// grew since its last scan), keeping the growth near-linear in the
 /// final region size instead of `O(merges × region)`.
-fn grow_regions<N, I>(
+///
+/// `core` is the pre-batch coreness, `neighbors` the **post-batch**
+/// adjacency. Exported for warm-start planners outside this module (the
+/// sharded serving layer grows its cross-shard candidate regions through
+/// a shard-backed `neighbors` closure).
+pub fn candidate_regions<N, I>(
     n: usize,
     insertions: &[(NodeId, NodeId)],
+    removals: &[(NodeId, NodeId)],
     core: &[u32],
-    extra_window: u32,
     neighbors: N,
-) -> Vec<(u32, Vec<u32>)>
+) -> Vec<CandidateRegion>
 where
     N: Fn(u32) -> I,
     I: Iterator<Item = u32>,
 {
-    let b = insertions.len();
+    let b = insertions.len() + removals.len();
     if b == 0 {
         return Vec::new();
     }
     let mut parent: Vec<u32> = (0..b as u32).collect();
-    let mut size: Vec<u32> = vec![1; b];
+    // Per-group mutation counts, authoritative at the group root.
+    let mut ins: Vec<u32> = vec![0; b];
+    let mut rem: Vec<u32> = vec![0; b];
+    ins[..insertions.len()].fill(1);
+    rem[insertions.len()..].fill(1);
     // Region member lists, authoritative at the group root.
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); b];
     let mut region_of: Vec<u32> = vec![u32::MAX; n];
@@ -825,6 +947,10 @@ where
         x
     }
 
+    fn window(ins: u32, rem: u32) -> u32 {
+        ins.saturating_sub(1) + rem
+    }
+
     /// Claims `w` for (the root of) `g`; on contact with another region
     /// the groups union and the root is marked for re-expansion.
     #[allow(clippy::too_many_arguments)]
@@ -832,7 +958,8 @@ where
         w: u32,
         g: u32,
         parent: &mut [u32],
-        size: &mut [u32],
+        ins: &mut [u32],
+        rem: &mut [u32],
         members: &mut [Vec<u32>],
         region_of: &mut [u32],
         frontier: &mut VecDeque<u32>,
@@ -857,21 +984,23 @@ where
             (h, g)
         };
         parent[child as usize] = root;
-        size[root as usize] += size[child as usize];
+        ins[root as usize] += ins[child as usize];
+        rem[root as usize] += rem[child as usize];
         let moved = std::mem::take(&mut members[child as usize]);
         members[root as usize].extend_from_slice(&moved);
         dirty[root as usize] = true;
         dirty[child as usize] = false;
     }
 
-    // Seed with the inserted endpoints (merging shared endpoints).
-    for (ei, &(u, v)) in insertions.iter().enumerate() {
+    // Seed with the mutated endpoints (merging shared endpoints).
+    for (ei, &(u, v)) in insertions.iter().chain(removals.iter()).enumerate() {
         for w in [u.0, v.0] {
             claim(
                 w,
                 ei as u32,
                 &mut parent,
-                &mut size,
+                &mut ins,
+                &mut rem,
                 &mut members,
                 &mut region_of,
                 &mut frontier,
@@ -882,19 +1011,20 @@ where
     loop {
         while let Some(x) = frontier.pop_front() {
             let g = find(&mut parent, region_of[x as usize]);
-            let window = size[g as usize] - 1 + extra_window;
-            if scanned[x as usize] > window {
+            let win = window(ins[g as usize], rem[g as usize]);
+            if scanned[x as usize] > win {
                 continue; // already expanded at this window or wider
             }
-            scanned[x as usize] = window + 1;
+            scanned[x as usize] = win + 1;
             let cx = core[x as usize];
             for y in neighbors(x) {
-                if core[y as usize].abs_diff(cx) <= window {
+                if core[y as usize].abs_diff(cx) <= win {
                     claim(
                         y,
                         g,
                         &mut parent,
-                        &mut size,
+                        &mut ins,
+                        &mut rem,
                         &mut members,
                         &mut region_of,
                         &mut frontier,
@@ -918,7 +1048,11 @@ where
     }
     (0..b)
         .filter(|&gi| parent[gi] == gi as u32)
-        .map(|gi| (size[gi], std::mem::take(&mut members[gi])))
+        .map(|gi| CandidateRegion {
+            insertions: ins[gi],
+            removals: rem[gi],
+            members: std::mem::take(&mut members[gi]),
+        })
         .collect()
 }
 
@@ -929,7 +1063,7 @@ where
 /// * `old_core` — exact coreness *before* the batch;
 /// * `new_graph` — the graph *after* the batch;
 /// * `inserted` — the batch's inserted edges;
-/// * `removed_count` — how many edges the batch removed.
+/// * `removed` — the batch's removed edges.
 ///
 /// Every returned estimate upper-bounds the node's new coreness, so a
 /// warm-started descending protocol (e.g.
@@ -940,12 +1074,15 @@ where
 ///
 /// The bound is the one-pass variant of the [module](self) theorem run
 /// directly on the *old* coreness (no exact removal phase is available
-/// here): regions grow with window `(group insertions − 1) + removed_count`
-/// — the removal slack accounts for old-coreness values sitting up to
-/// `removed_count` above the post-removal coreness along a candidate path
-/// — and members are bumped by the group's insertion count, capped by the
-/// new degree. Nodes outside every region keep their old value (also
-/// capped by the new degree, which removals may have lowered).
+/// here): [`candidate_regions`] grows merged regions seeded by both the
+/// inserted and the removed edges, with window
+/// `(group insertions − 1) + group removals` — the removal slack is
+/// counted **per region**, so removals that never touch an insertion's
+/// neighborhood no longer widen its window the way the former global
+/// `removed_count` slack did. Region members are bumped by the group's
+/// insertion count, capped by the new degree; nodes outside every region
+/// keep their old value (also capped by the new degree, which removals
+/// may have lowered).
 ///
 /// # Example
 ///
@@ -956,7 +1093,7 @@ where
 /// // Close a 5-path into a cycle: everyone may now reach 2.
 /// let old = vec![1, 1, 1, 1, 1];
 /// let cycle = Graph::from_edges(5, [(0,1),(1,2),(2,3),(3,4),(4,0)])?;
-/// let est = warm_start_estimates_batch(&old, &cycle, &[(NodeId(0), NodeId(4))], 0);
+/// let est = warm_start_estimates_batch(&old, &cycle, &[(NodeId(0), NodeId(4))], &[]);
 /// assert!(est.iter().all(|&e| e == 2));
 /// # Ok::<(), dkcore_graph::GraphError>(())
 /// ```
@@ -964,18 +1101,23 @@ pub fn warm_start_estimates_batch(
     old_core: &[u32],
     new_graph: &Graph,
     inserted: &[(NodeId, NodeId)],
-    removed_count: usize,
+    removed: &[(NodeId, NodeId)],
 ) -> Vec<u32> {
     let n = new_graph.node_count();
     assert_eq!(old_core.len(), n, "one old coreness per node");
     let mut est: Vec<u32> = old_core.to_vec();
 
-    let regions = grow_regions(n, inserted, old_core, removed_count as u32, |x| {
-        new_graph.neighbors(NodeId(x)).iter().map(|v| v.0)
-    });
-    for (bump, members) in regions {
-        for w in members {
-            est[w as usize] = old_core[w as usize] + bump;
+    if !inserted.is_empty() {
+        let regions = candidate_regions(n, inserted, removed, old_core, |x| {
+            new_graph.neighbors(NodeId(x)).iter().map(|v| v.0)
+        });
+        for region in regions {
+            if region.insertions == 0 {
+                continue; // removal-only region: no bump to apply
+            }
+            for w in region.members {
+                est[w as usize] = old_core[w as usize] + region.insertions;
+            }
         }
     }
 
@@ -1294,7 +1436,6 @@ mod tests {
                 let old = sc.values().to_vec();
                 let mut b = EdgeBatch::new();
                 let mut ins: Vec<(NodeId, NodeId)> = Vec::new();
-                let mut removed = 0usize;
                 for _ in 0..12 {
                     let u = NodeId(rng.random_range(0..100));
                     let v = NodeId(rng.random_range(0..100));
@@ -1307,7 +1448,6 @@ mod tests {
                     }
                     if sc.has_edge(u, v) {
                         b.remove(u, v);
-                        removed += 1;
                     } else {
                         b.insert(u, v);
                         ins.push(key);
@@ -1315,7 +1455,7 @@ mod tests {
                 }
                 sc.apply_batch(&b).unwrap();
                 let new_graph = sc.to_graph();
-                let est = warm_start_estimates_batch(&old, &new_graph, &ins, removed);
+                let est = warm_start_estimates_batch(&old, &new_graph, &ins, b.removals());
                 for u in new_graph.nodes() {
                     assert!(
                         est[u.index()] >= sc.coreness(u),
@@ -1347,7 +1487,7 @@ mod tests {
         let old = sc.values().to_vec();
         sc.insert_edge(u, v).unwrap();
         let new_graph = sc.to_graph();
-        let batch = warm_start_estimates_batch(&old, &new_graph, &[(u, v)], 0);
+        let batch = warm_start_estimates_batch(&old, &new_graph, &[(u, v)], &[]);
         let single = warm_start_estimates(&old, &new_graph, Some((u, v)));
         // Both are safe; the batch region may be a slight superset (it
         // expands from both endpoints), so batch ≥ single pointwise.
@@ -1355,6 +1495,192 @@ mod tests {
             assert!(batch[i] >= single[i] || batch[i] >= sc.values()[i]);
             assert!(batch[i] >= sc.values()[i]);
         }
+    }
+
+    #[test]
+    fn removal_slack_is_regional_not_global() {
+        // Two disjoint dense blocks. Removals confined to block A must not
+        // widen the warm-start bounds of an insertion inside block B: with
+        // the former global slack (`window += total removals`), B's region
+        // flooded the whole block and every member was bumped; with
+        // per-region slack the insertion's window stays `insertions − 1 = 0`.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for base in [0u32, 40] {
+            for i in 0..40 {
+                for j in (i + 1)..40 {
+                    if (i + j) % 3 != 0 {
+                        edges.push((base + i, base + j));
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(80, edges).unwrap();
+        let mut sc = StreamCore::new(&g);
+        let old = sc.values().to_vec();
+
+        let mut b = EdgeBatch::new();
+        // Five removals inside block A.
+        let mut removed = 0;
+        'outer: for i in 0..40u32 {
+            for j in (i + 1)..40 {
+                if sc.has_edge(NodeId(i), NodeId(j)) {
+                    b.remove(NodeId(i), NodeId(j));
+                    removed += 1;
+                    if removed == 5 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // One insertion inside block B.
+        let (u, v) = {
+            let mut found = None;
+            'search: for i in 40..80u32 {
+                for j in (i + 1)..80 {
+                    if !sc.has_edge(NodeId(i), NodeId(j)) {
+                        found = Some((NodeId(i), NodeId(j)));
+                        break 'search;
+                    }
+                }
+            }
+            found.expect("block B has a non-edge")
+        };
+        b.insert(u, v);
+        sc.apply_batch(&b).unwrap();
+        let new_graph = sc.to_graph();
+
+        let est = warm_start_estimates_batch(&old, &new_graph, &[ordered(u, v)], b.removals());
+        // Safety first: still an upper bound everywhere.
+        for w in new_graph.nodes() {
+            assert!(est[w.index()] >= sc.coreness(w), "unsafe bound at {w}");
+        }
+        // Tightness: block B's region grew with window 0 (single
+        // insertion, no nearby removals), so only nodes at the endpoints'
+        // coreness level can be bumped — nodes in B at other levels keep
+        // their old estimate exactly.
+        let window_levels: Vec<u32> = vec![old[u.index()], old[v.index()]];
+        for w in 40..80usize {
+            if !window_levels.contains(&old[w]) {
+                assert!(
+                    est[w] <= old[w],
+                    "node {w} (old core {}) picked up removal slack from block A",
+                    old[w]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_regions_merge_removals_with_touching_insertions() {
+        // An insertion whose region overlaps a removal's influence region
+        // must absorb its slack (the merged group widens), while a far
+        // removal stays a separate region.
+        let g = path(12);
+        let core = vec![1u32; 12];
+        let regions = candidate_regions(
+            12,
+            &[(NodeId(2), NodeId(4))],
+            &[(NodeId(3), NodeId(4)), (NodeId(9), NodeId(10))],
+            &core,
+            |x| g.neighbors(NodeId(x)).iter().map(|v| v.0),
+        );
+        // Path is one uniform level set: the insertion at {2,4} and the
+        // removal at {3,4} share node 4 and merge; {9,10} is claimed by
+        // the flood of the merged region (equal coreness everywhere), so
+        // at minimum every region is accounted for and the merged region
+        // carries both kinds of counts.
+        let total_ins: u32 = regions.iter().map(|r| r.insertions).sum();
+        let total_rem: u32 = regions.iter().map(|r| r.removals).sum();
+        assert_eq!(total_ins, 1);
+        assert_eq!(total_rem, 2);
+        let merged = regions
+            .iter()
+            .find(|r| r.insertions > 0)
+            .expect("insertion region");
+        assert!(merged.removals >= 1, "touching removal must merge");
+        assert!(merged.members.contains(&2) && merged.members.contains(&4));
+    }
+
+    #[test]
+    fn last_touched_delta_covers_every_change() {
+        // After every batch, the exported delta must (a) list every node
+        // whose coreness changed with the right old value, and (b) list
+        // nothing with a wrong old value — the contract incremental
+        // snapshot publishers rely on.
+        let g = gnp(150, 0.05, 17);
+        let mut sc = StreamCore::new(&g);
+        assert!(sc.last_touched().is_empty(), "no delta before any batch");
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        for _ in 0..12 {
+            let before = sc.values().to_vec();
+            let mut b = EdgeBatch::new();
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..9 {
+                let x = rng.random_range(0..150u32);
+                let y = rng.random_range(0..150u32);
+                if x == y {
+                    continue;
+                }
+                let key = (x.min(y), x.max(y));
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                if sc.has_edge(NodeId(x), NodeId(y)) {
+                    b.remove(NodeId(x), NodeId(y));
+                } else {
+                    b.insert(NodeId(x), NodeId(y));
+                }
+            }
+            sc.apply_batch(&b).unwrap();
+            let touched: std::collections::HashMap<u32, u32> =
+                sc.last_touched().iter().copied().collect();
+            assert_eq!(touched.len(), sc.last_touched().len(), "no duplicates");
+            for (u, &old) in before.iter().enumerate() {
+                if sc.values()[u] != old {
+                    assert_eq!(
+                        touched.get(&(u as u32)),
+                        Some(&old),
+                        "changed node {u} missing from delta"
+                    );
+                }
+            }
+            for &(u, old) in sc.last_touched() {
+                assert_eq!(before[u as usize], old, "wrong old value for {u}");
+            }
+            let changes: Vec<(u32, u32, u32)> = sc.last_coreness_changes().collect();
+            for &(u, old, new) in &changes {
+                assert_eq!(before[u as usize], old);
+                assert_eq!(sc.values()[u as usize], new);
+                assert_ne!(old, new);
+            }
+            let changed_count = before
+                .iter()
+                .enumerate()
+                .filter(|&(u, &old)| sc.values()[u] != old)
+                .count();
+            assert_eq!(changes.len(), changed_count);
+        }
+    }
+
+    #[test]
+    fn arena_from_sorted_lists_roundtrips() {
+        let g = gnp(60, 0.1, 3);
+        let a = AdjacencyArena::from_sorted_lists((0..60u32).map(|u| {
+            g.neighbors(NodeId(u))
+                .iter()
+                .map(|v| v.0)
+                .collect::<Vec<_>>()
+        }));
+        assert_eq!(a.to_graph(), g);
+        // Arbitrary value spaces work: slots are local, values global.
+        let mut b = AdjacencyArena::from_sorted_lists([vec![5u32, 900], vec![7]]);
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.neighbors(0), &[5, 900]);
+        assert!(b.insert_arc(1, 900));
+        assert_eq!(b.neighbors(1), &[7, 900]);
+        assert!(b.remove_arc(0, 5));
+        assert_eq!(b.neighbors(0), &[900]);
     }
 
     #[test]

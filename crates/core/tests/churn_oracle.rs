@@ -119,6 +119,53 @@ fn batched_and_per_edge_match_bz_across_families_and_batch_sizes() {
 }
 
 #[test]
+fn regionalized_warm_start_bounds_stay_safe_across_families() {
+    // The removal slack of `warm_start_estimates_batch` is counted per
+    // candidate region (not globally), which tightens the bounds on
+    // removal-heavy mixed streams — this oracle pins the tightened bound
+    // to its safety contract: after every batch, on every family, every
+    // estimate still upper-bounds the true new coreness (and respects
+    // the degree cap).
+    use dkcore::stream::warm_start_estimates_batch;
+
+    let offset = seed_offset();
+    for seed in 0..2u64 {
+        for (name, g) in families(seed.wrapping_add(offset)) {
+            for batch_size in [7usize, 32] {
+                let mut rng =
+                    StdRng::seed_from_u64((seed * 131 + batch_size as u64).wrapping_add(offset));
+                let mut sc = StreamCore::new(&g);
+                for step in 0..6 {
+                    let old = sc.values().to_vec();
+                    let batch = next_batch(&sc, batch_size, &mut rng);
+                    sc.apply_batch(&batch).unwrap();
+                    let new_graph = sc.to_graph();
+                    let est = warm_start_estimates_batch(
+                        &old,
+                        &new_graph,
+                        batch.insertions(),
+                        batch.removals(),
+                    );
+                    for u in new_graph.nodes() {
+                        assert!(
+                            est[u.index()] >= sc.coreness(u),
+                            "{name}: estimate {} below true coreness {} at {u} \
+                             (batch {batch_size}, seed {seed}, step {step})",
+                            est[u.index()],
+                            sc.coreness(u)
+                        );
+                        assert!(
+                            est[u.index()] <= new_graph.degree(u),
+                            "{name}: estimate above degree at {u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn removal_only_and_insert_only_streams() {
     // Degenerate streams exercise the two phases in isolation: pure
     // insertion batches (region analysis + bumped descent, no removal

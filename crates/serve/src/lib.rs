@@ -25,7 +25,12 @@
 //!   point coreness, k-core membership, k-core subgraph extraction,
 //!   shell-size histograms, and top-k max-coreness. A snapshot is
 //!   immutable; holding one pins that epoch's entire state regardless of
-//!   how far the writer has advanced.
+//!   how far the writer has advanced. Snapshots live on **chunked
+//!   copy-on-write storage**: publishing an epoch rebuilds only the
+//!   chunks the batch touched and `Arc`-shares everything else with the
+//!   predecessor, so publish cost is `O(|touched| + N/C)` instead of the
+//!   former `O(N + M)` rebuild (invariants in the [`snapshot`-module
+//!   docs](CoreSnapshot); ratio gated by `bench_pr5`).
 //!
 //! Consistency guarantee (checked end-to-end by `tests/serve_oracle.rs`):
 //! every snapshot a reader can observe is the *exact* decomposition of
@@ -34,9 +39,24 @@
 //! at batch boundaries where [`StreamCore`](dkcore::stream::StreamCore)
 //! estimates are exact.
 //!
+//! # Scale-out: the sharded multi-writer service
+//!
+//! [`ShardedCoreService`] partitions the graph over `S` shard writers
+//! (the one-to-many deployment's `Assignment` policies) and repairs
+//! batches through **border-estimate exchange**: each shard re-converges
+//! its own nodes from owned estimates plus a cache of its remote
+//! neighbors' last announcements, rounds run shard-parallel until
+//! quiescence, and the resulting [`StitchedSnapshot`] — a consistent
+//! vector of per-shard epochs — is published in one atomic flip.
+//! [`ShardedHandle`] answers the same query families by stitching across
+//! shards; `tests/sharded_oracle.rs` pins every observable stitched
+//! epoch to fresh Batagelj–Zaveršnik on the union graph at shard counts
+//! {1, 2, 4}. See the [`sharded`] module docs for the protocol.
+//!
 //! A minimal std-only TCP front end ([`wire`]) exposes the same queries
-//! as a line protocol (`dkcore serve` / `dkcore query` in the CLI); the
-//! in-process [`ServiceHandle`] is what benches and embedding
+//! as a line protocol (`dkcore serve [--shards S]` / `dkcore query` in
+//! the CLI), generic over either backend through [`SnapshotSource`] /
+//! [`EpochView`]; the in-process handles are what benches and embedding
 //! applications use directly.
 //!
 //! # Example
@@ -66,8 +86,12 @@
 #![warn(missing_docs)]
 
 mod service;
+pub mod sharded;
 mod snapshot;
+mod view;
 pub mod wire;
 
 pub use service::{CoreService, PublishReport, ServiceHandle};
+pub use sharded::{ShardedCoreService, ShardedHandle, ShardedPublishReport, StitchedSnapshot};
 pub use snapshot::CoreSnapshot;
+pub use view::{EpochView, SnapshotSource};

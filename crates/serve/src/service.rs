@@ -10,7 +10,9 @@ use dkcore_graph::Graph;
 
 use crate::snapshot::CoreSnapshot;
 
-/// Double-buffered epoch publication cell.
+/// Double-buffered epoch publication cell, shared by the single-writer
+/// [`CoreService`] and the sharded service (which publishes a stitched
+/// per-shard epoch vector through the same mechanism).
 ///
 /// The writer installs each new snapshot into the buffer the readers are
 /// *not* directed at, then flips the atomic index — so in steady state
@@ -20,16 +22,16 @@ use crate::snapshot::CoreSnapshot;
 /// stays valid for as long as it holds the `Arc`. (The locks exist only
 /// to make the `Arc` swap itself safe without `unsafe` code; no query
 /// work ever happens under them.)
-struct EpochCell {
-    slots: [RwLock<Arc<CoreSnapshot>>; 2],
+pub(crate) struct EpochCell<T> {
+    slots: [RwLock<Arc<T>>; 2],
     /// Index of the slot readers should clone from.
     current: AtomicUsize,
     /// Latest published epoch, readable without touching a slot.
     epoch: AtomicU64,
 }
 
-impl EpochCell {
-    fn new(initial: Arc<CoreSnapshot>) -> Self {
+impl<T> EpochCell<T> {
+    pub(crate) fn new(initial: Arc<T>) -> Self {
         EpochCell {
             slots: [RwLock::new(initial.clone()), RwLock::new(initial)],
             current: AtomicUsize::new(0),
@@ -37,7 +39,7 @@ impl EpochCell {
         }
     }
 
-    fn load(&self) -> Arc<CoreSnapshot> {
+    pub(crate) fn load(&self) -> Arc<T> {
         let i = self.current.load(Ordering::Acquire);
         self.slots[i]
             .read()
@@ -45,14 +47,17 @@ impl EpochCell {
             .clone()
     }
 
-    fn publish(&self, snapshot: Arc<CoreSnapshot>) {
-        let epoch = snapshot.epoch();
+    pub(crate) fn publish(&self, snapshot: Arc<T>, epoch: u64) {
         let next = 1 - self.current.load(Ordering::Acquire);
         *self.slots[next]
             .write()
             .unwrap_or_else(PoisonError::into_inner) = snapshot;
         self.current.store(next, Ordering::Release);
         self.epoch.store(epoch, Ordering::Release);
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 }
 
@@ -78,12 +83,16 @@ pub struct PublishReport {
 #[derive(Debug)]
 pub struct CoreService {
     core: StreamCore,
-    cell: Arc<EpochCell>,
+    cell: Arc<EpochCell<CoreSnapshot>>,
     epoch: u64,
+    /// The writer's copy of the latest snapshot, kept so each publish
+    /// can [`advance`](CoreSnapshot::advance) incrementally instead of
+    /// rebuilding `O(N + M)` state.
+    latest: Arc<CoreSnapshot>,
 }
 
 // EpochCell has no Debug; keep the service's Debug useful by hand.
-impl std::fmt::Debug for EpochCell {
+impl<T> std::fmt::Debug for EpochCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EpochCell")
             .field("epoch", &self.epoch.load(Ordering::Relaxed))
@@ -99,8 +108,9 @@ impl CoreService {
         let initial = Arc::new(CoreSnapshot::capture(0, &core));
         CoreService {
             core,
-            cell: Arc::new(EpochCell::new(initial)),
+            cell: Arc::new(EpochCell::new(initial.clone())),
             epoch: 0,
+            latest: initial,
         }
     }
 
@@ -127,6 +137,14 @@ impl CoreService {
     /// publishes the result as the next epoch. On a validation error
     /// nothing is mutated and no epoch is published.
     ///
+    /// Publishing is **incremental**: the new epoch is
+    /// [`advance`](CoreSnapshot::advance)d from the previous one using
+    /// the stream's per-batch delta, structurally sharing every
+    /// untouched chunk — `O(|touched| + N/C)` per publish instead of the
+    /// former `O(N + M)` rebuild (see the `dkcore_serve::snapshot`
+    /// module docs for the invariants, `bench_pr5` for the measured
+    /// ratio).
+    ///
     /// # Errors
     ///
     /// Returns the [`MutationError`] from batch validation.
@@ -137,8 +155,9 @@ impl CoreService {
 
         let t1 = Instant::now();
         self.epoch += 1;
-        let snapshot = Arc::new(CoreSnapshot::capture(self.epoch, &self.core));
-        self.cell.publish(snapshot);
+        let snapshot = Arc::new(self.latest.advance(self.epoch, &self.core, batch));
+        self.latest = snapshot.clone();
+        self.cell.publish(snapshot, self.epoch);
         let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
 
         Ok(PublishReport {
@@ -154,7 +173,7 @@ impl CoreService {
 /// snapshot. See the [crate docs](crate) for the publication scheme.
 #[derive(Debug, Clone)]
 pub struct ServiceHandle {
-    cell: Arc<EpochCell>,
+    cell: Arc<EpochCell<CoreSnapshot>>,
 }
 
 impl ServiceHandle {
@@ -167,7 +186,7 @@ impl ServiceHandle {
 
     /// The latest published epoch number, without loading a snapshot.
     pub fn epoch(&self) -> u64 {
-        self.cell.epoch.load(Ordering::Acquire)
+        self.cell.epoch()
     }
 }
 

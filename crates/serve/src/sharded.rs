@@ -1,0 +1,1075 @@
+//! Sharded multi-writer serving: one [`CoreService`]-style writer per
+//! partition, cross-shard coreness agreement via border-estimate
+//! exchange, and a stitching query front end.
+//!
+//! # Architecture
+//!
+//! The union graph is partitioned over `S` shards with the one-to-many
+//! deployment's [`Assignment`] policies (§3.2.2 of the paper). Each
+//! [`Shard`] owns its partition's nodes: their adjacency (an
+//! [`AdjacencyArena`] whose slots are shard-local, values global node
+//! ids), their estimates, and a **border cache** of the last announced
+//! estimate of every remote neighbor — exactly the state a host of the
+//! one-to-many protocol keeps.
+//!
+//! Applying a batch ([`ShardedCoreService::apply_batch`]) is the
+//! protocol's re-convergence, warm-started:
+//!
+//! 1. mutations are applied to the owning shards' arenas (a cross-shard
+//!    edge updates one arc in each shard);
+//! 2. the coordinator grows merged insertion/removal
+//!    [`candidate_regions`] over the *union* graph through a
+//!    shard-backed neighbor closure, and seeds every candidate and
+//!    removal endpoint with the proven upper bound
+//!    `min(old + region insertions, new degree)`;
+//! 3. synchronous rounds run until quiescence: every shard drains its
+//!    worklist in parallel (recomputing Algorithm 2's `computeIndex`
+//!    from owned estimates plus the border cache, cascading drops
+//!    locally), then the coordinator routes each dropped **border**
+//!    estimate to the shards owning a neighbor of the dropped node —
+//!    the `⟨S⟩` exchange of the host protocol;
+//! 4. at the fixpoint every estimate is locally justified, which makes
+//!    the stitched vector the *exact* coreness of the union graph (the
+//!    estimates started as upper bounds and only ever descended — the
+//!    same safety/convergence argument as the paper's Theorems 2/3,
+//!    checked end-to-end against Batagelj–Zaveršnik by
+//!    `tests/sharded_oracle.rs` at shard counts {1, 2, 4});
+//! 5. each shard publishes its local epoch **incrementally** (chunked
+//!    copy-on-write state exactly like
+//!    [`CoreSnapshot`](crate::CoreSnapshot)), and the coordinator swaps
+//!    the assembled [`StitchedSnapshot`] — a consistent vector of
+//!    per-shard epochs — into the publication cell in one atomic flip,
+//!    so readers can never observe shards from different epochs.
+//!
+//! [`ShardedHandle`] is the stitching front end: every query family of
+//! the single-writer service (point coreness, membership, histograms,
+//! top-k, induced subgraphs) is answered against one pinned stitched
+//! epoch, with cross-shard results merged in global id order.
+//!
+//! [`CoreService`]: crate::CoreService
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use dkcore::compute_index;
+use dkcore::dynamic::MutationError;
+use dkcore::one_to_many::{Assignment, AssignmentPolicy};
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::{candidate_regions, AdjacencyArena, EdgeBatch};
+use dkcore_graph::{Graph, NodeId};
+
+use crate::service::EpochCell;
+use crate::snapshot::{apply_shell_change, trim_shells, AdjChunk, ChunkedU32, ADJ_CHUNK};
+
+/// Node → (shard, local slot) tables shared by the shards, the
+/// coordinator, and every stitched snapshot.
+#[derive(Debug)]
+struct ShardMap {
+    /// Owning shard of each node.
+    owner: Vec<u32>,
+    /// Local slot of each node within its owning shard.
+    slot: Vec<u32>,
+}
+
+/// One estimate-drop message of the border exchange: `source` (owned by
+/// the sending shard) dropped to `est`; `target` (owned by the receiving
+/// shard) neighbors it and must be re-examined.
+struct BorderMsg {
+    dest: u32,
+    target: u32,
+    source: u32,
+    est: u32,
+}
+
+/// One border-cache entry: the cached estimate plus the number of owned
+/// arcs referencing the remote node (eviction at zero).
+#[derive(Debug, Clone, Copy)]
+struct BorderEntry {
+    est: u32,
+    refs: u32,
+}
+
+/// The per-shard writer state: the partition's slice of the union graph
+/// plus the border cache. See the [module docs](self).
+struct Shard {
+    /// Sorted global ids of the owned nodes (slot `i` ↔ `owned[i]`).
+    owned: Vec<u32>,
+    /// Slot-indexed adjacency; values are global node ids.
+    adj: AdjacencyArena,
+    /// Per-slot estimate: exact coreness between epochs.
+    est: Vec<u32>,
+    /// Border cache: last announced estimate of every *current* remote
+    /// neighbor (global id), refcounted by how many owned arcs point at
+    /// it so churn that removes the last cross-shard edge to a node also
+    /// evicts its entry (no unbounded growth under sliding-window
+    /// workloads).
+    remote_est: HashMap<u32, BorderEntry>,
+    /// Worklist of local slots (deduplicated by `queued`).
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    /// Epoch-change log: slot → pre-epoch estimate, stamped per epoch;
+    /// `epoch_touched` lists the stamped slots so the publish-side
+    /// change gather is `O(|touched|)`, not a full slot scan.
+    epoch_mark: Vec<u64>,
+    epoch_old: Vec<u32>,
+    epoch_touched: Vec<u32>,
+    /// Latest published local snapshot (the chain `advance` extends).
+    snapshot: Arc<ShardSnapshot>,
+}
+
+impl Shard {
+    /// Enqueues a local slot for (re-)examination.
+    fn enqueue(&mut self, slot: u32) {
+        if !self.queued[slot as usize] {
+            self.queued[slot as usize] = true;
+            self.queue.push_back(slot);
+        }
+    }
+
+    /// Records the pre-epoch value of a slot once per epoch. The caller
+    /// (the coordinator) clears `epoch_touched` at every batch start.
+    fn mark(&mut self, slot: u32, epoch: u64) {
+        if self.epoch_mark[slot as usize] != epoch {
+            self.epoch_mark[slot as usize] = epoch;
+            self.epoch_old[slot as usize] = self.est[slot as usize];
+            self.epoch_touched.push(slot);
+        }
+    }
+
+    /// Sets a seeded estimate and notifies the neighbors: local ones are
+    /// enqueued, remote ones produce border messages (which both refresh
+    /// the destination's cache and enqueue the target).
+    fn seed(
+        &mut self,
+        map: &ShardMap,
+        me: u32,
+        slot: u32,
+        value: u32,
+        epoch: u64,
+        out: &mut Vec<BorderMsg>,
+    ) {
+        self.mark(slot, epoch);
+        let changed = self.est[slot as usize] != value;
+        self.est[slot as usize] = value;
+        self.enqueue(slot);
+        if !changed {
+            return;
+        }
+        let u = self.owned[slot as usize];
+        for i in 0..self.adj.degree(slot as usize) as usize {
+            let v = self.adj.neighbors(slot as usize)[i];
+            let owner = map.owner[v as usize];
+            if owner == me {
+                self.enqueue(map.slot[v as usize]);
+            } else {
+                out.push(BorderMsg {
+                    dest: owner,
+                    target: v,
+                    source: u,
+                    est: value,
+                });
+            }
+        }
+    }
+
+    /// Drains the worklist to its local fixpoint: Algorithm 2 over owned
+    /// estimates plus the border cache, cascading drops through owned
+    /// neighbors immediately and emitting one border message per remote
+    /// neighbor of every net-dropped node.
+    fn drain(&mut self, map: &ShardMap, me: u32, epoch: u64) -> Vec<BorderMsg> {
+        let mut dropped: Vec<u32> = Vec::new();
+        while let Some(s) = self.queue.pop_front() {
+            self.queued[s as usize] = false;
+            let cap = self.est[s as usize];
+            if cap == 0 {
+                continue;
+            }
+            let new = {
+                let nbrs = self.adj.neighbors(s as usize);
+                compute_index(
+                    nbrs.iter().map(|&v| {
+                        if map.owner[v as usize] == me {
+                            self.est[map.slot[v as usize] as usize]
+                        } else {
+                            self.remote_est
+                                .get(&v)
+                                .expect("border cache covers every remote neighbor")
+                                .est
+                        }
+                    }),
+                    cap,
+                )
+            };
+            if new < cap {
+                self.mark(s, epoch);
+                self.est[s as usize] = new;
+                dropped.push(s);
+                // Owned neighbors re-examine immediately (same round).
+                for i in 0..self.adj.degree(s as usize) as usize {
+                    let v = self.adj.neighbors(s as usize)[i];
+                    if map.owner[v as usize] == me {
+                        self.enqueue(map.slot[v as usize]);
+                    }
+                }
+            }
+        }
+        // One message per (dropped node, remote neighbor), carrying the
+        // node's final value for this round.
+        let mut out = Vec::new();
+        dropped.sort_unstable();
+        dropped.dedup();
+        for s in dropped {
+            let u = self.owned[s as usize];
+            let value = self.est[s as usize];
+            for &v in self.adj.neighbors(s as usize) {
+                let owner = map.owner[v as usize];
+                if owner != me {
+                    out.push(BorderMsg {
+                        dest: owner,
+                        target: v,
+                        source: u,
+                        est: value,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The (global, old, new) coreness changes of this epoch, gathered
+    /// from the touched-slot log in `O(|touched|)`.
+    fn epoch_changes(&self, epoch: u64) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for &s in &self.epoch_touched {
+            let s = s as usize;
+            if self.epoch_mark[s] == epoch && self.epoch_old[s] != self.est[s] {
+                out.push((self.owned[s], self.epoch_old[s], self.est[s]));
+            }
+        }
+        out
+    }
+}
+
+/// One shard's published epoch: chunked copy-on-write coreness, degrees
+/// and adjacency over the shard's local slots (values are global ids).
+#[derive(Debug)]
+pub(crate) struct ShardSnapshot {
+    coreness: ChunkedU32,
+    degrees: ChunkedU32,
+    adj: Vec<Arc<AdjChunk>>,
+    /// Local shell-size histogram (trailing zeros trimmed).
+    shell_sizes: Vec<usize>,
+}
+
+impl ShardSnapshot {
+    fn capture(shard: &Shard) -> Self {
+        let n = shard.owned.len();
+        let coreness = ChunkedU32::from_iter(n, shard.est.iter().copied());
+        let degrees = ChunkedU32::from_iter(n, (0..n).map(|s| shard.adj.degree(s)));
+        let adj = (0..n.div_ceil(ADJ_CHUNK))
+            .map(|ci| {
+                let base = ci * ADJ_CHUNK;
+                Arc::new(AdjChunk::pack(&shard.adj, base, ADJ_CHUNK.min(n - base)))
+            })
+            .collect();
+        let max_core = shard.est.iter().copied().max().unwrap_or(0) as usize;
+        let mut shell_sizes = vec![0usize; max_core + 1];
+        for &k in &shard.est {
+            shell_sizes[k as usize] += 1;
+        }
+        ShardSnapshot {
+            coreness,
+            degrees,
+            adj,
+            shell_sizes,
+        }
+    }
+
+    /// Incremental successor: copy-on-write rewrites of the chunks
+    /// holding a changed coreness or a mutated adjacency slot, all other
+    /// chunks shared with `self`.
+    fn advance(&self, shard: &Shard, changes: &[(u32, u32, u32)], dirty_slots: &[u32]) -> Self {
+        let n = shard.owned.len();
+        let mut next = ShardSnapshot {
+            coreness: self.coreness.clone(),
+            degrees: self.degrees.clone(),
+            adj: self.adj.clone(),
+            shell_sizes: self.shell_sizes.clone(),
+        };
+        for &(u, old, new) in changes {
+            let s = shard_slot(shard, u);
+            next.coreness.set(s, new);
+            apply_shell_change(&mut next.shell_sizes, old, new);
+        }
+        trim_shells(&mut next.shell_sizes);
+        let mut dirty_chunks: Vec<usize> = Vec::new();
+        for &s in dirty_slots {
+            next.degrees.set(s as usize, shard.adj.degree(s as usize));
+            let ci = s as usize / ADJ_CHUNK;
+            if !dirty_chunks.contains(&ci) {
+                dirty_chunks.push(ci);
+            }
+        }
+        for ci in dirty_chunks {
+            let base = ci * ADJ_CHUNK;
+            next.adj[ci] = Arc::new(AdjChunk::pack(&shard.adj, base, ADJ_CHUNK.min(n - base)));
+        }
+        next
+    }
+
+    #[inline]
+    fn coreness_at(&self, slot: usize) -> u32 {
+        self.coreness.get(slot).expect("slot in range")
+    }
+
+    #[inline]
+    fn degree_at(&self, slot: usize) -> u32 {
+        self.degrees.get(slot).expect("slot in range")
+    }
+
+    #[inline]
+    fn neighbors_at(&self, slot: usize) -> &[u32] {
+        self.adj[slot / ADJ_CHUNK].neighbors(slot % ADJ_CHUNK)
+    }
+}
+
+/// The slot of global node `u` inside `shard` (binary search over the
+/// sorted owned list — used only on the publish path).
+fn shard_slot(shard: &Shard, u: u32) -> usize {
+    shard
+        .owned
+        .binary_search(&u)
+        .expect("change log only names owned nodes")
+}
+
+/// Report of one applied-and-published batch on the sharded service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedPublishReport {
+    /// The epoch the batch was published as.
+    pub epoch: u64,
+    /// Border-exchange rounds until quiescence (0 when nothing crossed a
+    /// shard boundary).
+    pub rounds: u32,
+    /// Border messages exchanged.
+    pub messages: u64,
+    /// Nodes whose coreness changed.
+    pub changed: usize,
+    /// Time spent applying and re-converging, in microseconds.
+    pub repair_micros: f64,
+    /// Time spent building and swapping the stitched epoch, in
+    /// microseconds.
+    pub publish_micros: f64,
+}
+
+/// The sharded multi-writer core-number service. See the
+/// [module docs](self) for the protocol.
+pub struct ShardedCoreService {
+    shards: Vec<Shard>,
+    map: Arc<ShardMap>,
+    /// Coordinator mirror of the union coreness (exact between epochs;
+    /// the old values feed the next batch's candidate analysis).
+    global_core: Vec<u32>,
+    epoch: u64,
+    edges: usize,
+    cell: Arc<EpochCell<StitchedSnapshot>>,
+}
+
+impl std::fmt::Debug for ShardedCoreService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCoreService")
+            .field("shards", &self.shards.len())
+            .field("epoch", &self.epoch)
+            .field("edges", &self.edges)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedCoreService {
+    /// Builds the service over `shard_count` partitions with the paper's
+    /// default `u mod |H|` assignment and publishes epoch 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn new(g: &Graph, shard_count: usize) -> Self {
+        Self::with_assignment(g, shard_count, &AssignmentPolicy::Modulo)
+    }
+
+    /// Builds the service with an explicit [`AssignmentPolicy`]
+    /// (`BfsBlocks` cuts far fewer cross-shard edges on local graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_assignment(g: &Graph, shard_count: usize, policy: &AssignmentPolicy) -> Self {
+        let n = g.node_count();
+        let assignment = Assignment::new(g, shard_count, policy);
+        let global_core = batagelj_zaversnik(g);
+
+        let mut owner = vec![0u32; n];
+        let mut slot = vec![0u32; n];
+        for h in assignment.hosts() {
+            for (i, &u) in assignment.nodes_of(h).iter().enumerate() {
+                owner[u.index()] = h.0;
+                slot[u.index()] = i as u32;
+            }
+        }
+        let map = Arc::new(ShardMap { owner, slot });
+
+        let shards: Vec<Shard> = assignment
+            .hosts()
+            .map(|h| {
+                let owned: Vec<u32> = assignment.nodes_of(h).iter().map(|u| u.0).collect();
+                let adj = AdjacencyArena::from_sorted_lists(owned.iter().map(|&u| {
+                    g.neighbors(NodeId(u))
+                        .iter()
+                        .map(|v| v.0)
+                        .collect::<Vec<_>>()
+                }));
+                let est: Vec<u32> = owned.iter().map(|&u| global_core[u as usize]).collect();
+                let mut remote_est: HashMap<u32, BorderEntry> = HashMap::new();
+                for &u in &owned {
+                    for &v in g.neighbors(NodeId(u)) {
+                        if map.owner[v.index()] != h.0 {
+                            remote_est
+                                .entry(v.0)
+                                .or_insert(BorderEntry {
+                                    est: global_core[v.index()],
+                                    refs: 0,
+                                })
+                                .refs += 1;
+                        }
+                    }
+                }
+                let count = owned.len();
+                let mut shard = Shard {
+                    owned,
+                    adj,
+                    est,
+                    remote_est,
+                    queue: VecDeque::new(),
+                    queued: vec![false; count],
+                    epoch_mark: vec![u64::MAX; count],
+                    epoch_old: vec![0; count],
+                    epoch_touched: Vec::new(),
+                    snapshot: Arc::new(ShardSnapshot {
+                        coreness: ChunkedU32::default(),
+                        degrees: ChunkedU32::default(),
+                        adj: Vec::new(),
+                        shell_sizes: vec![0],
+                    }),
+                };
+                shard.snapshot = Arc::new(ShardSnapshot::capture(&shard));
+                shard
+            })
+            .collect();
+
+        let latest = Arc::new(StitchedSnapshot::assemble(
+            0,
+            n,
+            g.edge_count(),
+            map.clone(),
+            shards.iter().map(|s| s.snapshot.clone()).collect(),
+        ));
+        ShardedCoreService {
+            shards,
+            map,
+            global_core,
+            epoch: 0,
+            edges: g.edge_count(),
+            cell: Arc::new(EpochCell::new(latest)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A new stitching reader handle.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            cell: self.cell.clone(),
+        }
+    }
+
+    /// Whether the union graph currently has the edge `{u, v}`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.map.owner.len() {
+            return false;
+        }
+        let shard = &self.shards[self.map.owner[u.index()] as usize];
+        shard
+            .adj
+            .neighbors(self.map.slot[u.index()] as usize)
+            .binary_search(&v.0)
+            .is_ok()
+    }
+
+    /// Applies one batch to the union graph atomically, re-converges the
+    /// shards through border exchange, and publishes the next stitched
+    /// epoch. On a validation error nothing is mutated and no epoch is
+    /// published.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MutationError`] from batch validation (the same
+    /// rules as [`StreamCore::apply_batch`](dkcore::stream::StreamCore)).
+    pub fn apply_batch(
+        &mut self,
+        batch: &EdgeBatch,
+    ) -> Result<ShardedPublishReport, MutationError> {
+        let n = self.map.owner.len();
+        batch.validate_against(n, |u, v| self.has_edge(u, v))?;
+        let t0 = Instant::now();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for shard in &mut self.shards {
+            shard.epoch_touched.clear();
+        }
+
+        // --- 1. Apply the mutations to the owning shards' arenas. ---
+        for &(u, v) in batch.removals() {
+            self.arc_remove(u.0, v.0);
+            self.arc_remove(v.0, u.0);
+        }
+        for &(u, v) in batch.insertions() {
+            self.arc_insert(u.0, v.0);
+            self.arc_insert(v.0, u.0);
+        }
+        self.edges = self.edges + batch.insertions().len() - batch.removals().len();
+
+        // --- 2. Candidate analysis over the union graph + seeding. ---
+        let regions = {
+            let shards = &self.shards;
+            let map = &self.map;
+            candidate_regions(
+                n,
+                batch.insertions(),
+                batch.removals(),
+                &self.global_core,
+                |x| {
+                    let shard = &shards[map.owner[x as usize] as usize];
+                    shard
+                        .adj
+                        .neighbors(map.slot[x as usize] as usize)
+                        .iter()
+                        .copied()
+                },
+            )
+        };
+        let mut seeds: Vec<(u32, u32)> = Vec::new(); // (node, bound)
+        let mut bumped: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for region in &regions {
+            // Removal-only regions are grown for the merge/slack analysis
+            // but need no bump: only their endpoints are seeded (below)
+            // and drop cascades reach the rest, exactly like the
+            // single-writer removal phase.
+            if region.insertions == 0 {
+                continue;
+            }
+            for &w in &region.members {
+                let deg = self.degree_of(w);
+                let bound = (self.global_core[w as usize] + region.insertions).min(deg);
+                seeds.push((w, bound));
+                bumped.insert(w);
+            }
+        }
+        // Removal endpoints outside every bumped region still need
+        // examination (their coreness can only drop; the degree cap may
+        // bind immediately).
+        for &(u, v) in batch.removals() {
+            for w in [u.0, v.0] {
+                if !bumped.contains(&w) {
+                    let bound = self.global_core[w as usize].min(self.degree_of(w));
+                    seeds.push((w, bound));
+                }
+            }
+        }
+        let mut pending: Vec<BorderMsg> = Vec::new();
+        for (w, bound) in seeds {
+            let me = self.map.owner[w as usize];
+            let slot = self.map.slot[w as usize];
+            let map = self.map.clone();
+            self.shards[me as usize].seed(&map, me, slot, bound, epoch, &mut pending);
+        }
+
+        // --- 3. Synchronous border-exchange rounds until quiescence. ---
+        let mut rounds = 0u32;
+        let mut messages = pending.len() as u64;
+        loop {
+            // Deliver: refresh border caches, enqueue the targets. The
+            // entry must exist — messages are only generated for edges
+            // present in the sender's arena, which the receiver mirrors.
+            for m in pending.drain(..) {
+                let shard = &mut self.shards[m.dest as usize];
+                shard
+                    .remote_est
+                    .get_mut(&m.source)
+                    .expect("border message for a cached neighbor")
+                    .est = m.est;
+                let slot = self.map.slot[m.target as usize];
+                shard.enqueue(slot);
+            }
+            if self.shards.iter().all(|s| s.queue.is_empty()) {
+                break;
+            }
+            rounds += 1;
+            let map = &self.map;
+            if self.shards.len() == 1 {
+                pending = self.shards[0].drain(map, 0, epoch);
+            } else {
+                let outs: Vec<Vec<BorderMsg>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, shard)| scope.spawn(move || shard.drain(map, i as u32, epoch)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard drain"))
+                        .collect()
+                });
+                pending = outs.into_iter().flatten().collect();
+            }
+            messages += pending.len() as u64;
+        }
+        let repair_micros = t0.elapsed().as_secs_f64() * 1e6;
+
+        // --- 4. Gather the epoch's changes, publish the stitched epoch. ---
+        let t1 = Instant::now();
+        let mut changed = 0usize;
+        let mut shard_snaps = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let changes = shard.epoch_changes(epoch);
+            changed += changes.len();
+            for &(u, _, new) in &changes {
+                self.global_core[u as usize] = new;
+            }
+            let dirty_slots: Vec<u32> = batch
+                .insertions()
+                .iter()
+                .chain(batch.removals())
+                .flat_map(|&(u, v)| [u.0, v.0])
+                .filter(|&w| self.map.owner[w as usize] as usize == i)
+                .map(|w| self.map.slot[w as usize])
+                .collect();
+            shard.snapshot = Arc::new(shard.snapshot.advance(shard, &changes, &dirty_slots));
+            shard_snaps.push(shard.snapshot.clone());
+        }
+        let stitched = Arc::new(StitchedSnapshot::assemble(
+            epoch,
+            n,
+            self.edges,
+            self.map.clone(),
+            shard_snaps,
+        ));
+        self.cell.publish(stitched, epoch);
+        let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
+
+        Ok(ShardedPublishReport {
+            epoch,
+            rounds,
+            messages,
+            changed,
+            repair_micros,
+            publish_micros,
+        })
+    }
+
+    /// Removes the arc `u → v` from `u`'s owning shard, dropping the
+    /// border-cache reference when `v` is remote (the entry is evicted
+    /// once no owned arc points at `v` anymore, so churn cannot grow the
+    /// cache past the live border).
+    fn arc_remove(&mut self, u: u32, v: u32) {
+        let su = self.map.owner[u as usize];
+        let shard = &mut self.shards[su as usize];
+        let removed = shard.adj.remove_arc(self.map.slot[u as usize] as usize, v);
+        debug_assert!(removed, "validated removal");
+        if self.map.owner[v as usize] != su {
+            let entry = shard
+                .remote_est
+                .get_mut(&v)
+                .expect("border cache covers every remote neighbor");
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                shard.remote_est.remove(&v);
+            }
+        }
+    }
+
+    /// Inserts the arc `u → v` into `u`'s owning shard, priming (or
+    /// re-referencing) the border cache when `v` is remote. The primed
+    /// value is the exact pre-batch coreness; the seeding pass overwrites
+    /// it for bumped candidates before any round reads it.
+    fn arc_insert(&mut self, u: u32, v: u32) {
+        let su = self.map.owner[u as usize];
+        let shard = &mut self.shards[su as usize];
+        let inserted = shard.adj.insert_arc(self.map.slot[u as usize] as usize, v);
+        debug_assert!(inserted, "validated insertion");
+        if self.map.owner[v as usize] != su {
+            let entry = shard.remote_est.entry(v).or_insert(BorderEntry {
+                est: self.global_core[v as usize],
+                refs: 0,
+            });
+            entry.refs += 1;
+            // A re-referenced surviving entry may hold a stale (higher)
+            // announcement; reset it to the authoritative pre-batch value.
+            entry.est = self.global_core[v as usize];
+        }
+    }
+
+    /// Current degree of global node `w`.
+    fn degree_of(&self, w: u32) -> u32 {
+        self.shards[self.map.owner[w as usize] as usize]
+            .adj
+            .degree(self.map.slot[w as usize] as usize)
+    }
+}
+
+/// A consistent vector of per-shard epochs, published atomically: every
+/// query runs against the same union-graph batch boundary on every
+/// shard. Immutable; holding one pins all of its shards' chunked state.
+#[derive(Debug)]
+pub struct StitchedSnapshot {
+    epoch: u64,
+    nodes: usize,
+    edges: usize,
+    map: Arc<ShardMap>,
+    shards: Vec<Arc<ShardSnapshot>>,
+    /// Union shell-size histogram (sum of the shard histograms, trailing
+    /// zeros trimmed).
+    shell_sizes: Vec<usize>,
+    /// Lazily materialized flat coreness (query-side, once per epoch).
+    full_values: OnceLock<Vec<u32>>,
+    /// Lazily materialized union graph (query-side, once per epoch).
+    full_graph: OnceLock<Graph>,
+}
+
+impl StitchedSnapshot {
+    fn assemble(
+        epoch: u64,
+        nodes: usize,
+        edges: usize,
+        map: Arc<ShardMap>,
+        shards: Vec<Arc<ShardSnapshot>>,
+    ) -> Self {
+        let kmax = shards
+            .iter()
+            .map(|s| s.shell_sizes.len())
+            .max()
+            .unwrap_or(1);
+        let mut shell_sizes = vec![0usize; kmax];
+        for s in &shards {
+            for (k, &c) in s.shell_sizes.iter().enumerate() {
+                shell_sizes[k] += c;
+            }
+        }
+        trim_shells(&mut shell_sizes);
+        StitchedSnapshot {
+            epoch,
+            nodes,
+            edges,
+            map,
+            shards,
+            shell_sizes,
+            full_values: OnceLock::new(),
+            full_graph: OnceLock::new(),
+        }
+    }
+
+    /// The epoch this stitched vector was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards stitched together.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of nodes in the union graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges in the union graph.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Coreness of `v` in the union graph, or `None` when out of range.
+    pub fn coreness(&self, v: NodeId) -> Option<u32> {
+        if v.index() >= self.nodes {
+            return None;
+        }
+        let shard = &self.shards[self.map.owner[v.index()] as usize];
+        Some(shard.coreness_at(self.map.slot[v.index()] as usize))
+    }
+
+    /// Degree of `v` in the union graph, or `None` when out of range.
+    pub fn degree(&self, v: NodeId) -> Option<u32> {
+        if v.index() >= self.nodes {
+            return None;
+        }
+        let shard = &self.shards[self.map.owner[v.index()] as usize];
+        Some(shard.degree_at(self.map.slot[v.index()] as usize))
+    }
+
+    /// Sorted neighbors of `v` (global ids), or `None` when out of range.
+    pub fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
+        if v.index() >= self.nodes {
+            return None;
+        }
+        let shard = &self.shards[self.map.owner[v.index()] as usize];
+        Some(shard.neighbors_at(self.map.slot[v.index()] as usize))
+    }
+
+    /// The largest coreness of this epoch.
+    pub fn max_coreness(&self) -> u32 {
+        (self.shell_sizes.len() - 1) as u32
+    }
+
+    /// Union shell-size histogram (`max_coreness() + 1` entries).
+    pub fn histogram(&self) -> &[usize] {
+        &self.shell_sizes
+    }
+
+    /// Number of nodes with coreness at least `k`.
+    pub fn kcore_size(&self, k: u32) -> usize {
+        self.shell_sizes
+            .iter()
+            .skip(k as usize)
+            .copied()
+            .sum::<usize>()
+    }
+
+    /// The members of the union k-core in ascending global id order:
+    /// one linear scan over the global id space, each node answered by
+    /// its owning shard's chunks.
+    pub fn kcore_members(&self, k: u32) -> Vec<NodeId> {
+        (0..self.nodes as u32)
+            .filter(|&u| self.coreness(NodeId(u)).expect("in range") >= k)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Extracts the union k-core subgraph with the compact-id mapping,
+    /// identical to [`CoreSnapshot::kcore_subgraph`](crate::CoreSnapshot::kcore_subgraph)
+    /// (both run the shared [`EpochView`](crate::EpochView)-generic
+    /// extraction).
+    pub fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
+        crate::view::kcore_subgraph_of(self, k)
+    }
+
+    /// The `n` nodes of largest coreness, ordered by descending coreness
+    /// then ascending global id — same contract (and shared
+    /// implementation) as the single-writer snapshot's `top_k`.
+    pub fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
+        crate::view::top_k_of(self, n)
+    }
+
+    /// Coreness of every node in the union graph, materialized lazily on
+    /// first use and cached for the snapshot's lifetime.
+    pub fn values(&self) -> &[u32] {
+        self.full_values.get_or_init(|| {
+            (0..self.nodes as u32)
+                .map(|u| self.coreness(NodeId(u)).expect("in range"))
+                .collect()
+        })
+    }
+
+    /// The union graph, materialized lazily on first use and cached for
+    /// the snapshot's lifetime. Cross-shard edges appear once.
+    pub fn graph(&self) -> &Graph {
+        self.full_graph.get_or_init(|| {
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for u in 0..self.nodes as u32 {
+                for &v in self.neighbors(NodeId(u)).expect("in range") {
+                    if u < v {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            Graph::from_edges(self.nodes, edges).expect("stitched adjacency is a valid graph")
+        })
+    }
+}
+
+/// Cloneable stitching reader handle over the sharded service: pins one
+/// consistent vector of per-shard epochs per `snapshot()` call.
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    cell: Arc<EpochCell<StitchedSnapshot>>,
+}
+
+impl ShardedHandle {
+    /// The latest published stitched epoch. The returned `Arc` pins every
+    /// shard's state for that epoch.
+    pub fn snapshot(&self) -> Arc<StitchedSnapshot> {
+        self.cell.load()
+    }
+
+    /// The latest published epoch number, without loading a snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{gnp, path};
+    use rand::prelude::*;
+
+    fn random_batch(svc: &ShardedCoreService, n: u32, size: usize, rng: &mut StdRng) -> EdgeBatch {
+        let mut b = EdgeBatch::new();
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        let mut tries = 0;
+        while b.len() < size && tries < size * 40 {
+            tries += 1;
+            let x = rng.random_range(0..n);
+            let y = rng.random_range(0..n);
+            if x == y {
+                continue;
+            }
+            let key = (x.min(y), x.max(y));
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            if svc.has_edge(NodeId(key.0), NodeId(key.1)) {
+                b.remove(NodeId(key.0), NodeId(key.1));
+            } else {
+                b.insert(NodeId(key.0), NodeId(key.1));
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn stitched_epochs_match_union_ground_truth() {
+        for shards in [1usize, 2, 4] {
+            let g = gnp(240, 0.03, 11 + shards as u64);
+            let mut svc = ShardedCoreService::new(&g, shards);
+            let handle = svc.handle();
+            assert_eq!(
+                handle.snapshot().values(),
+                batagelj_zaversnik(&g).as_slice()
+            );
+            let mut rng = StdRng::seed_from_u64(99 + shards as u64);
+            for step in 1..=10u64 {
+                let b = random_batch(&svc, 240, 10, &mut rng);
+                let report = svc.apply_batch(&b).unwrap();
+                assert_eq!(report.epoch, step);
+                let snap = handle.snapshot();
+                assert_eq!(snap.epoch(), step);
+                assert_eq!(
+                    snap.values(),
+                    batagelj_zaversnik(snap.graph()).as_slice(),
+                    "shards {shards}, step {step}: stitched epoch must equal \
+                     fresh BZ on the union graph"
+                );
+                assert_eq!(snap.graph().edge_count(), snap.edge_count());
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_queries_agree_with_single_writer_service() {
+        let g = gnp(200, 0.04, 23);
+        let mut sharded = ShardedCoreService::new(&g, 3);
+        let mut single = crate::CoreService::new(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..6 {
+            let b = random_batch(&sharded, 200, 8, &mut rng);
+            sharded.apply_batch(&b).unwrap();
+            single.apply_batch(&b).unwrap();
+        }
+        let s = sharded.handle().snapshot();
+        let c = single.handle().snapshot();
+        assert_eq!(s.values(), c.values());
+        assert_eq!(s.histogram(), c.histogram());
+        assert_eq!(s.max_coreness(), c.max_coreness());
+        assert_eq!(s.edge_count(), c.edge_count());
+        for k in 0..=s.max_coreness() + 1 {
+            assert_eq!(s.kcore_members(k), c.kcore_members(k), "members k={k}");
+            assert_eq!(s.kcore_size(k), c.kcore_size(k));
+            let (ss, sb) = s.kcore_subgraph(k);
+            let (cs, cb) = c.kcore_subgraph(k);
+            assert_eq!(ss, cs, "subgraph k={k}");
+            assert_eq!(sb, cb);
+        }
+        for n in [0usize, 1, 5, 50, 200] {
+            assert_eq!(s.top_k(n), c.top_k(n), "top_k {n}");
+        }
+        for u in 0..200u32 {
+            assert_eq!(s.coreness(NodeId(u)), c.coreness(NodeId(u)));
+            assert_eq!(s.degree(NodeId(u)), c.degree(NodeId(u)));
+        }
+        assert_eq!(s.graph(), c.graph());
+    }
+
+    #[test]
+    fn pinned_stitched_epochs_survive_further_churn() {
+        let g = gnp(150, 0.04, 3);
+        let mut svc = ShardedCoreService::with_assignment(&g, 2, &AssignmentPolicy::BfsBlocks);
+        let handle = svc.handle();
+        let mut pinned = vec![handle.snapshot()];
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..8 {
+            let b = random_batch(&svc, 150, 6, &mut rng);
+            svc.apply_batch(&b).unwrap();
+            pinned.push(handle.snapshot());
+        }
+        for (i, snap) in pinned.iter().enumerate() {
+            assert_eq!(snap.epoch(), i as u64);
+            assert_eq!(
+                snap.values(),
+                batagelj_zaversnik(snap.graph()).as_slice(),
+                "pinned epoch {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_validation_publishes_nothing() {
+        let g = path(6);
+        let mut svc = ShardedCoreService::new(&g, 2);
+        let handle = svc.handle();
+        let mut b = EdgeBatch::new();
+        b.remove(NodeId(0), NodeId(5)); // not an edge
+        assert!(svc.apply_batch(&b).is_err());
+        assert_eq!(svc.epoch(), 0);
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.snapshot().graph(), &g);
+    }
+
+    #[test]
+    fn cross_shard_cascades_converge() {
+        // A path sharded modulo 2 makes *every* edge a border edge: any
+        // repair must flow entirely through border exchange.
+        let g = path(40);
+        let mut svc = ShardedCoreService::new(&g, 2);
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(39)); // close the cycle: all coreness 2
+        let report = svc.apply_batch(&b).unwrap();
+        assert!(report.rounds >= 1, "border exchange must run");
+        let snap = svc.handle().snapshot();
+        assert!(snap.values().iter().all(|&c| c == 2));
+        // Cut it again: everyone drops back to 1, purely via borders.
+        let mut b = EdgeBatch::new();
+        b.remove(NodeId(20), NodeId(21));
+        svc.apply_batch(&b).unwrap();
+        let snap = svc.handle().snapshot();
+        assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
+    }
+}

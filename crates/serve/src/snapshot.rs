@@ -1,25 +1,190 @@
 //! Immutable epoch snapshots: all queries answered against one
 //! consistent decomposition.
+//!
+//! # Incremental (copy-on-write) epochs
+//!
+//! A snapshot's state lives in three chunked arrays — coreness, degrees
+//! and adjacency — whose chunks are individually reference-counted.
+//! Publishing epoch `e+1` from epoch `e` ([`CoreSnapshot::advance`])
+//! clones only the chunk *pointer tables* plus the chunks an applied
+//! batch actually touched; every untouched chunk is **structurally
+//! shared** with the predecessor epoch. Readers holding an old epoch
+//! keep every one of its chunks alive through the `Arc`s, so pinned
+//! epochs stay immutable no matter how far the writer advances.
+//!
+//! ## Delta-epoch invariants
+//!
+//! * **Publish cost.** `advance` is `O(|touched| + N/C)`: one
+//!   `Arc` clone per chunk pointer (`N/C` of them, `C` =
+//!   [`VALUE_CHUNK`]/[`ADJ_CHUNK`]) plus a copy-on-write rebuild of the
+//!   chunks containing a changed coreness, a changed degree, or a
+//!   mutated adjacency slot — never the `O(N + M)` full rebuild of
+//!   [`capture`](CoreSnapshot::capture). The delta comes straight from
+//!   [`StreamCore::last_touched`] and the batch's own endpoints; nothing
+//!   is re-derived.
+//! * **Replay depth 0.** Unlike a delta-chain design, queries never
+//!   replay deltas: every epoch is a complete chunked image, so point
+//!   lookups are one chunk indirection regardless of how many epochs
+//!   separate a snapshot from the last full capture. Consequently there
+//!   is no compaction trigger to tune — the "compaction" of a chunk is
+//!   exactly its copy-on-write rebuild, amortized against the batch that
+//!   dirtied it.
+//! * **Exactness.** `advance` must only be called with the `StreamCore`
+//!   the previous epoch was built from, *immediately* after one
+//!   `apply_batch` (the single-writer discipline [`CoreService`]
+//!   enforces); estimates are exact at batch boundaries, so every
+//!   published epoch equals a fresh Batagelj–Zaveršnik pass on its own
+//!   graph (checked end-to-end by `tests/serve_oracle.rs`).
+//! * **Derived state.** The shell-size histogram is maintained
+//!   incrementally from the coreness delta (`O(|changed| + k_max)` per
+//!   epoch) and trailing empty shells are trimmed, so
+//!   `histogram().len() == max_coreness() + 1` always holds. Whole-array
+//!   views ([`values`](CoreSnapshot::values),
+//!   [`graph`](CoreSnapshot::graph)) materialize lazily on first use,
+//!   once per snapshot — query-side cost, never publish-side.
+//!
+//! [`CoreService`]: crate::CoreService
+//! [`StreamCore::last_touched`]: dkcore::stream::StreamCore::last_touched
 
-use dkcore::stream::StreamCore;
+use std::sync::{Arc, OnceLock};
+
+use dkcore::stream::{EdgeBatch, StreamCore};
 use dkcore_graph::{Graph, NodeId};
+
+/// Nodes per coreness/degree chunk.
+pub const VALUE_CHUNK: usize = 1024;
+/// Nodes per adjacency chunk (smaller: a chunk rebuild copies its
+/// members' whole neighbor lists).
+pub const ADJ_CHUNK: usize = 128;
+
+/// A chunked `u32` array with `Arc`-shared chunks: `O(1)` point reads,
+/// copy-on-write chunk rewrites. Shared with the sharded service's
+/// per-shard snapshots (slot-indexed there instead of node-indexed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChunkedU32 {
+    pub(crate) chunks: Vec<Arc<Vec<u32>>>,
+    len: usize,
+}
+
+impl ChunkedU32 {
+    pub(crate) fn from_iter<I: IntoIterator<Item = u32>>(len: usize, values: I) -> Self {
+        let mut chunks = Vec::with_capacity(len.div_ceil(VALUE_CHUNK));
+        let mut current = Vec::with_capacity(VALUE_CHUNK.min(len));
+        for v in values {
+            current.push(v);
+            if current.len() == VALUE_CHUNK {
+                chunks.push(Arc::new(std::mem::take(&mut current)));
+            }
+        }
+        if !current.is_empty() {
+            chunks.push(Arc::new(current));
+        }
+        let built = ChunkedU32 { chunks, len };
+        debug_assert_eq!(
+            built.chunks.iter().map(|c| c.len()).sum::<usize>(),
+            len,
+            "iterator length must match len"
+        );
+        built
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<u32> {
+        if i >= self.len {
+            return None;
+        }
+        Some(self.chunks[i / VALUE_CHUNK][i % VALUE_CHUNK])
+    }
+
+    /// Copy-on-write point write (clones the chunk only when shared).
+    pub(crate) fn set(&mut self, i: usize, v: u32) {
+        Arc::make_mut(&mut self.chunks[i / VALUE_CHUNK])[i % VALUE_CHUNK] = v;
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+}
+
+/// Applies one coreness change to a shell-size histogram (growing it
+/// when a node reaches a new top shell). Shared by the single-writer and
+/// per-shard incremental publish paths so histogram upkeep has exactly
+/// one implementation.
+pub(crate) fn apply_shell_change(shell_sizes: &mut Vec<usize>, old: u32, new: u32) {
+    shell_sizes[old as usize] -= 1;
+    if shell_sizes.len() <= new as usize {
+        shell_sizes.resize(new as usize + 1, 0);
+    }
+    shell_sizes[new as usize] += 1;
+}
+
+/// Trims trailing empty shells, preserving the invariant
+/// `shell_sizes.len() == max_coreness + 1` (at least one entry remains).
+pub(crate) fn trim_shells(shell_sizes: &mut Vec<usize>) {
+    while shell_sizes.len() > 1 && *shell_sizes.last().expect("non-empty") == 0 {
+        shell_sizes.pop();
+    }
+}
+
+/// The adjacency of [`ADJ_CHUNK`] consecutive slots as a mini-CSR.
+/// Slots are graph node ids here and shard-local indices in the sharded
+/// service; the stored values are global node ids either way.
+#[derive(Debug, Clone)]
+pub(crate) struct AdjChunk {
+    /// `offsets[i]..offsets[i + 1]` indexes the neighbors of the chunk's
+    /// `i`-th slot; `offsets.len()` = slots in chunk + 1.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists (global node ids).
+    nbrs: Vec<u32>,
+}
+
+impl AdjChunk {
+    /// Packs the neighbor lists of slots `base..base + count` from an
+    /// adjacency arena.
+    pub(crate) fn pack(arena: &dkcore::stream::AdjacencyArena, base: usize, count: usize) -> Self {
+        let mut offsets = Vec::with_capacity(count + 1);
+        offsets.push(0u32);
+        let mut nbrs = Vec::new();
+        for u in base..base + count {
+            nbrs.extend_from_slice(arena.neighbors(u));
+            offsets.push(nbrs.len() as u32);
+        }
+        AdjChunk { offsets, nbrs }
+    }
+
+    #[inline]
+    pub(crate) fn neighbors(&self, i: usize) -> &[u32] {
+        &self.nbrs[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
 
 /// One published epoch of the service: the graph as of a batch boundary
 /// together with its exact coreness decomposition and precomputed
 /// shell-size histogram. Immutable — holding a snapshot pins this
-/// epoch's entire state no matter how far the writer advances.
+/// epoch's entire state no matter how far the writer advances. See the
+/// [module docs](self) for the copy-on-write epoch layout.
 #[derive(Debug, Clone)]
 pub struct CoreSnapshot {
     epoch: u64,
-    coreness: Vec<u32>,
-    degrees: Vec<u32>,
-    graph: Graph,
+    nodes: usize,
+    edges: usize,
+    coreness: ChunkedU32,
+    degrees: ChunkedU32,
+    adj: Vec<Arc<AdjChunk>>,
     /// `shell_sizes[k]` = number of nodes with coreness exactly `k`.
+    /// Trailing zero shells are trimmed (`len == max_coreness + 1`).
     shell_sizes: Vec<usize>,
+    /// Lazily materialized flat coreness (query-side, once per epoch).
+    full_values: OnceLock<Vec<u32>>,
+    /// Lazily materialized graph (query-side, once per epoch).
+    full_graph: OnceLock<Graph>,
 }
 
 impl CoreSnapshot {
-    /// Builds the snapshot of `core`'s current state as epoch `epoch`.
+    /// Builds the snapshot of `core`'s current state as epoch `epoch` —
+    /// the **full** `O(N + M)` build, used for epoch 0 and as the
+    /// baseline the incremental [`advance`](Self::advance) path is
+    /// benchmarked against (`bench_pr5`).
     ///
     /// Must only be called at batch boundaries, where the stream's
     /// estimates are exact — between
@@ -27,19 +192,88 @@ impl CoreSnapshot {
     /// cheap read-only export (`values` + `degrees` + arena), so nothing
     /// is re-derived with a fresh decomposition pass.
     pub fn capture(epoch: u64, core: &StreamCore) -> Self {
-        let coreness = core.values().to_vec();
-        let max_core = coreness.iter().copied().max().unwrap_or(0) as usize;
+        let n = core.node_count();
+        let coreness = ChunkedU32::from_iter(n, core.values().iter().copied());
+        let degrees = ChunkedU32::from_iter(n, (0..n).map(|u| core.adjacency().degree(u)));
+        let adj: Vec<Arc<AdjChunk>> = (0..n.div_ceil(ADJ_CHUNK))
+            .map(|ci| {
+                let base = ci * ADJ_CHUNK;
+                Arc::new(AdjChunk::pack(
+                    core.adjacency(),
+                    base,
+                    ADJ_CHUNK.min(n - base),
+                ))
+            })
+            .collect();
+        let max_core = core.values().iter().copied().max().unwrap_or(0) as usize;
         let mut shell_sizes = vec![0usize; max_core + 1];
-        for &k in &coreness {
+        for &k in core.values() {
             shell_sizes[k as usize] += 1;
         }
         CoreSnapshot {
             epoch,
-            degrees: core.degrees(),
-            graph: core.to_graph(),
+            nodes: n,
+            edges: core.edge_count(),
             coreness,
+            degrees,
+            adj,
             shell_sizes,
+            full_values: OnceLock::new(),
+            full_graph: OnceLock::new(),
         }
+    }
+
+    /// Publishes the state after one applied batch as epoch `epoch`,
+    /// structurally sharing every chunk the batch did not touch with
+    /// `self` — the `O(|touched| + N/C)` incremental publish path (see
+    /// the [module docs](self) for the invariants).
+    ///
+    /// `core` must be the stream this snapshot chain is built over,
+    /// *immediately* after `core.apply_batch(batch)` succeeded, so that
+    /// [`StreamCore::last_touched`] still describes `batch`.
+    pub fn advance(&self, epoch: u64, core: &StreamCore, batch: &EdgeBatch) -> Self {
+        debug_assert_eq!(self.nodes, core.node_count(), "same stream, same nodes");
+        let mut next = CoreSnapshot {
+            epoch,
+            nodes: self.nodes,
+            edges: self.edges + batch.insertions().len() - batch.removals().len(),
+            coreness: self.coreness.clone(),
+            degrees: self.degrees.clone(),
+            adj: self.adj.clone(),
+            shell_sizes: self.shell_sizes.clone(),
+            full_values: OnceLock::new(),
+            full_graph: OnceLock::new(),
+        };
+
+        // Coreness delta: copy-on-write point writes + histogram upkeep.
+        for (u, old, new) in core.last_coreness_changes() {
+            next.coreness.set(u as usize, new);
+            apply_shell_change(&mut next.shell_sizes, old, new);
+        }
+        trim_shells(&mut next.shell_sizes);
+
+        // Adjacency + degree delta: the batch's endpoints are the only
+        // nodes whose neighbor lists (and degrees) changed. Rebuild each
+        // dirty adjacency chunk once.
+        let mut dirty_chunks: Vec<usize> = Vec::new();
+        for &(u, v) in batch.insertions().iter().chain(batch.removals()) {
+            for w in [u.index(), v.index()] {
+                next.degrees.set(w, core.adjacency().degree(w));
+                let ci = w / ADJ_CHUNK;
+                if !dirty_chunks.contains(&ci) {
+                    dirty_chunks.push(ci);
+                }
+            }
+        }
+        for ci in dirty_chunks {
+            let base = ci * ADJ_CHUNK;
+            next.adj[ci] = Arc::new(AdjChunk::pack(
+                core.adjacency(),
+                base,
+                ADJ_CHUNK.min(self.nodes - base),
+            ));
+        }
+        next
     }
 
     /// The epoch this snapshot was published as (0 = initial graph).
@@ -49,32 +283,55 @@ impl CoreSnapshot {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.coreness.len()
+        self.nodes
     }
 
     /// Number of edges in this epoch's graph.
     pub fn edge_count(&self) -> usize {
-        self.graph.edge_count()
+        self.edges
     }
 
-    /// This epoch's graph.
+    /// Sorted neighbors of `v` in this epoch's graph (global ids), or
+    /// `None` when out of range. Chunk-local: never materializes the
+    /// full graph.
+    pub fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
+        let i = v.index();
+        if i >= self.nodes {
+            return None;
+        }
+        Some(self.adj[i / ADJ_CHUNK].neighbors(i % ADJ_CHUNK))
+    }
+
+    /// This epoch's graph, materialized lazily on first use and cached
+    /// for the snapshot's lifetime.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.full_graph.get_or_init(|| {
+            let edges = (0..self.nodes as u32).flat_map(|u| {
+                self.neighbors(NodeId(u))
+                    .expect("in range")
+                    .iter()
+                    .filter(move |&&v| u < v)
+                    .map(move |&v| (u, v))
+            });
+            Graph::from_edges(self.nodes, edges).expect("chunked adjacency is a valid graph")
+        })
     }
 
     /// Coreness of `v`, or `None` when out of range.
     pub fn coreness(&self, v: NodeId) -> Option<u32> {
-        self.coreness.get(v.index()).copied()
+        self.coreness.get(v.index())
     }
 
     /// Degree of `v` in this epoch's graph, or `None` when out of range.
     pub fn degree(&self, v: NodeId) -> Option<u32> {
-        self.degrees.get(v.index()).copied()
+        self.degrees.get(v.index())
     }
 
-    /// Coreness of every node.
+    /// Coreness of every node, materialized lazily on first use and
+    /// cached for the snapshot's lifetime.
     pub fn values(&self) -> &[u32] {
-        &self.coreness
+        self.full_values
+            .get_or_init(|| self.coreness.iter().collect())
     }
 
     /// The largest coreness of this epoch.
@@ -105,7 +362,7 @@ impl CoreSnapshot {
         self.coreness
             .iter()
             .enumerate()
-            .filter(|&(_, &c)| c >= k)
+            .filter(|&(_, c)| c >= k)
             .map(|(u, _)| NodeId(u as u32))
             .collect()
     }
@@ -113,10 +370,10 @@ impl CoreSnapshot {
     /// Extracts the k-core subgraph: the graph induced on the nodes with
     /// coreness ≥ `k`, plus the mapping from new compact ids back to the
     /// original [`NodeId`]s (position `i` is the original id of new node
-    /// `i`).
+    /// `i`). Chunk-local (never materializes the full graph), via the
+    /// shared [`EpochView`](crate::EpochView)-generic extraction.
     pub fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
-        let keep: Vec<bool> = self.coreness.iter().map(|&c| c >= k).collect();
-        self.graph.induced_subgraph(&keep)
+        crate::view::kcore_subgraph_of(self, k)
     }
 
     /// The `n` nodes of largest coreness as `(node, coreness)` pairs,
@@ -124,35 +381,10 @@ impl CoreSnapshot {
     /// nodes when `n ≥ node_count()`.
     ///
     /// Runs in `O(N)` (no full sort): the histogram locates the coreness
-    /// threshold, a single scan collects the members.
+    /// threshold, a single scan collects the members — the shared
+    /// [`EpochView`](crate::EpochView)-generic implementation.
     pub fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
-        let n = n.min(self.node_count());
-        if n == 0 {
-            return Vec::new();
-        }
-        // Find the smallest threshold t such that |{v : core(v) ≥ t}| ≥ n.
-        let mut t = self.shell_sizes.len(); // exclusive upper bound
-        let mut above = 0usize; // |{v : core(v) ≥ t}|
-        while t > 0 && above < n {
-            t -= 1;
-            above += self.shell_sizes[t];
-        }
-        let t = t as u32;
-        // One scan: everything strictly above t is in; nodes at exactly t
-        // fill the remainder in id order.
-        let mut strict: Vec<(NodeId, u32)> = Vec::new();
-        let mut at: Vec<(NodeId, u32)> = Vec::new();
-        for (u, &c) in self.coreness.iter().enumerate() {
-            if c > t {
-                strict.push((NodeId(u as u32), c));
-            } else if c == t {
-                at.push((NodeId(u as u32), c));
-            }
-        }
-        strict.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let fill = n - strict.len();
-        strict.extend(at.into_iter().take(fill));
-        strict
+        crate::view::top_k_of(self, n)
     }
 }
 
@@ -160,9 +392,9 @@ impl CoreSnapshot {
 mod tests {
     use super::*;
     use dkcore::seq::batagelj_zaversnik;
-    use dkcore::stream::EdgeBatch;
     use dkcore_data::collaboration;
     use dkcore_graph::generators::{complete, gnp, path, star};
+    use rand::prelude::*;
 
     fn snap(g: &Graph) -> CoreSnapshot {
         CoreSnapshot::capture(0, &StreamCore::new(g))
@@ -178,9 +410,110 @@ mod tests {
         assert_eq!(s.edge_count(), g.edge_count());
         for u in g.nodes() {
             assert_eq!(s.degree(u), Some(g.degree(u)));
+            let nbrs: Vec<u32> = g.neighbors(u).iter().map(|v| v.0).collect();
+            assert_eq!(s.neighbors(u), Some(nbrs.as_slice()));
         }
         assert_eq!(s.coreness(NodeId(500)), None);
         assert_eq!(s.degree(NodeId(500)), None);
+        assert_eq!(s.neighbors(NodeId(500)), None);
+    }
+
+    #[test]
+    fn advance_is_bit_identical_to_full_capture() {
+        // The incremental publish path must produce exactly the state a
+        // full rebuild would, batch after batch — every accessor, on a
+        // graph large enough to span many chunks.
+        let g = gnp(3_000, 0.003, 13);
+        let mut sc = StreamCore::new(&g);
+        let mut current = CoreSnapshot::capture(0, &sc);
+        let mut rng = StdRng::seed_from_u64(0xADA);
+        for epoch in 1..=10u64 {
+            let mut b = EdgeBatch::new();
+            let mut seen: Vec<(u32, u32)> = Vec::new();
+            for _ in 0..24 {
+                let x = rng.random_range(0..3_000u32);
+                let y = rng.random_range(0..3_000u32);
+                if x == y {
+                    continue;
+                }
+                let key = (x.min(y), x.max(y));
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                if sc.has_edge(NodeId(x), NodeId(y)) {
+                    b.remove(NodeId(x), NodeId(y));
+                } else {
+                    b.insert(NodeId(x), NodeId(y));
+                }
+            }
+            sc.apply_batch(&b).unwrap();
+            let incremental = current.advance(epoch, &sc, &b);
+            let full = CoreSnapshot::capture(epoch, &sc);
+            assert_eq!(incremental.epoch(), full.epoch());
+            assert_eq!(incremental.edge_count(), full.edge_count());
+            assert_eq!(incremental.values(), full.values());
+            assert_eq!(incremental.histogram(), full.histogram());
+            assert_eq!(incremental.max_coreness(), full.max_coreness());
+            assert_eq!(incremental.graph(), full.graph());
+            for u in 0..3_000u32 {
+                assert_eq!(incremental.degree(NodeId(u)), full.degree(NodeId(u)));
+                assert_eq!(incremental.neighbors(NodeId(u)), full.neighbors(NodeId(u)));
+            }
+            current = incremental;
+        }
+    }
+
+    #[test]
+    fn advance_shares_untouched_chunks_with_predecessor() {
+        // Structural sharing is the whole point: after a local batch,
+        // the vast majority of chunk pointers must be the *same Arc*s.
+        let g = gnp(10_000, 0.001, 5);
+        let mut sc = StreamCore::new(&g);
+        let prev = CoreSnapshot::capture(0, &sc);
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(10), NodeId(20));
+        sc.apply_batch(&b).unwrap();
+        let changed_value_chunks: std::collections::HashSet<usize> = sc
+            .last_coreness_changes()
+            .map(|(u, _, _)| u as usize / VALUE_CHUNK)
+            .chain([10usize / VALUE_CHUNK, 20 / VALUE_CHUNK]) // degree writes
+            .collect();
+        let next = prev.advance(1, &sc, &b);
+
+        let shared_adj = prev
+            .adj
+            .iter()
+            .zip(&next.adj)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count();
+        assert!(
+            shared_adj >= prev.adj.len() - 1,
+            "only the mutated adjacency chunk may differ: {shared_adj}/{}",
+            prev.adj.len()
+        );
+        let cow_core = prev
+            .coreness
+            .chunks
+            .iter()
+            .zip(&next.coreness.chunks)
+            .filter(|(a, b)| !Arc::ptr_eq(a, b))
+            .count();
+        assert!(
+            cow_core <= changed_value_chunks.len(),
+            "chunks outside the coreness delta must be shared: \
+             {cow_core} rewritten for {} dirty",
+            changed_value_chunks.len()
+        );
+        assert!(
+            cow_core < prev.coreness.chunks.len(),
+            "a local batch must not rewrite every chunk"
+        );
+        // And sharing never leaks writes: the pinned epoch still answers
+        // with its own state.
+        assert_eq!(prev.edge_count(), g.edge_count());
+        assert!(!prev.neighbors(NodeId(10)).unwrap().contains(&20));
+        assert!(next.neighbors(NodeId(10)).unwrap().contains(&20));
     }
 
     #[test]
@@ -206,6 +539,11 @@ mod tests {
         let (sub, back) = s.kcore_subgraph(k);
         assert_eq!(sub.node_count(), s.kcore_size(k));
         assert_eq!(back.len(), sub.node_count());
+        // Chunk-local extraction matches the graph-level reference.
+        let keep: Vec<bool> = s.values().iter().map(|&c| c >= k).collect();
+        let (ref_sub, ref_back) = s.graph().induced_subgraph(&keep);
+        assert_eq!(sub, ref_sub);
+        assert_eq!(back, ref_back);
         // Every node of the k-core has degree ≥ k inside the extracted
         // subgraph (the defining property of the k-core).
         for u in sub.nodes() {
@@ -288,8 +626,9 @@ mod tests {
         assert_eq!(pinned.coreness(NodeId(0)), Some(1));
         assert_eq!(pinned.edge_count(), 4);
         assert_eq!(pinned.graph(), &g);
-        let now = CoreSnapshot::capture(1, &sc);
+        let now = pinned.advance(1, &sc, &b);
         assert_eq!(now.coreness(NodeId(0)), Some(2));
         assert_eq!(now.edge_count(), 5);
+        assert_eq!(pinned.coreness(NodeId(0)), Some(1), "still pinned");
     }
 }

@@ -1,0 +1,209 @@
+//! The query interface shared by the single-writer and sharded serving
+//! layers, so the wire front end (and any embedding application) can
+//! serve either backend through one code path.
+
+use std::sync::Arc;
+
+use dkcore_graph::{Graph, NodeId};
+
+use crate::service::ServiceHandle;
+use crate::sharded::{ShardedHandle, StitchedSnapshot};
+use crate::snapshot::CoreSnapshot;
+
+/// One pinned, immutable epoch answering every query family of the
+/// serving layer. Implemented by [`CoreSnapshot`] (single writer) and
+/// [`StitchedSnapshot`] (sharded); all answers are internally consistent
+/// because the view never changes after publication.
+pub trait EpochView: Send + Sync {
+    /// The epoch this view was published as.
+    fn epoch(&self) -> u64;
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+    /// The largest coreness.
+    fn max_coreness(&self) -> u32;
+    /// Coreness of `v`, or `None` when out of range.
+    fn coreness(&self, v: NodeId) -> Option<u32>;
+    /// Degree of `v`, or `None` when out of range.
+    fn degree(&self, v: NodeId) -> Option<u32>;
+    /// Sorted neighbors of `v` (global node ids), or `None` when out of
+    /// range.
+    fn neighbors(&self, v: NodeId) -> Option<&[u32]>;
+    /// Shell-size histogram (`max_coreness() + 1` entries).
+    fn histogram(&self) -> Vec<usize>;
+    /// Members of the k-core in ascending id order.
+    fn kcore_members(&self, k: u32) -> Vec<NodeId>;
+    /// Induced k-core subgraph plus the compact-id → original-id map.
+    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>);
+    /// The `n` nodes of largest coreness (coreness desc, id asc).
+    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)>;
+}
+
+/// Extracts the k-core subgraph of any epoch view: the graph induced on
+/// the nodes with coreness ≥ `k`, plus the compact-id → original-id map
+/// (position `i` is the original id of new node `i`, ascending). The one
+/// implementation behind both `CoreSnapshot::kcore_subgraph` and
+/// `StitchedSnapshot::kcore_subgraph`.
+pub(crate) fn kcore_subgraph_of<V: EpochView + ?Sized>(view: &V, k: u32) -> (Graph, Vec<NodeId>) {
+    let n = view.node_count();
+    let mut new_id = vec![u32::MAX; n];
+    let mut back: Vec<NodeId> = Vec::new();
+    for u in 0..n as u32 {
+        if view.coreness(NodeId(u)).expect("in range") >= k {
+            new_id[u as usize] = back.len() as u32;
+            back.push(NodeId(u));
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for &u in &back {
+        for &v in view.neighbors(u).expect("member in range") {
+            if u.0 < v && new_id[v as usize] != u32::MAX {
+                edges.push((new_id[u.index()], new_id[v as usize]));
+            }
+        }
+    }
+    let sub = Graph::from_edges(back.len(), edges).expect("induced subgraph is valid");
+    (sub, back)
+}
+
+/// The `n` nodes of largest coreness in any epoch view, ordered by
+/// descending coreness then ascending id, in `O(N)` (the histogram
+/// locates the threshold shell, one scan collects the members). The one
+/// implementation behind both snapshots' `top_k`.
+pub(crate) fn top_k_of<V: EpochView + ?Sized>(view: &V, n: usize) -> Vec<(NodeId, u32)> {
+    let total = view.node_count();
+    let n = n.min(total);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Find the smallest threshold t such that |{v : core(v) ≥ t}| ≥ n.
+    let hist = view.histogram();
+    let mut t = hist.len(); // exclusive upper bound
+    let mut above = 0usize; // |{v : core(v) ≥ t}|
+    while t > 0 && above < n {
+        t -= 1;
+        above += hist[t];
+    }
+    let t = t as u32;
+    // One scan: everything strictly above t is in; nodes at exactly t
+    // fill the remainder in id order.
+    let mut strict: Vec<(NodeId, u32)> = Vec::new();
+    let mut at: Vec<(NodeId, u32)> = Vec::new();
+    for u in 0..total as u32 {
+        let c = view.coreness(NodeId(u)).expect("in range");
+        if c > t {
+            strict.push((NodeId(u), c));
+        } else if c == t {
+            at.push((NodeId(u), c));
+        }
+    }
+    strict.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let fill = n - strict.len();
+    strict.extend(at.into_iter().take(fill));
+    strict
+}
+
+impl EpochView for CoreSnapshot {
+    fn epoch(&self) -> u64 {
+        CoreSnapshot::epoch(self)
+    }
+    fn node_count(&self) -> usize {
+        CoreSnapshot::node_count(self)
+    }
+    fn edge_count(&self) -> usize {
+        CoreSnapshot::edge_count(self)
+    }
+    fn max_coreness(&self) -> u32 {
+        CoreSnapshot::max_coreness(self)
+    }
+    fn coreness(&self, v: NodeId) -> Option<u32> {
+        CoreSnapshot::coreness(self, v)
+    }
+    fn degree(&self, v: NodeId) -> Option<u32> {
+        CoreSnapshot::degree(self, v)
+    }
+    fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
+        CoreSnapshot::neighbors(self, v)
+    }
+    fn histogram(&self) -> Vec<usize> {
+        CoreSnapshot::histogram(self).to_vec()
+    }
+    fn kcore_members(&self, k: u32) -> Vec<NodeId> {
+        CoreSnapshot::kcore_members(self, k)
+    }
+    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
+        CoreSnapshot::kcore_subgraph(self, k)
+    }
+    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
+        CoreSnapshot::top_k(self, n)
+    }
+}
+
+impl EpochView for StitchedSnapshot {
+    fn epoch(&self) -> u64 {
+        StitchedSnapshot::epoch(self)
+    }
+    fn node_count(&self) -> usize {
+        StitchedSnapshot::node_count(self)
+    }
+    fn edge_count(&self) -> usize {
+        StitchedSnapshot::edge_count(self)
+    }
+    fn max_coreness(&self) -> u32 {
+        StitchedSnapshot::max_coreness(self)
+    }
+    fn coreness(&self, v: NodeId) -> Option<u32> {
+        StitchedSnapshot::coreness(self, v)
+    }
+    fn degree(&self, v: NodeId) -> Option<u32> {
+        StitchedSnapshot::degree(self, v)
+    }
+    fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
+        StitchedSnapshot::neighbors(self, v)
+    }
+    fn histogram(&self) -> Vec<usize> {
+        StitchedSnapshot::histogram(self).to_vec()
+    }
+    fn kcore_members(&self, k: u32) -> Vec<NodeId> {
+        StitchedSnapshot::kcore_members(self, k)
+    }
+    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
+        StitchedSnapshot::kcore_subgraph(self, k)
+    }
+    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
+        StitchedSnapshot::top_k(self, n)
+    }
+}
+
+/// A cloneable reader handle yielding pinned [`EpochView`]s — what the
+/// wire server is generic over. Implemented by [`ServiceHandle`] and
+/// [`ShardedHandle`].
+pub trait SnapshotSource: Clone + Send + 'static {
+    /// The pinned epoch type this source yields.
+    type View: EpochView;
+    /// The latest published epoch, pinned.
+    fn snapshot(&self) -> Arc<Self::View>;
+    /// The latest published epoch number, without pinning a view.
+    fn epoch(&self) -> u64;
+}
+
+impl SnapshotSource for ServiceHandle {
+    type View = CoreSnapshot;
+    fn snapshot(&self) -> Arc<CoreSnapshot> {
+        ServiceHandle::snapshot(self)
+    }
+    fn epoch(&self) -> u64 {
+        ServiceHandle::epoch(self)
+    }
+}
+
+impl SnapshotSource for ShardedHandle {
+    type View = StitchedSnapshot;
+    fn snapshot(&self) -> Arc<StitchedSnapshot> {
+        ShardedHandle::snapshot(self)
+    }
+    fn epoch(&self) -> u64 {
+        ShardedHandle::epoch(self)
+    }
+}

@@ -23,6 +23,7 @@
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,8 +31,7 @@ use std::time::Duration;
 
 use dkcore_graph::NodeId;
 
-use crate::service::ServiceHandle;
-use crate::snapshot::CoreSnapshot;
+use crate::view::{EpochView, SnapshotSource};
 
 /// A running wire server: accept loop plus per-connection threads.
 ///
@@ -45,12 +45,24 @@ pub struct WireServer {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-/// serving `handle`'s snapshots.
+/// serving `handle`'s snapshots — either a single-writer
+/// [`ServiceHandle`](crate::ServiceHandle) or a sharded
+/// [`ShardedHandle`](crate::ShardedHandle); the protocol is identical.
+///
+/// Robustness contract (regression-tested by
+/// `killing_a_client_mid_subgraph_leaves_the_listener_healthy`): no
+/// client behavior can wedge the listener. An abrupt disconnect
+/// mid-response surfaces as a write-side `BrokenPipe`/`ConnectionReset`
+/// `io::Error` that ends only that connection; a panic inside a
+/// connection thread is caught at the thread boundary (no shared state
+/// is held across request handling, so nothing can be poisoned); and a
+/// connection-thread *spawn* failure under resource exhaustion drops
+/// that one connection instead of unwinding the accept loop.
 ///
 /// # Errors
 ///
 /// Returns the I/O error from binding the listener.
-pub fn serve<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> io::Result<WireServer> {
+pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Result<WireServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -63,10 +75,30 @@ pub fn serve<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> io::Result<Wir
             let Ok(stream) = conn else { continue };
             let handle = handle.clone();
             let stop = accept_stop.clone();
-            std::thread::spawn(move || {
-                // Connection errors just end that connection.
-                let _ = serve_connection(stream, &handle, &stop);
-            });
+            // Builder::spawn (not thread::spawn): a spawn failure under
+            // fd/thread exhaustion must drop this connection, not panic
+            // the accept loop and silently wedge the listener.
+            let spawned = std::thread::Builder::new()
+                .name("dkcore-wire-conn".into())
+                .spawn(move || {
+                    // Connection I/O errors end that connection; a panic
+                    // (always a bug, but contained) must not take anything
+                    // else with it — there is nothing to poison because
+                    // each request pins its own immutable snapshot. The
+                    // payload is logged so the bug is debuggable.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = serve_connection(stream, &handle, &stop);
+                    }));
+                    if let Err(payload) = result {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        eprintln!("dkcore-wire: connection thread panicked (contained): {msg}");
+                    }
+                });
+            drop(spawned); // Err(_) = connection dropped, listener lives on.
         }
     });
     Ok(WireServer {
@@ -134,9 +166,9 @@ fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
 /// flag is observed between requests via a read timeout, which also
 /// lets *idle* connections wind down shortly after shutdown instead of
 /// blocking in `read_line` forever.
-fn serve_connection(
+fn serve_connection<S: SnapshotSource>(
     stream: TcpStream,
-    handle: &ServiceHandle,
+    handle: &S,
     stop: &Arc<AtomicBool>,
 ) -> io::Result<()> {
     let peer_addr = stream.local_addr()?;
@@ -182,18 +214,18 @@ fn serve_connection(
                 request_stop(stop, peer_addr);
                 return Ok(());
             }
-            _ => respond(&mut writer, &verb, parts, &handle.snapshot())?,
+            _ => respond(&mut writer, &verb, parts, &*handle.snapshot())?,
         }
         writer.flush()?;
     }
 }
 
-/// Answers one query against a pinned snapshot.
-fn respond<W: Write>(
+/// Answers one query against a pinned snapshot (either backend).
+fn respond<W: Write, V: EpochView + ?Sized>(
     out: &mut W,
     verb: &str,
     mut args: std::str::SplitAsciiWhitespace<'_>,
-    snap: &CoreSnapshot,
+    snap: &V,
 ) -> io::Result<()> {
     let epoch = snap.epoch();
     let mut num = |name: &str| -> Result<u32, String> {
@@ -470,6 +502,76 @@ mod tests {
         assert_eq!(b.request("SHUTDOWN").unwrap(), "OK shutting-down");
         server.wait();
         assert_eq!(a.request("HIST").unwrap(), "OK epoch=1 hist=2:6");
+    }
+
+    #[test]
+    fn killing_a_client_mid_subgraph_leaves_the_listener_healthy() {
+        // A client that requests a large multi-line SUBGRAPH response and
+        // disconnects abruptly mid-body produces a write-side
+        // BrokenPipe/ConnectionReset in its connection thread. That must
+        // end *only* that connection: the listener keeps accepting and
+        // other clients get complete, correct answers.
+        use dkcore_graph::generators::gnp;
+        use std::io::Read as _;
+
+        let g = gnp(600, 0.05, 42); // thousands of body lines
+        let svc = crate::CoreService::new(&g);
+        let server = serve(svc.handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        for round in 0..4 {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"SUBGRAPH 0\n").unwrap();
+            raw.flush().unwrap();
+            // Read a few bytes of the header so the server is committed to
+            // streaming the body, then kill the connection outright.
+            let mut buf = [0u8; 16];
+            let n = raw.read(&mut buf).unwrap();
+            assert!(n > 0, "round {round}: server started responding");
+            raw.shutdown(std::net::Shutdown::Both).ok();
+            drop(raw); // server's in-flight body writes now fail
+
+            // The listener must still serve full conversations.
+            let mut c = WireClient::connect(addr).unwrap();
+            let e = c.request("EPOCH").unwrap();
+            assert!(e.starts_with("OK epoch=0"), "round {round}: {e}");
+            let sub = c.request_subgraph(1).unwrap();
+            assert!(sub[0].starts_with("OK epoch=0"), "round {round}");
+            assert_eq!(c.request("QUIT").unwrap(), "OK bye");
+        }
+        assert!(
+            !server.is_shutdown(),
+            "client kills must not stop the server"
+        );
+    }
+
+    #[test]
+    fn sharded_backend_serves_the_same_protocol() {
+        use crate::ShardedCoreService;
+
+        let mut svc = ShardedCoreService::new(&path(6), 2);
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(5)); // epoch 1: a 6-cycle, all coreness 2
+        svc.apply_batch(&b).unwrap();
+        let server = serve(svc.handle(), "127.0.0.1:0").unwrap();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("EPOCH").unwrap(),
+            "OK epoch=1 nodes=6 edges=6 kmax=2"
+        );
+        assert_eq!(
+            c.request("CORENESS 3").unwrap(),
+            "OK epoch=1 coreness=2 degree=2"
+        );
+        assert_eq!(
+            c.request("MEMBERS 2").unwrap(),
+            "OK epoch=1 count=6 members=0,1,2,3,4,5"
+        );
+        assert_eq!(c.request("HIST").unwrap(), "OK epoch=1 hist=2:6");
+        assert_eq!(c.request("TOPK 2").unwrap(), "OK epoch=1 top=0:2,1:2");
+        let sub = c.request_subgraph(2).unwrap();
+        assert_eq!(sub[0], "OK epoch=1 nodes=6 edges=6");
+        assert_eq!(c.request("QUIT").unwrap(), "OK bye");
     }
 
     #[test]

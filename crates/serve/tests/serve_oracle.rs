@@ -190,6 +190,71 @@ fn concurrent_readers_never_observe_torn_state_adversarial() {
 }
 
 #[test]
+fn snapshot_after_apply_batch_always_sees_the_new_epoch() {
+    // Publication-ordering property: once `apply_batch` has returned in
+    // the writer, *any* subsequently started `ServiceHandle::snapshot()`
+    // — from any reader thread — must observe that epoch or a later one.
+    // The synchronization edge under test is the atomic slot flip of the
+    // epoch cell: the writer's `Release` store of the published epoch
+    // must happen-after the snapshot installation, and a reader's
+    // `Acquire` load must see a fully published snapshot.
+    //
+    // Randomized over batches and re-run by the CI determinism matrix at
+    // 1/2/8 reader threads (`DKCORE_TEST_THREADS`) × seeds
+    // (`DKCORE_TEST_SEED`).
+    use std::sync::atomic::AtomicU64;
+
+    let seed = 0xF11 + seed_offset();
+    let g = gnp(250, 0.035, seed);
+    let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 55 }, 60, 6, seed);
+    let mut svc = CoreService::new(&g);
+    let handle = svc.handle();
+    // The writer's side channel: the last epoch whose `apply_batch` call
+    // has *returned*. `Release`/`Acquire` pairs give readers a
+    // happens-after edge to the publish, so any lag they then observe in
+    // `snapshot()` would be a real publication-ordering bug.
+    let published = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..reader_threads())
+        .map(|_| {
+            let handle: ServiceHandle = handle.clone();
+            let published = published.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let floor = published.load(Ordering::Acquire);
+                    let snap = handle.snapshot();
+                    assert!(
+                        snap.epoch() >= floor,
+                        "snapshot observed epoch {} after epoch {floor} was \
+                         already published (writer→reader ordering violated)",
+                        snap.epoch()
+                    );
+                    // The cheap epoch getter must obey the same ordering.
+                    let floor = published.load(Ordering::Acquire);
+                    assert!(handle.epoch() >= floor);
+                    observations += 1;
+                }
+                observations
+            })
+        })
+        .collect();
+
+    for batch in &stream {
+        let report = svc.apply_batch(batch).unwrap();
+        published.store(report.epoch, Ordering::Release);
+    }
+    done.store(true, Ordering::Release);
+    for r in readers {
+        let observations = r.join().expect("reader panicked (ordering violation)");
+        assert!(observations > 0, "reader made no observations");
+    }
+    assert_eq!(handle.epoch(), stream.len() as u64);
+}
+
+#[test]
 fn pinned_epochs_stay_valid_while_writer_races_ahead() {
     // A slow reader pins early snapshots; after heavy further churn all
     // pinned epochs still verify against their own graphs.

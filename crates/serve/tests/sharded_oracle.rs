@@ -1,0 +1,239 @@
+//! Sharded-serve oracle: every stitched epoch a reader can observe must
+//! be *exactly* the Batagelj–Zaveršnik decomposition of the union graph
+//! at that epoch — across shard counts {1, 2, 4}, assignment policies,
+//! churn workloads, and concurrent readers. The per-shard epochs inside
+//! one stitched snapshot must always belong to the same union batch
+//! boundary (no mixed-epoch stitching).
+//!
+//! The CI determinism matrix re-runs this suite with
+//! `DKCORE_TEST_THREADS` forcing the reader-thread count and
+//! `DKCORE_TEST_SEED` re-randomizing the churn streams;
+//! `DKCORE_TEST_SHARDS` can pin a single shard count (default: all of
+//! {1, 2, 4}).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dkcore::one_to_many::AssignmentPolicy;
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::{gnp, worst_case};
+use dkcore_graph::NodeId;
+use dkcore_serve::{ShardedCoreService, ShardedHandle, StitchedSnapshot};
+
+/// Reader-thread count: `DKCORE_TEST_THREADS` override, default 3.
+fn reader_threads() -> usize {
+    std::env::var("DKCORE_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Shard counts under test: `DKCORE_TEST_SHARDS` pins one, default all.
+fn shard_counts() -> Vec<usize> {
+    std::env::var("DKCORE_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(|| vec![1, 2, 4], |s| vec![s])
+}
+
+/// Offset mixed into every stream seed, from `DKCORE_TEST_SEED`.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Exhaustive check of one observed stitched epoch against ground truth
+/// recomputed from its own pinned union graph.
+fn verify_stitched(snap: &StitchedSnapshot) {
+    let truth = batagelj_zaversnik(snap.graph());
+    assert_eq!(
+        snap.values(),
+        truth.as_slice(),
+        "epoch {}: stitched coreness must equal fresh BZ on the union \
+         graph (torn or mixed-epoch stitching observed)",
+        snap.epoch()
+    );
+    assert_eq!(snap.graph().edge_count(), snap.edge_count());
+    let hist = snap.histogram();
+    assert_eq!(hist.iter().sum::<usize>(), snap.node_count());
+    let kmax = snap.max_coreness();
+    assert!(hist[kmax as usize] > 0, "top shell non-empty");
+    for u in snap.graph().nodes() {
+        assert_eq!(snap.degree(u), Some(snap.graph().degree(u)));
+    }
+    for k in [0, 1, kmax, kmax + 1] {
+        let members = snap.kcore_members(k);
+        assert_eq!(members.len(), snap.kcore_size(k), "epoch {}", snap.epoch());
+        assert!(members
+            .iter()
+            .all(|&v| snap.coreness(v).expect("member in range") >= k));
+    }
+    let (sub, _) = snap.kcore_subgraph(kmax);
+    assert!(sub.nodes().all(|u| sub.degree(u) >= kmax));
+    let top = snap.top_k(8);
+    for w in top.windows(2) {
+        assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+    }
+    for &(v, c) in &top {
+        assert_eq!(snap.coreness(v), Some(c));
+    }
+}
+
+/// Drives one graph + workload through the sharded service while reader
+/// threads continuously observe and verify stitched snapshots.
+#[allow(clippy::too_many_arguments)]
+fn run_oracle(
+    name: &str,
+    graph: &dkcore_graph::Graph,
+    shards: usize,
+    policy: &AssignmentPolicy,
+    workload: ChurnWorkload,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) {
+    let stream = churn_stream(graph, workload, batches, batch_size, seed);
+    let mut svc = ShardedCoreService::with_assignment(graph, shards, policy);
+    let handle = svc.handle();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..reader_threads())
+        .map(|_| {
+            let handle: ShardedHandle = handle.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut verified: Vec<u64> = Vec::new();
+                loop {
+                    let snap = handle.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "epochs must be monotone per reader: {} then {}",
+                        last_epoch,
+                        snap.epoch()
+                    );
+                    if snap.epoch() > last_epoch || verified.is_empty() {
+                        verify_stitched(&snap);
+                        verified.push(snap.epoch());
+                        last_epoch = snap.epoch();
+                    }
+                    if done.load(Ordering::Acquire) && handle.epoch() == last_epoch {
+                        return verified;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    for (i, batch) in stream.iter().enumerate() {
+        svc.apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{name}: batch {i} invalid: {e}"));
+    }
+    done.store(true, Ordering::Release);
+
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for r in readers {
+        let verified = r.join().expect("reader panicked (oracle violation)");
+        assert!(!verified.is_empty(), "{name}: reader observed no epoch");
+        distinct.extend(verified);
+    }
+    let final_snap = handle.snapshot();
+    assert_eq!(final_snap.epoch(), stream.len() as u64);
+    assert_eq!(final_snap.shard_count(), shards);
+    verify_stitched(&final_snap);
+}
+
+#[test]
+fn stitched_epochs_match_union_bz_under_mixed_churn() {
+    let seed = 0x5AD + seed_offset();
+    for shards in shard_counts() {
+        let g = gnp(220, 0.035, seed + shards as u64);
+        run_oracle(
+            &format!("mixed/gnp220/s{shards}"),
+            &g,
+            shards,
+            &AssignmentPolicy::Modulo,
+            ChurnWorkload::Mixed { insert_pct: 55 },
+            25,
+            8,
+            seed + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn stitched_epochs_match_union_bz_under_sliding_window() {
+    let seed = 0x51DE + seed_offset();
+    for shards in shard_counts() {
+        let g = gnp(180, 0.045, seed + shards as u64);
+        run_oracle(
+            &format!("sliding/gnp180/s{shards}"),
+            &g,
+            shards,
+            &AssignmentPolicy::BfsBlocks,
+            ChurnWorkload::SlidingWindow { window: 24 },
+            20,
+            8,
+            seed + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn stitched_epochs_match_union_bz_under_adversarial_churn() {
+    // §4.2 worst-case chain toggles: repairs cascade across the whole
+    // graph and — under modulo assignment — across every shard boundary,
+    // the hardest case for border-estimate exchange.
+    let seed = 7 + seed_offset();
+    for shards in shard_counts() {
+        let g = worst_case(60);
+        run_oracle(
+            &format!("adversarial/worst60/s{shards}"),
+            &g,
+            shards,
+            &AssignmentPolicy::Modulo,
+            ChurnWorkload::Adversarial,
+            15,
+            5,
+            seed + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn pinned_stitched_epochs_stay_valid_while_writer_races_ahead() {
+    let seed = 0xAB + seed_offset();
+    for shards in shard_counts() {
+        let g = gnp(160, 0.05, seed + shards as u64);
+        let stream = churn_stream(
+            &g,
+            ChurnWorkload::Mixed { insert_pct: 50 },
+            18,
+            10,
+            seed + shards as u64,
+        );
+        let mut svc = ShardedCoreService::new(&g, shards);
+        let handle = svc.handle();
+        let mut pinned = vec![handle.snapshot()];
+        for b in &stream {
+            svc.apply_batch(b).unwrap();
+            pinned.push(handle.snapshot());
+        }
+        for snap in &pinned {
+            verify_stitched(snap);
+        }
+        assert_eq!(pinned.last().unwrap().epoch(), stream.len() as u64);
+        // A pinned early epoch still answers point queries from its own
+        // era even after heavy further churn.
+        let first = &pinned[0];
+        let bz0 = batagelj_zaversnik(&g);
+        for u in 0..g.node_count() as u32 {
+            assert_eq!(first.coreness(NodeId(u)), Some(bz0[u as usize]));
+        }
+    }
+}

@@ -165,7 +165,7 @@ fn warm_start_equals_legacy_warm_start() {
         }
         sc.apply_batch(&batch).unwrap();
         let new_graph = sc.to_graph();
-        let est = warm_start_estimates_batch(&old, &new_graph, &ins, removed);
+        let est = warm_start_estimates_batch(&old, &new_graph, &ins, batch.removals());
 
         let truth = batagelj_zaversnik(&new_graph);
         let legacy_cfg = NodeSimConfig::synchronous();
@@ -228,7 +228,7 @@ fn warm_start_strictly_beats_cold_on_stable_regions() {
     batch.insert(NodeId(40), NodeId(69));
     sc.apply_batch(&batch).unwrap();
     let new_graph = sc.to_graph();
-    let est = warm_start_estimates_batch(&old, &new_graph, &[(NodeId(40), NodeId(69))], 0);
+    let est = warm_start_estimates_batch(&old, &new_graph, &[(NodeId(40), NodeId(69))], &[]);
 
     let truth = batagelj_zaversnik(&new_graph);
     let cold = NodeSim::new(&new_graph, NodeSimConfig::synchronous()).run();
