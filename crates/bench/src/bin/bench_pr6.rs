@@ -1,0 +1,346 @@
+//! PR 6 acceptance benchmark: **fault-tolerance overhead and recovery**
+//! for the sharded serve stack, emitting machine-readable
+//! `BENCH_PR6.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Zero-fault overhead** — the same churn stream driven through the
+//!    plain sharded service (no replicas, no fault plan; the PR 5
+//!    baseline path) and through the fault-tolerant configuration (two
+//!    standbys per partition, fault session armed at 0% fault rates).
+//!    `speedup_zero_fault` is the gated ratio `baseline_p50 / ft_p50`;
+//!    the binary asserts the acceptance floor (≥0.95 full mode, i.e.
+//!    <5% overhead; ≥0.85 quick, where batches are noise-dominated).
+//! 2. **Failover recovery** — a scheduled primary kill mid-stream with a
+//!    deliberately lagging standby: recovery must complete within the
+//!    killing batch itself (`recovery_batches` = 1), replaying the log
+//!    suffix; then replica exhaustion downs the partition, four batches
+//!    defer, and one `revive_shard` call drains the whole backlog.
+//! 3. **Degraded-mode reads** — snapshot + point-query throughput with
+//!    all partitions live vs with one partition down (readers answer
+//!    from the last consistent stitched epoch).
+//!    `speedup_degraded_reads` is `degraded_qps / healthy_qps`.
+//!
+//! Every row pins stitched results to fresh Batagelj–Zaveršnik on the
+//! union graph (`identical_output`).
+//!
+//! Usage: `bench_pr6 [output.json]` (default `BENCH_PR6.json`). Set
+//! `BENCH_QUICK=1` for the fast smoke configuration CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_graph::NodeId;
+use dkcore_metrics::Percentiles;
+use dkcore_serve::{FaultPlan, ShardedConfig, ShardedCoreService};
+
+/// Wall-time percentiles (µs per batch) of one full run of `stream`
+/// through a service configured by `config`, plus the ground-truth check.
+fn drive(
+    g: &dkcore_graph::Graph,
+    stream: &[dkcore::stream::EdgeBatch],
+    shards: usize,
+    config: ShardedConfig,
+) -> (Percentiles, bool) {
+    let mut svc = ShardedCoreService::with_config(g, shards, config);
+    let mut wall = Percentiles::new();
+    for b in stream {
+        let t = Instant::now();
+        svc.apply_batch(b).expect("stream batches are valid");
+        wall.record(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let snap = svc.handle().snapshot();
+    let identical = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    (wall, identical)
+}
+
+struct ZeroFaultRow {
+    graph: String,
+    nodes: usize,
+    shards: usize,
+    epochs: usize,
+    base: Percentiles,
+    ft: Percentiles,
+    speedup: f64,
+    identical: bool,
+}
+
+fn measure_zero_fault(scale: usize, shards: usize, steps: usize, seed: u64) -> ZeroFaultRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        32,
+        seed ^ 7,
+    );
+    let (base, ok_base) = drive(&g, &stream, shards, ShardedConfig::default());
+    let ft_config = ShardedConfig {
+        replicas: 2,
+        fault_plan: FaultPlan::parse("seed=1").expect("0%-fault plan parses"),
+        ..ShardedConfig::default()
+    };
+    let (ft, ok_ft) = drive(&g, &stream, shards, ft_config);
+    let speedup = base.p50() / ft.p50();
+    println!(
+        "zero-fault gnp12/{scale} x{shards}: baseline p50 {:>8.1}us | replicated p50 {:>8.1}us \
+         | ratio {speedup:.3} | identical: {}",
+        base.p50(),
+        ft.p50(),
+        ok_base && ok_ft,
+    );
+    ZeroFaultRow {
+        graph: format!("zero_fault_gnp12/{scale}/shards{shards}"),
+        nodes: scale,
+        shards,
+        epochs: stream.len(),
+        base,
+        ft,
+        speedup,
+        identical: ok_base && ok_ft,
+    }
+}
+
+struct FailoverRow {
+    graph: String,
+    nodes: usize,
+    kill_epoch: u64,
+    recovery_batches: u64,
+    replayed: u64,
+    failover_us: f64,
+    steady: Percentiles,
+    revive_deferred: u64,
+    revive_us: f64,
+    identical: bool,
+}
+
+fn measure_failover(scale: usize, steps: usize, seed: u64) -> FailoverRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        32,
+        seed ^ 3,
+    );
+    let kill_epoch = steps as u64 / 2;
+    let config = ShardedConfig {
+        replicas: 1,
+        replica_lag: 4, // standby trails, so promotion must replay a suffix
+        fault_plan: FaultPlan::parse(&format!("seed=2,kill=0@{kill_epoch}"))
+            .expect("kill plan parses"),
+        ..ShardedConfig::default()
+    };
+    let mut svc = ShardedCoreService::with_config(&g, 4, config);
+    let mut steady = Percentiles::new();
+    let mut failover_us = 0.0;
+    let mut replayed = 0u64;
+    let mut recovery_batches = 0u64;
+    for b in &stream {
+        let before = svc.epoch();
+        let t = Instant::now();
+        let r = svc.apply_batch(b).expect("stream batches are valid");
+        let wall = t.elapsed().as_secs_f64() * 1e6;
+        if r.failovers > 0 {
+            failover_us = wall;
+            replayed = r.replayed;
+            // Recovery is bounded by the killing batch itself: the epoch
+            // still advances, so takeover cost one batch, not several.
+            recovery_batches = r.epoch - before;
+        } else {
+            steady.record(wall);
+        }
+    }
+    assert_eq!(recovery_batches, 1, "takeover must finish within its batch");
+
+    // Replica exhausted: the next kill downs the partition. Four batches
+    // defer, then one revive drains them all from the published snapshot.
+    assert!(!svc.kill_primary(0), "standby already consumed");
+    let revive_stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        4,
+        32,
+        seed ^ 11,
+    );
+    for b in &revive_stream {
+        let r = svc.apply_batch(b).expect("deferred batches still validate");
+        assert!(r.deferred);
+    }
+    let deferred = svc.backlog() as u64;
+    let t = Instant::now();
+    let drained = svc.revive_shard(0);
+    let revive_us = t.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(drained, deferred, "one revive drains the whole backlog");
+
+    let snap = svc.handle().snapshot();
+    let identical = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    println!(
+        "failover gnp12/{scale} x4: kill@{kill_epoch} recovered in {recovery_batches} batch \
+         ({replayed} replayed, {failover_us:.1}us vs steady p50 {:.1}us) | revive drained \
+         {drained} in {revive_us:.1}us | identical: {identical}",
+        steady.p50(),
+    );
+    FailoverRow {
+        graph: format!("failover_gnp12/{scale}/shards4"),
+        nodes: scale,
+        kill_epoch,
+        recovery_batches,
+        replayed,
+        failover_us,
+        steady,
+        revive_deferred: deferred,
+        revive_us,
+        identical,
+    }
+}
+
+struct ReadsRow {
+    graph: String,
+    nodes: usize,
+    queries: usize,
+    healthy_qps: f64,
+    degraded_qps: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn measure_degraded_reads(scale: usize, queries: usize, seed: u64) -> ReadsRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(&g, ChurnWorkload::Mixed { insert_pct: 55 }, 6, 32, seed ^ 5);
+    let mut svc = ShardedCoreService::with_config(&g, 2, ShardedConfig::default());
+    for b in &stream[..4] {
+        svc.apply_batch(b).expect("stream batches are valid");
+    }
+    let handle = svc.handle();
+    let n = g.node_count() as u32;
+    let qps = |label: &str| {
+        let t = Instant::now();
+        for i in 0..queries {
+            let snap = handle.snapshot();
+            std::hint::black_box(snap.coreness(NodeId(i as u32 % n)));
+        }
+        let rate = queries as f64 / t.elapsed().as_secs_f64();
+        println!("reads gnp12/{scale} x2 [{label}]: {rate:>12.0} qps");
+        rate
+    };
+    let healthy_qps = qps("healthy");
+    assert!(!svc.kill_primary(0), "no standby: partition downs");
+    for b in &stream[4..] {
+        assert!(svc.apply_batch(b).expect("validates").deferred);
+    }
+    let degraded_qps = qps("degraded");
+    let snap = handle.snapshot();
+    let identical = snap.values() == batagelj_zaversnik(snap.graph()).as_slice();
+    ReadsRow {
+        graph: format!("degraded_reads_gnp12/{scale}/shards2"),
+        nodes: scale,
+        queries,
+        healthy_qps,
+        degraded_qps,
+        speedup: degraded_qps / healthy_qps,
+        identical,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (zf_scale, zf_steps, fo_scale, fo_steps, rd_scale, rd_queries) = if quick {
+        (
+            6_000usize,
+            12usize,
+            4_000usize,
+            8usize,
+            4_000usize,
+            40_000usize,
+        )
+    } else {
+        (40_000, 24, 20_000, 16, 20_000, 200_000)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("fault-tolerance overhead and recovery ({cores} cores)...");
+
+    let zf = measure_zero_fault(zf_scale, 4, zf_steps, 42);
+    let fo = measure_failover(fo_scale, fo_steps, 77);
+    let rd = measure_degraded_reads(rd_scale, rd_queries, 99);
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR6\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"metric\": \"fault-tolerance overhead at 0% faults, failover recovery bounds, \
+         degraded-mode read throughput\",\n",
+    );
+    json.push_str("  \"engines\": [\"sharded_core_service_replicated\"],\n");
+    json.push_str("  \"results\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"graph\": \"{}\", \"nodes\": {}, \"shards\": {}, \"epochs\": {}, \
+         \"apply_base_p50_us\": {:.1}, \"apply_base_p99_us\": {:.1}, \
+         \"apply_ft_p50_us\": {:.1}, \"apply_ft_p99_us\": {:.1}, \
+         \"speedup_zero_fault\": {:.3}, \"identical_output\": {}}},",
+        zf.graph,
+        zf.nodes,
+        zf.shards,
+        zf.epochs,
+        zf.base.p50(),
+        zf.base.p99(),
+        zf.ft.p50(),
+        zf.ft.p99(),
+        zf.speedup,
+        zf.identical,
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"graph\": \"{}\", \"nodes\": {}, \"kill_epoch\": {}, \
+         \"recovery_batches\": {}, \"replayed_batches\": {}, \
+         \"failover_apply_us\": {:.1}, \"steady_apply_p50_us\": {:.1}, \
+         \"revive_deferred_batches\": {}, \"revive_us\": {:.1}, \
+         \"identical_output\": {}}},",
+        fo.graph,
+        fo.nodes,
+        fo.kill_epoch,
+        fo.recovery_batches,
+        fo.replayed,
+        fo.failover_us,
+        fo.steady.p50(),
+        fo.revive_deferred,
+        fo.revive_us,
+        fo.identical,
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"graph\": \"{}\", \"nodes\": {}, \"queries\": {}, \
+         \"healthy_qps\": {:.0}, \"degraded_qps\": {:.0}, \
+         \"speedup_degraded_reads\": {:.3}, \"identical_output\": {}}}",
+        rd.graph, rd.nodes, rd.queries, rd.healthy_qps, rd.degraded_qps, rd.speedup, rd.identical,
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR6.json");
+    println!("wrote {out_path}");
+
+    // Acceptance floors.
+    assert!(
+        zf.identical && fo.identical && rd.identical,
+        "a stitched epoch diverged from union-graph ground truth"
+    );
+    let floor = if quick { 0.85 } else { 0.95 };
+    assert!(
+        zf.speedup >= floor,
+        "zero-fault replication overhead: ratio {:.3} below the {floor} acceptance floor \
+         (>{:.0}% overhead)",
+        zf.speedup,
+        (1.0 / floor - 1.0) * 100.0
+    );
+    assert!(
+        rd.speedup >= 0.5,
+        "degraded-mode reads collapsed: {:.3}x of healthy throughput",
+        rd.speedup
+    );
+}

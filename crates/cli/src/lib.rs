@@ -83,10 +83,11 @@ USAGE:
                             [--engine batched|per-edge|warm-dist] [--threads T]
                             [--insert-pct P] [--report-json FILE] [--seed S]
   dkcore serve     <input> [--port P] [--batch B] [--steps S] [--shards S]
+                            [--replicas R] [--fault-plan SPEC]
                             [--workload ...] [--insert-pct P] [--interval-ms MS]
                             [--no-wait] [--seed S]
   dkcore query     --port P <coreness V | members K | subgraph K | hist |
-                             topk N | epoch | shutdown>
+                             topk N | epoch | health | shutdown>
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
   dkcore help
@@ -111,7 +112,13 @@ SERVE:
   the graph is partitioned over S shard writers that re-converge via
   border-estimate exchange; queries are answered by the stitching front
   end against a consistent vector of per-shard epochs — same protocol,
-  same answers.
+  same answers. `--replicas R` keeps R standby writers per partition so
+  a killed primary fails over by replaying the batch log; `--fault-plan`
+  injects deterministic faults into the border exchange for chaos runs,
+  e.g. `seed=7,drop=10,delay=5:3,kill=0@4` (drop/dup/delay are percents,
+  kill=SHARD@EPOCH[:ROUND], stall=SHARD@EPOCH:ROUNDS). `dkcore query
+  --port P health` reports writer/partition liveness and deferred-batch
+  lag without touching the query path.
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -583,9 +590,12 @@ pub fn cmd_stream<W: Write>(
 /// and reports per-epoch stats plus repair/publish-latency percentiles.
 /// With `shards > 1` the graph is partitioned over that many shard
 /// writers (`ShardedCoreService`) and queries are answered by the
-/// stitching front end; the wire protocol is identical. With `wait` the
-/// service then keeps serving queries until a client sends `SHUTDOWN`;
-/// otherwise it exits once the churn is exhausted.
+/// stitching front end; the wire protocol is identical. `replicas`
+/// standby writers per partition enable failover, and `fault_plan`
+/// (the `--fault-plan` spec; empty = no faults) injects deterministic
+/// drop/delay/duplicate/kill/stall faults into the border exchange.
+/// With `wait` the service then keeps serving queries until a client
+/// sends `SHUTDOWN`; otherwise it exits once the churn is exhausted.
 ///
 /// # Errors
 ///
@@ -598,6 +608,8 @@ pub fn cmd_serve<W: Write>(
     batch: usize,
     steps: usize,
     shards: usize,
+    replicas: usize,
+    fault_plan: &str,
     insert_pct: u32,
     interval_ms: u64,
     wait: bool,
@@ -605,11 +617,22 @@ pub fn cmd_serve<W: Write>(
     out: &mut W,
 ) -> Result<(), CliError> {
     use dkcore_metrics::Percentiles;
-    use dkcore_serve::{wire, CoreService, ShardedCoreService};
+    use dkcore_serve::{wire, CoreService, FaultPlan, ShardedConfig, ShardedCoreService};
 
     let g = load_input(input, seed)?;
     if g.node_count() < 2 {
         return Err(CliError::new("serve needs a graph with at least 2 nodes"));
+    }
+    let plan = if fault_plan.is_empty() {
+        FaultPlan::none()
+    } else {
+        FaultPlan::parse(fault_plan).map_err(|e| CliError::new(format!("--fault-plan: {e}")))?
+    };
+    if shards <= 1 && (replicas > 0 || !plan.is_none()) {
+        return Err(CliError::new(
+            "--replicas and --fault-plan require --shards > 1 (replication \
+             and fault injection live in the sharded backend)",
+        ));
     }
     let workload = parse_workload(workload, batch, g.node_count(), insert_pct)?;
     let stream = dkcore_data::churn_stream(&g, workload, steps, batch, seed);
@@ -621,7 +644,14 @@ pub fn cmd_serve<W: Write>(
         Sharded(Box<ShardedCoreService>),
     }
     let mut backend = if shards > 1 {
-        Backend::Sharded(Box::new(ShardedCoreService::new(&g, shards)))
+        let config = ShardedConfig {
+            replicas,
+            fault_plan: plan,
+            ..ShardedConfig::default()
+        };
+        Backend::Sharded(Box::new(ShardedCoreService::with_config(
+            &g, shards, config,
+        )))
     } else {
         Backend::Single(Box::new(CoreService::new(&g)))
     };
@@ -645,6 +675,8 @@ pub fn cmd_serve<W: Write>(
     let mut t = Table::new(["epoch", "inserts", "removals", "changed", "publish-us"]);
     let mut repair = Percentiles::new();
     let mut publish = Percentiles::new();
+    let mut failovers = 0u32;
+    let mut resends = 0u64;
     for b in &stream {
         let (epoch, changed, repair_us, publish_us) = match &mut backend {
             Backend::Single(svc) => {
@@ -657,6 +689,8 @@ pub fn cmd_serve<W: Write>(
                 let r = svc
                     .apply_batch(b)
                     .map_err(|e| CliError::new(e.to_string()))?;
+                failovers += r.failovers;
+                resends += r.resends;
                 (r.epoch, r.changed, r.repair_micros, r.publish_micros)
             }
         };
@@ -695,6 +729,12 @@ pub fn cmd_serve<W: Write>(
     )?;
     writeln!(out, "repair latency (us):  {repair}")?;
     writeln!(out, "publish latency (us): {publish}")?;
+    if failovers > 0 || resends > 0 {
+        writeln!(
+            out,
+            "fault recovery: {failovers} failovers, {resends} border resends"
+        )?;
+    }
     if !verified {
         return Err(CliError::new("served epoch diverged from ground truth"));
     }
@@ -714,20 +754,25 @@ pub fn cmd_serve<W: Write>(
 ///
 /// `args` is the query in CLI spelling, e.g. `["coreness", "5"]`,
 /// `["members", "3"]`, `["subgraph", "2"]`, `["hist"]`, `["topk", "10"]`,
-/// `["epoch"]`, `["shutdown"]`. Prints the wire response verbatim
-/// (`SUBGRAPH` bodies included).
+/// `["epoch"]`, `["health"]`, `["shutdown"]`. Prints the wire response
+/// verbatim (`SUBGRAPH` bodies included).
+///
+/// All requests run under a [`RetryPolicy`](dkcore_serve::RetryPolicy):
+/// per-operation I/O timeouts so a hung or mid-shutdown server fails the
+/// query in bounded time instead of blocking forever, plus a short
+/// reconnect-with-backoff loop for transient connection failures.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] for unknown queries, connection failures and
 /// `ERR` responses.
 pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), CliError> {
-    use dkcore_serve::wire::WireClient;
+    use dkcore_serve::wire::{RetryPolicy, WireClient};
 
     let Some((&verb, rest)) = args.split_first() else {
         return Err(CliError::new(
             "query needs a command: coreness V | members K | subgraph K | \
-             hist | topk N | epoch | shutdown",
+             hist | topk N | epoch | health | shutdown",
         ));
     };
     // Validate the query — arguments included — before touching the
@@ -754,18 +799,30 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
         "hist" => Request::Line("HIST".into()),
         "topk" => Request::Line(format!("TOPK {}", num("topk")?)),
         "epoch" => Request::Line("EPOCH".into()),
+        "health" => Request::Line("HEALTH".into()),
         "shutdown" => Request::Line("SHUTDOWN".into()),
         other => {
             return Err(CliError::new(format!(
-            "unknown query {other:?}; expected coreness|members|subgraph|hist|topk|epoch|shutdown"
+            "unknown query {other:?}; expected coreness|members|subgraph|hist|topk|epoch|health|shutdown"
         )))
         }
     };
-    let mut client = WireClient::connect(("127.0.0.1", port))
-        .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+    let policy = RetryPolicy::default();
     let lines = match request {
-        Request::Line(line) => vec![client.request(&line)?],
-        Request::Subgraph(k) => client.request_subgraph(k)?,
+        Request::Line(line) => {
+            vec![
+                WireClient::request_retrying(("127.0.0.1", port), &line, &policy)
+                    .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?,
+            ]
+        }
+        Request::Subgraph(k) => {
+            // Multi-line responses are not idempotently retryable at the
+            // request level (a retry could interleave with a half-read
+            // body), so only the connect is policy-governed here.
+            let mut client = WireClient::connect_with(("127.0.0.1", port), &policy)
+                .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+            client.request_subgraph(k)?
+        }
     };
     let failed = lines.first().is_some_and(|l| l.starts_with("ERR"));
     for line in &lines {
@@ -848,6 +905,8 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut out_path: Option<String> = None;
     let mut port = 0u16;
     let mut shards = 1usize;
+    let mut replicas = 0usize;
+    let mut fault_plan = String::new();
     let mut insert_pct = 60u32;
     let mut interval_ms = 0u64;
     let mut wait = true;
@@ -916,6 +975,12 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
                     return Err(CliError::new("--shards: need at least 1 shard"));
                 }
             }
+            "--replicas" => {
+                replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|_| CliError::new("--replicas: expected a number"))?
+            }
+            "--fault-plan" => fault_plan = value("--fault-plan")?,
             "--insert-pct" => {
                 insert_pct = value("--insert-pct")?
                     .parse()
@@ -982,6 +1047,8 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             batch,
             steps,
             shards,
+            replicas,
+            &fault_plan,
             insert_pct,
             interval_ms,
             wait,
@@ -1271,6 +1338,8 @@ mod tests {
                     8,
                     3,
                     1,
+                    0,
+                    "",
                     60,
                     0,
                     true, // keep serving until the SHUTDOWN query below
@@ -1316,6 +1385,8 @@ mod tests {
         assert_eq!(t.matches(':').count(), 3, "{t}");
         let s = run(&["query", "subgraph", "2", "--port", &port_s]).unwrap();
         assert!(s.starts_with("OK epoch=3 nodes="), "{s}");
+        let hl = run(&["query", "health", "--port", &port_s]).unwrap();
+        assert_eq!(hl.trim(), "OK epoch=3 status=healthy", "{hl}");
         // Bad queries surface the server's ERR.
         let err = run(&["query", "coreness", "99999", "--port", &port_s]).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
@@ -1341,6 +1412,8 @@ mod tests {
             6,
             2,
             1,
+            0,
+            "",
             60,
             0,
             false, // exit as soon as the churn is exhausted
@@ -1368,6 +1441,8 @@ mod tests {
                 8,
                 3,
                 shards,
+                0,
+                "",
                 60,
                 0,
                 false,
@@ -1387,6 +1462,63 @@ mod tests {
             .collect();
         let err = dispatch(&args, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn serve_with_replicas_and_fault_plan_recovers_and_verifies() {
+        // A scheduled primary kill at epoch 2 with one standby per
+        // partition: the run must fail over, finish all epochs, and
+        // still verify against ground truth.
+        let mut out = Vec::new();
+        cmd_serve(
+            "analog:gnutella-like:200",
+            0,
+            "mixed",
+            8,
+            4,
+            2,
+            1,
+            "seed=3,drop=10,kill=0@2",
+            60,
+            0,
+            false,
+            13,
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("final epoch 4"), "{text}");
+        assert!(text.contains("verified: true"), "{text}");
+        assert!(text.contains("fault recovery: 1 failovers"), "{text}");
+
+        // The fault knobs are sharded-only and validated up front.
+        for args in [
+            vec!["serve", "analog:gnutella-like:100", "--replicas", "1"],
+            vec![
+                "serve",
+                "analog:gnutella-like:100",
+                "--fault-plan",
+                "drop=5",
+            ],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let err = dispatch(&args, &mut Vec::new()).unwrap_err();
+            assert!(err.to_string().contains("--shards > 1"), "{err}");
+        }
+        // Malformed plans are rejected with the offending clause.
+        let args: Vec<String> = [
+            "serve",
+            "analog:gnutella-like:100",
+            "--shards",
+            "2",
+            "--fault-plan",
+            "drop=999",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = dispatch(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--fault-plan"), "{err}");
     }
 
     #[test]

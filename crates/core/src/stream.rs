@@ -200,6 +200,20 @@ impl EdgeBatch {
         self.insertions.is_empty() && self.removals.is_empty()
     }
 
+    /// The inverse batch: applying `self` then `self.inverse()` restores
+    /// the original edge set. Removals become insertions and vice versa.
+    ///
+    /// This is the replay/rollback hook for batch-log consumers: a
+    /// replica catching up replays logged batches forward, and a writer
+    /// aborting a failed batch attempt applies the inverse to roll its
+    /// adjacency back to the last published epoch.
+    pub fn inverse(&self) -> EdgeBatch {
+        EdgeBatch {
+            insertions: self.removals.clone(),
+            removals: self.insertions.clone(),
+        }
+    }
+
     /// Validates the batch against a graph with `n` nodes whose edge set
     /// is exposed through `has_edge`: all removals must name present
     /// edges, all insertions absent ones (unless the same batch also
@@ -1181,6 +1195,29 @@ mod tests {
         for v in 1..600u32 {
             assert!(a.has_edge(v as usize, 0));
         }
+    }
+
+    #[test]
+    fn inverse_batch_restores_the_edge_set() {
+        let g = gnp(80, 0.05, 9);
+        let mut sc = StreamCore::new(&g);
+        let mut b = EdgeBatch::new();
+        for (u, v) in [(NodeId(0), NodeId(79)), (NodeId(1), NodeId(78))] {
+            if g.neighbors(u).contains(&v) {
+                b.remove(u, v);
+            } else {
+                b.insert(u, v);
+            }
+        }
+        let removable: Vec<_> = g.edges().filter(|&(u, _)| u.0 >= 2).take(3).collect();
+        for (u, v) in removable {
+            b.remove(u, v);
+        }
+        sc.apply_batch(&b).unwrap();
+        sc.apply_batch(&b.inverse()).unwrap();
+        assert_eq!(sc.to_graph(), g);
+        assert_eq!(sc.values(), batagelj_zaversnik(&g).as_slice());
+        assert_eq!(b.inverse().inverse(), b);
     }
 
     #[test]

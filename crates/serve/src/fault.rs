@@ -1,0 +1,408 @@
+//! Deterministic fault injection for the sharded serving stack.
+//!
+//! A [`FaultPlan`] is a *seeded schedule* of faults: probabilistic
+//! message fates (drop / duplicate / delay) for the border-estimate
+//! exchange, plus one-shot writer faults (`kill`, `stall`) pinned to a
+//! specific shard, epoch, and optionally an exchange round. Because the
+//! schedule is driven by a seeded [`StdRng`], a run under a given plan
+//! is exactly reproducible — the chaos oracle and the CI seed matrix
+//! depend on this.
+//!
+//! # Which messages are faultable
+//!
+//! The sharded repair protocol (see [`crate::sharded`]) moves two kinds
+//! of inter-shard messages:
+//!
+//! - **Seed messages** at batch start, which *raise* a receiver's cached
+//!   bound for a border node back to a safe upper bound. These ride the
+//!   reliable control plane and are **never** faulted: the paper's
+//!   monotone-descent argument only tolerates stale values that are too
+//!   *high*. Losing a seed would leave a receiver computing from a bound
+//!   that is too low, and no amount of further descent can repair that.
+//! - **Drop announcements** during exchange rounds, which *lower* a
+//!   cached bound. These are the lossy data plane this module targets:
+//!   delivery applies `min`, so duplicates and reordering are idempotent
+//!   and a lost copy is safely re-sent (the value it carries is an upper
+//!   bound until it arrives).
+//!
+//! Writer faults model process death: a `kill` removes a shard's primary
+//! writer at a batch boundary (or after a given exchange round), and a
+//! `stall` makes a writer miss heartbeats for a number of rounds — if it
+//! misses more than the configured timeout it is declared dead and
+//! failover proceeds as for a kill.
+
+use rand::prelude::*;
+
+/// What the faulty transport decides to do with one border message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fate {
+    /// Deliver in the next round, as the fault-free transport would.
+    Deliver,
+    /// Lose this copy; the sender's retransmit timer will re-send it.
+    Drop,
+    /// Deliver in the next round and again one round later.
+    Duplicate,
+    /// Deliver after this many extra rounds.
+    Delay(u32),
+}
+
+/// A one-shot primary-writer kill: shard `shard` dies while working on
+/// `epoch` — at the batch boundary if `round` is `None`, otherwise right
+/// after exchange round `round` completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The shard whose primary dies.
+    pub shard: u32,
+    /// The epoch (batch number, 1-based) being attempted when it dies.
+    pub epoch: u64,
+    /// `None`: dies before the batch starts. `Some(r)`: dies after
+    /// exchange round `r` of that batch.
+    pub round: Option<u32>,
+}
+
+/// A one-shot writer stall: shard `shard` stops draining (and misses
+/// heartbeats) for `rounds` exchange rounds while working on `epoch`.
+/// If `rounds` exceeds the service's heartbeat timeout the writer is
+/// declared dead and failover runs; otherwise the round clock simply
+/// ticks until it wakes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpec {
+    /// The shard whose primary stalls.
+    pub shard: u32,
+    /// The epoch (batch number, 1-based) during which it stalls.
+    pub epoch: u64,
+    /// How many exchange rounds it stays unresponsive.
+    pub rounds: u32,
+}
+
+/// A seeded, deterministic fault schedule for the sharded service.
+///
+/// Built with [`FaultPlan::none`] (the default: a perfect network) or
+/// parsed from a spec string (see [`FaultPlan::parse`]); the CLI exposes
+/// the latter as `dkcore serve --fault-plan <SPEC>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (independent of workload seeds).
+    pub seed: u64,
+    /// Percentage (0–100) of round messages dropped in transit.
+    pub drop_pct: u32,
+    /// Percentage (0–100) of round messages delivered twice.
+    pub dup_pct: u32,
+    /// Percentage (0–100) of round messages delayed.
+    pub delay_pct: u32,
+    /// Maximum extra rounds a delayed message waits (uniform in
+    /// `1..=max_delay`).
+    pub max_delay: u32,
+    /// One-shot primary kills.
+    pub kills: Vec<KillSpec>,
+    /// One-shot primary stalls.
+    pub stalls: Vec<StallSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: every message delivered next round, no writer
+    /// faults. The sharded service treats this as the fast path.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_pct: 0,
+            dup_pct: 0,
+            delay_pct: 0,
+            max_delay: 0,
+            kills: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_pct == 0
+            && self.dup_pct == 0
+            && self.delay_pct == 0
+            && self.kills.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// True when any probabilistic message fault is configured.
+    pub(crate) fn has_message_faults(&self) -> bool {
+        self.drop_pct > 0 || self.dup_pct > 0 || self.delay_pct > 0
+    }
+
+    /// Parses a fault-plan spec string.
+    ///
+    /// The grammar is a comma-separated list of clauses:
+    ///
+    /// | clause        | meaning                                         |
+    /// |---------------|-------------------------------------------------|
+    /// | `none`        | the empty plan (must be the only clause)        |
+    /// | `seed=N`      | RNG seed for message fates (default 0)          |
+    /// | `drop=P`      | drop `P`% of round messages                     |
+    /// | `dup=P`       | duplicate `P`% of round messages                |
+    /// | `delay=P:D`   | delay `P`% of round messages by 1..=`D` rounds  |
+    /// | `kill=S@E`    | kill shard `S`'s primary entering epoch `E`     |
+    /// | `kill=S@E:R`  | kill shard `S`'s primary after round `R` of `E` |
+    /// | `stall=S@E:R` | stall shard `S` for `R` rounds during epoch `E` |
+    ///
+    /// Example: `seed=7,drop=20,delay=10:3,kill=1@5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        let mut plan = FaultPlan::none();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            let (key, val) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}`: expected key=value"))?;
+            match key {
+                "seed" => plan.seed = parse_num(clause, val)?,
+                "drop" => plan.drop_pct = parse_pct(clause, val)?,
+                "dup" => plan.dup_pct = parse_pct(clause, val)?,
+                "delay" => {
+                    let (p, d) = val.split_once(':').ok_or_else(|| {
+                        format!("fault clause `{clause}`: expected delay=PCT:ROUNDS")
+                    })?;
+                    plan.delay_pct = parse_pct(clause, p)?;
+                    plan.max_delay = parse_num(clause, d)?;
+                    if plan.delay_pct > 0 && plan.max_delay == 0 {
+                        return Err(format!("fault clause `{clause}`: delay of 0 rounds"));
+                    }
+                }
+                "kill" => {
+                    let (shard, epoch, round) = parse_site(clause, val)?;
+                    plan.kills.push(KillSpec {
+                        shard,
+                        epoch,
+                        round,
+                    });
+                }
+                "stall" => {
+                    let (shard, epoch, round) = parse_site(clause, val)?;
+                    let rounds = round.ok_or_else(|| {
+                        format!("fault clause `{clause}`: expected stall=SHARD@EPOCH:ROUNDS")
+                    })?;
+                    plan.stalls.push(StallSpec {
+                        shard,
+                        epoch,
+                        rounds,
+                    });
+                }
+                other => return Err(format!("unknown fault clause key `{other}` in `{clause}`")),
+            }
+        }
+        let budget = plan.drop_pct + plan.dup_pct + plan.delay_pct;
+        if budget > 100 {
+            return Err(format!("drop+dup+delay percentages exceed 100 ({budget})"));
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(clause: &str, val: &str) -> Result<T, String> {
+    val.parse()
+        .map_err(|_| format!("fault clause `{clause}`: bad number `{val}`"))
+}
+
+fn parse_pct(clause: &str, val: &str) -> Result<u32, String> {
+    let p: u32 = parse_num(clause, val)?;
+    if p > 100 {
+        return Err(format!("fault clause `{clause}`: {p}% out of range"));
+    }
+    Ok(p)
+}
+
+/// Parses `SHARD@EPOCH` or `SHARD@EPOCH:ROUND`.
+fn parse_site(clause: &str, val: &str) -> Result<(u32, u64, Option<u32>), String> {
+    let (shard, rest) = val
+        .split_once('@')
+        .ok_or_else(|| format!("fault clause `{clause}`: expected SHARD@EPOCH[:ROUND]"))?;
+    let shard = parse_num(clause, shard)?;
+    match rest.split_once(':') {
+        Some((epoch, round)) => Ok((
+            shard,
+            parse_num(clause, epoch)?,
+            Some(parse_num(clause, round)?),
+        )),
+        None => Ok((shard, parse_num(clause, rest)?, None)),
+    }
+}
+
+/// The live, mutable state of one plan: the fate RNG plus consumed-spec
+/// tracking, so each `kill`/`stall` fires exactly once even when the
+/// epoch is re-attempted after a rollback.
+#[derive(Debug)]
+pub(crate) struct FaultSession {
+    plan: FaultPlan,
+    rng: StdRng,
+    kill_used: Vec<bool>,
+    stall_used: Vec<bool>,
+}
+
+impl FaultSession {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed ^ 0xFA17_FA17_FA17_FA17);
+        let kill_used = vec![false; plan.kills.len()];
+        let stall_used = vec![false; plan.stalls.len()];
+        FaultSession {
+            plan,
+            rng,
+            kill_used,
+            stall_used,
+        }
+    }
+
+    /// Rolls the fate of one round message.
+    pub(crate) fn fate(&mut self) -> Fate {
+        if !self.plan.has_message_faults() {
+            return Fate::Deliver;
+        }
+        let roll = self.rng.random_range(0..100u32);
+        if roll < self.plan.drop_pct {
+            Fate::Drop
+        } else if roll < self.plan.drop_pct + self.plan.dup_pct {
+            Fate::Duplicate
+        } else if roll < self.plan.drop_pct + self.plan.dup_pct + self.plan.delay_pct {
+            Fate::Delay(self.rng.random_range(1..=self.plan.max_delay))
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Consumes a matching kill spec, if any: `round == None` matches
+    /// batch-boundary kills, `Some(r)` matches after-round-`r` kills.
+    pub(crate) fn take_kill(&mut self, shard: u32, epoch: u64, round: Option<u32>) -> bool {
+        for (i, k) in self.plan.kills.iter().enumerate() {
+            if !self.kill_used[i] && k.shard == shard && k.epoch == epoch && k.round == round {
+                self.kill_used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes a matching stall spec at batch start, returning how many
+    /// rounds the shard stays unresponsive.
+    pub(crate) fn take_stall(&mut self, shard: u32, epoch: u64) -> Option<u32> {
+        for (i, s) in self.plan.stalls.iter().enumerate() {
+            if !self.stall_used[i] && s.shard == shard && s.epoch == epoch {
+                self.stall_used[i] = true;
+                return Some(s.rounds);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_clause() {
+        let p = FaultPlan::parse("seed=7,drop=20,dup=5,delay=10:3,kill=1@5,kill=0@2:4,stall=2@9:6")
+            .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.drop_pct, 20);
+        assert_eq!(p.dup_pct, 5);
+        assert_eq!((p.delay_pct, p.max_delay), (10, 3));
+        assert_eq!(
+            p.kills,
+            vec![
+                KillSpec {
+                    shard: 1,
+                    epoch: 5,
+                    round: None
+                },
+                KillSpec {
+                    shard: 0,
+                    epoch: 2,
+                    round: Some(4)
+                },
+            ]
+        );
+        assert_eq!(
+            p.stalls,
+            vec![StallSpec {
+                shard: 2,
+                epoch: 9,
+                rounds: 6
+            }]
+        );
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn parse_accepts_none_and_empty() {
+        assert!(FaultPlan::parse("none").unwrap().is_none());
+        assert!(FaultPlan::parse("").unwrap().is_none());
+        assert!(FaultPlan::parse("  ").unwrap().is_none());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "drop",
+            "drop=abc",
+            "drop=120",
+            "delay=10",
+            "delay=10:0",
+            "kill=1",
+            "kill=1@x",
+            "stall=1@2",
+            "bogus=3",
+            "drop=60,dup=30,delay=20:2",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed_and_roughly_proportioned() {
+        let plan = FaultPlan::parse("seed=11,drop=20,dup=10,delay=10:4").unwrap();
+        let draw = |plan: &FaultPlan| {
+            let mut s = FaultSession::new(plan.clone());
+            (0..4000).map(|_| s.fate()).collect::<Vec<_>>()
+        };
+        let a = draw(&plan);
+        let b = draw(&plan);
+        assert_eq!(a, b, "same seed, same fate stream");
+        let drops = a.iter().filter(|f| **f == Fate::Drop).count();
+        let dups = a.iter().filter(|f| **f == Fate::Duplicate).count();
+        let delays = a.iter().filter(|f| matches!(f, Fate::Delay(_))).count();
+        assert!((600..=1000).contains(&drops), "drops {drops}");
+        assert!((250..=550).contains(&dups), "dups {dups}");
+        assert!((250..=550).contains(&delays), "delays {delays}");
+        assert!(a
+            .iter()
+            .all(|f| !matches!(f, Fate::Delay(d) if *d == 0 || *d > 4)));
+
+        let other = FaultPlan::parse("seed=12,drop=20,dup=10,delay=10:4").unwrap();
+        assert_ne!(draw(&other), a, "different seed, different stream");
+    }
+
+    #[test]
+    fn kill_and_stall_specs_fire_exactly_once() {
+        let plan = FaultPlan::parse("kill=1@5,kill=1@5:2,stall=0@3:4").unwrap();
+        let mut s = FaultSession::new(plan);
+        assert!(!s.take_kill(1, 4, None));
+        assert!(!s.take_kill(0, 5, None));
+        assert!(s.take_kill(1, 5, None));
+        assert!(!s.take_kill(1, 5, None), "consumed");
+        assert!(!s.take_kill(1, 5, Some(1)));
+        assert!(s.take_kill(1, 5, Some(2)));
+        assert_eq!(s.take_stall(0, 3), Some(4));
+        assert_eq!(s.take_stall(0, 3), None, "consumed");
+    }
+}

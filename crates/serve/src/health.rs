@@ -1,0 +1,152 @@
+//! Writer-health reporting for the serving layer.
+//!
+//! Readers are lock-free and keep answering from the last published
+//! epoch no matter what happens to the writer — which means writer
+//! death is otherwise *invisible* to them: queries succeed, the epoch
+//! just silently stops advancing. The [`HealthReport`] published here
+//! (and exposed over the wire `HEALTH` verb) makes that state
+//! observable: a panicked writer poisons the report, and the sharded
+//! service reports per-partition liveness, replica counts, and how many
+//! validated batches a downed partition is lagging behind.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Health of one shard partition of the sharded service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Partition index.
+    pub shard: u32,
+    /// Whether the partition currently has a live primary writer.
+    pub primary_alive: bool,
+    /// Standby replicas remaining for this partition.
+    pub replicas: usize,
+    /// Validated batches accepted into the log but not yet reflected in
+    /// the published epoch because this partition is down. Zero for a
+    /// healthy partition.
+    pub epoch_lag: u64,
+}
+
+/// Point-in-time health of a serving backend, as published by the
+/// writer and observed through `ServiceHandle::health` /
+/// `ShardedHandle::health` or the wire `HEALTH` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// False once the owning writer has panicked (the epoch will never
+    /// advance again).
+    pub writer_alive: bool,
+    /// The epoch the report describes.
+    pub epoch: u64,
+    /// Per-partition health; empty for the single-writer service.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthReport {
+    /// A fresh all-healthy report at `epoch` with `shards` partitions
+    /// (`0` for the single-writer service).
+    pub(crate) fn healthy(epoch: u64, shards: usize) -> Self {
+        HealthReport {
+            writer_alive: true,
+            epoch,
+            shards: (0..shards as u32)
+                .map(|shard| ShardHealth {
+                    shard,
+                    primary_alive: true,
+                    replicas: 0,
+                    epoch_lag: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// True when reads are served from a stale-but-consistent epoch:
+    /// the writer is dead, or some partition has no live primary.
+    pub fn is_degraded(&self) -> bool {
+        !self.writer_alive || self.shards.iter().any(|s| !s.primary_alive)
+    }
+
+    /// The wire-protocol status payload (everything after `epoch=`):
+    /// `status=healthy`, `status=writer-dead`, or
+    /// `status=degraded down=<shard>:<lag>[,...]` naming every partition
+    /// without a live primary and its epoch lag.
+    pub fn status_line(&self) -> String {
+        if !self.writer_alive {
+            return "status=writer-dead".to_string();
+        }
+        let down: Vec<String> = self
+            .shards
+            .iter()
+            .filter(|s| !s.primary_alive)
+            .map(|s| format!("{}:{}", s.shard, s.epoch_lag))
+            .collect();
+        if down.is_empty() {
+            "status=healthy".to_string()
+        } else {
+            format!("status=degraded down={}", down.join(","))
+        }
+    }
+}
+
+/// Shared health slot between a writer and its reader handles. A plain
+/// mutex is fine here: health is read on demand (one wire verb, tests),
+/// not on the query fast path.
+#[derive(Debug)]
+pub(crate) struct HealthCell {
+    inner: Mutex<HealthReport>,
+}
+
+impl HealthCell {
+    pub(crate) fn new(report: HealthReport) -> Arc<Self> {
+        Arc::new(HealthCell {
+            inner: Mutex::new(report),
+        })
+    }
+
+    pub(crate) fn load(&self) -> HealthReport {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    pub(crate) fn store(&self, report: HealthReport) {
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = report;
+    }
+
+    /// Marks the owning writer as dead; called from panic paths, so it
+    /// must not itself panic on a poisoned lock.
+    pub(crate) fn poison_writer(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .writer_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_lines_cover_all_states() {
+        let mut r = HealthReport::healthy(3, 2);
+        assert!(!r.is_degraded());
+        assert_eq!(r.status_line(), "status=healthy");
+
+        r.shards[1].primary_alive = false;
+        r.shards[1].epoch_lag = 4;
+        assert!(r.is_degraded());
+        assert_eq!(r.status_line(), "status=degraded down=1:4");
+
+        r.writer_alive = false;
+        assert_eq!(r.status_line(), "status=writer-dead");
+    }
+
+    #[test]
+    fn cell_poisoning_is_visible_to_loads() {
+        let cell = HealthCell::new(HealthReport::healthy(0, 0));
+        assert!(cell.load().writer_alive);
+        cell.poison_writer();
+        assert!(!cell.load().writer_alive);
+        assert!(cell.load().is_degraded());
+    }
+}

@@ -59,6 +59,28 @@
 //! [`EpochView`]; the in-process handles are what benches and embedding
 //! applications use directly.
 //!
+//! # Fault tolerance
+//!
+//! The sharded service is built to keep answering — exactly — through
+//! writer failures. Each partition can run standby [`sharded::Replica`
+//! writers](sharded#failure-model) (configured via [`ShardedConfig`]):
+//! when a primary dies (panic, injected kill, or missed heartbeats) the
+//! in-flight batch rolls back to the published epoch, a replica replays
+//! the validated batch log up to the published per-shard epoch vector,
+//! and the batch is re-attempted. The border-estimate exchange runs
+//! over a fault-injectable transport ([`FaultPlan`]: seeded
+//! deterministic drop / duplicate / delay / kill / stall schedules)
+//! with retransmission and exponential backoff. When a partition has no
+//! writer left the service **degrades instead of blocking**: batches
+//! are validated and deferred, readers keep the last consistent
+//! stitched epoch, and the condition is observable through
+//! [`HealthReport`] (handles' `health()`, the wire `HEALTH` verb).
+//! `tests/chaos_oracle.rs` asserts that under every seeded fault plan
+//! all observable epochs still equal fresh Batagelj–Zaveršnik on the
+//! union graph. The full failure model — and why seed messages must be
+//! reliable while round messages may be lossy — is documented in the
+//! [`sharded`] and [`fault`] module docs.
+//!
 //! # Example
 //!
 //! ```
@@ -85,13 +107,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
+mod health;
 mod service;
 pub mod sharded;
 mod snapshot;
 mod view;
 pub mod wire;
 
+pub use fault::{FaultPlan, KillSpec, StallSpec};
+pub use health::{HealthReport, ShardHealth};
 pub use service::{CoreService, PublishReport, ServiceHandle};
-pub use sharded::{ShardedCoreService, ShardedHandle, ShardedPublishReport, StitchedSnapshot};
+pub use sharded::{
+    ShardedConfig, ShardedCoreService, ShardedHandle, ShardedPublishReport, StitchedSnapshot,
+};
 pub use snapshot::CoreSnapshot;
 pub use view::{EpochView, SnapshotSource};
+pub use wire::{serve, RetryPolicy, WireClient, WireServer};

@@ -1,5 +1,6 @@
 //! The single-writer service and its lock-free reader handles.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
@@ -8,6 +9,7 @@ use dkcore::dynamic::MutationError;
 use dkcore::stream::{BatchStats, EdgeBatch, StreamCore};
 use dkcore_graph::Graph;
 
+use crate::health::{HealthCell, HealthReport};
 use crate::snapshot::CoreSnapshot;
 
 /// Double-buffered epoch publication cell, shared by the single-writer
@@ -89,6 +91,20 @@ pub struct CoreService {
     /// can [`advance`](CoreSnapshot::advance) incrementally instead of
     /// rebuilding `O(N + M)` state.
     latest: Arc<CoreSnapshot>,
+    health: Arc<HealthCell>,
+}
+
+impl Drop for CoreService {
+    /// A writer thread that panics drops the service mid-unwind.
+    /// Readers keep answering from the last published epoch either way;
+    /// this flags the death so they can *observe* it through
+    /// [`ServiceHandle::health`] instead of watching the epoch silently
+    /// stop advancing.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.health.poison_writer();
+        }
+    }
 }
 
 // EpochCell has no Debug; keep the service's Debug useful by hand.
@@ -111,6 +127,7 @@ impl CoreService {
             cell: Arc::new(EpochCell::new(initial.clone())),
             epoch: 0,
             latest: initial,
+            health: HealthCell::new(HealthReport::healthy(0, 0)),
         }
     }
 
@@ -119,6 +136,7 @@ impl CoreService {
     pub fn handle(&self) -> ServiceHandle {
         ServiceHandle {
             cell: self.cell.clone(),
+            health: self.health.clone(),
         }
     }
 
@@ -150,7 +168,15 @@ impl CoreService {
     /// Returns the [`MutationError`] from batch validation.
     pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<PublishReport, MutationError> {
         let t0 = Instant::now();
-        let stats = self.core.apply_batch(batch)?;
+        // A panic inside repair means the writer is gone; make that
+        // observable to health readers before the unwind continues.
+        let stats = match catch_unwind(AssertUnwindSafe(|| self.core.apply_batch(batch))) {
+            Ok(result) => result?,
+            Err(payload) => {
+                self.health.poison_writer();
+                resume_unwind(payload);
+            }
+        };
         let repair_micros = t0.elapsed().as_secs_f64() * 1e6;
 
         let t1 = Instant::now();
@@ -158,6 +184,7 @@ impl CoreService {
         let snapshot = Arc::new(self.latest.advance(self.epoch, &self.core, batch));
         self.latest = snapshot.clone();
         self.cell.publish(snapshot, self.epoch);
+        self.health.store(HealthReport::healthy(self.epoch, 0));
         let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
 
         Ok(PublishReport {
@@ -174,6 +201,7 @@ impl CoreService {
 #[derive(Debug, Clone)]
 pub struct ServiceHandle {
     cell: Arc<EpochCell<CoreSnapshot>>,
+    health: Arc<HealthCell>,
 }
 
 impl ServiceHandle {
@@ -187,6 +215,13 @@ impl ServiceHandle {
     /// The latest published epoch number, without loading a snapshot.
     pub fn epoch(&self) -> u64 {
         self.cell.epoch()
+    }
+
+    /// The writer's health: `writer_alive` goes false when the writer
+    /// thread panicked (queries still answer from the last epoch, but
+    /// it will never advance again).
+    pub fn health(&self) -> HealthReport {
+        self.health.load()
     }
 }
 
@@ -278,6 +313,34 @@ mod tests {
                 "epoch {i}"
             );
         }
+    }
+
+    #[test]
+    fn poisoned_writer_is_observable_through_health() {
+        // Readers keep serving the stale epoch after the writer thread
+        // panics — satellite requirement: that state must be visible.
+        let g = gnp(40, 0.1, 2);
+        let svc = CoreService::new(&g);
+        let handle = svc.handle();
+        assert!(handle.health().writer_alive);
+        assert!(!handle.health().is_degraded());
+
+        let writer = std::thread::spawn(move || {
+            let mut svc = svc;
+            let mut b = EdgeBatch::new();
+            b.insert(NodeId(0), NodeId(1));
+            let _ = svc.apply_batch(&b);
+            panic!("injected writer death");
+        });
+        assert!(writer.join().is_err(), "writer must die");
+
+        let h = handle.health();
+        assert!(!h.writer_alive, "death must be observable");
+        assert!(h.is_degraded());
+        assert_eq!(h.status_line(), "status=writer-dead");
+        // Queries still answer from the last published epoch.
+        assert_eq!(handle.epoch(), 1);
+        assert!(handle.snapshot().coreness(NodeId(0)).is_some());
     }
 
     #[test]

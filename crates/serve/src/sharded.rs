@@ -46,10 +46,53 @@
 //! top-k, induced subgraphs) is answered against one pinned stitched
 //! epoch, with cross-shard results merged in global id order.
 //!
+//! # Failure model
+//!
+//! The service tolerates (and [`crate::fault`] deterministically
+//! injects) three failure classes, all scoped to one batch attempt:
+//!
+//! - **Lossy border exchange.** Round messages (estimate drops) may be
+//!   dropped, duplicated, or delayed. Delivery applies `min` to the
+//!   border cache, so duplicates and reordering are no-ops and a stale
+//!   higher value is merely an upper bound — the paper's safety
+//!   argument. Dropped copies are re-sent with exponential backoff;
+//!   quiescence additionally requires an empty network, so a round
+//!   cannot end with a drop in flight. Seed messages (which *raise*
+//!   bounds at batch start) ride the reliable control plane and are
+//!   never faulted: a lost raise would leave a neighbor computing from
+//!   a too-low bound that monotone descent can never repair.
+//! - **Primary death.** A shard's primary writer can die at a batch
+//!   boundary, after an exchange round (injected kill, or a real panic
+//!   caught from its drain thread), or by missing more than
+//!   `heartbeat_timeout` round heartbeats (injected stall). The whole
+//!   batch attempt rolls back — mutations inverted, estimates restored
+//!   from the epoch change log, border caches reset to the exact
+//!   between-epoch coreness — and a standby [`Replica`] is promoted:
+//!   it replays the validated batch log from its applied epoch up to
+//!   the published epoch vector (its adjacency then equals the
+//!   published [`StitchedSnapshot`]'s), rebuilds estimates and border
+//!   cache from the coordinator's exact `global_core`, and the batch is
+//!   re-attempted. Because everything is restored to the last published
+//!   epoch first, failover is invisible to readers except as latency.
+//! - **Partition loss (degraded mode).** When a primary dies with no
+//!   standby left, the partition is down: validated batches are
+//!   accepted into the log but *deferred* (the published epoch
+//!   freezes), readers keep answering from the last consistent
+//!   stitched epoch, and health reports `DEGRADED(shard, epoch_lag)`.
+//!   [`ShardedCoreService::revive_shard`] rebuilds the partition from
+//!   its published snapshot chunks plus `global_core`, restocks
+//!   replicas, and drains the backlog — recovery is bounded by the
+//!   number of deferred batches.
+//!
+//! `tests/chaos_oracle.rs` drives churn under seeded fault plans and
+//! checks that every observable stitched epoch still equals fresh
+//! Batagelj–Zaveršnik on the union graph.
+//!
 //! [`CoreService`]: crate::CoreService
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -60,8 +103,20 @@ use dkcore::seq::batagelj_zaversnik;
 use dkcore::stream::{candidate_regions, AdjacencyArena, EdgeBatch};
 use dkcore_graph::{Graph, NodeId};
 
+use crate::fault::{Fate, FaultPlan, FaultSession};
+use crate::health::{HealthCell, HealthReport, ShardHealth};
 use crate::service::EpochCell;
 use crate::snapshot::{apply_shell_change, trim_shells, AdjChunk, ChunkedU32, ADJ_CHUNK};
+
+/// A batch attempt is aborted and retried at most this many times
+/// before the fault plan is declared unsatisfiable.
+const MAX_BATCH_ATTEMPTS: u32 = 5;
+/// A single border message is (re-)sent at most this many times before
+/// the attempt is aborted and re-run.
+const MAX_SEND_ATTEMPTS: u32 = 12;
+/// Hard safety cap on exchange rounds per attempt (never reached by a
+/// satisfiable plan; guards against a runaway injected schedule).
+const MAX_ROUNDS: u32 = 100_000;
 
 /// Node → (shard, local slot) tables shared by the shards, the
 /// coordinator, and every stitched snapshot.
@@ -76,6 +131,7 @@ struct ShardMap {
 /// One estimate-drop message of the border exchange: `source` (owned by
 /// the sending shard) dropped to `est`; `target` (owned by the receiving
 /// shard) neighbors it and must be re-examined.
+#[derive(Debug, Clone, Copy)]
 struct BorderMsg {
     dest: u32,
     target: u32,
@@ -344,15 +400,155 @@ fn shard_slot(shard: &Shard, u: u32) -> usize {
         .expect("change log only names owned nodes")
 }
 
-/// Report of one applied-and-published batch on the sharded service.
+/// Configuration of the sharded service beyond the shard count:
+/// assignment policy, replication factor, and the fault machinery.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Node-to-shard assignment policy (default: the paper's modulo).
+    pub policy: AssignmentPolicy,
+    /// Standby replicas per partition (default 0: no failover, a dead
+    /// primary puts its partition straight into degraded mode).
+    pub replicas: usize,
+    /// Seeded fault schedule (default [`FaultPlan::none`]).
+    pub fault_plan: FaultPlan,
+    /// Round heartbeats a primary may miss before it is declared dead
+    /// (default 3).
+    pub heartbeat_timeout: u32,
+    /// Replicas replay the batch log once they trail the published
+    /// epoch by this many batches (default 1: every epoch; larger lags
+    /// make promotion replay longer log suffixes).
+    pub replica_lag: u64,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            policy: AssignmentPolicy::Modulo,
+            replicas: 0,
+            fault_plan: FaultPlan::none(),
+            heartbeat_timeout: 3,
+            replica_lag: 1,
+        }
+    }
+}
+
+/// A standby writer for one partition: a copy of the partition's
+/// adjacency kept `applied_epoch`-current by replaying the validated
+/// batch log. Estimates and the border cache are *not* replicated —
+/// promotion rebuilds both from the coordinator's exact between-epoch
+/// `global_core`, which is the published truth anyway.
+#[derive(Debug)]
+struct Replica {
+    applied_epoch: u64,
+    adj: AdjacencyArena,
+}
+
+/// Why a batch attempt was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptError {
+    /// Shard's primary died (panic, injected kill, or heartbeat loss).
+    Dead(usize),
+    /// The network schedule exhausted a message's send attempts (or the
+    /// round safety cap); retrying re-rolls the fates.
+    Stuck,
+}
+
+/// Counters from one successful batch attempt.
+struct AttemptOutcome {
+    rounds: u32,
+    messages: u64,
+    resends: u64,
+}
+
+/// The in-process "network" for one batch attempt: fresh, delayed and
+/// duplicated copies in flight, plus a retransmit buffer with
+/// exponential backoff for dropped copies. Dropped wholesale when an
+/// attempt aborts, so a rolled-back epoch leaves no message in flight.
+struct BorderNet {
+    /// `(deliver_round, message)` copies in flight.
+    inflight: Vec<(u32, BorderMsg)>,
+    /// `(resend_round, failed_sends, message)` awaiting retransmission.
+    retrans: Vec<(u32, u32, BorderMsg)>,
+    resends: u64,
+    /// Set when a message exhausts [`MAX_SEND_ATTEMPTS`].
+    stuck: bool,
+}
+
+impl BorderNet {
+    fn new() -> Self {
+        BorderNet {
+            inflight: Vec::new(),
+            retrans: Vec::new(),
+            resends: 0,
+            stuck: false,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.inflight.is_empty() && self.retrans.is_empty()
+    }
+
+    /// Routes one copy of `m` sent during `round` through the fault
+    /// plan. `failed` counts this message's prior dropped sends.
+    fn send(&mut self, m: BorderMsg, round: u32, faults: &mut FaultSession, failed: u32) {
+        match faults.fate() {
+            Fate::Deliver => self.inflight.push((round, m)),
+            Fate::Duplicate => {
+                self.inflight.push((round, m));
+                self.inflight.push((round + 1, m));
+            }
+            Fate::Delay(d) => self.inflight.push((round + d, m)),
+            Fate::Drop => {
+                let failed = failed + 1;
+                if failed >= MAX_SEND_ATTEMPTS {
+                    self.stuck = true;
+                } else {
+                    // Exponential backoff: resend after 1, 2, 4, 8, 8 …
+                    // rounds.
+                    let wait = (1u32 << (failed - 1).min(3)).min(8);
+                    self.retrans.push((round + wait, failed, m));
+                }
+            }
+        }
+    }
+
+    /// Re-sends due retransmits (re-rolling their fates), then takes
+    /// every copy due for delivery by `round`.
+    fn pump(&mut self, round: u32, faults: &mut FaultSession) -> Vec<BorderMsg> {
+        let mut i = 0;
+        while i < self.retrans.len() {
+            if self.retrans[i].0 <= round {
+                let (_, failed, m) = self.retrans.swap_remove(i);
+                self.resends += 1;
+                self.send(m, round, faults, failed);
+            } else {
+                i += 1;
+            }
+        }
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].0 <= round {
+                due.push(self.inflight.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+}
+
+/// Report of one applied-and-published (or deferred) batch on the
+/// sharded service.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardedPublishReport {
-    /// The epoch the batch was published as.
+    /// The epoch the batch was published as (the previous epoch when
+    /// `deferred`).
     pub epoch: u64,
     /// Border-exchange rounds until quiescence (0 when nothing crossed a
     /// shard boundary).
     pub rounds: u32,
-    /// Border messages exchanged.
+    /// Border messages exchanged (first copies; see `resends`).
     pub messages: u64,
     /// Nodes whose coreness changed.
     pub changed: usize,
@@ -361,6 +557,17 @@ pub struct ShardedPublishReport {
     /// Time spent building and swapping the stitched epoch, in
     /// microseconds.
     pub publish_micros: f64,
+    /// True when the batch was validated and logged but not applied
+    /// because a partition has no live writer; the published epoch is
+    /// unchanged and the batch waits in the backlog.
+    pub deferred: bool,
+    /// Primary deaths failed over to a replica while applying this
+    /// batch.
+    pub failovers: u32,
+    /// Log batches replayed by replica promotions for this batch.
+    pub replayed: u64,
+    /// Border-message retransmissions (dropped copies re-sent).
+    pub resends: u64,
 }
 
 /// The sharded multi-writer core-number service. See the
@@ -374,6 +581,30 @@ pub struct ShardedCoreService {
     epoch: u64,
     edges: usize,
     cell: Arc<EpochCell<StitchedSnapshot>>,
+    /// Every validated batch, in order: the replicated log replicas
+    /// replay and the backlog degraded mode defers
+    /// (`log[epoch..]` is the backlog).
+    log: Vec<EdgeBatch>,
+    /// Standby replicas per partition.
+    replicas: Vec<Vec<Replica>>,
+    /// Partitions with no live primary (degraded mode).
+    down: Vec<bool>,
+    faults: FaultSession,
+    replica_target: usize,
+    replica_lag: u64,
+    heartbeat_timeout: u32,
+    health: Arc<HealthCell>,
+}
+
+impl Drop for ShardedCoreService {
+    /// A writer thread that panics drops the service mid-unwind; flag
+    /// that so readers holding health handles can observe the death
+    /// instead of watching the epoch silently stop advancing.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.health.poison_writer();
+        }
+    }
 }
 
 impl std::fmt::Debug for ShardedCoreService {
@@ -404,8 +635,25 @@ impl ShardedCoreService {
     ///
     /// Panics if `shard_count == 0`.
     pub fn with_assignment(g: &Graph, shard_count: usize, policy: &AssignmentPolicy) -> Self {
+        Self::with_config(
+            g,
+            shard_count,
+            ShardedConfig {
+                policy: policy.clone(),
+                ..ShardedConfig::default()
+            },
+        )
+    }
+
+    /// Builds the service with a full [`ShardedConfig`]: assignment
+    /// policy, standby replicas per partition, and a seeded fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_config(g: &Graph, shard_count: usize, config: ShardedConfig) -> Self {
         let n = g.node_count();
-        let assignment = Assignment::new(g, shard_count, policy);
+        let assignment = Assignment::new(g, shard_count, &config.policy);
         let global_core = batagelj_zaversnik(g);
 
         let mut owner = vec![0u32; n];
@@ -428,41 +676,19 @@ impl ShardedCoreService {
                         .map(|v| v.0)
                         .collect::<Vec<_>>()
                 }));
-                let est: Vec<u32> = owned.iter().map(|&u| global_core[u as usize]).collect();
-                let mut remote_est: HashMap<u32, BorderEntry> = HashMap::new();
-                for &u in &owned {
-                    for &v in g.neighbors(NodeId(u)) {
-                        if map.owner[v.index()] != h.0 {
-                            remote_est
-                                .entry(v.0)
-                                .or_insert(BorderEntry {
-                                    est: global_core[v.index()],
-                                    refs: 0,
-                                })
-                                .refs += 1;
-                        }
-                    }
-                }
-                let count = owned.len();
-                let mut shard = Shard {
-                    owned,
-                    adj,
-                    est,
-                    remote_est,
-                    queue: VecDeque::new(),
-                    queued: vec![false; count],
-                    epoch_mark: vec![u64::MAX; count],
-                    epoch_old: vec![0; count],
-                    epoch_touched: Vec::new(),
-                    snapshot: Arc::new(ShardSnapshot {
-                        coreness: ChunkedU32::default(),
-                        degrees: ChunkedU32::default(),
-                        adj: Vec::new(),
-                        shell_sizes: vec![0],
-                    }),
-                };
-                shard.snapshot = Arc::new(ShardSnapshot::capture(&shard));
-                shard
+                Self::build_shard(h.0, owned, adj, &global_core, &map, None)
+            })
+            .collect();
+
+        let replicas: Vec<Vec<Replica>> = shards
+            .iter()
+            .map(|s| {
+                (0..config.replicas)
+                    .map(|_| Replica {
+                        applied_epoch: 0,
+                        adj: s.adj.clone(),
+                    })
+                    .collect()
             })
             .collect();
 
@@ -473,14 +699,81 @@ impl ShardedCoreService {
             map.clone(),
             shards.iter().map(|s| s.snapshot.clone()).collect(),
         ));
-        ShardedCoreService {
+        let down = vec![false; shards.len()];
+        let svc = ShardedCoreService {
             shards,
             map,
             global_core,
             epoch: 0,
             edges: g.edge_count(),
             cell: Arc::new(EpochCell::new(latest)),
+            log: Vec::new(),
+            replicas,
+            down,
+            faults: FaultSession::new(config.fault_plan),
+            replica_target: config.replicas,
+            replica_lag: config.replica_lag.max(1),
+            heartbeat_timeout: config.heartbeat_timeout,
+            health: HealthCell::new(HealthReport::healthy(0, shard_count)),
+        };
+        svc.refresh_health();
+        svc
+    }
+
+    /// Assembles a live [`Shard`] for partition `me` from an adjacency
+    /// arena and the exact between-epoch coreness: estimates come from
+    /// `global_core`, the border cache is rebuilt by scanning the arcs,
+    /// and `snapshot` (when given) chains the new shard onto the
+    /// partition's published snapshot history. This is the shared core
+    /// of construction, replica promotion, and degraded-mode revival.
+    fn build_shard(
+        me: u32,
+        owned: Vec<u32>,
+        adj: AdjacencyArena,
+        global_core: &[u32],
+        map: &ShardMap,
+        snapshot: Option<Arc<ShardSnapshot>>,
+    ) -> Shard {
+        let count = owned.len();
+        let est: Vec<u32> = owned.iter().map(|&u| global_core[u as usize]).collect();
+        let mut remote_est: HashMap<u32, BorderEntry> = HashMap::new();
+        for s in 0..count {
+            for &v in adj.neighbors(s) {
+                if map.owner[v as usize] != me {
+                    remote_est
+                        .entry(v)
+                        .or_insert(BorderEntry {
+                            est: global_core[v as usize],
+                            refs: 0,
+                        })
+                        .refs += 1;
+                }
+            }
         }
+        let capture = snapshot.is_none();
+        let mut shard = Shard {
+            owned,
+            adj,
+            est,
+            remote_est,
+            queue: VecDeque::new(),
+            queued: vec![false; count],
+            epoch_mark: vec![u64::MAX; count],
+            epoch_old: vec![0; count],
+            epoch_touched: Vec::new(),
+            snapshot: snapshot.unwrap_or_else(|| {
+                Arc::new(ShardSnapshot {
+                    coreness: ChunkedU32::default(),
+                    degrees: ChunkedU32::default(),
+                    adj: Vec::new(),
+                    shell_sizes: vec![0],
+                })
+            }),
+        };
+        if capture {
+            shard.snapshot = Arc::new(ShardSnapshot::capture(&shard));
+        }
+        shard
     }
 
     /// Number of shards.
@@ -497,26 +790,137 @@ impl ShardedCoreService {
     pub fn handle(&self) -> ShardedHandle {
         ShardedHandle {
             cell: self.cell.clone(),
+            health: self.health.clone(),
         }
     }
 
-    /// Whether the union graph currently has the edge `{u, v}`.
+    /// Whether the union graph *logically* has the edge `{u, v}`:
+    /// the published state of the owning partition overlaid with the
+    /// deferred backlog, so validation stays consistent while a
+    /// partition is down.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        if u.index() >= self.map.owner.len() {
+        let n = self.map.owner.len();
+        if u.index() >= n || v.index() >= n {
             return false;
         }
-        let shard = &self.shards[self.map.owner[u.index()] as usize];
-        shard
-            .adj
-            .neighbors(self.map.slot[u.index()] as usize)
-            .binary_search(&v.0)
-            .is_ok()
+        // Backlog overlay, newest first: a deferred batch already
+        // decided this edge's fate.
+        fn has_pair(list: &[(NodeId, NodeId)], u: NodeId, v: NodeId) -> bool {
+            list.iter()
+                .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        }
+        for b in self.log[self.epoch as usize..].iter().rev() {
+            if has_pair(b.insertions(), u, v) {
+                return true;
+            }
+            if has_pair(b.removals(), u, v) {
+                return false;
+            }
+        }
+        let owner = self.map.owner[u.index()] as usize;
+        let slot = self.map.slot[u.index()] as usize;
+        if self.down[owner] {
+            // The tombstoned arena is empty; answer from the published
+            // local snapshot (which is what revival rebuilds from).
+            self.shards[owner]
+                .snapshot
+                .neighbors_at(slot)
+                .binary_search(&v.0)
+                .is_ok()
+        } else {
+            self.shards[owner]
+                .adj
+                .neighbors(slot)
+                .binary_search(&v.0)
+                .is_ok()
+        }
+    }
+
+    /// Validated batches not yet reflected in the published epoch
+    /// (non-zero only while a partition is down).
+    pub fn backlog(&self) -> usize {
+        self.log.len() - self.epoch as usize
+    }
+
+    /// Standby replicas currently available for `shard`.
+    pub fn replica_count(&self, shard: usize) -> usize {
+        self.replicas[shard].len()
+    }
+
+    /// True when some partition has no live primary and reads are
+    /// served from the last consistent stitched epoch.
+    pub fn is_degraded(&self) -> bool {
+        self.down.iter().any(|&d| d)
+    }
+
+    /// Kills the primary writer of `shard` at a batch boundary, exactly
+    /// as an injected `kill=S@E` fault would. Returns `true` when a
+    /// standby replica took over (the partition stays live), `false`
+    /// when none was left and the partition entered degraded mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or already down.
+    pub fn kill_primary(&mut self, shard: usize) -> bool {
+        assert!(!self.down[shard], "shard {shard} is already down");
+        let promoted = self.promote(shard).is_some();
+        self.refresh_health();
+        promoted
+    }
+
+    /// Revives a downed partition: rebuilds its primary from the
+    /// published snapshot chunks plus the exact between-epoch coreness,
+    /// restocks its standby replicas, then drains the deferred backlog
+    /// (publishing one epoch per deferred batch). Returns the number of
+    /// backlog batches applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not down.
+    pub fn revive_shard(&mut self, shard: usize) -> u64 {
+        assert!(self.down[shard], "shard {shard} has a live primary");
+        let (owned, snapshot) = {
+            let old = &mut self.shards[shard];
+            (std::mem::take(&mut old.owned), old.snapshot.clone())
+        };
+        let adj = AdjacencyArena::from_sorted_lists(
+            (0..owned.len()).map(|s| snapshot.neighbors_at(s).to_vec()),
+        );
+        self.shards[shard] = Self::build_shard(
+            shard as u32,
+            owned,
+            adj,
+            &self.global_core,
+            &self.map,
+            Some(snapshot),
+        );
+        self.down[shard] = false;
+        self.restock(shard);
+        let mut drained = 0u64;
+        while (self.epoch as usize) < self.log.len() {
+            let before = self.epoch;
+            self.apply_next();
+            if self.epoch == before {
+                break; // went down again mid-drain
+            }
+            drained += 1;
+        }
+        self.refresh_health();
+        drained
     }
 
     /// Applies one batch to the union graph atomically, re-converges the
-    /// shards through border exchange, and publishes the next stitched
-    /// epoch. On a validation error nothing is mutated and no epoch is
-    /// published.
+    /// shards through (possibly faulty) border exchange, and publishes
+    /// the next stitched epoch. On a validation error nothing is mutated
+    /// and no epoch is published.
+    ///
+    /// Primary deaths fail over to standby replicas transparently (the
+    /// attempt rolls back, a replica replays the log, the batch is
+    /// re-attempted). When a partition has no live writer the batch is
+    /// validated, logged, and **deferred**: the report comes back with
+    /// `deferred == true`, the published epoch unchanged, and readers
+    /// keep the last consistent stitched epoch until
+    /// [`revive_shard`](Self::revive_shard) drains the backlog.
     ///
     /// # Errors
     ///
@@ -528,22 +932,126 @@ impl ShardedCoreService {
     ) -> Result<ShardedPublishReport, MutationError> {
         let n = self.map.owner.len();
         batch.validate_against(n, |u, v| self.has_edge(u, v))?;
+        self.log.push(batch.clone());
+        if self.is_degraded() {
+            let t0 = Instant::now();
+            return Ok(self.deferred_report(t0, 0, 0));
+        }
+        Ok(self.apply_next())
+    }
+
+    /// Applies the next logged batch: batch-boundary kills, the
+    /// attempt/rollback/promote loop, then publish + replica sync.
+    fn apply_next(&mut self) -> ShardedPublishReport {
+        let epoch = self.epoch + 1;
+        let batch = self.log[(epoch - 1) as usize].clone();
         let t0 = Instant::now();
-        self.epoch += 1;
-        let epoch = self.epoch;
+        let mut failovers = 0u32;
+        let mut replayed = 0u64;
+
+        for s in 0..self.shards.len() {
+            if self.faults.take_kill(s as u32, epoch, None) {
+                match self.promote(s) {
+                    Some(r) => {
+                        failovers += 1;
+                        replayed += r;
+                    }
+                    None => return self.deferred_report(t0, failovers, replayed),
+                }
+            }
+        }
+
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            assert!(
+                attempts <= MAX_BATCH_ATTEMPTS,
+                "epoch {epoch}: batch aborted {MAX_BATCH_ATTEMPTS} times; \
+                 the fault plan is unsatisfiable"
+            );
+            match self.attempt(epoch, &batch) {
+                Ok(o) => break o,
+                Err(e) => {
+                    let dead = match e {
+                        AttemptError::Dead(s) => Some(s),
+                        AttemptError::Stuck => None,
+                    };
+                    self.rollback(&batch, dead);
+                    if let Some(s) = dead {
+                        match self.promote(s) {
+                            Some(r) => {
+                                failovers += 1;
+                                replayed += r;
+                            }
+                            None => return self.deferred_report(t0, failovers, replayed),
+                        }
+                    }
+                }
+            }
+        };
+        let repair_micros = t0.elapsed().as_secs_f64() * 1e6;
+
+        // --- 4. Gather the epoch's changes, publish the stitched epoch. ---
+        let t1 = Instant::now();
+        let n = self.map.owner.len();
+        let mut changed = 0usize;
+        let mut shard_snaps = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let changes = shard.epoch_changes(epoch);
+            changed += changes.len();
+            for &(u, _, new) in &changes {
+                self.global_core[u as usize] = new;
+            }
+            let dirty_slots: Vec<u32> = batch
+                .insertions()
+                .iter()
+                .chain(batch.removals())
+                .flat_map(|&(u, v)| [u.0, v.0])
+                .filter(|&w| self.map.owner[w as usize] as usize == i)
+                .map(|w| self.map.slot[w as usize])
+                .collect();
+            shard.snapshot = Arc::new(shard.snapshot.advance(shard, &changes, &dirty_slots));
+            shard_snaps.push(shard.snapshot.clone());
+        }
+        let stitched = Arc::new(StitchedSnapshot::assemble(
+            epoch,
+            n,
+            self.edges,
+            self.map.clone(),
+            shard_snaps,
+        ));
+        self.cell.publish(stitched, epoch);
+        self.epoch = epoch;
+        self.sync_replicas();
+        self.refresh_health();
+        let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
+
+        ShardedPublishReport {
+            epoch,
+            rounds: outcome.rounds,
+            messages: outcome.messages,
+            changed,
+            repair_micros,
+            publish_micros,
+            deferred: false,
+            failovers,
+            replayed,
+            resends: outcome.resends,
+        }
+    }
+
+    /// One attempt at applying `batch` as `epoch`: mutations, candidate
+    /// seeding over the reliable control plane, then exchange rounds
+    /// over the (possibly faulty) [`BorderNet`] until quiescence —
+    /// empty worklists *and* an empty network.
+    fn attempt(&mut self, epoch: u64, batch: &EdgeBatch) -> Result<AttemptOutcome, AttemptError> {
+        let n = self.map.owner.len();
         for shard in &mut self.shards {
             shard.epoch_touched.clear();
         }
 
         // --- 1. Apply the mutations to the owning shards' arenas. ---
-        for &(u, v) in batch.removals() {
-            self.arc_remove(u.0, v.0);
-            self.arc_remove(v.0, u.0);
-        }
-        for &(u, v) in batch.insertions() {
-            self.arc_insert(u.0, v.0);
-            self.arc_insert(v.0, u.0);
-        }
+        self.apply_mutations(batch, None);
         self.edges = self.edges + batch.insertions().len() - batch.removals().len();
 
         // --- 2. Candidate analysis over the union graph + seeding. ---
@@ -600,89 +1108,325 @@ impl ShardedCoreService {
             let map = self.map.clone();
             self.shards[me as usize].seed(&map, me, slot, bound, epoch, &mut pending);
         }
-
-        // --- 3. Synchronous border-exchange rounds until quiescence. ---
-        let mut rounds = 0u32;
         let mut messages = pending.len() as u64;
+
+        // Seed messages raise cached bounds back to safe upper bounds;
+        // they ride the reliable control plane (never faulted — see the
+        // module docs) and are delivered before any lossy round runs.
+        for m in pending.drain(..) {
+            let shard = &mut self.shards[m.dest as usize];
+            shard
+                .remote_est
+                .get_mut(&m.source)
+                .expect("border message for a cached neighbor")
+                .est = m.est;
+            let slot = self.map.slot[m.target as usize];
+            shard.enqueue(slot);
+        }
+
+        // --- 3. Border-exchange rounds until quiescence. ---
+        let shard_count = self.shards.len();
+        let mut stall: Vec<u32> = vec![0; shard_count];
+        for (s, slot) in stall.iter_mut().enumerate() {
+            *slot = self.faults.take_stall(s as u32, epoch).unwrap_or(0);
+        }
+        let mut missed: Vec<u32> = vec![0; shard_count];
+        let mut net = BorderNet::new();
+        let mut round = 0u32;
         loop {
-            // Deliver: refresh border caches, enqueue the targets. The
-            // entry must exist — messages are only generated for edges
-            // present in the sender's arena, which the receiver mirrors.
-            for m in pending.drain(..) {
+            // Deliver: lower the border caches (min — duplicates and
+            // reordered stale copies are no-ops), enqueue the targets.
+            // The entry must exist: messages are only generated for
+            // edges present in the sender's arena, which the receiver
+            // mirrors, and no eviction happens during rounds.
+            for m in net.pump(round, &mut self.faults) {
                 let shard = &mut self.shards[m.dest as usize];
-                shard
+                let entry = shard
                     .remote_est
                     .get_mut(&m.source)
-                    .expect("border message for a cached neighbor")
-                    .est = m.est;
+                    .expect("border message for a cached neighbor");
+                // min: duplicates and reordered stale copies can only
+                // leave the cache at a (safe) upper bound.
+                entry.est = entry.est.min(m.est);
+                // Re-examine the target unconditionally: one drop fans
+                // out to several targets with the same estimate, and
+                // only the first arrival lowers the cache.
                 let slot = self.map.slot[m.target as usize];
                 shard.enqueue(slot);
             }
-            if self.shards.iter().all(|s| s.queue.is_empty()) {
-                break;
+            if net.stuck {
+                return Err(AttemptError::Stuck);
             }
-            rounds += 1;
+            if self.shards.iter().all(|s| s.queue.is_empty()) && net.idle() {
+                return Ok(AttemptOutcome {
+                    rounds: round,
+                    messages,
+                    resends: net.resends,
+                });
+            }
+            round += 1;
+            if round > MAX_ROUNDS {
+                return Err(AttemptError::Stuck);
+            }
+            // Heartbeats: a stalled shard skips its drain and misses
+            // this round's heartbeat; past the timeout it is declared
+            // dead (the failover path — even if it was only slow).
+            let stalled: Vec<bool> = stall.iter().map(|&r| r > 0).collect();
+            for s in 0..shard_count {
+                if stalled[s] {
+                    stall[s] -= 1;
+                    missed[s] += 1;
+                    if missed[s] > self.heartbeat_timeout {
+                        return Err(AttemptError::Dead(s));
+                    }
+                }
+            }
             let map = &self.map;
-            if self.shards.len() == 1 {
-                pending = self.shards[0].drain(map, 0, epoch);
+            let outs: Vec<Vec<BorderMsg>> = if shard_count == 1 {
+                let shard = &mut self.shards[0];
+                match catch_unwind(AssertUnwindSafe(|| shard.drain(map, 0, epoch))) {
+                    Ok(out) => vec![out],
+                    Err(_) => return Err(AttemptError::Dead(0)),
+                }
             } else {
-                let outs: Vec<Vec<BorderMsg>> = std::thread::scope(|scope| {
+                let joined: Vec<Result<Vec<BorderMsg>, usize>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = self
                         .shards
                         .iter_mut()
                         .enumerate()
-                        .map(|(i, shard)| scope.spawn(move || shard.drain(map, i as u32, epoch)))
+                        .map(|(i, shard)| {
+                            let skip = stalled[i];
+                            scope.spawn(move || {
+                                if skip {
+                                    Vec::new()
+                                } else {
+                                    shard.drain(map, i as u32, epoch)
+                                }
+                            })
+                        })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("shard drain"))
+                        .enumerate()
+                        .map(|(i, h)| h.join().map_err(|_| i))
                         .collect()
                 });
-                pending = outs.into_iter().flatten().collect();
+                let mut outs = Vec::with_capacity(shard_count);
+                for r in joined {
+                    match r {
+                        Ok(out) => outs.push(out),
+                        // A drain panic is a primary death observed at
+                        // the round boundary.
+                        Err(i) => return Err(AttemptError::Dead(i)),
+                    }
+                }
+                outs
+            };
+            // Injected kills pinned to this exchange round fire before
+            // the dead shard's round output reaches the network.
+            for s in 0..shard_count {
+                if self.faults.take_kill(s as u32, epoch, Some(round)) {
+                    return Err(AttemptError::Dead(s));
+                }
             }
-            messages += pending.len() as u64;
+            for out in outs {
+                messages += out.len() as u64;
+                for m in out {
+                    net.send(m, round, &mut self.faults, 0);
+                }
+            }
         }
-        let repair_micros = t0.elapsed().as_secs_f64() * 1e6;
+    }
 
-        // --- 4. Gather the epoch's changes, publish the stitched epoch. ---
-        let t1 = Instant::now();
-        let mut changed = 0usize;
-        let mut shard_snaps = Vec::with_capacity(self.shards.len());
+    /// Rolls the whole in-flight batch attempt back to the published
+    /// epoch: inverse mutations, estimates restored from the epoch
+    /// change log, worklists cleared, and every border cache reset to
+    /// the exact between-epoch coreness (`global_core`), which is what
+    /// each entry held before the attempt. The `dead` shard (if any) is
+    /// skipped — promotion replaces its state wholesale.
+    fn rollback(&mut self, batch: &EdgeBatch, dead: Option<usize>) {
+        self.apply_mutations(&batch.inverse(), dead);
+        self.edges = self.edges + batch.removals().len() - batch.insertions().len();
         for (i, shard) in self.shards.iter_mut().enumerate() {
-            let changes = shard.epoch_changes(epoch);
-            changed += changes.len();
-            for &(u, _, new) in &changes {
-                self.global_core[u as usize] = new;
+            if dead == Some(i) {
+                continue;
             }
-            let dirty_slots: Vec<u32> = batch
-                .insertions()
-                .iter()
-                .chain(batch.removals())
-                .flat_map(|&(u, v)| [u.0, v.0])
-                .filter(|&w| self.map.owner[w as usize] as usize == i)
-                .map(|w| self.map.slot[w as usize])
-                .collect();
-            shard.snapshot = Arc::new(shard.snapshot.advance(shard, &changes, &dirty_slots));
-            shard_snaps.push(shard.snapshot.clone());
+            for s in std::mem::take(&mut shard.epoch_touched) {
+                let s = s as usize;
+                shard.est[s] = shard.epoch_old[s];
+                shard.epoch_mark[s] = u64::MAX;
+            }
+            shard.queue.clear();
+            shard.queued.fill(false);
+            for (v, entry) in shard.remote_est.iter_mut() {
+                entry.est = self.global_core[*v as usize];
+            }
         }
-        let stitched = Arc::new(StitchedSnapshot::assemble(
-            epoch,
-            n,
-            self.edges,
-            self.map.clone(),
-            shard_snaps,
-        ));
-        self.cell.publish(stitched, epoch);
-        let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
+    }
 
-        Ok(ShardedPublishReport {
-            epoch,
-            rounds,
-            messages,
-            changed,
-            repair_micros,
-            publish_micros,
-        })
+    /// Promotes the freshest standby replica of `shard` to primary:
+    /// replays the validated log from the replica's applied epoch to the
+    /// published epoch vector, then rebuilds estimates and border cache
+    /// from the exact between-epoch coreness. Returns the number of log
+    /// batches replayed, or `None` when no replica is left — in which
+    /// case the partition is tombstoned and marked down.
+    fn promote(&mut self, shard: usize) -> Option<u64> {
+        let reps = &mut self.replicas[shard];
+        let Some(best) = (0..reps.len()).max_by_key(|&i| reps[i].applied_epoch) else {
+            self.tombstone(shard);
+            self.down[shard] = true;
+            return None;
+        };
+        let mut rep = reps.swap_remove(best);
+        let replayed = self.epoch - rep.applied_epoch;
+        for e in rep.applied_epoch..self.epoch {
+            Self::replay_into(&mut rep.adj, &self.log[e as usize], &self.map, shard as u32);
+        }
+        let (owned, snapshot) = {
+            let old = &mut self.shards[shard];
+            (std::mem::take(&mut old.owned), old.snapshot.clone())
+        };
+        self.shards[shard] = Self::build_shard(
+            shard as u32,
+            owned,
+            rep.adj,
+            &self.global_core,
+            &self.map,
+            Some(snapshot),
+        );
+        Some(replayed)
+    }
+
+    /// Empties a dead partition's writer state (its published snapshot
+    /// and owned-node list survive for degraded reads and revival).
+    fn tombstone(&mut self, shard: usize) {
+        let sh = &mut self.shards[shard];
+        sh.adj = AdjacencyArena::from_sorted_lists(sh.owned.iter().map(|_| Vec::<u32>::new()));
+        sh.est.fill(0);
+        sh.remote_est.clear();
+        sh.queue.clear();
+        sh.queued.fill(false);
+        sh.epoch_mark.fill(u64::MAX);
+        sh.epoch_touched.clear();
+    }
+
+    /// Replays one logged batch's arcs owned by shard `me` into a
+    /// replica's adjacency.
+    fn replay_into(adj: &mut AdjacencyArena, batch: &EdgeBatch, map: &ShardMap, me: u32) {
+        for &(u, v) in batch.removals() {
+            if map.owner[u.index()] == me {
+                let ok = adj.remove_arc(map.slot[u.index()] as usize, v.0);
+                debug_assert!(ok, "replayed removal");
+            }
+            if map.owner[v.index()] == me {
+                let ok = adj.remove_arc(map.slot[v.index()] as usize, u.0);
+                debug_assert!(ok, "replayed removal");
+            }
+        }
+        for &(u, v) in batch.insertions() {
+            if map.owner[u.index()] == me {
+                let ok = adj.insert_arc(map.slot[u.index()] as usize, v.0);
+                debug_assert!(ok, "replayed insertion");
+            }
+            if map.owner[v.index()] == me {
+                let ok = adj.insert_arc(map.slot[v.index()] as usize, u.0);
+                debug_assert!(ok, "replayed insertion");
+            }
+        }
+    }
+
+    /// Applies a batch's arc mutations to the owning shards' arenas,
+    /// skipping arcs owned by `skip` (a dead shard about to be rebuilt).
+    fn apply_mutations(&mut self, batch: &EdgeBatch, skip: Option<usize>) {
+        let skip = skip.map(|s| s as u32);
+        for &(u, v) in batch.removals() {
+            if skip != Some(self.map.owner[u.index()]) {
+                self.arc_remove(u.0, v.0);
+            }
+            if skip != Some(self.map.owner[v.index()]) {
+                self.arc_remove(v.0, u.0);
+            }
+        }
+        for &(u, v) in batch.insertions() {
+            if skip != Some(self.map.owner[u.index()]) {
+                self.arc_insert(u.0, v.0);
+            }
+            if skip != Some(self.map.owner[v.index()]) {
+                self.arc_insert(v.0, u.0);
+            }
+        }
+    }
+
+    /// Brings lagging replicas up to the published epoch by replaying
+    /// the log suffix (triggered once they trail by `replica_lag`).
+    fn sync_replicas(&mut self) {
+        for s in 0..self.shards.len() {
+            for rep in &mut self.replicas[s] {
+                if rep.applied_epoch + self.replica_lag <= self.epoch {
+                    while rep.applied_epoch < self.epoch {
+                        Self::replay_into(
+                            &mut rep.adj,
+                            &self.log[rep.applied_epoch as usize],
+                            &self.map,
+                            s as u32,
+                        );
+                        rep.applied_epoch += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restocks `shard`'s standby replicas to the configured target by
+    /// cloning the (healthy) primary's adjacency.
+    fn restock(&mut self, shard: usize) {
+        while self.replicas[shard].len() < self.replica_target {
+            self.replicas[shard].push(Replica {
+                applied_epoch: self.epoch,
+                adj: self.shards[shard].adj.clone(),
+            });
+        }
+    }
+
+    /// Publishes the current liveness/lag picture to the health cell.
+    fn refresh_health(&self) {
+        let backlog = self.log.len() as u64 - self.epoch;
+        let shards = (0..self.shards.len())
+            .map(|s| ShardHealth {
+                shard: s as u32,
+                primary_alive: !self.down[s],
+                replicas: self.replicas[s].len(),
+                epoch_lag: if self.down[s] { backlog } else { 0 },
+            })
+            .collect();
+        self.health.store(HealthReport {
+            writer_alive: true,
+            epoch: self.epoch,
+            shards,
+        });
+    }
+
+    /// The report for a batch accepted into the log but deferred
+    /// because a partition has no live writer.
+    fn deferred_report(
+        &mut self,
+        t0: Instant,
+        failovers: u32,
+        replayed: u64,
+    ) -> ShardedPublishReport {
+        self.refresh_health();
+        ShardedPublishReport {
+            epoch: self.epoch,
+            rounds: 0,
+            messages: 0,
+            changed: 0,
+            repair_micros: t0.elapsed().as_secs_f64() * 1e6,
+            publish_micros: 0.0,
+            deferred: true,
+            failovers,
+            replayed,
+            resends: 0,
+        }
     }
 
     /// Removes the arc `u → v` from `u`'s owning shard, dropping the
@@ -909,6 +1653,7 @@ impl StitchedSnapshot {
 #[derive(Debug, Clone)]
 pub struct ShardedHandle {
     cell: Arc<EpochCell<StitchedSnapshot>>,
+    health: Arc<HealthCell>,
 }
 
 impl ShardedHandle {
@@ -921,6 +1666,14 @@ impl ShardedHandle {
     /// The latest published epoch number, without loading a snapshot.
     pub fn epoch(&self) -> u64 {
         self.cell.epoch()
+    }
+
+    /// The writer's latest health report: per-partition liveness,
+    /// standby counts, and deferred-batch lag. Degraded or not, queries
+    /// through [`snapshot`](Self::snapshot) keep working — this is how
+    /// a reader learns the epoch has stopped advancing.
+    pub fn health(&self) -> HealthReport {
+        self.health.load()
     }
 }
 
@@ -1051,6 +1804,167 @@ mod tests {
         assert_eq!(svc.epoch(), 0);
         assert_eq!(handle.epoch(), 0);
         assert_eq!(handle.snapshot().graph(), &g);
+    }
+
+    fn config(replicas: usize, plan: &str) -> ShardedConfig {
+        ShardedConfig {
+            replicas,
+            fault_plan: FaultPlan::parse(plan).expect("test plan parses"),
+            ..ShardedConfig::default()
+        }
+    }
+
+    #[test]
+    fn failover_to_replica_keeps_every_epoch_exact() {
+        // Kill each partition's primary in turn between batches; the
+        // replica must replay to the published epoch and rejoin so
+        // cleanly that every stitched epoch still equals fresh BZ.
+        let g = gnp(160, 0.04, 31);
+        let mut svc = ShardedCoreService::with_config(&g, 3, config(1, "none"));
+        let handle = svc.handle();
+        let mut rng = StdRng::seed_from_u64(41);
+        for step in 1..=9u64 {
+            let b = random_batch(&svc, 160, 8, &mut rng);
+            svc.apply_batch(&b).unwrap();
+            if step % 3 == 0 {
+                let victim = (step / 3 - 1) as usize;
+                assert_eq!(svc.replica_count(victim), 1);
+                assert!(svc.kill_primary(victim), "replica takes over");
+                assert_eq!(svc.replica_count(victim), 0);
+                assert!(!svc.is_degraded());
+            }
+            let snap = handle.snapshot();
+            assert_eq!(snap.epoch(), step);
+            assert_eq!(
+                snap.values(),
+                batagelj_zaversnik(snap.graph()).as_slice(),
+                "step {step}: failover must not perturb results"
+            );
+        }
+        assert!(svc.handle().health().shards.iter().all(|s| s.primary_alive));
+    }
+
+    #[test]
+    fn lagging_replica_replays_the_log_suffix_on_promotion() {
+        // With a large replica_lag the standby never syncs, so promotion
+        // must replay the whole log suffix from its own applied epoch.
+        let g = gnp(120, 0.05, 7);
+        let mut cfg = config(1, "none");
+        cfg.replica_lag = 100; // never proactively sync
+        let mut svc = ShardedCoreService::with_config(&g, 2, cfg);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5 {
+            let b = random_batch(&svc, 120, 6, &mut rng);
+            svc.apply_batch(&b).unwrap();
+        }
+        assert!(svc.kill_primary(1), "promotion replays 5 epochs");
+        let b = random_batch(&svc, 120, 6, &mut rng);
+        svc.apply_batch(&b).unwrap();
+        let snap = svc.handle().snapshot();
+        assert_eq!(snap.epoch(), 6);
+        assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
+    }
+
+    #[test]
+    fn exhausted_partition_degrades_then_revives_from_the_snapshot() {
+        let g = gnp(100, 0.05, 19);
+        let mut svc = ShardedCoreService::with_config(&g, 2, config(0, "none"));
+        let handle = svc.handle();
+        let mut rng = StdRng::seed_from_u64(23);
+        let b = random_batch(&svc, 100, 6, &mut rng);
+        svc.apply_batch(&b).unwrap();
+
+        assert!(!svc.kill_primary(0), "no replica: partition goes down");
+        assert!(svc.is_degraded());
+
+        // Batches still validate (against the logical edge set) and are
+        // logged, but the published epoch is frozen.
+        for lag in 1..=3u64 {
+            let b = random_batch(&svc, 100, 6, &mut rng);
+            let report = svc.apply_batch(&b).unwrap();
+            assert!(report.deferred, "degraded batches defer");
+            assert_eq!(report.epoch, 1, "epoch frozen while degraded");
+            assert_eq!(svc.backlog(), lag as usize);
+            let health = handle.health();
+            assert_eq!(
+                health.status_line(),
+                format!("status=degraded down=0:{lag}")
+            );
+        }
+        // Readers keep answering from the last consistent epoch.
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
+
+        // Revival rebuilds the partition from the published snapshot and
+        // drains the whole backlog.
+        assert_eq!(svc.revive_shard(0), 3);
+        assert!(!svc.is_degraded());
+        assert_eq!(svc.backlog(), 0);
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch(), 4);
+        assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
+        assert_eq!(handle.health().status_line(), "status=healthy");
+    }
+
+    #[test]
+    fn message_faults_force_resends_but_never_wrong_answers() {
+        // 20% drops plus duplicates and delay spikes on the border
+        // exchange: retransmission must absorb all of it.
+        let g = gnp(140, 0.05, 47);
+        let plan = "seed=9,drop=20,dup=10,delay=10:3";
+        let mut svc = ShardedCoreService::with_config(&g, 2, config(0, plan));
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut resends = 0u64;
+        for step in 1..=10u64 {
+            let b = random_batch(&svc, 140, 8, &mut rng);
+            let report = svc.apply_batch(&b).unwrap();
+            resends += report.resends;
+            let snap = svc.handle().snapshot();
+            assert_eq!(
+                snap.values(),
+                batagelj_zaversnik(snap.graph()).as_slice(),
+                "step {step} under plan {plan}"
+            );
+        }
+        assert!(resends > 0, "a 20% drop rate must trigger retransmits");
+    }
+
+    #[test]
+    fn scheduled_kill_fails_over_mid_stream() {
+        let g = gnp(120, 0.05, 61);
+        let mut svc = ShardedCoreService::with_config(&g, 2, config(1, "kill=0@2"));
+        let mut rng = StdRng::seed_from_u64(67);
+        for step in 1..=4u64 {
+            let b = random_batch(&svc, 120, 6, &mut rng);
+            let report = svc.apply_batch(&b).unwrap();
+            assert_eq!(report.failovers, u32::from(step == 2), "step {step}");
+            let snap = svc.handle().snapshot();
+            assert_eq!(snap.epoch(), step);
+            assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
+        }
+        assert_eq!(svc.replica_count(0), 0, "the standby was consumed");
+    }
+
+    #[test]
+    fn short_stall_rides_through_long_stall_fails_over() {
+        // A stall below the heartbeat timeout is just a slow shard; one
+        // above it is indistinguishable from death and must fail over.
+        let g = path(40);
+        for (plan, expect_failover) in [("stall=1@1:2", false), ("stall=1@1:30", true)] {
+            let mut svc = ShardedCoreService::with_config(&g, 2, config(1, plan));
+            let mut b = EdgeBatch::new();
+            b.insert(NodeId(0), NodeId(39)); // cascade crosses every border
+            let report = svc.apply_batch(&b).unwrap();
+            assert_eq!(
+                report.failovers > 0,
+                expect_failover,
+                "plan {plan}: failovers={}",
+                report.failovers
+            );
+            let snap = svc.handle().snapshot();
+            assert!(snap.values().iter().all(|&c| c == 2), "plan {plan}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use dkcore_graph::{Graph, NodeId};
 
+use crate::health::HealthReport;
 use crate::service::ServiceHandle;
 use crate::sharded::{ShardedHandle, StitchedSnapshot};
 use crate::snapshot::CoreSnapshot;
@@ -186,6 +187,10 @@ pub trait SnapshotSource: Clone + Send + 'static {
     fn snapshot(&self) -> Arc<Self::View>;
     /// The latest published epoch number, without pinning a view.
     fn epoch(&self) -> u64;
+    /// The writer's latest health report (feeds the wire `HEALTH`
+    /// verb): whether the writer is alive and, for the sharded backend,
+    /// per-partition liveness and deferred-batch lag.
+    fn health(&self) -> HealthReport;
 }
 
 impl SnapshotSource for ServiceHandle {
@@ -196,6 +201,9 @@ impl SnapshotSource for ServiceHandle {
     fn epoch(&self) -> u64 {
         ServiceHandle::epoch(self)
     }
+    fn health(&self) -> HealthReport {
+        ServiceHandle::health(self)
+    }
 }
 
 impl SnapshotSource for ShardedHandle {
@@ -205,5 +213,8 @@ impl SnapshotSource for ShardedHandle {
     }
     fn epoch(&self) -> u64 {
         ShardedHandle::epoch(self)
+    }
+    fn health(&self) -> HealthReport {
+        ShardedHandle::health(self)
     }
 }

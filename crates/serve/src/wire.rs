@@ -13,8 +13,15 @@
 //! | `SUBGRAPH <k>` | `OK epoch=<e> nodes=<n> edges=<m>`, then `m` lines `u v` (original ids) |
 //! | `HIST` | `OK epoch=<e> hist=<k:count,...>` (non-empty shells) |
 //! | `TOPK <n>` | `OK epoch=<e> top=<v:c,...>` |
+//! | `HEALTH` | `OK epoch=<e> status=healthy` \| `status=degraded down=<shard>:<lag>,...` \| `status=writer-dead` |
 //! | `QUIT` | `OK bye`, connection closes |
 //! | `SHUTDOWN` | `OK shutting-down`, server stops accepting |
+//!
+//! `HEALTH` is answered from the live writer-health slot rather than a
+//! pinned snapshot: queries keep succeeding against the last published
+//! epoch even when the writer is dead or a partition has failed over,
+//! so health is the one piece of state a client cannot infer from query
+//! responses alone.
 //!
 //! Malformed input earns `ERR <reason>` and the connection stays open.
 //! Each accepted connection is served by its own thread; queries pin one
@@ -214,6 +221,14 @@ fn serve_connection<S: SnapshotSource>(
                 request_stop(stop, peer_addr);
                 return Ok(());
             }
+            // Health comes from the live writer-health slot, not a
+            // pinned snapshot — it describes the writer, not an epoch's
+            // query surface, so it is handled alongside the other
+            // connection-level verbs.
+            "HEALTH" => {
+                let h = handle.health();
+                writeln!(writer, "OK epoch={} {}", h.epoch, h.status_line())?;
+            }
             _ => respond(&mut writer, &verb, parts, &*handle.snapshot())?,
         }
         writer.flush()?;
@@ -307,9 +322,54 @@ fn respond<W: Write, V: EpochView + ?Sized>(
         },
         other => writeln!(
             out,
-            "ERR unknown command {other:?}; known: EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK QUIT SHUTDOWN"
+            "ERR unknown command {other:?}; known: EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK HEALTH QUIT SHUTDOWN"
         ),
     }
+}
+
+/// Client-side robustness knobs: per-operation I/O timeouts and a
+/// bounded reconnect-and-retry loop with exponential backoff.
+///
+/// Without timeouts a hung or mid-shutdown server blocks the client in
+/// `read` forever; without retry a transient refusal (server still
+/// binding, listener backlog full) is a hard failure. The defaults are
+/// tuned for an interactive CLI: fail within a few seconds, never hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1); each attempt reconnects fresh.
+    pub attempts: u32,
+    /// Read/write timeout applied to every socket operation.
+    pub io_timeout: Duration,
+    /// Base backoff between attempts; attempt `n` waits `base << (n-1)`
+    /// (capped at 16× base).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            io_timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Transient error kinds worth a reconnect: the server may be starting
+/// up, shutting down one connection, or briefly stalled. Anything else
+/// (e.g. a malformed-response `InvalidData`) fails immediately.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+    )
 }
 
 /// Blocking line-protocol client, for the CLI and tests.
@@ -320,7 +380,9 @@ pub struct WireClient {
 }
 
 impl WireClient {
-    /// Connects to a running [`WireServer`].
+    /// Connects to a running [`WireServer`] with no I/O timeouts (reads
+    /// block indefinitely). Prefer [`connect_with`](Self::connect_with)
+    /// anywhere a hung server must not hang the caller.
     ///
     /// # Errors
     ///
@@ -331,6 +393,56 @@ impl WireClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// Connects with `policy.io_timeout` applied to every subsequent
+    /// read and write, so a stalled server surfaces as a
+    /// `TimedOut`/`WouldBlock` error instead of blocking forever. The
+    /// connect itself is a single attempt — the retry loop lives in
+    /// [`request_retrying`](Self::request_retrying).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connection or socket-option error.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, policy: &RetryPolicy) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(policy.io_timeout))?;
+        stream.set_write_timeout(Some(policy.io_timeout))?;
+        Ok(WireClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One-shot request with bounded retry: connect fresh, send
+    /// `command`, read the one-line response; on a transient failure
+    /// (timeout, refused/reset/aborted connection, broken pipe,
+    /// unexpected EOF) back off exponentially and try again, up to
+    /// `policy.attempts` total attempts. Reconnecting per attempt is
+    /// deliberate — after a timeout the old connection's response could
+    /// still arrive later and would desynchronize a reused stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transient error once attempts are exhausted, or
+    /// the first non-retryable error immediately.
+    pub fn request_retrying<A: ToSocketAddrs>(
+        addr: A,
+        command: &str,
+        policy: &RetryPolicy,
+    ) -> io::Result<String> {
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff * (1u32 << (attempt - 1).min(4)));
+            }
+            match Self::connect_with(&addr, policy).and_then(|mut c| c.request(command)) {
+                Ok(response) => return Ok(response),
+                Err(e) if is_retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connection attempts made")))
     }
 
     /// Sends one command line and returns the one-line response.
@@ -572,6 +684,100 @@ mod tests {
         let sub = c.request_subgraph(2).unwrap();
         assert_eq!(sub[0], "OK epoch=1 nodes=6 edges=6");
         assert_eq!(c.request("QUIT").unwrap(), "OK bye");
+    }
+
+    #[test]
+    fn health_verb_reports_healthy_and_degraded_states() {
+        // Single-writer backend: healthy after a publish.
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(c.request("HEALTH").unwrap(), "OK epoch=1 status=healthy");
+
+        // Sharded backend with no replicas: killing a primary leaves the
+        // partition down, and HEALTH names it while queries keep
+        // answering from the last consistent epoch.
+        use crate::{ShardedConfig, ShardedCoreService};
+        let mut svc = ShardedCoreService::with_config(&path(6), 2, ShardedConfig::default());
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(5));
+        svc.apply_batch(&b).unwrap();
+        assert!(!svc.kill_primary(0), "no replica: partition goes down");
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(1), NodeId(4));
+        svc.apply_batch(&b).unwrap(); // deferred: lag of 1
+        let server = serve(svc.handle(), "127.0.0.1:0").unwrap();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("HEALTH").unwrap(),
+            "OK epoch=1 status=degraded down=0:1"
+        );
+        assert!(c.request("EPOCH").unwrap().starts_with("OK epoch=1"));
+    }
+
+    #[test]
+    fn stalled_server_requests_fail_within_the_timeout() {
+        // Regression: a server that accepts but never responds used to
+        // block `dkcore query` forever. With a RetryPolicy the request
+        // must fail with a transient error in bounded time.
+        use std::time::Instant;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stall = std::thread::spawn(move || {
+            // Accept every connection and hold it open, never replying.
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept() {
+                held.push(s);
+                if held.len() >= 3 {
+                    break;
+                }
+            }
+            held
+        });
+
+        let policy = RetryPolicy {
+            attempts: 2,
+            io_timeout: Duration::from_millis(100),
+            backoff: Duration::from_millis(10),
+        };
+        let t0 = Instant::now();
+        let err = WireClient::request_retrying(addr, "EPOCH", &policy).unwrap_err();
+        assert!(is_retryable(&err), "stall must surface as transient: {err}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "bounded time, not a hang"
+        );
+        drop(stall); // detach: the holder thread ends with the test process
+    }
+
+    #[test]
+    fn retrying_request_survives_a_transient_connection_drop() {
+        // First accepted connection is dropped before any response
+        // (client sees EOF/reset); the second is answered. The retry
+        // loop must reconnect and succeed.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fake = std::thread::spawn(move || {
+            let (first, _) = listener.accept().unwrap();
+            drop(first); // transient failure
+            let (second, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(second.try_clone().unwrap());
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "EPOCH");
+            let mut w = BufWriter::new(second);
+            writeln!(w, "OK epoch=7 nodes=0 edges=0 kmax=0").unwrap();
+            w.flush().unwrap();
+        });
+
+        let policy = RetryPolicy {
+            attempts: 3,
+            io_timeout: Duration::from_secs(2),
+            backoff: Duration::from_millis(10),
+        };
+        let r = WireClient::request_retrying(addr, "EPOCH", &policy).unwrap();
+        assert_eq!(r, "OK epoch=7 nodes=0 edges=0 kmax=0");
+        fake.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Chaos oracle for the fault-tolerant sharded serve stack: under every
+//! seeded fault plan — primary kills (with and without standbys), up to
+//! 20% border-message drops, duplicate storms, delay spikes, and shard
+//! stalls — every stitched epoch a reader can observe must still be
+//! *exactly* the Batagelj–Zaveršnik decomposition of the union graph at
+//! that epoch, epochs must stay monotone per reader, and a killed
+//! primary's partition must recover within a bounded number of batches
+//! (same-batch for a standby takeover, one `revive_shard` call after
+//! replica exhaustion).
+//!
+//! The CI chaos job re-runs this suite across a seed × plan matrix:
+//! `DKCORE_TEST_SEED` offsets every stream seed and fault seed, and
+//! `DKCORE_FAULT_PLAN` pins a single message-fault plan (default: all
+//! built-in plans). `DKCORE_TEST_THREADS` forces the reader count for
+//! the failover publication-ordering property (default: 1, 2 and 8).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_serve::{FaultPlan, ShardedConfig, ShardedCoreService, ShardedHandle, StitchedSnapshot};
+
+/// Offset mixed into every stream seed and fault seed, from
+/// `DKCORE_TEST_SEED`.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Reader-thread counts for the failover publication-ordering property:
+/// `DKCORE_TEST_THREADS` pins one, default {1, 2, 8}.
+fn reader_counts() -> Vec<usize> {
+    std::env::var("DKCORE_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(|| vec![1, 2, 8], |t| vec![t])
+}
+
+/// Message-fault plans under test: `DKCORE_FAULT_PLAN` pins one,
+/// default all. Seeds inside the spec are offset by `DKCORE_TEST_SEED`.
+fn message_plans() -> Vec<String> {
+    if let Ok(plan) = std::env::var("DKCORE_FAULT_PLAN") {
+        return vec![plan];
+    }
+    let s = seed_offset();
+    vec![
+        format!("seed={},drop=20", 11 + s),
+        format!("seed={},drop=10,dup=10,delay=10:4", 12 + s),
+        format!("seed={},delay=30:5", 13 + s),
+        format!("seed={},drop=15,stall=1@3:2", 14 + s),
+    ]
+}
+
+fn config(replicas: usize, plan: &str) -> ShardedConfig {
+    ShardedConfig {
+        replicas,
+        fault_plan: FaultPlan::parse(plan).expect("oracle plan parses"),
+        ..ShardedConfig::default()
+    }
+}
+
+/// One observed stitched epoch against ground truth recomputed from its
+/// own pinned union graph — the "never torn, never stale-mixed" check.
+fn verify_stitched(snap: &StitchedSnapshot, context: &str) {
+    let truth = batagelj_zaversnik(snap.graph());
+    assert_eq!(
+        snap.values(),
+        truth.as_slice(),
+        "{context}: epoch {}: stitched coreness must equal fresh BZ on \
+         the union graph (torn or mixed-epoch stitching observed)",
+        snap.epoch()
+    );
+    assert_eq!(snap.graph().edge_count(), snap.edge_count());
+    assert_eq!(
+        snap.histogram().iter().sum::<usize>(),
+        snap.node_count(),
+        "{context}"
+    );
+}
+
+/// Drives `batches` churn batches through `svc` while reader threads
+/// continuously observe and verify stitched snapshots; `between` runs
+/// after each publish (for mid-stream kills/revives) and returns extra
+/// epochs it published itself. Returns the distinct epochs verified.
+fn run_chaos(
+    context: &str,
+    svc: &mut ShardedCoreService,
+    graph: &dkcore_graph::Graph,
+    readers: usize,
+    batches: usize,
+    seed: u64,
+    mut between: impl FnMut(&mut ShardedCoreService, u64),
+) -> HashSet<u64> {
+    let stream = churn_stream(
+        graph,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        batches,
+        8,
+        seed,
+    );
+    let handle = svc.handle();
+    let done = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..readers)
+        .map(|_| {
+            let handle: ShardedHandle = handle.clone();
+            let done = done.clone();
+            let context = context.to_string();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut verified: Vec<u64> = Vec::new();
+                loop {
+                    let snap = handle.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "{context}: epochs must be monotone per reader: \
+                         {last_epoch} then {}",
+                        snap.epoch()
+                    );
+                    if snap.epoch() > last_epoch || verified.is_empty() {
+                        verify_stitched(&snap, &context);
+                        verified.push(snap.epoch());
+                        last_epoch = snap.epoch();
+                    }
+                    if done.load(Ordering::Acquire) && handle.epoch() == last_epoch {
+                        return verified;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    for (i, batch) in stream.iter().enumerate() {
+        svc.apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{context}: batch {i} invalid: {e}"));
+        between(svc, i as u64 + 1);
+    }
+    done.store(true, Ordering::Release);
+
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for t in threads {
+        let verified = t.join().expect("reader panicked (oracle violation)");
+        assert!(!verified.is_empty(), "{context}: reader observed no epoch");
+        distinct.extend(verified);
+    }
+    verify_stitched(&handle.snapshot(), context);
+    distinct
+}
+
+#[test]
+fn killing_each_primary_in_turn_recovers_within_the_same_batch() {
+    // One standby per partition; a scheduled kill at the start of epochs
+    // 2, 4, 6 and 8 consumes each standby in turn. Takeover is bounded:
+    // the killing epoch itself still publishes, so the epoch counter
+    // never skips or stalls.
+    let s = seed_offset();
+    let g = gnp(200, 0.04, 0xC0DE + s);
+    let plan = format!("seed={},kill=0@2,kill=1@4,kill=2@6,kill=3@8", 5 + s);
+    let mut svc = ShardedCoreService::with_config(&g, 4, config(1, &plan));
+    let distinct = run_chaos(
+        "kill-each-shard",
+        &mut svc,
+        &g,
+        3,
+        10,
+        0xC0DE + s,
+        |_, _| {},
+    );
+    assert_eq!(svc.epoch(), 10, "every epoch published despite 4 kills");
+    assert!(distinct.contains(&10));
+    for shard in 0..4 {
+        assert_eq!(svc.replica_count(shard), 0, "standby {shard} consumed");
+    }
+    assert!(!svc.is_degraded());
+}
+
+#[test]
+fn message_chaos_never_corrupts_an_observable_epoch() {
+    // Drops (≤20%), duplicates, delay spikes and sub-timeout stalls on
+    // the border exchange: retransmission and the monotone-descent
+    // min-cache semantics must absorb all of it with zero effect on
+    // observable results.
+    let s = seed_offset();
+    for (i, plan) in message_plans().iter().enumerate() {
+        let g = gnp(180, 0.045, 0xFA17 + s + i as u64);
+        for shards in [2usize, 4] {
+            let mut svc = ShardedCoreService::with_config(&g, shards, config(0, plan));
+            let context = format!("chaos[{plan}]/s{shards}");
+            run_chaos(
+                &context,
+                &mut svc,
+                &g,
+                3,
+                12,
+                0xFA17 + s + i as u64,
+                |_, _| {},
+            );
+            assert_eq!(svc.epoch(), 12, "{context}: all epochs published");
+        }
+    }
+}
+
+#[test]
+fn replica_exhaustion_degrades_gracefully_and_revival_is_bounded() {
+    // No standbys: killing a primary mid-stream downs the partition.
+    // Readers must keep getting consistent answers from the frozen
+    // epoch, health must name the partition and its growing lag, and a
+    // single revive must drain the entire deferred backlog.
+    let s = seed_offset();
+    let g = gnp(160, 0.05, 0xDE6 + s);
+    let mut svc = ShardedCoreService::with_config(&g, 2, config(0, "none"));
+    let handle = svc.handle();
+    run_chaos(
+        "degrade-revive",
+        &mut svc,
+        &g,
+        3,
+        12,
+        0xDE6 + s,
+        |svc, epoch| {
+            if epoch == 4 {
+                assert!(!svc.kill_primary(0), "no standby: partition downs");
+                assert!(svc.is_degraded());
+            }
+            if epoch == 8 {
+                // Epochs 5..=8 were deferred while degraded.
+                assert_eq!(svc.epoch(), 4, "published epoch frozen");
+                assert_eq!(svc.backlog(), 4);
+                let h = svc.handle().health();
+                assert_eq!(h.status_line(), "status=degraded down=0:4");
+                // Bounded recovery: one revive drains the whole backlog.
+                assert_eq!(svc.revive_shard(0), 4);
+                assert_eq!(svc.epoch(), 8);
+                assert!(!svc.is_degraded());
+            }
+        },
+    );
+    assert_eq!(svc.epoch(), 12);
+    assert_eq!(handle.health().status_line(), "status=healthy");
+}
+
+#[test]
+fn epoch_vector_is_monotone_and_never_torn_across_failover() {
+    // The PR 5 publication-ordering property, extended to the
+    // replica-takeover path: at 1, 2 and 8 concurrent readers, a
+    // failover in the middle of the stream must never let any reader
+    // observe a non-monotone epoch or a torn per-shard epoch vector
+    // (verify_stitched's BZ equality fails on any mixed-epoch stitch).
+    let s = seed_offset();
+    for readers in reader_counts() {
+        let g = gnp(170, 0.045, 0xF417 + s + readers as u64);
+        let plan = format!("seed={},drop=10,kill=1@5", 21 + s);
+        let mut svc = ShardedCoreService::with_config(&g, 3, config(1, &plan));
+        let context = format!("failover-ordering/r{readers}");
+        let distinct = run_chaos(
+            &context,
+            &mut svc,
+            &g,
+            readers,
+            10,
+            0xF417 + s + readers as u64,
+            |_, _| {},
+        );
+        assert_eq!(svc.epoch(), 10, "{context}");
+        assert!(distinct.contains(&10), "{context}: final epoch observed");
+        assert!(!svc.is_degraded(), "{context}");
+    }
+}
