@@ -1,0 +1,353 @@
+//! PR 7 acceptance benchmark: **O(answer) bulk queries** off the
+//! incrementally-maintained shell index, emitting machine-readable
+//! `BENCH_PR7.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Query cost vs N at fixed answer size** — a "spine + clique"
+//!    family: an N-node path (coreness 1 everywhere) carrying one
+//!    A-node clique (coreness A−1). `MEMBERS 2` / `TOPK` answers are
+//!    exactly the clique at every scale, so the *answer* stays fixed
+//!    while N grows 10×+. Each scale row times the indexed paths
+//!    (shell-index merge / rank walk / memoized subgraph) against the
+//!    PR 6 scan paths (`kcore_members_scan` / `top_k_scan` /
+//!    `kcore_subgraph_scan`) on snapshots of the same epoch.
+//!    `speedup_members` / `speedup_topk` are the gated ratios
+//!    `scan_per_query / indexed_per_query`; the binary asserts the
+//!    acceptance floors (≥10× on the largest full-mode row, ≥3× quick)
+//!    and that the indexed per-query cost is flat in N (largest-scale
+//!    cost within 5× of the smallest, while N grows 10×).
+//! 2. **Index-maintenance overhead on the publish path** — the same
+//!    churn stream advanced through two snapshot chains off one
+//!    `StreamCore`: with the shell index (PR 7 publish path) and
+//!    without (`capture_unindexed`, the PR 6 baseline).
+//!    `speedup_index_publish` is `unindexed_p50 / indexed_p50`; the
+//!    binary asserts overhead <10% full (<35% quick, noise-dominated).
+//!
+//! Every row pins results to ground truth: indexed and scan answers are
+//! compared element-wise, and final coreness equals fresh
+//! Batagelj–Zaveršnik (`identical_output`).
+//!
+//! Usage: `bench_pr7 [output.json]` (default `BENCH_PR7.json`). Set
+//! `BENCH_QUICK=1` for the fast smoke configuration CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::StreamCore;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_graph::Graph;
+use dkcore_metrics::Percentiles;
+use dkcore_serve::{kcore_members_scan, kcore_subgraph_scan, top_k_scan, CoreSnapshot};
+
+/// N-node path spine with an A-node clique on nodes `0..a`: the k-core
+/// for k ≥ 2 is exactly the clique at every N, so the answer size is
+/// fixed while the scan paths still pay O(N).
+fn spine_with_clique(n: usize, a: usize) -> Graph {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n - 1 + a * (a - 1) / 2);
+    for u in 0..n as u32 - 1 {
+        edges.push((u, u + 1));
+    }
+    for i in 0..a as u32 {
+        for j in i + 1..a as u32 {
+            if j != i + 1 {
+                edges.push((i, j)); // (i, i+1) is already a spine edge
+            }
+        }
+    }
+    Graph::from_edges(n, edges).expect("spine+clique edges are valid")
+}
+
+/// Per-query microseconds of `reps` runs of `f`.
+fn per_query_us(reps: usize, mut f: impl FnMut() -> usize) -> (f64, f64) {
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..reps {
+        sink = sink.wrapping_add(std::hint::black_box(f()));
+    }
+    std::hint::black_box(sink);
+    let total_ms = t.elapsed().as_secs_f64() * 1e3;
+    (total_ms * 1e3 / reps as f64, total_ms)
+}
+
+struct QueryRow {
+    graph: String,
+    nodes: usize,
+    answer: usize,
+    members_indexed_us: f64,
+    members_scan_us: f64,
+    scan_members_ms: f64,
+    topk_indexed_us: f64,
+    topk_scan_us: f64,
+    scan_topk_ms: f64,
+    subgraph_cold_us: f64,
+    subgraph_memo_us: f64,
+    subgraph_scan_us: f64,
+    speedup_members: f64,
+    speedup_topk: f64,
+    identical: bool,
+}
+
+fn measure_queries(n: usize, a: usize, reps_indexed: usize, reps_scan: usize) -> QueryRow {
+    let g = spine_with_clique(n, a);
+    let core = StreamCore::new(&g);
+    let indexed = CoreSnapshot::capture(0, &core);
+    let unindexed = CoreSnapshot::capture_unindexed(0, &core);
+
+    // MEMBERS 2 = the clique, at every N.
+    let (members_indexed_us, _) = per_query_us(reps_indexed, || {
+        indexed.kcore_members_page(2, 0, usize::MAX).count()
+    });
+    let (members_scan_us, scan_members_ms) =
+        per_query_us(reps_scan, || kcore_members_scan(&unindexed, 2).count());
+
+    // TOPK a/2: the top half of the clique, rank-walked vs
+    // histogram-threshold scan.
+    let topn = a / 2;
+    let (topk_indexed_us, _) = per_query_us(reps_indexed, || indexed.top_page(0, topn).count());
+    let (topk_scan_us, scan_topk_ms) =
+        per_query_us(reps_scan, || top_k_scan(&unindexed, topn).len());
+
+    // SUBGRAPH 2: one cold build from the member list (O(answer)), the
+    // memoized re-read, and the PR 6 dense-remap scan — single shots,
+    // reported but not gated (the memo makes repeats trivially fast).
+    let t = Instant::now();
+    let cold = indexed.kcore_subgraph_cached(2);
+    let subgraph_cold_us = t.elapsed().as_secs_f64() * 1e6;
+    let t = Instant::now();
+    let memo = indexed.kcore_subgraph_cached(2);
+    let subgraph_memo_us = t.elapsed().as_secs_f64() * 1e6;
+    let t = Instant::now();
+    let scan_sub = kcore_subgraph_scan(&unindexed, 2);
+    let subgraph_scan_us = t.elapsed().as_secs_f64() * 1e6;
+
+    // Ground truth: indexed answers equal scan answers equal fresh BZ.
+    let identical = indexed.kcore_members(2)
+        == kcore_members_scan(&unindexed, 2).collect::<Vec<_>>()
+        && indexed.top_k(topn) == top_k_scan(&unindexed, topn)
+        && cold.1 == scan_sub.1
+        && memo.0.edge_count() == scan_sub.0.edge_count()
+        && indexed.values() == batagelj_zaversnik(indexed.graph()).as_slice();
+
+    let speedup_members = members_scan_us / members_indexed_us;
+    let speedup_topk = topk_scan_us / topk_indexed_us;
+    println!(
+        "queries spine/{n} answer={a}: members {members_indexed_us:>8.2}us vs scan \
+         {members_scan_us:>9.2}us ({speedup_members:>7.1}x) | topk {topk_indexed_us:>8.2}us vs \
+         {topk_scan_us:>9.2}us ({speedup_topk:>7.1}x) | subgraph cold {subgraph_cold_us:.0}us / \
+         memo {subgraph_memo_us:.1}us / scan {subgraph_scan_us:.0}us | identical: {identical}"
+    );
+    QueryRow {
+        graph: format!("oanswer_spine/{n}/clique{a}"),
+        nodes: n,
+        answer: a,
+        members_indexed_us,
+        members_scan_us,
+        scan_members_ms,
+        topk_indexed_us,
+        topk_scan_us,
+        scan_topk_ms,
+        subgraph_cold_us,
+        subgraph_memo_us,
+        subgraph_scan_us,
+        speedup_members,
+        speedup_topk,
+        identical,
+    }
+}
+
+struct PublishRow {
+    graph: String,
+    nodes: usize,
+    epochs: usize,
+    indexed_p50_us: f64,
+    indexed_p99_us: f64,
+    unindexed_p50_us: f64,
+    publish_indexed_ms: f64,
+    publish_scan_ms: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn measure_publish_overhead(scale: usize, steps: usize, seed: u64) -> PublishRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        32,
+        seed ^ 9,
+    );
+    let mut core = StreamCore::new(&g);
+    let mut with_index = CoreSnapshot::capture(0, &core);
+    let mut without = CoreSnapshot::capture_unindexed(0, &core);
+    let mut t_ix = Percentiles::new();
+    let mut t_un = Percentiles::new();
+    let mut total_ix = 0.0f64;
+    let mut total_un = 0.0f64;
+    for (i, b) in stream.iter().enumerate() {
+        core.apply_batch(b).expect("stream batches are valid");
+        let epoch = (i + 1) as u64;
+        let t = Instant::now();
+        without = without.advance(epoch, &core, b);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        t_un.record(us);
+        total_un += us;
+        let t = Instant::now();
+        with_index = with_index.advance(epoch, &core, b);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        t_ix.record(us);
+        total_ix += us;
+    }
+    let identical = with_index.values() == without.values()
+        && with_index.values() == batagelj_zaversnik(with_index.graph()).as_slice()
+        && with_index.kcore_members(2) == without.kcore_members(2);
+    let speedup = t_un.p50() / t_ix.p50();
+    println!(
+        "publish gnp12/{scale}: unindexed p50 {:>8.1}us | indexed p50 {:>8.1}us | ratio \
+         {speedup:.3} | identical: {identical}",
+        t_un.p50(),
+        t_ix.p50(),
+    );
+    PublishRow {
+        graph: format!("index_publish_gnp12/{scale}"),
+        nodes: scale,
+        epochs: stream.len(),
+        indexed_p50_us: t_ix.p50(),
+        indexed_p99_us: t_ix.p99(),
+        unindexed_p50_us: t_un.p50(),
+        publish_indexed_ms: total_ix / 1e3,
+        publish_scan_ms: total_un / 1e3,
+        speedup,
+        identical,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR7.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (scales, answer, reps_indexed, reps_scan, pub_scale, pub_steps) = if quick {
+        (
+            vec![20_000usize, 200_000],
+            256usize,
+            2_000usize,
+            60usize,
+            4_000usize,
+            24usize,
+        )
+    } else {
+        (
+            vec![100_000, 300_000, 1_000_000],
+            512,
+            5_000,
+            50,
+            20_000,
+            24,
+        )
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("O(answer) bulk queries vs scan paths ({cores} cores)...");
+
+    let rows: Vec<QueryRow> = scales
+        .iter()
+        .map(|&n| measure_queries(n, answer, reps_indexed, reps_scan))
+        .collect();
+    let publish = measure_publish_overhead(pub_scale, pub_steps, 42);
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR7\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"metric\": \"bulk-query latency at fixed answer size vs N (indexed vs scan), \
+         shell-index maintenance overhead on the publish path\",\n",
+    );
+    json.push_str("  \"engines\": [\"shell_index_snapshot\"],\n");
+    json.push_str("  \"results\": [\n");
+    for r in &rows {
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"answer\": {}, \
+             \"members_indexed_us\": {:.3}, \"members_scan_us\": {:.3}, \
+             \"scan_members_ms\": {:.1}, \"topk_indexed_us\": {:.3}, \
+             \"topk_scan_us\": {:.3}, \"scan_topk_ms\": {:.1}, \
+             \"subgraph_cold_us\": {:.1}, \"subgraph_memo_us\": {:.2}, \
+             \"subgraph_scan_us\": {:.1}, \"speedup_members\": {:.3}, \
+             \"speedup_topk\": {:.3}, \"identical_output\": {}}},",
+            r.graph,
+            r.nodes,
+            r.answer,
+            r.members_indexed_us,
+            r.members_scan_us,
+            r.scan_members_ms,
+            r.topk_indexed_us,
+            r.topk_scan_us,
+            r.scan_topk_ms,
+            r.subgraph_cold_us,
+            r.subgraph_memo_us,
+            r.subgraph_scan_us,
+            r.speedup_members,
+            r.speedup_topk,
+            r.identical,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    {{\"graph\": \"{}\", \"nodes\": {}, \"epochs\": {}, \
+         \"advance_indexed_p50_us\": {:.1}, \"advance_indexed_p99_us\": {:.1}, \
+         \"advance_unindexed_p50_us\": {:.1}, \"publish_indexed_ms\": {:.1}, \
+         \"publish_scan_ms\": {:.1}, \"speedup_index_publish\": {:.3}, \
+         \"identical_output\": {}}}",
+        publish.graph,
+        publish.nodes,
+        publish.epochs,
+        publish.indexed_p50_us,
+        publish.indexed_p99_us,
+        publish.unindexed_p50_us,
+        publish.publish_indexed_ms,
+        publish.publish_scan_ms,
+        publish.speedup,
+        publish.identical,
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR7.json");
+    println!("wrote {out_path}");
+
+    // Acceptance floors.
+    assert!(
+        rows.iter().all(|r| r.identical) && publish.identical,
+        "an indexed answer diverged from the scan path or BZ ground truth"
+    );
+    let largest = rows.last().expect("at least one scale");
+    let floor = if quick { 3.0 } else { 10.0 };
+    assert!(
+        largest.speedup_members >= floor && largest.speedup_topk >= floor,
+        "O(answer) floor on the {}-node row: members {:.1}x, topk {:.1}x (need >={floor}x \
+         over the scan path)",
+        largest.nodes,
+        largest.speedup_members,
+        largest.speedup_topk
+    );
+    // Flat in N: per-query indexed cost must not track the 10x+ growth
+    // in N across the scale sweep (5x covers allocator/cache noise).
+    let smallest = rows.first().expect("at least one scale");
+    let growth = largest.members_indexed_us / smallest.members_indexed_us;
+    assert!(
+        growth <= 5.0,
+        "indexed members cost grew {growth:.1}x from {} to {} nodes (answer fixed at {}): \
+         not O(answer)",
+        smallest.nodes,
+        largest.nodes,
+        largest.answer
+    );
+    let overhead_ceiling = if quick { 1.35 } else { 1.10 };
+    assert!(
+        publish.speedup >= 1.0 / overhead_ceiling,
+        "index maintenance costs {:.1}% on the publish path (ceiling {:.0}%)",
+        (1.0 / publish.speedup - 1.0) * 100.0,
+        (overhead_ceiling - 1.0) * 100.0
+    );
+}

@@ -86,8 +86,9 @@ USAGE:
                             [--replicas R] [--fault-plan SPEC]
                             [--workload ...] [--insert-pct P] [--interval-ms MS]
                             [--no-wait] [--seed S]
-  dkcore query     --port P <coreness V | members K | subgraph K | hist |
-                             topk N | epoch | health | shutdown>
+  dkcore query     --port P <coreness V | members K [offset O] [limit L] |
+                             subgraph K | hist | topk N [offset O] |
+                             epoch | health | shutdown>
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
   dkcore help
@@ -792,12 +793,41 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
         Line(String),
         Subgraph(u32),
     }
+    // Optional pagination keywords (`offset O` and, for members,
+    // `limit L`), validated and canonicalized here for the same
+    // no-raw-strings-on-the-wire reason as the numeric arguments.
+    let page_args = |tail: &[&str], allow_limit: bool| -> Result<String, CliError> {
+        let mut suffix = String::new();
+        let mut it = tail.iter();
+        while let Some(&kw) = it.next() {
+            let canon = if kw.eq_ignore_ascii_case("offset") {
+                "OFFSET"
+            } else if allow_limit && kw.eq_ignore_ascii_case("limit") {
+                "LIMIT"
+            } else {
+                return Err(CliError::new(format!("query: unexpected argument {kw:?}")));
+            };
+            let val = it
+                .next()
+                .ok_or_else(|| CliError::new(format!("query {canon} requires an argument")))?;
+            let n: u64 = val
+                .parse()
+                .map_err(|_| CliError::new(format!("query {canon}: {val:?} is not a number")))?;
+            suffix.push_str(&format!(" {canon} {n}"));
+        }
+        Ok(suffix)
+    };
+    let tail = rest.get(1..).unwrap_or(&[]);
     let request = match verb {
         "coreness" => Request::Line(format!("CORENESS {}", num("coreness")?)),
-        "members" => Request::Line(format!("MEMBERS {}", num("members")?)),
+        "members" => Request::Line(format!(
+            "MEMBERS {}{}",
+            num("members")?,
+            page_args(tail, true)?
+        )),
         "subgraph" => Request::Subgraph(num("subgraph")?),
         "hist" => Request::Line("HIST".into()),
-        "topk" => Request::Line(format!("TOPK {}", num("topk")?)),
+        "topk" => Request::Line(format!("TOPK {}{}", num("topk")?, page_args(tail, false)?)),
         "epoch" => Request::Line("EPOCH".into()),
         "health" => Request::Line("HEALTH".into()),
         "shutdown" => Request::Line("SHUTDOWN".into()),
@@ -1383,6 +1413,47 @@ mod tests {
         assert!(h.contains("hist=0:") || h.contains("hist="), "{h}");
         let t = run(&["query", "topk", "3", "--port", &port_s]).unwrap();
         assert_eq!(t.matches(':').count(), 3, "{t}");
+        // Paginated members/topk: pages concatenate to the full answer.
+        let full = run(&["query", "members", "1", "--port", &port_s]).unwrap();
+        let full_ids = full.trim().split("members=").nth(1).unwrap().to_string();
+        let mut paged = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let page = run(&[
+                "query",
+                "members",
+                "1",
+                "offset",
+                &offset.to_string(),
+                "limit",
+                "7",
+                "--port",
+                &port_s,
+            ])
+            .unwrap();
+            assert!(
+                page.contains("total=") && page.contains("offset="),
+                "{page}"
+            );
+            let ids = page.trim().split("members=").nth(1).unwrap().to_string();
+            let got = if ids.is_empty() {
+                0
+            } else {
+                ids.split(',').count()
+            };
+            if got > 0 {
+                paged.push(ids);
+            }
+            offset += got;
+            if got < 7 {
+                break;
+            }
+        }
+        assert_eq!(paged.join(","), full_ids);
+        let t2 = run(&["query", "topk", "2", "offset", "1", "--port", &port_s]).unwrap();
+        assert!(t2.contains("offset=1 top="), "{t2}");
+        let bad = run(&["query", "members", "1", "sideways", "2", "--port", &port_s]).unwrap_err();
+        assert!(bad.to_string().contains("unexpected argument"), "{bad}");
         let s = run(&["query", "subgraph", "2", "--port", &port_s]).unwrap();
         assert!(s.starts_with("OK epoch=3 nodes="), "{s}");
         let hl = run(&["query", "health", "--port", &port_s]).unwrap();

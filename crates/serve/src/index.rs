@@ -1,0 +1,534 @@
+//! Incrementally-maintained per-epoch shell indexes: the O(answer)
+//! query engine behind `members` / `top_k` / `kcore_subgraph`.
+//!
+//! # Why
+//!
+//! The chunked epoch snapshots answer *point* lookups in O(1), but the
+//! bulk query families (`MEMBERS`, `TOPK`, `SUBGRAPH`) used to scan all
+//! `N` coreness values per query — at "millions of users" scale the
+//! scan, not the lock-free snapshot handle, is the ceiling. The paper's
+//! premise is that coreness changes are local and incremental; the same
+//! per-batch delta that drives incremental epoch *publishing*
+//! (`StreamCore::last_coreness_changes`) can maintain a **shell index**:
+//! for every coreness value `k`, the sorted list of nodes whose coreness
+//! is exactly `k`.
+//!
+//! # Structure
+//!
+//! Each shell is a [`ShellList`]: ascending node ids split into
+//! `Arc`-shared chunks of at most [`SHELL_CHUNK_MAX`] ids. Like the
+//! coreness/adjacency chunks of the snapshots, the chunks are
+//! **copy-on-write**: advancing an epoch clones only the chunk pointer
+//! tables plus the few chunks an applied batch's coreness delta actually
+//! touched, so pinned epochs keep their own index alive and untouched
+//! shells are structurally shared between epochs.
+//!
+//! # Cost model
+//!
+//! * [`ShellIndex::build`] — `O(N)`, used once per full capture.
+//! * [`ShellIndex::advance`] — `O(chunks + |changes| · C)` where `C` =
+//!   chunk size: one `Arc` clone per chunk pointer plus one chunk
+//!   rewrite per changed node (remove from the old shell, insert into
+//!   the new one, both by binary search inside one chunk).
+//! * [`ShellIndex::members`] — `O(answer · log s)` where `s` is the
+//!   number of non-empty shells ≥ `k` (a heap merge of the per-shell
+//!   ascending-id iterators); flat in `N` for a fixed answer size.
+//! * [`ShellIndex::top`] — `O(answer)`: shells are walked from the top
+//!   coreness downward, each already in ascending id order — exactly
+//!   the `top_k` contract (coreness desc, id asc), with no sort at all.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Split threshold for one shell chunk: a chunk that grows past this
+/// many ids is split in two, so a copy-on-write rewrite never copies
+/// more than `SHELL_CHUNK_MAX` ids.
+pub(crate) const SHELL_CHUNK_MAX: usize = 512;
+
+/// One shell's membership: ascending node ids in `Arc`-shared chunks.
+/// Chunks hold disjoint consecutive id ranges in order, so iteration is
+/// a plain chunk walk and point updates touch exactly one chunk.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShellList {
+    chunks: Vec<Arc<Vec<u32>>>,
+    len: usize,
+}
+
+impl ShellList {
+    /// Number of ids in the shell.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Index of the chunk that contains `id` or would receive it:
+    /// the first chunk whose last element is ≥ `id` (the last chunk
+    /// when every element is smaller).
+    fn chunk_for(&self, id: u32) -> usize {
+        self.chunks
+            .partition_point(|c| *c.last().expect("chunks are never empty") < id)
+            .min(self.chunks.len().saturating_sub(1))
+    }
+
+    /// Inserts `id`, keeping ascending order. Copy-on-write: only the
+    /// receiving chunk is rewritten (and split once it outgrows
+    /// [`SHELL_CHUNK_MAX`]).
+    fn insert(&mut self, id: u32) {
+        self.len += 1;
+        if self.chunks.is_empty() {
+            self.chunks.push(Arc::new(vec![id]));
+            return;
+        }
+        let ci = self.chunk_for(id);
+        let chunk = Arc::make_mut(&mut self.chunks[ci]);
+        let at = chunk.partition_point(|&x| x < id);
+        debug_assert!(chunk.get(at) != Some(&id), "shells never hold duplicates");
+        chunk.insert(at, id);
+        if chunk.len() > SHELL_CHUNK_MAX {
+            let upper = chunk.split_off(chunk.len() / 2);
+            self.chunks.insert(ci + 1, Arc::new(upper));
+        }
+    }
+
+    /// Removes `id` (which must be present). Copy-on-write: only the
+    /// holding chunk is rewritten (and dropped when it empties).
+    fn remove(&mut self, id: u32) {
+        let ci = self.chunk_for(id);
+        let chunk = Arc::make_mut(&mut self.chunks[ci]);
+        let at = chunk
+            .binary_search(&id)
+            .expect("removed id must be in its shell");
+        chunk.remove(at);
+        self.len -= 1;
+        if chunk.is_empty() {
+            self.chunks.remove(ci);
+        }
+    }
+
+    /// Ascending-id iterator over the whole shell.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    /// Ascending-id iterator starting at position `offset`, skipping
+    /// whole chunks in `O(chunks)` instead of element-by-element.
+    fn iter_from(&self, mut offset: usize) -> impl Iterator<Item = u32> + '_ {
+        let mut ci = 0;
+        while ci < self.chunks.len() && offset >= self.chunks[ci].len() {
+            offset -= self.chunks[ci].len();
+            ci += 1;
+        }
+        self.chunks[ci..]
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, c)| {
+                let skip = if i == 0 { offset } else { 0 };
+                c[skip..].iter().copied()
+            })
+    }
+}
+
+/// The per-epoch shell index: `shells[k]` lists the nodes of coreness
+/// exactly `k` in ascending id order. Immutable once published (like
+/// everything else in a snapshot); [`advance`](Self::advance) derives
+/// the next epoch's index copy-on-write. Trailing empty shells are
+/// trimmed, mirroring the snapshots' histogram invariant.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShellIndex {
+    shells: Vec<ShellList>,
+}
+
+impl ShellIndex {
+    /// Builds the index from the full decomposition — `O(N)`, the
+    /// companion of a snapshot's full capture. `pairs` yields
+    /// `(id, coreness)` with **strictly ascending ids** (node ids for
+    /// the single-writer snapshot, global ids in owned-slot order for a
+    /// shard), so every id lands in its shell's tail and chunks are
+    /// built already sorted.
+    pub(crate) fn build<I: IntoIterator<Item = (u32, u32)>>(pairs: I) -> Self {
+        let mut tails: Vec<Vec<u32>> = Vec::new();
+        let mut shells: Vec<ShellList> = Vec::new();
+        for (id, k) in pairs {
+            let k = k as usize;
+            if shells.len() <= k {
+                shells.resize_with(k + 1, ShellList::default);
+                tails.resize_with(k + 1, Vec::new);
+            }
+            let tail = &mut tails[k];
+            tail.push(id);
+            shells[k].len += 1;
+            if tail.len() == SHELL_CHUNK_MAX {
+                shells[k].chunks.push(Arc::new(std::mem::take(tail)));
+            }
+        }
+        for (k, tail) in tails.into_iter().enumerate() {
+            if !tail.is_empty() {
+                shells[k].chunks.push(Arc::new(tail));
+            }
+        }
+        ShellIndex { shells }
+    }
+
+    /// The next epoch's index after the coreness delta `changes`
+    /// (`(node, old, new)` triples, each node at most once): clones the
+    /// chunk pointer tables and rewrites only the touched chunks.
+    pub(crate) fn advance<I: IntoIterator<Item = (u32, u32, u32)>>(&self, changes: I) -> Self {
+        let mut next = self.clone();
+        for (u, old, new) in changes {
+            if old == new {
+                continue;
+            }
+            next.shells[old as usize].remove(u);
+            let new = new as usize;
+            if next.shells.len() <= new {
+                next.shells.resize_with(new + 1, ShellList::default);
+            }
+            next.shells[new].insert(u);
+        }
+        while next.shells.len() > 1 && next.shells.last().expect("non-empty").len == 0 {
+            next.shells.pop();
+        }
+        next
+    }
+
+    /// Number of shells (`max coreness + 1` after trimming).
+    #[cfg(test)]
+    pub(crate) fn shell_count(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// Size of shell `k` (0 when `k` is past the top shell).
+    #[cfg(test)]
+    pub(crate) fn shell_len(&self, k: u32) -> usize {
+        self.shells.get(k as usize).map_or(0, |s| s.len)
+    }
+
+    /// Size of the k-core (`Σ shell_len(j), j ≥ k`) in `O(shells)`.
+    #[cfg(test)]
+    pub(crate) fn kcore_len(&self, k: u32) -> usize {
+        self.shells
+            .iter()
+            .skip(k as usize)
+            .map(|s| s.len)
+            .sum::<usize>()
+    }
+
+    /// The k-core members in ascending id order: a heap merge of every
+    /// shell ≥ `k`. `O(answer · log s)`, flat in `N` for a fixed answer.
+    pub(crate) fn members(&self, k: u32) -> MergedMembers<'_> {
+        MergedMembers::new(self.shells.iter().skip(k as usize).map(|s| s.iter()))
+    }
+
+    /// One page of the k-core members: positions `offset ..
+    /// offset + limit` of the ascending-id member sequence. Pages
+    /// concatenate to exactly [`members`](Self::members).
+    ///
+    /// When only one non-empty shell is ≥ `k` (the common case for
+    /// large `k`), the offset skips whole chunks; otherwise the merge
+    /// advances `offset` elements first.
+    pub(crate) fn members_page(
+        &self,
+        k: u32,
+        offset: usize,
+        limit: usize,
+    ) -> Box<dyn Iterator<Item = u32> + '_> {
+        let mut nonempty = self.shells.iter().skip(k as usize).filter(|s| s.len > 0);
+        match (nonempty.next(), nonempty.next()) {
+            (Some(only), None) => Box::new(only.iter_from(offset.min(only.len)).take(limit)),
+            _ => Box::new(self.members(k).skip(offset).take(limit)),
+        }
+    }
+
+    /// `(node, coreness)` pairs ordered by descending coreness, ties by
+    /// ascending id — the `top_k` order — walked straight off the index
+    /// with no sorting or scanning: shells from the top down, each
+    /// already ascending.
+    pub(crate) fn top(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.shells
+            .iter()
+            .enumerate()
+            .rev()
+            .flat_map(|(k, s)| s.iter().map(move |u| (u, k as u32)))
+    }
+}
+
+/// Ascending-id merge of several already-sorted shell iterators (one
+/// per shell ≥ `k`). Shells are disjoint, so no tie-breaking is needed.
+pub(crate) struct MergedMembers<'a> {
+    heap: BinaryHeap<Reverse<(u32, usize)>>,
+    iters: Vec<Box<dyn Iterator<Item = u32> + 'a>>,
+}
+
+impl<'a> MergedMembers<'a> {
+    /// Merges any set of strictly-ascending disjoint id iterators — the
+    /// shells of one index, or whole per-shard member streams (the
+    /// stitched sharded view's k-way merge by global id).
+    pub(crate) fn new<I, S>(shells: I) -> Self
+    where
+        I: Iterator<Item = S>,
+        S: Iterator<Item = u32> + 'a,
+    {
+        let mut iters: Vec<Box<dyn Iterator<Item = u32> + 'a>> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        for mut it in shells.map(|s| Box::new(s) as Box<dyn Iterator<Item = u32> + 'a>) {
+            if let Some(first) = it.next() {
+                heap.push(Reverse((first, iters.len())));
+                iters.push(it);
+            }
+        }
+        MergedMembers { heap, iters }
+    }
+}
+
+impl Iterator for MergedMembers<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let Reverse((id, src)) = self.heap.pop()?;
+        if let Some(next) = self.iters[src].next() {
+            self.heap.push(Reverse((next, src)));
+        }
+        Some(id)
+    }
+}
+
+/// Rank-order merge of several per-shard [`ShellIndex::top`] streams:
+/// each input yields `(id, coreness)` in (coreness desc, id asc) order
+/// over disjoint ids; the merge preserves that order globally — the
+/// stitched sharded view's O(answer) `top_k`.
+pub(crate) struct MergedTop<'a> {
+    /// Max-heap keyed on (coreness, Reverse(id)): highest coreness
+    /// first, ties by ascending id.
+    heap: BinaryHeap<(u32, Reverse<u32>, usize)>,
+    iters: Vec<Box<dyn Iterator<Item = (u32, u32)> + 'a>>,
+}
+
+impl<'a> MergedTop<'a> {
+    pub(crate) fn new<I, S>(streams: I) -> Self
+    where
+        I: Iterator<Item = S>,
+        S: Iterator<Item = (u32, u32)> + 'a,
+    {
+        let mut iters: Vec<Box<dyn Iterator<Item = (u32, u32)> + 'a>> = Vec::new();
+        let mut heap = BinaryHeap::new();
+        for mut it in streams.map(|s| Box::new(s) as Box<dyn Iterator<Item = (u32, u32)> + 'a>) {
+            if let Some((id, c)) = it.next() {
+                heap.push((c, Reverse(id), iters.len()));
+                iters.push(it);
+            }
+        }
+        MergedTop { heap, iters }
+    }
+}
+
+impl Iterator for MergedTop<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        let (c, Reverse(id), src) = self.heap.pop()?;
+        if let Some((nid, nc)) = self.iters[src].next() {
+            self.heap.push((nc, Reverse(nid), src));
+        }
+        Some((id, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// Reference: scan-built member list.
+    fn scan_members(values: &[u32], k: u32) -> Vec<u32> {
+        (0..values.len() as u32)
+            .filter(|&u| values[u as usize] >= k)
+            .collect()
+    }
+
+    fn assert_matches(index: &ShellIndex, values: &[u32]) {
+        let kmax = values.iter().copied().max().unwrap_or(0);
+        let shells = if values.is_empty() {
+            0
+        } else {
+            kmax as usize + 1
+        };
+        assert_eq!(index.shell_count(), shells, "trimmed shells");
+        for k in 0..=kmax + 2 {
+            assert_eq!(
+                index.members(k).collect::<Vec<_>>(),
+                scan_members(values, k),
+                "members k={k}"
+            );
+            assert_eq!(index.kcore_len(k), scan_members(values, k).len());
+            assert_eq!(
+                index.shell_len(k),
+                values.iter().filter(|&&c| c == k).count()
+            );
+        }
+        // top() is (coreness desc, id asc) and covers every node once.
+        let top: Vec<(u32, u32)> = index.top().collect();
+        assert_eq!(top.len(), values.len());
+        for w in top.windows(2) {
+            assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+        for &(u, c) in &top {
+            assert_eq!(values[u as usize], c);
+        }
+    }
+
+    #[test]
+    fn build_matches_scan_on_random_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [0usize, 1, 5, 100, 2_000] {
+            let values: Vec<u32> = (0..n).map(|_| rng.random_range(0..8u32)).collect();
+            let index = ShellIndex::build(
+                values
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(u, k)| (u as u32, k)),
+            );
+            assert_matches(&index, &values);
+        }
+    }
+
+    #[test]
+    fn advance_tracks_random_churn_exactly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut values: Vec<u32> = (0..3_000).map(|_| rng.random_range(0..6u32)).collect();
+        let mut index = ShellIndex::build(
+            values
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(u, k)| (u as u32, k)),
+        );
+        for round in 0..40 {
+            let mut changes = Vec::new();
+            let mut touched = std::collections::HashSet::new();
+            for _ in 0..rng.random_range(1..50usize) {
+                let u = rng.random_range(0..values.len() as u32);
+                if !touched.insert(u) {
+                    continue;
+                }
+                let old = values[u as usize];
+                let new = rng.random_range(0..9u32);
+                values[u as usize] = new;
+                changes.push((u, old, new));
+            }
+            index = index.advance(changes);
+            assert_matches(&index, &values);
+            // Pages concatenate to the full answer at several page sizes.
+            if round % 10 == 0 {
+                for k in [0u32, 2, 5] {
+                    for page in [1usize, 7, 512, 4_096] {
+                        let mut paged = Vec::new();
+                        let mut offset = 0;
+                        loop {
+                            let chunk: Vec<u32> = index.members_page(k, offset, page).collect();
+                            let len = chunk.len();
+                            paged.extend(chunk);
+                            offset += len;
+                            if len < page {
+                                break;
+                            }
+                        }
+                        assert_eq!(
+                            paged,
+                            index.members(k).collect::<Vec<_>>(),
+                            "k={k} page={page}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_shares_untouched_chunks() {
+        // A one-node change must rewrite at most two shells' chunk
+        // tables (source + destination) and share every other chunk Arc.
+        let values: Vec<u32> = (0..10_000).map(|u| u % 5).collect();
+        let prev = ShellIndex::build(
+            values
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(u, k)| (u as u32, k)),
+        );
+        // 9999 lands in each shell's (non-full) tail chunk, so neither
+        // the removal nor the insertion splits a chunk — the zip below
+        // stays aligned and measures pure copy-on-write sharing.
+        let next = prev.advance([(9999u32, 4u32, 0u32)]);
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for (a, b) in prev.shells.iter().zip(&next.shells) {
+            for (ca, cb) in a.chunks.iter().zip(&b.chunks) {
+                total += 1;
+                if Arc::ptr_eq(ca, cb) {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(
+            shared + 2 >= total,
+            "at most one chunk per touched shell may be rewritten: {shared}/{total} shared"
+        );
+        assert_eq!(prev.shell_len(4), 2_000, "pinned index unchanged");
+        assert_eq!(next.shell_len(4), 1_999);
+        assert_eq!(next.shell_len(0), 2_001);
+        assert!(next.members(0).any(|u| u == 9_999));
+    }
+
+    #[test]
+    fn chunks_split_and_never_exceed_the_cap() {
+        let mut list = ShellList::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ids: Vec<u32> = (0..5_000).collect();
+        ids.shuffle(&mut rng);
+        for id in ids {
+            list.insert(id);
+        }
+        assert_eq!(list.len(), 5_000);
+        assert!(list.chunks.iter().all(|c| c.len() <= SHELL_CHUNK_MAX));
+        assert_eq!(
+            list.iter().collect::<Vec<_>>(),
+            (0..5_000).collect::<Vec<_>>()
+        );
+        for id in (0..5_000).step_by(2) {
+            list.remove(id);
+        }
+        assert_eq!(
+            list.iter().collect::<Vec<_>>(),
+            (1..5_000).step_by(2).collect::<Vec<_>>()
+        );
+        // iter_from agrees with skip at arbitrary offsets.
+        for offset in [0usize, 1, 700, 2_499, 2_500, 9_999] {
+            assert_eq!(
+                list.iter_from(offset).collect::<Vec<_>>(),
+                list.iter().skip(offset).collect::<Vec<_>>(),
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_indexes() {
+        let empty = ShellIndex::build(std::iter::empty());
+        assert_eq!(empty.shell_count(), 0);
+        assert_eq!(empty.members(0).count(), 0);
+        assert_eq!(empty.members_page(3, 10, 10).count(), 0);
+        assert_eq!(empty.top().count(), 0);
+        assert_eq!(empty.kcore_len(0), 0);
+
+        let uniform = ShellIndex::build((0..100u32).map(|u| (u, 3u32)));
+        assert_eq!(uniform.shell_count(), 4);
+        assert_eq!(uniform.members(3).count(), 100);
+        assert_eq!(uniform.members(4).count(), 0);
+        assert_eq!(
+            uniform.members_page(0, 95, 100).collect::<Vec<_>>(),
+            (95..100u32).collect::<Vec<_>>()
+        );
+    }
+}

@@ -54,10 +54,14 @@
 //! {1, 2, 4}. See the [`sharded`] module docs for the protocol.
 //!
 //! A minimal std-only TCP front end ([`wire`]) exposes the same queries
-//! as a line protocol (`dkcore serve [--shards S]` / `dkcore query` in
-//! the CLI), generic over either backend through [`SnapshotSource`] /
-//! [`EpochView`]; the in-process handles are what benches and embedding
-//! applications use directly.
+//! as a line protocol plus a binary pipelined mode (`dkcore serve
+//! [--shards S]` / `dkcore query` in the CLI), generic over either
+//! backend through [`SnapshotSource`] / [`CoreQuery`] / [`CoreScan`];
+//! the in-process handles are what benches and embedding applications
+//! use directly. Bulk queries (`members`, `top_k`, subgraphs) answer in
+//! **O(answer)** off incrementally-maintained per-shell membership
+//! indexes — maintained through the same per-batch coreness delta that
+//! drives incremental publishing, gated by `bench_pr7`.
 //!
 //! # Fault tolerance
 //!
@@ -109,6 +113,7 @@
 
 pub mod fault;
 mod health;
+mod index;
 mod service;
 pub mod sharded;
 mod snapshot;
@@ -122,5 +127,14 @@ pub use sharded::{
     ShardedConfig, ShardedCoreService, ShardedHandle, ShardedPublishReport, StitchedSnapshot,
 };
 pub use snapshot::CoreSnapshot;
-pub use view::{EpochView, SnapshotSource};
-pub use wire::{serve, RetryPolicy, WireClient, WireServer};
+// Re-exporting the deprecated trait keeps pre-PR-7 imports compiling;
+// the deprecation warning still fires at the downstream use site.
+#[allow(deprecated)]
+pub use view::EpochView;
+#[doc(hidden)]
+pub use view::{kcore_members_scan, kcore_subgraph_scan, top_k_scan};
+pub use view::{CoreQuery, CoreScan, SnapshotSource};
+pub use wire::{
+    serve, BinRequest, BinResponse, BinaryWireClient, CacheStats, RetryPolicy, WireClient,
+    WireServer,
+};

@@ -93,7 +93,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use dkcore::compute_index;
@@ -105,6 +105,7 @@ use dkcore_graph::{Graph, NodeId};
 
 use crate::fault::{Fate, FaultPlan, FaultSession};
 use crate::health::{HealthCell, HealthReport, ShardHealth};
+use crate::index::{MergedMembers, MergedTop, ShellIndex};
 use crate::service::EpochCell;
 use crate::snapshot::{apply_shell_change, trim_shells, AdjChunk, ChunkedU32, ADJ_CHUNK};
 
@@ -317,6 +318,11 @@ pub(crate) struct ShardSnapshot {
     adj: Vec<Arc<AdjChunk>>,
     /// Local shell-size histogram (trailing zeros trimmed).
     shell_sizes: Vec<usize>,
+    /// Per-shell membership lists holding **global** ids — valid because
+    /// `owned` is sorted, so ascending slot order is ascending global-id
+    /// order. The stitched view merges these across shards for O(answer)
+    /// `members` / `top_k`.
+    index: ShellIndex,
 }
 
 impl ShardSnapshot {
@@ -335,11 +341,13 @@ impl ShardSnapshot {
         for &k in &shard.est {
             shell_sizes[k as usize] += 1;
         }
+        let index = ShellIndex::build(shard.owned.iter().copied().zip(shard.est.iter().copied()));
         ShardSnapshot {
             coreness,
             degrees,
             adj,
             shell_sizes,
+            index,
         }
     }
 
@@ -353,6 +361,9 @@ impl ShardSnapshot {
             degrees: self.degrees.clone(),
             adj: self.adj.clone(),
             shell_sizes: self.shell_sizes.clone(),
+            // The epoch's (global, old, new) delta maintains the shell
+            // index copy-on-write, like every other chunked array here.
+            index: self.index.advance(changes.iter().copied()),
         };
         for &(u, old, new) in changes {
             let s = shard_slot(shard, u);
@@ -767,6 +778,7 @@ impl ShardedCoreService {
                     degrees: ChunkedU32::default(),
                     adj: Vec::new(),
                     shell_sizes: vec![0],
+                    index: ShellIndex::default(),
                 })
             }),
         };
@@ -1492,6 +1504,10 @@ pub struct StitchedSnapshot {
     /// Union shell-size histogram (sum of the shard histograms, trailing
     /// zeros trimmed).
     shell_sizes: Vec<usize>,
+    /// Memoized union k-core subgraphs for hot `k` values; invalidated
+    /// for free at the epoch flip (the next stitched vector is a new
+    /// snapshot with an empty cache).
+    subgraphs: Mutex<crate::view::SubgraphMemo>,
     /// Lazily materialized flat coreness (query-side, once per epoch).
     full_values: OnceLock<Vec<u32>>,
     /// Lazily materialized union graph (query-side, once per epoch).
@@ -1525,6 +1541,7 @@ impl StitchedSnapshot {
             map,
             shards,
             shell_sizes,
+            subgraphs: Mutex::new(HashMap::new()),
             full_values: OnceLock::new(),
             full_graph: OnceLock::new(),
         }
@@ -1596,29 +1613,83 @@ impl StitchedSnapshot {
             .sum::<usize>()
     }
 
-    /// The members of the union k-core in ascending global id order:
-    /// one linear scan over the global id space, each node answered by
-    /// its owning shard's chunks.
+    /// The members of the union k-core in ascending global id order: a
+    /// k-way merge of the per-shard shell indexes, O(answer · log S)
+    /// instead of a scan of the global id space.
     pub fn kcore_members(&self, k: u32) -> Vec<NodeId> {
-        (0..self.nodes as u32)
-            .filter(|&u| self.coreness(NodeId(u)).expect("in range") >= k)
-            .map(NodeId)
-            .collect()
+        self.kcore_members_page(k, 0, usize::MAX).collect()
+    }
+
+    /// One page of the union k-core members: positions `offset ..
+    /// offset + limit` of the ascending-global-id member sequence.
+    /// Pages concatenate to exactly [`kcore_members`](Self::kcore_members).
+    pub fn kcore_members_page(
+        &self,
+        k: u32,
+        offset: usize,
+        limit: usize,
+    ) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match &self.shards[..] {
+            // Single shard: its index pages directly (chunk-skipping
+            // offset instead of an element-wise merge skip).
+            [only] => Box::new(only.index.members_page(k, offset, limit).map(NodeId)),
+            shards => Box::new(
+                MergedMembers::new(shards.iter().map(|s| s.index.members(k)))
+                    .skip(offset)
+                    .take(limit)
+                    .map(NodeId),
+            ),
+        }
     }
 
     /// Extracts the union k-core subgraph with the compact-id mapping,
-    /// identical to [`CoreSnapshot::kcore_subgraph`](crate::CoreSnapshot::kcore_subgraph)
-    /// (both run the shared [`EpochView`](crate::EpochView)-generic
-    /// extraction).
+    /// identical to [`CoreSnapshot::kcore_subgraph`](crate::CoreSnapshot::kcore_subgraph):
+    /// O(answer) member enumeration off the shard indexes, then the
+    /// shared member-fed extraction. Clones out of the per-snapshot
+    /// memo; [`kcore_subgraph_cached`](Self::kcore_subgraph_cached)
+    /// shares it instead.
     pub fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
-        crate::view::kcore_subgraph_of(self, k)
+        (*self.kcore_subgraph_cached(k)).clone()
+    }
+
+    /// The memoized union k-core subgraph: first call per `k` extracts
+    /// and caches; epochs are immutable, so the cache can never go
+    /// stale.
+    pub fn kcore_subgraph_cached(&self, k: u32) -> Arc<(Graph, Vec<NodeId>)> {
+        let mut memo = self
+            .subgraphs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(memo.entry(k).or_insert_with(|| {
+            Arc::new(crate::view::kcore_subgraph_from_members(
+                self,
+                self.kcore_members_page(k, 0, usize::MAX),
+            ))
+        }))
     }
 
     /// The `n` nodes of largest coreness, ordered by descending coreness
-    /// then ascending global id — same contract (and shared
-    /// implementation) as the single-writer snapshot's `top_k`.
+    /// then ascending global id — same contract as the single-writer
+    /// snapshot's `top_k`, emitted by a rank-order merge of the shard
+    /// indexes in O(answer · log S).
     pub fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
-        crate::view::top_k_of(self, n)
+        self.top_page(0, n).collect()
+    }
+
+    /// One page of the full union coreness ranking: positions `offset
+    /// .. offset + limit` of the (coreness desc, global id asc)
+    /// sequence. Pages concatenate to the whole ranking.
+    pub fn top_page(
+        &self,
+        offset: usize,
+        limit: usize,
+    ) -> Box<dyn Iterator<Item = (NodeId, u32)> + '_> {
+        Box::new(
+            MergedTop::new(self.shards.iter().map(|s| s.index.top()))
+                .skip(offset)
+                .take(limit)
+                .map(|(u, c)| (NodeId(u), c)),
+        )
     }
 
     /// Coreness of every node in the union graph, materialized lazily on

@@ -46,10 +46,13 @@
 //! [`CoreService`]: crate::CoreService
 //! [`StreamCore::last_touched`]: dkcore::stream::StreamCore::last_touched
 
-use std::sync::{Arc, OnceLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use dkcore::stream::{EdgeBatch, StreamCore};
 use dkcore_graph::{Graph, NodeId};
+
+use crate::index::ShellIndex;
 
 /// Nodes per coreness/degree chunk.
 pub const VALUE_CHUNK: usize = 1024;
@@ -174,6 +177,16 @@ pub struct CoreSnapshot {
     /// `shell_sizes[k]` = number of nodes with coreness exactly `k`.
     /// Trailing zero shells are trimmed (`len == max_coreness + 1`).
     shell_sizes: Vec<usize>,
+    /// Per-shell membership lists maintained incrementally through
+    /// [`advance`](Self::advance) — the O(answer) engine behind
+    /// `kcore_members` / `top_k` / subgraph extraction. `None` only for
+    /// [`capture_unindexed`](Self::capture_unindexed) chains (the
+    /// benchmark baseline), which fall back to O(N) scans.
+    index: Option<ShellIndex>,
+    /// Memoized k-core subgraphs for hot `k` values. Shared by clones of
+    /// this snapshot (same epoch, same answers); invalidation is free —
+    /// the next epoch is a different snapshot with an empty cache.
+    subgraphs: Arc<Mutex<crate::view::SubgraphMemo>>,
     /// Lazily materialized flat coreness (query-side, once per epoch).
     full_values: OnceLock<Vec<u32>>,
     /// Lazily materialized graph (query-side, once per epoch).
@@ -192,6 +205,19 @@ impl CoreSnapshot {
     /// cheap read-only export (`values` + `degrees` + arena), so nothing
     /// is re-derived with a fresh decomposition pass.
     pub fn capture(epoch: u64, core: &StreamCore) -> Self {
+        Self::capture_impl(epoch, core, true)
+    }
+
+    /// [`capture`](Self::capture) without the shell index: every bulk
+    /// query falls back to the O(N) scan path. This is **only** for
+    /// benchmarking the indexed paths against the scan baseline
+    /// (`bench_pr7`) — production snapshots are always indexed.
+    #[doc(hidden)]
+    pub fn capture_unindexed(epoch: u64, core: &StreamCore) -> Self {
+        Self::capture_impl(epoch, core, false)
+    }
+
+    fn capture_impl(epoch: u64, core: &StreamCore, indexed: bool) -> Self {
         let n = core.node_count();
         let coreness = ChunkedU32::from_iter(n, core.values().iter().copied());
         let degrees = ChunkedU32::from_iter(n, (0..n).map(|u| core.adjacency().degree(u)));
@@ -210,6 +236,14 @@ impl CoreSnapshot {
         for &k in core.values() {
             shell_sizes[k as usize] += 1;
         }
+        let index = indexed.then(|| {
+            ShellIndex::build(
+                core.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(u, &k)| (u as u32, k)),
+            )
+        });
         CoreSnapshot {
             epoch,
             nodes: n,
@@ -218,6 +252,8 @@ impl CoreSnapshot {
             degrees,
             adj,
             shell_sizes,
+            index,
+            subgraphs: Arc::new(Mutex::new(HashMap::new())),
             full_values: OnceLock::new(),
             full_graph: OnceLock::new(),
         }
@@ -241,6 +277,13 @@ impl CoreSnapshot {
             degrees: self.degrees.clone(),
             adj: self.adj.clone(),
             shell_sizes: self.shell_sizes.clone(),
+            // Same coreness delta maintains the shell index CoW: one Arc
+            // clone per chunk pointer, one chunk rewrite per moved node.
+            index: self
+                .index
+                .as_ref()
+                .map(|ix| ix.advance(core.last_coreness_changes())),
+            subgraphs: Arc::new(Mutex::new(HashMap::new())),
             full_values: OnceLock::new(),
             full_graph: OnceLock::new(),
         };
@@ -359,32 +402,91 @@ impl CoreSnapshot {
     /// ascending id order. Empty when `k` exceeds the max coreness
     /// (except `k = 0`, which is all nodes).
     pub fn kcore_members(&self, k: u32) -> Vec<NodeId> {
-        self.coreness
-            .iter()
-            .enumerate()
-            .filter(|&(_, c)| c >= k)
-            .map(|(u, _)| NodeId(u as u32))
-            .collect()
+        self.kcore_members_page(k, 0, usize::MAX).collect()
+    }
+
+    /// One page of the k-core members: positions `offset .. offset +
+    /// limit` of the ascending-id member sequence. Pages concatenate to
+    /// exactly [`kcore_members`](Self::kcore_members). `O(answer)` off
+    /// the shell index; `O(N)` scan on unindexed (benchmark) snapshots.
+    pub fn kcore_members_page(
+        &self,
+        k: u32,
+        offset: usize,
+        limit: usize,
+    ) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match &self.index {
+            Some(ix) => Box::new(ix.members_page(k, offset, limit).map(NodeId)),
+            None => Box::new(
+                crate::view::kcore_members_scan(self, k)
+                    .skip(offset)
+                    .take(limit),
+            ),
+        }
     }
 
     /// Extracts the k-core subgraph: the graph induced on the nodes with
     /// coreness ≥ `k`, plus the mapping from new compact ids back to the
     /// original [`NodeId`]s (position `i` is the original id of new node
-    /// `i`). Chunk-local (never materializes the full graph), via the
-    /// shared [`EpochView`](crate::EpochView)-generic extraction.
+    /// `i`). `O(answer)` member enumeration off the shell index, then
+    /// chunk-local edge collection (never materializes the full graph).
+    ///
+    /// Clones out of the per-snapshot memo; use
+    /// [`kcore_subgraph_cached`](Self::kcore_subgraph_cached) to share
+    /// the extraction instead of copying it.
     pub fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
-        crate::view::kcore_subgraph_of(self, k)
+        (*self.kcore_subgraph_cached(k)).clone()
+    }
+
+    /// The memoized k-core subgraph: first call per `k` extracts and
+    /// caches, later calls (and clones of this snapshot) share the
+    /// `Arc`. Epochs are immutable, so the cache can never go stale —
+    /// the next epoch is a new snapshot with an empty cache.
+    pub fn kcore_subgraph_cached(&self, k: u32) -> Arc<(Graph, Vec<NodeId>)> {
+        let mut memo = self
+            .subgraphs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(memo.entry(k).or_insert_with(|| {
+            Arc::new(crate::view::kcore_subgraph_from_members(
+                self,
+                self.kcore_members_page(k, 0, usize::MAX),
+            ))
+        }))
     }
 
     /// The `n` nodes of largest coreness as `(node, coreness)` pairs,
     /// ordered by descending coreness, ties by ascending id. Returns all
     /// nodes when `n ≥ node_count()`.
     ///
-    /// Runs in `O(N)` (no full sort): the histogram locates the coreness
-    /// threshold, a single scan collects the members — the shared
-    /// [`EpochView`](crate::EpochView)-generic implementation.
+    /// `O(answer)`: a slice of the shell index (shells walked from the
+    /// top coreness down, each already in id order — no sort, no scan).
     pub fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
-        crate::view::top_k_of(self, n)
+        self.top_page(0, n).collect()
+    }
+
+    /// One page of the full coreness ranking: positions `offset ..
+    /// offset + limit` of the (coreness desc, id asc) sequence. Pages
+    /// concatenate to the whole ranking. `O(offset + limit)` off the
+    /// shell index; `O(N)` scan on unindexed (benchmark) snapshots.
+    pub fn top_page(
+        &self,
+        offset: usize,
+        limit: usize,
+    ) -> Box<dyn Iterator<Item = (NodeId, u32)> + '_> {
+        match &self.index {
+            Some(ix) => Box::new(
+                ix.top()
+                    .skip(offset)
+                    .take(limit)
+                    .map(|(u, c)| (NodeId(u), c)),
+            ),
+            None => Box::new(
+                crate::view::top_k_scan(self, offset.saturating_add(limit))
+                    .into_iter()
+                    .skip(offset),
+            ),
+        }
     }
 }
 

@@ -1,7 +1,29 @@
 //! The query interface shared by the single-writer and sharded serving
 //! layers, so the wire front end (and any embedding application) can
 //! serve either backend through one code path.
+//!
+//! # The v2 split: [`CoreQuery`] + [`CoreScan`]
+//!
+//! The original [`EpochView`] trait mixed O(1) point lookups with
+//! allocating `Vec`-returning bulk reads (`histogram()`, `kcore_members`,
+//! `top_k`), which forced the wire layer to materialize whole answers
+//! and hid the O(N) scans behind innocent-looking calls. v2 splits it:
+//!
+//! * [`CoreQuery`] — point lookups only (`coreness`, `degree`,
+//!   `neighbors`, sizes). Everything here is O(1)/O(shells) per call.
+//! * [`CoreScan`] — bulk reads as **iterators with pagination**
+//!   (`members(k, offset, limit)`, `top(offset, limit)`,
+//!   `shell_sizes()`) plus the memoized [`kcore_subgraph_cached`]. On
+//!   indexed snapshots these emit in O(answer), flat in N.
+//!
+//! [`EpochView`] survives as a deprecated facade: a blanket impl gives
+//! it to every [`CoreScan`] type, so downstream code migrates without a
+//! flag day — old call sites keep compiling (with a deprecation
+//! warning), new code takes `CoreQuery`/`CoreScan` bounds.
+//!
+//! [`kcore_subgraph_cached`]: CoreScan::kcore_subgraph_cached
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use dkcore_graph::{Graph, NodeId};
@@ -11,10 +33,76 @@ use crate::service::ServiceHandle;
 use crate::sharded::{ShardedHandle, StitchedSnapshot};
 use crate::snapshot::CoreSnapshot;
 
-/// One pinned, immutable epoch answering every query family of the
-/// serving layer. Implemented by [`CoreSnapshot`] (single writer) and
-/// [`StitchedSnapshot`] (sharded); all answers are internally consistent
-/// because the view never changes after publication.
+/// Per-snapshot memo of extracted k-core subgraphs, keyed by `k`.
+pub(crate) type SubgraphMemo = HashMap<u32, Arc<(Graph, Vec<NodeId>)>>;
+
+/// Point lookups against one pinned, immutable epoch. Implemented by
+/// [`CoreSnapshot`] (single writer) and [`StitchedSnapshot`] (sharded);
+/// all answers are internally consistent because the view never changes
+/// after publication.
+pub trait CoreQuery: Send + Sync {
+    /// The epoch this view was published as.
+    fn epoch(&self) -> u64;
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+    /// The largest coreness.
+    fn max_coreness(&self) -> u32;
+    /// Coreness of `v`, or `None` when out of range.
+    fn coreness(&self, v: NodeId) -> Option<u32>;
+    /// Degree of `v`, or `None` when out of range.
+    fn degree(&self, v: NodeId) -> Option<u32>;
+    /// Sorted neighbors of `v` (global node ids), or `None` when out of
+    /// range.
+    fn neighbors(&self, v: NodeId) -> Option<&[u32]>;
+    /// Number of nodes with coreness exactly `k` (0 past the top shell).
+    fn shell_size(&self, k: u32) -> usize;
+    /// Number of nodes with coreness ≥ `k` — the k-core's size, without
+    /// materializing the member list. O(shells).
+    fn kcore_size(&self, k: u32) -> usize {
+        if k > self.max_coreness() {
+            return 0;
+        }
+        (k..=self.max_coreness()).map(|j| self.shell_size(j)).sum()
+    }
+}
+
+/// Paginated / iterator bulk reads over one pinned epoch — the scan
+/// half of the v2 query API. On indexed snapshots every method emits in
+/// O(answer) (flat in N for a fixed answer size); implementations
+/// without an index fall back to O(N) scans with identical results.
+pub trait CoreScan: CoreQuery {
+    /// The shell-size histogram as an iterator: entry `k` counts the
+    /// nodes with coreness exactly `k`, `max_coreness() + 1` entries.
+    fn shell_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..=self.max_coreness()).map(|k| self.shell_size(k))
+    }
+    /// One page of the k-core members: positions `offset .. offset +
+    /// limit` of the ascending-id sequence of nodes with coreness ≥ `k`.
+    /// Pages concatenate to exactly the full member list; `(0,
+    /// usize::MAX)` streams it whole.
+    fn members(&self, k: u32, offset: usize, limit: usize) -> impl Iterator<Item = NodeId> + '_;
+    /// One page of the full coreness ranking: positions `offset ..
+    /// offset + limit` of the (coreness desc, id asc) sequence over all
+    /// nodes. Pages concatenate to the whole ranking.
+    fn top(&self, offset: usize, limit: usize) -> impl Iterator<Item = (NodeId, u32)> + '_;
+    /// The memoized k-core subgraph: the graph induced on the nodes
+    /// with coreness ≥ `k` plus the compact-id → original-id map
+    /// (position `i` is the original id of new node `i`, ascending).
+    /// First call per `k` extracts and caches in the snapshot; epochs
+    /// are immutable, so the cache is invalidated for free at the flip.
+    fn kcore_subgraph_cached(&self, k: u32) -> Arc<(Graph, Vec<NodeId>)>;
+}
+
+/// The original monolithic query trait, superseded by the
+/// [`CoreQuery`] + [`CoreScan`] split (see the [module docs](self)).
+/// A blanket impl derives it for every [`CoreScan`] type, so existing
+/// call sites keep working while they migrate.
+#[deprecated(
+    since = "0.7.0",
+    note = "take `CoreQuery` (point lookups) and/or `CoreScan` (paginated bulk reads) bounds instead"
+)]
 pub trait EpochView: Send + Sync {
     /// The epoch this view was published as.
     fn epoch(&self) -> u64;
@@ -41,45 +129,74 @@ pub trait EpochView: Send + Sync {
     fn top_k(&self, n: usize) -> Vec<(NodeId, u32)>;
 }
 
-/// Extracts the k-core subgraph of any epoch view: the graph induced on
-/// the nodes with coreness ≥ `k`, plus the compact-id → original-id map
-/// (position `i` is the original id of new node `i`, ascending). The one
-/// implementation behind both `CoreSnapshot::kcore_subgraph` and
-/// `StitchedSnapshot::kcore_subgraph`.
-pub(crate) fn kcore_subgraph_of<V: EpochView + ?Sized>(view: &V, k: u32) -> (Graph, Vec<NodeId>) {
-    let n = view.node_count();
-    let mut new_id = vec![u32::MAX; n];
-    let mut back: Vec<NodeId> = Vec::new();
-    for u in 0..n as u32 {
-        if view.coreness(NodeId(u)).expect("in range") >= k {
-            new_id[u as usize] = back.len() as u32;
-            back.push(NodeId(u));
-        }
+// Implementing the deprecated trait is the whole point of the blanket
+// impl: every CoreScan type keeps satisfying pre-PR-7 EpochView bounds.
+#[allow(deprecated)]
+impl<T: CoreScan> EpochView for T {
+    fn epoch(&self) -> u64 {
+        CoreQuery::epoch(self)
     }
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    for &u in &back {
-        for &v in view.neighbors(u).expect("member in range") {
-            if u.0 < v && new_id[v as usize] != u32::MAX {
-                edges.push((new_id[u.index()], new_id[v as usize]));
-            }
-        }
+    fn node_count(&self) -> usize {
+        CoreQuery::node_count(self)
     }
-    let sub = Graph::from_edges(back.len(), edges).expect("induced subgraph is valid");
-    (sub, back)
+    fn edge_count(&self) -> usize {
+        CoreQuery::edge_count(self)
+    }
+    fn max_coreness(&self) -> u32 {
+        CoreQuery::max_coreness(self)
+    }
+    fn coreness(&self, v: NodeId) -> Option<u32> {
+        CoreQuery::coreness(self, v)
+    }
+    fn degree(&self, v: NodeId) -> Option<u32> {
+        CoreQuery::degree(self, v)
+    }
+    fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
+        CoreQuery::neighbors(self, v)
+    }
+    fn histogram(&self) -> Vec<usize> {
+        CoreScan::shell_sizes(self).collect()
+    }
+    fn kcore_members(&self, k: u32) -> Vec<NodeId> {
+        CoreScan::members(self, k, 0, usize::MAX).collect()
+    }
+    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
+        (*CoreScan::kcore_subgraph_cached(self, k)).clone()
+    }
+    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
+        CoreScan::top(self, 0, n).collect()
+    }
 }
 
-/// The `n` nodes of largest coreness in any epoch view, ordered by
-/// descending coreness then ascending id, in `O(N)` (the histogram
-/// locates the threshold shell, one scan collects the members). The one
-/// implementation behind both snapshots' `top_k`.
-pub(crate) fn top_k_of<V: EpochView + ?Sized>(view: &V, n: usize) -> Vec<(NodeId, u32)> {
+/// The O(N) scan over all node ids behind the pre-index `MEMBERS` path.
+/// Retained as the fallback for unindexed (benchmark-baseline) snapshots
+/// and as the reference the indexed path is benchmarked against
+/// (`bench_pr7`); production queries go through [`CoreScan::members`].
+#[doc(hidden)]
+pub fn kcore_members_scan<V: CoreQuery + ?Sized>(
+    view: &V,
+    k: u32,
+) -> impl Iterator<Item = NodeId> + '_ {
+    (0..view.node_count() as u32)
+        .filter(move |&u| view.coreness(NodeId(u)).expect("in range") >= k)
+        .map(NodeId)
+}
+
+/// The O(N) scan-and-partial-sort behind the pre-index `TOPK` path (the
+/// histogram locates the threshold shell, one scan collects members).
+/// Retained as the unindexed fallback and the `bench_pr7` baseline; the
+/// indexed path ([`CoreScan::top`]) is a slice of the shell index.
+#[doc(hidden)]
+pub fn top_k_scan<V: CoreQuery + ?Sized>(view: &V, n: usize) -> Vec<(NodeId, u32)> {
     let total = view.node_count();
     let n = n.min(total);
     if n == 0 {
         return Vec::new();
     }
     // Find the smallest threshold t such that |{v : core(v) ≥ t}| ≥ n.
-    let hist = view.histogram();
+    let hist: Vec<usize> = (0..=view.max_coreness())
+        .map(|k| view.shell_size(k))
+        .collect();
     let mut t = hist.len(); // exclusive upper bound
     let mut above = 0usize; // |{v : core(v) ≥ t}|
     while t > 0 && above < n {
@@ -105,7 +222,61 @@ pub(crate) fn top_k_of<V: EpochView + ?Sized>(view: &V, n: usize) -> Vec<(NodeId
     strict
 }
 
-impl EpochView for CoreSnapshot {
+/// The O(N)-membership subgraph extraction (scan every id, dense remap
+/// table). Retained as the `bench_pr7` baseline; production extraction
+/// is [`kcore_subgraph_from_members`] fed by the shell index.
+#[doc(hidden)]
+pub fn kcore_subgraph_scan<V: CoreQuery + ?Sized>(view: &V, k: u32) -> (Graph, Vec<NodeId>) {
+    let n = view.node_count();
+    let mut new_id = vec![u32::MAX; n];
+    let mut back: Vec<NodeId> = Vec::new();
+    for u in 0..n as u32 {
+        if view.coreness(NodeId(u)).expect("in range") >= k {
+            new_id[u as usize] = back.len() as u32;
+            back.push(NodeId(u));
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for &u in &back {
+        for &v in view.neighbors(u).expect("member in range") {
+            if u.0 < v && new_id[v as usize] != u32::MAX {
+                edges.push((new_id[u.index()], new_id[v as usize]));
+            }
+        }
+    }
+    let sub = Graph::from_edges(back.len(), edges).expect("induced subgraph is valid");
+    (sub, back)
+}
+
+/// Extracts the k-core subgraph from an already-enumerated member list
+/// (ascending ids, straight off the shell index): O(answer) membership +
+/// remap instead of the O(N) scan of [`kcore_subgraph_scan`]. The one
+/// implementation behind both snapshots' memoized extraction.
+pub(crate) fn kcore_subgraph_from_members<V: CoreQuery + ?Sized>(
+    view: &V,
+    members: impl Iterator<Item = NodeId>,
+) -> (Graph, Vec<NodeId>) {
+    let back: Vec<NodeId> = members.collect();
+    let new_id: HashMap<u32, u32> = back
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.0, i as u32))
+        .collect();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (i, &u) in back.iter().enumerate() {
+        for &v in view.neighbors(u).expect("member in range") {
+            if u.0 < v {
+                if let Some(&nv) = new_id.get(&v) {
+                    edges.push((i as u32, nv));
+                }
+            }
+        }
+    }
+    let sub = Graph::from_edges(back.len(), edges).expect("induced subgraph is valid");
+    (sub, back)
+}
+
+impl CoreQuery for CoreSnapshot {
     fn epoch(&self) -> u64 {
         CoreSnapshot::epoch(self)
     }
@@ -127,21 +298,33 @@ impl EpochView for CoreSnapshot {
     fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
         CoreSnapshot::neighbors(self, v)
     }
-    fn histogram(&self) -> Vec<usize> {
-        CoreSnapshot::histogram(self).to_vec()
+    fn shell_size(&self, k: u32) -> usize {
+        CoreSnapshot::histogram(self)
+            .get(k as usize)
+            .copied()
+            .unwrap_or(0)
     }
-    fn kcore_members(&self, k: u32) -> Vec<NodeId> {
-        CoreSnapshot::kcore_members(self, k)
-    }
-    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
-        CoreSnapshot::kcore_subgraph(self, k)
-    }
-    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
-        CoreSnapshot::top_k(self, n)
+    fn kcore_size(&self, k: u32) -> usize {
+        CoreSnapshot::kcore_size(self, k)
     }
 }
 
-impl EpochView for StitchedSnapshot {
+impl CoreScan for CoreSnapshot {
+    fn shell_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        CoreSnapshot::histogram(self).iter().copied()
+    }
+    fn members(&self, k: u32, offset: usize, limit: usize) -> impl Iterator<Item = NodeId> + '_ {
+        CoreSnapshot::kcore_members_page(self, k, offset, limit)
+    }
+    fn top(&self, offset: usize, limit: usize) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        CoreSnapshot::top_page(self, offset, limit)
+    }
+    fn kcore_subgraph_cached(&self, k: u32) -> Arc<(Graph, Vec<NodeId>)> {
+        CoreSnapshot::kcore_subgraph_cached(self, k)
+    }
+}
+
+impl CoreQuery for StitchedSnapshot {
     fn epoch(&self) -> u64 {
         StitchedSnapshot::epoch(self)
     }
@@ -163,26 +346,38 @@ impl EpochView for StitchedSnapshot {
     fn neighbors(&self, v: NodeId) -> Option<&[u32]> {
         StitchedSnapshot::neighbors(self, v)
     }
-    fn histogram(&self) -> Vec<usize> {
-        StitchedSnapshot::histogram(self).to_vec()
+    fn shell_size(&self, k: u32) -> usize {
+        StitchedSnapshot::histogram(self)
+            .get(k as usize)
+            .copied()
+            .unwrap_or(0)
     }
-    fn kcore_members(&self, k: u32) -> Vec<NodeId> {
-        StitchedSnapshot::kcore_members(self, k)
-    }
-    fn kcore_subgraph(&self, k: u32) -> (Graph, Vec<NodeId>) {
-        StitchedSnapshot::kcore_subgraph(self, k)
-    }
-    fn top_k(&self, n: usize) -> Vec<(NodeId, u32)> {
-        StitchedSnapshot::top_k(self, n)
+    fn kcore_size(&self, k: u32) -> usize {
+        StitchedSnapshot::kcore_size(self, k)
     }
 }
 
-/// A cloneable reader handle yielding pinned [`EpochView`]s — what the
-/// wire server is generic over. Implemented by [`ServiceHandle`] and
+impl CoreScan for StitchedSnapshot {
+    fn shell_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        StitchedSnapshot::histogram(self).iter().copied()
+    }
+    fn members(&self, k: u32, offset: usize, limit: usize) -> impl Iterator<Item = NodeId> + '_ {
+        StitchedSnapshot::kcore_members_page(self, k, offset, limit)
+    }
+    fn top(&self, offset: usize, limit: usize) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        StitchedSnapshot::top_page(self, offset, limit)
+    }
+    fn kcore_subgraph_cached(&self, k: u32) -> Arc<(Graph, Vec<NodeId>)> {
+        StitchedSnapshot::kcore_subgraph_cached(self, k)
+    }
+}
+
+/// A cloneable reader handle yielding pinned [`CoreScan`] views — what
+/// the wire server is generic over. Implemented by [`ServiceHandle`] and
 /// [`ShardedHandle`].
 pub trait SnapshotSource: Clone + Send + 'static {
     /// The pinned epoch type this source yields.
-    type View: EpochView;
+    type View: CoreScan;
     /// The latest published epoch, pinned.
     fn snapshot(&self) -> Arc<Self::View>;
     /// The latest published epoch number, without pinning a view.

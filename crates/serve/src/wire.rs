@@ -1,5 +1,9 @@
-//! Minimal std-only TCP line protocol over a [`ServiceHandle`] — the
-//! wire front end behind `dkcore serve` / `dkcore query`.
+//! Std-only TCP front end behind `dkcore serve` / `dkcore query`: a
+//! backward-compatible line protocol (the default) plus a negotiated
+//! **binary pipelined mode**, both answering every query from one pinned
+//! epoch snapshot per request.
+//!
+//! # Text protocol (default)
 //!
 //! One UTF-8 command per line; every response starts with `OK` or `ERR`.
 //! All answers are served from the latest published epoch, and every
@@ -7,15 +11,26 @@
 //!
 //! | request | response |
 //! |---------|----------|
+//! | `HELLO` | `OK proto=2 epoch=<e> modes=text,binary` |
+//! | `HELLO TEXT` | `OK proto=2 mode=text` (connection stays in line mode) |
+//! | `HELLO BINARY` | `OK proto=2 mode=binary`, then the connection switches to binary framing |
 //! | `EPOCH` | `OK epoch=<e> nodes=<n> edges=<m> kmax=<k>` |
 //! | `CORENESS <v>` | `OK epoch=<e> coreness=<c> degree=<d>` |
 //! | `MEMBERS <k>` | `OK epoch=<e> count=<c> members=<v1,v2,...>` |
+//! | `MEMBERS <k> OFFSET <o> LIMIT <l>` | `OK epoch=<e> total=<t> offset=<o> count=<c> members=<...>` |
 //! | `SUBGRAPH <k>` | `OK epoch=<e> nodes=<n> edges=<m>`, then `m` lines `u v` (original ids) |
 //! | `HIST` | `OK epoch=<e> hist=<k:count,...>` (non-empty shells) |
 //! | `TOPK <n>` | `OK epoch=<e> top=<v:c,...>` |
+//! | `TOPK <n> OFFSET <o>` | `OK epoch=<e> offset=<o> top=<v:c,...>` (ranks `o..o+n`) |
 //! | `HEALTH` | `OK epoch=<e> status=healthy` \| `status=degraded down=<shard>:<lag>,...` \| `status=writer-dead` |
 //! | `QUIT` | `OK bye`, connection closes |
 //! | `SHUTDOWN` | `OK shutting-down`, server stops accepting |
+//!
+//! `OFFSET`/`LIMIT` are optional and may appear independently; either
+//! one switches `MEMBERS` to the paginated response shape (`total=` is
+//! the full k-core size, `count=` the page size). Pages concatenate to
+//! exactly the unpaginated answer — a property pinned by the serve
+//! oracle at every epoch under churn.
 //!
 //! `HEALTH` is answered from the live writer-health slot rather than a
 //! pinned snapshot: queries keep succeeding against the last published
@@ -24,21 +39,174 @@
 //! responses alone.
 //!
 //! Malformed input earns `ERR <reason>` and the connection stays open.
+//!
+//! # Binary framed mode
+//!
+//! Negotiated per connection with `HELLO BINARY`; after the `OK` ack
+//! both directions speak length-prefixed frames (all integers
+//! little-endian). Multiple requests may be in flight on one connection
+//! — the server answers strictly in request order and echoes each
+//! request's `req_id`, so a client can pipeline without ambiguity.
+//! This framing is the intended seam for cross-process shard transport.
+//!
+//! Request frame: `u32 len`, then `len` bytes of payload:
+//! `u32 req_id`, `u8 opcode`, opcode-specific args.
+//!
+//! | opcode | args |
+//! |--------|------|
+//! | 1 `EPOCH` | — |
+//! | 2 `CORENESS` | `u32 v` |
+//! | 3 `MEMBERS` | `u32 k`, `u64 offset`, `u64 limit` |
+//! | 4 `SUBGRAPH` | `u32 k` |
+//! | 5 `HIST` | — |
+//! | 6 `TOPK` | `u64 n`, `u64 offset` |
+//! | 7 `HEALTH` | — |
+//! | 8 `QUIT` | — |
+//!
+//! Response frame: `u32 len`, then `u32 req_id`, `u8 status` (0 = OK,
+//! 1 = ERR), `u64 epoch`, payload:
+//!
+//! | request | OK payload |
+//! |---------|------------|
+//! | `EPOCH` | `u64 nodes`, `u64 edges`, `u32 kmax` |
+//! | `CORENESS` | `u32 coreness`, `u32 degree` |
+//! | `MEMBERS` | `u64 total`, `u64 offset`, `u32 count`, `count × u32` ids |
+//! | `SUBGRAPH` | `u64 nodes`, `u64 edges`, `edges × (u32, u32)` original-id endpoints |
+//! | `HIST` | `u32 entries`, `entries × (u32 k, u64 count)` for all shells `0..=kmax` |
+//! | `TOPK` | `u32 count`, `count × (u32 id, u32 coreness)` |
+//! | `HEALTH` | UTF-8 status line (epoch field is the live writer epoch) |
+//! | `QUIT` | empty, then the connection closes |
+//!
+//! An `ERR` payload is a UTF-8 message. Unknown opcodes earn `ERR` and
+//! the connection stays open.
+//!
+//! # Response cache
+//!
+//! The server keeps a small cache keyed on `(epoch, query)` shared by
+//! all connections and both modes. Because the epoch is part of the
+//! key and every request pins one snapshot, a cached response can never
+//! be served across an epoch flip — invalidation is free: entries for
+//! dead epochs simply stop being hit and are evicted first when the
+//! cache is full. Only `OK` responses to read-only bulk queries
+//! (`EPOCH`, `MEMBERS`, `SUBGRAPH`, `HIST`, `TOPK`) are cached;
+//! `CORENESS` point lookups are already O(1) and `HEALTH` reflects
+//! live, non-epoch state. [`WireServer::cache_stats`] exposes hit/miss
+//! counters.
+//!
 //! Each accepted connection is served by its own thread; queries pin one
 //! snapshot per request, so a multi-line `SUBGRAPH` answer is internally
 //! consistent even while the writer publishes new epochs mid-response.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dkcore_graph::NodeId;
 
-use crate::view::{EpochView, SnapshotSource};
+use crate::view::{CoreQuery, CoreScan, SnapshotSource};
+
+const OP_EPOCH: u8 = 1;
+const OP_CORENESS: u8 = 2;
+const OP_MEMBERS: u8 = 3;
+const OP_SUBGRAPH: u8 = 4;
+const OP_HIST: u8 = 5;
+const OP_TOPK: u8 = 6;
+const OP_HEALTH: u8 = 7;
+const OP_QUIT: u8 = 8;
+
+/// Upper bound on a single frame, request or response. Far above any
+/// legitimate answer; a length past this is a corrupt or hostile stream
+/// and the connection is dropped rather than the allocation attempted.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Point-in-time statistics for a server's `(epoch, query)` response
+/// cache, from [`WireServer::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Responses served from the cache without touching a snapshot.
+    pub hits: u64,
+    /// Responses computed against a snapshot (and, if eligible, cached).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The cache table: `(epoch, canonical query key) -> encoded response`.
+type CacheMap = HashMap<(u64, Vec<u8>), Arc<Vec<u8>>>;
+
+/// Shared `(epoch, query-key) -> encoded response` cache. Staleness is
+/// impossible by construction — the epoch is in the key and each lookup
+/// uses the epoch of the snapshot pinned for that request.
+#[derive(Debug, Default)]
+struct ResponseCache {
+    entries: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResponseCache {
+    /// Entry bound: bulk-query working sets are a handful of hot
+    /// queries per epoch, so a small table suffices.
+    const CAPACITY: usize = 128;
+    /// Bodies past this are streamed but not retained — one giant
+    /// `SUBGRAPH` answer must not pin megabytes in the cache.
+    const MAX_BODY: usize = 256 << 10;
+
+    /// A poisoned lock only means another connection thread panicked
+    /// mid-insert; the map is always structurally valid, so recover it.
+    fn lock(&self) -> MutexGuard<'_, CacheMap> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the cached body for `(epoch, key)`, or builds one.
+    /// `build` returns the encoded body plus whether it is eligible for
+    /// caching (error responses are cheap to recompute and never
+    /// cached). The build runs outside the lock; a racing duplicate
+    /// build is harmless.
+    fn get_or_build(
+        &self,
+        epoch: u64,
+        key: Vec<u8>,
+        build: impl FnOnce() -> (Vec<u8>, bool),
+    ) -> Arc<Vec<u8>> {
+        if let Some(hit) = self.lock().get(&(epoch, key.clone())).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (body, cacheable) = build();
+        let body = Arc::new(body);
+        if cacheable && body.len() <= Self::MAX_BODY {
+            let mut entries = self.lock();
+            if entries.len() >= Self::CAPACITY {
+                // Dead-epoch entries can never be hit again: evict them
+                // first, then fall back to dropping an arbitrary entry.
+                entries.retain(|&(e, _), _| e == epoch);
+            }
+            if entries.len() >= Self::CAPACITY {
+                if let Some(victim) = entries.keys().next().cloned() {
+                    entries.remove(&victim);
+                }
+            }
+            entries.insert((epoch, key), body.clone());
+        }
+        body
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.lock().len(),
+        }
+    }
+}
 
 /// A running wire server: accept loop plus per-connection threads.
 ///
@@ -48,6 +216,7 @@ use crate::view::{EpochView, SnapshotSource};
 pub struct WireServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    cache: Arc<ResponseCache>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -73,7 +242,9 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let cache = Arc::new(ResponseCache::default());
     let accept_stop = stop.clone();
+    let accept_cache = cache.clone();
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if accept_stop.load(Ordering::Acquire) {
@@ -82,6 +253,7 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
             let Ok(stream) = conn else { continue };
             let handle = handle.clone();
             let stop = accept_stop.clone();
+            let cache = accept_cache.clone();
             // Builder::spawn (not thread::spawn): a spawn failure under
             // fd/thread exhaustion must drop this connection, not panic
             // the accept loop and silently wedge the listener.
@@ -94,7 +266,7 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
                     // each request pins its own immutable snapshot. The
                     // payload is logged so the bug is debuggable.
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        let _ = serve_connection(stream, &handle, &stop);
+                        let _ = serve_connection(stream, &handle, &stop, &cache);
                     }));
                     if let Err(payload) = result {
                         let msg = payload
@@ -111,6 +283,7 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
     Ok(WireServer {
         addr,
         stop,
+        cache,
         accept_thread: Some(accept_thread),
     })
 }
@@ -129,6 +302,12 @@ impl WireServer {
     /// Whether the server has been asked to stop.
     pub fn is_shutdown(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Hit/miss/occupancy counters for the `(epoch, query)` response
+    /// cache shared by all of this server's connections.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Blocks until the server is asked to stop (via
@@ -166,7 +345,8 @@ fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
 }
 
 /// Serves one client connection until `QUIT`, EOF, shutdown, or an I/O
-/// error.
+/// error. Starts in text (line) mode; `HELLO BINARY` hands the
+/// connection over to [`serve_binary`].
 ///
 /// Every fully-received request is answered — even one that races with
 /// shutdown — so a client never loses a response it was owed. The stop
@@ -177,6 +357,7 @@ fn serve_connection<S: SnapshotSource>(
     stream: TcpStream,
     handle: &S,
     stop: &Arc<AtomicBool>,
+    cache: &ResponseCache,
 ) -> io::Result<()> {
     let peer_addr = stream.local_addr()?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
@@ -209,6 +390,7 @@ fn serve_connection<S: SnapshotSource>(
         }
         let mut parts = request.split_ascii_whitespace();
         let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+        let args: Vec<&str> = parts.collect();
         match verb.as_str() {
             "QUIT" => {
                 writeln!(writer, "OK bye")?;
@@ -229,101 +411,505 @@ fn serve_connection<S: SnapshotSource>(
                 let h = handle.health();
                 writeln!(writer, "OK epoch={} {}", h.epoch, h.status_line())?;
             }
-            _ => respond(&mut writer, &verb, parts, &*handle.snapshot())?,
+            // Mode negotiation is connection-level state, not a query.
+            "HELLO" => match args.first().map(|m| m.to_ascii_uppercase()).as_deref() {
+                None => writeln!(
+                    writer,
+                    "OK proto=2 epoch={} modes=text,binary",
+                    handle.epoch()
+                )?,
+                Some("TEXT") => writeln!(writer, "OK proto=2 mode=text")?,
+                Some("BINARY") => {
+                    writeln!(writer, "OK proto=2 mode=binary")?;
+                    writer.flush()?;
+                    return serve_binary(&mut reader, &mut writer, handle, stop, cache);
+                }
+                Some(other) => {
+                    writeln!(
+                        writer,
+                        "ERR HELLO: unknown mode {other:?}; modes: text,binary"
+                    )?;
+                }
+            },
+            _ => {
+                let snap = handle.snapshot();
+                let body = if matches!(
+                    verb.as_str(),
+                    "EPOCH" | "MEMBERS" | "SUBGRAPH" | "HIST" | "TOPK"
+                ) {
+                    let epoch = CoreQuery::epoch(&*snap);
+                    cache.get_or_build(epoch, text_cache_key(&verb, &args), || {
+                        let resp = answer_text(&verb, &args, &*snap);
+                        let cacheable = resp.starts_with("OK");
+                        (resp.into_bytes(), cacheable)
+                    })
+                } else {
+                    Arc::new(answer_text(&verb, &args, &*snap).into_bytes())
+                };
+                writer.write_all(&body)?;
+            }
         }
         writer.flush()?;
     }
 }
 
-/// Answers one query against a pinned snapshot (either backend).
-fn respond<W: Write, V: EpochView + ?Sized>(
-    out: &mut W,
-    verb: &str,
-    mut args: std::str::SplitAsciiWhitespace<'_>,
-    snap: &V,
-) -> io::Result<()> {
-    let epoch = snap.epoch();
-    let mut num = |name: &str| -> Result<u32, String> {
-        let token = args
-            .next()
-            .ok_or_else(|| format!("{name} requires an argument"))?;
-        token
-            .parse::<u32>()
-            .map_err(|_| format!("{name}: {token:?} is not a number"))
-    };
+/// Canonical cache key for a text request: the uppercased verb and
+/// uppercased argument tokens, space-joined — so `members 2 offset 0`
+/// and `MEMBERS 2 OFFSET 0` share an entry.
+fn text_cache_key(verb: &str, args: &[&str]) -> Vec<u8> {
+    let mut key = String::from(verb);
+    for a in args {
+        key.push(' ');
+        key.push_str(&a.to_ascii_uppercase());
+    }
+    key.into_bytes()
+}
+
+/// Answers one text query against a pinned snapshot (either backend),
+/// returning the full newline-terminated response (header plus body
+/// lines for `SUBGRAPH`). Writing to a `String` cannot fail, so the
+/// result is infallible and cacheable as-is.
+fn answer_text<V: CoreScan + ?Sized>(verb: &str, args: &[&str], snap: &V) -> String {
+    let epoch = CoreQuery::epoch(snap);
+    let mut out = String::new();
     match verb {
-        "EPOCH" => writeln!(
-            out,
-            "OK epoch={epoch} nodes={} edges={} kmax={}",
-            snap.node_count(),
-            snap.edge_count(),
-            snap.max_coreness()
-        ),
-        "CORENESS" => match num("CORENESS") {
+        "EPOCH" => {
+            let _ = writeln!(
+                out,
+                "OK epoch={epoch} nodes={} edges={} kmax={}",
+                snap.node_count(),
+                snap.edge_count(),
+                snap.max_coreness()
+            );
+        }
+        "CORENESS" => match parse_u32_arg("CORENESS", args.first()) {
             Ok(v) => match snap.coreness(NodeId(v)) {
-                Some(c) => writeln!(
-                    out,
-                    "OK epoch={epoch} coreness={c} degree={}",
-                    snap.degree(NodeId(v)).expect("in range with coreness")
-                ),
-                None => writeln!(out, "ERR node {v} out of range"),
+                Some(c) => {
+                    let _ = writeln!(
+                        out,
+                        "OK epoch={epoch} coreness={c} degree={}",
+                        snap.degree(NodeId(v)).expect("in range with coreness")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "ERR node {v} out of range");
+                }
             },
-            Err(e) => writeln!(out, "ERR {e}"),
+            Err(e) => {
+                let _ = writeln!(out, "ERR {e}");
+            }
         },
-        "MEMBERS" => match num("MEMBERS") {
-            Ok(k) => {
-                let members = snap.kcore_members(k);
-                let ids: Vec<String> = members.iter().map(|v| v.0.to_string()).collect();
-                writeln!(
+        "MEMBERS" => match parse_members_args(args) {
+            Ok((k, None)) => {
+                let ids: Vec<String> = CoreScan::members(snap, k, 0, usize::MAX)
+                    .map(|v| v.0.to_string())
+                    .collect();
+                let _ = writeln!(
                     out,
                     "OK epoch={epoch} count={} members={}",
-                    members.len(),
+                    ids.len(),
                     ids.join(",")
-                )
+                );
             }
-            Err(e) => writeln!(out, "ERR {e}"),
+            Ok((k, Some((offset, limit)))) => {
+                let ids: Vec<String> = CoreScan::members(snap, k, offset, limit)
+                    .map(|v| v.0.to_string())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "OK epoch={epoch} total={} offset={offset} count={} members={}",
+                    snap.kcore_size(k),
+                    ids.len(),
+                    ids.join(",")
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "ERR {e}");
+            }
         },
-        "SUBGRAPH" => match num("SUBGRAPH") {
+        "SUBGRAPH" => match parse_u32_arg("SUBGRAPH", args.first()) {
             Ok(k) => {
-                let (sub, back) = snap.kcore_subgraph(k);
-                writeln!(
+                let cached = snap.kcore_subgraph_cached(k);
+                let (sub, back) = &*cached;
+                let _ = writeln!(
                     out,
                     "OK epoch={epoch} nodes={} edges={}",
                     sub.node_count(),
                     sub.edge_count()
-                )?;
+                );
                 for (u, v) in sub.edges() {
-                    writeln!(out, "{} {}", back[u.index()], back[v.index()])?;
+                    let _ = writeln!(out, "{} {}", back[u.index()], back[v.index()]);
                 }
-                Ok(())
             }
-            Err(e) => writeln!(out, "ERR {e}"),
+            Err(e) => {
+                let _ = writeln!(out, "ERR {e}");
+            }
         },
         "HIST" => {
-            let shells: Vec<String> = snap
-                .histogram()
-                .iter()
+            let shells: Vec<String> = CoreScan::shell_sizes(snap)
                 .enumerate()
-                .filter(|&(_, &c)| c > 0)
-                .map(|(k, &c)| format!("{k}:{c}"))
+                .filter(|&(_, c)| c > 0)
+                .map(|(k, c)| format!("{k}:{c}"))
                 .collect();
-            writeln!(out, "OK epoch={epoch} hist={}", shells.join(","))
+            let _ = writeln!(out, "OK epoch={epoch} hist={}", shells.join(","));
         }
-        "TOPK" => match num("TOPK") {
-            Ok(n) => {
-                let pairs: Vec<String> = snap
-                    .top_k(n as usize)
-                    .iter()
-                    .map(|&(v, c)| format!("{}:{c}", v.0))
+        "TOPK" => match parse_topk_args(args) {
+            Ok((n, None)) => {
+                let pairs: Vec<String> = CoreScan::top(snap, 0, n as usize)
+                    .map(|(v, c)| format!("{}:{c}", v.0))
                     .collect();
-                writeln!(out, "OK epoch={epoch} top={}", pairs.join(","))
+                let _ = writeln!(out, "OK epoch={epoch} top={}", pairs.join(","));
             }
-            Err(e) => writeln!(out, "ERR {e}"),
+            Ok((n, Some(offset))) => {
+                let pairs: Vec<String> = CoreScan::top(snap, offset, n as usize)
+                    .map(|(v, c)| format!("{}:{c}", v.0))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "OK epoch={epoch} offset={offset} top={}",
+                    pairs.join(",")
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "ERR {e}");
+            }
         },
-        other => writeln!(
-            out,
-            "ERR unknown command {other:?}; known: EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK HEALTH QUIT SHUTDOWN"
-        ),
+        other => {
+            let _ = writeln!(
+                out,
+                "ERR unknown command {other:?}; known: HELLO EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK HEALTH QUIT SHUTDOWN"
+            );
+        }
+    }
+    out
+}
+
+/// Parses a required leading `u32` argument with the legacy error
+/// wording (`<verb> requires an argument` / `not a number`).
+fn parse_u32_arg(name: &str, token: Option<&&str>) -> Result<u32, String> {
+    let token = token.ok_or_else(|| format!("{name} requires an argument"))?;
+    token
+        .parse::<u32>()
+        .map_err(|_| format!("{name}: {token:?} is not a number"))
+}
+
+/// Parses `MEMBERS <k> [OFFSET <o>] [LIMIT <l>]`. Returns the page
+/// bounds only when at least one pagination keyword appeared, so the
+/// caller can keep the legacy response shape for plain `MEMBERS <k>`.
+fn parse_members_args(args: &[&str]) -> Result<(u32, Option<(usize, usize)>), String> {
+    let k = parse_u32_arg("MEMBERS", args.first())?;
+    let mut offset: Option<usize> = None;
+    let mut limit: Option<usize> = None;
+    let mut rest = args[1..].iter();
+    while let Some(tok) = rest.next() {
+        let slot = if tok.eq_ignore_ascii_case("OFFSET") {
+            &mut offset
+        } else if tok.eq_ignore_ascii_case("LIMIT") {
+            &mut limit
+        } else {
+            return Err(format!("MEMBERS: unexpected argument {tok:?}"));
+        };
+        let val = rest
+            .next()
+            .ok_or_else(|| format!("{} requires an argument", tok.to_ascii_uppercase()))?;
+        *slot = Some(
+            val.parse::<usize>()
+                .map_err(|_| format!("{}: {val:?} is not a number", tok.to_ascii_uppercase()))?,
+        );
+    }
+    if offset.is_none() && limit.is_none() {
+        return Ok((k, None));
+    }
+    Ok((k, Some((offset.unwrap_or(0), limit.unwrap_or(usize::MAX)))))
+}
+
+/// Parses `TOPK <n> [OFFSET <o>]`; like `MEMBERS`, the offset's
+/// presence selects the paginated response shape.
+fn parse_topk_args(args: &[&str]) -> Result<(u32, Option<usize>), String> {
+    let n = parse_u32_arg("TOPK", args.first())?;
+    match args[1..] {
+        [] => Ok((n, None)),
+        [kw, val] if kw.eq_ignore_ascii_case("OFFSET") => {
+            let offset = val
+                .parse::<usize>()
+                .map_err(|_| format!("OFFSET: {val:?} is not a number"))?;
+            Ok((n, Some(offset)))
+        }
+        [kw] if kw.eq_ignore_ascii_case("OFFSET") => Err("OFFSET requires an argument".into()),
+        [tok, ..] => Err(format!("TOPK: unexpected argument {tok:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary framed mode: server side
+// ---------------------------------------------------------------------
+
+/// Reads exactly `buf.len()` bytes, riding out the 200ms read-timeout
+/// ticks the connection uses to observe the stop flag. Returns
+/// `Ok(false)` on a clean end of stream — EOF at a frame boundary, or
+/// the stop flag raised mid-wait (a torn frame at shutdown is dropped;
+/// fully-buffered frames were already processed). EOF *inside* a frame
+/// is an `UnexpectedEof` error: the peer violated the framing.
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Encodes a response body: `u8 status`, `u64 epoch`, payload. The
+/// `req_id` is *not* part of the body so cached bodies can be replayed
+/// under any request id.
+fn encode_body(status: u8, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(9 + payload.len());
+    body.push(status);
+    put_u64(&mut body, epoch);
+    body.extend_from_slice(payload);
+    body
+}
+
+/// Writes one response frame: `u32 len`, `u32 req_id`, body.
+fn write_frame<W: Write>(w: &mut W, req_id: u32, body: &[u8]) -> io::Result<()> {
+    let len = 4 + body.len();
+    w.write_all(&u32::try_from(len).expect("frame under 4 GiB").to_le_bytes())?;
+    w.write_all(&req_id.to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Serves the binary framed mode after `HELLO BINARY`. Frames are
+/// answered strictly in arrival order (responses carry the request's
+/// `req_id`), each from its own pinned snapshot; a client may keep any
+/// number of requests in flight.
+fn serve_binary<S: SnapshotSource>(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    handle: &S,
+    stop: &AtomicBool,
+    cache: &ResponseCache,
+) -> io::Result<()> {
+    let mut len_buf = [0u8; 4];
+    let mut frame = Vec::new();
+    loop {
+        if !read_full(reader, &mut len_buf, stop)? {
+            return Ok(());
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(5..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        frame.resize(len, 0);
+        if !read_full(reader, &mut frame, stop)? {
+            return Ok(()); // torn frame at shutdown: drop it
+        }
+        let req_id = u32::from_le_bytes(frame[0..4].try_into().expect("sliced 4 bytes"));
+        let opcode = frame[4];
+        let args = &frame[5..];
+        match opcode {
+            OP_QUIT => {
+                let body = encode_body(0, handle.epoch(), &[]);
+                write_frame(writer, req_id, &body)?;
+                writer.flush()?;
+                return Ok(());
+            }
+            OP_HEALTH => {
+                let h = handle.health();
+                let body = encode_body(0, h.epoch, h.status_line().as_bytes());
+                write_frame(writer, req_id, &body)?;
+            }
+            _ => {
+                let snap = handle.snapshot();
+                let body = if matches!(
+                    opcode,
+                    OP_EPOCH | OP_MEMBERS | OP_SUBGRAPH | OP_HIST | OP_TOPK
+                ) {
+                    let epoch = CoreQuery::epoch(&*snap);
+                    let mut key = Vec::with_capacity(1 + args.len());
+                    key.push(opcode);
+                    key.extend_from_slice(args);
+                    cache.get_or_build(epoch, key, || {
+                        let (status, epoch, payload) = answer_binary(opcode, args, &*snap);
+                        (encode_body(status, epoch, &payload), status == 0)
+                    })
+                } else {
+                    let (status, epoch, payload) = answer_binary(opcode, args, &*snap);
+                    Arc::new(encode_body(status, epoch, &payload))
+                };
+                write_frame(writer, req_id, &body)?;
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Answers one binary query against a pinned snapshot: returns
+/// `(status, epoch, payload)` per the response table in the module
+/// docs. Malformed args and unknown opcodes become `ERR` frames, never
+/// connection errors — the framing itself was valid.
+fn answer_binary<V: CoreScan + ?Sized>(opcode: u8, args: &[u8], snap: &V) -> (u8, u64, Vec<u8>) {
+    let epoch = CoreQuery::epoch(snap);
+    match answer_binary_ok(opcode, args, snap) {
+        Ok(payload) => (0, epoch, payload),
+        Err(msg) => (1, epoch, msg.into_bytes()),
+    }
+}
+
+fn answer_binary_ok<V: CoreScan + ?Sized>(
+    opcode: u8,
+    args: &[u8],
+    snap: &V,
+) -> Result<Vec<u8>, String> {
+    let mut cur = Decoder { buf: args, at: 0 };
+    let mut payload = Vec::new();
+    match opcode {
+        OP_EPOCH => {
+            cur.finish()?;
+            put_u64(&mut payload, snap.node_count() as u64);
+            put_u64(&mut payload, snap.edge_count() as u64);
+            put_u32(&mut payload, snap.max_coreness());
+        }
+        OP_CORENESS => {
+            let v = cur.u32()?;
+            cur.finish()?;
+            let c = snap
+                .coreness(NodeId(v))
+                .ok_or_else(|| format!("node {v} out of range"))?;
+            put_u32(&mut payload, c);
+            put_u32(
+                &mut payload,
+                snap.degree(NodeId(v)).expect("in range with coreness"),
+            );
+        }
+        OP_MEMBERS => {
+            let k = cur.u32()?;
+            let offset = cur.u64()?;
+            let limit = cur.u64()?;
+            cur.finish()?;
+            let offset_us = usize::try_from(offset).unwrap_or(usize::MAX);
+            let limit_us = usize::try_from(limit).unwrap_or(usize::MAX);
+            let ids: Vec<u32> = CoreScan::members(snap, k, offset_us, limit_us)
+                .map(|v| v.0)
+                .collect();
+            put_u64(&mut payload, snap.kcore_size(k) as u64);
+            put_u64(&mut payload, offset);
+            put_u32(&mut payload, ids.len() as u32);
+            for id in ids {
+                put_u32(&mut payload, id);
+            }
+        }
+        OP_SUBGRAPH => {
+            let k = cur.u32()?;
+            cur.finish()?;
+            let cached = snap.kcore_subgraph_cached(k);
+            let (sub, back) = &*cached;
+            put_u64(&mut payload, sub.node_count() as u64);
+            put_u64(&mut payload, sub.edge_count() as u64);
+            for (u, v) in sub.edges() {
+                put_u32(&mut payload, back[u.index()].0);
+                put_u32(&mut payload, back[v.index()].0);
+            }
+        }
+        OP_HIST => {
+            cur.finish()?;
+            let shells: Vec<usize> = CoreScan::shell_sizes(snap).collect();
+            put_u32(&mut payload, shells.len() as u32);
+            for (k, c) in shells.into_iter().enumerate() {
+                put_u32(&mut payload, k as u32);
+                put_u64(&mut payload, c as u64);
+            }
+        }
+        OP_TOPK => {
+            let n = cur.u64()?;
+            let offset = cur.u64()?;
+            cur.finish()?;
+            let n_us = usize::try_from(n).unwrap_or(usize::MAX);
+            let offset_us = usize::try_from(offset).unwrap_or(usize::MAX);
+            let pairs: Vec<(u32, u32)> = CoreScan::top(snap, offset_us, n_us)
+                .map(|(v, c)| (v.0, c))
+                .collect();
+            put_u32(&mut payload, pairs.len() as u32);
+            for (id, c) in pairs {
+                put_u32(&mut payload, id);
+                put_u32(&mut payload, c);
+            }
+        }
+        other => return Err(format!("unknown opcode {other}")),
+    }
+    Ok(payload)
+}
+
+/// Little-endian append helpers for frame payloads.
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian cursor over a frame's argument/payload bytes.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Decoder<'_> {
+    fn u32(&mut self) -> Result<u32, String> {
+        let bytes: [u8; 4] = self
+            .buf
+            .get(self.at..self.at + 4)
+            .ok_or("truncated frame")?
+            .try_into()
+            .expect("sliced 4 bytes");
+        self.at += 4;
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let bytes: [u8; 8] = self
+            .buf
+            .get(self.at..self.at + 8)
+            .ok_or("truncated frame")?
+            .try_into()
+            .expect("sliced 8 bytes");
+        self.at += 8;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after arguments",
+                self.buf.len() - self.at
+            ))
+        }
     }
 }
 
@@ -372,7 +958,8 @@ fn is_retryable(e: &io::Error) -> bool {
     )
 }
 
-/// Blocking line-protocol client, for the CLI and tests.
+/// Blocking line-protocol client, for the CLI and tests. Upgrade to the
+/// framed mode with [`into_binary`](Self::into_binary).
 #[derive(Debug)]
 pub struct WireClient {
     reader: BufReader<TcpStream>,
@@ -483,6 +1070,28 @@ impl WireClient {
         Ok(lines)
     }
 
+    /// Negotiates the binary framed mode (`HELLO BINARY`) and returns a
+    /// [`BinaryWireClient`] over the same connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, or `InvalidData` if the server refuses the
+    /// upgrade (e.g. an older server that does not know `HELLO`).
+    pub fn into_binary(mut self) -> io::Result<BinaryWireClient> {
+        let ack = self.request("HELLO BINARY")?;
+        if ack != "OK proto=2 mode=binary" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("binary negotiation refused: {ack}"),
+            ));
+        }
+        Ok(BinaryWireClient {
+            reader: self.reader,
+            writer: self.writer,
+            next_id: 1,
+        })
+    }
+
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -492,6 +1101,254 @@ impl WireClient {
             ));
         }
         Ok(line.trim_end().to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary framed mode: client side
+// ---------------------------------------------------------------------
+
+/// A request in the binary framed mode; see the opcode table in the
+/// module docs for the exact encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinRequest {
+    /// Graph-level epoch summary (nodes, edges, kmax).
+    Epoch,
+    /// Point coreness + degree lookup for one node.
+    Coreness(u32),
+    /// Paginated k-core membership page. `limit = u64::MAX` means "to
+    /// the end".
+    Members {
+        /// Core threshold.
+        k: u32,
+        /// Rank of the first member to return.
+        offset: u64,
+        /// Maximum members in the page.
+        limit: u64,
+    },
+    /// Induced k-core subgraph edge list (original ids).
+    Subgraph(u32),
+    /// Full shell-size histogram for shells `0..=kmax`.
+    Hist,
+    /// Top nodes by coreness, ranks `offset..offset+n`.
+    TopK {
+        /// Page size.
+        n: u64,
+        /// Rank of the first entry to return.
+        offset: u64,
+    },
+    /// Live writer health (not served from a pinned snapshot).
+    Health,
+    /// Close the connection after an empty `OK` acknowledgement.
+    Quit,
+}
+
+impl BinRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            BinRequest::Epoch => buf.push(OP_EPOCH),
+            BinRequest::Coreness(v) => {
+                buf.push(OP_CORENESS);
+                put_u32(buf, v);
+            }
+            BinRequest::Members { k, offset, limit } => {
+                buf.push(OP_MEMBERS);
+                put_u32(buf, k);
+                put_u64(buf, offset);
+                put_u64(buf, limit);
+            }
+            BinRequest::Subgraph(k) => {
+                buf.push(OP_SUBGRAPH);
+                put_u32(buf, k);
+            }
+            BinRequest::Hist => buf.push(OP_HIST),
+            BinRequest::TopK { n, offset } => {
+                buf.push(OP_TOPK);
+                put_u64(buf, n);
+                put_u64(buf, offset);
+            }
+            BinRequest::Health => buf.push(OP_HEALTH),
+            BinRequest::Quit => buf.push(OP_QUIT),
+        }
+    }
+}
+
+/// One decoded binary response frame. The typed accessors return
+/// `None` when the frame is an error or the payload does not match the
+/// expected shape; [`text`](Self::text) reads `ERR` messages and
+/// `HEALTH` status lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinResponse {
+    /// Echo of the request's id — pipelined clients match on this.
+    pub req_id: u32,
+    /// `true` for an `OK` (status 0) frame.
+    pub ok: bool,
+    /// Epoch the answer was computed against.
+    pub epoch: u64,
+    /// Raw opcode-specific payload; prefer the typed accessors.
+    pub payload: Vec<u8>,
+}
+
+impl BinResponse {
+    /// Decodes an `EPOCH` payload as `(nodes, edges, kmax)`.
+    pub fn epoch_info(&self) -> Option<(u64, u64, u32)> {
+        let mut cur = self.ok_decoder()?;
+        let out = (cur.u64().ok()?, cur.u64().ok()?, cur.u32().ok()?);
+        cur.finish().ok()?;
+        Some(out)
+    }
+
+    /// Decodes a `CORENESS` payload as `(coreness, degree)`.
+    pub fn coreness(&self) -> Option<(u32, u32)> {
+        let mut cur = self.ok_decoder()?;
+        let out = (cur.u32().ok()?, cur.u32().ok()?);
+        cur.finish().ok()?;
+        Some(out)
+    }
+
+    /// Decodes a `MEMBERS` payload as `(total, offset, ids)`.
+    pub fn members(&self) -> Option<(u64, u64, Vec<u32>)> {
+        let mut cur = self.ok_decoder()?;
+        let total = cur.u64().ok()?;
+        let offset = cur.u64().ok()?;
+        let count = cur.u32().ok()?;
+        let mut ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ids.push(cur.u32().ok()?);
+        }
+        cur.finish().ok()?;
+        Some((total, offset, ids))
+    }
+
+    /// Decodes a `SUBGRAPH` payload as `(nodes, original-id edges)`.
+    pub fn subgraph(&self) -> Option<(u64, Vec<(u32, u32)>)> {
+        let mut cur = self.ok_decoder()?;
+        let nodes = cur.u64().ok()?;
+        let edges = cur.u64().ok()?;
+        let mut list = Vec::with_capacity(usize::try_from(edges).ok()?);
+        for _ in 0..edges {
+            list.push((cur.u32().ok()?, cur.u32().ok()?));
+        }
+        cur.finish().ok()?;
+        Some((nodes, list))
+    }
+
+    /// Decodes a `HIST` payload as `(shell, count)` entries.
+    pub fn hist(&self) -> Option<Vec<(u32, u64)>> {
+        let mut cur = self.ok_decoder()?;
+        let entries = cur.u32().ok()?;
+        let mut out = Vec::with_capacity(entries as usize);
+        for _ in 0..entries {
+            out.push((cur.u32().ok()?, cur.u64().ok()?));
+        }
+        cur.finish().ok()?;
+        Some(out)
+    }
+
+    /// Decodes a `TOPK` payload as `(id, coreness)` pairs.
+    pub fn top(&self) -> Option<Vec<(u32, u32)>> {
+        let mut cur = self.ok_decoder()?;
+        let count = cur.u32().ok()?;
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push((cur.u32().ok()?, cur.u32().ok()?));
+        }
+        cur.finish().ok()?;
+        Some(out)
+    }
+
+    /// The payload as UTF-8 text: an `ERR` message, or a `HEALTH`
+    /// status line.
+    pub fn text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.payload).ok()
+    }
+
+    fn ok_decoder(&self) -> Option<Decoder<'_>> {
+        self.ok.then_some(Decoder {
+            buf: &self.payload,
+            at: 0,
+        })
+    }
+}
+
+/// Pipelined client for the binary framed mode, created by
+/// [`WireClient::into_binary`]. [`send`](Self::send) only buffers;
+/// [`recv`](Self::recv) flushes and reads one frame — so any number of
+/// requests can be in flight, answered strictly in send order.
+#[derive(Debug)]
+pub struct BinaryWireClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u32,
+}
+
+impl BinaryWireClient {
+    /// Buffers one request frame (no flush) and returns its `req_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns write-side I/O errors.
+    pub fn send(&mut self, req: &BinRequest) -> io::Result<u32> {
+        let req_id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let mut payload = Vec::with_capacity(32);
+        payload.extend_from_slice(&req_id.to_le_bytes());
+        req.encode(&mut payload);
+        self.writer.write_all(
+            &u32::try_from(payload.len())
+                .expect("small frame")
+                .to_le_bytes(),
+        )?;
+        self.writer.write_all(&payload)?;
+        Ok(req_id)
+    }
+
+    /// Flushes any buffered requests and reads the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, or `InvalidData` on a malformed frame.
+    pub fn recv(&mut self) -> io::Result<BinResponse> {
+        self.writer.flush()?;
+        let mut len_buf = [0u8; 4];
+        self.reader.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if !(13..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response frame length {len}"),
+            ));
+        }
+        let mut frame = vec![0u8; len];
+        self.reader.read_exact(&mut frame)?;
+        let req_id = u32::from_le_bytes(frame[0..4].try_into().expect("sliced 4 bytes"));
+        let ok = frame[4] == 0;
+        let epoch = u64::from_le_bytes(frame[5..13].try_into().expect("sliced 8 bytes"));
+        Ok(BinResponse {
+            req_id,
+            ok,
+            epoch,
+            payload: frame[13..].to_vec(),
+        })
+    }
+
+    /// Sends one request and reads its response, checking the `req_id`
+    /// echo.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, or `InvalidData` if the response answers a
+    /// different request (a pipelining protocol violation).
+    pub fn roundtrip(&mut self, req: &BinRequest) -> io::Result<BinResponse> {
+        let id = self.send(req)?;
+        let resp = self.recv()?;
+        if resp.req_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for req {} while awaiting {id}", resp.req_id),
+            ));
+        }
+        Ok(resp)
     }
 }
 
@@ -560,6 +1417,13 @@ mod tests {
         assert!(c.request("CORENESS").unwrap().starts_with("ERR"));
         assert!(c.request("CORENESS xyz").unwrap().starts_with("ERR"));
         assert!(c.request("FROBNICATE 1").unwrap().starts_with("ERR"));
+        assert!(c
+            .request("MEMBERS 2 SIDEWAYS 3")
+            .unwrap()
+            .starts_with("ERR"));
+        assert!(c.request("MEMBERS 2 OFFSET").unwrap().starts_with("ERR"));
+        assert!(c.request("TOPK 2 OFFSET x").unwrap().starts_with("ERR"));
+        assert!(c.request("HELLO MORSE").unwrap().starts_with("ERR"));
         // Still serving after all those errors.
         assert!(c.request("EPOCH").unwrap().starts_with("OK epoch=1"));
     }
@@ -683,6 +1547,19 @@ mod tests {
         assert_eq!(c.request("TOPK 2").unwrap(), "OK epoch=1 top=0:2,1:2");
         let sub = c.request_subgraph(2).unwrap();
         assert_eq!(sub[0], "OK epoch=1 nodes=6 edges=6");
+        // The sharded backend speaks the binary mode too.
+        let mut bin = WireClient::connect(server.local_addr())
+            .unwrap()
+            .into_binary()
+            .unwrap();
+        let r = bin.roundtrip(&BinRequest::Members {
+            k: 2,
+            offset: 0,
+            limit: u64::MAX,
+        });
+        let (total, _, ids) = r.unwrap().members().unwrap();
+        assert_eq!(total, 6);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(c.request("QUIT").unwrap(), "OK bye");
     }
 
@@ -790,5 +1667,211 @@ mod tests {
         assert!(WireClient::connect(server.local_addr())
             .and_then(|mut c| c.request("EPOCH"))
             .is_err());
+    }
+
+    #[test]
+    fn hello_negotiation_and_paginated_text_verbs() {
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("HELLO").unwrap(),
+            "OK proto=2 epoch=1 modes=text,binary"
+        );
+        assert_eq!(c.request("HELLO TEXT").unwrap(), "OK proto=2 mode=text");
+        // Paginated MEMBERS: total is the full k-core size, count the page.
+        assert_eq!(
+            c.request("MEMBERS 2 OFFSET 2 LIMIT 2").unwrap(),
+            "OK epoch=1 total=6 offset=2 count=2 members=2,3"
+        );
+        assert_eq!(
+            c.request("MEMBERS 2 OFFSET 5").unwrap(),
+            "OK epoch=1 total=6 offset=5 count=1 members=5"
+        );
+        assert_eq!(
+            c.request("MEMBERS 2 LIMIT 3").unwrap(),
+            "OK epoch=1 total=6 offset=0 count=3 members=0,1,2"
+        );
+        // Past-the-end page is empty, not an error.
+        assert_eq!(
+            c.request("MEMBERS 2 OFFSET 9 LIMIT 3").unwrap(),
+            "OK epoch=1 total=6 offset=9 count=0 members="
+        );
+        // Pages concatenate to the unpaginated answer.
+        let full = c.request("MEMBERS 2").unwrap();
+        let full_ids = full.split("members=").nth(1).unwrap().to_string();
+        let mut pages = Vec::new();
+        for o in (0..6).step_by(2) {
+            let page = c.request(&format!("MEMBERS 2 OFFSET {o} LIMIT 2")).unwrap();
+            pages.push(page.split("members=").nth(1).unwrap().to_string());
+        }
+        assert_eq!(pages.join(","), full_ids);
+        // Paginated TOPK yields ranks offset..offset+n.
+        assert_eq!(
+            c.request("TOPK 2 OFFSET 1").unwrap(),
+            "OK epoch=1 offset=1 top=1:2,2:2"
+        );
+        assert_eq!(
+            c.request("TOPK 10 OFFSET 5").unwrap(),
+            "OK epoch=1 offset=5 top=5:2"
+        );
+    }
+
+    #[test]
+    fn binary_mode_matches_text_answers() {
+        let (_svc, server) = service_on_cycle();
+        let mut bin = WireClient::connect(server.local_addr())
+            .unwrap()
+            .into_binary()
+            .unwrap();
+
+        let r = bin.roundtrip(&BinRequest::Epoch).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.epoch_info().unwrap(), (6, 6, 2));
+
+        let r = bin.roundtrip(&BinRequest::Coreness(3)).unwrap();
+        assert_eq!(r.coreness().unwrap(), (2, 2));
+        let r = bin.roundtrip(&BinRequest::Coreness(99)).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.text().unwrap(), "node 99 out of range");
+
+        let r = bin
+            .roundtrip(&BinRequest::Members {
+                k: 2,
+                offset: 0,
+                limit: u64::MAX,
+            })
+            .unwrap();
+        assert_eq!(r.members().unwrap(), (6, 0, vec![0, 1, 2, 3, 4, 5]));
+        let r = bin
+            .roundtrip(&BinRequest::Members {
+                k: 2,
+                offset: 2,
+                limit: 2,
+            })
+            .unwrap();
+        assert_eq!(r.members().unwrap(), (6, 2, vec![2, 3]));
+
+        let r = bin.roundtrip(&BinRequest::Hist).unwrap();
+        assert_eq!(r.hist().unwrap(), vec![(0, 0), (1, 0), (2, 6)]);
+
+        let r = bin
+            .roundtrip(&BinRequest::TopK { n: 2, offset: 0 })
+            .unwrap();
+        assert_eq!(r.top().unwrap(), vec![(0, 2), (1, 2)]);
+        let r = bin
+            .roundtrip(&BinRequest::TopK { n: 2, offset: 1 })
+            .unwrap();
+        assert_eq!(r.top().unwrap(), vec![(1, 2), (2, 2)]);
+
+        let r = bin.roundtrip(&BinRequest::Subgraph(2)).unwrap();
+        let (nodes, edges) = r.subgraph().unwrap();
+        assert_eq!(nodes, 6);
+        assert_eq!(edges.len(), 6);
+        let rebuilt = Graph::from_edges(6, edges).unwrap();
+        assert!(rebuilt.nodes().all(|u| rebuilt.degree(u) == 2));
+
+        let r = bin.roundtrip(&BinRequest::Health).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.text().unwrap(), "status=healthy");
+
+        let r = bin.roundtrip(&BinRequest::Quit).unwrap();
+        assert!(r.ok);
+        assert!(r.payload.is_empty());
+        assert!(bin.recv().is_err(), "connection closes after QUIT");
+    }
+
+    #[test]
+    fn pipelined_binary_requests_are_answered_in_send_order() {
+        let (_svc, server) = service_on_cycle();
+        let mut bin = WireClient::connect(server.local_addr())
+            .unwrap()
+            .into_binary()
+            .unwrap();
+        // Queue many heterogeneous requests without reading a single
+        // response, then drain: every response must echo its request id
+        // in send order and decode correctly.
+        let mut expected = Vec::new();
+        for round in 0..8u32 {
+            expected.push((bin.send(&BinRequest::Epoch).unwrap(), 0u8));
+            expected.push((bin.send(&BinRequest::Coreness(round % 6)).unwrap(), 1));
+            expected.push((
+                bin.send(&BinRequest::Members {
+                    k: 2,
+                    offset: u64::from(round),
+                    limit: 2,
+                })
+                .unwrap(),
+                2,
+            ));
+            expected.push((
+                bin.send(&BinRequest::TopK {
+                    n: 3,
+                    offset: u64::from(round),
+                })
+                .unwrap(),
+                3,
+            ));
+        }
+        for (id, kind) in expected {
+            let r = bin.recv().unwrap();
+            assert_eq!(r.req_id, id, "responses arrive in send order");
+            assert!(r.ok);
+            assert_eq!(r.epoch, 1);
+            match kind {
+                0 => assert_eq!(r.epoch_info().unwrap(), (6, 6, 2)),
+                1 => assert_eq!(r.coreness().unwrap().0, 2),
+                2 => assert!(r.members().is_some()),
+                _ => assert!(r.top().is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn response_cache_hits_within_an_epoch_and_refreshes_across_flips() {
+        let (mut svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        let first = c.request("MEMBERS 2 OFFSET 0 LIMIT 3").unwrap();
+        let baseline = server.cache_stats();
+        assert!(baseline.misses >= 1);
+        // Same query again (case-insensitively canonicalized): a hit.
+        let second = c.request("members 2 offset 0 limit 3").unwrap();
+        assert_eq!(first, second);
+        let hit = server.cache_stats();
+        assert_eq!(hit.hits, baseline.hits + 1);
+        assert_eq!(hit.misses, baseline.misses);
+        // CORENESS is never cached.
+        c.request("CORENESS 3").unwrap();
+        c.request("CORENESS 3").unwrap();
+        assert_eq!(server.cache_stats().hits, hit.hits);
+
+        // Publish a new epoch: the same query must be answered fresh —
+        // the epoch in the key makes stale hits impossible.
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(1), NodeId(4));
+        svc.apply_batch(&b).unwrap();
+        let after = c.request("MEMBERS 2 OFFSET 0 LIMIT 3").unwrap();
+        assert!(after.starts_with("OK epoch=2 "), "{after}");
+        let flipped = server.cache_stats();
+        assert_eq!(flipped.hits, hit.hits, "no stale hit across the flip");
+        assert!(flipped.misses > hit.misses);
+
+        // The binary mode shares the same cache: a repeated framed
+        // MEMBERS is a hit, and its epoch is the fresh one.
+        let mut bin = WireClient::connect(server.local_addr())
+            .unwrap()
+            .into_binary()
+            .unwrap();
+        let req = BinRequest::Members {
+            k: 2,
+            offset: 0,
+            limit: 3,
+        };
+        let r1 = bin.roundtrip(&req).unwrap();
+        let r2 = bin.roundtrip(&req).unwrap();
+        assert_eq!(r1.epoch, 2);
+        assert_eq!(r1.members(), r2.members());
+        let binned = server.cache_stats();
+        assert!(binned.hits > flipped.hits);
     }
 }

@@ -61,6 +61,34 @@ fn verify_snapshot(snap: &CoreSnapshot) {
             .iter()
             .all(|&v| snap.coreness(v).expect("member in range") >= k));
     }
+    // Paginated MEMBERS pages concatenate to exactly the unpaginated
+    // answer at every observed epoch — the wire pagination contract.
+    for k in [0, 1, kmax] {
+        let full = snap.kcore_members(k);
+        for page in [3usize, 64] {
+            let mut paged = Vec::new();
+            let mut offset = 0;
+            loop {
+                let chunk: Vec<_> = snap.kcore_members_page(k, offset, page).collect();
+                let got = chunk.len();
+                paged.extend(chunk);
+                offset += got;
+                if got < page {
+                    break;
+                }
+            }
+            assert_eq!(paged, full, "epoch {} k={k} page={page}", snap.epoch());
+        }
+    }
+    // top_page is a windowed view of the top_k sequence.
+    let full_top = snap.top_k(16);
+    let windowed: Vec<_> = snap.top_page(5, 6).collect();
+    assert_eq!(
+        windowed,
+        full_top.iter().copied().skip(5).take(6).collect::<Vec<_>>(),
+        "epoch {}",
+        snap.epoch()
+    );
     // The max-core subgraph has min internal degree ≥ kmax.
     let (sub, _) = snap.kcore_subgraph(kmax);
     assert!(sub.nodes().all(|u| sub.degree(u) >= kmax));

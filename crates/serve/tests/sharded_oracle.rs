@@ -72,6 +72,31 @@ fn verify_stitched(snap: &StitchedSnapshot) {
             .iter()
             .all(|&v| snap.coreness(v).expect("member in range") >= k));
     }
+    // Paginated pages of the cross-shard merge concatenate to exactly
+    // the unpaginated answer — the wire pagination contract holds for
+    // stitched views too.
+    for k in [0, 1, kmax] {
+        let full = snap.kcore_members(k);
+        let mut paged = Vec::new();
+        let mut offset = 0;
+        loop {
+            let chunk: Vec<_> = snap.kcore_members_page(k, offset, 7).collect();
+            let got = chunk.len();
+            paged.extend(chunk);
+            offset += got;
+            if got < 7 {
+                break;
+            }
+        }
+        assert_eq!(paged, full, "epoch {} k={k}", snap.epoch());
+    }
+    let windowed: Vec<_> = snap.top_page(3, 4).collect();
+    assert_eq!(
+        windowed,
+        snap.top_k(7).into_iter().skip(3).collect::<Vec<_>>(),
+        "epoch {}",
+        snap.epoch()
+    );
     let (sub, _) = snap.kcore_subgraph(kmax);
     assert!(sub.nodes().all(|u| sub.degree(u) >= kmax));
     let top = snap.top_k(8);
