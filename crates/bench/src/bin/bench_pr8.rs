@@ -1,0 +1,321 @@
+//! PR 8 acceptance benchmark: **persistent pooled border exchange and
+//! region-parallel descent**, emitting machine-readable
+//! `BENCH_PR8.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Exchange-round throughput** — the same churn stream driven
+//!    through the sharded service with [`ExchangeMode::Spawn`]
+//!    (spawn-per-round scoped threads, the PR 5–7 behavior) and with
+//!    [`ExchangeMode::Pooled`] (persistent parked workers), at shard
+//!    counts {2, 4, 8}. `speedup_pooled_exchange` is the gated ratio
+//!    `spawn_p50 / pooled_p50` of per-batch apply wall time; the binary
+//!    asserts the ≥1.3× acceptance floor at ≥4 shards on multi-core
+//!    machines and downgrades it to a soft warning on 1–2 cores, where
+//!    both strategies oversubscribe the same way and the pool can only
+//!    save thread spawn/join cost. The pooled rows also report the
+//!    pool's own health counters (round p50, worker utilization).
+//! 2. **Region-descent scaling** — the same precomputed batch sequence
+//!    (a removal-heavy phase deleting every other edge in large chunks,
+//!    then an insertion phase adding them all back) applied through a
+//!    sequential `StreamCore` and one with `with_threads(threads)`.
+//!    `speedup_descent_removal` / `speedup_descent_insert` are the
+//!    per-phase p50 ratios; soft-floored the same way.
+//!
+//! Every row additionally asserts bit-identical coreness between the
+//! compared engines and against fresh Batagelj–Zaveršnik
+//! (`identical_output`) — the pool and the parallel descent are
+//! execution strategies, never algorithm changes.
+//!
+//! Usage: `bench_pr8 [output.json]` (default `BENCH_PR8.json`). Set
+//! `BENCH_QUICK=1` for the fast smoke configuration CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::{EdgeBatch, StreamCore};
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_graph::Graph;
+use dkcore_metrics::Percentiles;
+use dkcore_serve::{ExchangeHealth, ExchangeMode, ShardedConfig, ShardedCoreService};
+
+/// Per-batch apply-wall percentiles of one full run of `stream`,
+/// plus total exchange rounds, final coreness, and the pool's health
+/// counters (when the pooled strategy ran).
+fn drive_sharded(
+    g: &Graph,
+    stream: &[EdgeBatch],
+    shards: usize,
+    exchange: ExchangeMode,
+) -> (Percentiles, u64, Vec<u32>, Option<ExchangeHealth>) {
+    let config = ShardedConfig {
+        exchange,
+        ..ShardedConfig::default()
+    };
+    let mut svc = ShardedCoreService::with_config(g, shards, config);
+    let mut wall = Percentiles::new();
+    let mut rounds = 0u64;
+    for b in stream {
+        let t = Instant::now();
+        let r = svc.apply_batch(b).expect("stream batches are valid");
+        wall.record(t.elapsed().as_secs_f64() * 1e6);
+        rounds += u64::from(r.rounds);
+    }
+    let handle = svc.handle();
+    let snap = handle.snapshot();
+    assert_eq!(
+        snap.values(),
+        batagelj_zaversnik(snap.graph()).as_slice(),
+        "sharded coreness diverged from fresh BZ"
+    );
+    (
+        wall,
+        rounds,
+        snap.values().to_vec(),
+        handle.health().exchange,
+    )
+}
+
+struct ExchangeRow {
+    graph: String,
+    nodes: usize,
+    shards: usize,
+    epochs: usize,
+    rounds: u64,
+    spawn: Percentiles,
+    pooled: Percentiles,
+    speedup: f64,
+    pool_round_p50_us: u64,
+    pool_busy_pct: u32,
+}
+
+fn measure_exchange(scale: usize, shards: usize, steps: usize, seed: u64) -> ExchangeRow {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        32,
+        seed ^ 7,
+    );
+    let (spawn, rounds_spawn, core_spawn, _) =
+        drive_sharded(&g, &stream, shards, ExchangeMode::Spawn);
+    let (pooled, rounds_pooled, core_pooled, health) =
+        drive_sharded(&g, &stream, shards, ExchangeMode::Pooled);
+    assert_eq!(core_spawn, core_pooled, "pooled vs spawn coreness");
+    assert_eq!(rounds_spawn, rounds_pooled, "pooled vs spawn rounds");
+    let health = health.expect("pooled run records exchange health");
+    let speedup = spawn.p50() / pooled.p50();
+    println!(
+        "exchange gnp12/{scale} x{shards}: spawn p50 {:>8.1}us | pooled p50 {:>8.1}us \
+         | ratio {speedup:.3} | {} rounds | pool round p50 {}us, util {}%",
+        spawn.p50(),
+        pooled.p50(),
+        rounds_pooled,
+        health.round_p50_us,
+        health.worker_busy_pct,
+    );
+    ExchangeRow {
+        graph: format!("exchange_gnp12/{scale}/shards{shards}"),
+        nodes: scale,
+        shards,
+        epochs: stream.len(),
+        rounds: rounds_pooled,
+        spawn,
+        pooled,
+        speedup,
+        pool_round_p50_us: health.round_p50_us,
+        pool_busy_pct: health.worker_busy_pct,
+    }
+}
+
+/// Removal-heavy phase batches (every other edge, `chunk` at a time)
+/// and the mirror insertion batches that put them all back.
+fn descent_batches(g: &Graph, chunk: usize) -> (Vec<EdgeBatch>, Vec<EdgeBatch>) {
+    let doomed: Vec<_> = g.edges().step_by(2).collect();
+    let mut removals = Vec::new();
+    let mut inserts = Vec::new();
+    for edges in doomed.chunks(chunk) {
+        let mut rm = EdgeBatch::new();
+        let mut ins = EdgeBatch::new();
+        for &(u, v) in edges {
+            rm.remove(u, v);
+            ins.insert(u, v);
+        }
+        removals.push(rm);
+        inserts.push(ins);
+    }
+    (removals, inserts)
+}
+
+struct DescentRow {
+    graph: String,
+    nodes: usize,
+    threads: usize,
+    batches: usize,
+    seq_removal: Percentiles,
+    par_removal: Percentiles,
+    seq_insert: Percentiles,
+    par_insert: Percentiles,
+    speedup_removal: f64,
+    speedup_insert: f64,
+}
+
+fn measure_descent(scale: usize, chunk: usize, threads: usize, seed: u64) -> DescentRow {
+    let g = gnp(scale, 8.0 / scale as f64, seed);
+    let (removals, inserts) = descent_batches(&g, chunk);
+    let mut seq = StreamCore::new(&g);
+    let mut par = StreamCore::new(&g).with_threads(threads);
+    let mut phase = |batches: &[EdgeBatch]| {
+        let (mut seq_wall, mut par_wall) = (Percentiles::new(), Percentiles::new());
+        for b in batches {
+            let t = Instant::now();
+            seq.apply_batch(b).expect("precomputed batches are valid");
+            seq_wall.record(t.elapsed().as_secs_f64() * 1e6);
+            let t = Instant::now();
+            par.apply_batch(b).expect("precomputed batches are valid");
+            par_wall.record(t.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(seq.values(), par.values(), "descent coreness diverged");
+        }
+        (seq_wall, par_wall)
+    };
+    let (seq_removal, par_removal) = phase(&removals);
+    let (seq_insert, par_insert) = phase(&inserts);
+    assert_eq!(
+        par.values(),
+        batagelj_zaversnik(&par.to_graph()).as_slice(),
+        "threaded StreamCore diverged from fresh BZ"
+    );
+    let speedup_removal = seq_removal.p50() / par_removal.p50();
+    let speedup_insert = seq_insert.p50() / par_insert.p50();
+    println!(
+        "descent gnp8/{scale} t{threads}: removal seq p50 {:>8.1}us, par p50 {:>8.1}us, \
+         ratio {speedup_removal:.3} | insert seq p50 {:>8.1}us, par p50 {:>8.1}us, \
+         ratio {speedup_insert:.3}",
+        seq_removal.p50(),
+        par_removal.p50(),
+        seq_insert.p50(),
+        par_insert.p50(),
+    );
+    DescentRow {
+        graph: format!("descent_gnp8/{scale}/threads{threads}"),
+        nodes: scale,
+        threads,
+        batches: removals.len() + inserts.len(),
+        seq_removal,
+        par_removal,
+        seq_insert,
+        par_insert,
+        speedup_removal,
+        speedup_insert,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (ex_scale, ex_steps, de_scale, de_chunk) = if quick {
+        (4_000usize, 10usize, 6_000usize, 512usize)
+    } else {
+        (20_000, 20, 30_000, 1_024)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("pooled exchange and region-parallel descent ({cores} cores)...");
+
+    let exchange: Vec<_> = [2usize, 4, 8]
+        .iter()
+        .map(|&s| measure_exchange(ex_scale, s, ex_steps, 42 + s as u64))
+        .collect();
+    let descent = measure_descent(de_scale, de_chunk, 4, 77);
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR8\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"metric\": \"per-batch apply wall time: pooled vs spawn-per-round border \
+         exchange, region-parallel vs sequential descent\",\n",
+    );
+    json.push_str(
+        "  \"engines\": [\"sharded_pooled_exchange\", \"stream_core_region_parallel\"],\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for row in &exchange {
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"shards\": {}, \"epochs\": {}, \
+             \"exchange_rounds\": {}, \"apply_spawn_p50_us\": {:.1}, \
+             \"apply_spawn_p99_us\": {:.1}, \"apply_pooled_p50_us\": {:.1}, \
+             \"apply_pooled_p99_us\": {:.1}, \"pool_round_p50_us\": {}, \
+             \"pool_worker_busy_pct\": {}, \"speedup_pooled_exchange\": {:.3}, \
+             \"identical_output\": true}},",
+            row.graph,
+            row.nodes,
+            row.shards,
+            row.epochs,
+            row.rounds,
+            row.spawn.p50(),
+            row.spawn.p99(),
+            row.pooled.p50(),
+            row.pooled.p99(),
+            row.pool_round_p50_us,
+            row.pool_busy_pct,
+            row.speedup,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    {{\"graph\": \"{}\", \"nodes\": {}, \"threads\": {}, \"batches\": {}, \
+         \"removal_seq_p50_us\": {:.1}, \"removal_par_p50_us\": {:.1}, \
+         \"insert_seq_p50_us\": {:.1}, \"insert_par_p50_us\": {:.1}, \
+         \"speedup_descent_removal\": {:.3}, \"speedup_descent_insert\": {:.3}, \
+         \"identical_output\": true}}",
+        descent.graph,
+        descent.nodes,
+        descent.threads,
+        descent.batches,
+        descent.seq_removal.p50(),
+        descent.par_removal.p50(),
+        descent.seq_insert.p50(),
+        descent.par_insert.p50(),
+        descent.speedup_removal,
+        descent.speedup_insert,
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR8.json");
+    println!("wrote {out_path}");
+
+    // Acceptance floor: pooled exchange ≥1.3× spawn at ≥4 shards, hard
+    // only in full mode on a real multi-core machine. On a 1–2 core box
+    // the workers of both strategies serialize onto the same cores and
+    // the pool can only save spawn/join overhead; in quick mode the
+    // sub-ms rounds are noise-dominated. Both degrade the floor to a
+    // soft warning (the committed 1-core baselines are oversubscription
+    // floors, not targets — the regression gate's machine-scaling rule
+    // handles the cross-machine comparison).
+    let hard = !quick && cores > 2;
+    for row in exchange.iter().filter(|r| r.shards >= 4) {
+        if row.speedup >= 1.3 {
+            continue;
+        }
+        let msg = format!(
+            "pooled exchange at {} shards: {:.3}x below the 1.3x floor",
+            row.shards, row.speedup
+        );
+        assert!(!hard, "{msg}");
+        println!("warning: {msg} (soft: quick={quick}, {cores} core(s))");
+    }
+    for (label, speedup) in [
+        ("removal", descent.speedup_removal),
+        ("insert", descent.speedup_insert),
+    ] {
+        if speedup < 1.0 {
+            let msg = format!("region-parallel {label} descent: {speedup:.3}x below sequential");
+            assert!(!hard, "{msg}");
+            println!("warning: {msg} (soft: quick={quick}, {cores} core(s))");
+        }
+    }
+}

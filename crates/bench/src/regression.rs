@@ -33,15 +33,17 @@ pub struct BenchRow {
 /// reported but never fail the check.
 pub const MIN_GATED_MS: f64 = 1.0;
 
-/// Metrics whose value depends on how many cores the machine has (e.g.
-/// the reader-scaling ratios of `bench_pr4`: on a 1-core container they
-/// measure oversubscription overhead, on a 16-core box real read
+/// Metrics whose value depends on how many cores the machine has (the
+/// reader-scaling ratios of `bench_pr4`, the pooled-exchange and
+/// region-descent ratios of `bench_pr8`: on a 1-core container they
+/// measure oversubscription overhead, on a 16-core box real
 /// scalability). These gate only when the baseline and the fresh run
 /// were measured on comparable machines — see [`cores_differ_materially`].
-pub const SCALING_METRIC_PREFIX: &str = "speedup_readers";
+pub const SCALING_METRIC_PREFIXES: &[&str] =
+    &["speedup_readers", "speedup_pooled", "speedup_descent"];
 
 /// Core-count ratio beyond which two machines stop being comparable for
-/// [scaling metrics](SCALING_METRIC_PREFIX).
+/// [scaling metrics](SCALING_METRIC_PREFIXES).
 pub const CORES_MATERIAL_RATIO: f64 = 1.5;
 
 /// A parsed benchmark document: the `results` rows plus the recorded
@@ -84,7 +86,7 @@ pub struct Comparison {
     /// The row contains a timing below [`MIN_GATED_MS`]: too fast to
     /// measure reliably, so it can never regress the build.
     pub too_fast: bool,
-    /// The metric is machine-scaling ([`SCALING_METRIC_PREFIX`]) and the
+    /// The metric is machine-scaling ([`SCALING_METRIC_PREFIXES`]) and the
     /// baseline was recorded on a materially different core count:
     /// reported as a soft warning, never gated.
     pub machine_mismatch: bool,
@@ -254,7 +256,7 @@ pub fn compare(
 }
 
 /// [`compare`], plus the machine-scaling rule: metrics named with the
-/// [`SCALING_METRIC_PREFIX`] gate only when the two documents were
+/// [`SCALING_METRIC_PREFIXES`] gate only when the two documents were
 /// recorded on comparable core counts ([`cores_differ_materially`]);
 /// otherwise they are downgraded to soft warnings. This keeps a
 /// 1-core-container baseline (an oversubscription floor, as the PR 4
@@ -272,7 +274,10 @@ pub fn compare_docs(
     let mut out = compare(&baseline.rows, &fresh.rows, threshold)?;
     if cores_differ_materially(baseline.cores, fresh.cores) {
         for c in &mut out {
-            if c.metric.starts_with(SCALING_METRIC_PREFIX) {
+            if SCALING_METRIC_PREFIXES
+                .iter()
+                .any(|p| c.metric.starts_with(p))
+            {
                 c.machine_mismatch = true;
                 c.regressed = false;
             }

@@ -83,7 +83,7 @@ USAGE:
                             [--engine batched|per-edge|warm-dist] [--threads T]
                             [--insert-pct P] [--report-json FILE] [--seed S]
   dkcore serve     <input> [--port P] [--batch B] [--steps S] [--shards S]
-                            [--replicas R] [--fault-plan SPEC]
+                            [--replicas R] [--fault-plan SPEC] [--pin-cores]
                             [--workload ...] [--insert-pct P] [--interval-ms MS]
                             [--no-wait] [--seed S]
   dkcore query     --port P <coreness V | members K [offset O] [limit L] |
@@ -118,8 +118,10 @@ SERVE:
   injects deterministic faults into the border exchange for chaos runs,
   e.g. `seed=7,drop=10,delay=5:3,kill=0@4` (drop/dup/delay are percents,
   kill=SHARD@EPOCH[:ROUND], stall=SHARD@EPOCH:ROUNDS). `dkcore query
-  --port P health` reports writer/partition liveness and deferred-batch
-  lag without touching the query path.
+  --port P health` reports writer/partition liveness, deferred-batch
+  lag, and border-exchange round timing/utilization without touching
+  the query path. `--pin-cores` best-effort pins the persistent shard
+  drain workers to distinct cores (ignored where unsupported).
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -438,7 +440,9 @@ pub fn cmd_stream<W: Write>(
     match engine {
         "batched" | "per-edge" => {
             let batched = engine == "batched";
-            let mut sc = batched.then(|| StreamCore::new(&g));
+            // --threads T > 1 turns on the region-parallel descent
+            // (bit-identical results; see the stream-module docs).
+            let mut sc = batched.then(|| StreamCore::new(&g).with_threads(threads));
             let mut dc = (!batched).then(|| DynamicCore::new(&g));
             let mut t = Table::new([
                 "step",
@@ -611,6 +615,7 @@ pub fn cmd_serve<W: Write>(
     shards: usize,
     replicas: usize,
     fault_plan: &str,
+    pin_cores: bool,
     insert_pct: u32,
     interval_ms: u64,
     wait: bool,
@@ -629,10 +634,11 @@ pub fn cmd_serve<W: Write>(
     } else {
         FaultPlan::parse(fault_plan).map_err(|e| CliError::new(format!("--fault-plan: {e}")))?
     };
-    if shards <= 1 && (replicas > 0 || !plan.is_none()) {
+    if shards <= 1 && (replicas > 0 || !plan.is_none() || pin_cores) {
         return Err(CliError::new(
-            "--replicas and --fault-plan require --shards > 1 (replication \
-             and fault injection live in the sharded backend)",
+            "--replicas, --fault-plan, and --pin-cores require --shards > 1 \
+             (replication, fault injection, and the pinned worker pool live \
+             in the sharded backend)",
         ));
     }
     let workload = parse_workload(workload, batch, g.node_count(), insert_pct)?;
@@ -648,6 +654,7 @@ pub fn cmd_serve<W: Write>(
         let config = ShardedConfig {
             replicas,
             fault_plan: plan,
+            pin: pin_cores,
             ..ShardedConfig::default()
         };
         Backend::Sharded(Box::new(ShardedCoreService::with_config(
@@ -937,6 +944,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut shards = 1usize;
     let mut replicas = 0usize;
     let mut fault_plan = String::new();
+    let mut pin_cores = false;
     let mut insert_pct = 60u32;
     let mut interval_ms = 0u64;
     let mut wait = true;
@@ -1011,6 +1019,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
                     .map_err(|_| CliError::new("--replicas: expected a number"))?
             }
             "--fault-plan" => fault_plan = value("--fault-plan")?,
+            "--pin-cores" => pin_cores = true,
             "--insert-pct" => {
                 insert_pct = value("--insert-pct")?
                     .parse()
@@ -1079,6 +1088,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             shards,
             replicas,
             &fault_plan,
+            pin_cores,
             insert_pct,
             interval_ms,
             wait,
@@ -1370,6 +1380,7 @@ mod tests {
                     1,
                     0,
                     "",
+                    false,
                     60,
                     0,
                     true, // keep serving until the SHUTDOWN query below
@@ -1485,6 +1496,7 @@ mod tests {
             1,
             0,
             "",
+            false,
             60,
             0,
             false, // exit as soon as the churn is exhausted
@@ -1514,6 +1526,7 @@ mod tests {
                 shards,
                 0,
                 "",
+                false,
                 60,
                 0,
                 false,
@@ -1550,6 +1563,7 @@ mod tests {
             2,
             1,
             "seed=3,drop=10,kill=0@2",
+            false,
             60,
             0,
             false,
@@ -1571,6 +1585,7 @@ mod tests {
                 "--fault-plan",
                 "drop=5",
             ],
+            vec!["serve", "analog:gnutella-like:100", "--pin-cores"],
         ] {
             let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
             let err = dispatch(&args, &mut Vec::new()).unwrap_err();

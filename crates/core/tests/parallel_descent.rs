@@ -1,0 +1,189 @@
+//! Bit-identity oracle for the region-parallel descent: random mutation
+//! streams applied through a sequential `StreamCore` and a threaded one
+//! in lockstep, asserting after every batch that coreness values,
+//! `BatchStats`, and the `last_touched` delta *contents* are identical
+//! (the delta's order within a batch is the one thing the parallel
+//! merge is allowed to change), and that both match a fresh
+//! Batagelj–Zaveršnik pass.
+//!
+//! The CI determinism matrix re-runs this suite with `DKCORE_TEST_SEED`
+//! shifting every stream and `DKCORE_TEST_THREADS` pinning one worker
+//! count; unset, every thread count in {2, 4, 8} is exercised.
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::{EdgeBatch, StreamCore};
+use dkcore_graph::generators::{barabasi_albert, gnp, path, worst_case};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Offset mixed into every stream seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix); 0 when unset.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |s| s.wrapping_mul(0x9E37_79B9))
+}
+
+/// Worker counts under test: the `DKCORE_TEST_THREADS` override (the CI
+/// determinism matrix) pins one, otherwise {2, 4, 8}.
+fn thread_counts() -> Vec<usize> {
+    std::env::var("DKCORE_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .map_or_else(|| vec![2, 4, 8], |t| vec![t])
+}
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        // Sparse G(n,p): many small, well-separated candidate regions —
+        // the case the parallel dispatch actually fires on.
+        ("gnp_sparse", gnp(220, 0.015, seed)),
+        ("gnp_mid", gnp(140, 0.05, seed ^ 1)),
+        ("ba", barabasi_albert(160, 3, seed ^ 2)),
+        ("path", path(120)),
+        ("worst_case", worst_case(40)),
+    ]
+}
+
+/// Draws the next valid batch against the current edge state.
+fn next_batch(sc: &StreamCore, batch_size: usize, rng: &mut StdRng) -> EdgeBatch {
+    let n = sc.node_count() as u32;
+    let mut batch = EdgeBatch::new();
+    let mut used: Vec<(u32, u32)> = Vec::new();
+    let mut tries = 0;
+    while batch.len() < batch_size && tries < batch_size * 30 {
+        tries += 1;
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if used.contains(&key) {
+            continue;
+        }
+        used.push(key);
+        let (u, v) = (NodeId(key.0), NodeId(key.1));
+        if sc.has_edge(u, v) {
+            batch.remove(u, v);
+        } else {
+            batch.insert(u, v);
+        }
+    }
+    batch
+}
+
+fn sorted_delta(sc: &StreamCore) -> Vec<(u32, u32)> {
+    let mut d = sc.last_touched().to_vec();
+    d.sort_unstable();
+    d
+}
+
+/// Lockstep oracle: one family, one batch size, one seed, one thread
+/// count.
+fn run_lockstep(name: &str, g: &Graph, batch_size: usize, seed: u64, threads: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq = StreamCore::new(g);
+    let mut par = StreamCore::new(g).with_threads(threads);
+    for step in 0..8 {
+        let batch = next_batch(&seq, batch_size, &mut rng);
+        let ctx =
+            format!("{name}: batch {batch_size}, seed {seed}, threads {threads}, step {step}");
+        let stats_seq = seq.apply_batch(&batch).unwrap();
+        let stats_par = par.apply_batch(&batch).unwrap();
+        assert_eq!(stats_seq, stats_par, "{ctx}: BatchStats diverged");
+        assert_eq!(
+            seq.values(),
+            par.values(),
+            "{ctx}: coreness values diverged"
+        );
+        assert_eq!(
+            sorted_delta(&seq),
+            sorted_delta(&par),
+            "{ctx}: touched delta diverged"
+        );
+        assert_eq!(
+            par.values(),
+            batagelj_zaversnik(&par.to_graph()).as_slice(),
+            "{ctx}: parallel repair diverged from ground truth"
+        );
+    }
+}
+
+#[test]
+fn parallel_descent_matches_sequential_across_families() {
+    let offset = seed_offset();
+    for threads in thread_counts() {
+        for seed in 0..2u64 {
+            for (name, g) in families(seed.wrapping_add(offset)) {
+                for batch_size in [7usize, 32, 96] {
+                    run_lockstep(
+                        name,
+                        &g,
+                        batch_size,
+                        (seed * 31 + batch_size as u64).wrapping_add(offset),
+                        threads,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_descent_matches_on_removal_heavy_streams() {
+    // Pure removal batches drive the region-parallel *removal* phase,
+    // which the mixed streams above only hit when a batch happens to
+    // carry ≥ 2 removals in separate regions.
+    let offset = seed_offset();
+    for threads in thread_counts() {
+        let g = gnp(260, 0.02, 11 ^ offset);
+        let mut seq = StreamCore::new(&g);
+        let mut par = StreamCore::new(&g).with_threads(threads);
+        let mut step = 0;
+        while seq.edge_count() > 120 {
+            let snapshot = seq.to_graph();
+            let mut batch = EdgeBatch::new();
+            for (i, (u, v)) in snapshot.edges().enumerate() {
+                if i % 5 == 0 && batch.len() < 48 {
+                    batch.remove(u, v);
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let stats_seq = seq.apply_batch(&batch).unwrap();
+            let stats_par = par.apply_batch(&batch).unwrap();
+            let ctx = format!("removal-heavy: threads {threads}, step {step}");
+            assert_eq!(stats_seq, stats_par, "{ctx}: BatchStats diverged");
+            assert_eq!(seq.values(), par.values(), "{ctx}: values diverged");
+            assert_eq!(
+                sorted_delta(&seq),
+                sorted_delta(&par),
+                "{ctx}: touched delta diverged"
+            );
+            step += 1;
+        }
+        assert!(step > 0, "removal-heavy stream never ran");
+    }
+}
+
+#[test]
+fn single_thread_settings_stay_on_the_sequential_path() {
+    // threads 0 and 1 must be the plain sequential engine: identical
+    // values *and* identical delta order.
+    let g = gnp(150, 0.03, 5);
+    let mut a = StreamCore::new(&g);
+    let mut b = StreamCore::new(&g).with_threads(1);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..6 {
+        let batch = next_batch(&a, 24, &mut rng);
+        a.apply_batch(&batch).unwrap();
+        b.apply_batch(&batch).unwrap();
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.last_touched(), b.last_touched());
+    }
+}

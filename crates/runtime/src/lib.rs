@@ -39,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 mod worker;
 
+pub use pool::{pin_to_core, WorkerPool};
 pub use worker::{Runtime, RuntimeConfig, RuntimeResult};

@@ -32,6 +32,9 @@ pub struct RuntimeConfig {
     pub protocol: OneToManyConfig,
     /// Safety cap on rounds; `0` means automatic (`2·N + 100`).
     pub max_rounds: u32,
+    /// Best-effort: pin worker `i` to core `i % available_cores`
+    /// (see [`crate::pool::pin_to_core`]). Ignored where unsupported.
+    pub pin: bool,
 }
 
 impl RuntimeConfig {
@@ -47,6 +50,7 @@ impl RuntimeConfig {
             assignment: AssignmentPolicy::Modulo,
             protocol: OneToManyConfig::default(),
             max_rounds: 0,
+            pin: false,
         }
     }
 }
@@ -194,6 +198,8 @@ impl Runtime {
         let mut rounds = 0u32;
         let mut total_messages = 0u64;
 
+        let cores = thread::available_parallelism().map_or(1, usize::from);
+        let pin = self.config.pin;
         thread::scope(|scope| {
             for (i, (proto, xlat)) in protocols.into_iter().zip(xlats).enumerate() {
                 let peers = data_txs.clone();
@@ -204,6 +210,11 @@ impl Runtime {
                 let report = report_tx.clone();
                 let finals = &finals;
                 scope.spawn(move || {
+                    if pin {
+                        // Advisory; a failed pin changes nothing about
+                        // correctness or termination.
+                        let _ = crate::pool::pin_to_core(i % cores);
+                    }
                     let net = Network {
                         host: i,
                         peers,

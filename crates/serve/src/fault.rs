@@ -279,6 +279,12 @@ impl FaultSession {
         }
     }
 
+    /// True when no probabilistic message fault is configured: border
+    /// frames can bypass the per-message fate machinery wholesale.
+    pub(crate) fn lossless(&self) -> bool {
+        !self.plan.has_message_faults()
+    }
+
     /// Consumes a matching kill spec, if any: `round == None` matches
     /// batch-boundary kills, `Some(r)` matches after-round-`r` kills.
     pub(crate) fn take_kill(&mut self, shard: u32, epoch: u64, round: Option<u32>) -> bool {

@@ -26,6 +26,34 @@ pub struct ShardHealth {
     pub epoch_lag: u64,
 }
 
+/// Cumulative border-exchange observability of the sharded writer:
+/// round counts, per-round wall-time percentiles, and drain-worker
+/// utilization. `None` for the single-writer service (it has no
+/// exchange). Integer microseconds keep the report `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeHealth {
+    /// Exchange rounds executed across all published epochs.
+    pub rounds: u64,
+    /// Median round wall time, in whole microseconds.
+    pub round_p50_us: u64,
+    /// p99 round wall time, in whole microseconds.
+    pub round_p99_us: u64,
+    /// Drain busy time as a percentage (0–100) of dispatched
+    /// worker-time.
+    pub worker_busy_pct: u32,
+}
+
+impl ExchangeHealth {
+    /// The wire `HEALTH` suffix:
+    /// `exchange=rounds:<n>,p50us:<a>,p99us:<b>,util:<c>%`.
+    pub fn summary(&self) -> String {
+        format!(
+            "exchange=rounds:{},p50us:{},p99us:{},util:{}%",
+            self.rounds, self.round_p50_us, self.round_p99_us, self.worker_busy_pct
+        )
+    }
+}
+
 /// Point-in-time health of a serving backend, as published by the
 /// writer and observed through `ServiceHandle::health` /
 /// `ShardedHandle::health` or the wire `HEALTH` verb.
@@ -38,6 +66,8 @@ pub struct HealthReport {
     pub epoch: u64,
     /// Per-partition health; empty for the single-writer service.
     pub shards: Vec<ShardHealth>,
+    /// Border-exchange counters (sharded service only).
+    pub exchange: Option<ExchangeHealth>,
 }
 
 impl HealthReport {
@@ -55,6 +85,7 @@ impl HealthReport {
                     epoch_lag: 0,
                 })
                 .collect(),
+            exchange: None,
         }
     }
 

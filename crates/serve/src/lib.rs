@@ -121,10 +121,11 @@ mod view;
 pub mod wire;
 
 pub use fault::{FaultPlan, KillSpec, StallSpec};
-pub use health::{HealthReport, ShardHealth};
+pub use health::{ExchangeHealth, HealthReport, ShardHealth};
 pub use service::{CoreService, PublishReport, ServiceHandle};
 pub use sharded::{
-    ShardedConfig, ShardedCoreService, ShardedHandle, ShardedPublishReport, StitchedSnapshot,
+    ExchangeMode, ShardedConfig, ShardedCoreService, ShardedHandle, ShardedPublishReport,
+    StitchedSnapshot,
 };
 pub use snapshot::CoreSnapshot;
 // Re-exporting the deprecated trait keeps pre-PR-7 imports compiling;

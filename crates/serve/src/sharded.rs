@@ -46,6 +46,54 @@
 //! top-k, induced subgraphs) is answered against one pinned stitched
 //! epoch, with cross-shard results merged in global id order.
 //!
+//! # Worker lifecycle and barrier protocol
+//!
+//! With [`ExchangeMode::Pooled`] (the default) the per-round drains of
+//! step 3 run on a **persistent worker pool**
+//! ([`dkcore_runtime::WorkerPool`], the barrier primitive of the live
+//! runtime's coordinator): one long-lived thread per shard, created on
+//! the first multi-shard exchange round and kept for the life of the
+//! service — across rounds, batch attempts, and batches. Between
+//! dispatches a worker parks on its job channel (a blocking receive),
+//! so an idle pool costs nothing while the coordinator validates,
+//! routes, or publishes.
+//!
+//! Because the workspace forbids `unsafe`, workers never borrow
+//! coordinator state: each round the coordinator *moves* every live
+//! [`Shard`] (plus its outgoing staging frames) into its worker and the
+//! worker moves both back with the drain finished — an ownership
+//! round trip per shard per round, replacing a `thread::spawn` + join
+//! per shard per round. A round is the same deliver/flush double
+//! barrier as `dkcore-runtime`: the coordinator first applies last
+//! round's staged frames (deliver), checks quiescence, then dispatches
+//! drains and collects replies in shard order (flush). Workers
+//! optionally pin themselves to cores ([`ShardedConfig::pin`], CLI
+//! `--pin-cores`) — strictly best-effort, degrading to unpinned where
+//! the platform refuses.
+//!
+//! Failures compose with the pool exactly as with spawned threads. A
+//! drain panic is caught *inside* the worker (the shard value survives
+//! and returns to the coordinator), reported in the reply, and
+//! surfaces as a primary death at the round boundary: the attempt
+//! rolls back and promotion replaces the returned shard's state
+//! wholesale. The worker thread itself never dies with its primary —
+//! it simply keeps serving whatever shard value the coordinator sends
+//! next (the promoted replica's, after failover). Stalled shards are
+//! not dispatched at all (no job, no reply), and a shard killed by an
+//! injected `kill=S@E:R` aborts the attempt after its round's replies
+//! are collected, before any staged frame is routed.
+//!
+//! Border traffic itself moves in **recycled per-(src, dst) staging
+//! frames** (the PR 2 `⟨S⟩` slot-translated batch): a drain appends
+//! slot-translated messages to one reusable `Vec` per destination
+//! shard instead of sending each message through the network
+//! individually. On a lossless plan the frames *are* the network —
+//! they are applied wholesale at the next deliver barrier and their
+//! buffers recycled. Under a fault plan every staged message is still
+//! unpacked through [`BorderNet::send`] individually, so the
+//! drop/duplicate/delay/retransmit semantics below are preserved
+//! per message on top of the batched frames.
+//!
 //! # Failure model
 //!
 //! The service tolerates (and [`crate::fault`] deterministically
@@ -102,9 +150,11 @@ use dkcore::one_to_many::{Assignment, AssignmentPolicy};
 use dkcore::seq::batagelj_zaversnik;
 use dkcore::stream::{candidate_regions, AdjacencyArena, EdgeBatch};
 use dkcore_graph::{Graph, NodeId};
+use dkcore_metrics::Percentiles;
+use dkcore_runtime::WorkerPool;
 
 use crate::fault::{Fate, FaultPlan, FaultSession};
-use crate::health::{HealthCell, HealthReport, ShardHealth};
+use crate::health::{ExchangeHealth, HealthCell, HealthReport, ShardHealth};
 use crate::index::{MergedMembers, MergedTop, ShellIndex};
 use crate::service::EpochCell;
 use crate::snapshot::{apply_shell_change, trim_shells, AdjChunk, ChunkedU32, ADJ_CHUNK};
@@ -130,12 +180,15 @@ struct ShardMap {
 }
 
 /// One estimate-drop message of the border exchange: `source` (owned by
-/// the sending shard) dropped to `est`; `target` (owned by the receiving
-/// shard) neighbors it and must be re-examined.
+/// the sending shard, a global id — the receiver's border-cache key)
+/// dropped to `est`; the node at `target_slot` of shard `dest` neighbors
+/// it and must be re-examined. The target is **slot-translated by the
+/// sender** (which owns the shard map anyway), so delivery is a direct
+/// array index — the PR 2 `⟨S⟩` staging convention.
 #[derive(Debug, Clone, Copy)]
 struct BorderMsg {
     dest: u32,
-    target: u32,
+    target_slot: u32,
     source: u32,
     est: u32,
 }
@@ -223,7 +276,7 @@ impl Shard {
             } else {
                 out.push(BorderMsg {
                     dest: owner,
-                    target: v,
+                    target_slot: map.slot[v as usize],
                     source: u,
                     est: value,
                 });
@@ -233,9 +286,12 @@ impl Shard {
 
     /// Drains the worklist to its local fixpoint: Algorithm 2 over owned
     /// estimates plus the border cache, cascading drops through owned
-    /// neighbors immediately and emitting one border message per remote
-    /// neighbor of every net-dropped node.
-    fn drain(&mut self, map: &ShardMap, me: u32, epoch: u64) -> Vec<BorderMsg> {
+    /// neighbors immediately and staging one slot-translated border
+    /// message per remote neighbor of every net-dropped node into
+    /// `stage[destination shard]` (recycled per-(src, dst) frames — the
+    /// caller clears them after routing). Returns the number of staged
+    /// messages.
+    fn drain(&mut self, map: &ShardMap, me: u32, epoch: u64, stage: &mut [Vec<BorderMsg>]) -> u64 {
         let mut dropped: Vec<u32> = Vec::new();
         while let Some(s) = self.queue.pop_front() {
             self.queued[s as usize] = false;
@@ -274,7 +330,7 @@ impl Shard {
         }
         // One message per (dropped node, remote neighbor), carrying the
         // node's final value for this round.
-        let mut out = Vec::new();
+        let mut staged = 0u64;
         dropped.sort_unstable();
         dropped.dedup();
         for s in dropped {
@@ -283,16 +339,41 @@ impl Shard {
             for &v in self.adj.neighbors(s as usize) {
                 let owner = map.owner[v as usize];
                 if owner != me {
-                    out.push(BorderMsg {
+                    stage[owner as usize].push(BorderMsg {
                         dest: owner,
-                        target: v,
+                        target_slot: map.slot[v as usize],
                         source: u,
                         est: value,
                     });
+                    staged += 1;
                 }
             }
         }
-        out
+        staged
+    }
+
+    /// An empty stand-in left in the coordinator's slot while the real
+    /// shard value is travelling through a pool worker (the ownership
+    /// round trip of the pooled exchange). Never drained or published.
+    fn placeholder() -> Shard {
+        Shard {
+            owned: Vec::new(),
+            adj: AdjacencyArena::from_sorted_lists(std::iter::empty::<Vec<u32>>()),
+            est: Vec::new(),
+            remote_est: HashMap::new(),
+            queue: VecDeque::new(),
+            queued: Vec::new(),
+            epoch_mark: Vec::new(),
+            epoch_old: Vec::new(),
+            epoch_touched: Vec::new(),
+            snapshot: Arc::new(ShardSnapshot {
+                coreness: ChunkedU32::default(),
+                degrees: ChunkedU32::default(),
+                adj: Vec::new(),
+                shell_sizes: vec![0],
+                index: ShellIndex::default(),
+            }),
+        }
     }
 
     /// The (global, old, new) coreness changes of this epoch, gathered
@@ -402,6 +483,15 @@ impl ShardSnapshot {
     }
 }
 
+/// Busy time as a percentage of capacity; 0 when nothing was measured.
+fn busy_pct(busy_nanos: u64, cap_nanos: u64) -> f64 {
+    if cap_nanos == 0 {
+        0.0
+    } else {
+        busy_nanos as f64 / cap_nanos as f64 * 100.0
+    }
+}
+
 /// The slot of global node `u` inside `shard` (binary search over the
 /// sorted owned list — used only on the publish path).
 fn shard_slot(shard: &Shard, u: u32) -> usize {
@@ -409,6 +499,22 @@ fn shard_slot(shard: &Shard, u: u32) -> usize {
         .owned
         .binary_search(&u)
         .expect("change log only names owned nodes")
+}
+
+/// How exchange-round drains are executed. Both modes share one staged
+/// message flow, so their reports (rounds, messages, resends) and the
+/// published epochs are bit-identical — asserted by
+/// `tests/pool_identity.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// Persistent per-shard worker pool (the default): workers live
+    /// across rounds and batches, parking between dispatches. See the
+    /// [module docs](self).
+    #[default]
+    Pooled,
+    /// Spawn-per-round scoped threads — the pre-pool behavior, kept as
+    /// the baseline for `bench_pr8` and the bit-identity tests.
+    Spawn,
 }
 
 /// Configuration of the sharded service beyond the shard count:
@@ -429,6 +535,13 @@ pub struct ShardedConfig {
     /// epoch by this many batches (default 1: every epoch; larger lags
     /// make promotion replay longer log suffixes).
     pub replica_lag: u64,
+    /// Drain execution strategy (default [`ExchangeMode::Pooled`]).
+    pub exchange: ExchangeMode,
+    /// Best-effort: pin pool worker `i` to core `i % available_cores`
+    /// (see [`dkcore_runtime::pin_to_core`]). No effect with
+    /// [`ExchangeMode::Spawn`]; falls back gracefully where pinning is
+    /// unsupported (default false).
+    pub pin: bool,
 }
 
 impl Default for ShardedConfig {
@@ -439,8 +552,31 @@ impl Default for ShardedConfig {
             fault_plan: FaultPlan::none(),
             heartbeat_timeout: 3,
             replica_lag: 1,
+            exchange: ExchangeMode::default(),
+            pin: false,
         }
     }
+}
+
+/// One pooled drain dispatch: the shard value plus its recycled
+/// outgoing frames (one per destination shard), moved into the worker
+/// and moved back with [`DrainReply`].
+struct DrainJob {
+    shard: Shard,
+    stage: Vec<Vec<BorderMsg>>,
+    epoch: u64,
+}
+
+/// A pool worker's reply: the shard and frames travelling home, the
+/// staged message count, whether the drain panicked (a primary death
+/// observed at the round boundary), and the busy time for the
+/// worker-utilization counters.
+struct DrainReply {
+    shard: Shard,
+    stage: Vec<Vec<BorderMsg>>,
+    staged: u64,
+    panicked: bool,
+    busy_nanos: u64,
 }
 
 /// A standby writer for one partition: a copy of the partition's
@@ -469,6 +605,13 @@ struct AttemptOutcome {
     rounds: u32,
     messages: u64,
     resends: u64,
+    /// Wall time of every exchange round, in microseconds.
+    round_us: Vec<f64>,
+    /// Summed drain time across workers (the numerator of the
+    /// worker-utilization counter).
+    busy_nanos: u64,
+    /// Summed `round wall × dispatched workers` (the denominator).
+    cap_nanos: u64,
 }
 
 /// The in-process "network" for one batch attempt: fresh, delayed and
@@ -579,6 +722,15 @@ pub struct ShardedPublishReport {
     pub replayed: u64,
     /// Border-message retransmissions (dropped copies re-sent).
     pub resends: u64,
+    /// Median exchange-round wall time of the successful attempt, in
+    /// microseconds (0 when no round ran).
+    pub round_us_p50: f64,
+    /// p99 exchange-round wall time of the successful attempt, in
+    /// microseconds (0 when no round ran).
+    pub round_us_p99: f64,
+    /// Drain busy time as a percentage of dispatched worker-time across
+    /// the successful attempt's rounds (0 when no round ran).
+    pub worker_busy_pct: f64,
 }
 
 /// The sharded multi-writer core-number service. See the
@@ -605,6 +757,22 @@ pub struct ShardedCoreService {
     replica_lag: u64,
     heartbeat_timeout: u32,
     health: Arc<HealthCell>,
+    exchange: ExchangeMode,
+    pin: bool,
+    /// Persistent drain workers (`ExchangeMode::Pooled`, multi-shard
+    /// only), created on first use and kept for the service's life.
+    pool: Option<WorkerPool<DrainJob, DrainReply>>,
+    /// Recycled border staging frames: `stage[src][dst]` holds the
+    /// messages shard `src` staged for shard `dst` this round. The
+    /// buffers are reused across rounds, attempts, and batches.
+    stage: Vec<Vec<Vec<BorderMsg>>>,
+    /// Cumulative exchange observability (successful attempts): total
+    /// rounds, per-round wall times, and the busy/capacity integrals
+    /// behind the worker-utilization counter.
+    xch_rounds: u64,
+    xch_round_us: Percentiles,
+    xch_busy_nanos: u64,
+    xch_cap_nanos: u64,
 }
 
 impl Drop for ShardedCoreService {
@@ -711,6 +879,7 @@ impl ShardedCoreService {
             shards.iter().map(|s| s.snapshot.clone()).collect(),
         ));
         let down = vec![false; shards.len()];
+        let stage = vec![vec![Vec::new(); shards.len()]; shards.len()];
         let svc = ShardedCoreService {
             shards,
             map,
@@ -726,9 +895,60 @@ impl ShardedCoreService {
             replica_lag: config.replica_lag.max(1),
             heartbeat_timeout: config.heartbeat_timeout,
             health: HealthCell::new(HealthReport::healthy(0, shard_count)),
+            exchange: config.exchange,
+            pin: config.pin,
+            pool: None,
+            stage,
+            xch_rounds: 0,
+            xch_round_us: Percentiles::new(),
+            xch_busy_nanos: 0,
+            xch_cap_nanos: 0,
         };
         svc.refresh_health();
         svc
+    }
+
+    /// Lazily creates the persistent drain pool (pooled mode,
+    /// multi-shard only): one parked worker per shard, each owning a
+    /// clone of the shard map and optionally pinned to a core. The pool
+    /// outlives every batch — failover only swaps the shard *values*
+    /// the workers are handed, never the workers themselves.
+    fn ensure_pool(&mut self) {
+        if self.pool.is_some() {
+            return;
+        }
+        let map = self.map.clone();
+        self.pool = Some(WorkerPool::new(
+            self.shards.len(),
+            self.pin,
+            move |i, job: DrainJob| {
+                let DrainJob {
+                    mut shard,
+                    mut stage,
+                    epoch,
+                } = job;
+                let t = Instant::now();
+                // A panicking drain is a primary death; catching it
+                // here keeps the shard value (and the recycled frames)
+                // alive so ownership returns to the coordinator, which
+                // rolls back and promotes a replica.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    shard.drain(&map, i as u32, epoch, &mut stage)
+                }));
+                let busy_nanos = t.elapsed().as_nanos() as u64;
+                let (staged, panicked) = match result {
+                    Ok(staged) => (staged, false),
+                    Err(_) => (0, true),
+                };
+                DrainReply {
+                    shard,
+                    stage,
+                    staged,
+                    panicked,
+                    busy_nanos,
+                }
+            },
+        ));
     }
 
     /// Assembles a live [`Shard`] for partition `me` from an adjacency
@@ -1035,6 +1255,18 @@ impl ShardedCoreService {
         self.cell.publish(stitched, epoch);
         self.epoch = epoch;
         self.sync_replicas();
+
+        // Exchange observability: fold the successful attempt's round
+        // timings into the cumulative counters (surfaced via HEALTH)
+        // and compute this batch's percentiles for the report.
+        let mut batch_rounds = Percentiles::new();
+        for &us in &outcome.round_us {
+            batch_rounds.record(us);
+            self.xch_round_us.record(us);
+        }
+        self.xch_rounds += u64::from(outcome.rounds);
+        self.xch_busy_nanos += outcome.busy_nanos;
+        self.xch_cap_nanos += outcome.cap_nanos;
         self.refresh_health();
         let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
 
@@ -1049,6 +1281,17 @@ impl ShardedCoreService {
             failovers,
             replayed,
             resends: outcome.resends,
+            round_us_p50: if batch_rounds.is_empty() {
+                0.0
+            } else {
+                batch_rounds.p50()
+            },
+            round_us_p99: if batch_rounds.is_empty() {
+                0.0
+            } else {
+                batch_rounds.p99()
+            },
+            worker_busy_pct: busy_pct(outcome.busy_nanos, outcome.cap_nanos),
         }
     }
 
@@ -1132,48 +1375,89 @@ impl ShardedCoreService {
                 .get_mut(&m.source)
                 .expect("border message for a cached neighbor")
                 .est = m.est;
-            let slot = self.map.slot[m.target as usize];
-            shard.enqueue(slot);
+            shard.enqueue(m.target_slot);
         }
 
         // --- 3. Border-exchange rounds until quiescence. ---
         let shard_count = self.shards.len();
+        // Recycled frames may still hold messages staged by an aborted
+        // attempt (including a drain that panicked mid-stage); they
+        // must not leak into this one.
+        for row in &mut self.stage {
+            for frame in row {
+                frame.clear();
+            }
+        }
+        if self.exchange == ExchangeMode::Pooled && shard_count > 1 {
+            self.ensure_pool();
+        }
         let mut stall: Vec<u32> = vec![0; shard_count];
         for (s, slot) in stall.iter_mut().enumerate() {
             *slot = self.faults.take_stall(s as u32, epoch).unwrap_or(0);
         }
         let mut missed: Vec<u32> = vec![0; shard_count];
         let mut net = BorderNet::new();
+        let lossless = self.faults.lossless();
         let mut round = 0u32;
+        let mut round_us: Vec<f64> = Vec::new();
+        let mut busy_nanos = 0u64;
+        let mut cap_nanos = 0u64;
         loop {
-            // Deliver: lower the border caches (min — duplicates and
-            // reordered stale copies are no-ops), enqueue the targets.
-            // The entry must exist: messages are only generated for
-            // edges present in the sender's arena, which the receiver
-            // mirrors, and no eviction happens during rounds.
-            for m in net.pump(round, &mut self.faults) {
-                let shard = &mut self.shards[m.dest as usize];
-                let entry = shard
-                    .remote_est
-                    .get_mut(&m.source)
-                    .expect("border message for a cached neighbor");
-                // min: duplicates and reordered stale copies can only
-                // leave the cache at a (safe) upper bound.
-                entry.est = entry.est.min(m.est);
-                // Re-examine the target unconditionally: one drop fans
-                // out to several targets with the same estimate, and
-                // only the first arrival lowers the cache.
-                let slot = self.map.slot[m.target as usize];
-                shard.enqueue(slot);
+            // Deliver barrier: lower the border caches (min — duplicates
+            // and reordered stale copies are no-ops), enqueue the
+            // targets unconditionally (one drop fans out to several
+            // targets with the same estimate, and only the first
+            // arrival lowers the cache). The cache entry must exist:
+            // messages are only generated for edges present in the
+            // sender's arena, which the receiver mirrors, and no
+            // eviction happens during rounds. On a lossless plan last
+            // round's staged frames are applied wholesale and their
+            // buffers recycled; under a fault plan the frames were
+            // unpacked into the BorderNet at the flush barrier and
+            // delivery pumps the due copies individually.
+            if lossless {
+                let shards = &mut self.shards;
+                for row in &mut self.stage {
+                    for (dst, frame) in row.iter_mut().enumerate() {
+                        if frame.is_empty() {
+                            continue;
+                        }
+                        let shard = &mut shards[dst];
+                        for m in frame.iter() {
+                            let entry = shard
+                                .remote_est
+                                .get_mut(&m.source)
+                                .expect("border message for a cached neighbor");
+                            entry.est = entry.est.min(m.est);
+                            shard.enqueue(m.target_slot);
+                        }
+                        frame.clear();
+                    }
+                }
+            } else {
+                for m in net.pump(round, &mut self.faults) {
+                    let shard = &mut self.shards[m.dest as usize];
+                    let entry = shard
+                        .remote_est
+                        .get_mut(&m.source)
+                        .expect("border message for a cached neighbor");
+                    entry.est = entry.est.min(m.est);
+                    shard.enqueue(m.target_slot);
+                }
+                if net.stuck {
+                    return Err(AttemptError::Stuck);
+                }
             }
-            if net.stuck {
-                return Err(AttemptError::Stuck);
-            }
+            // Every frame is empty here (applied above, or unpacked at
+            // the flush barrier), so quiescence is worklists + network.
             if self.shards.iter().all(|s| s.queue.is_empty()) && net.idle() {
                 return Ok(AttemptOutcome {
                     rounds: round,
                     messages,
                     resends: net.resends,
+                    round_us,
+                    busy_nanos,
+                    cap_nanos,
                 });
             }
             round += 1;
@@ -1193,47 +1477,116 @@ impl ShardedCoreService {
                     }
                 }
             }
-            let map = &self.map;
-            let outs: Vec<Vec<BorderMsg>> = if shard_count == 1 {
-                let shard = &mut self.shards[0];
-                match catch_unwind(AssertUnwindSafe(|| shard.drain(map, 0, epoch))) {
-                    Ok(out) => vec![out],
-                    Err(_) => return Err(AttemptError::Dead(0)),
-                }
-            } else {
-                let joined: Vec<Result<Vec<BorderMsg>, usize>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, shard)| {
-                            let skip = stalled[i];
-                            scope.spawn(move || {
-                                if skip {
-                                    Vec::new()
-                                } else {
-                                    shard.drain(map, i as u32, epoch)
-                                }
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, h)| h.join().map_err(|_| i))
-                        .collect()
-                });
-                let mut outs = Vec::with_capacity(shard_count);
-                for r in joined {
-                    match r {
-                        Ok(out) => outs.push(out),
-                        // A drain panic is a primary death observed at
-                        // the round boundary.
-                        Err(i) => return Err(AttemptError::Dead(i)),
+            // Flush barrier: drain every live shard into its staging
+            // frames. Stalled shards are skipped *before* dispatch —
+            // no job, no thread — but still receive deliveries above.
+            let t_round = Instant::now();
+            let mut staged = 0u64;
+            let mut dispatched = 0u64;
+            let mut dead: Option<usize> = None;
+            match (shard_count, self.exchange) {
+                (1, _) => {
+                    // Single shard: nothing ever crosses a border;
+                    // drain inline on the coordinator.
+                    let map = &self.map;
+                    let shard = &mut self.shards[0];
+                    let stage = &mut self.stage[0];
+                    dispatched = 1;
+                    match catch_unwind(AssertUnwindSafe(|| shard.drain(map, 0, epoch, stage))) {
+                        Ok(n) => staged += n,
+                        Err(_) => dead = Some(0),
                     }
                 }
-                outs
-            };
+                (_, ExchangeMode::Pooled) => {
+                    // Ownership round trip: move each live shard (and
+                    // its frames) to its persistent worker, collect
+                    // them back in shard order.
+                    let pool = self.pool.as_ref().expect("pool created above");
+                    let mut sent: Vec<usize> = Vec::with_capacity(shard_count);
+                    for (s, _) in stalled.iter().enumerate().filter(|&(_, &st)| !st) {
+                        let shard = std::mem::replace(&mut self.shards[s], Shard::placeholder());
+                        let stage = std::mem::take(&mut self.stage[s]);
+                        pool.dispatch(
+                            s,
+                            DrainJob {
+                                shard,
+                                stage,
+                                epoch,
+                            },
+                        );
+                        sent.push(s);
+                    }
+                    for &s in &sent {
+                        let reply = pool.collect(s);
+                        self.shards[s] = reply.shard;
+                        self.stage[s] = reply.stage;
+                        dispatched += 1;
+                        staged += reply.staged;
+                        busy_nanos += reply.busy_nanos;
+                        // First panicking shard by index, reported only
+                        // after every shard is home again.
+                        if reply.panicked && dead.is_none() {
+                            dead = Some(s);
+                        }
+                    }
+                }
+                (_, ExchangeMode::Spawn) => {
+                    // The spawn-per-round baseline, on the same staged
+                    // message flow as the pool.
+                    let map = &self.map;
+                    let joined: Vec<(usize, u64, u64, bool)> = std::thread::scope(|scope| {
+                        let handles: Vec<_> = self
+                            .shards
+                            .iter_mut()
+                            .zip(self.stage.iter_mut())
+                            .enumerate()
+                            .filter(|(i, _)| !stalled[*i])
+                            .map(|(i, (shard, stage))| {
+                                let h = scope.spawn(move || {
+                                    let t = Instant::now();
+                                    let r = catch_unwind(AssertUnwindSafe(|| {
+                                        shard.drain(map, i as u32, epoch, stage)
+                                    }));
+                                    let busy = t.elapsed().as_nanos() as u64;
+                                    match r {
+                                        Ok(n) => (n, busy, false),
+                                        Err(_) => (0, busy, true),
+                                    }
+                                });
+                                (i, h)
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|(i, h)| {
+                                let (n, busy, panicked) =
+                                    h.join().expect("drain panic caught inside");
+                                (i, n, busy, panicked)
+                            })
+                            .collect()
+                    });
+                    for (i, n, busy, panicked) in joined {
+                        dispatched += 1;
+                        staged += n;
+                        busy_nanos += busy;
+                        if panicked && dead.is_none() {
+                            dead = Some(i);
+                        }
+                    }
+                }
+            }
+            let wall = t_round.elapsed();
+            round_us.push(wall.as_secs_f64() * 1e6);
+            cap_nanos += wall.as_nanos() as u64 * dispatched;
+            if shard_count == 1 {
+                // The inline drain's wall time is its busy time.
+                busy_nanos += wall.as_nanos() as u64;
+            }
+            // A drain panic is a primary death observed at the round
+            // boundary.
+            if let Some(s) = dead {
+                return Err(AttemptError::Dead(s));
+            }
             // Injected kills pinned to this exchange round fire before
             // the dead shard's round output reaches the network.
             for s in 0..shard_count {
@@ -1241,10 +1594,17 @@ impl ShardedCoreService {
                     return Err(AttemptError::Dead(s));
                 }
             }
-            for out in outs {
-                messages += out.len() as u64;
-                for m in out {
-                    net.send(m, round, &mut self.faults, 0);
+            messages += staged;
+            if !lossless {
+                // Unpack the staged frames through the per-message
+                // fault machinery in (src, dst) frame order: every
+                // message still rolls its own fate.
+                for row in &mut self.stage {
+                    for frame in row {
+                        for m in frame.drain(..) {
+                            net.send(m, round, &mut self.faults, 0);
+                        }
+                    }
                 }
             }
         }
@@ -1415,6 +1775,20 @@ impl ShardedCoreService {
             writer_alive: true,
             epoch: self.epoch,
             shards,
+            exchange: Some(ExchangeHealth {
+                rounds: self.xch_rounds,
+                round_p50_us: if self.xch_round_us.is_empty() {
+                    0
+                } else {
+                    self.xch_round_us.p50() as u64
+                },
+                round_p99_us: if self.xch_round_us.is_empty() {
+                    0
+                } else {
+                    self.xch_round_us.p99() as u64
+                },
+                worker_busy_pct: busy_pct(self.xch_busy_nanos, self.xch_cap_nanos) as u32,
+            }),
         });
     }
 
@@ -1438,6 +1812,9 @@ impl ShardedCoreService {
             failovers,
             replayed,
             resends: 0,
+            round_us_p50: 0.0,
+            round_us_p99: 0.0,
+            worker_busy_pct: 0.0,
         }
     }
 

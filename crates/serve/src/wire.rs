@@ -22,7 +22,7 @@
 //! | `HIST` | `OK epoch=<e> hist=<k:count,...>` (non-empty shells) |
 //! | `TOPK <n>` | `OK epoch=<e> top=<v:c,...>` |
 //! | `TOPK <n> OFFSET <o>` | `OK epoch=<e> offset=<o> top=<v:c,...>` (ranks `o..o+n`) |
-//! | `HEALTH` | `OK epoch=<e> status=healthy` \| `status=degraded down=<shard>:<lag>,...` \| `status=writer-dead` |
+//! | `HEALTH` | `OK epoch=<e> status=healthy` \| `status=degraded down=<shard>:<lag>,...` \| `status=writer-dead`, plus `exchange=rounds:<n>,p50us:<a>,p99us:<b>,util:<c>%` on the sharded backend |
 //! | `QUIT` | `OK bye`, connection closes |
 //! | `SHUTDOWN` | `OK shutting-down`, server stops accepting |
 //!
@@ -409,7 +409,18 @@ fn serve_connection<S: SnapshotSource>(
             // connection-level verbs.
             "HEALTH" => {
                 let h = handle.health();
-                writeln!(writer, "OK epoch={} {}", h.epoch, h.status_line())?;
+                // The sharded backend appends its exchange counters
+                // after the (format-stable) status line.
+                match &h.exchange {
+                    Some(x) => writeln!(
+                        writer,
+                        "OK epoch={} {} {}",
+                        h.epoch,
+                        h.status_line(),
+                        x.summary()
+                    )?,
+                    None => writeln!(writer, "OK epoch={} {}", h.epoch, h.status_line())?,
+                }
             }
             // Mode negotiation is connection-level state, not a query.
             "HELLO" => match args.first().map(|m| m.to_ascii_uppercase()).as_deref() {
@@ -739,7 +750,11 @@ fn serve_binary<S: SnapshotSource>(
             }
             OP_HEALTH => {
                 let h = handle.health();
-                let body = encode_body(0, h.epoch, h.status_line().as_bytes());
+                let line = match &h.exchange {
+                    Some(x) => format!("{} {}", h.status_line(), x.summary()),
+                    None => h.status_line(),
+                };
+                let body = encode_body(0, h.epoch, line.as_bytes());
                 write_frame(writer, req_id, &body)?;
             }
             _ => {
@@ -1584,10 +1599,14 @@ mod tests {
         svc.apply_batch(&b).unwrap(); // deferred: lag of 1
         let server = serve(svc.handle(), "127.0.0.1:0").unwrap();
         let mut c = WireClient::connect(server.local_addr()).unwrap();
-        assert_eq!(
-            c.request("HEALTH").unwrap(),
-            "OK epoch=1 status=degraded down=0:1"
+        // Status line is format-stable; the sharded backend appends its
+        // exchange counters (timing-dependent, so matched structurally).
+        let health = c.request("HEALTH").unwrap();
+        assert!(
+            health.starts_with("OK epoch=1 status=degraded down=0:1 exchange=rounds:"),
+            "unexpected HEALTH response: {health}"
         );
+        assert!(health.contains(",util:"), "missing utilization: {health}");
         assert!(c.request("EPOCH").unwrap().starts_with("OK epoch=1"));
     }
 

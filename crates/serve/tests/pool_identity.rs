@@ -1,0 +1,183 @@
+//! Bit-identity oracle for the persistent exchange pool: the same churn
+//! stream driven through a [`ExchangeMode::Pooled`] service and a
+//! [`ExchangeMode::Spawn`] (spawn-per-round, the pre-pool baseline)
+//! service must publish identical epochs, identical per-batch
+//! convergence counters (rounds / messages / changed), and identical
+//! stitched coreness — the pool is an execution strategy, never an
+//! algorithm change. A pinned pool must in turn be bit-identical to an
+//! unpinned one.
+//!
+//! The CI determinism matrix re-runs this suite with
+//! `DKCORE_TEST_SEED` shifting the churn streams and
+//! `DKCORE_TEST_SHARDS` pinning one shard count (default: all of
+//! {1, 2, 4, 8}).
+
+use dkcore::one_to_many::AssignmentPolicy;
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::{gnp, worst_case};
+use dkcore_graph::Graph;
+use dkcore_serve::{ExchangeMode, ShardedConfig, ShardedCoreService, ShardedPublishReport};
+
+/// Shard counts under test: `DKCORE_TEST_SHARDS` pins one, default all.
+fn shard_counts() -> Vec<usize> {
+    std::env::var("DKCORE_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(|| vec![1, 2, 4, 8], |s| vec![s])
+}
+
+/// Offset mixed into every stream seed, from `DKCORE_TEST_SEED`.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The deterministic slice of a publish report — everything except the
+/// wall-clock timings, which legitimately differ between strategies.
+fn counters(r: &ShardedPublishReport) -> (u64, u32, u64, usize, bool, u32, u64) {
+    (
+        r.epoch,
+        r.rounds,
+        r.messages,
+        r.changed,
+        r.deferred,
+        r.failovers,
+        r.replayed,
+    )
+}
+
+fn config(exchange: ExchangeMode, pin: bool) -> ShardedConfig {
+    ShardedConfig {
+        policy: AssignmentPolicy::Modulo,
+        exchange,
+        pin,
+        ..ShardedConfig::default()
+    }
+}
+
+/// Drives the same stream through every configuration in `configs`
+/// lockstep, asserting batch-by-batch counter identity against the
+/// first configuration and final-snapshot identity against fresh BZ.
+// One parameter per experiment axis, same shape as the sharded oracle.
+#[allow(clippy::too_many_arguments)]
+fn run_lockstep(
+    name: &str,
+    g: &Graph,
+    shards: usize,
+    configs: &[(&str, ShardedConfig)],
+    workload: ChurnWorkload,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) {
+    let stream = churn_stream(g, workload, batches, batch_size, seed);
+    let mut services: Vec<_> = configs
+        .iter()
+        .map(|(_, c)| ShardedCoreService::with_config(g, shards, c.clone()))
+        .collect();
+    for (i, batch) in stream.iter().enumerate() {
+        let mut base = None;
+        for (svc, (label, _)) in services.iter_mut().zip(configs) {
+            let report = svc
+                .apply_batch(batch)
+                .unwrap_or_else(|e| panic!("{name}/{label}: batch {i} invalid: {e}"));
+            let got = counters(&report);
+            match &base {
+                None => base = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "{name}/{label}: batch {i} counters diverged from {}",
+                    configs[0].0
+                ),
+            }
+        }
+    }
+    let reference = services[0].handle().snapshot();
+    let truth = batagelj_zaversnik(reference.graph());
+    for (svc, (label, _)) in services.iter().zip(configs) {
+        let snap = svc.handle().snapshot();
+        assert_eq!(snap.epoch(), stream.len() as u64, "{name}/{label}");
+        assert_eq!(
+            snap.values(),
+            reference.values(),
+            "{name}/{label}: stitched coreness diverged from {}",
+            configs[0].0
+        );
+        assert_eq!(
+            snap.values(),
+            truth.as_slice(),
+            "{name}/{label}: stitched coreness diverged from fresh BZ"
+        );
+    }
+}
+
+#[test]
+fn pooled_exchange_is_bit_identical_to_spawn_per_round() {
+    let seed = 0xF001 + seed_offset();
+    for shards in shard_counts() {
+        let g = gnp(200, 0.04, seed + shards as u64);
+        run_lockstep(
+            &format!("mixed/gnp200/s{shards}"),
+            &g,
+            shards,
+            &[
+                ("pooled", config(ExchangeMode::Pooled, false)),
+                ("spawn", config(ExchangeMode::Spawn, false)),
+            ],
+            ChurnWorkload::Mixed { insert_pct: 55 },
+            20,
+            8,
+            seed + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn pinned_pool_is_bit_identical_to_unpinned_pool_and_spawn() {
+    let seed = 0x9188 + seed_offset();
+    for shards in shard_counts() {
+        let g = gnp(150, 0.05, seed + shards as u64);
+        run_lockstep(
+            &format!("pinned/gnp150/s{shards}"),
+            &g,
+            shards,
+            &[
+                ("pooled", config(ExchangeMode::Pooled, false)),
+                ("pinned", config(ExchangeMode::Pooled, true)),
+                ("spawn", config(ExchangeMode::Spawn, false)),
+            ],
+            ChurnWorkload::Mixed { insert_pct: 50 },
+            15,
+            10,
+            seed + shards as u64,
+        );
+    }
+}
+
+#[test]
+fn pooled_exchange_matches_spawn_under_adversarial_churn() {
+    // §4.2 chain toggles cascade repairs across every shard boundary —
+    // the maximum-round case where a pool scheduling bug (a stale
+    // barrier, a worker reading a previous round's staging) would show
+    // up as a counter or coreness divergence.
+    let seed = 3 + seed_offset();
+    for shards in shard_counts() {
+        let g = worst_case(56);
+        run_lockstep(
+            &format!("adversarial/worst56/s{shards}"),
+            &g,
+            shards,
+            &[
+                ("pooled", config(ExchangeMode::Pooled, false)),
+                ("spawn", config(ExchangeMode::Spawn, false)),
+            ],
+            ChurnWorkload::Adversarial,
+            12,
+            5,
+            seed + shards as u64,
+        );
+    }
+}

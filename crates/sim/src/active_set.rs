@@ -21,11 +21,15 @@
 //!    most nodes settle within a few rounds (Table 2). The dense first
 //!    exchange (every node broadcasts its degree) skips staging entirely
 //!    and is applied as one sequential sweep.
-//! 3. **Cache-partitioned delivery.** Staged deliveries are bucketed by
-//!    destination *region* (a fixed arc-range window) at flush time;
-//!    delivery then processes one region at a time, so the scattered
+//! 3. **Cache-partitioned, pair-staged delivery.** Staged deliveries are
+//!    routed into recycled per-`(src, dst)` buffers at flush time — the
+//!    sender resolves the destination shard with a region→shard table
+//!    plus a short fixup walk across shard boundaries — and bucketed by
+//!    destination *region* (a fixed arc-range window) within the pair.
+//!    Delivery then processes one region at a time, so the scattered
 //!    writes into the big per-arc arrays stay inside a cache-resident
-//!    window instead of thrashing the whole array.
+//!    window, and every shard reads exactly the messages addressed to
+//!    it: no boundary-region scan over other shards' traffic.
 //! 4. **Incremental index maintenance.** Estimate recomputation uses the
 //!    suffix-count histogram scheme of
 //!    [`IncrementalIndex`](dkcore::IncrementalIndex), inlined over a
@@ -155,11 +159,14 @@ pub struct ActiveSetEngine {
     ge: Vec<u32>,
     /// Changed-since-flush flag per node.
     changed: Vec<bool>,
-    /// `stage[src][region]`: deliveries staged by shard `src` into the
-    /// given arc region. Written by `src` during flush (own row), read by
-    /// every shard during the next delivery, cleared by `src` at its
-    /// next flush.
-    stage: Vec<Vec<Vec<Staged>>>,
+    /// `stage[src][dst][local_region]`: deliveries staged by shard `src`
+    /// for shard `dst`, bucketed by `dst`'s local arc regions. Written by
+    /// `src` during flush (own row), read by `dst` during the next
+    /// delivery, cleared by `src` at its next flush — the buffers are
+    /// recycled round over round, so a settled pair costs nothing.
+    stage: Vec<Vec<Vec<Vec<Staged>>>>,
+    /// Flush-time routing of a staged arc to its destination shard.
+    route: StageRouter,
     /// Per-shard flush worklist: nodes whose estimate dropped.
     flush_lists: Vec<Vec<u32>>,
     /// The initial degree exchange is in flight (applied as a dense
@@ -216,7 +223,14 @@ impl ActiveSetEngine {
 
         let threads = effective_threads(config.threads, arcs);
         let shard_bounds = balance_shards(&offsets, threads);
-        let regions = (arcs >> REGION_BITS) + 1;
+        let route = StageRouter::new(&shard_bounds, &offsets, arcs);
+        let stage = (0..threads)
+            .map(|_| {
+                (0..threads)
+                    .map(|d| vec![Vec::new(); route.local_regions(d)])
+                    .collect()
+            })
+            .collect();
 
         // Histogram arena: all neighbors start at +∞, i.e. in the
         // degree-clamped top bucket — `core ← d(u)`, `ge ← d(u)`.
@@ -237,7 +251,8 @@ impl ActiveSetEngine {
             nbr_est: vec![INFINITY_EST; arcs],
             cnt,
             changed: vec![false; n],
-            stage: vec![vec![Vec::new(); regions]; threads],
+            stage,
+            route,
             flush_lists: vec![Vec::new(); threads],
             pending_dense: false,
             warm: None,
@@ -315,7 +330,10 @@ impl ActiveSetEngine {
     /// changes (evaluated between rounds, after [`step`](Self::step)).
     pub fn is_quiescent(&self) -> bool {
         !self.pending_dense
-            && self.stage.iter().all(|row| row.iter().all(Vec::is_empty))
+            && self
+                .stage
+                .iter()
+                .all(|row| row.iter().all(|pair| pair.iter().all(Vec::is_empty)))
             && self.flush_lists.iter().all(Vec::is_empty)
     }
 
@@ -371,12 +389,13 @@ impl ActiveSetEngine {
                 let init = self.warm.as_deref().unwrap_or(&self.deg);
                 shard.deliver_dense(&self.offsets, &self.targets, init);
             } else {
-                shard.deliver(&self.stage, &self.offsets, &self.owner);
+                shard.deliver(&self.stage, 0, &self.offsets, &self.owner);
             }
             shard.flush(
                 &self.offsets,
                 &self.mirror,
                 &mut self.stage[0],
+                &self.route,
                 self.send_optimization,
             )
         } else {
@@ -422,12 +441,12 @@ impl ActiveSetEngine {
                 &mut self.flush_lists,
             );
             std::thread::scope(|scope| {
-                for shard in &mut shards {
+                for (me, shard) in shards.iter_mut().enumerate() {
                     scope.spawn(move || {
                         if pending_dense {
                             shard.deliver_dense(offsets, targets, init);
                         } else {
-                            shard.deliver(stage, offsets, owner);
+                            shard.deliver(stage, me, offsets, owner);
                         }
                     });
                 }
@@ -446,12 +465,15 @@ impl ActiveSetEngine {
             &mut self.cnt,
             &mut self.flush_lists,
         );
+        let route = &self.route;
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter_mut()
                 .zip(self.stage.iter_mut())
                 .map(|(shard, stage_row)| {
-                    scope.spawn(move || shard.flush(offsets, mirror, stage_row, send_optimization))
+                    scope.spawn(move || {
+                        shard.flush(offsets, mirror, stage_row, route, send_optimization)
+                    })
                 })
                 .collect();
             let mut messages = 0u64;
@@ -483,6 +505,72 @@ impl ActiveSetEngine {
             final_estimates: self.est.clone(),
             converged: self.is_quiescent(),
         }
+    }
+}
+
+/// Flush-time routing of staged deliveries into per-`(src, dst)`
+/// buffers: maps an absolute arc position to the shard that owns it and
+/// to that shard's local region index, in O(1) plus a fixup walk of at
+/// most a few steps where a region straddles shard boundaries.
+#[derive(Debug)]
+struct StageRouter {
+    /// First shard whose arc range intersects each global region.
+    region_shard: Vec<u32>,
+    /// Exclusive arc-range end per shard (`offsets[bounds[d + 1]]`).
+    arc_end: Vec<usize>,
+    /// First global region of each shard's arc range (0 for an empty
+    /// shard — never routed to, the fixup walk steps past it).
+    r_lo: Vec<usize>,
+}
+
+impl StageRouter {
+    fn new(bounds: &[usize], offsets: &[usize], arcs: usize) -> Self {
+        let shards = bounds.len() - 1;
+        let regions = (arcs >> REGION_BITS) + 1;
+        let mut region_shard = vec![u32::MAX; regions];
+        let mut arc_end = Vec::with_capacity(shards);
+        let mut r_lo = vec![0usize; shards];
+        for d in 0..shards {
+            let (a, b) = (offsets[bounds[d]], offsets[bounds[d + 1]]);
+            arc_end.push(b);
+            if a == b {
+                continue;
+            }
+            r_lo[d] = a >> REGION_BITS;
+            for slot in &mut region_shard[(a >> REGION_BITS)..=((b - 1) >> REGION_BITS)] {
+                if *slot == u32::MAX {
+                    *slot = d as u32;
+                }
+            }
+        }
+        StageRouter {
+            region_shard,
+            arc_end,
+            r_lo,
+        }
+    }
+
+    /// Number of local region buckets shard `d` needs (0 when it owns no
+    /// arcs).
+    fn local_regions(&self, d: usize) -> usize {
+        let start = if d == 0 { 0 } else { self.arc_end[d - 1] };
+        let end = self.arc_end[d];
+        if start == end {
+            0
+        } else {
+            ((end - 1) >> REGION_BITS) - (start >> REGION_BITS) + 1
+        }
+    }
+
+    /// Destination shard and local region bucket of arc `q`.
+    #[inline]
+    fn route(&self, q: usize) -> (usize, usize) {
+        let region = q >> REGION_BITS;
+        let mut d = self.region_shard[region] as usize;
+        while q >= self.arc_end[d] {
+            d += 1;
+        }
+        (d, region - self.r_lo[d])
     }
 }
 
@@ -616,24 +704,32 @@ impl Shard<'_> {
         }
     }
 
-    /// Delivery phase: applies every staged estimate addressed to this
-    /// shard's arcs, region by region so the scattered writes stay in a
-    /// cache-resident window.
-    fn deliver(&mut self, stage: &[Vec<Vec<Staged>>], offsets: &[usize], owner: &[u32]) {
+    /// Delivery phase: applies every estimate staged for this shard
+    /// (`stage[src][me]` across all sources), region by region so the
+    /// scattered writes stay in a cache-resident window. Senders routed
+    /// every message at flush time, so each bucket holds only arcs this
+    /// shard owns — no boundary filtering.
+    fn deliver(
+        &mut self,
+        stage: &[Vec<Vec<Vec<Staged>>>],
+        me: usize,
+        offsets: &[usize],
+        owner: &[u32],
+    ) {
         let arc_base = offsets[self.lo];
         let arc_hi = offsets[self.hi];
         if arc_base == arc_hi {
             return;
         }
-        let r_lo = arc_base >> REGION_BITS;
-        let r_hi = (arc_hi - 1) >> REGION_BITS;
-        for region in r_lo..=r_hi {
+        let locals = ((arc_hi - 1) >> REGION_BITS) - (arc_base >> REGION_BITS) + 1;
+        for local in 0..locals {
             for row in stage {
-                for &(q, val) in &row[region] {
+                for &(q, val) in &row[me][local] {
                     let q = q as usize;
-                    if q < arc_base || q >= arc_hi {
-                        continue; // boundary region shared with a neighbor shard
-                    }
+                    debug_assert!(
+                        (arc_base..arc_hi).contains(&q),
+                        "staged delivery routed to the wrong shard"
+                    );
                     self.apply(q, val, owner[q] as usize, offsets, arc_base);
                 }
             }
@@ -689,13 +785,17 @@ impl Shard<'_> {
         &mut self,
         offsets: &[usize],
         mirror: &[u32],
-        stage_row: &mut [Vec<Staged>],
+        stage_row: &mut [Vec<Vec<Staged>>],
+        route: &StageRouter,
         send_optimization: bool,
     ) -> (u64, u64) {
         // Last round's staging from this shard has been consumed by every
-        // shard; reset the row for this round's output.
-        for bucket in stage_row.iter_mut() {
-            bucket.clear();
+        // destination; reset the row's buckets (keeping their
+        // allocations) for this round's output.
+        for pair in stage_row.iter_mut() {
+            for bucket in pair.iter_mut() {
+                bucket.clear();
+            }
         }
         let mut messages = 0u64;
         let mut senders = 0u64;
@@ -713,7 +813,8 @@ impl Shard<'_> {
             {
                 // §3.1.2: address only neighbors that might improve.
                 if !send_optimization || c < cached {
-                    stage_row[(q as usize) >> REGION_BITS].push((q, c));
+                    let (dst, local) = route.route(q as usize);
+                    stage_row[dst][local].push((q, c));
                     sent += 1;
                 }
             }
