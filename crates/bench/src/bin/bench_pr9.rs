@@ -1,0 +1,240 @@
+//! PR 9 acceptance benchmark: **telemetry instrumentation overhead**,
+//! emitting machine-readable `BENCH_PR9.json`.
+//!
+//! The unified telemetry layer (metrics registry + event flight
+//! recorder) instruments the publish path (`CoreService::apply_batch`
+//! phase histograms and events) and the sharded exchange path
+//! (`ShardedCoreService` round/resend counters and lifecycle events).
+//! Its acceptance contract is that a fully instrumented writer stays
+//! within **2%** of an uninstrumented one — telemetry must be
+//! effectively free on the hot path.
+//!
+//! Each row drives the identical churn stream through the same backend
+//! twice: once with [`Telemetry::disabled`] (instrumentation gated off,
+//! one branch per record site) and once with an enabled bundle
+//! (histograms recorded, events written). `speedup_telemetry_off` is
+//! the per-batch apply-wall p50 ratio `disabled_p50 / enabled_p50` —
+//! ~1.0 by design; the ≥0.98 floor (≤2% overhead) is hard only in full
+//! mode on a multi-core machine, where the sub-millisecond quick-mode
+//! rounds stop being noise-dominated. Every row asserts bit-identical
+//! coreness between the two runs and against fresh Batagelj–Zaveršnik
+//! (`identical_output`) — telemetry observes, it never steers.
+//!
+//! The enabled runs also record how much telemetry they produced
+//! (`events_recorded`, `metric_series`) so a regression to "cheap
+//! because it stopped measuring" is visible in the committed JSON.
+//!
+//! Usage: `bench_pr9 [output.json]` (default `BENCH_PR9.json`). Set
+//! `BENCH_QUICK=1` for the fast smoke configuration CI uses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dkcore::seq::batagelj_zaversnik;
+use dkcore::stream::EdgeBatch;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_graph::Graph;
+use dkcore_metrics::{Percentiles, Telemetry};
+use dkcore_serve::{CoreService, ShardedConfig, ShardedCoreService};
+
+/// Per-batch apply-wall percentiles for one run of `stream` through a
+/// single-writer service carrying `tel`, plus the final coreness
+/// (asserted against fresh BZ).
+fn drive_single(g: &Graph, stream: &[EdgeBatch], tel: Telemetry) -> (Percentiles, Vec<u32>) {
+    let mut svc = CoreService::with_telemetry(g, tel);
+    let mut wall = Percentiles::new();
+    for b in stream {
+        let t = Instant::now();
+        svc.apply_batch(b).expect("stream batches are valid");
+        wall.record(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let snap = svc.handle().snapshot();
+    assert_eq!(
+        snap.values(),
+        batagelj_zaversnik(snap.graph()).as_slice(),
+        "single-writer coreness diverged from fresh BZ"
+    );
+    (wall, snap.values().to_vec())
+}
+
+/// Same measurement through the sharded service.
+fn drive_sharded(
+    g: &Graph,
+    stream: &[EdgeBatch],
+    shards: usize,
+    tel: Telemetry,
+) -> (Percentiles, Vec<u32>) {
+    let config = ShardedConfig {
+        telemetry: tel,
+        ..ShardedConfig::default()
+    };
+    let mut svc = ShardedCoreService::with_config(g, shards, config);
+    let mut wall = Percentiles::new();
+    for b in stream {
+        let t = Instant::now();
+        svc.apply_batch(b).expect("stream batches are valid");
+        wall.record(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let snap = svc.handle().snapshot();
+    assert_eq!(
+        snap.values(),
+        batagelj_zaversnik(snap.graph()).as_slice(),
+        "sharded coreness diverged from fresh BZ"
+    );
+    (wall, snap.values().to_vec())
+}
+
+struct Row {
+    graph: String,
+    nodes: usize,
+    shards: usize, // 0 = single-writer
+    epochs: usize,
+    disabled: Percentiles,
+    enabled: Percentiles,
+    speedup: f64,
+    overhead_pct: f64,
+    events_recorded: u64,
+    metric_series: usize,
+}
+
+fn measure(scale: usize, shards: usize, steps: usize, seed: u64) -> Row {
+    let g = gnp(scale, 12.0 / scale as f64, seed);
+    let stream = churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 55 },
+        steps,
+        48,
+        seed ^ 7,
+    );
+    // Interleaved best-of-3 (off, on, off, on, ...): a 2% floor is
+    // well inside single-run scheduler jitter, and alternating the
+    // variants keeps a load spike from landing entirely on one side.
+    let drive = |tel: Telemetry| {
+        if shards == 0 {
+            drive_single(&g, &stream, tel)
+        } else {
+            drive_sharded(&g, &stream, shards, tel)
+        }
+    };
+    let tel = Telemetry::new(4096);
+    let (mut disabled, core_off) = drive(Telemetry::disabled());
+    let (mut enabled, core_on) = drive(tel.clone());
+    let events_recorded = tel.recorder().last_seq();
+    let metric_series = tel.registry().snapshot().len();
+    for _ in 0..2 {
+        let (d2, _) = drive(Telemetry::disabled());
+        let (e2, _) = drive(Telemetry::new(4096));
+        if d2.p50() < disabled.p50() {
+            disabled = d2;
+        }
+        if e2.p50() < enabled.p50() {
+            enabled = e2;
+        }
+    }
+    assert_eq!(core_off, core_on, "telemetry must not perturb results");
+    assert!(events_recorded > 0, "enabled run recorded no events");
+    assert!(metric_series > 0, "enabled run registered no metrics");
+    let speedup = disabled.p50() / enabled.p50();
+    let overhead_pct = (enabled.p50() / disabled.p50() - 1.0) * 100.0;
+    let label = if shards == 0 {
+        "publish".to_string()
+    } else {
+        format!("exchange x{shards}")
+    };
+    println!(
+        "{label} gnp12/{scale}: off p50 {:>8.1}us | on p50 {:>8.1}us | ratio {speedup:.3} \
+         | overhead {overhead_pct:+.2}% | {events_recorded} events, {metric_series} series",
+        disabled.p50(),
+        enabled.p50(),
+    );
+    Row {
+        graph: if shards == 0 {
+            format!("telemetry_publish_gnp12/{scale}")
+        } else {
+            format!("telemetry_exchange_gnp12/{scale}/shards{shards}")
+        },
+        nodes: scale,
+        shards,
+        epochs: stream.len(),
+        disabled,
+        enabled,
+        speedup,
+        overhead_pct,
+        events_recorded,
+        metric_series,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR9.json".into());
+    let quick = std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0");
+    let (scale, steps) = if quick {
+        (4_000usize, 12usize)
+    } else {
+        (20_000, 32)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("telemetry instrumentation overhead ({cores} cores)...");
+
+    let rows = vec![
+        measure(scale, 0, steps, 42),
+        measure(scale, 2, steps, 43),
+        measure(scale, 4, steps, 44),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"BENCH_PR9\",\n");
+    let _ = writeln!(json, "  \"quick_mode\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str(
+        "  \"metric\": \"per-batch apply wall time: telemetry disabled vs enabled on the \
+         publish and sharded exchange paths\",\n",
+    );
+    json.push_str("  \"engines\": [\"core_service_telemetry\", \"sharded_service_telemetry\"],\n");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"shards\": {}, \"epochs\": {}, \
+             \"apply_disabled_p50_us\": {:.1}, \"apply_disabled_p99_us\": {:.1}, \
+             \"apply_enabled_p50_us\": {:.1}, \"apply_enabled_p99_us\": {:.1}, \
+             \"overhead_pct\": {:.2}, \"events_recorded\": {}, \"metric_series\": {}, \
+             \"speedup_telemetry_off\": {:.3}, \"identical_output\": true}}{}",
+            row.graph,
+            row.nodes,
+            row.shards,
+            row.epochs,
+            row.disabled.p50(),
+            row.disabled.p99(),
+            row.enabled.p50(),
+            row.enabled.p99(),
+            row.overhead_pct,
+            row.events_recorded,
+            row.metric_series,
+            row.speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR9.json");
+    println!("wrote {out_path}");
+
+    // Acceptance floor: ≤2% overhead with telemetry enabled, hard only
+    // in full mode on a real multi-core machine — quick mode's
+    // sub-millisecond batches make a 2% band pure timer noise, and a
+    // loaded 1–2 core box adds scheduler jitter of the same order.
+    let hard = !quick && cores > 2;
+    for row in &rows {
+        if row.overhead_pct <= 2.0 {
+            continue;
+        }
+        let msg = format!(
+            "{}: telemetry overhead {:+.2}% above the 2% floor",
+            row.graph, row.overhead_pct
+        );
+        assert!(!hard, "{msg}");
+        println!("warning: {msg} (soft: quick={quick}, {cores} core(s))");
+    }
+}

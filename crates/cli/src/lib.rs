@@ -85,10 +85,11 @@ USAGE:
   dkcore serve     <input> [--port P] [--batch B] [--steps S] [--shards S]
                             [--replicas R] [--fault-plan SPEC] [--pin-cores]
                             [--workload ...] [--insert-pct P] [--interval-ms MS]
-                            [--no-wait] [--seed S]
+                            [--events-capacity N] [--no-wait] [--seed S]
   dkcore query     --port P <coreness V | members K [offset O] [limit L] |
                              subgraph K | hist | topk N [offset O] |
-                             epoch | health | shutdown>
+                             epoch | health [--json] | metrics |
+                             events [since S] [limit N] | shutdown>
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
   dkcore list-analogs
   dkcore help
@@ -122,6 +123,19 @@ SERVE:
   lag, and border-exchange round timing/utilization without touching
   the query path. `--pin-cores` best-effort pins the persistent shard
   drain workers to distinct cores (ignored where unsupported).
+
+OBSERVABILITY:
+  every serve backend carries one telemetry bundle: a metrics registry
+  (publish/repair phase latencies, exchange rounds, pool utilization,
+  per-verb wire counters, response-cache hits/misses) and a bounded
+  event flight recorder (batch/publish/failover/promotion/degraded/
+  revive history). `dkcore query --port P metrics` dumps the registry
+  in Prometheus text form; `dkcore query --port P events [since S]
+  [limit N]` replays the recorder (cursor on the `last=` header field);
+  `query health --json` emits the health line as a JSON object.
+  `--events-capacity N` sizes the recorder ring (default 1024); serve
+  echoes failover/degradation/revive events to stderr as they happen,
+  sourced from the same recorder.
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -618,11 +632,12 @@ pub fn cmd_serve<W: Write>(
     pin_cores: bool,
     insert_pct: u32,
     interval_ms: u64,
+    events_capacity: usize,
     wait: bool,
     seed: u64,
     out: &mut W,
 ) -> Result<(), CliError> {
-    use dkcore_metrics::Percentiles;
+    use dkcore_metrics::{EventKind, Percentiles, Telemetry};
     use dkcore_serve::{wire, CoreService, FaultPlan, ShardedConfig, ShardedCoreService};
 
     let g = load_input(input, seed)?;
@@ -650,18 +665,20 @@ pub fn cmd_serve<W: Write>(
         Single(Box<CoreService>),
         Sharded(Box<ShardedCoreService>),
     }
+    let tel = Telemetry::new(events_capacity.max(1));
     let mut backend = if shards > 1 {
         let config = ShardedConfig {
             replicas,
             fault_plan: plan,
             pin: pin_cores,
+            telemetry: tel.clone(),
             ..ShardedConfig::default()
         };
         Backend::Sharded(Box::new(ShardedCoreService::with_config(
             &g, shards, config,
         )))
     } else {
-        Backend::Single(Box::new(CoreService::new(&g)))
+        Backend::Single(Box::new(CoreService::with_telemetry(&g, tel.clone())))
     };
     let server = match &backend {
         Backend::Single(svc) => wire::serve(svc.handle(), ("127.0.0.1", port))?,
@@ -685,6 +702,25 @@ pub fn cmd_serve<W: Write>(
     let mut publish = Percentiles::new();
     let mut failovers = 0u32;
     let mut resends = 0u64;
+    // Lifecycle events (failover, degradation, revival) are echoed to
+    // stderr as they happen, sourced from the flight recorder — the
+    // same stream `dkcore query events` replays later.
+    let mut event_cursor = 0u64;
+    let echo_events = |cursor: &mut u64| {
+        for e in tel.events_since(*cursor, usize::MAX) {
+            *cursor = e.seq;
+            if matches!(
+                e.kind,
+                EventKind::Failover
+                    | EventKind::Promotion
+                    | EventKind::Degraded
+                    | EventKind::Revive
+                    | EventKind::Deferred
+            ) {
+                eprintln!("dkcore-serve: {}", e.render());
+            }
+        }
+    };
     for b in &stream {
         let (epoch, changed, repair_us, publish_us) = match &mut backend {
             Backend::Single(svc) => {
@@ -702,6 +738,7 @@ pub fn cmd_serve<W: Write>(
                 (r.epoch, r.changed, r.repair_micros, r.publish_micros)
             }
         };
+        echo_events(&mut event_cursor);
         repair.record(repair_us);
         publish.record(publish_us);
         t.row([
@@ -762,8 +799,10 @@ pub fn cmd_serve<W: Write>(
 ///
 /// `args` is the query in CLI spelling, e.g. `["coreness", "5"]`,
 /// `["members", "3"]`, `["subgraph", "2"]`, `["hist"]`, `["topk", "10"]`,
-/// `["epoch"]`, `["health"]`, `["shutdown"]`. Prints the wire response
-/// verbatim (`SUBGRAPH` bodies included).
+/// `["epoch"]`, `["health"]`, `["metrics"]`, `["events", "since", "4"]`,
+/// `["shutdown"]`. Prints the wire response verbatim (multi-line
+/// `SUBGRAPH`/`METRICS`/`EVENTS` bodies included). With `json` (the
+/// `--json` flag), a `health` response is re-emitted as a JSON object.
 ///
 /// All requests run under a [`RetryPolicy`](dkcore_serve::RetryPolicy):
 /// per-operation I/O timeouts so a hung or mid-shutdown server fails the
@@ -774,15 +813,26 @@ pub fn cmd_serve<W: Write>(
 ///
 /// Returns [`CliError`] for unknown queries, connection failures and
 /// `ERR` responses.
-pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), CliError> {
+pub fn cmd_query<W: Write>(
+    port: u16,
+    args: &[&str],
+    json: bool,
+    out: &mut W,
+) -> Result<(), CliError> {
     use dkcore_serve::wire::{RetryPolicy, WireClient};
 
     let Some((&verb, rest)) = args.split_first() else {
         return Err(CliError::new(
             "query needs a command: coreness V | members K | subgraph K | \
-             hist | topk N | epoch | health | shutdown",
+             hist | topk N | epoch | health | metrics | events | shutdown",
         ));
     };
+    if json && verb != "health" {
+        return Err(CliError::new(
+            "query --json is only supported for health (metrics and events \
+             have their own line-oriented formats)",
+        ));
+    }
     // Validate the query — arguments included — before touching the
     // network: every numeric argument is parsed here, so no raw user
     // string (which could embed newlines, i.e. extra protocol commands)
@@ -799,6 +849,8 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
     enum Request {
         Line(String),
         Subgraph(u32),
+        Metrics,
+        Events { since: u64, limit: Option<u64> },
     }
     // Optional pagination keywords (`offset O` and, for members,
     // `limit L`), validated and canonicalized here for the same
@@ -837,10 +889,43 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
         "topk" => Request::Line(format!("TOPK {}{}", num("topk")?, page_args(tail, false)?)),
         "epoch" => Request::Line("EPOCH".into()),
         "health" => Request::Line("HEALTH".into()),
+        "metrics" => {
+            if !rest.is_empty() {
+                return Err(CliError::new(format!(
+                    "query metrics takes no arguments, got {:?}",
+                    rest[0]
+                )));
+            }
+            Request::Metrics
+        }
+        "events" => {
+            // `since S` / `limit N`, validated and parsed here like the
+            // pagination keywords — no raw strings reach the wire.
+            let mut since = 0u64;
+            let mut limit: Option<u64> = None;
+            let mut it = rest.iter();
+            while let Some(&kw) = it.next() {
+                if !kw.eq_ignore_ascii_case("since") && !kw.eq_ignore_ascii_case("limit") {
+                    return Err(CliError::new(format!("query: unexpected argument {kw:?}")));
+                }
+                let val = it.next().ok_or_else(|| {
+                    CliError::new(format!("query {} requires an argument", kw.to_lowercase()))
+                })?;
+                let n: u64 = val.parse().map_err(|_| {
+                    CliError::new(format!("query {kw}: {val:?} is not a number"))
+                })?;
+                if kw.eq_ignore_ascii_case("since") {
+                    since = n;
+                } else {
+                    limit = Some(n);
+                }
+            }
+            Request::Events { since, limit }
+        }
         "shutdown" => Request::Line("SHUTDOWN".into()),
         other => {
             return Err(CliError::new(format!(
-            "unknown query {other:?}; expected coreness|members|subgraph|hist|topk|epoch|health|shutdown"
+            "unknown query {other:?}; expected coreness|members|subgraph|hist|topk|epoch|health|metrics|events|shutdown"
         )))
         }
     };
@@ -860,10 +945,24 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
                 .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
             client.request_subgraph(k)?
         }
+        Request::Metrics => {
+            let mut client = WireClient::connect_with(("127.0.0.1", port), &policy)
+                .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+            client.request_metrics()?
+        }
+        Request::Events { since, limit } => {
+            let mut client = WireClient::connect_with(("127.0.0.1", port), &policy)
+                .map_err(|e| CliError::new(format!("cannot reach 127.0.0.1:{port}: {e}")))?;
+            client.request_events(since, limit)?
+        }
     };
     let failed = lines.first().is_some_and(|l| l.starts_with("ERR"));
-    for line in &lines {
-        writeln!(out, "{line}")?;
+    if json && !failed {
+        writeln!(out, "{}", health_line_to_json(&lines[0]))?;
+    } else {
+        for line in &lines {
+            writeln!(out, "{line}")?;
+        }
     }
     if failed {
         return Err(CliError::new(format!(
@@ -872,6 +971,31 @@ pub fn cmd_query<W: Write>(port: u16, args: &[&str], out: &mut W) -> Result<(), 
         )));
     }
     Ok(())
+}
+
+/// Converts a `HEALTH` response line (`OK epoch=3 status=healthy` plus
+/// optional `down=...` / `exchange=...` fields) into a flat JSON
+/// object. Values that parse as unsigned integers are emitted as JSON
+/// numbers; everything else is an escaped string.
+fn health_line_to_json(line: &str) -> String {
+    use std::fmt::Write as _;
+    let mut obj = String::from("{");
+    for token in line.split_ascii_whitespace() {
+        let Some((key, val)) = token.split_once('=') else {
+            continue; // the leading "OK"
+        };
+        if obj.len() > 1 {
+            obj.push(',');
+        }
+        let _ = write!(obj, "\"{}\":", json_escape(key));
+        if val.parse::<u64>().is_ok() {
+            obj.push_str(val);
+        } else {
+            let _ = write!(obj, "\"{}\"", json_escape(val));
+        }
+    }
+    obj.push('}');
+    obj
 }
 
 /// `dkcore generate`: build a dataset analog and write it as an edge list.
@@ -947,6 +1071,8 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut pin_cores = false;
     let mut insert_pct = 60u32;
     let mut interval_ms = 0u64;
+    let mut events_capacity = dkcore_metrics::DEFAULT_EVENTS_CAPACITY;
+    let mut json = false;
     let mut wait = true;
     let mut report_json: Option<String> = None;
 
@@ -1030,6 +1156,12 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
                     .parse()
                     .map_err(|_| CliError::new("--interval-ms: expected a number"))?
             }
+            "--events-capacity" => {
+                events_capacity = value("--events-capacity")?
+                    .parse()
+                    .map_err(|_| CliError::new("--events-capacity: expected a number"))?
+            }
+            "--json" => json = true,
             "--no-wait" => wait = false,
             "--report-json" => report_json = Some(value("--report-json")?),
             flag if flag.starts_with("--") => {
@@ -1091,6 +1223,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             pin_cores,
             insert_pct,
             interval_ms,
+            events_capacity,
             wait,
             seed,
             &mut sink,
@@ -1099,7 +1232,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             if port == 0 {
                 return Err(CliError::new("query requires --port P (the serve port)"));
             }
-            cmd_query(port, rest, &mut sink)
+            cmd_query(port, rest, json, &mut sink)
         }
         "generate" => {
             if nodes == 0 {
@@ -1383,6 +1516,7 @@ mod tests {
                     false,
                     60,
                     0,
+                    1024,
                     true, // keep serving until the SHUTDOWN query below
                     42,
                     &mut sink,
@@ -1472,6 +1606,35 @@ mod tests {
         // Bad queries surface the server's ERR.
         let err = run(&["query", "coreness", "99999", "--port", &port_s]).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+        // Telemetry exposition: the registry dump covers the publish
+        // path and the wire counters the queries above just ticked.
+        let m = run(&["query", "metrics", "--port", &port_s]).unwrap();
+        assert!(m.starts_with("OK epoch=3 lines="), "{m}");
+        assert!(m.contains("serve_publish_batches 3"), "{m}");
+        assert!(m.contains("serve_wire_requests{verb=\"coreness\"}"), "{m}");
+        // Event replay: three publishes leave three batch-applied /
+        // epoch-published pairs; SINCE pages with the last= cursor.
+        let ev = run(&["query", "events", "--port", &port_s]).unwrap();
+        assert!(ev.starts_with("OK epoch=3 count=6 last=6"), "{ev}");
+        assert_eq!(ev.matches("kind=batch-applied").count(), 3, "{ev}");
+        let tail = run(&[
+            "query", "events", "since", "4", "limit", "1", "--port", &port_s,
+        ])
+        .unwrap();
+        assert!(tail.starts_with("OK epoch=3 count=1 last=5"), "{tail}");
+        let bad_ev = run(&["query", "events", "sideways", "--port", &port_s]).unwrap_err();
+        assert!(
+            bad_ev.to_string().contains("unexpected argument"),
+            "{bad_ev}"
+        );
+        // health --json re-emits the same fields as a JSON object.
+        let hj = run(&["query", "health", "--json", "--port", &port_s]).unwrap();
+        assert_eq!(hj.trim(), "{\"epoch\":3,\"status\":\"healthy\"}", "{hj}");
+        let bad_json = run(&["query", "epoch", "--json", "--port", &port_s]).unwrap_err();
+        assert!(
+            bad_json.to_string().contains("only supported for health"),
+            "{bad_json}"
+        );
         // Shut the service down and join the serve command.
         let bye = run(&["query", "shutdown", "--port", &port_s]).unwrap();
         assert!(bye.contains("shutting-down"), "{bye}");
@@ -1499,6 +1662,7 @@ mod tests {
             false,
             60,
             0,
+            1024,
             false, // exit as soon as the churn is exhausted
             7,
             &mut out,
@@ -1529,6 +1693,7 @@ mod tests {
                 false,
                 60,
                 0,
+                1024,
                 false,
                 11,
                 &mut out,
@@ -1566,6 +1731,7 @@ mod tests {
             false,
             60,
             0,
+            1024,
             false,
             13,
             &mut out,

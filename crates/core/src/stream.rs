@@ -139,6 +139,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::thread;
+use std::time::Instant;
 
 use dkcore_graph::{Graph, GraphBuilder, NodeId};
 
@@ -324,6 +325,28 @@ pub struct BatchStats {
     /// Insertion candidate groups after region merging (0 for pure
     /// removal batches).
     pub regions: usize,
+}
+
+/// Wall-clock split of the most recent [`StreamCore::apply_batch`]
+/// repair, populated only when phase timing is on
+/// ([`StreamCore::set_phase_timing`]).
+///
+/// Deliberately *not* part of [`BatchStats`]: stats are asserted
+/// bit-identical between the sequential and region-parallel engines,
+/// and wall times never can be. Telemetry layers read this through
+/// [`StreamCore::last_phase_times`] and feed it into their own
+/// histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimes {
+    /// Removal arc mutation + exact removal descent (Phase A).
+    pub removal_us: u64,
+    /// Candidate-region growth (union-find merge + BFS closure).
+    pub region_us: u64,
+    /// Insertion bump + descent to the fixpoint (Phase B remainder).
+    pub insert_us: u64,
+    /// Delta tally over the touched set (the export snapshot builders
+    /// consume).
+    pub export_us: u64,
 }
 
 /// Slotted-CSR adjacency: every node's sorted neighbor list lives in a
@@ -585,6 +608,12 @@ pub struct StreamCore {
     /// Worker threads for the region-parallel descent (`0`/`1` =
     /// sequential). See [`set_threads`](Self::set_threads).
     threads: usize,
+    /// Whether [`apply_batch`](Self::apply_batch) wall-clocks its repair
+    /// phases into `phase_times` (off by default: four `Instant` reads
+    /// per batch are cheap but not free).
+    time_phases: bool,
+    /// Phase split of the most recent batch when `time_phases` is on.
+    phase_times: PhaseTimes,
 }
 
 /// Minimum total candidate members before a phase is worth dispatching
@@ -611,6 +640,8 @@ impl StreamCore {
             queue: VecDeque::new(),
             events: VecDeque::new(),
             threads: 0,
+            time_phases: false,
+            phase_times: PhaseTimes::default(),
         }
     }
 
@@ -634,6 +665,26 @@ impl StreamCore {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.set_threads(threads);
         self
+    }
+
+    /// Turns per-phase wall-clock timing of
+    /// [`apply_batch`](Self::apply_batch) on or off (default off); read
+    /// the split with [`last_phase_times`](Self::last_phase_times).
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.time_phases = on;
+    }
+
+    /// Builder-style [`set_phase_timing`](Self::set_phase_timing).
+    #[must_use]
+    pub fn with_phase_timing(mut self, on: bool) -> Self {
+        self.set_phase_timing(on);
+        self
+    }
+
+    /// Phase split of the most recent batch; all zeros when phase timing
+    /// is off or before the first batch.
+    pub fn last_phase_times(&self) -> PhaseTimes {
+        self.phase_times
     }
 
     /// Number of nodes.
@@ -759,8 +810,10 @@ impl StreamCore {
         self.validate(batch)?;
         self.batch += 1;
         self.touched.clear();
+        self.phase_times = PhaseTimes::default();
 
         // --- Phase A: removals, exact descent from the old coreness. ---
+        let clock = self.time_phases.then(Instant::now);
         for &(u, v) in batch.removals() {
             self.adj.remove_arc(u.index(), v.0);
             self.adj.remove_arc(v.index(), u.0);
@@ -773,6 +826,9 @@ impl StreamCore {
             }
             self.descend();
         }
+        if let Some(t) = clock {
+            self.phase_times.removal_us = t.elapsed().as_micros() as u64;
+        }
 
         // --- Phase B: insertions, candidate regions + bumped descent. ---
         for &(u, v) in batch.insertions() {
@@ -784,11 +840,15 @@ impl StreamCore {
             regions = self.insertion_phase(batch.insertions());
         }
 
+        let clock = self.time_phases.then(Instant::now);
         let changed = self
             .touched
             .iter()
             .filter(|&&(u, old)| self.core[u as usize] != old)
             .count();
+        if let Some(t) = clock {
+            self.phase_times.export_us = t.elapsed().as_micros() as u64;
+        }
         Ok(BatchStats {
             inserted: batch.insertions().len(),
             removed: batch.removals().len(),
@@ -911,29 +971,36 @@ impl StreamCore {
     fn insertion_phase(&mut self, insertions: &[(NodeId, NodeId)]) -> usize {
         // The removal phase already ran, so `core` is exact for the
         // post-removal graph and no removal slack is needed here.
+        let clock = self.time_phases.then(Instant::now);
         let regions = {
             let adj = &self.adj;
             candidate_regions(self.core.len(), insertions, &[], &self.core, |x| {
                 adj.neighbors(x as usize).iter().copied()
             })
         };
+        let clock = clock.map(|t| {
+            self.phase_times.region_us = t.elapsed().as_micros() as u64;
+            Instant::now()
+        });
         let count = regions.len();
-        if self.parallel_insertion_phase(&regions) {
-            return count;
-        }
-        // Bump and seed: est ← min(deg', core₁ + group insertions).
-        self.begin_phase();
-        for region in regions {
-            let bump = region.insertions;
-            for w in region.members {
-                let wi = w as usize;
-                self.touch(w); // record core₁ before the bump
-                let est = (self.core[wi] + bump).min(self.adj.degree(wi));
-                self.core[wi] = self.core[wi].max(est);
-                self.enqueue(w);
+        if !self.parallel_insertion_phase(&regions) {
+            // Bump and seed: est ← min(deg', core₁ + group insertions).
+            self.begin_phase();
+            for region in regions {
+                let bump = region.insertions;
+                for w in region.members {
+                    let wi = w as usize;
+                    self.touch(w); // record core₁ before the bump
+                    let est = (self.core[wi] + bump).min(self.adj.degree(wi));
+                    self.core[wi] = self.core[wi].max(est);
+                    self.enqueue(w);
+                }
             }
+            self.descend();
         }
-        self.descend();
+        if let Some(t) = clock {
+            self.phase_times.insert_us = t.elapsed().as_micros() as u64;
+        }
         count
     }
 
@@ -1648,6 +1715,47 @@ mod tests {
             }
             assert_eq!(sc.values(), dc.values());
         }
+    }
+
+    #[test]
+    fn phase_timing_is_opt_in_and_does_not_perturb_results() {
+        let g = gnp(120, 0.05, 21);
+        let mut plain = StreamCore::new(&g);
+        let mut timed = StreamCore::new(&g).with_phase_timing(true);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..8 {
+            let mut b = EdgeBatch::new();
+            while b.len() < 12 {
+                let u = NodeId(rng.random_range(0..120));
+                let v = NodeId(rng.random_range(0..120));
+                if u == v {
+                    continue;
+                }
+                if plain.has_edge(u, v) {
+                    if !b.removals().contains(&ordered(u, v)) {
+                        b.remove(u, v);
+                    }
+                } else if !b.insertions().contains(&ordered(u, v)) {
+                    b.insert(u, v);
+                }
+            }
+            let sp = plain.apply_batch(&b).unwrap();
+            let st = timed.apply_batch(&b).unwrap();
+            assert_eq!(sp, st, "timing must not change repair statistics");
+            assert_eq!(plain.values(), timed.values());
+            // Timing off: the split stays zeroed.
+            assert_eq!(plain.last_phase_times(), PhaseTimes::default());
+        }
+        // Flipping timing off again re-zeroes on the next batch.
+        timed.set_phase_timing(false);
+        let mut b = EdgeBatch::new();
+        b.insert(NodeId(0), NodeId(1));
+        if timed.has_edge(NodeId(0), NodeId(1)) {
+            b = EdgeBatch::new();
+            b.remove(NodeId(0), NodeId(1));
+        }
+        timed.apply_batch(&b).unwrap();
+        assert_eq!(timed.last_phase_times(), PhaseTimes::default());
     }
 
     #[test]

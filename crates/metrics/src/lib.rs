@@ -1,6 +1,8 @@
 //! Experiment metrics toolkit for the k-core reproduction harness.
 //!
-//! Three small building blocks, shared by the simulator observers and the
+//! Two families of building blocks:
+//!
+//! **Experiment statistics**, shared by the simulator observers and the
 //! bench binaries that regenerate the paper's tables and figures:
 //!
 //! * [`Summary`] — streaming summary statistics (count/mean/min/max/std),
@@ -14,6 +16,18 @@
 //!   overhead curves of Figure 5;
 //! * [`Table`] — plain-text (paper-style) and CSV rendering of result
 //!   tables.
+//!
+//! **Runtime telemetry**, shared by the serving stack (`dkcore-serve`)
+//! and exposed over the wire `METRICS`/`EVENTS` verbs:
+//!
+//! * [`Registry`] with lock-free [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   handles and a Prometheus-style text exposition — the hot-path
+//!   replacement for ad-hoc `Percentiles` bookkeeping;
+//! * [`FlightRecorder`] — a bounded lock-free ring of structured
+//!   [`EventRecord`]s (failovers, promotions, degradations, epoch
+//!   publishes, retransmits, ...) with monotonic sequence numbers;
+//! * [`Telemetry`] — the bundle of both that services thread through
+//!   their layers.
 //!
 //! # Example
 //!
@@ -30,10 +44,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
+mod registry;
 mod series;
 mod summary;
 mod table;
+mod telemetry;
 
+pub use events::{EventKind, EventRecord, FlightRecorder};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, Registry,
+    HISTOGRAM_BUCKETS,
+};
 pub use series::Series;
 pub use summary::{Percentiles, Summary};
 pub use table::Table;
+pub use telemetry::{Telemetry, DEFAULT_EVENTS_CAPACITY};

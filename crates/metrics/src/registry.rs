@@ -1,0 +1,631 @@
+//! Runtime metrics registry: lock-free counters, gauges and log-scale
+//! histograms registered under dotted names with static labels, plus a
+//! Prometheus-style text exposition.
+//!
+//! # Design
+//!
+//! The serving stack records on hot paths (per publish, per exchange
+//! round, per wire request), so recording must never take a lock or
+//! allocate:
+//!
+//! * [`Counter`] — monotonically increasing, striped over a fixed set of
+//!   cache-line-padded atomics; each thread picks one stripe once, so
+//!   concurrent `inc()` calls from different threads do not bounce one
+//!   cache line. `value()` sums the stripes.
+//! * [`Gauge`] — a single signed atomic; last write wins.
+//! * [`Histogram`] — 256 fixed log-scale buckets (values `0..=15` exact,
+//!   then four sub-buckets per power of two, covering all of `u64`),
+//!   plus count/sum/min/max atomics. `record()` is a handful of relaxed
+//!   atomic ops; quantiles are answered from the bucket upper bound, so
+//!   a reported quantile is within 25% above the true value — tight
+//!   enough for latency telemetry, and unlike the crate's exact
+//!   [`Percentiles`](crate::Percentiles) it needs no `Mutex<Vec>` and no
+//!   sorting on the hot path.
+//!
+//! Handles are cheap `Arc` clones: register once (cold path, behind a
+//! `Mutex<BTreeMap>`), then record through the handle forever.
+//! [`Registry::snapshot`] and [`Registry::render_prometheus`] read
+//! without stopping writers; the snapshot is a point-in-time copy and
+//! entries render sorted by name then labels, so exposition output is
+//! stable across calls.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Number of counter stripes; a small power of two — enough to keep a
+/// few writer + connection threads off each other's cache lines without
+/// making `value()` reads expensive.
+const STRIPES: usize = 8;
+
+/// One counter stripe on its own cache line (no `crossbeam`
+/// `CachePadded` in the offline shim set, so pad via alignment).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Stripe(AtomicU64);
+
+/// Assigns each thread a stripe index once, round-robin.
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// Monotonically increasing counter; clone handles share the value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    stripes: Arc<[Stripe; STRIPES]>,
+}
+
+impl Counter {
+    /// A fresh unregistered counter (registered ones come from
+    /// [`Registry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Last-write-wins signed gauge; clone handles share the value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh unregistered gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 16 exact small-value buckets plus
+/// `4 sub-buckets × 60 octaves` covering the rest of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 256;
+
+/// Bucket index for a recorded value. Values `0..=15` get their own
+/// bucket; above that, the top two bits below the leading bit select
+/// one of four sub-buckets per power of two.
+fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (exp - 2)) & 3) as usize;
+        16 + (exp - 4) * 4 + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value a quantile reports).
+fn bucket_upper(b: usize) -> u64 {
+    if b < 16 {
+        b as u64
+    } else {
+        let exp = 4 + (b - 16) / 4;
+        let sub = ((b - 16) % 4) as u64;
+        // Bucket b holds [ (4+sub) << (exp-2), (5+sub) << (exp-2) - 1 ].
+        ((5 + sub) << (exp - 2)).wrapping_sub(1)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Fixed-bucket log-scale histogram; `record()` is lock-free and
+/// allocation-free, quantiles are answered from bucket upper bounds
+/// (within 25% above the true value).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh unregistered histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let h = &*self.inner;
+        h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper bound, clamped
+    /// to the largest observed value; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Point-in-time copy of the bucket state. Concurrent recording is
+    /// fine: each bucket is read once, so the copy is a valid histogram
+    /// of *approximately* the moment of the call.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.inner;
+        HistogramSnapshot {
+            buckets: h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            min: h.min.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owned point-in-time histogram state, mergeable across instances
+/// (e.g. aggregating per-shard round timings into one distribution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, indexed like the live histogram.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile as a bucket upper bound, clamped to the largest
+    /// observed value; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` — bucket-wise addition with the usual
+    /// min/min, max/max combine. Both sides share the fixed bucket
+    /// layout, so merging loses no precision beyond the buckets
+    /// themselves.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean observation; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One registered metric handle (any kind).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Registration key: dotted name plus sorted static labels.
+type MetricKey = (String, Vec<(String, String)>);
+
+/// Point-in-time value of one registered metric, from
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge value.
+    Gauge(i64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, labels, value)` entry of a registry snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// Dotted metric name as registered (e.g. `serve.exchange.round_us`).
+    pub name: String,
+    /// Static labels, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Shared metrics registry. Clones are handles onto the same store;
+/// registration is the cold path (one mutex-guarded map lookup),
+/// recording goes through the returned lock-free handles.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<MetricKey, Metric>>>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A poisoned registry lock only means a panicking thread died
+    /// mid-registration; the map is always structurally valid.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<MetricKey, Metric>> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Gets or registers the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind —
+    /// always a programming error.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self
+            .lock()
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as {other:?}, wanted a counter"),
+        }
+    }
+
+    /// Gets or registers the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self
+            .lock()
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("{name} already registered as {other:?}, wanted a gauge"),
+        }
+    }
+
+    /// Gets or registers the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self
+            .lock()
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("{name} already registered as {other:?}, wanted a histogram"),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, sorted by name
+    /// then labels (the map is a `BTreeMap`, so order is stable).
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        self.lock()
+            .iter()
+            .map(|((name, labels), metric)| MetricEntry {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Renders every metric as Prometheus-style text: a `# TYPE` line
+    /// per metric name, then `name{labels} value` samples. Dotted names
+    /// are exported with dots mapped to underscores (Prometheus names
+    /// cannot contain `.`); histograms render cumulative
+    /// `_bucket{le=...}` samples for non-empty buckets plus `+Inf`,
+    /// `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed = String::new();
+        for e in self.snapshot() {
+            let name = expo_name(&e.name);
+            let kind = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if name != last_typed {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_typed = name.clone();
+            }
+            match e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", label_set(&e.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{} {v}", label_set(&e.labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (b, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let le = bucket_upper(b).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_set(&e.labels, Some(&le))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_set(&e.labels, Some("+Inf"))
+                    );
+                    let _ = writeln!(out, "{name}_sum{} {}", label_set(&e.labels, None), h.sum);
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        label_set(&e.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted registry name to an exposition-safe metric name.
+fn expo_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a `{k="v",...}` label set, optionally with a trailing
+/// `le="..."` (histogram buckets); empty label sets render as nothing.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\"", v = v.replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_16_and_log_scale_above() {
+        // 0..=15 each get their own bucket; the quantile of a
+        // single-value histogram below 16 is exact.
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(bucket_of(v)), v);
+        }
+        // Octave boundaries: 16 starts bucket 16, each power of two
+        // starts a fresh group of four sub-buckets.
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(19), 16);
+        assert_eq!(bucket_of(20), 17);
+        assert_eq!(bucket_of(31), 19);
+        assert_eq!(bucket_of(32), 20);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every value maps into range, and its bucket's bounds contain
+        // it (upper bound of the previous bucket is strictly below).
+        for v in [16u64, 17, 63, 64, 65, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b < HISTOGRAM_BUCKETS, "{v} -> {b}");
+            assert!(bucket_upper(b) >= v, "{v} above its bucket bound");
+            if b > 0 {
+                assert!(bucket_upper(b - 1) < v, "{v} fits the previous bucket");
+            }
+        }
+        // Bucket uppers are strictly monotone — no overlap, no gaps.
+        for b in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_upper(b) > bucket_upper(b - 1), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_true_value() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Upper-bound estimate: at or above the true quantile, within
+        // the documented 25% relative error.
+        assert!((500..=625).contains(&p50), "p50 {p50}");
+        assert!((990..=1000).contains(&p99), "p99 {p99}"); // clamped by max
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_snapshots_merge_like_one_combined_run() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            all.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 1);
+            all.record(v * 7 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(merged.quantile(0.5), all.snapshot().quantile(0.5));
+    }
+
+    #[test]
+    fn counters_sum_across_threads_and_stripes() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 40_000);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_separates_labels() {
+        let r = Registry::new();
+        let a = r.counter("wire.requests", &[("verb", "EPOCH")]);
+        let b = r.counter("wire.requests", &[("verb", "EPOCH")]);
+        let other = r.counter("wire.requests", &[("verb", "HIST")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        assert_eq!(a.value(), 2, "same (name, labels) share state");
+        assert_eq!(other.value(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().all(|e| e.name == "wire.requests"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable_and_typed() {
+        let r = Registry::new();
+        r.counter("serve.publish.total", &[]).add(3);
+        r.gauge("serve.epoch", &[]).set(7);
+        let h = r.histogram("serve.publish.latency_us", &[("shard", "0")]);
+        h.record(5);
+        h.record(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE serve_epoch gauge\nserve_epoch 7\n"));
+        assert!(text.contains("# TYPE serve_publish_total counter\nserve_publish_total 3\n"));
+        assert!(text.contains("# TYPE serve_publish_latency_us histogram"));
+        assert!(text.contains("serve_publish_latency_us_bucket{shard=\"0\",le=\"5\"} 1"));
+        assert!(text.contains("serve_publish_latency_us_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_publish_latency_us_sum{shard=\"0\"} 105"));
+        assert!(text.contains("serve_publish_latency_us_count{shard=\"0\"} 2"));
+        assert_eq!(text, r.render_prometheus(), "stable across renders");
+    }
+}

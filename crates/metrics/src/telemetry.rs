@@ -1,0 +1,120 @@
+//! The [`Telemetry`] bundle: one metrics [`Registry`] plus one event
+//! [`FlightRecorder`], shared by every layer of a serving stack.
+//!
+//! Services hold a clone, register their metrics at construction, and
+//! record through the cheap handles on hot paths. The `enabled` flag
+//! exists for the instrumentation-overhead benchmark (`bench_pr9`): a
+//! disabled bundle still hands out working handles, but callers are
+//! expected to gate their timing/recording blocks on
+//! [`Telemetry::enabled`] so the uninstrumented path pays one branch
+//! and nothing else.
+
+use crate::events::{EventKind, EventRecord, FlightRecorder};
+use crate::registry::Registry;
+
+/// Default flight-recorder capacity (`serve --events-capacity` override).
+pub const DEFAULT_EVENTS_CAPACITY: usize = 1024;
+
+/// Shared telemetry bundle: registry + flight recorder + enabled flag.
+/// Clones share state.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    registry: Registry,
+    recorder: FlightRecorder,
+    enabled: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(DEFAULT_EVENTS_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// An enabled bundle retaining the most recent `events_capacity`
+    /// events.
+    pub fn new(events_capacity: usize) -> Telemetry {
+        Telemetry {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(events_capacity),
+            enabled: true,
+        }
+    }
+
+    /// A disabled bundle: handles still work, but [`event`](Self::event)
+    /// is a no-op and instrumented code is expected to skip its timing
+    /// blocks after checking [`enabled`](Self::enabled).
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(8),
+            enabled: false,
+        }
+    }
+
+    /// Whether instrumentation should run (one branch on hot paths).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Records an event unless disabled; returns the sequence number
+    /// (0 when disabled).
+    pub fn event(&self, kind: EventKind, shard: u32, epoch: u64, a: u64, b: u64) -> u64 {
+        if self.enabled {
+            self.recorder.record(kind, shard, epoch, a, b)
+        } else {
+            0
+        }
+    }
+
+    /// Events after `since`, oldest first, at most `limit` (see
+    /// [`FlightRecorder::events_since`]).
+    pub fn events_since(&self, since: u64, limit: usize) -> Vec<EventRecord> {
+        self.recorder.events_since(since, limit)
+    }
+
+    /// Prometheus-style text of every registered metric.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_drops_events_but_keeps_handles_working() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert_eq!(t.event(EventKind::Failover, 0, 1, 0, 0), 0);
+        assert!(t.events_since(0, usize::MAX).is_empty());
+        // Registered handles still function (services register
+        // unconditionally and only gate the recording).
+        let c = t.registry().counter("x", &[]);
+        c.inc();
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn enabled_bundle_threads_events_through() {
+        let t = Telemetry::new(16);
+        assert!(t.enabled());
+        let s = t.event(EventKind::Promotion, 1, 2, 3, 4);
+        assert_eq!(s, 1);
+        let events = t.events_since(0, 10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Promotion);
+        assert!(t.render_prometheus().is_empty(), "no metrics registered");
+    }
+}

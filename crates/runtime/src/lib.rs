@@ -42,5 +42,5 @@
 pub mod pool;
 mod worker;
 
-pub use pool::{pin_to_core, WorkerPool};
+pub use pool::{pin_to_core, PoolStats, WorkerPool};
 pub use worker::{Runtime, RuntimeConfig, RuntimeResult};

@@ -30,8 +30,36 @@
 //! non-Linux target) degrades to "not pinned" — callers get a count of
 //! successfully pinned workers and must treat pinning as advisory.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
+
+/// Cumulative pool activity counters, read via [`WorkerPool::stats`].
+///
+/// The pool keeps these itself (plain shared atomics bumped in the
+/// worker loop) so callers get dispatch/busy/park observability without
+/// the runtime crate needing any dependency on a metrics registry —
+/// bridging the numbers into one is the caller's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs completed by workers across the pool's lifetime.
+    pub dispatched: u64,
+    /// Total wall time workers spent running the job closure, in
+    /// nanoseconds.
+    pub busy_nanos: u64,
+    /// Total wall time workers spent parked waiting for a job, in
+    /// nanoseconds.
+    pub park_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    dispatched: AtomicU64,
+    busy_nanos: AtomicU64,
+    park_nanos: AtomicU64,
+}
 
 /// A fixed-size pool of persistent worker threads.
 ///
@@ -52,6 +80,7 @@ pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
     replies: Vec<Receiver<R>>,
     handles: Vec<thread::JoinHandle<()>>,
     pinned: usize,
+    stats: Arc<StatsCells>,
 }
 
 impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
@@ -73,6 +102,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
         assert!(workers > 0, "need at least one worker");
         let cores = thread::available_parallelism().map_or(1, usize::from);
         let (ready_tx, ready_rx) = channel::<bool>();
+        let stats = Arc::new(StatsCells::default());
         let mut jobs = Vec::with_capacity(workers);
         let mut replies = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -81,6 +111,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
             let (reply_tx, reply_rx) = channel::<R>();
             let ready = ready_tx.clone();
             let work = f.clone();
+            let cells = stats.clone();
             let handle = thread::Builder::new()
                 .name(format!("dkcore-pool-{i}"))
                 .spawn(move || {
@@ -88,8 +119,19 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                     // The pool counts pins before returning from `new`;
                     // a dead coordinator just means nobody is counting.
                     let _ = ready.send(pinned);
-                    while let Ok(job) = job_rx.recv() {
-                        if reply_tx.send(work(i, job)).is_err() {
+                    loop {
+                        let parked = Instant::now();
+                        let Ok(job) = job_rx.recv() else { break };
+                        cells
+                            .park_nanos
+                            .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let busy = Instant::now();
+                        let reply = work(i, job);
+                        cells
+                            .busy_nanos
+                            .fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        cells.dispatched.fetch_add(1, Ordering::Relaxed);
+                        if reply_tx.send(reply).is_err() {
                             break;
                         }
                     }
@@ -107,6 +149,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
             replies,
             handles,
             pinned,
+            stats,
         }
     }
 
@@ -124,6 +167,17 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
     /// Number of workers that successfully pinned themselves to a core.
     pub fn pinned(&self) -> usize {
         self.pinned
+    }
+
+    /// Cumulative dispatch/busy/park counters across all workers
+    /// (coherent to within in-flight jobs — workers bump them with
+    /// relaxed atomics as they go).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dispatched: self.stats.dispatched.load(Ordering::Relaxed),
+            busy_nanos: self.stats.busy_nanos.load(Ordering::Relaxed),
+            park_nanos: self.stats.park_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Hand a job to worker `i`. Returns immediately; pair with
@@ -209,6 +263,25 @@ mod tests {
         pool.dispatch(1, vec![9]);
         assert_eq!(pool.collect(0), vec![7, 0]);
         assert_eq!(pool.collect(1), vec![9, 1]);
+    }
+
+    #[test]
+    fn stats_count_dispatches_and_accumulate_time() {
+        let pool: WorkerPool<u64, u64> = WorkerPool::new(2, false, |_, job| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            job
+        });
+        assert_eq!(pool.stats(), PoolStats::default());
+        for i in 0..2 {
+            pool.dispatch(i, i as u64);
+        }
+        for i in 0..2 {
+            pool.collect(i);
+        }
+        let s = pool.stats();
+        assert_eq!(s.dispatched, 2);
+        assert!(s.busy_nanos >= 2 * 2_000_000, "two 2ms jobs: {s:?}");
+        assert!(s.park_nanos > 0, "workers parked before the first job");
     }
 
     #[test]

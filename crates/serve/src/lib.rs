@@ -85,6 +85,45 @@
 //! reliable while round messages may be lossy — is documented in the
 //! [`sharded`] and [`fault`] module docs.
 //!
+//! # Observability
+//!
+//! Every layer of the stack records into one shared
+//! [`Telemetry`](dkcore_metrics::Telemetry) bundle — a lock-free
+//! metrics [`Registry`](dkcore_metrics::Registry) plus a bounded
+//! [`FlightRecorder`](dkcore_metrics::FlightRecorder) event ring —
+//! threaded writer-side at construction
+//! ([`CoreService::with_telemetry`], [`ShardedConfig`]`::telemetry`)
+//! and readable from either handle via `telemetry()`:
+//!
+//! * **Publish path** — `serve.publish.*` batch counters, epoch gauge,
+//!   and publish/repair latency histograms, with the repair further
+//!   split into removal / region-descent / insertion / export phase
+//!   histograms (`serve.repair.*`) from the engine's opt-in
+//!   `PhaseTimes`.
+//! * **Exchange and failover** — `serve.exchange.*` round / message /
+//!   resend counters and per-round latency, `serve.pool.*` worker-pool
+//!   dispatch and park/busy time, `serve.failover.count`, and
+//!   `serve.deferred.batches`. [`ExchangeHealth`] is a *view over the
+//!   registry*, so `HEALTH` and `METRICS` can never disagree.
+//! * **Wire front end** — per-verb request counters and latency
+//!   histograms (`serve.wire.requests{verb=…}`,
+//!   `serve.wire.latency_us{verb=…}`) plus response-cache
+//!   hit / miss / eviction counters (`serve.wire.cache.*`).
+//! * **Events** — structured records (batch-applied, epoch-published,
+//!   exchange-round, retransmit, failover, promotion, degraded,
+//!   revive, cache-evicted, deferred) with gapless monotonic sequence
+//!   numbers, drainable without stopping writers and replayable by
+//!   cursor.
+//!
+//! Both are exported over the wire in text and binary modes: `METRICS`
+//! renders the registry in Prometheus exposition format, and `EVENTS
+//! [SINCE s] [LIMIT n]` pages the flight recorder (`dkcore query
+//! metrics` / `dkcore query events` in the CLI). Instrumentation is
+//! branch-gated on a disabled bundle and `bench_pr9` holds the enabled
+//! cost to ≤2% of the uninstrumented writer with bit-identical
+//! results; grammar and ordering are pinned by the wire-module tests
+//! and the sharded flight-recorder failover-chain test.
+//!
 //! # Example
 //!
 //! ```

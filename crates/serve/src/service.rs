@@ -8,6 +8,7 @@ use std::time::Instant;
 use dkcore::dynamic::MutationError;
 use dkcore::stream::{BatchStats, EdgeBatch, StreamCore};
 use dkcore_graph::Graph;
+use dkcore_metrics::{Counter, EventKind, Gauge, Histogram, Telemetry};
 
 use crate::health::{HealthCell, HealthReport};
 use crate::snapshot::CoreSnapshot;
@@ -79,6 +80,44 @@ pub struct PublishReport {
     pub publish_micros: f64,
 }
 
+/// Registry handles for the single-writer publish path, registered once
+/// at construction so the per-batch hot path is pure atomics (see the
+/// crate-level "Observability" docs for the metric catalogue).
+#[derive(Debug, Clone)]
+pub(crate) struct PublishMetrics {
+    pub(crate) publish_us: Histogram,
+    pub(crate) repair_us: Histogram,
+    pub(crate) removal_us: Histogram,
+    pub(crate) region_us: Histogram,
+    pub(crate) insert_us: Histogram,
+    pub(crate) export_us: Histogram,
+    pub(crate) batches: Counter,
+    pub(crate) epoch: Gauge,
+}
+
+impl PublishMetrics {
+    /// Registers the publish-path metrics, labelled with `shard` when
+    /// the writer is one shard of a sharded service.
+    pub(crate) fn register(tel: &Telemetry, shard: Option<u32>) -> Self {
+        let shard_label = shard.map(|s| s.to_string());
+        let labels: Vec<(&str, &str)> = match &shard_label {
+            Some(s) => vec![("shard", s.as_str())],
+            None => Vec::new(),
+        };
+        let r = tel.registry();
+        PublishMetrics {
+            publish_us: r.histogram("serve.publish.publish_us", &labels),
+            repair_us: r.histogram("serve.publish.repair_us", &labels),
+            removal_us: r.histogram("serve.repair.removal_us", &labels),
+            region_us: r.histogram("serve.repair.region_us", &labels),
+            insert_us: r.histogram("serve.repair.insert_us", &labels),
+            export_us: r.histogram("serve.repair.export_us", &labels),
+            batches: r.counter("serve.publish.batches", &labels),
+            epoch: r.gauge("serve.publish.epoch", &labels),
+        }
+    }
+}
+
 /// The single-writer core-number service: owns the streaming engine,
 /// applies batches, publishes epoch snapshots. See the
 /// [crate docs](crate) for the architecture.
@@ -92,6 +131,8 @@ pub struct CoreService {
     /// rebuilding `O(N + M)` state.
     latest: Arc<CoreSnapshot>,
     health: Arc<HealthCell>,
+    tel: Telemetry,
+    metrics: PublishMetrics,
 }
 
 impl Drop for CoreService {
@@ -118,16 +159,26 @@ impl<T> std::fmt::Debug for EpochCell<T> {
 
 impl CoreService {
     /// Builds the service from a static graph and publishes it as
-    /// epoch 0.
+    /// epoch 0, with a fresh enabled [`Telemetry`] bundle.
     pub fn new(g: &Graph) -> Self {
-        let core = StreamCore::new(g);
+        Self::with_telemetry(g, Telemetry::default())
+    }
+
+    /// Builds the service with an explicit telemetry bundle (shared
+    /// with a wire server, or [`Telemetry::disabled`] to strip the
+    /// instrumentation down to one branch per batch).
+    pub fn with_telemetry(g: &Graph, tel: Telemetry) -> Self {
+        let core = StreamCore::new(g).with_phase_timing(tel.enabled());
         let initial = Arc::new(CoreSnapshot::capture(0, &core));
+        let metrics = PublishMetrics::register(&tel, None);
         CoreService {
             core,
             cell: Arc::new(EpochCell::new(initial.clone())),
             epoch: 0,
             latest: initial,
             health: HealthCell::new(HealthReport::healthy(0, 0)),
+            tel,
+            metrics,
         }
     }
 
@@ -137,7 +188,13 @@ impl CoreService {
         ServiceHandle {
             cell: self.cell.clone(),
             health: self.health.clone(),
+            tel: self.tel.clone(),
         }
+    }
+
+    /// The telemetry bundle this service records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// The latest published epoch.
@@ -187,6 +244,32 @@ impl CoreService {
         self.health.store(HealthReport::healthy(self.epoch, 0));
         let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
 
+        if self.tel.enabled() {
+            self.metrics.batches.inc();
+            self.metrics.epoch.set(self.epoch as i64);
+            self.metrics.repair_us.record(repair_micros as u64);
+            self.metrics.publish_us.record(publish_micros as u64);
+            let phases = self.core.last_phase_times();
+            self.metrics.removal_us.record(phases.removal_us);
+            self.metrics.region_us.record(phases.region_us);
+            self.metrics.insert_us.record(phases.insert_us);
+            self.metrics.export_us.record(phases.export_us);
+            self.tel.event(
+                EventKind::BatchApplied,
+                0,
+                self.epoch,
+                stats.inserted as u64,
+                stats.removed as u64,
+            );
+            self.tel.event(
+                EventKind::EpochPublished,
+                0,
+                self.epoch,
+                repair_micros as u64,
+                publish_micros as u64,
+            );
+        }
+
         Ok(PublishReport {
             epoch: self.epoch,
             stats,
@@ -202,6 +285,7 @@ impl CoreService {
 pub struct ServiceHandle {
     cell: Arc<EpochCell<CoreSnapshot>>,
     health: Arc<HealthCell>,
+    tel: Telemetry,
 }
 
 impl ServiceHandle {
@@ -222,6 +306,11 @@ impl ServiceHandle {
     /// it will never advance again).
     pub fn health(&self) -> HealthReport {
         self.health.load()
+    }
+
+    /// The writer's telemetry bundle (registry + flight recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 }
 

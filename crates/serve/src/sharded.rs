@@ -150,7 +150,7 @@ use dkcore::one_to_many::{Assignment, AssignmentPolicy};
 use dkcore::seq::batagelj_zaversnik;
 use dkcore::stream::{candidate_regions, AdjacencyArena, EdgeBatch};
 use dkcore_graph::{Graph, NodeId};
-use dkcore_metrics::Percentiles;
+use dkcore_metrics::{Counter, EventKind, Gauge, Histogram, Percentiles, Telemetry};
 use dkcore_runtime::WorkerPool;
 
 use crate::fault::{Fate, FaultPlan, FaultSession};
@@ -542,6 +542,11 @@ pub struct ShardedConfig {
     /// [`ExchangeMode::Spawn`]; falls back gracefully where pinning is
     /// unsupported (default false).
     pub pin: bool,
+    /// Telemetry bundle the service records into (default: a fresh
+    /// enabled bundle; pass a shared one to expose the service through
+    /// a wire server, or [`Telemetry::disabled`] to strip the
+    /// instrumentation down to one branch per batch).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ShardedConfig {
@@ -554,6 +559,7 @@ impl Default for ShardedConfig {
             replica_lag: 1,
             exchange: ExchangeMode::default(),
             pin: false,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -766,13 +772,64 @@ pub struct ShardedCoreService {
     /// messages shard `src` staged for shard `dst` this round. The
     /// buffers are reused across rounds, attempts, and batches.
     stage: Vec<Vec<Vec<BorderMsg>>>,
-    /// Cumulative exchange observability (successful attempts): total
-    /// rounds, per-round wall times, and the busy/capacity integrals
-    /// behind the worker-utilization counter.
-    xch_rounds: u64,
-    xch_round_us: Percentiles,
-    xch_busy_nanos: u64,
-    xch_cap_nanos: u64,
+    tel: Telemetry,
+    /// Registry handles for the exchange path; the `HEALTH` suffix is
+    /// derived from these same handles (see [`ExchangeMetrics`]).
+    xch: ExchangeMetrics,
+}
+
+/// Registry handles for the sharded exchange/failover path, registered
+/// once at construction so hot-path recording is pure atomics.
+///
+/// [`ExchangeHealth`] is computed from these handles in
+/// `refresh_health` — `HEALTH` and `METRICS` read the same counters and
+/// can never disagree (satellite: the old parallel `xch_*` bookkeeping
+/// is gone).
+#[derive(Debug)]
+struct ExchangeMetrics {
+    /// `serve.exchange.rounds` — rounds across all published epochs.
+    rounds: Counter,
+    /// `serve.exchange.round_us` — per-round wall time.
+    round_us: Histogram,
+    /// `serve.exchange.messages` — first-copy border messages.
+    messages: Counter,
+    /// `serve.exchange.resends` — retransmitted border messages.
+    resends: Counter,
+    /// `serve.exchange.busy_nanos` / `serve.exchange.cap_nanos` — the
+    /// worker-utilization integrals.
+    busy_nanos: Counter,
+    cap_nanos: Counter,
+    /// `serve.failover.count` — primary deaths failed over.
+    failovers: Counter,
+    /// `serve.deferred.batches` — batches accepted but deferred.
+    deferred: Counter,
+    /// `serve.publish.epoch` — latest published epoch.
+    epoch: Gauge,
+    /// `serve.pool.dispatched` / `.busy_nanos` / `.park_nanos` —
+    /// bridged from [`WorkerPool::stats`] at each health refresh.
+    pool_dispatched: Gauge,
+    pool_busy_nanos: Gauge,
+    pool_park_nanos: Gauge,
+}
+
+impl ExchangeMetrics {
+    fn register(tel: &Telemetry) -> Self {
+        let r = tel.registry();
+        ExchangeMetrics {
+            rounds: r.counter("serve.exchange.rounds", &[]),
+            round_us: r.histogram("serve.exchange.round_us", &[]),
+            messages: r.counter("serve.exchange.messages", &[]),
+            resends: r.counter("serve.exchange.resends", &[]),
+            busy_nanos: r.counter("serve.exchange.busy_nanos", &[]),
+            cap_nanos: r.counter("serve.exchange.cap_nanos", &[]),
+            failovers: r.counter("serve.failover.count", &[]),
+            deferred: r.counter("serve.deferred.batches", &[]),
+            epoch: r.gauge("serve.publish.epoch", &[]),
+            pool_dispatched: r.gauge("serve.pool.dispatched", &[]),
+            pool_busy_nanos: r.gauge("serve.pool.busy_nanos", &[]),
+            pool_park_nanos: r.gauge("serve.pool.park_nanos", &[]),
+        }
+    }
 }
 
 impl Drop for ShardedCoreService {
@@ -880,6 +937,8 @@ impl ShardedCoreService {
         ));
         let down = vec![false; shards.len()];
         let stage = vec![vec![Vec::new(); shards.len()]; shards.len()];
+        let tel = config.telemetry;
+        let xch = ExchangeMetrics::register(&tel);
         let svc = ShardedCoreService {
             shards,
             map,
@@ -899,10 +958,8 @@ impl ShardedCoreService {
             pin: config.pin,
             pool: None,
             stage,
-            xch_rounds: 0,
-            xch_round_us: Percentiles::new(),
-            xch_busy_nanos: 0,
-            xch_cap_nanos: 0,
+            tel,
+            xch,
         };
         svc.refresh_health();
         svc
@@ -1023,7 +1080,13 @@ impl ShardedCoreService {
         ShardedHandle {
             cell: self.cell.clone(),
             health: self.health.clone(),
+            tel: self.tel.clone(),
         }
+    }
+
+    /// The telemetry bundle this service records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Whether the union graph *logically* has the edge `{u, v}`:
@@ -1137,6 +1200,13 @@ impl ShardedCoreService {
             }
             drained += 1;
         }
+        self.tel.event(
+            EventKind::Revive,
+            shard as u32,
+            self.epoch,
+            drained,
+            self.backlog() as u64,
+        );
         self.refresh_health();
         drained
     }
@@ -1257,16 +1327,42 @@ impl ShardedCoreService {
         self.sync_replicas();
 
         // Exchange observability: fold the successful attempt's round
-        // timings into the cumulative counters (surfaced via HEALTH)
-        // and compute this batch's percentiles for the report.
+        // timings into the registry handles (HEALTH and METRICS both
+        // read them) and compute this batch's percentiles for the
+        // report.
         let mut batch_rounds = Percentiles::new();
         for &us in &outcome.round_us {
             batch_rounds.record(us);
-            self.xch_round_us.record(us);
         }
-        self.xch_rounds += u64::from(outcome.rounds);
-        self.xch_busy_nanos += outcome.busy_nanos;
-        self.xch_cap_nanos += outcome.cap_nanos;
+        if self.tel.enabled() {
+            for &us in &outcome.round_us {
+                self.xch.round_us.record(us as u64);
+            }
+            self.xch.rounds.add(u64::from(outcome.rounds));
+            self.xch.messages.add(outcome.messages);
+            self.xch.resends.add(outcome.resends);
+            self.xch.busy_nanos.add(outcome.busy_nanos);
+            self.xch.cap_nanos.add(outcome.cap_nanos);
+            self.xch.epoch.set(epoch as i64);
+            self.tel.event(
+                EventKind::BatchApplied,
+                0,
+                epoch,
+                batch.insertions().len() as u64,
+                batch.removals().len() as u64,
+            );
+            if outcome.resends > 0 {
+                self.tel
+                    .event(EventKind::Retransmit, 0, epoch, outcome.resends, 0);
+            }
+            self.tel.event(
+                EventKind::EpochPublished,
+                0,
+                epoch,
+                u64::from(outcome.rounds),
+                outcome.messages,
+            );
+        }
         self.refresh_health();
         let publish_micros = t1.elapsed().as_secs_f64() * 1e6;
 
@@ -1643,10 +1739,18 @@ impl ShardedCoreService {
     /// batches replayed, or `None` when no replica is left — in which
     /// case the partition is tombstoned and marked down.
     fn promote(&mut self, shard: usize) -> Option<u64> {
+        if self.tel.enabled() {
+            self.xch.failovers.inc();
+            self.tel
+                .event(EventKind::Failover, shard as u32, self.epoch, 0, 0);
+        }
         let reps = &mut self.replicas[shard];
         let Some(best) = (0..reps.len()).max_by_key(|&i| reps[i].applied_epoch) else {
             self.tombstone(shard);
             self.down[shard] = true;
+            let backlog = self.log.len() as u64 - self.epoch;
+            self.tel
+                .event(EventKind::Degraded, shard as u32, self.epoch, backlog, 0);
             return None;
         };
         let mut rep = reps.swap_remove(best);
@@ -1665,6 +1769,13 @@ impl ShardedCoreService {
             &self.global_core,
             &self.map,
             Some(snapshot),
+        );
+        self.tel.event(
+            EventKind::Promotion,
+            shard as u32,
+            self.epoch,
+            replayed,
+            self.replicas[shard].len() as u64,
         );
         Some(replayed)
     }
@@ -1771,23 +1882,32 @@ impl ShardedCoreService {
                 epoch_lag: if self.down[s] { backlog } else { 0 },
             })
             .collect();
+        // The exchange suffix is a *view over the registry*: HEALTH
+        // and METRICS read the same handles, so they cannot drift.
+        if let Some(pool) = &self.pool {
+            let s = pool.stats();
+            self.xch.pool_dispatched.set(s.dispatched as i64);
+            self.xch.pool_busy_nanos.set(s.busy_nanos as i64);
+            self.xch.pool_park_nanos.set(s.park_nanos as i64);
+        }
         self.health.store(HealthReport {
             writer_alive: true,
             epoch: self.epoch,
             shards,
             exchange: Some(ExchangeHealth {
-                rounds: self.xch_rounds,
-                round_p50_us: if self.xch_round_us.is_empty() {
+                rounds: self.xch.rounds.value(),
+                round_p50_us: if self.xch.round_us.count() == 0 {
                     0
                 } else {
-                    self.xch_round_us.p50() as u64
+                    self.xch.round_us.quantile(0.5)
                 },
-                round_p99_us: if self.xch_round_us.is_empty() {
+                round_p99_us: if self.xch.round_us.count() == 0 {
                     0
                 } else {
-                    self.xch_round_us.p99() as u64
+                    self.xch.round_us.quantile(0.99)
                 },
-                worker_busy_pct: busy_pct(self.xch_busy_nanos, self.xch_cap_nanos) as u32,
+                worker_busy_pct: busy_pct(self.xch.busy_nanos.value(), self.xch.cap_nanos.value())
+                    as u32,
             }),
         });
     }
@@ -1800,6 +1920,16 @@ impl ShardedCoreService {
         failovers: u32,
         replayed: u64,
     ) -> ShardedPublishReport {
+        if self.tel.enabled() {
+            self.xch.deferred.inc();
+            self.tel.event(
+                EventKind::Deferred,
+                0,
+                self.epoch,
+                self.log.len() as u64 - self.epoch,
+                0,
+            );
+        }
         self.refresh_health();
         ShardedPublishReport {
             epoch: self.epoch,
@@ -2102,6 +2232,7 @@ impl StitchedSnapshot {
 pub struct ShardedHandle {
     cell: Arc<EpochCell<StitchedSnapshot>>,
     health: Arc<HealthCell>,
+    tel: Telemetry,
 }
 
 impl ShardedHandle {
@@ -2122,6 +2253,11 @@ impl ShardedHandle {
     /// a reader learns the epoch has stopped advancing.
     pub fn health(&self) -> HealthReport {
         self.health.load()
+    }
+
+    /// The writer's telemetry bundle (registry + flight recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 }
 
@@ -2353,6 +2489,56 @@ mod tests {
         assert_eq!(snap.epoch(), 4);
         assert_eq!(snap.values(), batagelj_zaversnik(snap.graph()).as_slice());
         assert_eq!(handle.health().status_line(), "status=healthy");
+    }
+
+    #[test]
+    fn flight_recorder_replays_the_failover_chain_in_order() {
+        // Drive a full lifecycle on shard 1 — kill (replica promotes),
+        // kill again (exhausted: degraded), defer a batch, revive — and
+        // assert the flight recorder replays exactly that chain, in
+        // order, with gapless sequence numbers.
+        let g = gnp(100, 0.05, 19);
+        let mut svc = ShardedCoreService::with_config(&g, 2, config(1, "none"));
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = random_batch(&svc, 100, 6, &mut rng);
+        svc.apply_batch(&b).unwrap();
+
+        assert!(svc.kill_primary(1), "first kill: replica promotes");
+        assert!(!svc.kill_primary(1), "second kill: shard exhausted");
+        let b = random_batch(&svc, 100, 6, &mut rng);
+        assert!(svc.apply_batch(&b).unwrap().deferred);
+        assert_eq!(svc.revive_shard(1), 1);
+
+        let events = svc.telemetry().events_since(0, usize::MAX);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1, "gapless seqs from 1");
+        }
+        let lifecycle: Vec<(EventKind, u32)> = events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    EventKind::BatchApplied | EventKind::EpochPublished | EventKind::Retransmit
+                )
+            })
+            .map(|e| (e.kind, e.shard))
+            .collect();
+        assert_eq!(
+            lifecycle,
+            vec![
+                (EventKind::Failover, 1),
+                (EventKind::Promotion, 1),
+                (EventKind::Failover, 1),
+                (EventKind::Degraded, 1),
+                (EventKind::Deferred, 0),
+                (EventKind::Revive, 1),
+            ],
+            "full events: {events:?}"
+        );
+        // The revive drains the deferred batch, so the final published
+        // epoch in the event stream is 2.
+        assert_eq!(events.last().unwrap().kind, EventKind::Revive);
+        assert_eq!(svc.telemetry().recorder().last_seq(), events.len() as u64);
     }
 
     #[test]

@@ -386,6 +386,13 @@ pub trait SnapshotSource: Clone + Send + 'static {
     /// verb): whether the writer is alive and, for the sharded backend,
     /// per-partition liveness and deferred-batch lag.
     fn health(&self) -> HealthReport;
+    /// The writer's telemetry bundle (feeds the wire `METRICS` and
+    /// `EVENTS` verbs). The default is a disabled bundle so bare
+    /// sources still serve; both service handles override it with the
+    /// writer's live bundle.
+    fn telemetry(&self) -> dkcore_metrics::Telemetry {
+        dkcore_metrics::Telemetry::disabled()
+    }
 }
 
 impl SnapshotSource for ServiceHandle {
@@ -399,6 +406,9 @@ impl SnapshotSource for ServiceHandle {
     fn health(&self) -> HealthReport {
         ServiceHandle::health(self)
     }
+    fn telemetry(&self) -> dkcore_metrics::Telemetry {
+        ServiceHandle::telemetry(self).clone()
+    }
 }
 
 impl SnapshotSource for ShardedHandle {
@@ -411,5 +421,8 @@ impl SnapshotSource for ShardedHandle {
     }
     fn health(&self) -> HealthReport {
         ShardedHandle::health(self)
+    }
+    fn telemetry(&self) -> dkcore_metrics::Telemetry {
+        ShardedHandle::telemetry(self).clone()
     }
 }

@@ -23,6 +23,8 @@
 //! | `TOPK <n>` | `OK epoch=<e> top=<v:c,...>` |
 //! | `TOPK <n> OFFSET <o>` | `OK epoch=<e> offset=<o> top=<v:c,...>` (ranks `o..o+n`) |
 //! | `HEALTH` | `OK epoch=<e> status=healthy` \| `status=degraded down=<shard>:<lag>,...` \| `status=writer-dead`, plus `exchange=rounds:<n>,p50us:<a>,p99us:<b>,util:<c>%` on the sharded backend |
+//! | `METRICS` | `OK epoch=<e> lines=<n>`, then `n` Prometheus-style lines from the backend's metrics registry |
+//! | `EVENTS [SINCE <s>] [LIMIT <n>]` | `OK epoch=<e> count=<c> last=<seq>`, then `c` flight-recorder event lines (`seq=.. ts_ms=.. kind=.. shard=.. epoch=.. a=.. b=..`), oldest first |
 //! | `QUIT` | `OK bye`, connection closes |
 //! | `SHUTDOWN` | `OK shutting-down`, server stops accepting |
 //!
@@ -62,6 +64,8 @@
 //! | 6 `TOPK` | `u64 n`, `u64 offset` |
 //! | 7 `HEALTH` | — |
 //! | 8 `QUIT` | — |
+//! | 9 `METRICS` | — |
+//! | 10 `EVENTS` | `u64 since`, `u64 limit` |
 //!
 //! Response frame: `u32 len`, then `u32 req_id`, `u8 status` (0 = OK,
 //! 1 = ERR), `u64 epoch`, payload:
@@ -75,6 +79,8 @@
 //! | `HIST` | `u32 entries`, `entries × (u32 k, u64 count)` for all shells `0..=kmax` |
 //! | `TOPK` | `u32 count`, `count × (u32 id, u32 coreness)` |
 //! | `HEALTH` | UTF-8 status line (epoch field is the live writer epoch) |
+//! | `METRICS` | UTF-8 Prometheus-style exposition text |
+//! | `EVENTS` | UTF-8 text, one rendered event line per retained event after `since` |
 //! | `QUIT` | empty, then the connection closes |
 //!
 //! An `ERR` payload is a UTF-8 message. Unknown opcodes earn `ERR` and
@@ -89,9 +95,26 @@
 //! dead epochs simply stop being hit and are evicted first when the
 //! cache is full. Only `OK` responses to read-only bulk queries
 //! (`EPOCH`, `MEMBERS`, `SUBGRAPH`, `HIST`, `TOPK`) are cached;
-//! `CORENESS` point lookups are already O(1) and `HEALTH` reflects
-//! live, non-epoch state. [`WireServer::cache_stats`] exposes hit/miss
-//! counters.
+//! `CORENESS` point lookups are already O(1) and `HEALTH`, `METRICS`
+//! and `EVENTS` reflect live, non-epoch state. [`WireServer::cache_stats`]
+//! exposes hit/miss counters; the same numbers (plus evictions) appear
+//! on the registry as `serve.wire.cache.*`.
+//!
+//! # Telemetry
+//!
+//! The server registers per-verb request counters and latency
+//! histograms (`serve.wire.requests{verb=...}`,
+//! `serve.wire.latency_us{verb=...}`) on the backend's
+//! [`Telemetry`](dkcore_metrics::Telemetry) bundle, obtained through
+//! [`SnapshotSource::telemetry`]. `METRICS` therefore exposes the whole
+//! stack — publish/repair phases, exchange rounds, pool utilization,
+//! wire traffic, cache behavior — from one registry, and `EVENTS`
+//! replays the shared flight recorder (batch/publish/failover/
+//! promotion/degraded/revive/eviction history). A backend whose bundle
+//! is [`Telemetry::disabled`](dkcore_metrics::Telemetry::disabled)
+//! skips request counting and timing entirely (one branch per request);
+//! cache hit/miss counters remain live because `cache_stats()` predates
+//! the registry.
 //!
 //! Each accepted connection is served by its own thread; queries pin one
 //! snapshot per request, so a multi-line `SUBGRAPH` answer is internally
@@ -102,12 +125,13 @@ use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dkcore_graph::NodeId;
+use dkcore_metrics::{Counter, EventKind, Histogram, Telemetry};
 
 use crate::view::{CoreQuery, CoreScan, SnapshotSource};
 
@@ -119,6 +143,8 @@ const OP_HIST: u8 = 5;
 const OP_TOPK: u8 = 6;
 const OP_HEALTH: u8 = 7;
 const OP_QUIT: u8 = 8;
+const OP_METRICS: u8 = 9;
+const OP_EVENTS: u8 = 10;
 
 /// Upper bound on a single frame, request or response. Far above any
 /// legitimate answer; a length past this is a corrupt or hostile stream
@@ -143,11 +169,18 @@ type CacheMap = HashMap<(u64, Vec<u8>), Arc<Vec<u8>>>;
 /// Shared `(epoch, query-key) -> encoded response` cache. Staleness is
 /// impossible by construction — the epoch is in the key and each lookup
 /// uses the epoch of the snapshot pinned for that request.
-#[derive(Debug, Default)]
+///
+/// Hit/miss/eviction counters live on the backend's metrics registry
+/// (`serve.wire.cache.*`), so `METRICS` and [`WireServer::cache_stats`]
+/// read the same numbers; evictions additionally leave a
+/// `cache-evicted` event in the flight recorder.
+#[derive(Debug)]
 struct ResponseCache {
     entries: Mutex<CacheMap>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    tel: Telemetry,
 }
 
 impl ResponseCache {
@@ -157,6 +190,22 @@ impl ResponseCache {
     /// Bodies past this are streamed but not retained — one giant
     /// `SUBGRAPH` answer must not pin megabytes in the cache.
     const MAX_BODY: usize = 256 << 10;
+
+    /// Registers the cache counters on `tel`'s registry. Hit/miss
+    /// accounting is unconditional (not gated on `tel.enabled()`): the
+    /// counters replace the cache's old private atomics, and
+    /// `cache_stats()` must keep working even against an
+    /// uninstrumented backend.
+    fn new(tel: &Telemetry) -> Self {
+        let r = tel.registry();
+        ResponseCache {
+            entries: Mutex::new(CacheMap::default()),
+            hits: r.counter("serve.wire.cache.hits", &[]),
+            misses: r.counter("serve.wire.cache.misses", &[]),
+            evictions: r.counter("serve.wire.cache.evictions", &[]),
+            tel: tel.clone(),
+        }
+    }
 
     /// A poisoned lock only means another connection thread panicked
     /// mid-insert; the map is always structurally valid, so recover it.
@@ -176,14 +225,15 @@ impl ResponseCache {
         build: impl FnOnce() -> (Vec<u8>, bool),
     ) -> Arc<Vec<u8>> {
         if let Some(hit) = self.lock().get(&(epoch, key.clone())).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let (body, cacheable) = build();
         let body = Arc::new(body);
         if cacheable && body.len() <= Self::MAX_BODY {
             let mut entries = self.lock();
+            let before = entries.len();
             if entries.len() >= Self::CAPACITY {
                 // Dead-epoch entries can never be hit again: evict them
                 // first, then fall back to dropping an arbitrary entry.
@@ -194,6 +244,12 @@ impl ResponseCache {
                     entries.remove(&victim);
                 }
             }
+            let evicted = (before - entries.len()) as u64;
+            if evicted > 0 {
+                self.evictions.add(evicted);
+                self.tel
+                    .event(EventKind::CacheEvicted, 0, epoch, evicted, 0);
+            }
             entries.insert((epoch, key), body.clone());
         }
         body
@@ -201,9 +257,94 @@ impl ResponseCache {
 
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.value(),
+            misses: self.misses.value(),
             entries: self.lock().len(),
+        }
+    }
+}
+
+/// Per-verb request counters and latency histograms, registered once at
+/// [`serve`] from the backend's [`Telemetry`] and shared by every
+/// connection in both modes. Counting and timing are gated on
+/// [`Telemetry::enabled`], so an uninstrumented backend pays one branch
+/// per request.
+#[derive(Debug)]
+struct WireMetrics {
+    tel: Telemetry,
+    /// `(requests, latency_us)` handles, indexed parallel to [`VERBS`].
+    verbs: Vec<(Counter, Histogram)>,
+}
+
+/// Verbs with dedicated wire metrics; the trailing `other` slot absorbs
+/// unknown commands and unknown opcodes. Labels are lowercase to match
+/// exposition convention.
+const VERBS: [&str; 13] = [
+    "epoch", "coreness", "members", "subgraph", "hist", "topk", "health", "hello", "metrics",
+    "events", "quit", "shutdown", "other",
+];
+
+impl WireMetrics {
+    fn register(tel: &Telemetry) -> Self {
+        let r = tel.registry();
+        let verbs = VERBS
+            .iter()
+            .map(|v| {
+                (
+                    r.counter("serve.wire.requests", &[("verb", v)]),
+                    r.histogram("serve.wire.latency_us", &[("verb", v)]),
+                )
+            })
+            .collect();
+        WireMetrics {
+            tel: tel.clone(),
+            verbs,
+        }
+    }
+
+    /// Index of an uppercased text verb (`other` slot when unknown).
+    fn verb_index(verb: &str) -> usize {
+        VERBS
+            .iter()
+            .position(|v| verb.eq_ignore_ascii_case(v))
+            .unwrap_or(VERBS.len() - 1)
+    }
+
+    /// Index of a binary opcode (`other` slot when unknown).
+    fn opcode_index(opcode: u8) -> usize {
+        match opcode {
+            OP_EPOCH => 0,
+            OP_CORENESS => 1,
+            OP_MEMBERS => 2,
+            OP_SUBGRAPH => 3,
+            OP_HIST => 4,
+            OP_TOPK => 5,
+            OP_HEALTH => 6,
+            OP_QUIT => 10,
+            OP_METRICS => 8,
+            OP_EVENTS => 9,
+            _ => VERBS.len() - 1,
+        }
+    }
+
+    /// Counts one request and starts its latency clock. `None` (skip
+    /// timing) when the backend is uninstrumented.
+    fn start(&self, idx: usize) -> Option<(usize, Instant)> {
+        if !self.tel.enabled() {
+            return None;
+        }
+        self.verbs[idx].0.inc();
+        Some((idx, Instant::now()))
+    }
+
+    /// Records the latency for a request started with
+    /// [`start`](Self::start). Early-returning verbs (`QUIT`,
+    /// `SHUTDOWN`, the `HELLO BINARY` upgrade) skip this — their
+    /// request counter already ticked and their latency is not
+    /// meaningful.
+    fn finish(&self, timer: Option<(usize, Instant)>) {
+        if let Some((idx, t0)) = timer {
+            self.verbs[idx].1.record(t0.elapsed().as_micros() as u64);
         }
     }
 }
@@ -242,7 +383,9 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let cache = Arc::new(ResponseCache::default());
+    let tel = handle.telemetry();
+    let cache = Arc::new(ResponseCache::new(&tel));
+    let wire_metrics = Arc::new(WireMetrics::register(&tel));
     let accept_stop = stop.clone();
     let accept_cache = cache.clone();
     let accept_thread = std::thread::spawn(move || {
@@ -254,6 +397,7 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
             let handle = handle.clone();
             let stop = accept_stop.clone();
             let cache = accept_cache.clone();
+            let wire_metrics = wire_metrics.clone();
             // Builder::spawn (not thread::spawn): a spawn failure under
             // fd/thread exhaustion must drop this connection, not panic
             // the accept loop and silently wedge the listener.
@@ -266,7 +410,7 @@ pub fn serve<S: SnapshotSource, A: ToSocketAddrs>(handle: S, addr: A) -> io::Res
                     // each request pins its own immutable snapshot. The
                     // payload is logged so the bug is debuggable.
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        let _ = serve_connection(stream, &handle, &stop, &cache);
+                        let _ = serve_connection(stream, &handle, &stop, &cache, &wire_metrics);
                     }));
                     if let Err(payload) = result {
                         let msg = payload
@@ -358,6 +502,7 @@ fn serve_connection<S: SnapshotSource>(
     handle: &S,
     stop: &Arc<AtomicBool>,
     cache: &ResponseCache,
+    wire: &WireMetrics,
 ) -> io::Result<()> {
     let peer_addr = stream.local_addr()?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
@@ -391,6 +536,7 @@ fn serve_connection<S: SnapshotSource>(
         let mut parts = request.split_ascii_whitespace();
         let verb = parts.next().unwrap_or("").to_ascii_uppercase();
         let args: Vec<&str> = parts.collect();
+        let timer = wire.start(WireMetrics::verb_index(&verb));
         match verb.as_str() {
             "QUIT" => {
                 writeln!(writer, "OK bye")?;
@@ -422,6 +568,36 @@ fn serve_connection<S: SnapshotSource>(
                     None => writeln!(writer, "OK epoch={} {}", h.epoch, h.status_line())?,
                 }
             }
+            // Exposition verbs read live telemetry state, not a pinned
+            // snapshot, so — like HEALTH — they bypass the response
+            // cache (caching them would also freeze the very counters
+            // they report).
+            "METRICS" => {
+                let text = wire.tel.render_prometheus();
+                writeln!(
+                    writer,
+                    "OK epoch={} lines={}",
+                    handle.epoch(),
+                    text.lines().count()
+                )?;
+                writer.write_all(text.as_bytes())?;
+            }
+            "EVENTS" => match parse_events_args(&args) {
+                Ok((since, limit)) => {
+                    let events = wire.tel.events_since(since, limit);
+                    let last = events.last().map_or(since, |e| e.seq);
+                    writeln!(
+                        writer,
+                        "OK epoch={} count={} last={last}",
+                        handle.epoch(),
+                        events.len()
+                    )?;
+                    for e in &events {
+                        writeln!(writer, "{}", e.render())?;
+                    }
+                }
+                Err(e) => writeln!(writer, "ERR {e}")?,
+            },
             // Mode negotiation is connection-level state, not a query.
             "HELLO" => match args.first().map(|m| m.to_ascii_uppercase()).as_deref() {
                 None => writeln!(
@@ -433,7 +609,7 @@ fn serve_connection<S: SnapshotSource>(
                 Some("BINARY") => {
                     writeln!(writer, "OK proto=2 mode=binary")?;
                     writer.flush()?;
-                    return serve_binary(&mut reader, &mut writer, handle, stop, cache);
+                    return serve_binary(&mut reader, &mut writer, handle, stop, cache, wire);
                 }
                 Some(other) => {
                     writeln!(
@@ -460,6 +636,7 @@ fn serve_connection<S: SnapshotSource>(
                 writer.write_all(&body)?;
             }
         }
+        wire.finish(timer);
         writer.flush()?;
     }
 }
@@ -588,7 +765,7 @@ fn answer_text<V: CoreScan + ?Sized>(verb: &str, args: &[&str], snap: &V) -> Str
         other => {
             let _ = writeln!(
                 out,
-                "ERR unknown command {other:?}; known: HELLO EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK HEALTH QUIT SHUTDOWN"
+                "ERR unknown command {other:?}; known: HELLO EPOCH CORENESS MEMBERS SUBGRAPH HIST TOPK HEALTH METRICS EVENTS QUIT SHUTDOWN"
             );
         }
     }
@@ -632,6 +809,32 @@ fn parse_members_args(args: &[&str]) -> Result<(u32, Option<(usize, usize)>), St
         return Ok((k, None));
     }
     Ok((k, Some((offset.unwrap_or(0), limit.unwrap_or(usize::MAX)))))
+}
+
+/// Parses `EVENTS [SINCE <s>] [LIMIT <n>]`. Defaults replay the whole
+/// retained window: everything after seq 0, no count bound.
+fn parse_events_args(args: &[&str]) -> Result<(u64, usize), String> {
+    let mut since = 0u64;
+    let mut limit = usize::MAX;
+    let mut rest = args.iter();
+    while let Some(tok) = rest.next() {
+        if !tok.eq_ignore_ascii_case("SINCE") && !tok.eq_ignore_ascii_case("LIMIT") {
+            return Err(format!("EVENTS: unexpected argument {tok:?}"));
+        }
+        let val = rest
+            .next()
+            .ok_or_else(|| format!("{} requires an argument", tok.to_ascii_uppercase()))?;
+        if tok.eq_ignore_ascii_case("SINCE") {
+            since = val
+                .parse::<u64>()
+                .map_err(|_| format!("SINCE: {val:?} is not a number"))?;
+        } else {
+            limit = val
+                .parse::<usize>()
+                .map_err(|_| format!("LIMIT: {val:?} is not a number"))?;
+        }
+    }
+    Ok((since, limit))
 }
 
 /// Parses `TOPK <n> [OFFSET <o>]`; like `MEMBERS`, the offset's
@@ -720,6 +923,7 @@ fn serve_binary<S: SnapshotSource>(
     handle: &S,
     stop: &AtomicBool,
     cache: &ResponseCache,
+    wire: &WireMetrics,
 ) -> io::Result<()> {
     let mut len_buf = [0u8; 4];
     let mut frame = Vec::new();
@@ -741,6 +945,7 @@ fn serve_binary<S: SnapshotSource>(
         let req_id = u32::from_le_bytes(frame[0..4].try_into().expect("sliced 4 bytes"));
         let opcode = frame[4];
         let args = &frame[5..];
+        let timer = wire.start(WireMetrics::opcode_index(opcode));
         match opcode {
             OP_QUIT => {
                 let body = encode_body(0, handle.epoch(), &[]);
@@ -755,6 +960,39 @@ fn serve_binary<S: SnapshotSource>(
                     None => h.status_line(),
                 };
                 let body = encode_body(0, h.epoch, line.as_bytes());
+                write_frame(writer, req_id, &body)?;
+            }
+            // Exposition opcodes mirror the text verbs: live telemetry
+            // state as a UTF-8 payload, uncached.
+            OP_METRICS => {
+                let body = if args.is_empty() {
+                    let text = wire.tel.render_prometheus();
+                    encode_body(0, handle.epoch(), text.as_bytes())
+                } else {
+                    let msg = format!("{} trailing bytes after arguments", args.len());
+                    encode_body(1, handle.epoch(), msg.as_bytes())
+                };
+                write_frame(writer, req_id, &body)?;
+            }
+            OP_EVENTS => {
+                let mut cur = Decoder { buf: args, at: 0 };
+                let parsed = cur.u64().and_then(|since| {
+                    let limit = cur.u64()?;
+                    cur.finish()?;
+                    Ok((since, limit))
+                });
+                let body = match parsed {
+                    Ok((since, limit)) => {
+                        let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+                        let events = wire.tel.events_since(since, limit);
+                        let mut text = String::new();
+                        for e in &events {
+                            let _ = writeln!(text, "{}", e.render());
+                        }
+                        encode_body(0, handle.epoch(), text.as_bytes())
+                    }
+                    Err(msg) => encode_body(1, handle.epoch(), msg.as_bytes()),
+                };
                 write_frame(writer, req_id, &body)?;
             }
             _ => {
@@ -778,6 +1016,7 @@ fn serve_binary<S: SnapshotSource>(
                 write_frame(writer, req_id, &body)?;
             }
         }
+        wire.finish(timer);
         writer.flush()?;
     }
 }
@@ -1085,6 +1324,58 @@ impl WireClient {
         Ok(lines)
     }
 
+    /// Sends `METRICS` and returns all response lines, header first
+    /// (`OK epoch=<e> lines=<n>` plus `n` Prometheus-style lines).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, including an unexpected EOF mid-body.
+    pub fn request_metrics(&mut self) -> io::Result<Vec<String>> {
+        self.request_block("METRICS", "lines=")
+    }
+
+    /// Sends `EVENTS [SINCE since] [LIMIT limit]` and returns all
+    /// response lines, header first (`OK epoch=<e> count=<c> last=<s>`
+    /// plus `c` rendered event lines). Pass `since = 0` and
+    /// `limit = None` to replay the whole retained window.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, including an unexpected EOF mid-body.
+    pub fn request_events(&mut self, since: u64, limit: Option<u64>) -> io::Result<Vec<String>> {
+        let command = match limit {
+            Some(l) => format!("EVENTS SINCE {since} LIMIT {l}"),
+            None => format!("EVENTS SINCE {since}"),
+        };
+        self.request_block(&command, "count=")
+    }
+
+    /// Sends `command` and reads a header line plus, when the header is
+    /// `OK`, the number of follow-up lines announced by its
+    /// `<count_field><n>` token. Returns all lines, header first.
+    fn request_block(&mut self, command: &str, count_field: &str) -> io::Result<Vec<String>> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        let header = self.read_line()?;
+        let mut lines = vec![header.clone()];
+        if header.starts_with("OK") {
+            let count: usize = header
+                .split_ascii_whitespace()
+                .find_map(|t| t.strip_prefix(count_field))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed header for {command:?}"),
+                    )
+                })?;
+            for _ in 0..count {
+                lines.push(self.read_line()?);
+            }
+        }
+        Ok(lines)
+    }
+
     /// Negotiates the binary framed mode (`HELLO BINARY`) and returns a
     /// [`BinaryWireClient`] over the same connection.
     ///
@@ -1154,6 +1445,18 @@ pub enum BinRequest {
     },
     /// Live writer health (not served from a pinned snapshot).
     Health,
+    /// Prometheus-style metrics exposition (UTF-8 payload, live state).
+    Metrics,
+    /// Flight-recorder replay: events after `since`, at most `limit`
+    /// (`u64::MAX` = unbounded), one rendered line each in the UTF-8
+    /// payload.
+    Events {
+        /// Replay events with sequence numbers strictly greater than
+        /// this.
+        since: u64,
+        /// Maximum events to return.
+        limit: u64,
+    },
     /// Close the connection after an empty `OK` acknowledgement.
     Quit,
 }
@@ -1183,6 +1486,12 @@ impl BinRequest {
                 put_u64(buf, offset);
             }
             BinRequest::Health => buf.push(OP_HEALTH),
+            BinRequest::Metrics => buf.push(OP_METRICS),
+            BinRequest::Events { since, limit } => {
+                buf.push(OP_EVENTS);
+                put_u64(buf, since);
+                put_u64(buf, limit);
+            }
             BinRequest::Quit => buf.push(OP_QUIT),
         }
     }
@@ -1892,5 +2201,140 @@ mod tests {
         assert_eq!(r1.members(), r2.members());
         let binned = server.cache_stats();
         assert!(binned.hits > flipped.hits);
+    }
+
+    #[test]
+    fn metrics_and_events_expose_live_telemetry_over_text() {
+        let (_svc, server) = service_on_cycle();
+        let mut c = WireClient::connect(server.local_addr()).unwrap();
+        c.request("EPOCH").unwrap(); // tick one per-verb counter + a cache miss
+
+        let lines = c.request_metrics().unwrap();
+        let header = &lines[0];
+        assert!(header.starts_with("OK epoch=1 lines="), "{header}");
+        assert_eq!(
+            lines.len() - 1,
+            header
+                .split_ascii_whitespace()
+                .find_map(|t| t.strip_prefix("lines="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap(),
+            "header announces the exact body length"
+        );
+        let body = lines[1..].join("\n");
+        // One exposition covers the whole stack: publish path, wire
+        // per-verb counters, and cache counters from the same registry.
+        assert!(body.contains("serve_publish_batches 1"), "{body}");
+        assert!(
+            body.contains("serve_wire_requests{verb=\"epoch\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("serve_wire_cache_misses 1"), "{body}");
+
+        // The flight recorder holds the batch-applied/epoch-published
+        // pair from the one publish; SINCE and LIMIT page through it.
+        let all = c.request_events(0, None).unwrap();
+        assert!(
+            all[0].starts_with("OK epoch=1 count=2 last=2"),
+            "{:?}",
+            all[0]
+        );
+        assert!(
+            all[1].contains("kind=batch-applied shard=0 epoch=1"),
+            "{:?}",
+            all[1]
+        );
+        assert!(
+            all[2].contains("kind=epoch-published shard=0 epoch=1"),
+            "{:?}",
+            all[2]
+        );
+        let page = c.request_events(0, Some(1)).unwrap();
+        assert!(
+            page[0].starts_with("OK epoch=1 count=1 last=1"),
+            "{:?}",
+            page[0]
+        );
+        let rest = c.request_events(1, None).unwrap();
+        assert!(
+            rest[0].starts_with("OK epoch=1 count=1 last=2"),
+            "{:?}",
+            rest[0]
+        );
+        assert_eq!(rest[1], all[2], "cursor-style resume replays the tail");
+        let empty = c.request_events(2, None).unwrap();
+        assert_eq!(empty[0], "OK epoch=1 count=0 last=2".to_string());
+
+        // Malformed arguments earn ERR and the connection stays open.
+        assert!(c
+            .request("EVENTS SINCE")
+            .unwrap()
+            .starts_with("ERR SINCE requires an argument"));
+        assert!(c
+            .request("EVENTS BOGUS 3")
+            .unwrap()
+            .starts_with("ERR EVENTS: unexpected argument"));
+        assert!(c.request("EPOCH").unwrap().starts_with("OK epoch=1"));
+    }
+
+    #[test]
+    fn binary_metrics_and_events_mirror_the_text_verbs() {
+        let (_svc, server) = service_on_cycle();
+        let mut bin = WireClient::connect(server.local_addr())
+            .unwrap()
+            .into_binary()
+            .unwrap();
+
+        let m = bin.roundtrip(&BinRequest::Metrics).unwrap();
+        assert!(m.ok);
+        assert_eq!(m.epoch, 1);
+        let text = m.text().unwrap();
+        assert!(
+            text.contains("# TYPE serve_wire_requests counter"),
+            "{text}"
+        );
+        assert!(text.contains("serve_publish_batches 1"), "{text}");
+
+        let all = bin
+            .roundtrip(&BinRequest::Events {
+                since: 0,
+                limit: u64::MAX,
+            })
+            .unwrap();
+        assert!(all.ok);
+        let body = all.text().unwrap();
+        assert_eq!(body.lines().count(), 2, "{body}");
+        assert!(body.lines().all(|l| l.starts_with("seq=")), "{body}");
+        assert!(body.contains("kind=batch-applied"), "{body}");
+
+        // SINCE paging matches the text semantics.
+        let tail = bin
+            .roundtrip(&BinRequest::Events {
+                since: 1,
+                limit: u64::MAX,
+            })
+            .unwrap();
+        assert_eq!(tail.text().unwrap().lines().count(), 1);
+        let limited = bin
+            .roundtrip(&BinRequest::Events { since: 0, limit: 1 })
+            .unwrap();
+        assert!(limited.text().unwrap().contains("seq=1 "));
+
+        // A truncated EVENTS frame is an ERR response, not a dropped
+        // connection.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&99u32.to_le_bytes());
+        payload.push(OP_EVENTS);
+        put_u64(&mut payload, 0); // missing the limit argument
+        bin.writer
+            .write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes())
+            .unwrap();
+        bin.writer.write_all(&payload).unwrap();
+        bin.writer.flush().unwrap();
+        let err = bin.recv().unwrap();
+        assert!(!err.ok);
+        assert_eq!(err.req_id, 99);
+        assert!(err.text().unwrap().contains("truncated frame"));
+        assert!(bin.roundtrip(&BinRequest::Epoch).unwrap().ok);
     }
 }
