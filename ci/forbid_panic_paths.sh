@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Static gate: no new panic sites on the serving request paths.
+#
+# The wire front end and the sharded writer must degrade or return
+# protocol errors instead of panicking: a panic in a request handler
+# tears down a client connection, and one in the writer kills a primary
+# (exercising failover for the wrong reason). This check scans the
+# non-test regions of the gated files for `unwrap()` / `expect(` /
+# `panic!` / `unreachable!` / `todo!` / `unimplemented!` and fails on
+# any site not in ci/panic_allowlist.txt.
+#
+# The allowlist pins the *reviewed* sites (each is an invariant the
+# surrounding code establishes — slicing a frame that was just length-
+# checked, looking up a slot that was just range-checked). Entries are
+# `<file>:<trimmed source line>` so they survive unrelated line drift;
+# genuinely new panic sites need a new entry, which makes them visible
+# in review. Removing a site leaves a stale entry: the check fails on
+# that too, so the list can only shrink in step with the code.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GATED_FILES=(crates/serve/src/wire.rs crates/serve/src/sharded.rs)
+ALLOWLIST=ci/panic_allowlist.txt
+PATTERN='unwrap\(\)|expect\(|panic!|unreachable!|todo!|unimplemented!'
+
+found=$(mktemp)
+trap 'rm -f "$found"' EXIT
+
+for f in "${GATED_FILES[@]}"; do
+  # Only the shipped request path: stop at the test module.
+  end=$(grep -nE '^mod tests|^#\[cfg\(test\)\]' "$f" | head -1 | cut -d: -f1)
+  end=${end:-$(wc -l < "$f")}
+  sed -n "1,${end}p" "$f" \
+    | grep -E "$PATTERN" \
+    | sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//' \
+    | sed "s|^|$f:|" >> "$found" || true
+done
+
+status=0
+
+# New panic sites: found but not allowlisted.
+while IFS= read -r site; do
+  if ! grep -qxF "$site" "$ALLOWLIST"; then
+    echo "error: new panic site on a request path (add error handling, or review + allowlist):"
+    echo "  $site"
+    status=1
+  fi
+done < "$found"
+
+# Stale allowlist entries: allowlisted but no longer in the code.
+while IFS= read -r entry; do
+  case "$entry" in ''|'#'*) continue ;; esac
+  if ! grep -qxF "$entry" "$found"; then
+    echo "error: stale allowlist entry (site removed — drop it from $ALLOWLIST):"
+    echo "  $entry"
+    status=1
+  fi
+done < "$ALLOWLIST"
+
+if [ "$status" -eq 0 ]; then
+  echo "panic-path audit clean: $(grep -cvE '^$|^#' "$ALLOWLIST") reviewed sites, no new ones"
+fi
+exit "$status"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Static gate: the workspace stays safe Rust, auditable at a glance.
+#
+# Two rules:
+#
+# 1. Every crate root (`lib.rs` under crates/ or the facade src/) must
+#    carry `#![forbid(unsafe_code)]` — forbid, not deny, so a stray
+#    `#[allow(unsafe_code)]` cannot reopen the door lower down.
+# 2. If an `unsafe` block ever does land (behind a deliberate removal of
+#    the forbid), it must carry a `// SAFETY:` comment on the same or an
+#    immediately preceding line stating the invariant that makes it
+#    sound. Today the workspace has zero unsafe blocks; this rule exists
+#    so the audit stays meaningful the day that changes.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+while IFS= read -r f; do
+  if ! grep -q 'forbid(unsafe_code)' "$f"; then
+    echo "error: $f: crate root missing #![forbid(unsafe_code)]"
+    status=1
+  fi
+done < <(find crates src -name lib.rs -not -path '*/target/*')
+
+# Scan for unsafe blocks/fns/impls (not the word in comments or strings:
+# require it as a code token at the start of an expression or item).
+while IFS=: read -r file line text; do
+  # Skip comment lines mentioning unsafe prose.
+  trimmed="${text#"${text%%[![:space:]]*}"}"
+  case "$trimmed" in '//'*) continue ;; esac
+  ctx=$(sed -n "$((line > 1 ? line - 1 : 1)),${line}p" "$file")
+  if ! printf '%s\n' "$ctx" | grep -q '// SAFETY:'; then
+    echo "error: $file:$line: unsafe without a // SAFETY: comment"
+    echo "  $trimmed"
+    status=1
+  fi
+done < <(grep -rn --include='*.rs' -E '(^|[^a-zA-Z_"])unsafe([[:space:]]*\{|[[:space:]]+(fn|impl|trait))' crates/ src/ || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "unsafe audit clean: every crate root forbids unsafe_code, no unannotated unsafe"
+fi
+exit "$status"

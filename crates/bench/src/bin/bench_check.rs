@@ -62,7 +62,7 @@ fn main() -> ExitCode {
             parse_document(&read(baseline_path)).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
         let fresh =
             parse_document(&read(fresh_path)).unwrap_or_else(|e| panic!("{fresh_path}: {e}"));
-        let comparisons = compare_docs(&baseline, &fresh, threshold)
+        let comparisons = compare_docs(&baseline, baseline_path, &fresh, threshold)
             .unwrap_or_else(|e| panic!("{baseline_path} vs {fresh_path}: {e}"));
         let describe = |c: Option<f64>| c.map_or("?".to_string(), |v| format!("{v:.0}"));
         print!(

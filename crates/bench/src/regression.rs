@@ -86,10 +86,13 @@ pub struct Comparison {
     /// The row contains a timing below [`MIN_GATED_MS`]: too fast to
     /// measure reliably, so it can never regress the build.
     pub too_fast: bool,
-    /// The metric is machine-scaling ([`SCALING_METRIC_PREFIXES`]) and the
-    /// baseline was recorded on a materially different core count:
-    /// reported as a soft warning, never gated.
-    pub machine_mismatch: bool,
+    /// `Some(note)` when the metric is machine-scaling
+    /// ([`SCALING_METRIC_PREFIXES`]) and the baseline was recorded on a
+    /// materially different core count: reported as a soft warning,
+    /// never gated. The note names the offending baseline document and
+    /// both core counts so the table is actionable without re-opening
+    /// the JSON files.
+    pub machine_mismatch: Option<String>,
 }
 
 /// Extracts the `results` rows from a benchmark JSON document.
@@ -245,7 +248,7 @@ pub fn compare(
                 delta,
                 regressed: !too_fast && delta < -threshold,
                 too_fast,
-                machine_mismatch: false,
+                machine_mismatch: None,
             });
         }
     }
@@ -258,7 +261,8 @@ pub fn compare(
 /// [`compare`], plus the machine-scaling rule: metrics named with the
 /// [`SCALING_METRIC_PREFIXES`] gate only when the two documents were
 /// recorded on comparable core counts ([`cores_differ_materially`]);
-/// otherwise they are downgraded to soft warnings. This keeps a
+/// otherwise they are downgraded to soft warnings naming
+/// `baseline_name` and both core counts. This keeps a
 /// 1-core-container baseline (an oversubscription floor, as the PR 4
 /// ROADMAP note records) from failing runs on real multi-core machines
 /// — and vice versa.
@@ -268,17 +272,25 @@ pub fn compare(
 /// Propagates [`compare`]'s errors.
 pub fn compare_docs(
     baseline: &BenchDoc,
+    baseline_name: &str,
     fresh: &BenchDoc,
     threshold: f64,
 ) -> Result<Vec<Comparison>, String> {
     let mut out = compare(&baseline.rows, &fresh.rows, threshold)?;
     if cores_differ_materially(baseline.cores, fresh.cores) {
+        let describe =
+            |c: Option<f64>| c.map_or_else(|| "unrecorded".to_string(), |v| format!("{v:.0}"));
+        let note = format!(
+            "baseline {baseline_name} has cores {}, this machine has cores {}",
+            describe(baseline.cores),
+            describe(fresh.cores)
+        );
         for c in &mut out {
             if SCALING_METRIC_PREFIXES
                 .iter()
                 .any(|p| c.metric.starts_with(p))
             {
-                c.machine_mismatch = true;
+                c.machine_mismatch = Some(note.clone());
                 c.regressed = false;
             }
         }
@@ -301,23 +313,23 @@ pub fn render_table(label: &str, comparisons: &[Comparison], threshold: f64) -> 
         "graph", "metric", "baseline", "fresh", "delta"
     );
     for c in comparisons {
+        let status = if c.regressed {
+            "REGRESSED".to_string()
+        } else if let Some(note) = &c.machine_mismatch {
+            format!("warn (core counts differ: {note}; scaling not gated)")
+        } else if c.too_fast {
+            "ok (sub-ms, not gated)".to_string()
+        } else {
+            "ok".to_string()
+        };
         let _ = writeln!(
             s,
-            "  {:<28} {:<14} {:>8.2}x {:>8.2}x {:>+7.1}%  {}",
+            "  {:<28} {:<14} {:>8.2}x {:>8.2}x {:>+7.1}%  {status}",
             c.graph,
             c.metric,
             c.baseline,
             c.fresh,
             c.delta * 100.0,
-            if c.regressed {
-                "REGRESSED"
-            } else if c.machine_mismatch {
-                "warn (core counts differ, scaling not gated)"
-            } else if c.too_fast {
-                "ok (sub-ms, not gated)"
-            } else {
-                "ok"
-            },
         );
     }
     s
@@ -485,22 +497,57 @@ mod tests {
         let mut fresh = parse_document(&fresh_json).unwrap();
         *fresh.rows[1].numbers.get_mut("speedup_readers").unwrap() = 0.6; // -65%
         *fresh.rows[1].numbers.get_mut("speedup_publish").unwrap() = 2.0; // -67%
-        let cmp = compare_docs(&base, &fresh, 0.2).unwrap();
+        let cmp = compare_docs(&base, "BENCH_SCALE.quick.json", &fresh, 0.2).unwrap();
         let readers = cmp
             .iter()
             .find(|c| c.graph == "serve/readers8" && c.metric == "speedup_readers")
             .unwrap();
-        assert!(readers.machine_mismatch);
+        assert!(readers.machine_mismatch.is_some());
         assert!(
             !readers.regressed,
             "scaling row must not gate across machines"
         );
         let publish = cmp.iter().find(|c| c.metric == "speedup_publish").unwrap();
-        assert!(!publish.machine_mismatch, "ordinary ratios still gate");
+        assert!(
+            publish.machine_mismatch.is_none(),
+            "ordinary ratios still gate"
+        );
         assert!(publish.regressed);
-        // Rendered table spells the downgrade out.
+        // The rendered warning names the offending baseline document and
+        // both core counts, so the table is actionable on its own.
         let table = render_table("BENCH_SCALE", &cmp, 0.2);
         assert!(table.contains("core counts differ"), "{table}");
+        assert!(
+            table.contains("baseline BENCH_SCALE.quick.json has cores 1, this machine has cores 8"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn mismatch_note_spells_out_an_unrecorded_baseline() {
+        // An old baseline without the "cores" field: the warning must say
+        // so rather than imply a numeric mismatch.
+        let base = parse_document(DOC).unwrap();
+        let fresh_rows = parse_document(DOC).unwrap().rows;
+        let mut fresh = BenchDoc {
+            cores: Some(8.0),
+            rows: fresh_rows,
+        };
+        fresh.rows[0]
+            .numbers
+            .insert("speedup_readers".to_string(), 1.0);
+        let mut base = base;
+        base.rows[0]
+            .numbers
+            .insert("speedup_readers".to_string(), 2.0);
+        let cmp = compare_docs(&base, "old_baseline.json", &fresh, 0.2).unwrap();
+        let readers = cmp.iter().find(|c| c.metric == "speedup_readers").unwrap();
+        let note = readers.machine_mismatch.as_deref().unwrap();
+        assert!(
+            note.contains("old_baseline.json has cores unrecorded"),
+            "{note}"
+        );
+        assert!(note.contains("this machine has cores 8"), "{note}");
     }
 
     #[test]
@@ -508,12 +555,12 @@ mod tests {
         let base = parse_document(SCALING_DOC).unwrap();
         let mut fresh = parse_document(SCALING_DOC).unwrap();
         *fresh.rows[1].numbers.get_mut("speedup_readers").unwrap() = 0.6;
-        let cmp = compare_docs(&base, &fresh, 0.2).unwrap();
+        let cmp = compare_docs(&base, "BENCH_SCALE.quick.json", &fresh, 0.2).unwrap();
         let readers = cmp
             .iter()
             .find(|c| c.metric == "speedup_readers" && c.graph == "serve/readers8")
             .unwrap();
-        assert!(!readers.machine_mismatch);
+        assert!(readers.machine_mismatch.is_none());
         assert!(readers.regressed, "same core count: the ratio gates");
     }
 

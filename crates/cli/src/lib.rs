@@ -11,6 +11,7 @@
 //! dkcore serve     <input> [--port P] [...]        query service over churning graph
 //! dkcore query     --port P <command> [...]        query a running service
 //! dkcore generate  <analog> --nodes N [...]        emit a synthetic dataset
+//! dkcore model-check [--scenario S] [...]          exhaustively check the machines
 //! ```
 //!
 //! `<input>` is either a path to a SNAP-style edge list or `analog:NAME`
@@ -91,6 +92,8 @@ USAGE:
                              epoch | health [--json] | metrics |
                              events [since S] [limit N] | shutdown>
   dkcore generate  <analog> --nodes N [--seed S] [--out FILE]
+  dkcore model-check [--scenario node|host|publish|all] [--max-states N]
+                     [--max-depth D]
   dkcore list-analogs
   dkcore help
 
@@ -136,6 +139,17 @@ OBSERVABILITY:
   `--events-capacity N` sizes the recorder ring (default 1024); serve
   echoes failover/degradation/revive events to stderr as they happen,
   sourced from the same recorder.
+
+MODEL CHECK:
+  exhaustively explores the pure protocol state machines (dkcore-model)
+  on small fixed instances, checking the paper's safety properties on
+  every reachable interleaving: Theorem-2 lower bounds and monotone
+  estimates for the one-to-one and one-to-many protocols, and epoch
+  monotonicity / atomic-flip consistency / no-lost-acked-batch for the
+  sharded publish+failover pipeline. Exit is nonzero with a minimal
+  counterexample trace (flight-recorder format) on any violation;
+  instances that exceed --max-states are reported as `capped`, not
+  failures. `--scenario` picks one machine family (default: all).
 ";
 
 /// Resolves an `<input>` argument into a graph.
@@ -1042,6 +1056,137 @@ pub fn cmd_list_analogs<W: Write>(out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dkcore model-check`: exhaustive bounded exploration of the protocol
+/// state machines on small fixed instances.
+///
+/// Runs every instance of the selected scenario family through the
+/// `dkcore-model` explorer (BFS, so any counterexample is minimal) and
+/// prints one summary row per instance. Instances that exhaust their
+/// reachable state space within the caps are `proved`; instances that
+/// hit `--max-states`/`--max-depth` are `capped` (a bounded sweep, not a
+/// proof, and not a failure).
+///
+/// # Errors
+///
+/// Returns [`CliError`] — with the minimal counterexample trace in the
+/// message — if any instance violates an invariant, a step property, or
+/// a terminal condition, and on unknown scenarios or output failures.
+pub fn cmd_model_check<W: Write>(
+    scenario: &str,
+    max_states: usize,
+    max_depth: usize,
+    out: &mut W,
+) -> Result<(), CliError> {
+    use dkcore::machine::{HostNetModel, NodeNetModel};
+    use dkcore::one_to_many::{Assignment, AssignmentPolicy};
+    use dkcore::one_to_one::OneToOneConfig;
+    use dkcore_graph::generators::{complete, path, star};
+    use dkcore_model::{ExploreConfig, Explorer, Report};
+    use dkcore_serve::{PublishModel, PublishScenario};
+
+    if !matches!(scenario, "node" | "host" | "publish" | "all") {
+        return Err(CliError::new(format!(
+            "--scenario: unknown scenario {scenario:?} (node|host|publish|all)"
+        )));
+    }
+    let explorer = Explorer::new(ExploreConfig {
+        max_states,
+        max_depth,
+        ..ExploreConfig::default()
+    });
+    let mut rows: Vec<(String, Report)> = Vec::new();
+
+    if scenario == "node" || scenario == "all" {
+        let cfg = OneToOneConfig::default();
+        for (name, g) in [
+            ("triangle", complete(3)),
+            ("complete4", complete(4)),
+            ("path6", path(6)),
+            ("star5", star(5)),
+        ] {
+            let model = NodeNetModel::new(&g, cfg);
+            rows.push((format!("node/{name}"), explorer.run(&model)));
+        }
+    }
+    if scenario == "host" || scenario == "all" {
+        for (name, g, hosts, policy) in [
+            (
+                "path6/h2/p2p",
+                path(6),
+                2,
+                DisseminationPolicy::PointToPoint,
+            ),
+            ("path6/h2/bcast", path(6), 2, DisseminationPolicy::Broadcast),
+            (
+                "path6/h3/p2p",
+                path(6),
+                3,
+                DisseminationPolicy::PointToPoint,
+            ),
+            ("star4/h3/bcast", star(4), 3, DisseminationPolicy::Broadcast),
+        ] {
+            let assignment = Assignment::new(&g, hosts, &AssignmentPolicy::Modulo);
+            let model = HostNetModel::new(&g, &assignment, policy);
+            rows.push((format!("host/{name}"), explorer.run(&model)));
+        }
+    }
+    if scenario == "publish" || scenario == "all" {
+        for (name, shards, replicas, batches, kills, readers) in [
+            ("1shard", 1, 0, 3, 0, 1),
+            ("failover", 2, 1, 2, 1, 1),
+            ("degraded", 2, 0, 2, 1, 1),
+            ("deep-kills", 2, 2, 2, 2, 1),
+        ] {
+            let model = PublishModel::new(PublishScenario {
+                shards,
+                replicas,
+                batches,
+                kills,
+                readers,
+                ..PublishScenario::default()
+            });
+            rows.push((format!("publish/{name}"), explorer.run(&model)));
+        }
+    }
+
+    let mut t = Table::new([
+        "instance",
+        "states",
+        "transitions",
+        "terminals",
+        "depth",
+        "outcome",
+    ]);
+    let mut violations = Vec::new();
+    for (name, report) in &rows {
+        let outcome = if report.proved() {
+            "proved".to_string()
+        } else if let Some(cx) = report.counterexample() {
+            violations.push(format!("{name}:\n{}", cx.render()));
+            "VIOLATION".to_string()
+        } else {
+            "capped".to_string()
+        };
+        t.row([
+            name.clone(),
+            report.states.to_string(),
+            report.transitions.to_string(),
+            report.terminals.to_string(),
+            report.max_depth_seen.to_string(),
+            outcome,
+        ]);
+    }
+    write!(out, "{t}")?;
+    if !violations.is_empty() {
+        return Err(CliError::new(format!(
+            "model check found {} violation(s):\n\n{}",
+            violations.len(),
+            violations.join("\n\n")
+        )));
+    }
+    Ok(())
+}
+
 /// Parses and dispatches a full argument vector (without the binary
 /// name); the entry point used by the `dkcore` binary.
 ///
@@ -1075,6 +1220,9 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
     let mut json = false;
     let mut wait = true;
     let mut report_json: Option<String> = None;
+    let mut scenario = "all".to_string();
+    let mut max_states = 1_000_000usize;
+    let mut max_depth = 10_000usize;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1163,6 +1311,17 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             }
             "--json" => json = true,
             "--no-wait" => wait = false,
+            "--scenario" => scenario = value("--scenario")?,
+            "--max-states" => {
+                max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|_| CliError::new("--max-states: expected a number"))?
+            }
+            "--max-depth" => {
+                max_depth = value("--max-depth")?
+                    .parse()
+                    .map_err(|_| CliError::new("--max-depth: expected a number"))?
+            }
             "--report-json" => report_json = Some(value("--report-json")?),
             flag if flag.starts_with("--") => {
                 return Err(CliError::new(format!("unknown flag {flag}")))
@@ -1240,6 +1399,7 @@ pub fn dispatch<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> 
             }
             cmd_generate(need_input()?, nodes, seed, &mut sink)
         }
+        "model-check" => cmd_model_check(&scenario, max_states, max_depth, &mut sink),
         "list-analogs" => cmd_list_analogs(&mut sink),
         "help" | "--help" | "-h" => {
             write!(sink, "{USAGE}")?;
@@ -1847,6 +2007,30 @@ mod tests {
         let text = run(&["stats", path_str]).unwrap();
         assert!(text.contains("edges |E|"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn model_check_publish_proves() {
+        let text = run(&["model-check", "--scenario", "publish"]).unwrap();
+        for instance in ["publish/1shard", "publish/failover", "publish/degraded"] {
+            assert!(text.contains(instance), "{instance} missing:\n{text}");
+        }
+        assert!(text.contains("proved"), "{text}");
+        assert!(!text.contains("VIOLATION"), "{text}");
+    }
+
+    #[test]
+    fn model_check_caps_are_reported_not_failed() {
+        let text = run(&["model-check", "--scenario", "node", "--max-states", "50"]).unwrap();
+        assert!(text.contains("capped"), "{text}");
+    }
+
+    #[test]
+    fn model_check_rejects_unknown_scenario() {
+        assert!(run(&["model-check", "--scenario", "quantum"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown scenario"));
     }
 
     #[test]

@@ -57,7 +57,7 @@
 /// Incrementally maintained `computeIndex` value over one node's neighbor
 /// estimates. See the [module documentation](self) for the data structure
 /// and complexity argument.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IncrementalIndex {
     /// `cnt[i]`, `0 ≤ i ≤ cap`: number of neighbors whose estimate,
     /// clamped to `cap`, equals `i`. `cap` is the node's degree (or the

@@ -18,6 +18,10 @@
 //!   behalf, cascading estimate changes *internally* until quiescence
 //!   before disseminating them, either on a broadcast medium or with
 //!   per-destination point-to-point messages.
+//! * [`machine`] — the protocols refactored into pure transition cores
+//!   (`state × action → (state, outputs)`) plus explorable network models
+//!   for the `dkcore-model` bounded checker, which proves the safety and
+//!   convergence theorems exhaustively on tiny instances.
 //! * [`seq`] — sequential baselines: the Batagelj–Zaveršnik `O(m)`
 //!   algorithm (the paper's reference \[3\]) used as ground truth, and a
 //!   naive peeling algorithm for cross-validation.
@@ -57,6 +61,7 @@ mod decomposition;
 mod incremental;
 
 pub mod dynamic;
+pub mod machine;
 pub mod one_to_many;
 pub mod one_to_one;
 pub mod seq;

@@ -1,0 +1,624 @@
+//! Pure transition core of the one-to-many protocol (§3.2) and its
+//! explorable network model.
+
+use dkcore_graph::{Graph, NodeId};
+use dkcore_model::Machine;
+
+use crate::compute_index;
+use crate::one_to_many::{
+    intersect_sorted, Assignment, Destination, DisseminationPolicy, EmulationMode, HostId,
+    HostProtocol, OneToManyConfig, Outgoing,
+};
+use crate::seq::batagelj_zaversnik;
+
+/// The mutable protocol state of Algorithms 3–5 for one host: the
+/// slot-space estimate array (`V(x)` first, then `neighborV(x)`) and the
+/// per-local changed-since-last-flush flags.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HostState {
+    est: Vec<u32>,
+    changed: Vec<bool>,
+}
+
+impl HostState {
+    /// The estimate array in slot space (locals first, then externals).
+    pub fn estimates(&self) -> &[u32] {
+        &self.est
+    }
+
+    /// The per-local changed flags.
+    pub fn changed(&self) -> &[bool] {
+        &self.changed
+    }
+
+    /// Whether any local estimate changed since the last flush.
+    pub fn has_pending_changes(&self) -> bool {
+        self.changed.iter().any(|&c| c)
+    }
+}
+
+/// One atomic event of the one-to-many protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostAction {
+    /// An incoming `⟨S⟩` batch of `(node, estimate)` pairs.
+    Receive(Vec<(NodeId, u32)>),
+    /// The periodic flush of Algorithms 3/5.
+    Flush,
+}
+
+/// The immutable context plus pure transition functions of Algorithms 3–5
+/// for one host: `step(state, action) → (state, outgoing batches)`.
+///
+/// Construction reuses [`HostProtocol`]'s builder (slot spaces, borders,
+/// and the initial `improveEstimate` are shared by construction); the
+/// transitions use the paper's literal sweep-to-fixpoint emulation
+/// (Algorithm 4), which reaches the same fixpoints and sets the same
+/// changed flags as the optimized worklist cascade — the
+/// `machine_conformance` differential suite pins the two step-for-step,
+/// message-for-message.
+#[derive(Debug, Clone)]
+pub struct HostMachine {
+    host: HostId,
+    /// `V(x)`, sorted; slot `i` is `locals[i]`.
+    locals: Vec<NodeId>,
+    /// `neighborV(x) \ V(x)`, sorted; slot `locals.len() + j` is `ext[j]`.
+    ext: Vec<NodeId>,
+    /// Adjacency of local nodes in slot space.
+    adj: Vec<Box<[u32]>>,
+    /// `neighborH(x)`, sorted.
+    neighbor_hosts: Vec<HostId>,
+    /// Per neighbor host: sorted local indices bordering it.
+    border: Vec<Box<[u32]>>,
+    policy: DisseminationPolicy,
+    /// State right after Algorithm 3's initialization (local degrees,
+    /// `+∞` externals, one `improveEstimate` pass; flags set for locals
+    /// the pass lowered).
+    init: HostState,
+}
+
+impl HostMachine {
+    /// Builds the context for `host` under `assignment`, sharing
+    /// [`HostProtocol`]'s construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range for `assignment`.
+    pub fn new(
+        g: &Graph,
+        assignment: &Assignment,
+        host: HostId,
+        policy: DisseminationPolicy,
+    ) -> Self {
+        let proto = HostProtocol::new(
+            g,
+            assignment,
+            host,
+            OneToManyConfig {
+                policy,
+                emulation: EmulationMode::Worklist,
+            },
+        );
+        let (host, locals, ext, adj, neighbor_hosts, border, est, changed) =
+            proto.into_machine_parts();
+        HostMachine {
+            host,
+            locals,
+            ext,
+            adj,
+            neighbor_hosts,
+            border,
+            policy,
+            init: HostState { est, changed },
+        }
+    }
+
+    /// This host's identifier.
+    pub fn id(&self) -> HostId {
+        self.host
+    }
+
+    /// The nodes this host is responsible for (`V(x)`), sorted.
+    pub fn local_nodes(&self) -> &[NodeId] {
+        &self.locals
+    }
+
+    /// The hosts owning at least one neighbor of a local node, sorted.
+    pub fn neighbor_hosts(&self) -> &[HostId] {
+        &self.neighbor_hosts
+    }
+
+    /// The node occupying slot `s` (locals first, then externals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn node_of_slot(&self, s: u32) -> NodeId {
+        let si = s as usize;
+        if si < self.locals.len() {
+            self.locals[si]
+        } else {
+            self.ext[si - self.locals.len()]
+        }
+    }
+
+    /// The state right after Algorithm 3's initialization.
+    pub fn initial_state(&self) -> HostState {
+        self.init.clone()
+    }
+
+    fn slot(&self, v: NodeId) -> Option<usize> {
+        match self.locals.binary_search(&v) {
+            Ok(i) => Some(i),
+            Err(_) => self
+                .ext
+                .binary_search(&v)
+                .ok()
+                .map(|j| self.locals.len() + j),
+        }
+    }
+
+    /// Algorithm 4 (`improveEstimate`), the paper's literal form: full
+    /// sweeps over the locals until no estimate changes.
+    fn settle(&self, s: &mut HostState) {
+        let mut again = true;
+        while again {
+            again = false;
+            for l in 0..self.locals.len() {
+                let cur = s.est[l];
+                let t = compute_index(self.adj[l].iter().map(|&x| s.est[x as usize]), cur);
+                if t < cur {
+                    s.est[l] = t;
+                    s.changed[l] = true;
+                    again = true;
+                }
+            }
+        }
+    }
+
+    /// The `on receive ⟨S⟩` transition, in place: apply every fresher
+    /// pair, then cascade internally to quiescence. Pairs about unknown
+    /// nodes are ignored.
+    pub fn apply_receive<I>(&self, s: &mut HostState, pairs: I)
+    where
+        I: IntoIterator<Item = (NodeId, u32)>,
+    {
+        let mut any = false;
+        for (v, k) in pairs {
+            if let Some(si) = self.slot(v) {
+                if k < s.est[si] {
+                    s.est[si] = k;
+                    if si < self.locals.len() {
+                        s.changed[si] = true;
+                    }
+                    any = true;
+                }
+            }
+        }
+        if any {
+            self.settle(s);
+        }
+    }
+
+    /// The initialization message of Algorithm 3/5, in place: announce the
+    /// initial local estimates (whole set on broadcast, per-destination
+    /// border subsets point-to-point) and clear the flags. Returns
+    /// `(messages, estimate pairs)` emitted.
+    pub fn emit_initial(&self, s: &mut HostState, out: &mut Vec<Outgoing>) -> (u64, u64) {
+        let mut messages = 0u64;
+        let mut estimates = 0u64;
+        match self.policy {
+            DisseminationPolicy::Broadcast => {
+                if !self.locals.is_empty() && !self.neighbor_hosts.is_empty() {
+                    messages = 1;
+                    estimates = self.locals.len() as u64;
+                    out.push(Outgoing {
+                        dest: Destination::AllHosts,
+                        pairs: self
+                            .locals
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &u)| (u, s.est[i]))
+                            .collect(),
+                    });
+                }
+            }
+            DisseminationPolicy::PointToPoint => {
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    if self.border[j].is_empty() {
+                        continue;
+                    }
+                    messages += 1;
+                    estimates += self.border[j].len() as u64;
+                    out.push(Outgoing {
+                        dest: Destination::Host(y),
+                        pairs: self.border[j]
+                            .iter()
+                            .map(|&i| (self.locals[i as usize], s.est[i as usize]))
+                            .collect(),
+                    });
+                }
+            }
+        }
+        s.changed.iter_mut().for_each(|c| *c = false);
+        (messages, estimates)
+    }
+
+    /// The periodic flush of Algorithms 3/5, in place: collect the changed
+    /// locals, clear their flags, and emit the policy's messages. Returns
+    /// `(messages, estimate pairs)` emitted — `(0, 0)` when quiescent.
+    pub fn apply_flush(&self, s: &mut HostState, out: &mut Vec<Outgoing>) -> (u64, u64) {
+        let changed_locals: Vec<u32> = (0..self.locals.len() as u32)
+            .filter(|&i| s.changed[i as usize])
+            .collect();
+        if changed_locals.is_empty() {
+            return (0, 0);
+        }
+        for &i in &changed_locals {
+            s.changed[i as usize] = false;
+        }
+        let mut messages = 0u64;
+        let mut estimates = 0u64;
+        match self.policy {
+            DisseminationPolicy::Broadcast => {
+                messages = 1;
+                estimates = changed_locals.len() as u64;
+                out.push(Outgoing {
+                    dest: Destination::AllHosts,
+                    pairs: changed_locals
+                        .iter()
+                        .map(|&i| (self.locals[i as usize], s.est[i as usize]))
+                        .collect(),
+                });
+            }
+            DisseminationPolicy::PointToPoint => {
+                for (j, &y) in self.neighbor_hosts.iter().enumerate() {
+                    let pairs: Vec<(NodeId, u32)> =
+                        intersect_sorted(&self.border[j], &changed_locals)
+                            .map(|i| (self.locals[i as usize], s.est[i as usize]))
+                            .collect();
+                    if pairs.is_empty() {
+                        continue;
+                    }
+                    messages += 1;
+                    estimates += pairs.len() as u64;
+                    out.push(Outgoing {
+                        dest: Destination::Host(y),
+                        pairs,
+                    });
+                }
+            }
+        }
+        (messages, estimates)
+    }
+
+    /// The pure transition function: the successor of `s` under `a`, plus
+    /// the emitted `⟨S⟩` batches.
+    pub fn step(&self, s: &HostState, a: &HostAction) -> (HostState, Vec<Outgoing>) {
+        let mut next = s.clone();
+        let mut out = Vec::new();
+        match a {
+            HostAction::Receive(pairs) => {
+                self.apply_receive(&mut next, pairs.iter().copied());
+            }
+            HostAction::Flush => {
+                self.apply_flush(&mut next, &mut out);
+            }
+        }
+        (next, out)
+    }
+}
+
+/// Explorable model of a whole one-to-many system: every host's
+/// [`HostState`] plus the multiset of in-flight `⟨S⟩` batches, with
+/// per-batch delivery and per-host flushes as the nondeterministic
+/// actions (a broadcast is one in-flight batch per hearing host, each
+/// delivered independently — hosts hear it at different times).
+///
+/// Checked properties mirror [`NodeNetModel`](super::NodeNetModel):
+/// Theorem 2 safety as a state invariant (every slot ≥ true coreness),
+/// monotone non-increasing estimates per transition, and quiescence ⇒
+/// local estimates ≡ Batagelj–Zaveršnik coreness.
+pub struct HostNetModel {
+    machines: Vec<HostMachine>,
+    truth: Vec<u32>,
+}
+
+impl HostNetModel {
+    /// Builds the model for every host of `assignment`.
+    pub fn new(g: &Graph, assignment: &Assignment, policy: DisseminationPolicy) -> Self {
+        HostNetModel {
+            machines: assignment
+                .hosts()
+                .map(|h| HostMachine::new(g, assignment, h, policy))
+                .collect(),
+            truth: batagelj_zaversnik(g),
+        }
+    }
+
+    /// Expands one outgoing batch from `from` into per-receiver in-flight
+    /// entries (`(to, pairs)` with `NodeId` flattened to raw ids).
+    fn expand(&self, from: usize, m: &Outgoing, inflight: &mut Vec<(u32, Vec<(u32, u32)>)>) {
+        let raw: Vec<(u32, u32)> = m.pairs.iter().map(|&(v, k)| (v.0, k)).collect();
+        match m.dest {
+            Destination::AllHosts => {
+                for h in 0..self.machines.len() {
+                    if h != from {
+                        inflight.push((h as u32, raw.clone()));
+                    }
+                }
+            }
+            Destination::Host(y) => inflight.push((y.index() as u32, raw)),
+        }
+    }
+}
+
+/// Canonical whole-system state of [`HostNetModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HostNetState {
+    hosts: Vec<HostState>,
+    /// In-flight `(to, pairs)` batches, kept sorted: the canonical
+    /// multiset representation required by the [`Machine`] contract.
+    inflight: Vec<(u32, Vec<(u32, u32)>)>,
+}
+
+/// One nondeterministic event of [`HostNetModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostNetAction {
+    /// Deliver one in-flight batch to `to`.
+    Deliver {
+        /// Receiving host.
+        to: u32,
+        /// The `(node, estimate)` pairs carried.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Run one host's periodic flush.
+    Flush {
+        /// The flushing host.
+        host: u32,
+    },
+}
+
+impl Machine for HostNetModel {
+    type State = HostNetState;
+    type Action = HostNetAction;
+
+    fn initial(&self) -> HostNetState {
+        let mut hosts: Vec<HostState> = self.machines.iter().map(|m| m.initial_state()).collect();
+        let mut inflight = Vec::new();
+        for (h, m) in self.machines.iter().enumerate() {
+            let mut out = Vec::new();
+            m.emit_initial(&mut hosts[h], &mut out);
+            for msg in &out {
+                self.expand(h, msg, &mut inflight);
+            }
+        }
+        inflight.sort_unstable();
+        HostNetState { hosts, inflight }
+    }
+
+    fn actions(&self, s: &HostNetState, out: &mut Vec<HostNetAction>) {
+        let mut prev: Option<&(u32, Vec<(u32, u32)>)> = None;
+        for m in &s.inflight {
+            if prev != Some(m) {
+                out.push(HostNetAction::Deliver {
+                    to: m.0,
+                    pairs: m.1.clone(),
+                });
+                prev = Some(m);
+            }
+        }
+        for (h, hs) in s.hosts.iter().enumerate() {
+            if hs.has_pending_changes() {
+                out.push(HostNetAction::Flush { host: h as u32 });
+            }
+        }
+    }
+
+    fn step(&self, s: &HostNetState, a: &HostNetAction) -> HostNetState {
+        let mut next = s.clone();
+        match a {
+            HostNetAction::Deliver { to, pairs } => {
+                let key = (*to, pairs.clone());
+                let pos = next
+                    .inflight
+                    .iter()
+                    .position(|m| *m == key)
+                    .expect("only enabled actions are stepped");
+                next.inflight.remove(pos);
+                self.machines[*to as usize].apply_receive(
+                    &mut next.hosts[*to as usize],
+                    pairs.iter().map(|&(v, k)| (NodeId(v), k)),
+                );
+            }
+            HostNetAction::Flush { host } => {
+                let h = *host as usize;
+                let mut out = Vec::new();
+                self.machines[h].apply_flush(&mut next.hosts[h], &mut out);
+                for msg in &out {
+                    self.expand(h, msg, &mut next.inflight);
+                }
+                next.inflight.sort_unstable();
+            }
+        }
+        next
+    }
+
+    fn invariant(&self, s: &HostNetState) -> Result<(), String> {
+        // Theorem 2 safety, host form: every stored estimate — a local's
+        // own or a heard external value — stays ≥ that node's coreness.
+        for (h, (m, hs)) in self.machines.iter().zip(s.hosts.iter()).enumerate() {
+            for (slot, &e) in hs.estimates().iter().enumerate() {
+                let v = m.node_of_slot(slot as u32);
+                if e < self.truth[v.index()] {
+                    return Err(format!(
+                        "host {h}: est[{v:?}] = {e} below true coreness {}",
+                        self.truth[v.index()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_step(
+        &self,
+        from: &HostNetState,
+        a: &HostNetAction,
+        to: &HostNetState,
+    ) -> Result<(), String> {
+        for (h, (before, after)) in from.hosts.iter().zip(to.hosts.iter()).enumerate() {
+            for (slot, (&b, &x)) in before
+                .estimates()
+                .iter()
+                .zip(after.estimates().iter())
+                .enumerate()
+            {
+                if x > b {
+                    return Err(format!(
+                        "host {h} slot {slot}: estimate rose {b} -> {x} on {a:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, s: &HostNetState) -> Result<(), String> {
+        for (h, (m, hs)) in self.machines.iter().zip(s.hosts.iter()).enumerate() {
+            for (l, &u) in m.local_nodes().iter().enumerate() {
+                let e = hs.estimates()[l];
+                if e != self.truth[u.index()] {
+                    return Err(format!(
+                        "quiescent but host {h} holds est[{u:?}] = {e} instead of coreness {}",
+                        self.truth[u.index()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn render_action(&self, a: &HostNetAction) -> String {
+        match a {
+            HostNetAction::Deliver { to, pairs } => {
+                format!("deliver to={to} pairs={pairs:?}")
+            }
+            HostNetAction::Flush { host } => format!("flush host={host}"),
+        }
+    }
+
+    fn render_state(&self, s: &HostNetState) -> String {
+        let ests: Vec<&[u32]> = s.hosts.iter().map(HostState::estimates).collect();
+        format!("est={ests:?} inflight={}", s.inflight.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_to_many::AssignmentPolicy;
+    use dkcore_graph::generators::{path, star};
+    use dkcore_model::{ExploreConfig, Explorer, Report};
+
+    fn explore(g: &Graph, hosts: usize, policy: DisseminationPolicy) -> Report {
+        let a = Assignment::new(g, hosts, &AssignmentPolicy::Modulo);
+        Explorer::new(ExploreConfig::default()).run(&HostNetModel::new(g, &a, policy))
+    }
+
+    #[test]
+    fn path4_two_hosts_proves_for_both_policies() {
+        for policy in [
+            DisseminationPolicy::Broadcast,
+            DisseminationPolicy::PointToPoint,
+        ] {
+            let report = explore(&path(4), 2, policy);
+            assert!(report.proved(), "{policy:?}: {}", report.summary());
+            assert!(report.terminals > 0);
+        }
+    }
+
+    #[test]
+    fn star4_three_hosts_proves() {
+        let report = explore(&star(4), 3, DisseminationPolicy::PointToPoint);
+        assert!(report.proved(), "{}", report.summary());
+    }
+
+    #[test]
+    fn single_host_settles_at_initialization() {
+        // One host owns everything: internal emulation converges during
+        // construction and nothing is ever in flight.
+        let report = explore(&path(5), 1, DisseminationPolicy::PointToPoint);
+        assert!(report.proved(), "{}", report.summary());
+        assert_eq!(report.states, 1);
+        assert_eq!(report.terminals, 1);
+    }
+
+    #[test]
+    fn figure2_graph_two_hosts_proves() {
+        // The paper's §3.1.1 walkthrough graph at the batch level: with
+        // two hosts the interleaving space is small (internal emulation
+        // settles most of it), and fully proved.
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3), (2, 4)]).unwrap();
+        let report = explore(&g, 2, DisseminationPolicy::PointToPoint);
+        assert!(report.proved(), "{}", report.summary());
+    }
+
+    #[test]
+    #[ignore = "exhaustive tier (CI model-check job): ~75k transitions"]
+    fn figure2_graph_three_hosts_proves_for_both_policies() {
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3), (2, 4)]).unwrap();
+        for policy in [
+            DisseminationPolicy::Broadcast,
+            DisseminationPolicy::PointToPoint,
+        ] {
+            let report = explore(&g, 3, policy);
+            assert!(report.proved(), "{policy:?}: {}", report.summary());
+            assert!(report.states > 5_000, "only {} states", report.states);
+        }
+    }
+
+    #[test]
+    fn machine_flush_matches_protocol_flush_on_a_fixed_trace() {
+        // Quick in-module sanity (the full differential suite lives in
+        // tests/machine_conformance.rs).
+        let g = path(6);
+        let a = Assignment::new(&g, 2, &AssignmentPolicy::Modulo);
+        for policy in [
+            DisseminationPolicy::Broadcast,
+            DisseminationPolicy::PointToPoint,
+        ] {
+            let cfg = OneToManyConfig {
+                policy,
+                emulation: EmulationMode::Worklist,
+            };
+            let mut proto = HostProtocol::new(&g, &a, HostId(0), cfg);
+            let machine = HostMachine::new(&g, &a, HostId(0), policy);
+            let mut state = machine.initial_state();
+
+            let mut out = Vec::new();
+            assert_eq!(machine.emit_initial(&mut state, &mut out).0, {
+                let msgs = proto.initial_flush();
+                assert_eq!(out, msgs);
+                msgs.len() as u64
+            });
+
+            let batch = [(NodeId(1), 1u32), (NodeId(3), 2)];
+            proto.receive(&batch);
+            machine.apply_receive(&mut state, batch.iter().copied());
+            let proto_est: Vec<(NodeId, u32)> = proto.local_estimates().collect();
+            let machine_est: Vec<(NodeId, u32)> = machine
+                .local_nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (u, state.estimates()[i]))
+                .collect();
+            assert_eq!(proto_est, machine_est);
+
+            let mut out = Vec::new();
+            machine.apply_flush(&mut state, &mut out);
+            assert_eq!(out, proto.round_flush());
+        }
+    }
+}

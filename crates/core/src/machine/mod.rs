@@ -1,0 +1,40 @@
+//! Pure transition cores of the protocol state machines, and their
+//! explorable network models.
+//!
+//! The imperative protocol drivers ([`NodeProtocol`] and [`HostProtocol`])
+//! interleave three concerns: the transition logic of the paper's
+//! algorithms, message accounting, and allocation-conscious plumbing
+//! (sinks, scratch buffers, staging arenas). This module factors the
+//! *transition logic* out into explicit `state × action → (state, outputs)`
+//! cores:
+//!
+//! * [`NodeMachine`] — the one-to-one protocol (§3.1, Algorithm 1) over a
+//!   [`NodeState`] (estimate array +
+//!   [`IncrementalIndex`](crate::IncrementalIndex) + changed flag).
+//!   [`NodeProtocol`] is a thin driver over this core, so the two cannot
+//!   diverge by construction.
+//! * [`HostMachine`] — the one-to-many protocol (§3.2, Algorithms 3–5)
+//!   over a [`HostState`] (slot-space estimates + per-local changed
+//!   flags). The optimized [`HostProtocol`] keeps its worklist/
+//!   incremental-index hot path and is pinned step-for-step to this core
+//!   by the `machine_conformance` differential suite; the core itself uses
+//!   the paper's literal sweep-to-fixpoint emulation, which computes the
+//!   same fixpoints and changed flags.
+//!
+//! On top of each core sits a *network model* implementing
+//! [`dkcore_model::Machine`]: the whole system (every node or host, plus
+//! the multiset of in-flight messages) becomes one canonical, hashable
+//! state, and the bounded explorer enumerates **every** delivery and flush
+//! interleaving on tiny instances, checking the paper's safety and
+//! convergence theorems exhaustively (see [`NodeNetModel`] and
+//! [`HostNetModel`], and the property table in the `dkcore_model` crate
+//! docs).
+//!
+//! [`NodeProtocol`]: crate::one_to_one::NodeProtocol
+//! [`HostProtocol`]: crate::one_to_many::HostProtocol
+
+mod host;
+mod node;
+
+pub use host::{HostAction, HostMachine, HostNetModel, HostNetState, HostState};
+pub use node::{NodeAction, NodeMachine, NodeNetModel, NodeNetState, NodeState};

@@ -1,0 +1,588 @@
+//! Pure transition core of the one-to-one protocol (§3.1) and its
+//! explorable network model.
+
+use dkcore_graph::{Graph, NodeId};
+use dkcore_model::Machine;
+
+use crate::one_to_one::OneToOneConfig;
+use crate::seq::batagelj_zaversnik;
+use crate::{IncrementalIndex, INFINITY_EST};
+
+/// The mutable protocol state of Algorithm 1 for one node: everything that
+/// changes as messages arrive, and nothing that doesn't.
+///
+/// `Eq`/`Hash` make whole-system states explorable; the representation is
+/// canonical (fixed-length arrays indexed by the immutable neighbor list),
+/// so structural equality is semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeState {
+    /// The local coreness estimate (`core` of Algorithm 1).
+    core: u32,
+    /// Freshest known neighbor estimates, parallel to
+    /// [`NodeMachine::neighbors`]; [`INFINITY_EST`] is the `+∞` init.
+    est: Box<[u32]>,
+    /// Incrementally maintained `computeIndex` over `est`.
+    index: IncrementalIndex,
+    /// Whether `core` changed since the last flush.
+    changed: bool,
+}
+
+impl NodeState {
+    /// Current local coreness estimate.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// Whether the estimate changed since the last flush.
+    pub fn is_changed(&self) -> bool {
+        self.changed
+    }
+
+    /// The neighbor-estimate array, parallel to
+    /// [`NodeMachine::neighbors`].
+    pub fn estimates(&self) -> &[u32] {
+        &self.est
+    }
+}
+
+/// One atomic event of the one-to-one protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeAction {
+    /// An incoming `⟨v, k⟩` message (the `on receive` block).
+    Receive {
+        /// Sending neighbor.
+        from: NodeId,
+        /// Its announced estimate.
+        k: u32,
+    },
+    /// The periodic flush (`repeat every δ time units`).
+    Flush,
+}
+
+/// The immutable context plus pure transition functions of Algorithm 1 for
+/// one node: `step(state, action) → (state, messages)`.
+///
+/// [`NodeProtocol`](crate::one_to_one::NodeProtocol) is a thin driver over
+/// this core (it adds only message accounting), so driver and machine
+/// cannot diverge. The `apply_*` methods are the in-place forms the driver
+/// uses; [`step`](Self::step) is the pure form the model checker explores.
+#[derive(Debug, Clone)]
+pub struct NodeMachine {
+    id: NodeId,
+    neighbors: Box<[NodeId]>,
+    config: OneToOneConfig,
+}
+
+impl NodeMachine {
+    /// Builds the context for node `u` of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range for `g`.
+    pub fn new(g: &Graph, u: NodeId, config: OneToOneConfig) -> Self {
+        NodeMachine {
+            id: u,
+            neighbors: g.neighbors(u).into(),
+            config,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's sorted neighbor list (slot `i` of
+    /// [`NodeState::estimates`] is `neighbors()[i]`).
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The node's degree (also its initial estimate).
+    pub fn degree(&self) -> u32 {
+        self.neighbors.len() as u32
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &OneToOneConfig {
+        &self.config
+    }
+
+    /// The initialization of Algorithm 1: `core ← d(u)`, `est[v] ← +∞`.
+    pub fn initial_state(&self) -> NodeState {
+        let d = self.degree();
+        NodeState {
+            core: d,
+            est: vec![INFINITY_EST; d as usize].into_boxed_slice(),
+            index: IncrementalIndex::new(d),
+            changed: false,
+        }
+    }
+
+    /// A warm-start state: like [`initial_state`](Self::initial_state) but
+    /// with `core` forced down to `initial` (clamped by the degree) — the
+    /// re-convergence entry point after a graph mutation.
+    pub fn warm_state(&self, initial: u32) -> NodeState {
+        let mut s = self.initial_state();
+        s.core = initial.min(self.degree());
+        s.index.force_bound(s.core);
+        s
+    }
+
+    /// The freshest estimate `s` holds for neighbor `v`, or `None` if `v`
+    /// is not a neighbor.
+    pub fn estimate_of(&self, s: &NodeState, v: NodeId) -> Option<u32> {
+        self.neighbors.binary_search(&v).ok().map(|i| s.est[i])
+    }
+
+    /// The `on receive ⟨v, k⟩` transition, in place. Returns `true` iff
+    /// the local estimate dropped. Messages from non-neighbors and stale
+    /// (non-decreasing) values are ignored.
+    pub fn apply_receive(&self, s: &mut NodeState, from: NodeId, k: u32) -> bool {
+        let Ok(i) = self.neighbors.binary_search(&from) else {
+            return false;
+        };
+        let old = s.est[i];
+        if k >= old {
+            return false;
+        }
+        s.est[i] = k;
+        // O(1) amortized incremental form of the paper's
+        // `computeIndex(est, u, core)` rescan; bit-identical result.
+        if s.index.update(old, k) {
+            s.core = s.index.core();
+            s.changed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The periodic-flush transition, in place: if `changed`, clear the
+    /// flag and offer `⟨u, core⟩` to each addressed neighbor via `sink`.
+    /// With [`OneToOneConfig::send_optimization`] the recipients are
+    /// filtered to those with `core < est[v]`.
+    ///
+    /// Returns `Some((core, recipients))` when at least one message was
+    /// emitted, `None` otherwise.
+    pub fn apply_flush<F>(&self, s: &mut NodeState, mut sink: F) -> Option<(u32, u64)>
+    where
+        F: FnMut(NodeId, u32),
+    {
+        if !s.changed {
+            return None;
+        }
+        s.changed = false;
+        let mut count = 0u64;
+        if self.config.send_optimization {
+            for (&v, &est) in self.neighbors.iter().zip(s.est.iter()) {
+                if s.core < est {
+                    sink(v, s.core);
+                    count += 1;
+                }
+            }
+        } else {
+            for &v in self.neighbors.iter() {
+                sink(v, s.core);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        Some((s.core, count))
+    }
+
+    /// The initialization broadcast: offer `⟨u, core⟩` to every neighbor.
+    /// Does not touch the state (the flag semantics of Algorithm 1 start
+    /// clean). Returns `Some((core, neighbors))` unless isolated.
+    pub fn emit_initial<F>(&self, s: &NodeState, mut sink: F) -> Option<(u32, u64)>
+    where
+        F: FnMut(NodeId, u32),
+    {
+        if self.neighbors.is_empty() {
+            return None;
+        }
+        for &v in self.neighbors.iter() {
+            sink(v, s.core);
+        }
+        Some((s.core, self.neighbors.len() as u64))
+    }
+
+    /// The pure transition function: the successor of `s` under `a`, plus
+    /// the emitted `(recipient, estimate)` messages.
+    pub fn step(&self, s: &NodeState, a: &NodeAction) -> (NodeState, Vec<(NodeId, u32)>) {
+        let mut next = s.clone();
+        let mut out = Vec::new();
+        match *a {
+            NodeAction::Receive { from, k } => {
+                self.apply_receive(&mut next, from, k);
+            }
+            NodeAction::Flush => {
+                self.apply_flush(&mut next, |v, c| out.push((v, c)));
+            }
+        }
+        (next, out)
+    }
+}
+
+/// Explorable model of a whole one-to-one system: every node's
+/// [`NodeState`] plus the multiset of in-flight messages, with per-message
+/// delivery and per-node flushes as the nondeterministic actions.
+///
+/// Checked properties (see the `dkcore_model` crate docs):
+///
+/// * **invariant** — every estimate stays ≥ the true coreness (Theorem 2);
+/// * **step** — estimates are monotone non-increasing per node;
+/// * **terminal** — a quiescent system (no messages, no pending flushes)
+///   has every estimate equal to the Batagelj–Zaveršnik coreness.
+pub struct NodeNetModel {
+    machines: Vec<NodeMachine>,
+    truth: Vec<u32>,
+}
+
+impl NodeNetModel {
+    /// Builds the model for every node of `g`; ground truth is computed
+    /// once with the sequential Batagelj–Zaveršnik baseline.
+    pub fn new(g: &Graph, config: OneToOneConfig) -> Self {
+        NodeNetModel {
+            machines: g.nodes().map(|u| NodeMachine::new(g, u, config)).collect(),
+            truth: batagelj_zaversnik(g),
+        }
+    }
+}
+
+/// Canonical whole-system state of [`NodeNetModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeNetState {
+    nodes: Vec<NodeState>,
+    /// In-flight `(from, to, k)` messages, kept sorted: the canonical
+    /// multiset representation required by the [`Machine`] contract.
+    inflight: Vec<(u32, u32, u32)>,
+}
+
+/// One nondeterministic event of [`NodeNetModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeNetAction {
+    /// Deliver one in-flight `⟨from, k⟩` message to `to`.
+    Deliver {
+        /// Sender.
+        from: u32,
+        /// Receiver.
+        to: u32,
+        /// The estimate carried.
+        k: u32,
+    },
+    /// Run one node's periodic flush.
+    Flush {
+        /// The flushing node.
+        node: u32,
+    },
+}
+
+impl Machine for NodeNetModel {
+    type State = NodeNetState;
+    type Action = NodeNetAction;
+
+    fn initial(&self) -> NodeNetState {
+        let nodes: Vec<NodeState> = self.machines.iter().map(|m| m.initial_state()).collect();
+        // Local event ordering puts each node's initialization broadcast
+        // before any receive on that node, and the broadcast content (the
+        // degree) is input-independent — so all initial messages can be
+        // seeded in flight up front without losing interleavings.
+        let mut inflight = Vec::new();
+        for (u, m) in self.machines.iter().enumerate() {
+            m.emit_initial(&nodes[u], |v, k| inflight.push((u as u32, v.0, k)));
+        }
+        inflight.sort_unstable();
+        NodeNetState { nodes, inflight }
+    }
+
+    fn actions(&self, s: &NodeNetState, out: &mut Vec<NodeNetAction>) {
+        // One Deliver per *distinct* in-flight message: delivering either
+        // of two identical copies yields the same successor, so exploring
+        // one is sound (and the remaining copy stays in flight).
+        let mut prev = None;
+        for &(from, to, k) in &s.inflight {
+            if prev != Some((from, to, k)) {
+                out.push(NodeNetAction::Deliver { from, to, k });
+                prev = Some((from, to, k));
+            }
+        }
+        for (u, n) in s.nodes.iter().enumerate() {
+            if n.is_changed() {
+                out.push(NodeNetAction::Flush { node: u as u32 });
+            }
+        }
+    }
+
+    fn step(&self, s: &NodeNetState, a: &NodeNetAction) -> NodeNetState {
+        let mut next = s.clone();
+        match *a {
+            NodeNetAction::Deliver { from, to, k } => {
+                let pos = next
+                    .inflight
+                    .iter()
+                    .position(|&m| m == (from, to, k))
+                    .expect("only enabled actions are stepped");
+                next.inflight.remove(pos);
+                self.machines[to as usize].apply_receive(
+                    &mut next.nodes[to as usize],
+                    NodeId(from),
+                    k,
+                );
+            }
+            NodeNetAction::Flush { node } => {
+                let mut sent = Vec::new();
+                self.machines[node as usize].apply_flush(&mut next.nodes[node as usize], |v, k| {
+                    sent.push((node, v.0, k));
+                });
+                next.inflight.extend(sent);
+                next.inflight.sort_unstable();
+            }
+        }
+        next
+    }
+
+    fn invariant(&self, s: &NodeNetState) -> Result<(), String> {
+        // Theorem 2 safety: no estimate ever drops below the true
+        // coreness — neither a node's own nor any heard neighbor value.
+        for (u, n) in s.nodes.iter().enumerate() {
+            if n.core() < self.truth[u] {
+                return Err(format!(
+                    "node {u}: estimate {} below true coreness {}",
+                    n.core(),
+                    self.truth[u]
+                ));
+            }
+            for (i, &v) in self.machines[u].neighbors().iter().enumerate() {
+                if n.estimates()[i] < self.truth[v.index()] {
+                    return Err(format!(
+                        "node {u}: est[{v:?}] = {} below true coreness {}",
+                        n.estimates()[i],
+                        self.truth[v.index()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_step(
+        &self,
+        from: &NodeNetState,
+        a: &NodeNetAction,
+        to: &NodeNetState,
+    ) -> Result<(), String> {
+        // Estimates are monotone non-increasing along every transition.
+        for (u, (before, after)) in from.nodes.iter().zip(to.nodes.iter()).enumerate() {
+            if after.core() > before.core() {
+                return Err(format!(
+                    "node {u}: estimate rose {} -> {} on {a:?}",
+                    before.core(),
+                    after.core()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, s: &NodeNetState) -> Result<(), String> {
+        // Quiescence implies convergence (Theorem 3 at this instance).
+        for (u, n) in s.nodes.iter().enumerate() {
+            if n.core() != self.truth[u] {
+                return Err(format!(
+                    "quiescent but node {u} holds {} instead of coreness {}",
+                    n.core(),
+                    self.truth[u]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn render_action(&self, a: &NodeNetAction) -> String {
+        match *a {
+            NodeNetAction::Deliver { from, to, k } => {
+                format!("deliver from={from} to={to} k={k}")
+            }
+            NodeNetAction::Flush { node } => format!("flush node={node}"),
+        }
+    }
+
+    fn render_state(&self, s: &NodeNetState) -> String {
+        let cores: Vec<u32> = s.nodes.iter().map(NodeState::core).collect();
+        format!("cores={cores:?} inflight={}", s.inflight.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_graph::generators::{complete, path, star};
+    use dkcore_model::{ExploreConfig, Explorer, Report};
+
+    fn explore(g: &Graph, config: OneToOneConfig) -> Report {
+        Explorer::new(ExploreConfig::default()).run(&NodeNetModel::new(g, config))
+    }
+
+    #[test]
+    fn path3_every_interleaving_converges() {
+        let report = explore(&path(3), OneToOneConfig::default());
+        assert!(report.proved(), "{}", report.summary());
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn path4_and_star4_prove_for_both_configs() {
+        for g in [path(4), star(4)] {
+            for send_optimization in [true, false] {
+                let report = explore(&g, OneToOneConfig { send_optimization });
+                assert!(
+                    report.proved(),
+                    "opt={send_optimization}: {}",
+                    report.summary()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_proves_and_is_nontrivial() {
+        let report = explore(&complete(3), OneToOneConfig::default());
+        assert!(report.proved(), "{}", report.summary());
+        // The exploration must actually branch (K3 has 6 initial
+        // messages), or the "proof" is vacuous.
+        assert!(report.states > 50, "only {} states", report.states);
+    }
+
+    #[test]
+    fn path6_proves_exhaustively() {
+        // A full 6-node instance: 16 384 states, every per-message
+        // delivery and flush interleaving.
+        let report = explore(&path(6), OneToOneConfig::default());
+        assert!(report.proved(), "{}", report.summary());
+        assert!(report.states > 10_000, "only {} states", report.states);
+    }
+
+    #[test]
+    #[ignore = "exhaustive tier (CI model-check job): ~100k states"]
+    fn star5_proves_exhaustively() {
+        let report = explore(&star(5), OneToOneConfig::default());
+        assert!(report.proved(), "{}", report.summary());
+    }
+
+    #[test]
+    #[ignore = "exhaustive tier (CI model-check job): bounded sweep, ~1M states"]
+    fn figure2_graph_is_violation_free_within_bound() {
+        // The paper's §3.1.1 walkthrough graph: 6 nodes, degrees
+        // [1, 3, 3, 3, 3, 1]. Its full interleaving space exceeds the
+        // exhaustive budget (> 3M states), so this is an honest *bounded*
+        // sweep: every state within the cap is checked, exhaustion is not
+        // claimed.
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3), (2, 4)]).unwrap();
+        let report = Explorer::new(ExploreConfig {
+            max_states: 1_000_000,
+            ..ExploreConfig::default()
+        })
+        .run(&NodeNetModel::new(&g, OneToOneConfig::default()));
+        assert!(report.counterexample().is_none(), "{}", report.summary());
+    }
+
+    #[test]
+    fn seeded_mutation_yields_minimal_counterexample() {
+        // A model whose flush is deliberately broken: it announces
+        // `core - 1`. The checker must refute it with a minimal trace —
+        // this is the meta-test that the harness actually catches bugs
+        // of the class it claims to.
+        struct Undershoot(NodeNetModel);
+        impl Machine for Undershoot {
+            type State = NodeNetState;
+            type Action = NodeNetAction;
+            fn initial(&self) -> NodeNetState {
+                self.0.initial()
+            }
+            fn actions(&self, s: &NodeNetState, out: &mut Vec<NodeNetAction>) {
+                self.0.actions(s, out);
+            }
+            fn step(&self, s: &NodeNetState, a: &NodeNetAction) -> NodeNetState {
+                if let NodeNetAction::Deliver { from, to, k } = *a {
+                    // The wire lies: every message arrives one lower than
+                    // announced.
+                    let mut next = s.clone();
+                    let pos = next
+                        .inflight
+                        .iter()
+                        .position(|&m| m == (from, to, k))
+                        .expect("enabled");
+                    next.inflight.remove(pos);
+                    self.0.machines[to as usize].apply_receive(
+                        &mut next.nodes[to as usize],
+                        NodeId(from),
+                        k.saturating_sub(1),
+                    );
+                    next
+                } else {
+                    self.0.step(s, a)
+                }
+            }
+            fn invariant(&self, s: &NodeNetState) -> Result<(), String> {
+                self.0.invariant(s)
+            }
+            fn check_step(
+                &self,
+                from: &NodeNetState,
+                a: &NodeNetAction,
+                to: &NodeNetState,
+            ) -> Result<(), String> {
+                self.0.check_step(from, a, to)
+            }
+            fn terminal(&self, s: &NodeNetState) -> Result<(), String> {
+                self.0.terminal(s)
+            }
+            fn render_action(&self, a: &NodeNetAction) -> String {
+                self.0.render_action(a)
+            }
+        }
+
+        let model = Undershoot(NodeNetModel::new(&path(3), OneToOneConfig::default()));
+        let report = Explorer::new(ExploreConfig::default()).run(&model);
+        let cx = report
+            .counterexample()
+            .expect("undershooting deliveries must break Theorem 2");
+        // BFS: one delivery suffices (an endpoint's ⟨1⟩ arrives as 0,
+        // dragging the middle node below its coreness eventually — the
+        // first violated check pins the exact step).
+        assert!(cx.minimal);
+        assert!(!cx.trace.is_empty());
+        assert!(cx.render().contains("kind=violation"), "{}", cx.render());
+    }
+
+    #[test]
+    fn driver_and_machine_cannot_disagree_on_a_trace() {
+        use crate::one_to_one::NodeProtocol;
+        // Quick in-module sanity (the full differential suite lives in
+        // tests/machine_conformance.rs): replay one fixed trace through
+        // the thin driver and the pure core; states must stay identical.
+        let g = path(4);
+        let cfg = OneToOneConfig::default();
+        let mut driver = NodeProtocol::new(&g, NodeId(1), cfg);
+        let machine = NodeMachine::new(&g, NodeId(1), cfg);
+        let mut state = machine.initial_state();
+        for (from, k) in [(0u32, 1u32), (2, 2), (0, 0), (2, 1)] {
+            assert_eq!(
+                driver.receive(NodeId(from), k),
+                machine.apply_receive(&mut state, NodeId(from), k)
+            );
+            assert_eq!(driver.state(), &state);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let ra = driver.round_flush_with(|v, c| a.push((v, c)));
+            let rb = machine.apply_flush(&mut state, |v, c| b.push((v, c)));
+            assert_eq!(ra, rb.map(|(c, _)| c));
+            assert_eq!(a, b);
+            assert_eq!(driver.state(), &state);
+        }
+    }
+}

@@ -824,6 +824,36 @@ impl HostProtocol {
         self.scratch_changed = changed_locals;
         messages
     }
+
+    /// Internal: consumes a freshly constructed protocol, handing its
+    /// topology and Algorithm 3-initialized state to the pure machine core
+    /// (`crate::machine::HostMachine`) — builder shared by construction,
+    /// so the two cannot disagree about slot spaces, borders, or the
+    /// initial `improveEstimate`.
+    #[allow(clippy::type_complexity)] // one-shot transfer of parallel arrays, not an API
+    pub(crate) fn into_machine_parts(
+        self,
+    ) -> (
+        HostId,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        Vec<Box<[u32]>>,
+        Vec<HostId>,
+        Vec<Box<[u32]>>,
+        Vec<u32>,
+        Vec<bool>,
+    ) {
+        (
+            self.host,
+            self.locals,
+            self.ext,
+            self.adj,
+            self.neighbor_hosts,
+            self.border,
+            self.est,
+            self.changed,
+        )
+    }
 }
 
 /// Iterator over `(position in a, value)` for values present in both
@@ -852,8 +882,10 @@ fn intersect_sorted_positions<'a>(
     })
 }
 
-/// Iterator over values present in both sorted `u32` slices.
-fn intersect_sorted<'a>(a: &'a [u32], b: &'a [u32]) -> impl Iterator<Item = u32> + 'a {
+/// Iterator over values present in both sorted `u32` slices. Shared with
+/// the pure machine core (`crate::machine::HostMachine`), whose flush must
+/// intersect borders with changed locals exactly like [`HostProtocol`].
+pub(crate) fn intersect_sorted<'a>(a: &'a [u32], b: &'a [u32]) -> impl Iterator<Item = u32> + 'a {
     let mut i = 0;
     let mut j = 0;
     std::iter::from_fn(move || {

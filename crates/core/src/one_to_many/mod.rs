@@ -42,6 +42,8 @@
 mod assignment;
 mod host;
 
+pub(crate) use host::intersect_sorted;
+
 pub use assignment::{Assignment, AssignmentPolicy, HostId};
 pub use host::{
     Destination, EmulationMode, HostProtocol, OneToManyConfig, Outgoing, OutgoingSink, StagedSink,

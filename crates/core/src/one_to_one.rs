@@ -36,7 +36,7 @@
 
 use dkcore_graph::{Graph, NodeId};
 
-use crate::{IncrementalIndex, INFINITY_EST};
+use crate::machine::{NodeMachine, NodeState};
 
 /// Configuration for the one-to-one protocol.
 ///
@@ -85,19 +85,17 @@ pub struct Broadcast {
 
 /// Per-node state machine of Algorithm 1.
 ///
+/// A thin driver over the pure transition core
+/// [`NodeMachine`](crate::machine::NodeMachine): the machine owns the
+/// transition logic (`receive`/`flush` over a [`NodeState`]), this type
+/// adds only the message accounting — so the imperative protocol and the
+/// model-checked core cannot diverge by construction.
+///
 /// See the [module documentation](self) for the protocol description.
 #[derive(Debug, Clone)]
 pub struct NodeProtocol {
-    id: NodeId,
-    neighbors: Box<[NodeId]>,
-    /// Estimates parallel to `neighbors`; `INFINITY_EST` is the `+∞` init.
-    est: Box<[u32]>,
-    /// Incrementally maintained `computeIndex` over `est` — the O(1)
-    /// amortized fast path replacing the per-message Algorithm 2 rescan.
-    index: IncrementalIndex,
-    core: u32,
-    changed: bool,
-    config: OneToOneConfig,
+    machine: NodeMachine,
+    state: NodeState,
     messages_sent: u64,
 }
 
@@ -109,16 +107,11 @@ impl NodeProtocol {
     ///
     /// Panics if `u` is out of range for `g`.
     pub fn new(g: &Graph, u: NodeId, config: OneToOneConfig) -> Self {
-        let neighbors: Box<[NodeId]> = g.neighbors(u).into();
-        let est = vec![INFINITY_EST; neighbors.len()].into_boxed_slice();
+        let machine = NodeMachine::new(g, u, config);
+        let state = machine.initial_state();
         NodeProtocol {
-            id: u,
-            core: neighbors.len() as u32,
-            index: IncrementalIndex::new(neighbors.len() as u32),
-            neighbors,
-            est,
-            changed: false,
-            config,
+            machine,
+            state,
             messages_sent: 0,
         }
     }
@@ -146,45 +139,60 @@ impl NodeProtocol {
         initial: u32,
         config: OneToOneConfig,
     ) -> Self {
-        let mut this = NodeProtocol::new(g, u, config);
-        this.core = initial.min(this.degree());
-        this.index.force_bound(this.core);
-        this
+        let machine = NodeMachine::new(g, u, config);
+        let state = machine.warm_state(initial);
+        NodeProtocol {
+            machine,
+            state,
+            messages_sent: 0,
+        }
     }
 
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
-        self.id
+        self.machine.id()
     }
 
     /// Current local coreness estimate (the variable `core` of
     /// Algorithm 1). Always ≥ the true coreness (Theorem 2) and
     /// non-increasing over the execution.
     pub fn core(&self) -> u32 {
-        self.core
+        self.state.core()
     }
 
     /// The node's degree (also its initial estimate).
     pub fn degree(&self) -> u32 {
-        self.neighbors.len() as u32
+        self.machine.degree()
     }
 
     /// The node's neighbor list.
     pub fn neighbors(&self) -> &[NodeId] {
-        &self.neighbors
+        self.machine.neighbors()
     }
 
     /// Whether `core` changed since the last flush (the `changed` flag of
     /// Algorithm 1).
     pub fn is_changed(&self) -> bool {
-        self.changed
+        self.state.is_changed()
     }
 
     /// The freshest estimate this node holds for neighbor `v`, or `None`
     /// if `v` is not a neighbor. `INFINITY_EST` means no message from `v`
     /// has arrived yet.
     pub fn estimate_of(&self, v: NodeId) -> Option<u32> {
-        self.neighbors.binary_search(&v).ok().map(|i| self.est[i])
+        self.machine.estimate_of(&self.state, v)
+    }
+
+    /// The underlying pure transition core (the immutable context).
+    pub fn machine(&self) -> &NodeMachine {
+        &self.machine
+    }
+
+    /// The current protocol state, in the machine's canonical
+    /// representation — what the differential suites compare bit-for-bit
+    /// against an independently driven [`NodeMachine`].
+    pub fn state(&self) -> &NodeState {
+        &self.state
     }
 
     /// Total point-to-point messages sent by this node so far (each
@@ -203,7 +211,7 @@ impl NodeProtocol {
         let mut recipients = Vec::new();
         self.initial_broadcast_with(|v, _| recipients.push(v))
             .map(|core| Broadcast {
-                from: self.id,
+                from: self.machine.id(),
                 core,
                 recipients,
             })
@@ -212,18 +220,13 @@ impl NodeProtocol {
     /// Allocation-free variant of [`initial_broadcast`](Self::initial_broadcast):
     /// invokes `sink(recipient, core)` once per neighbor and returns the
     /// announced estimate, or `None` for isolated nodes.
-    pub fn initial_broadcast_with<F>(&mut self, mut sink: F) -> Option<u32>
+    pub fn initial_broadcast_with<F>(&mut self, sink: F) -> Option<u32>
     where
         F: FnMut(NodeId, u32),
     {
-        if self.neighbors.is_empty() {
-            return None;
-        }
-        for &v in self.neighbors.iter() {
-            sink(v, self.core);
-        }
-        self.messages_sent += self.neighbors.len() as u64;
-        Some(self.core)
+        let (core, count) = self.machine.emit_initial(&self.state, sink)?;
+        self.messages_sent += count;
+        Some(core)
     }
 
     /// Handles an incoming `⟨v, k⟩` message (the `on receive` block of
@@ -232,24 +235,7 @@ impl NodeProtocol {
     /// Messages from non-neighbors are ignored (they can only appear on a
     /// broadcast medium where everyone hears everyone).
     pub fn receive(&mut self, from: NodeId, k: u32) -> bool {
-        let Ok(i) = self.neighbors.binary_search(&from) else {
-            return false;
-        };
-        let old = self.est[i];
-        if k >= old {
-            return false;
-        }
-        self.est[i] = k;
-        // O(1) amortized, allocation-free update — equivalent to the
-        // paper's `computeIndex(est, u, core)` rescan (see
-        // [`IncrementalIndex`]), whose result is bit-identical.
-        if self.index.update(old, k) {
-            self.core = self.index.core();
-            self.changed = true;
-            true
-        } else {
-            false
-        }
+        self.machine.apply_receive(&mut self.state, from, k)
     }
 
     /// The periodic block of Algorithm 1 (`repeat every δ time units`): if
@@ -267,7 +253,7 @@ impl NodeProtocol {
         let mut recipients = Vec::new();
         self.round_flush_with(|v, _| recipients.push(v))
             .map(|core| Broadcast {
-                from: self.id,
+                from: self.machine.id(),
                 core,
                 recipients,
             })
@@ -280,33 +266,13 @@ impl NodeProtocol {
     /// Exactly the same semantics (flag handling, §3.1.2 filter, message
     /// accounting) without materializing a `recipients` vector — this is
     /// the hot path used by the `dkcore-sim` engines.
-    pub fn round_flush_with<F>(&mut self, mut sink: F) -> Option<u32>
+    pub fn round_flush_with<F>(&mut self, sink: F) -> Option<u32>
     where
         F: FnMut(NodeId, u32),
     {
-        if !self.changed {
-            return None;
-        }
-        self.changed = false;
-        let mut count = 0u64;
-        if self.config.send_optimization {
-            for (&v, &est) in self.neighbors.iter().zip(self.est.iter()) {
-                if self.core < est {
-                    sink(v, self.core);
-                    count += 1;
-                }
-            }
-        } else {
-            for &v in self.neighbors.iter() {
-                sink(v, self.core);
-                count += 1;
-            }
-        }
-        if count == 0 {
-            return None;
-        }
+        let (core, count) = self.machine.apply_flush(&mut self.state, sink)?;
         self.messages_sent += count;
-        Some(self.core)
+        Some(core)
     }
 }
 
@@ -315,6 +281,7 @@ impl NodeProtocol {
 mod tests {
     use super::*;
     use crate::seq::batagelj_zaversnik;
+    use crate::INFINITY_EST;
     use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
 
     /// Minimal synchronous driver used only by this module's tests; the

@@ -1,0 +1,268 @@
+//! Differential conformance: the imperative protocol drivers pinned
+//! step-for-step, message-for-message, bit-for-bit to the pure transition
+//! cores in `dkcore::machine`.
+//!
+//! The model checker proves properties of the *machines*; these suites
+//! prove the machines *are* the shipped protocols: random asynchronous
+//! schedules drive a [`NodeProtocol`] and an independently stepped
+//! [`NodeMachine`] (resp. [`HostProtocol`] / [`HostMachine`]) in
+//! lock-step, comparing states, emitted messages, and accounting after
+//! every single event.
+//!
+//! The CI determinism matrix re-runs this suite with `DKCORE_TEST_SEED`
+//! shifting every schedule, so conformance covers fresh interleavings on
+//! every run rather than one pinned trace.
+
+use dkcore::machine::{HostMachine, NodeMachine};
+use dkcore::one_to_many::{
+    Assignment, AssignmentPolicy, DisseminationPolicy, EmulationMode, HostProtocol,
+    OneToManyConfig, Outgoing,
+};
+use dkcore::one_to_one::{NodeProtocol, OneToOneConfig};
+use dkcore::seq::batagelj_zaversnik;
+use dkcore_graph::generators::{complete, gnp, path, star, worst_case};
+use dkcore_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Offset mixed into every schedule seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix); 0 when unset.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |s| s.wrapping_mul(0x9E37_79B9))
+}
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("gnp_sparse", gnp(60, 0.05, seed)),
+        ("gnp_dense", gnp(40, 0.15, seed ^ 1)),
+        ("star", star(25)),
+        ("path", path(30)),
+        ("complete", complete(9)),
+        ("worst_case", worst_case(16)),
+    ]
+}
+
+/// Drives every node of `g` through a random asynchronous schedule
+/// (per-message delivery in shuffled order, probabilistic flushes),
+/// checking driver ≡ machine after **every** event.
+fn node_lockstep(g: &Graph, config: OneToOneConfig, rng: &mut StdRng, label: &str) {
+    let n = g.node_count();
+    let mut drivers: Vec<NodeProtocol> = NodeProtocol::for_graph(g, config);
+    let machines: Vec<NodeMachine> = g.nodes().map(|u| NodeMachine::new(g, u, config)).collect();
+    let mut states: Vec<_> = machines.iter().map(|m| m.initial_state()).collect();
+    let mut machine_msgs = vec![0u64; n];
+
+    // In-flight messages (from, to, k).
+    let mut wire: Vec<(u32, u32, u32)> = Vec::new();
+    for u in 0..n {
+        let mut a = Vec::new();
+        let ra = drivers[u].initial_broadcast_with(|v, k| a.push((v, k)));
+        let mut b = Vec::new();
+        let rb = machines[u].emit_initial(&states[u], |v, k| b.push((v, k)));
+        assert_eq!(ra, rb.map(|(c, _)| c), "{label}: initial broadcast value");
+        assert_eq!(a, b, "{label}: initial broadcast recipients");
+        if let Some((_, count)) = rb {
+            machine_msgs[u] += count;
+        }
+        wire.extend(a.iter().map(|&(v, k)| (u as u32, v.0, k)));
+    }
+
+    let mut steps = 0usize;
+    while steps < 20_000 {
+        steps += 1;
+        let deliver = !wire.is_empty() && (rng.random_bool(0.7) || steps.is_multiple_of(7));
+        if deliver {
+            let i = rng.random_range(0..wire.len());
+            let (from, to, k) = wire.swap_remove(i);
+            let ra = drivers[to as usize].receive(NodeId(from), k);
+            let rb = machines[to as usize].apply_receive(&mut states[to as usize], NodeId(from), k);
+            assert_eq!(ra, rb, "{label}: receive return");
+        } else {
+            let u = rng.random_range(0..n);
+            let mut a = Vec::new();
+            let ra = drivers[u].round_flush_with(|v, k| a.push((v, k)));
+            let mut b = Vec::new();
+            let rb = machines[u].apply_flush(&mut states[u], |v, k| b.push((v, k)));
+            assert_eq!(ra, rb.map(|(c, _)| c), "{label}: flush value");
+            assert_eq!(a, b, "{label}: flush recipients");
+            if let Some((_, count)) = rb {
+                machine_msgs[u] += count;
+            }
+            wire.extend(a.iter().map(|&(v, k)| (u as u32, v.0, k)));
+            if wire.is_empty() && drivers.iter().all(|d| !d.is_changed()) {
+                break;
+            }
+        }
+        // Bit-identical state after every event — estimates, core, index,
+        // and flag all at once via the canonical state equality.
+        let u_check = rng.random_range(0..n);
+        assert_eq!(
+            drivers[u_check].state(),
+            &states[u_check],
+            "{label}: state diverged at node {u_check}"
+        );
+    }
+
+    let truth = batagelj_zaversnik(g);
+    for u in 0..n {
+        assert_eq!(drivers[u].state(), &states[u], "{label}: final state {u}");
+        assert_eq!(
+            drivers[u].messages_sent(),
+            machine_msgs[u],
+            "{label}: message accounting {u}"
+        );
+        assert_eq!(drivers[u].core(), truth[u], "{label}: converged value {u}");
+    }
+}
+
+#[test]
+fn node_machine_is_bit_identical_to_node_protocol() {
+    let off = seed_offset();
+    for seed in 0..3u64 {
+        for (name, g) in families(seed ^ off) {
+            for send_optimization in [true, false] {
+                let mut rng = StdRng::seed_from_u64(seed ^ off ^ 0x0DE5);
+                node_lockstep(
+                    &g,
+                    OneToOneConfig { send_optimization },
+                    &mut rng,
+                    &format!("{name}/opt={send_optimization}/seed={seed}"),
+                );
+            }
+        }
+    }
+}
+
+/// Drives every host through random batch schedules, checking the
+/// optimized [`HostProtocol`] (both Worklist and the paper's literal
+/// Sweep) against the pure [`HostMachine`] after every event: estimates,
+/// flags, outgoing batches, and the paper's overhead accounting.
+fn host_lockstep(
+    g: &Graph,
+    hosts: usize,
+    policy: DisseminationPolicy,
+    emulation: EmulationMode,
+    rng: &mut StdRng,
+    label: &str,
+) {
+    let assignment = Assignment::new(g, hosts, &AssignmentPolicy::Modulo);
+    let cfg = OneToManyConfig { policy, emulation };
+    let mut drivers = HostProtocol::for_assignment(g, &assignment, cfg);
+    let machines: Vec<HostMachine> = assignment
+        .hosts()
+        .map(|h| HostMachine::new(g, &assignment, h, policy))
+        .collect();
+    let mut states: Vec<_> = machines.iter().map(|m| m.initial_state()).collect();
+    let mut machine_sent = vec![(0u64, 0u64); hosts]; // (messages, estimates)
+
+    // In-flight (to, pairs) batches.
+    let mut wire: Vec<(usize, Vec<(NodeId, u32)>)> = Vec::new();
+    let expand = |from: usize, out: &[Outgoing], wire: &mut Vec<(usize, Vec<(NodeId, u32)>)>| {
+        for m in out {
+            match m.dest {
+                dkcore::one_to_many::Destination::AllHosts => {
+                    for h in 0..hosts {
+                        if h != from {
+                            wire.push((h, m.pairs.clone()));
+                        }
+                    }
+                }
+                dkcore::one_to_many::Destination::Host(y) => {
+                    wire.push((y.index(), m.pairs.clone()))
+                }
+            }
+        }
+    };
+
+    for h in 0..hosts {
+        let a = drivers[h].initial_flush();
+        let mut b = Vec::new();
+        let (msgs, ests) = machines[h].emit_initial(&mut states[h], &mut b);
+        assert_eq!(a, b, "{label}: initial flush host {h}");
+        machine_sent[h].0 += msgs;
+        machine_sent[h].1 += ests;
+        expand(h, &a, &mut wire);
+    }
+
+    let mut steps = 0usize;
+    while steps < 5_000 {
+        steps += 1;
+        let deliver = !wire.is_empty() && rng.random_bool(0.7);
+        if deliver {
+            let i = rng.random_range(0..wire.len());
+            let (to, pairs) = wire.swap_remove(i);
+            drivers[to].receive(&pairs);
+            machines[to].apply_receive(&mut states[to], pairs.iter().copied());
+        } else {
+            let h = rng.random_range(0..hosts);
+            let a = drivers[h].round_flush();
+            let mut b = Vec::new();
+            let (msgs, ests) = machines[h].apply_flush(&mut states[h], &mut b);
+            assert_eq!(a, b, "{label}: flush host {h}");
+            machine_sent[h].0 += msgs;
+            machine_sent[h].1 += ests;
+            expand(h, &a, &mut wire);
+            if wire.is_empty() && drivers.iter().all(|d| !d.has_pending_changes()) {
+                break;
+            }
+        }
+        let h = rng.random_range(0..hosts);
+        let da: Vec<(NodeId, u32)> = drivers[h].local_estimates().collect();
+        let db: Vec<(NodeId, u32)> = machines[h]
+            .local_nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, states[h].estimates()[i]))
+            .collect();
+        assert_eq!(da, db, "{label}: estimates diverged at host {h}");
+    }
+
+    let truth = batagelj_zaversnik(g);
+    for h in 0..hosts {
+        for (i, &u) in machines[h].local_nodes().iter().enumerate() {
+            assert_eq!(
+                states[h].estimates()[i],
+                truth[u.index()],
+                "{label}: host {h} node {u:?} converged value"
+            );
+        }
+        assert_eq!(
+            (drivers[h].messages_sent(), drivers[h].estimates_sent()),
+            machine_sent[h],
+            "{label}: accounting host {h}"
+        );
+    }
+}
+
+#[test]
+fn host_machine_is_bit_identical_to_host_protocol() {
+    let off = seed_offset();
+    for seed in 0..2u64 {
+        for (name, g) in families(seed ^ off) {
+            for hosts in [2usize, 3, 5] {
+                for policy in [
+                    DisseminationPolicy::Broadcast,
+                    DisseminationPolicy::PointToPoint,
+                ] {
+                    // The machine's sweep emulation must match both the
+                    // optimized worklist cascade and the paper's literal
+                    // sweep, batch for batch.
+                    for emulation in [EmulationMode::Worklist, EmulationMode::Sweep] {
+                        let mut rng = StdRng::seed_from_u64(seed ^ off ^ ((hosts as u64) << 8));
+                        host_lockstep(
+                            &g,
+                            hosts,
+                            policy,
+                            emulation,
+                            &mut rng,
+                            &format!("{name}/h{hosts}/{policy:?}/{emulation:?}/seed={seed}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

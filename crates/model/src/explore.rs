@@ -1,0 +1,536 @@
+//! Bounded exhaustive exploration of a [`Machine`]'s reachability graph.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use crate::Machine;
+
+/// Search order. See the [crate docs](crate) for the trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Breadth-first: counterexample traces are minimal; the frontier
+    /// can grow as large as one BFS level. The default.
+    #[default]
+    Bfs,
+    /// Depth-first with an explicit stack: frontier stays `O(depth ×
+    /// branching)`, traces are not minimal. The fallback when a BFS
+    /// level outgrows memory; [`ExploreConfig::max_depth`] bounds the
+    /// recursion.
+    Dfs,
+}
+
+/// Exploration bounds and strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Stop after this many distinct states and report
+    /// [`Outcome::Capped`]. A cap is a safety net, not a target: a run
+    /// that hits it proves nothing about unexplored states.
+    pub max_states: usize,
+    /// Maximum trace depth. States at this depth still have their
+    /// invariants checked, but their successors are not expanded (and a
+    /// cut-off state is not treated as terminal).
+    pub max_depth: usize,
+    /// Search order.
+    pub strategy: Strategy,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 1_000_000,
+            max_depth: 10_000,
+            strategy: Strategy::Bfs,
+        }
+    }
+}
+
+/// A violation, with the action path that reaches it from the initial
+/// state.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What failed: the `Err` payload of the invariant / step check /
+    /// terminal check that fired.
+    pub violation: String,
+    /// Which check fired: `"invariant"`, `"step"`, or `"terminal"`.
+    pub kind: &'static str,
+    /// Rendered actions, in execution order, from the initial state to
+    /// the violating state.
+    pub trace: Vec<String>,
+    /// Rendering of the violating state (may be empty — see
+    /// [`Machine::render_state`]).
+    pub state: String,
+    /// Whether the producing strategy guarantees the trace is minimal
+    /// (BFS does, DFS does not).
+    pub minimal: bool,
+}
+
+impl Counterexample {
+    /// Renders the trace as a replayable event sequence in the flight
+    /// recorder's line grammar (`seq=<n> kind=<k> ...` — the same shape
+    /// `dkcore query events` emits), followed by the violation:
+    ///
+    /// ```text
+    /// seq=1 kind=action detail=deliver 0->1 k=1
+    /// seq=2 kind=action detail=flush 1
+    /// seq=3 kind=violation check=invariant detail=...
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, a) in self.trace.iter().enumerate() {
+            let _ = writeln!(s, "seq={} kind=action detail={a}", i + 1);
+        }
+        let _ = writeln!(
+            s,
+            "seq={} kind=violation check={} detail={}",
+            self.trace.len() + 1,
+            self.kind,
+            self.violation
+        );
+        if !self.state.is_empty() {
+            let _ = writeln!(s, "state: {}", self.state);
+        }
+        let _ = writeln!(
+            s,
+            "({} trace)",
+            if self.minimal {
+                "minimal, breadth-first"
+            } else {
+                "depth-first, not necessarily minimal"
+            }
+        );
+        s
+    }
+}
+
+/// How an exploration ended.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every reachable state (within `max_depth`) was visited and every
+    /// check passed. On a full run with no depth cut-offs this is an
+    /// exhaustive proof for the modeled instance.
+    Exhausted {
+        /// Number of states whose successors were *not* expanded
+        /// because they sat at `max_depth`. 0 means the reachable
+        /// space was truly exhausted.
+        depth_cutoffs: usize,
+    },
+    /// The state cap stopped the search first; no violation found in
+    /// the explored prefix, nothing proved beyond it.
+    Capped,
+    /// A check failed.
+    Violation(Counterexample),
+}
+
+/// Exploration statistics + outcome.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct states visited (after dedup).
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Terminal states seen.
+    pub terminals: usize,
+    /// Deepest trace reached.
+    pub max_depth_seen: usize,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+impl Report {
+    /// `true` iff the run proved the instance: exhausted with no
+    /// violation and no depth cut-offs.
+    pub fn proved(&self) -> bool {
+        matches!(self.outcome, Outcome::Exhausted { depth_cutoffs: 0 })
+    }
+
+    /// The counterexample, if the run found one.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.outcome {
+            Outcome::Violation(cx) => Some(cx),
+            _ => None,
+        }
+    }
+
+    /// One summary line: `states=… transitions=… terminals=… depth=… result=…`.
+    pub fn summary(&self) -> String {
+        let result = match &self.outcome {
+            Outcome::Exhausted { depth_cutoffs: 0 } => "proved".to_string(),
+            Outcome::Exhausted { depth_cutoffs } => {
+                format!("exhausted-with-{depth_cutoffs}-depth-cutoffs")
+            }
+            Outcome::Capped => "capped".to_string(),
+            Outcome::Violation(_) => "VIOLATION".to_string(),
+        };
+        format!(
+            "states={} transitions={} terminals={} depth={} result={result}",
+            self.states, self.transitions, self.terminals, self.max_depth_seen
+        )
+    }
+}
+
+/// The bounded explorer. Create with a config, [`run`](Explorer::run)
+/// against any [`Machine`].
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+/// Book-keeping per stored state: where it came from, for trace
+/// reconstruction.
+struct Visited<A> {
+    parent: Option<(usize, A)>,
+    depth: usize,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given bounds.
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// Exhaustively explores `m`'s reachable states within the bounds.
+    pub fn run<M: Machine>(&self, m: &M) -> Report {
+        let mut states: Vec<M::State> = Vec::new();
+        let mut meta: Vec<Visited<M::Action>> = Vec::new();
+        let mut ids: HashMap<M::State, usize> = HashMap::new();
+
+        let mut report = Report {
+            states: 0,
+            transitions: 0,
+            terminals: 0,
+            max_depth_seen: 0,
+            outcome: Outcome::Exhausted { depth_cutoffs: 0 },
+        };
+        let mut depth_cutoffs = 0usize;
+
+        let init = m.initial();
+        if let Err(e) = m.invariant(&init) {
+            report.outcome = Outcome::Violation(Counterexample {
+                violation: e,
+                kind: "invariant",
+                trace: Vec::new(),
+                state: m.render_state(&init),
+                minimal: true,
+            });
+            return report;
+        }
+        ids.insert(init.clone(), 0);
+        states.push(init);
+        meta.push(Visited {
+            parent: None,
+            depth: 0,
+        });
+
+        // One worklist serves both strategies: BFS pops the front, DFS
+        // pops the back.
+        let mut work: VecDeque<usize> = VecDeque::new();
+        work.push_back(0);
+        let mut scratch: Vec<M::Action> = Vec::new();
+
+        while let Some(id) = match self.config.strategy {
+            Strategy::Bfs => work.pop_front(),
+            Strategy::Dfs => work.pop_back(),
+        } {
+            let depth = meta[id].depth;
+            report.max_depth_seen = report.max_depth_seen.max(depth);
+
+            scratch.clear();
+            m.actions(&states[id], &mut scratch);
+            if scratch.is_empty() {
+                report.terminals += 1;
+                if let Err(e) = m.terminal(&states[id]) {
+                    report.states = states.len();
+                    report.outcome =
+                        Outcome::Violation(self.trace_to(m, &states, &meta, id, e, "terminal"));
+                    return report;
+                }
+                continue;
+            }
+            if depth >= self.config.max_depth {
+                depth_cutoffs += 1;
+                continue;
+            }
+
+            // Drain into successors; scratch is reused across states.
+            let actions = std::mem::take(&mut scratch);
+            for a in &actions {
+                let next = m.step(&states[id], a);
+                report.transitions += 1;
+                if let Err(e) = m.check_step(&states[id], a, &next) {
+                    let mut cx = self.trace_to(m, &states, &meta, id, e, "step");
+                    cx.trace.push(m.render_action(a));
+                    cx.state = m.render_state(&next);
+                    report.states = states.len();
+                    report.outcome = Outcome::Violation(cx);
+                    return report;
+                }
+                if let Err(e) = m.invariant(&next) {
+                    let mut cx = self.trace_to(m, &states, &meta, id, e, "invariant");
+                    cx.trace.push(m.render_action(a));
+                    cx.state = m.render_state(&next);
+                    report.states = states.len();
+                    report.outcome = Outcome::Violation(cx);
+                    return report;
+                }
+                match ids.entry(next) {
+                    Entry::Occupied(_) => {}
+                    Entry::Vacant(v) => {
+                        let nid = states.len();
+                        states.push(v.key().clone());
+                        v.insert(nid);
+                        meta.push(Visited {
+                            parent: Some((id, a.clone())),
+                            depth: depth + 1,
+                        });
+                        work.push_back(nid);
+                    }
+                }
+                if states.len() >= self.config.max_states {
+                    report.states = states.len();
+                    report.outcome = Outcome::Capped;
+                    return report;
+                }
+            }
+            scratch = actions;
+        }
+
+        report.states = states.len();
+        report.outcome = Outcome::Exhausted { depth_cutoffs };
+        report
+    }
+
+    /// Reconstructs the action path from the initial state to `id`.
+    fn trace_to<M: Machine>(
+        &self,
+        m: &M,
+        states: &[M::State],
+        meta: &[Visited<M::Action>],
+        id: usize,
+        violation: String,
+        kind: &'static str,
+    ) -> Counterexample {
+        let mut actions: Vec<String> = Vec::new();
+        let mut cur = id;
+        while let Some((parent, a)) = &meta[cur].parent {
+            actions.push(m.render_action(a));
+            cur = *parent;
+        }
+        actions.reverse();
+        Counterexample {
+            violation,
+            kind,
+            trace: actions,
+            state: m.render_state(&states[id]),
+            minimal: self.config.strategy == Strategy::Bfs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tokens move from `pending` to `done` in any order; the terminal
+    /// state must have them all. `poison` makes one ordering lose a
+    /// token, to exercise counterexamples.
+    struct Tokens {
+        n: u32,
+        poison: bool,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct TState {
+        pending: Vec<u32>, // kept sorted: canonical
+        done: Vec<u32>,    // kept sorted: canonical
+    }
+
+    impl Machine for Tokens {
+        type State = TState;
+        type Action = u32;
+
+        fn initial(&self) -> TState {
+            TState {
+                pending: (0..self.n).collect(),
+                done: Vec::new(),
+            }
+        }
+
+        fn actions(&self, s: &TState, out: &mut Vec<u32>) {
+            out.extend(s.pending.iter().copied());
+        }
+
+        fn step(&self, s: &TState, a: &u32) -> TState {
+            let mut next = s.clone();
+            next.pending.retain(|t| t != a);
+            // The seeded bug: token 1 processed before token 0 is lost.
+            if !(self.poison && *a == 1 && s.pending.contains(&0)) {
+                next.done.push(*a);
+                next.done.sort_unstable();
+            }
+            next
+        }
+
+        fn check_step(&self, from: &TState, _a: &u32, to: &TState) -> Result<(), String> {
+            if to.done.len() < from.done.len() {
+                return Err("done shrank".into());
+            }
+            Ok(())
+        }
+
+        fn terminal(&self, s: &TState) -> Result<(), String> {
+            if s.done.len() == self.n as usize {
+                Ok(())
+            } else {
+                Err(format!("lost {} token(s)", self.n as usize - s.done.len()))
+            }
+        }
+
+        fn render_action(&self, a: &u32) -> String {
+            format!("process token {a}")
+        }
+
+        fn render_state(&self, s: &TState) -> String {
+            format!("pending={:?} done={:?}", s.pending, s.done)
+        }
+    }
+
+    #[test]
+    fn exhausts_all_interleavings() {
+        // n tokens: states = subsets ordered by what's done = 2^n.
+        let report = Explorer::default().run(&Tokens {
+            n: 4,
+            poison: false,
+        });
+        assert!(report.proved(), "{}", report.summary());
+        assert_eq!(report.states, 16);
+        assert_eq!(report.terminals, 1);
+        // 4·2^3 edges.
+        assert_eq!(report.transitions, 32);
+        assert_eq!(report.max_depth_seen, 4);
+    }
+
+    #[test]
+    fn finds_minimal_counterexample() {
+        let report = Explorer::default().run(&Tokens { n: 4, poison: true });
+        let cx = report.counterexample().expect("must violate");
+        assert!(cx.minimal);
+        assert_eq!(cx.kind, "terminal");
+        // Minimal repro: process 1 (lost), then 0, 2, 3 → 4 actions;
+        // no shorter path reaches a bad terminal.
+        assert_eq!(cx.trace.len(), 4, "trace: {:?}", cx.trace);
+        assert_eq!(cx.trace[0], "process token 1");
+        let rendered = cx.render();
+        assert!(rendered.contains("seq=1 kind=action detail=process token 1"));
+        assert!(rendered.contains("kind=violation check=terminal"));
+        assert!(rendered.contains("minimal"));
+    }
+
+    #[test]
+    fn dfs_finds_the_same_violation_without_minimality_claim() {
+        let cfg = ExploreConfig {
+            strategy: Strategy::Dfs,
+            ..ExploreConfig::default()
+        };
+        let report = Explorer::new(cfg).run(&Tokens { n: 4, poison: true });
+        let cx = report.counterexample().expect("must violate");
+        assert!(!cx.minimal);
+        assert!(cx.render().contains("depth-first"));
+    }
+
+    #[test]
+    fn state_cap_reports_capped() {
+        let cfg = ExploreConfig {
+            max_states: 5,
+            ..ExploreConfig::default()
+        };
+        let report = Explorer::new(cfg).run(&Tokens {
+            n: 5,
+            poison: false,
+        });
+        assert!(matches!(report.outcome, Outcome::Capped));
+        assert!(!report.proved());
+    }
+
+    #[test]
+    fn depth_cap_reports_cutoffs() {
+        let cfg = ExploreConfig {
+            max_depth: 2,
+            ..ExploreConfig::default()
+        };
+        let report = Explorer::new(cfg).run(&Tokens {
+            n: 4,
+            poison: false,
+        });
+        match report.outcome {
+            Outcome::Exhausted { depth_cutoffs } => assert!(depth_cutoffs > 0),
+            ref o => panic!("unexpected outcome {o:?}"),
+        }
+        assert!(!report.proved());
+    }
+
+    #[test]
+    fn initial_state_invariant_is_checked() {
+        struct BadInit;
+        impl Machine for BadInit {
+            type State = u32;
+            type Action = ();
+            fn initial(&self) -> u32 {
+                7
+            }
+            fn actions(&self, _: &u32, _: &mut Vec<()>) {}
+            fn step(&self, s: &u32, _: &()) -> u32 {
+                *s
+            }
+            fn invariant(&self, s: &u32) -> Result<(), String> {
+                if *s == 7 {
+                    Err("born broken".into())
+                } else {
+                    Ok(())
+                }
+            }
+            fn render_action(&self, _: &()) -> String {
+                String::new()
+            }
+        }
+        let report = Explorer::default().run(&BadInit);
+        let cx = report.counterexample().expect("must violate");
+        assert!(cx.trace.is_empty());
+        assert_eq!(cx.kind, "invariant");
+    }
+
+    #[test]
+    fn step_check_fires_with_the_offending_action_on_the_trace() {
+        struct Drop2;
+        impl Machine for Drop2 {
+            type State = u32;
+            type Action = u32;
+            fn initial(&self) -> u32 {
+                10
+            }
+            fn actions(&self, s: &u32, out: &mut Vec<u32>) {
+                if *s > 0 {
+                    out.extend([1, 2]);
+                }
+            }
+            fn step(&self, s: &u32, a: &u32) -> u32 {
+                s.saturating_sub(*a)
+            }
+            fn check_step(&self, from: &u32, _: &u32, to: &u32) -> Result<(), String> {
+                if from - to > 1 {
+                    Err(format!("dropped by {} (max 1)", from - to))
+                } else {
+                    Ok(())
+                }
+            }
+            fn render_action(&self, a: &u32) -> String {
+                format!("sub {a}")
+            }
+        }
+        let report = Explorer::default().run(&Drop2);
+        let cx = report.counterexample().expect("must violate");
+        assert_eq!(cx.kind, "step");
+        assert_eq!(cx.trace.last().map(String::as_str), Some("sub 2"));
+        assert_eq!(cx.trace.len(), 1); // minimal: the very first step
+    }
+}

@@ -1,0 +1,99 @@
+//! `dkcore-model` — a bounded explicit-state model checker for the
+//! protocol state machines.
+//!
+//! The oracle suites elsewhere in this workspace (`churn_oracle`,
+//! `sharded_oracle`, `chaos_oracle`) *sample* executions: seeded random
+//! schedules, checked against ground truth. This crate checks small
+//! instances *exhaustively*: a protocol is refactored into an explicit
+//! pure transition function (state × action → state), and the
+//! [`Explorer`] enumerates every reachable state under every possible
+//! action interleaving, checking invariants on each state and each
+//! transition. On a bounded instance this is a proof, not a test: if the
+//! exploration completes without a violation, **no** schedule of the
+//! modeled actions can break the property at that instance size.
+//!
+//! # Checked properties and the instances they are proved at
+//!
+//! The concrete machines live next to the code they model — this crate is
+//! a leaf and knows nothing about graphs or coreness. The workspace wires
+//! up three model families (see `dkcore::machine` and
+//! `dkcore_serve::machine`, and `dkcore model-check` on the CLI):
+//!
+//! | Property | Machine | Exhaustive at |
+//! |----------|---------|---------------|
+//! | Every terminal state has estimates ≡ Batagelj–Zaveršnik coreness (paper Theorems 4.1–4.3: termination + correctness) | `NodeNetModel` (one-to-one, §3.1), `HostNetModel` (one-to-many, §3.2) | graphs ≤ 6 nodes, every per-message / per-batch delivery interleaving; hosts ∈ {1, 2, 3} |
+//! | Estimates are monotone non-increasing per node (Theorem 2 safety), and never drop below true coreness | same | same |
+//! | Published epoch vectors are monotone, and no reachable reader observation mixes shard epochs (no torn stitched reads) | `PublishModel` (serve layer) | shards ∈ {1, 2}, ≤ 4 batches, ≤ 2 readers, kills at every point |
+//! | Failover never loses an acknowledged batch: every quiescent healthy state has published exactly the acked log | `PublishModel` | same, replicas ∈ {0, 1, 2} |
+//!
+//! Larger instances get honest *bounded sweeps*: the paper's Figure-2
+//! graph (8 nodes) exceeds the exhaustive node-model budget, so its CI
+//! tier explores a 1M-state prefix and asserts no counterexample without
+//! claiming a proof ([`Outcome::Capped`], never silently conflated with
+//! [`Outcome::Exhausted`]).
+//!
+//! Beyond these bounded sizes the properties remain *sampled* by the
+//! seeded oracle suites (hundreds of nodes, random schedules, fresh-BZ
+//! comparison after every batch) — the checker proves the protocol
+//! logic, the oracles keep watching the full-scale implementations the
+//! machines are pinned to by the differential suites
+//! (`machine_conformance` in `crates/core`, `model_conformance` in
+//! `crates/serve`).
+//!
+//! # Exploration strategy
+//!
+//! Breadth-first by default: BFS visits states in distance order, so the
+//! first invariant violation found is reached by a **minimal** action
+//! trace — the shortest possible repro. States are deduplicated by full
+//! structural equality behind a hash map (the `State: Hash + Eq` bound);
+//! a canonical state representation is the machine author's contract —
+//! order-independent collections must be kept sorted so that equal
+//! states collide.
+//!
+//! When the BFS frontier outgrows memory budgets, [`Strategy::Dfs`]
+//! explores depth-first with an explicit stack and a depth cap: same
+//! dedup, much smaller frontier, counterexamples no longer minimal
+//! (the report says which strategy produced a trace). Both strategies
+//! stop at [`ExploreConfig::max_states`] and report
+//! [`Outcome::Capped`] rather than silently claiming exhaustion.
+//!
+//! Counterexamples are replayable event sequences: every action on the
+//! path from the initial state, rendered one per line in the flight
+//! recorder's `seq=<n> kind=<name> ...` grammar (see
+//! [`Counterexample::render`]), so a violation reads exactly like an
+//! `EVENTS` tail from a live service.
+//!
+//! # Example
+//!
+//! ```
+//! use dkcore_model::{ExploreConfig, Explorer, Machine, Outcome};
+//!
+//! /// A counter that must never reach 4 — but can, in 2 steps.
+//! struct UpTo4;
+//! impl Machine for UpTo4 {
+//!     type State = u32;
+//!     type Action = u32; // add 1 or 2
+//!     fn initial(&self) -> u32 { 0 }
+//!     fn actions(&self, s: &u32, out: &mut Vec<u32>) {
+//!         if *s < 4 { out.extend([1, 2]); }
+//!     }
+//!     fn step(&self, s: &u32, a: &u32) -> u32 { s + a }
+//!     fn invariant(&self, s: &u32) -> Result<(), String> {
+//!         if *s == 4 { Err("reached 4".into()) } else { Ok(()) }
+//!     }
+//!     fn render_action(&self, a: &u32) -> String { format!("add {a}") }
+//! }
+//!
+//! let report = Explorer::new(ExploreConfig::default()).run(&UpTo4);
+//! let Outcome::Violation(cx) = &report.outcome else { panic!() };
+//! assert_eq!(cx.trace.len(), 2); // BFS: minimal — 2+2, never 1+1+2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod machine;
+
+pub use explore::{Counterexample, ExploreConfig, Explorer, Outcome, Report, Strategy};
+pub use machine::Machine;

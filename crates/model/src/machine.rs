@@ -1,0 +1,75 @@
+//! The [`Machine`] trait: a protocol as an explicit pure transition
+//! function over explorable state.
+
+use std::hash::Hash;
+
+/// A nondeterministic state machine in the shape the [`crate::Explorer`]
+/// can exhaust: an initial state, a finite set of enabled actions per
+/// state, a **pure** transition function, and the properties to check.
+///
+/// # Contract
+///
+/// * `step` must be deterministic and side-effect-free: all
+///   nondeterminism lives in *which* enabled action the explorer picks,
+///   which is exactly what gets exhausted.
+/// * `State`'s `Eq`/`Hash` define state identity for deduplication. Two
+///   states that compare equal are treated as the same node of the
+///   reachability graph, so the representation must be canonical:
+///   order-independent collections (message pools, pending sets) must be
+///   kept sorted by the machine, or semantically equal states will be
+///   explored twice (sound but wasteful) — and semantically *different*
+///   states must never compare equal (that would be unsound).
+/// * `actions` returning no actions marks a terminal state; the
+///   explorer then runs [`terminal`](Machine::terminal) on it.
+pub trait Machine {
+    /// Canonical, hashable protocol state.
+    type State: Clone + Eq + Hash;
+    /// One atomic protocol event (deliver a message, flush a node, kill
+    /// a primary, pin a reader, ...).
+    type Action: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Appends every action enabled in `s` to `out` (which arrives
+    /// empty). Deterministic order; an empty result marks `s` terminal.
+    fn actions(&self, s: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The pure transition function: the successor of `s` under `a`.
+    /// Only called with actions that `actions(s, ..)` produced.
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Self::State;
+
+    /// State invariant, checked on every reachable state (including the
+    /// initial one). Return `Err(reason)` to report a violation.
+    fn invariant(&self, _s: &Self::State) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Transition invariant, checked on every explored edge — the home
+    /// of monotonicity properties ("estimates never increase", "epochs
+    /// never go backwards") that a single state cannot express.
+    fn check_step(
+        &self,
+        _from: &Self::State,
+        _a: &Self::Action,
+        _to: &Self::State,
+    ) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Terminal-state check, run on states with no enabled actions —
+    /// the home of convergence properties ("estimates equal the true
+    /// coreness", "everything acked is published").
+    fn terminal(&self, _s: &Self::State) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// One-line rendering of an action for counterexample traces.
+    fn render_action(&self, a: &Self::Action) -> String;
+
+    /// One-line rendering of a state, appended to counterexample traces
+    /// after the violating step. The default elides it.
+    fn render_state(&self, _s: &Self::State) -> String {
+        String::new()
+    }
+}

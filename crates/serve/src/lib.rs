@@ -153,6 +153,7 @@
 pub mod fault;
 mod health;
 mod index;
+pub mod machine;
 mod service;
 pub mod sharded;
 mod snapshot;
@@ -161,6 +162,7 @@ pub mod wire;
 
 pub use fault::{FaultPlan, KillSpec, StallSpec};
 pub use health::{ExchangeHealth, HealthReport, ShardHealth};
+pub use machine::{PublishAction, PublishModel, PublishScenario, PublishState};
 pub use service::{CoreService, PublishReport, ServiceHandle};
 pub use sharded::{
     ExchangeMode, ShardedConfig, ShardedCoreService, ShardedHandle, ShardedPublishReport,

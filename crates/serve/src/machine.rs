@@ -1,0 +1,575 @@
+//! The publish/failover pipeline as an explorable state machine.
+//!
+//! [`ShardedCoreService`](crate::ShardedCoreService) applies each acked
+//! batch through a fixed pipeline: validate + append to the batch log →
+//! apply mutations to every shard arena → border-exchange to fixpoint
+//! (where primary kills surface) → per-shard snapshot advance → one
+//! atomic stitched flip → replica sync; kills fail over through
+//! rollback + promote, and a partition with no standby left tombstones
+//! the service into degraded mode until `revive_shard` drains the
+//! backlog. [`PublishModel`] is that pipeline abstracted to its epoch
+//! arithmetic — batches are counters, not graphs — with every
+//! environment event (ack arrival, kill timing, reader pin) left
+//! nondeterministic so the `dkcore-model` explorer can enumerate **all**
+//! of their interleavings at small bounds.
+//!
+//! Checked properties (see the `dkcore_model` crate docs):
+//!
+//! * **invariant** — no batch is ever folded into a shard arena twice
+//!   (`arena ≤ published + 1`), and no pinned reader observation mixes
+//!   shard epochs (the atomic-flip guarantee);
+//! * **step** — the published epoch, the reader-visible epoch vector,
+//!   and the ack log are monotone, and a reader's pin never mutates;
+//! * **terminal** — a quiescent healthy system has published exactly the
+//!   acked log, with every arena and every cell entry agreeing.
+//!
+//! Two seeded faults turn the checker on itself ([`PublishScenario`]):
+//! `skip_rollback` omits the attempt rollback before failover re-apply
+//! (the explorer finds a double-applied batch), and `torn_publish` makes
+//! per-shard snapshot advances reader-visible without the atomic flip
+//! (the explorer finds a reader pinning a mixed epoch vector). Both
+//! produce minimal counterexample traces — the regression tests assert
+//! it — demonstrating the harness catches exactly the bug classes the
+//! real pipeline's rollback and stitched flip exist to prevent.
+//!
+//! The `model_conformance` suite pins this abstraction to the real
+//! service: matching action scripts driven through both must agree on
+//! published epoch, backlog, degradation, and replica counts.
+
+use dkcore_model::Machine;
+
+/// Bounded scenario for [`PublishModel`]: instance sizes and fault seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishScenario {
+    /// Number of shards (partitions).
+    pub shards: usize,
+    /// Standby replicas initially stocked per shard.
+    pub replicas: u32,
+    /// Batches the environment will ack.
+    pub batches: u64,
+    /// Readers, each of which may pin one snapshot at any point.
+    pub readers: usize,
+    /// Primary kills the environment may inject.
+    pub kills: u32,
+    /// Seeded fault: failover skips the attempt rollback, so a retried
+    /// batch is applied on top of the partial attempt (the bug the real
+    /// rollback exists to prevent).
+    pub skip_rollback: bool,
+    /// Seeded fault: per-shard snapshot advances become reader-visible
+    /// immediately instead of through the atomic stitched flip (the bug
+    /// the single `Arc` swap exists to prevent).
+    pub torn_publish: bool,
+}
+
+impl Default for PublishScenario {
+    fn default() -> Self {
+        PublishScenario {
+            shards: 2,
+            replicas: 1,
+            batches: 2,
+            readers: 1,
+            kills: 1,
+            skip_rollback: false,
+            torn_publish: false,
+        }
+    }
+}
+
+/// Canonical state of [`PublishModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublishState {
+    /// Acked (validated + logged) batches.
+    log: u64,
+    /// Last atomically published epoch.
+    published: u64,
+    /// Per shard: batches folded into its live arena. `published` when in
+    /// sync; `published + 1` mid-attempt; anything higher is a
+    /// double-apply (the rollback invariant).
+    arena: Vec<u64>,
+    /// Per shard: staged snapshot epoch (advanced pre-flip).
+    pub_snap: Vec<u64>,
+    /// The reader-visible stitched epoch vector (one entry per shard;
+    /// uniform by construction under the atomic flip).
+    cell: Vec<u64>,
+    /// Standby replicas left per shard.
+    replicas: Vec<u32>,
+    /// Whether each shard has a live primary.
+    alive: Vec<bool>,
+    /// A batch attempt is in progress (mutations applied, not yet
+    /// flipped or rolled back).
+    attempt: bool,
+    /// Some partition tombstoned with no standby left; acked batches
+    /// defer to the backlog until revival.
+    degraded: bool,
+    /// Kill budget remaining.
+    kills_left: u32,
+    /// Per reader: the epoch vector it pinned, once it has.
+    readers: Vec<Option<Vec<u64>>>,
+}
+
+impl PublishState {
+    /// Acked batches so far.
+    pub fn log(&self) -> u64 {
+        self.log
+    }
+
+    /// Last published epoch.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Acked batches not yet published (the deferred backlog).
+    pub fn backlog(&self) -> u64 {
+        self.log - self.published
+    }
+
+    /// Whether some partition is tombstoned.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Standby replicas left for `shard`.
+    pub fn replica_count(&self, shard: usize) -> u32 {
+        self.replicas[shard]
+    }
+}
+
+/// One event of the publish/failover pipeline — environment events (ack,
+/// kill, pin) and protocol micro-steps (whose *enabledness* encodes the
+/// controller logic of `apply_next`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishAction {
+    /// The environment acks one more batch (validate + log).
+    Ack,
+    /// Start applying the next logged batch: fold its mutations into
+    /// every shard arena, then run the exchange.
+    BeginAttempt,
+    /// A primary dies (batch boundary or mid-exchange; never between the
+    /// snapshot advances of a publish, which are driven by the single
+    /// writer thread).
+    Kill {
+        /// The shard whose primary dies.
+        shard: usize,
+    },
+    /// Undo the partial attempt from the live arenas before failover
+    /// (skipped when [`PublishScenario::skip_rollback`] is seeded).
+    Rollback,
+    /// A standby replays the log and takes over the dead partition.
+    Promote {
+        /// The shard being promoted.
+        shard: usize,
+    },
+    /// No standby left: tombstone, enter degraded mode, defer.
+    Tombstone,
+    /// Rebuild every downed partition from the published chunks and
+    /// restock its standbys; the backlog then drains through ordinary
+    /// attempts.
+    Revive,
+    /// Advance one shard's snapshot to the attempt epoch (pre-flip).
+    Advance {
+        /// The shard whose snapshot advances.
+        shard: usize,
+    },
+    /// The atomic stitched flip: all advanced snapshots become
+    /// reader-visible at once.
+    Flip,
+    /// A reader pins the currently visible epoch vector.
+    Pin {
+        /// The pinning reader.
+        reader: usize,
+    },
+}
+
+/// Explorable model of the sharded publish/failover pipeline; see the
+/// [module docs](self).
+pub struct PublishModel {
+    scenario: PublishScenario,
+}
+
+impl PublishModel {
+    /// Builds the model for `scenario`.
+    pub fn new(scenario: PublishScenario) -> Self {
+        PublishModel { scenario }
+    }
+
+    fn all_alive(&self, s: &PublishState) -> bool {
+        s.alive.iter().all(|&a| a)
+    }
+
+    fn publishing(&self, s: &PublishState) -> bool {
+        s.pub_snap.iter().any(|&e| e > s.published)
+    }
+}
+
+impl Machine for PublishModel {
+    type State = PublishState;
+    type Action = PublishAction;
+
+    fn initial(&self) -> PublishState {
+        let n = self.scenario.shards;
+        PublishState {
+            log: 0,
+            published: 0,
+            arena: vec![0; n],
+            pub_snap: vec![0; n],
+            cell: vec![0; n],
+            replicas: vec![self.scenario.replicas; n],
+            alive: vec![true; n],
+            attempt: false,
+            degraded: false,
+            kills_left: self.scenario.kills,
+            readers: vec![None; self.scenario.readers],
+        }
+    }
+
+    fn actions(&self, s: &PublishState, out: &mut Vec<PublishAction>) {
+        if s.log < self.scenario.batches {
+            out.push(PublishAction::Ack);
+        }
+        if !s.degraded && !s.attempt && self.all_alive(s) && s.log > s.published {
+            out.push(PublishAction::BeginAttempt);
+        }
+        if s.kills_left > 0 && !self.publishing(s) {
+            for (i, &a) in s.alive.iter().enumerate() {
+                if a {
+                    out.push(PublishAction::Kill { shard: i });
+                }
+            }
+        }
+        if s.attempt && !self.all_alive(s) {
+            out.push(PublishAction::Rollback);
+        }
+        if !s.attempt {
+            let mut tombstone = false;
+            for (i, &a) in s.alive.iter().enumerate() {
+                if !a {
+                    if s.replicas[i] > 0 {
+                        out.push(PublishAction::Promote { shard: i });
+                    } else if !s.degraded {
+                        tombstone = true;
+                    }
+                }
+            }
+            if tombstone {
+                out.push(PublishAction::Tombstone);
+            }
+        }
+        if s.degraded {
+            out.push(PublishAction::Revive);
+        }
+        if s.attempt && self.all_alive(s) && s.arena.iter().all(|&a| a == s.published + 1) {
+            for (i, &e) in s.pub_snap.iter().enumerate() {
+                if e == s.published {
+                    out.push(PublishAction::Advance { shard: i });
+                }
+            }
+            if s.pub_snap.iter().all(|&e| e == s.published + 1) {
+                out.push(PublishAction::Flip);
+            }
+        }
+        for (r, pin) in s.readers.iter().enumerate() {
+            if pin.is_none() {
+                out.push(PublishAction::Pin { reader: r });
+            }
+        }
+    }
+
+    fn step(&self, s: &PublishState, a: &PublishAction) -> PublishState {
+        let mut n = s.clone();
+        match *a {
+            PublishAction::Ack => n.log += 1,
+            PublishAction::BeginAttempt => {
+                // apply_mutations touches every shard arena before the
+                // exchange rounds run.
+                for (i, &alive) in n.alive.iter().enumerate() {
+                    if alive {
+                        n.arena[i] += 1;
+                    }
+                }
+                n.attempt = true;
+            }
+            PublishAction::Kill { shard } => {
+                n.alive[shard] = false;
+                n.kills_left -= 1;
+            }
+            PublishAction::Rollback => {
+                if !self.scenario.skip_rollback {
+                    for (i, &alive) in n.alive.iter().enumerate() {
+                        if alive {
+                            n.arena[i] = n.published;
+                        }
+                    }
+                }
+                n.attempt = false;
+            }
+            PublishAction::Promote { shard } => {
+                // The standby replays the log to the published epoch.
+                n.alive[shard] = true;
+                n.replicas[shard] -= 1;
+                n.arena[shard] = n.published;
+            }
+            PublishAction::Tombstone => n.degraded = true,
+            PublishAction::Revive => {
+                for (i, alive) in n.alive.iter_mut().enumerate() {
+                    if !*alive {
+                        // Rebuilt from the published chunks, standbys
+                        // restocked; the backlog drains through ordinary
+                        // attempts from here.
+                        *alive = true;
+                        n.arena[i] = n.published;
+                        n.replicas[i] = self.scenario.replicas;
+                    }
+                }
+                n.degraded = false;
+            }
+            PublishAction::Advance { shard } => {
+                n.pub_snap[shard] = n.published + 1;
+                if self.scenario.torn_publish {
+                    // The seeded fault: the advance is reader-visible
+                    // without waiting for the atomic flip.
+                    n.cell[shard] = n.pub_snap[shard];
+                }
+            }
+            PublishAction::Flip => {
+                if !self.scenario.torn_publish {
+                    n.cell.clone_from(&n.pub_snap);
+                }
+                n.published += 1;
+                n.attempt = false;
+            }
+            PublishAction::Pin { reader } => {
+                n.readers[reader] = Some(n.cell.clone());
+            }
+        }
+        n
+    }
+
+    fn invariant(&self, s: &PublishState) -> Result<(), String> {
+        if s.published > s.log {
+            return Err(format!(
+                "published {} ahead of acked log {}",
+                s.published, s.log
+            ));
+        }
+        for (i, (&arena, &alive)) in s.arena.iter().zip(s.alive.iter()).enumerate() {
+            if alive && arena > s.published + 1 {
+                return Err(format!(
+                    "shard {i}: arena at {arena} with published {} — a batch was \
+                     applied twice without rollback",
+                    s.published
+                ));
+            }
+        }
+        for (r, pin) in s.readers.iter().enumerate() {
+            if let Some(v) = pin {
+                if v.iter().any(|&e| e != v[0]) {
+                    return Err(format!(
+                        "reader {r} pinned a torn snapshot mixing shard epochs {v:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_step(
+        &self,
+        from: &PublishState,
+        a: &PublishAction,
+        to: &PublishState,
+    ) -> Result<(), String> {
+        if to.published < from.published || to.log < from.log {
+            return Err(format!("epoch or log went backwards on {a:?}"));
+        }
+        for (i, (&b, &x)) in from.cell.iter().zip(to.cell.iter()).enumerate() {
+            if x < b {
+                return Err(format!(
+                    "reader-visible epoch of shard {i} went backwards {b} -> {x} on {a:?}"
+                ));
+            }
+        }
+        for (r, (b, x)) in from.readers.iter().zip(to.readers.iter()).enumerate() {
+            if b.is_some() && b != x {
+                return Err(format!("reader {r}'s pin mutated on {a:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn terminal(&self, s: &PublishState) -> Result<(), String> {
+        // Quiescent and healthy: everything acked must have been
+        // published — failover never loses an acked batch — and every
+        // arena and reader-visible entry must agree on that epoch.
+        if s.published != s.log {
+            return Err(format!(
+                "quiescent with {} acked batches but only {} published — an acked \
+                 batch was lost",
+                s.log, s.published
+            ));
+        }
+        for (i, &arena) in s.arena.iter().enumerate() {
+            if arena != s.published {
+                return Err(format!(
+                    "quiescent but shard {i} arena is {arena}, published {}",
+                    s.published
+                ));
+            }
+        }
+        for (i, &e) in s.cell.iter().enumerate() {
+            if e != s.published {
+                return Err(format!(
+                    "quiescent but shard {i} is visible at epoch {e}, published {}",
+                    s.published
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn render_action(&self, a: &PublishAction) -> String {
+        match *a {
+            PublishAction::Ack => "ack".into(),
+            PublishAction::BeginAttempt => "begin-attempt".into(),
+            PublishAction::Kill { shard } => format!("kill shard={shard}"),
+            PublishAction::Rollback => "rollback".into(),
+            PublishAction::Promote { shard } => format!("promote shard={shard}"),
+            PublishAction::Tombstone => "tombstone".into(),
+            PublishAction::Revive => "revive".into(),
+            PublishAction::Advance { shard } => format!("advance shard={shard}"),
+            PublishAction::Flip => "flip".into(),
+            PublishAction::Pin { reader } => format!("pin reader={reader}"),
+        }
+    }
+
+    fn render_state(&self, s: &PublishState) -> String {
+        format!(
+            "log={} published={} arena={:?} cell={:?} alive={:?} degraded={}",
+            s.log, s.published, s.arena, s.cell, s.alive, s.degraded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkcore_model::{ExploreConfig, Explorer, Report};
+
+    fn explore(scenario: PublishScenario) -> Report {
+        Explorer::new(ExploreConfig::default()).run(&PublishModel::new(scenario))
+    }
+
+    #[test]
+    fn healthy_pipeline_proves_across_shard_and_replica_bounds() {
+        for shards in [1usize, 2] {
+            for replicas in [0u32, 1, 2] {
+                let report = explore(PublishScenario {
+                    shards,
+                    replicas,
+                    batches: 3,
+                    readers: 1,
+                    kills: 0,
+                    ..PublishScenario::default()
+                });
+                assert!(
+                    report.proved(),
+                    "shards={shards} replicas={replicas}: {}",
+                    report.summary()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failover_proves_with_kills_at_every_point() {
+        for replicas in [0u32, 1, 2] {
+            for kills in [1u32, 2] {
+                let report = explore(PublishScenario {
+                    shards: 2,
+                    replicas,
+                    batches: 2,
+                    readers: 1,
+                    kills,
+                    ..PublishScenario::default()
+                });
+                assert!(
+                    report.proved(),
+                    "replicas={replicas} kills={kills}: {}",
+                    report.summary()
+                );
+                // Kills must actually reach the interesting paths.
+                assert!(report.states > 100, "only {} states", report.states);
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "exhaustive tier (CI model-check job): widest publish bounds"]
+    fn widest_bounds_prove() {
+        let report = explore(PublishScenario {
+            shards: 2,
+            replicas: 2,
+            batches: 4,
+            readers: 2,
+            kills: 2,
+            ..PublishScenario::default()
+        });
+        assert!(report.proved(), "{}", report.summary());
+    }
+
+    #[test]
+    fn skipping_rollback_is_caught_with_a_minimal_trace() {
+        let report = explore(PublishScenario {
+            shards: 2,
+            replicas: 1,
+            batches: 1,
+            readers: 0,
+            kills: 1,
+            skip_rollback: true,
+            ..PublishScenario::default()
+        });
+        let cx = report
+            .counterexample()
+            .expect("skipping rollback must double-apply a batch");
+        assert!(cx.minimal);
+        assert!(
+            cx.violation.contains("applied twice"),
+            "unexpected violation: {}",
+            cx.violation
+        );
+        // The shortest exhibit: ack, begin, kill, (skipped) rollback,
+        // promote, and the re-attempt that double-applies.
+        let trace = cx.render();
+        for needle in [
+            "kind=action detail=kill",
+            "detail=rollback",
+            "detail=begin-attempt",
+        ] {
+            assert!(trace.contains(needle), "missing {needle} in:\n{trace}");
+        }
+    }
+
+    #[test]
+    fn torn_publish_is_caught_by_a_reader_pin() {
+        let report = explore(PublishScenario {
+            shards: 2,
+            replicas: 0,
+            batches: 1,
+            readers: 1,
+            kills: 0,
+            torn_publish: true,
+            ..PublishScenario::default()
+        });
+        let cx = report
+            .counterexample()
+            .expect("a reader must observe the torn publish");
+        assert!(cx.minimal);
+        assert!(
+            cx.violation.contains("torn snapshot"),
+            "unexpected violation: {}",
+            cx.violation
+        );
+        let trace = cx.render();
+        assert!(trace.contains("detail=advance shard="), "{trace}");
+        assert!(trace.contains("detail=pin reader=0"), "{trace}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Differential conformance: [`PublishModel`] pinned to the real
+//! [`ShardedCoreService`] on matching event scripts.
+//!
+//! The model checker proves publish/failover properties of the
+//! *abstraction*; this suite proves the abstraction tracks the shipped
+//! service: each scenario drives the service through batches, primary
+//! kills, and revivals while stepping the model through the
+//! corresponding action script, comparing every shared observable —
+//! published epoch, deferred backlog, degradation, per-shard replica
+//! counts — after every event.
+//!
+//! The CI determinism matrix re-runs this suite with `DKCORE_TEST_SEED`
+//! shifting the churn streams, so conformance covers fresh batch
+//! contents (the model abstracts batches to counters — the comparison
+//! must hold for *any* batch payload).
+
+use dkcore::stream::EdgeBatch;
+use dkcore_data::{churn_stream, ChurnWorkload};
+use dkcore_graph::generators::gnp;
+use dkcore_model::Machine;
+use dkcore_serve::{
+    PublishAction, PublishModel, PublishScenario, PublishState, ShardedConfig, ShardedCoreService,
+};
+
+/// Offset mixed into every churn seed, from `DKCORE_TEST_SEED` (the CI
+/// determinism matrix); 0 when unset.
+fn seed_offset() -> u64 {
+    std::env::var("DKCORE_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |s| s.wrapping_mul(0x9E37_79B9))
+}
+
+/// Steps `state` by `action`, first asserting the model actually enables
+/// it there — a script drifting out of the model's enabled set is itself
+/// a conformance failure.
+fn act(model: &PublishModel, state: &PublishState, action: PublishAction) -> PublishState {
+    let mut enabled = Vec::new();
+    model.actions(state, &mut enabled);
+    assert!(
+        enabled.contains(&action),
+        "script action {action:?} not enabled in {}",
+        model.render_state(state)
+    );
+    model.step(state, &action)
+}
+
+/// The model script for one healthy published batch on `shards` shards.
+fn publish_one(model: &PublishModel, mut s: PublishState, shards: usize) -> PublishState {
+    s = act(model, &s, PublishAction::BeginAttempt);
+    for shard in 0..shards {
+        s = act(model, &s, PublishAction::Advance { shard });
+    }
+    act(model, &s, PublishAction::Flip)
+}
+
+/// Every shared observable, compared after every event.
+fn assert_conforms(svc: &ShardedCoreService, s: &PublishState, shards: usize, context: &str) {
+    assert_eq!(svc.epoch(), s.published(), "{context}: published epoch");
+    assert_eq!(svc.backlog() as u64, s.backlog(), "{context}: backlog");
+    assert_eq!(svc.is_degraded(), s.is_degraded(), "{context}: degraded");
+    for shard in 0..shards {
+        assert_eq!(
+            svc.replica_count(shard) as u32,
+            s.replica_count(shard),
+            "{context}: replicas of shard {shard}"
+        );
+    }
+}
+
+fn batches(seed: u64, n: usize) -> Vec<EdgeBatch> {
+    let g = gnp(40, 0.1, seed);
+    churn_stream(
+        &g,
+        ChurnWorkload::Mixed { insert_pct: 60 },
+        n,
+        12,
+        seed ^ 0xC0DE,
+    )
+}
+
+fn service(shards: usize, replicas: usize, seed: u64) -> (ShardedCoreService, Vec<EdgeBatch>) {
+    let g = gnp(40, 0.1, seed);
+    let svc = ShardedCoreService::with_config(
+        &g,
+        shards,
+        ShardedConfig {
+            replicas,
+            ..ShardedConfig::default()
+        },
+    );
+    (svc, batches(seed, 6))
+}
+
+#[test]
+fn healthy_service_tracks_the_model() {
+    let seed = 7 ^ seed_offset();
+    for shards in [1usize, 2, 3] {
+        let (mut svc, stream) = service(shards, 1, seed + shards as u64);
+        let model = PublishModel::new(PublishScenario {
+            shards,
+            replicas: 1,
+            batches: stream.len() as u64,
+            readers: 0,
+            kills: 0,
+            ..PublishScenario::default()
+        });
+        let mut s = model.initial();
+        assert_conforms(&svc, &s, shards, "initial");
+        for (i, batch) in stream.iter().enumerate() {
+            svc.apply_batch(batch).expect("healthy batch applies");
+            s = act(&model, &s, PublishAction::Ack);
+            s = publish_one(&model, s, shards);
+            assert_conforms(&svc, &s, shards, &format!("shards={shards} batch {i}"));
+        }
+    }
+}
+
+#[test]
+fn standby_takeover_tracks_the_model() {
+    let seed = 21 ^ seed_offset();
+    let shards = 2;
+    for replicas in [1usize, 2] {
+        let (mut svc, stream) = service(shards, replicas, seed + replicas as u64);
+        let model = PublishModel::new(PublishScenario {
+            shards,
+            replicas: replicas as u32,
+            batches: stream.len() as u64,
+            readers: 0,
+            kills: replicas as u32,
+            ..PublishScenario::default()
+        });
+        let mut s = model.initial();
+        for (i, batch) in stream.iter().enumerate() {
+            // Burn one standby per kill budget entry, at batch boundaries.
+            if i < replicas {
+                let promoted = svc.kill_primary(i % shards);
+                assert!(promoted, "standby must take over while stocked");
+                s = act(&model, &s, PublishAction::Kill { shard: i % shards });
+                s = act(&model, &s, PublishAction::Promote { shard: i % shards });
+                assert_conforms(&svc, &s, shards, &format!("after takeover {i}"));
+            }
+            svc.apply_batch(batch)
+                .expect("batch applies after takeover");
+            s = act(&model, &s, PublishAction::Ack);
+            s = publish_one(&model, s, shards);
+            assert_conforms(&svc, &s, shards, &format!("replicas={replicas} batch {i}"));
+        }
+    }
+}
+
+#[test]
+fn degraded_defer_and_revive_track_the_model() {
+    let seed = 35 ^ seed_offset();
+    let shards = 2;
+    let (mut svc, stream) = service(shards, 0, seed);
+    let model = PublishModel::new(PublishScenario {
+        shards,
+        replicas: 0,
+        batches: stream.len() as u64,
+        readers: 0,
+        kills: 1,
+        ..PublishScenario::default()
+    });
+    let mut s = model.initial();
+
+    // One healthy batch first, then lose shard 1 with no standby left.
+    svc.apply_batch(&stream[0]).expect("healthy batch");
+    s = act(&model, &s, PublishAction::Ack);
+    s = publish_one(&model, s, shards);
+
+    let promoted = svc.kill_primary(1);
+    assert!(!promoted, "no standby: partition must enter degraded mode");
+    s = act(&model, &s, PublishAction::Kill { shard: 1 });
+    s = act(&model, &s, PublishAction::Tombstone);
+    assert_conforms(&svc, &s, shards, "after tombstone");
+
+    // Degraded mode validates and defers: the log grows, the epoch holds.
+    for (i, batch) in stream.iter().enumerate().skip(1) {
+        let report = svc.apply_batch(batch).expect("deferred batch still acks");
+        assert!(report.deferred, "batch {i} must defer while degraded");
+        s = act(&model, &s, PublishAction::Ack);
+        assert_conforms(&svc, &s, shards, &format!("deferred batch {i}"));
+    }
+
+    // Revival drains the whole backlog; the model drains it batch by
+    // batch through ordinary attempts.
+    let drained = svc.revive_shard(1);
+    assert_eq!(drained, s.backlog(), "revive must drain the full backlog");
+    s = act(&model, &s, PublishAction::Revive);
+    while s.backlog() > 0 {
+        s = publish_one(&model, s, shards);
+    }
+    assert_conforms(&svc, &s, shards, "after revive");
+    assert_eq!(svc.backlog(), 0);
+}

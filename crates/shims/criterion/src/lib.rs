@@ -10,6 +10,8 @@
 //! minimum and mean per-iteration times are printed in a criterion-like
 //! line format. Set `BENCH_QUICK=1` to cap sampling for smoke runs (CI).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

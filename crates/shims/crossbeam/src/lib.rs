@@ -5,6 +5,8 @@
 //! for the workspace's coordinator/worker runtime; not a performance
 //! match for the real crate.
 
+#![forbid(unsafe_code)]
+
 /// Multi-producer multi-consumer FIFO channels.
 pub mod channel {
     use std::collections::VecDeque;

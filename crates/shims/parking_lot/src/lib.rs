@@ -1,6 +1,8 @@
 //! Offline stand-in for `parking_lot`: a non-poisoning [`Mutex`] wrapping
 //! `std::sync::Mutex`.
 
+#![forbid(unsafe_code)]
+
 /// A mutual-exclusion lock whose `lock` never returns a poison error,
 /// mirroring `parking_lot::Mutex`.
 #[derive(Debug, Default)]

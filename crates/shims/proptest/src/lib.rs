@@ -9,6 +9,8 @@
 //! with its case index, and the generator is deterministic (fixed base
 //! seed), so failures reproduce exactly on re-run.
 
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 
 /// Runner configuration, mirroring `proptest::test_runner::Config`.

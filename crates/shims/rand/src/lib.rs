@@ -6,6 +6,8 @@
 //! [`prelude::SliceRandom::shuffle`]. Deterministic per seed, but the
 //! stream differs from the real `StdRng` (see `crates/shims/README.md`).
 
+#![forbid(unsafe_code)]
+
 /// Core random-number-generator interface: a source of `u64` words.
 pub trait RngCore {
     /// Returns the next 64 random bits.

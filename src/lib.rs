@@ -3,6 +3,8 @@
 //! Re-exports all workspace crates under one roof so examples and
 //! integration tests have a single dependency.
 
+#![forbid(unsafe_code)]
+
 pub use dkcore;
 pub use dkcore_data as data;
 pub use dkcore_gossip as gossip;
